@@ -1,0 +1,138 @@
+#ifndef STREAMAD_BENCH_BENCH_COMMON_H_
+#define STREAMAD_BENCH_BENCH_COMMON_H_
+
+// Shared configuration of the table/figure reproduction binaries.
+//
+// Defaults are laptop-scale so `for b in build/bench/*; do $b; done`
+// terminates in minutes. Environment knobs:
+//   STREAMAD_SCALE   multiplies stream lengths (default 1.0; the paper's
+//                    setup corresponds to roughly SCALE=1.5 with WINDOW=100)
+//   STREAMAD_WINDOW  data representation length w (default 25; paper: 100)
+//   STREAMAD_SERIES  series per corpus (default 1)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/algorithm_spec.h"
+#include "src/data/generator_config.h"
+#include "src/data/preprocess.h"
+#include "src/data/series.h"
+#include "src/harness/experiment.h"
+#include "src/harness/parallel.h"
+#include "src/harness/table_printer.h"
+
+namespace streamad::bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atof(value);
+}
+
+inline std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback
+                          : static_cast<std::size_t>(std::atoll(value));
+}
+
+/// Generator config for the Table III corpora under the env knobs.
+inline data::GeneratorConfig BenchGenConfig() {
+  const double scale = EnvDouble("STREAMAD_SCALE", 1.0);
+  data::GeneratorConfig gen;
+  gen.length = static_cast<std::size_t>(8000 * scale);
+  gen.normal_prefix = static_cast<std::size_t>(3000 * scale);
+  gen.num_series = EnvSize("STREAMAD_SERIES", 1);
+  gen.num_anomalies = 6;
+  gen.num_drifts = 2;
+  gen.seed = 42;
+  return gen;
+}
+
+/// Standardises each series on its anomaly-free prefix — the causal
+/// preprocessing every deployed pipeline applies (see data/preprocess.h).
+inline data::Corpus Preprocessed(data::Corpus corpus) {
+  StandardizePerChannel(&corpus, BenchGenConfig().normal_prefix / 2);
+  return corpus;
+}
+
+/// Detector params matched to `BenchGenConfig`.
+inline core::DetectorParams BenchParams() {
+  const double scale = EnvDouble("STREAMAD_SCALE", 1.0);
+  core::DetectorParams params;
+  params.window = EnvSize("STREAMAD_WINDOW", 25);
+  params.train_capacity = 150;
+  params.initial_train_steps = static_cast<std::size_t>(2500 * scale);
+  params.scorer_k = 50;
+  params.scorer_k_short = 5;
+  params.kswin.check_every = 16;
+  params.ae.fit_epochs = 20;
+  params.usad.fit_epochs = 20;
+  params.nbeats.fit_epochs = 15;
+  return params;
+}
+
+/// Runs the full Table III reproduction for one corpus: the 26 algorithm
+/// rows (metrics averaged over the average / anomaly-likelihood scores)
+/// plus the three anomaly-score ablation rows averaged over all
+/// algorithms. Each (spec, scorer) pair is evaluated exactly once.
+inline void RunTable3(const data::Corpus& corpus) {
+  harness::EvalConfig config;
+  config.params = BenchParams();
+  config.seed = 7;
+
+  const std::vector<core::AlgorithmSpec> specs = core::AllPaperAlgorithms();
+  const core::ScoreType scorers[] = {core::ScoreType::kRaw,
+                                     core::ScoreType::kAverage,
+                                     core::ScoreType::kAnomalyLikelihood};
+
+  // results[spec][scorer]; every (spec, scorer) cell is an independent
+  // deterministic run, so the sweep fans out across cores.
+  std::vector<std::vector<harness::MetricSummary>> results(
+      specs.size(), std::vector<harness::MetricSummary>(3));
+  harness::ParallelFor(specs.size() * 3, [&](std::size_t task) {
+    const std::size_t s = task / 3;
+    const std::size_t k = task % 3;
+    results[s][k] = harness::EvaluateAlgorithmOnCorpus(
+        specs[s], scorers[k], corpus, config);
+    if (k == 2) {
+      std::fprintf(stderr, "  %s done\n", core::SpecLabel(specs[s]).c_str());
+    }
+  });
+
+  using harness::TablePrinter;
+  TablePrinter table({"algorithm", "Prec", "Rec", "AUC", "VUS", "NAB"});
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    // Paper convention: rows average the 'average' and 'anomaly
+    // likelihood' scorers.
+    const harness::MetricSummary row =
+        harness::MetricSummary::Mean({results[s][1], results[s][2]});
+    table.AddRow({core::SpecLabel(specs[s]), TablePrinter::Num(row.precision),
+                  TablePrinter::Num(row.recall), TablePrinter::Num(row.pr_auc),
+                  TablePrinter::Num(row.vus), TablePrinter::Num(row.nab)});
+  }
+  table.AddSeparator();
+  const char* score_names[] = {"scores: Raw", "scores: Avg", "scores: AL"};
+  for (std::size_t k = 0; k < 3; ++k) {
+    std::vector<harness::MetricSummary> column;
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      column.push_back(results[s][k]);
+    }
+    const harness::MetricSummary mean = harness::MetricSummary::Mean(column);
+    table.AddRow({score_names[k], TablePrinter::Num(mean.precision),
+                  TablePrinter::Num(mean.recall),
+                  TablePrinter::Num(mean.pr_auc), TablePrinter::Num(mean.vus),
+                  TablePrinter::Num(mean.nab)});
+  }
+
+  std::printf("\nTable III reproduction — corpus: %s (%zu series, %zu steps,"
+              " w=%zu)\n\n",
+              corpus.name.c_str(), corpus.series.size(),
+              corpus.series.empty() ? 0 : corpus.series[0].length(),
+              config.params.window);
+  table.Print();
+}
+
+}  // namespace streamad::bench
+
+#endif  // STREAMAD_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,50 @@
+// Figure 1 reproduction: the effect of fine-tuning after concept drift.
+//
+// For several seeds the fork experiment runs the paper's setup (USAD,
+// sliding window, mu/sigma-Change on a gait-like stream): after the first
+// post-drift fine-tune, an artificial anomaly is inserted at +90..+110 and
+// scored by the fine-tuned model and its stale twin. The printed "gap" is
+// the paper's error bar — max anomaly nonconformity minus the pre-anomaly
+// average — which must be clearly larger for the fine-tuned model.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/harness/finetune_fork.h"
+#include "src/harness/table_printer.h"
+
+int main() {
+  using namespace streamad;
+  using harness::TablePrinter;
+
+  const std::vector<std::uint64_t> seeds = {11, 12, 13};
+  TablePrinter table({"seed", "drift t", "fine-tune t", "anomaly",
+                      "gap ft", "gap/sigma ft", "gap stale",
+                      "gap/sigma stale", "clearer?"});
+  int wins = 0;
+  for (std::uint64_t seed : seeds) {
+    harness::FinetuneForkConfig config;
+    config.seed = seed;
+    const harness::FinetuneForkResult r =
+        harness::RunFinetuneForkExperiment(config);
+    wins += r.finetuned_gap_larger() ? 1 : 0;
+    table.AddRow({std::to_string(seed), std::to_string(r.drift_start),
+                  std::to_string(r.finetune_step),
+                  "[" + std::to_string(r.anomaly_begin) + "," +
+                      std::to_string(r.anomaly_end) + ")",
+                  TablePrinter::Num(r.finetuned.gap(), 4),
+                  TablePrinter::Num(r.finetuned.normalized_gap(), 1),
+                  TablePrinter::Num(r.stale.gap(), 4),
+                  TablePrinter::Num(r.stale.normalized_gap(), 1),
+                  r.finetuned_gap_larger() ? "yes" : "no"});
+  }
+
+  std::printf("Figure 1 reproduction — fine-tuning effect after concept "
+              "drift\n(USAD / SW / mu-sigma, artificial anomaly at +90.."
+              "+110 after the fine-tune)\n\n");
+  table.Print();
+  std::printf("\nfine-tuned separation (gap/sigma) larger in %d/%zu runs "
+              "(paper: larger)\n",
+              wins, seeds.size());
+  return wins > static_cast<int>(seeds.size()) / 2 ? 0 : 1;
+}

@@ -1,0 +1,226 @@
+// Component micro-benchmarks (google-benchmark): per-step latency of the
+// models, Task-1 strategies, Task-2 drift detectors, anomaly scorers and
+// the evaluation metrics. These back the throughput claims in README.md
+// and catch performance regressions of individual components.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/core/algorithm_spec.h"
+#include "src/core/training_set.h"
+#include "src/metrics/nab_score.h"
+#include "src/metrics/pr_auc.h"
+#include "src/metrics/vus.h"
+#include "src/scoring/anomaly_likelihood.h"
+#include "src/scoring/average_score.h"
+#include "src/stats/ks_test.h"
+#include "src/strategies/anomaly_aware_reservoir.h"
+#include "src/strategies/kswin.h"
+#include "src/strategies/mu_sigma_change.h"
+#include "src/strategies/sliding_window.h"
+#include "src/strategies/uniform_reservoir.h"
+
+namespace {
+
+using namespace streamad;
+
+constexpr std::size_t kWindow = 25;
+constexpr std::size_t kChannels = 9;
+constexpr std::size_t kTrain = 100;
+
+core::FeatureVector RandomWindow(Rng* rng, std::int64_t t) {
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(kWindow, kChannels);
+  for (std::size_t i = 0; i < fv.window.size(); ++i) {
+    fv.window.at_flat(i) = rng->Gaussian();
+  }
+  fv.t = t;
+  return fv;
+}
+
+core::TrainingSet MakeTrainingSet(Rng* rng) {
+  core::TrainingSet set(kTrain);
+  for (std::size_t i = 0; i < kTrain; ++i) {
+    set.Add(RandomWindow(rng, static_cast<std::int64_t>(i)));
+  }
+  return set;
+}
+
+template <typename Strategy>
+void BenchStrategyOffer(benchmark::State& state, Strategy* strategy) {
+  Rng rng(5);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy->Offer(RandomWindow(&rng, t++), 0.3));
+  }
+}
+
+void BM_SlidingWindowOffer(benchmark::State& state) {
+  strategies::SlidingWindow strategy(kTrain);
+  BenchStrategyOffer(state, &strategy);
+}
+BENCHMARK(BM_SlidingWindowOffer);
+
+void BM_UniformReservoirOffer(benchmark::State& state) {
+  strategies::UniformReservoir strategy(kTrain, 1);
+  BenchStrategyOffer(state, &strategy);
+}
+BENCHMARK(BM_UniformReservoirOffer);
+
+void BM_AnomalyAwareReservoirOffer(benchmark::State& state) {
+  strategies::AnomalyAwareReservoir strategy(kTrain, 1);
+  BenchStrategyOffer(state, &strategy);
+}
+BENCHMARK(BM_AnomalyAwareReservoirOffer);
+
+template <typename Detector>
+void BenchDriftStep(benchmark::State& state, Detector* detector) {
+  Rng rng(5);
+  strategies::SlidingWindow strategy(kTrain);
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < kTrain; ++i, ++t) {
+    const auto update = strategy.Offer(RandomWindow(&rng, t), 0.0);
+    detector->Observe(strategy.set(), update, t);
+  }
+  detector->OnFinetune(strategy.set(), t);
+  for (auto _ : state) {
+    const auto update = strategy.Offer(RandomWindow(&rng, t), 0.0);
+    detector->Observe(strategy.set(), update, t);
+    benchmark::DoNotOptimize(detector->ShouldFinetune(strategy.set(), t));
+    ++t;
+  }
+}
+
+void BM_MuSigmaStep(benchmark::State& state) {
+  strategies::MuSigmaChange detector;
+  BenchDriftStep(state, &detector);
+}
+BENCHMARK(BM_MuSigmaStep);
+
+void BM_KswinStep(benchmark::State& state) {
+  strategies::Kswin detector;
+  BenchDriftStep(state, &detector);
+}
+BENCHMARK(BM_KswinStep);
+
+void BM_TwoSampleKsTest(benchmark::State& state) {
+  Rng rng(7);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = rng.Gaussian(0.2);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::TwoSampleKsTest(a, b, 0.01));
+  }
+}
+BENCHMARK(BM_TwoSampleKsTest)->Arg(500)->Arg(2500)->Arg(10000);
+
+void BenchModelPredict(benchmark::State& state, core::ModelType type) {
+  Rng rng(13);
+  core::TrainingSet train = MakeTrainingSet(&rng);
+  core::DetectorParams params;
+  params.window = kWindow;
+  auto model = core::BuildModel(type, params, 77);
+  model->Fit(train);
+  const core::FeatureVector probe = RandomWindow(&rng, 1000);
+  if (model->kind() == core::Model::Kind::kScore) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(model->AnomalyScore(probe));
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(model->Predict(probe));
+    }
+  }
+}
+
+void BM_PredictArima(benchmark::State& state) {
+  BenchModelPredict(state, core::ModelType::kOnlineArima);
+}
+BENCHMARK(BM_PredictArima);
+
+void BM_PredictAe(benchmark::State& state) {
+  BenchModelPredict(state, core::ModelType::kTwoLayerAe);
+}
+BENCHMARK(BM_PredictAe);
+
+void BM_PredictUsad(benchmark::State& state) {
+  BenchModelPredict(state, core::ModelType::kUsad);
+}
+BENCHMARK(BM_PredictUsad);
+
+void BM_PredictNBeats(benchmark::State& state) {
+  BenchModelPredict(state, core::ModelType::kNBeats);
+}
+BENCHMARK(BM_PredictNBeats);
+
+void BM_ScorePcbIForest(benchmark::State& state) {
+  BenchModelPredict(state, core::ModelType::kPcbIForest);
+}
+BENCHMARK(BM_ScorePcbIForest);
+
+void BM_PredictVar(benchmark::State& state) {
+  BenchModelPredict(state, core::ModelType::kVar);
+}
+BENCHMARK(BM_PredictVar);
+
+void BM_AnomalyLikelihoodUpdate(benchmark::State& state) {
+  scoring::AnomalyLikelihood scorer(100, 10);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.Update(rng.Uniform()));
+  }
+}
+BENCHMARK(BM_AnomalyLikelihoodUpdate);
+
+void MakeScoredStream(std::size_t n, std::vector<double>* scores,
+                      std::vector<int>* labels) {
+  Rng rng(21);
+  scores->resize(n);
+  labels->assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool anomaly = (i / 200) % 10 == 9;
+    (*labels)[i] = anomaly ? 1 : 0;
+    (*scores)[i] = rng.Uniform(0.0, anomaly ? 1.0 : 0.6);
+  }
+}
+
+void BM_RangePrAuc(benchmark::State& state) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  MakeScoredStream(static_cast<std::size_t>(state.range(0)), &scores,
+                   &labels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::RangePrAuc(scores, labels));
+  }
+}
+BENCHMARK(BM_RangePrAuc)->Arg(5000)->Arg(20000);
+
+void BM_NabScore(benchmark::State& state) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  MakeScoredStream(static_cast<std::size_t>(state.range(0)), &scores,
+                   &labels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::NabScoreAt(scores, labels, 0.7));
+  }
+}
+BENCHMARK(BM_NabScore)->Arg(5000)->Arg(20000);
+
+void BM_Vus(benchmark::State& state) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  MakeScoredStream(static_cast<std::size_t>(state.range(0)), &scores,
+                   &labels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::VolumeUnderPrSurface(scores, labels));
+  }
+}
+BENCHMARK(BM_Vus)->Arg(5000)->Arg(20000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

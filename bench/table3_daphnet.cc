@@ -1,0 +1,14 @@
+// Table III reproduction, Daphnet-like corpus: all 26 algorithms x
+// {Prec, Rec, AUC, VUS, NAB}, averaged over the two anomaly scores, plus
+// the anomaly-score ablation rows. See bench/bench_common.h for the
+// environment knobs and EXPERIMENTS.md for paper-vs-measured discussion.
+
+#include "bench/bench_common.h"
+#include "src/data/daphnet_like.h"
+
+int main() {
+  using namespace streamad;
+  const data::Corpus corpus = data::MakeDaphnetLike(bench::BenchGenConfig());
+  bench::RunTable3(bench::Preprocessed(corpus));
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Table III reproduction, Exathlon-like corpus. See bench_common.h for
+// knobs and EXPERIMENTS.md for paper-vs-measured discussion.
+
+#include "bench/bench_common.h"
+#include "src/data/exathlon_like.h"
+
+int main() {
+  using namespace streamad;
+  const data::Corpus corpus = data::MakeExathlonLike(bench::BenchGenConfig());
+  bench::RunTable3(bench::Preprocessed(corpus));
+  return 0;
+}

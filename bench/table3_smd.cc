@@ -1,0 +1,12 @@
+// Table III reproduction, SMD-like corpus. See bench_common.h for knobs
+// and EXPERIMENTS.md for paper-vs-measured discussion.
+
+#include "bench/bench_common.h"
+#include "src/data/smd_like.h"
+
+int main() {
+  using namespace streamad;
+  const data::Corpus corpus = data::MakeSmdLike(bench::BenchGenConfig());
+  bench::RunTable3(bench::Preprocessed(corpus));
+  return 0;
+}

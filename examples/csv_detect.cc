@@ -1,0 +1,117 @@
+// csv_detect: run a streaming detector over a CSV time series — the entry
+// point for using the library on your own data (including the paper's real
+// corpora once exported to CSV; see README).
+//
+// Usage:
+//   csv_detect                      self-demo: generates a stream, saves it
+//                                   to CSV, then runs the full CSV pipeline
+//   csv_detect IN.csv               detect on IN.csv (channels..., label)
+//   csv_detect IN.csv OUT.csv       also write per-step scores to OUT.csv
+//
+// The detector is USAD / SW / mu-sigma with anomaly-likelihood scoring; the
+// stream is standardised on its training prefix. If the CSV carries labels
+// the five evaluation metrics are printed.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/core/algorithm_spec.h"
+#include "src/data/csv.h"
+#include "src/data/preprocess.h"
+#include "src/data/smd_like.h"
+#include "src/harness/experiment.h"
+#include "src/metrics/intervals.h"
+#include "src/metrics/pr_auc.h"
+
+namespace {
+
+using namespace streamad;
+
+std::string MakeDemoCsv() {
+  data::GeneratorConfig gen;
+  gen.length = 4000;
+  gen.normal_prefix = 1500;
+  gen.num_series = 1;
+  gen.num_anomalies = 4;
+  gen.seed = 19;
+  const data::Corpus corpus = data::MakeSmdLike(gen);
+  const std::string path = "/tmp/streamad_demo.csv";
+  if (!data::SaveCsv(corpus.series[0], path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("self-demo: wrote a 38-channel labelled stream to %s\n\n",
+              path.c_str());
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string input = argc > 1 ? argv[1] : MakeDemoCsv();
+  const std::string output = argc > 2 ? argv[2] : "";
+
+  auto loaded = data::LoadCsv(input);
+  if (!loaded.has_value()) {
+    std::fprintf(stderr, "failed to load %s\n", input.c_str());
+    return 1;
+  }
+  data::LabeledSeries series = std::move(*loaded);
+  std::printf("loaded %s: %zu steps, %zu channels, %zu labelled anomaly "
+              "points\n",
+              input.c_str(), series.length(), series.channels(),
+              series.AnomalyPointCount());
+
+  core::DetectorParams params;
+  params.window = 20;
+  params.train_capacity = 120;
+  params.initial_train_steps = series.length() / 3;
+  params.scorer_k = 50;
+  params.scorer_k_short = 5;
+
+  data::StandardizePerChannel(&series, params.initial_train_steps);
+
+  const core::AlgorithmSpec spec{core::ModelType::kUsad,
+                                 core::Task1::kSlidingWindow,
+                                 core::Task2::kMuSigma};
+  auto detector = core::BuildDetector(
+      spec, core::ScoreType::kAnomalyLikelihood, params, /*seed=*/1);
+  const harness::RunTrace trace =
+      harness::RunDetector(detector.get(), series);
+  std::printf("scored %zu steps, %zu fine-tunes\n", trace.scores.size(),
+              trace.finetune_steps.size());
+
+  if (!output.empty()) {
+    std::ofstream out(output);
+    out << "t,anomaly_score,nonconformity\n";
+    for (std::size_t i = 0; i < trace.scores.size(); ++i) {
+      out << trace.first_scored + i << ',' << trace.scores[i] << ','
+          << trace.nonconformities[i] << '\n';
+    }
+    std::printf("wrote per-step scores to %s\n", output.c_str());
+  }
+
+  if (series.AnomalyPointCount() > 0) {
+    const harness::MetricSummary m = harness::Evaluate(trace, series);
+    std::printf("\nmetrics:  Prec=%.2f  Rec=%.2f  AUC=%.2f  VUS=%.2f  "
+                "NAB=%.2f\n",
+                m.precision, m.recall, m.pr_auc, m.vus, m.nab);
+  }
+
+  const std::vector<int> labels = trace.AlignedLabels(series);
+  const metrics::BestOperatingPoint op =
+      metrics::BestF1OperatingPoint(trace.scores, labels);
+  std::printf("\nflagged intervals at threshold %.3f:\n", op.threshold);
+  int shown = 0;
+  for (const metrics::Interval& interval :
+       metrics::IntervalsFromScores(trace.scores, op.threshold)) {
+    std::printf("  [%zu, %zu)\n", trace.first_scored + interval.begin,
+                trace.first_scored + interval.end);
+    if (++shown == 20) {
+      std::printf("  ... (truncated)\n");
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Drift adaptation (the Figure-1 story): after a concept drift is detected
+// and the model fine-tuned, an artificial anomaly is scored by both the
+// fine-tuned model and its stale pre-drift twin. The fine-tuned model
+// separates the anomaly from the new normal much more clearly.
+
+#include <cstdio>
+
+#include "src/harness/finetune_fork.h"
+
+int main() {
+  using namespace streamad;
+
+  harness::FinetuneForkConfig config;  // USAD + SW + mu/sigma, gait stream
+  const harness::FinetuneForkResult result =
+      harness::RunFinetuneForkExperiment(config);
+
+  std::printf("concept drift starts at t=%zu\n", result.drift_start);
+  std::printf("fine-tune triggered at  t=%zu\n", result.finetune_step);
+  std::printf("artificial anomaly at   [%zu, %zu)\n\n", result.anomaly_begin,
+              result.anomaly_end);
+
+  std::printf("%-22s %-14s %-10s %-10s %-10s\n", "model", "pre-anomaly a",
+              "peak a", "gap", "gap/sigma");
+  std::printf("%-22s %-14.4f %-10.4f %-10.4f %-10.1f\n", "fine-tuned",
+              result.finetuned.pre_anomaly_mean, result.finetuned.peak,
+              result.finetuned.gap(), result.finetuned.normalized_gap());
+  std::printf("%-22s %-14.4f %-10.4f %-10.4f %-10.1f\n",
+              "stale (no fine-tune)", result.stale.pre_anomaly_mean,
+              result.stale.peak, result.stale.gap(),
+              result.stale.normalized_gap());
+
+  std::printf("\nfine-tuned gap/sigma %s stale -> %s\n",
+              result.finetuned_gap_larger() ? ">" : "<=",
+              result.finetuned_gap_larger()
+                  ? "fine-tuning after drift improves anomaly separation "
+                    "(paper Fig. 1 reproduced)"
+                  : "unexpected: see EXPERIMENTS.md");
+  return result.finetuned_gap_larger() ? 0 : 1;
+}

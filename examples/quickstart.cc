@@ -1,0 +1,73 @@
+// Quickstart: compose a streaming anomaly detector from the framework's
+// four components, run it over a synthetic multivariate stream and compare
+// the flagged intervals to the ground truth.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/algorithm_spec.h"
+#include "src/data/daphnet_like.h"
+#include "src/harness/experiment.h"
+#include "src/metrics/intervals.h"
+#include "src/metrics/pr_auc.h"
+
+int main() {
+  using namespace streamad;
+
+  // 1. A gait-like 9-channel stream: 6 labelled anomaly (freeze) episodes
+  //    and 2 concept drifts after an anomaly-free prefix.
+  data::GeneratorConfig gen;
+  gen.length = 6000;
+  gen.normal_prefix = 2000;
+  gen.num_series = 1;
+  gen.seed = 3;
+  const data::Corpus corpus = data::MakeDaphnetLike(gen);
+  const data::LabeledSeries& series = corpus.series[0];
+  std::printf("stream: %zu steps, %zu channels, %zu anomaly points\n",
+              series.length(), series.channels(),
+              series.AnomalyPointCount());
+
+  // 2. Pick a Table-I algorithm: a two-layer autoencoder with a sliding
+  //    window training set and the mu/sigma-change drift trigger, scored
+  //    with the anomaly likelihood.
+  core::AlgorithmSpec spec{core::ModelType::kTwoLayerAe,
+                           core::Task1::kSlidingWindow,
+                           core::Task2::kMuSigma};
+  core::DetectorParams params;
+  params.window = 25;
+  params.train_capacity = 200;
+  params.initial_train_steps = 1500;
+  params.scorer_k = 60;
+  params.scorer_k_short = 6;
+  auto detector = core::BuildDetector(
+      spec, core::ScoreType::kAnomalyLikelihood, params, /*seed=*/42);
+
+  // 3. Stream the series through the detector.
+  const harness::RunTrace trace =
+      harness::RunDetector(detector.get(), series);
+  std::printf("scored %zu steps (first at t=%zu), %zu fine-tunes\n",
+              trace.scores.size(), trace.first_scored,
+              trace.finetune_steps.size());
+
+  // 4. Evaluate: flag intervals at the best-F1 threshold.
+  const std::vector<int> labels = trace.AlignedLabels(series);
+  const metrics::BestOperatingPoint op =
+      metrics::BestF1OperatingPoint(trace.scores, labels);
+  std::printf("best operating point: threshold=%.3f  precision=%.2f  "
+              "recall=%.2f  F1=%.2f\n",
+              op.threshold, op.precision, op.recall, op.f1);
+
+  std::printf("\nflagged intervals (absolute steps):\n");
+  for (const metrics::Interval& interval :
+       metrics::IntervalsFromScores(trace.scores, op.threshold)) {
+    std::printf("  [%zu, %zu)\n", trace.first_scored + interval.begin,
+                trace.first_scored + interval.end);
+  }
+  std::printf("ground-truth intervals:\n");
+  for (const metrics::Interval& interval :
+       metrics::IntervalsFromLabels(series.labels)) {
+    std::printf("  [%zu, %zu)\n", interval.begin, interval.end);
+  }
+  return 0;
+}

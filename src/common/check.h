@@ -1,0 +1,46 @@
+#ifndef STREAMAD_COMMON_CHECK_H_
+#define STREAMAD_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Precondition / invariant checking for the streamad library.
+///
+/// The library does not use exceptions (see DESIGN.md). Violated
+/// preconditions are programming errors and abort the process with a
+/// source-located message, mirroring the CHECK idiom used across large C++
+/// database codebases.
+
+/// Aborts the process with a formatted message if `cond` is false.
+/// Always evaluated, also in release builds: the checks guard API contracts,
+/// not internal debugging assertions.
+#define STREAMAD_CHECK(cond)                                                \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "STREAMAD_CHECK failed at %s:%d: %s\n",          \
+                   __FILE__, __LINE__, #cond);                              \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+/// Like STREAMAD_CHECK but with an additional explanatory message.
+#define STREAMAD_CHECK_MSG(cond, msg)                                       \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "STREAMAD_CHECK failed at %s:%d: %s (%s)\n",     \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+/// Debug-only assertion for hot inner loops. Compiled out with NDEBUG.
+#ifdef NDEBUG
+#define STREAMAD_DCHECK(cond) \
+  do {                        \
+  } while (false)
+#else
+#define STREAMAD_DCHECK(cond) STREAMAD_CHECK(cond)
+#endif
+
+#endif  // STREAMAD_COMMON_CHECK_H_

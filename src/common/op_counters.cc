@@ -1,0 +1,59 @@
+#include "src/common/op_counters.h"
+
+#include <cmath>
+
+namespace streamad {
+
+namespace {
+
+std::uint64_t Log2Ceil(std::uint64_t x) {
+  std::uint64_t bits = 0;
+  std::uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits == 0 ? 1 : bits;
+}
+
+}  // namespace
+
+std::uint64_t Table2Formulas::MuSigmaAdditions(std::uint64_t n_channels,
+                                               std::uint64_t window) {
+  return 6 * n_channels * window;
+}
+
+std::uint64_t Table2Formulas::MuSigmaMultiplications(std::uint64_t n_channels,
+                                                     std::uint64_t window) {
+  return 2 * n_channels * window;
+}
+
+std::uint64_t Table2Formulas::MuSigmaComparisons(std::uint64_t n_channels,
+                                                 std::uint64_t window) {
+  return 3 * n_channels * window;
+}
+
+std::uint64_t Table2Formulas::KswinAdditions(std::uint64_t n_channels,
+                                             std::uint64_t train_size,
+                                             std::uint64_t window) {
+  return 2 * n_channels * train_size * window;
+}
+
+std::uint64_t Table2Formulas::KswinMultiplications(std::uint64_t n_channels,
+                                                   std::uint64_t train_size,
+                                                   std::uint64_t window) {
+  return 2 * n_channels * train_size * window;
+}
+
+std::uint64_t Table2Formulas::KswinComparisons(std::uint64_t n_channels,
+                                               std::uint64_t train_size,
+                                               std::uint64_t window) {
+  // (1 + 4m) * N * w * log2(m * w) + N, per Table II: binary-search insertion
+  // points for every element of both training sets against the concatenated
+  // array dominate.
+  return (1 + 4 * train_size) * n_channels * window *
+             Log2Ceil(train_size * window) +
+         n_channels;
+}
+
+}  // namespace streamad

@@ -1,0 +1,54 @@
+#ifndef STREAMAD_COMMON_OP_COUNTERS_H_
+#define STREAMAD_COMMON_OP_COUNTERS_H_
+
+#include <cstdint>
+
+namespace streamad {
+
+/// Instrumentation used to reproduce Table II of the paper: the number of
+/// mathematical operations a concept-drift detector performs at one time
+/// step, broken down into additions, multiplications and comparisons.
+///
+/// The drift detectors (`strategies::MuSigmaChange`, `strategies::Kswin`)
+/// increment these counters alongside each arithmetic operation they perform
+/// on training-set data when a non-null `OpCounters` is attached. The
+/// counters are plain tallies — attaching them does not change behaviour.
+struct OpCounters {
+  std::uint64_t additions = 0;
+  std::uint64_t multiplications = 0;
+  std::uint64_t comparisons = 0;
+
+  /// Resets all tallies to zero.
+  void Reset() { additions = multiplications = comparisons = 0; }
+
+  /// Sum of all tallies; convenient for coarse comparisons.
+  std::uint64_t Total() const {
+    return additions + multiplications + comparisons;
+  }
+};
+
+/// Formulas from Table II of the paper, evaluated for concrete parameters.
+/// `n_channels` is N, `train_size` is m and `window` is w in the paper's
+/// notation. These are the *predicted* counts our measured tallies are
+/// compared against in `bench/table2_drift_ops`.
+struct Table2Formulas {
+  static std::uint64_t MuSigmaAdditions(std::uint64_t n_channels,
+                                        std::uint64_t window);
+  static std::uint64_t MuSigmaMultiplications(std::uint64_t n_channels,
+                                              std::uint64_t window);
+  static std::uint64_t MuSigmaComparisons(std::uint64_t n_channels,
+                                          std::uint64_t window);
+  static std::uint64_t KswinAdditions(std::uint64_t n_channels,
+                                      std::uint64_t train_size,
+                                      std::uint64_t window);
+  static std::uint64_t KswinMultiplications(std::uint64_t n_channels,
+                                            std::uint64_t train_size,
+                                            std::uint64_t window);
+  static std::uint64_t KswinComparisons(std::uint64_t n_channels,
+                                        std::uint64_t train_size,
+                                        std::uint64_t window);
+};
+
+}  // namespace streamad
+
+#endif  // STREAMAD_COMMON_OP_COUNTERS_H_

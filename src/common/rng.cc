@@ -1,0 +1,48 @@
+#include "src/common/rng.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace streamad {
+
+double Rng::Uniform(double lo, double hi) {
+  STREAMAD_DCHECK(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  STREAMAD_DCHECK(stddev >= 0.0);
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  STREAMAD_DCHECK(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::string Rng::SerializeState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+bool Rng::DeserializeState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (!in) return false;
+  engine_ = restored;
+  return true;
+}
+
+bool Rng::Bernoulli(double p) {
+  STREAMAD_DCHECK(p >= 0.0 && p <= 1.0);
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+}  // namespace streamad

@@ -1,0 +1,51 @@
+#ifndef STREAMAD_COMMON_RNG_H_
+#define STREAMAD_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace streamad {
+
+/// Deterministic random number generator used throughout the library.
+///
+/// All stochastic components (reservoir sampling, anomaly-aware priorities,
+/// isolation-forest splits, neural-network weight initialisation, synthetic
+/// data generators) draw from an explicitly seeded `Rng` so that every
+/// experiment in the repository is reproducible bit-for-bit.
+class Rng {
+ public:
+  /// Creates a generator with the given seed. The same seed always produces
+  /// the same stream of values.
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Standard normal draw scaled to `mean` / `stddev`.
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw with success probability `p`.
+  bool Bernoulli(double p);
+
+  /// Access to the underlying engine for std:: distributions and shuffles.
+  std::mt19937_64& engine() { return engine_; }
+
+  /// Serialises the engine state (checkpointing): restoring it resumes
+  /// the random stream exactly where it stopped.
+  std::string SerializeState() const;
+
+  /// Restores a state produced by `SerializeState`. Returns false on
+  /// malformed input (the engine is left unchanged).
+  bool DeserializeState(const std::string& state);
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace streamad
+
+#endif  // STREAMAD_COMMON_RNG_H_

@@ -1,0 +1,197 @@
+#include "src/core/algorithm_spec.h"
+
+#include "src/common/check.h"
+#include "src/scoring/anomaly_likelihood.h"
+#include "src/scoring/average_score.h"
+#include "src/scoring/cosine_nonconformity.h"
+#include "src/scoring/iforest_nonconformity.h"
+#include "src/scoring/raw_score.h"
+#include "src/strategies/adwin.h"
+#include "src/strategies/anomaly_aware_reservoir.h"
+#include "src/strategies/mu_sigma_change.h"
+#include "src/strategies/regular_interval.h"
+#include "src/strategies/sliding_window.h"
+#include "src/strategies/uniform_reservoir.h"
+
+namespace streamad::core {
+
+const char* ToString(ModelType model) {
+  switch (model) {
+    case ModelType::kOnlineArima: return "Online-ARIMA";
+    case ModelType::kTwoLayerAe: return "2-layer-AE";
+    case ModelType::kUsad: return "USAD";
+    case ModelType::kNBeats: return "N-BEATS";
+    case ModelType::kPcbIForest: return "PCB-iForest";
+    case ModelType::kVar: return "VAR";
+    case ModelType::kNearestNeighbor: return "kNN-conformal";
+  }
+  return "?";
+}
+
+const char* ToString(Task1 task1) {
+  switch (task1) {
+    case Task1::kSlidingWindow: return "SW";
+    case Task1::kUniformReservoir: return "URES";
+    case Task1::kAnomalyAwareReservoir: return "ARES";
+  }
+  return "?";
+}
+
+const char* ToString(Task2 task2) {
+  switch (task2) {
+    case Task2::kRegular: return "regular";
+    case Task2::kMuSigma: return "mu-sigma";
+    case Task2::kKswin: return "KSWIN";
+    case Task2::kAdwin: return "ADWIN";
+  }
+  return "?";
+}
+
+const char* ToString(ScoreType score) {
+  switch (score) {
+    case ScoreType::kRaw: return "raw";
+    case ScoreType::kAverage: return "average";
+    case ScoreType::kAnomalyLikelihood: return "anomaly-likelihood";
+  }
+  return "?";
+}
+
+std::string SpecLabel(const AlgorithmSpec& spec) {
+  std::string label = ToString(spec.model);
+  label += '/';
+  label += ToString(spec.task1);
+  label += '/';
+  label += ToString(spec.task2);
+  return label;
+}
+
+std::vector<AlgorithmSpec> AllPaperAlgorithms() {
+  std::vector<AlgorithmSpec> specs;
+  const Task1 all_task1[] = {Task1::kSlidingWindow, Task1::kUniformReservoir,
+                             Task1::kAnomalyAwareReservoir};
+  const Task2 all_task2[] = {Task2::kMuSigma, Task2::kKswin};
+  // Table I rows: the four prediction models run 3 x 2 combinations each...
+  for (ModelType model : {ModelType::kOnlineArima, ModelType::kTwoLayerAe,
+                          ModelType::kUsad, ModelType::kNBeats}) {
+    for (Task1 task1 : all_task1) {
+      for (Task2 task2 : all_task2) {
+        specs.push_back({model, task1, task2});
+      }
+    }
+  }
+  // ... and PCB-iForest pairs KSWIN (its native drift detector) with the
+  // sliding window and the anomaly-aware reservoir only.
+  specs.push_back(
+      {ModelType::kPcbIForest, Task1::kSlidingWindow, Task2::kKswin});
+  specs.push_back({ModelType::kPcbIForest, Task1::kAnomalyAwareReservoir,
+                   Task2::kKswin});
+  return specs;  // 4*6 + 2 = 26
+}
+
+std::unique_ptr<Model> BuildModel(ModelType model,
+                                  const DetectorParams& params,
+                                  std::uint64_t seed) {
+  switch (model) {
+    case ModelType::kOnlineArima: {
+      models::OnlineArima::Params p = params.arima;
+      if (p.lag_order == 0) {
+        STREAMAD_CHECK_MSG(params.window > p.diff_order + 1,
+                           "window too short for ARIMA");
+        p.lag_order = params.window - p.diff_order - 1;
+      }
+      return std::make_unique<models::OnlineArima>(p);
+    }
+    case ModelType::kTwoLayerAe:
+      return std::make_unique<models::Autoencoder>(params.ae, seed);
+    case ModelType::kUsad:
+      return std::make_unique<models::Usad>(params.usad, seed);
+    case ModelType::kNBeats:
+      return std::make_unique<models::NBeats>(params.nbeats, seed);
+    case ModelType::kPcbIForest:
+      return std::make_unique<models::PcbIForest>(params.pcb, seed);
+    case ModelType::kVar:
+      return std::make_unique<models::VarModel>(params.var);
+    case ModelType::kNearestNeighbor:
+      return std::make_unique<models::KnnModel>(params.knn);
+  }
+  STREAMAD_CHECK_MSG(false, "unknown model type");
+  return nullptr;
+}
+
+std::unique_ptr<StreamingDetector> BuildDetector(const AlgorithmSpec& spec,
+                                                 ScoreType score,
+                                                 const DetectorParams& params,
+                                                 std::uint64_t seed) {
+  // Decorrelated per-component seeds derived from the master seed.
+  const std::uint64_t strategy_seed = seed * 0x9E3779B97F4A7C15ULL + 1;
+  const std::uint64_t model_seed = seed * 0x9E3779B97F4A7C15ULL + 2;
+
+  std::unique_ptr<TrainingSetStrategy> strategy;
+  switch (spec.task1) {
+    case Task1::kSlidingWindow:
+      strategy =
+          std::make_unique<strategies::SlidingWindow>(params.train_capacity);
+      break;
+    case Task1::kUniformReservoir:
+      strategy = std::make_unique<strategies::UniformReservoir>(
+          params.train_capacity, strategy_seed);
+      break;
+    case Task1::kAnomalyAwareReservoir:
+      strategy = std::make_unique<strategies::AnomalyAwareReservoir>(
+          params.train_capacity, strategy_seed);
+      break;
+  }
+
+  std::unique_ptr<DriftDetector> drift;
+  switch (spec.task2) {
+    case Task2::kRegular: {
+      const std::int64_t interval =
+          params.regular_interval > 0
+              ? params.regular_interval
+              : static_cast<std::int64_t>(params.train_capacity);
+      drift = std::make_unique<strategies::RegularInterval>(interval);
+      break;
+    }
+    case Task2::kMuSigma:
+      drift = std::make_unique<strategies::MuSigmaChange>();
+      break;
+    case Task2::kKswin:
+      drift = std::make_unique<strategies::Kswin>(params.kswin);
+      break;
+    case Task2::kAdwin:
+      drift = std::make_unique<strategies::Adwin>();
+      break;
+  }
+
+  std::unique_ptr<Model> model = BuildModel(spec.model, params, model_seed);
+
+  std::unique_ptr<NonconformityMeasure> nonconformity;
+  if (model->kind() == Model::Kind::kScore) {
+    nonconformity = std::make_unique<scoring::IForestNonconformity>();
+  } else {
+    nonconformity = std::make_unique<scoring::CosineNonconformity>();
+  }
+
+  std::unique_ptr<AnomalyScorer> scorer;
+  switch (score) {
+    case ScoreType::kRaw:
+      scorer = std::make_unique<scoring::RawScore>();
+      break;
+    case ScoreType::kAverage:
+      scorer = std::make_unique<scoring::AverageScore>(params.scorer_k);
+      break;
+    case ScoreType::kAnomalyLikelihood:
+      scorer = std::make_unique<scoring::AnomalyLikelihood>(
+          params.scorer_k, params.scorer_k_short);
+      break;
+  }
+
+  StreamingDetector::Options options;
+  options.window = params.window;
+  options.initial_train_steps = params.initial_train_steps;
+  return std::make_unique<StreamingDetector>(
+      options, std::move(strategy), std::move(drift), std::move(model),
+      std::move(nonconformity), std::move(scorer));
+}
+
+}  // namespace streamad::core

@@ -1,0 +1,191 @@
+#include "src/core/detector.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace streamad::core {
+
+double Model::AnomalyScore(const FeatureVector& /*x*/) {
+  STREAMAD_CHECK_MSG(false, "AnomalyScore called on a prediction model");
+  return 0.0;
+}
+
+bool Model::SaveState(std::ostream* /*out*/) const { return false; }
+
+bool Model::LoadState(std::istream* /*in*/) { return false; }
+
+WindowRepresentation::WindowRepresentation(std::size_t window)
+    : window_(window) {
+  STREAMAD_CHECK_MSG(window > 0, "window must be positive");
+}
+
+void WindowRepresentation::Observe(const StreamVector& s) {
+  STREAMAD_CHECK_MSG(!s.empty(), "empty stream vector");
+  if (channels_ == 0) {
+    channels_ = s.size();
+  } else {
+    STREAMAD_CHECK_MSG(s.size() == channels_, "channel count changed");
+  }
+  buffer_.push_back(s);
+  if (buffer_.size() > window_) buffer_.pop_front();
+}
+
+FeatureVector WindowRepresentation::Current(std::int64_t t) const {
+  STREAMAD_CHECK_MSG(Ready(), "window not yet full");
+  FeatureVector fv;
+  fv.window = linalg::Matrix(window_, channels_);
+  for (std::size_t r = 0; r < window_; ++r) {
+    fv.window.SetRow(r, buffer_[r]);
+  }
+  fv.t = t;
+  return fv;
+}
+
+StreamingDetector::StreamingDetector(
+    const Options& options, std::unique_ptr<TrainingSetStrategy> strategy,
+    std::unique_ptr<DriftDetector> drift, std::unique_ptr<Model> model,
+    std::unique_ptr<NonconformityMeasure> nonconformity,
+    std::unique_ptr<AnomalyScorer> scorer)
+    : options_(options),
+      representation_(options.window),
+      strategy_(std::move(strategy)),
+      drift_(std::move(drift)),
+      model_(std::move(model)),
+      nonconformity_(std::move(nonconformity)),
+      scorer_(std::move(scorer)) {
+  STREAMAD_CHECK(strategy_ != nullptr);
+  STREAMAD_CHECK(drift_ != nullptr);
+  STREAMAD_CHECK(model_ != nullptr);
+  STREAMAD_CHECK(nonconformity_ != nullptr);
+  STREAMAD_CHECK(scorer_ != nullptr);
+  STREAMAD_CHECK_MSG(options_.initial_train_steps > 0,
+                     "initial training phase must be non-empty");
+}
+
+void WindowRepresentation::Save(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
+  writer->WriteU64(window_);
+  writer->WriteU64(channels_);
+  writer->WriteU64(buffer_.size());
+  for (const StreamVector& s : buffer_) writer->WriteDoubleVec(s);
+}
+
+bool WindowRepresentation::Load(io::BinaryReader* reader) {
+  STREAMAD_CHECK(reader != nullptr);
+  std::uint64_t window = 0;
+  std::uint64_t channels = 0;
+  std::uint64_t size = 0;
+  if (!reader->ReadU64(&window) || !reader->ReadU64(&channels) ||
+      !reader->ReadU64(&size) || window != window_ || size > window) {
+    return false;
+  }
+  std::deque<StreamVector> buffer;
+  for (std::uint64_t i = 0; i < size; ++i) {
+    StreamVector s;
+    if (!reader->ReadDoubleVec(&s) || s.size() != channels) return false;
+    buffer.push_back(std::move(s));
+  }
+  channels_ = channels;
+  buffer_ = std::move(buffer);
+  return true;
+}
+
+bool StreamingDetector::SaveState(std::ostream* out) const {
+  STREAMAD_CHECK(out != nullptr);
+  io::BinaryWriter writer(out);
+  writer.WriteString("streamad.detector.v1");
+  writer.WriteU64(options_.window);
+  writer.WriteU64(options_.initial_train_steps);
+  writer.WriteU64(options_.finetuning_enabled ? 1 : 0);
+  writer.WriteI64(t_);
+  writer.WriteI64(scorable_steps_);
+  writer.WriteU64(trained_ ? 1 : 0);
+  writer.WriteI64(finetune_count_);
+  representation_.Save(&writer);
+  if (!strategy_->SaveState(&writer)) return false;
+  if (!drift_->SaveState(&writer)) return false;
+  if (!scorer_->SaveState(&writer)) return false;
+  if (!writer.ok()) return false;
+  // The model exists meaningfully only after the initial fit; LoadState
+  // mirrors this condition.
+  return trained_ ? model_->SaveState(out) : true;
+}
+
+bool StreamingDetector::LoadState(std::istream* in) {
+  STREAMAD_CHECK(in != nullptr);
+  io::BinaryReader reader(in);
+  std::uint64_t window = 0;
+  std::uint64_t initial = 0;
+  std::uint64_t finetuning = 0;
+  std::int64_t t = 0;
+  std::int64_t scorable = 0;
+  std::uint64_t trained = 0;
+  std::int64_t finetunes = 0;
+  if (!reader.ExpectString("streamad.detector.v1") ||
+      !reader.ReadU64(&window) || !reader.ReadU64(&initial) ||
+      !reader.ReadU64(&finetuning) || !reader.ReadI64(&t) ||
+      !reader.ReadI64(&scorable) || !reader.ReadU64(&trained) ||
+      !reader.ReadI64(&finetunes)) {
+    return false;
+  }
+  if (window != options_.window ||
+      initial != options_.initial_train_steps) {
+    return false;  // checkpoint from a differently configured detector
+  }
+  if (!representation_.Load(&reader)) return false;
+  if (!strategy_->LoadState(&reader)) return false;
+  if (!drift_->LoadState(&reader)) return false;
+  if (!scorer_->LoadState(&reader)) return false;
+  if (trained != 0 && !model_->LoadState(in)) return false;
+  options_.finetuning_enabled = finetuning != 0;
+  t_ = t;
+  scorable_steps_ = scorable;
+  trained_ = trained != 0;
+  finetune_count_ = finetunes;
+  return true;
+}
+
+StreamingDetector::StepResult StreamingDetector::Step(const StreamVector& s) {
+  ++t_;
+  representation_.Observe(s);
+  StepResult result;
+  if (!representation_.Ready()) return result;  // warm-up
+
+  const FeatureVector x = representation_.Current(t_);
+  ++scorable_steps_;
+
+  if (!trained_) {
+    // Initial phase: accumulate the training set, then fit once.
+    const TrainingSetUpdate update = strategy_->Offer(x, /*anomaly_score=*/0.0);
+    drift_->Observe(strategy_->set(), update, t_);
+    if (scorable_steps_ >=
+            static_cast<std::int64_t>(options_.initial_train_steps) &&
+        !strategy_->set().empty()) {
+      model_->Fit(strategy_->set());
+      drift_->OnFinetune(strategy_->set(), t_);
+      scorer_->Reset();
+      trained_ = true;
+    }
+    return result;
+  }
+
+  // Streaming phase: score, update the training set, maybe fine-tune.
+  result.scored = true;
+  result.nonconformity = nonconformity_->Score(x, model_.get());
+  result.anomaly_score = scorer_->Update(result.nonconformity);
+
+  const TrainingSetUpdate update = strategy_->Offer(x, result.anomaly_score);
+  drift_->Observe(strategy_->set(), update, t_);
+
+  if (options_.finetuning_enabled &&
+      drift_->ShouldFinetune(strategy_->set(), t_)) {
+    model_->Finetune(strategy_->set());
+    drift_->OnFinetune(strategy_->set(), t_);
+    ++finetune_count_;
+    result.finetuned = true;
+  }
+  return result;
+}
+
+}  // namespace streamad::core

@@ -1,0 +1,142 @@
+#ifndef STREAMAD_CORE_DETECTOR_H_
+#define STREAMAD_CORE_DETECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "src/core/component_interfaces.h"
+#include "src/core/training_set.h"
+#include "src/core/types.h"
+
+namespace streamad::core {
+
+/// The single data representation of the paper (§IV-A): the raw window of
+/// the last `w` stream vectors, `x_t = [s_{t-w+1}, ..., s_t]ᵀ`.
+class WindowRepresentation {
+ public:
+  /// Window length `w`; fixed for the lifetime of the representation.
+  explicit WindowRepresentation(std::size_t window);
+
+  std::size_t window() const { return window_; }
+
+  /// Feeds the next stream vector. The channel count is pinned by the first
+  /// observation.
+  void Observe(const StreamVector& s);
+
+  /// True once `w` observations have been seen.
+  bool Ready() const { return buffer_.size() == window_; }
+
+  /// Materialises the current feature vector (requires `Ready()`).
+  /// `t` is the stream step of the newest observation.
+  FeatureVector Current(std::int64_t t) const;
+
+  /// Checkpointing (io/binary_io.h): the ring buffer of recent stream
+  /// vectors. `Load` requires the archived window length to match.
+  void Save(io::BinaryWriter* writer) const;
+  bool Load(io::BinaryReader* reader);
+
+ private:
+  std::size_t window_;
+  std::size_t channels_ = 0;
+  std::deque<StreamVector> buffer_;
+};
+
+/// The composed streaming anomaly detection algorithm — one cell of the
+/// paper's Table I: a data representation, a Task-1 strategy, a Task-2
+/// drift detector, an ML model, a nonconformity measure and an anomaly
+/// scoring function, run as a single per-step pipeline.
+///
+/// Lifecycle per stream vector:
+///   1. warm-up until the window representation is full;
+///   2. *initial phase* (first `initial_train_steps` scored-capable steps):
+///      feature vectors are accumulated into the training set; no scores
+///      are produced. At the end of the phase the model is `Fit`;
+///   3. *streaming phase*: nonconformity `a_t` and anomaly score `f_t` are
+///      produced, the training set is offered `x_t` with `f_t`, and the
+///      drift detector may trigger a one-epoch fine-tune.
+class StreamingDetector {
+ public:
+  struct Options {
+    /// Data representation length `w` (paper default 100).
+    std::size_t window = 100;
+    /// Number of initial steps used to build the training set and fit the
+    /// model before any score is emitted (paper default 5000).
+    std::size_t initial_train_steps = 5000;
+    /// Master switch for Task-2 fine-tuning. The Figure-1 experiment runs a
+    /// twin detector with this disabled to obtain the "previous model".
+    bool finetuning_enabled = true;
+  };
+
+  /// Outcome of one `Step`.
+  struct StepResult {
+    /// False during warm-up and the initial training phase.
+    bool scored = false;
+    /// Nonconformity `a_t` (valid when `scored`).
+    double nonconformity = 0.0;
+    /// Final anomaly score `f_t` (valid when `scored`).
+    double anomaly_score = 0.0;
+    /// True when this step triggered a fine-tune.
+    bool finetuned = false;
+  };
+
+  StreamingDetector(const Options& options,
+                    std::unique_ptr<TrainingSetStrategy> strategy,
+                    std::unique_ptr<DriftDetector> drift,
+                    std::unique_ptr<Model> model,
+                    std::unique_ptr<NonconformityMeasure> nonconformity,
+                    std::unique_ptr<AnomalyScorer> scorer);
+
+  /// Processes the next stream vector.
+  StepResult Step(const StreamVector& s);
+
+  /// Current stream step (number of `Step` calls so far).
+  std::int64_t t() const { return t_; }
+
+  /// Number of fine-tunes triggered so far.
+  std::int64_t finetune_count() const { return finetune_count_; }
+
+  /// True once the initial model fit has happened.
+  bool trained() const { return trained_; }
+
+  /// Toggles fine-tuning at runtime (Figure-1 fork experiment).
+  void set_finetuning_enabled(bool enabled) {
+    options_.finetuning_enabled = enabled;
+  }
+
+  const TrainingSetStrategy& strategy() const { return *strategy_; }
+  const DriftDetector& drift_detector() const { return *drift_; }
+  Model& model() { return *model_; }
+
+  /// Checkpoints the ENTIRE detector — window buffer, training set with
+  /// its strategy cursors and RNG, drift-detector reference statistics,
+  /// anomaly-score window, model parameters and step counters. A detector
+  /// restored from the checkpoint continues the stream bit-identically,
+  /// including every future stochastic decision (the strategy RNG state
+  /// travels with the archive). Returns false if any composed component
+  /// does not support checkpointing or on I/O failure.
+  bool SaveState(std::ostream* out) const;
+
+  /// Restores a checkpoint produced by `SaveState` into a detector built
+  /// with the same components and options. Returns false on mismatch or
+  /// malformed input; the detector must not be used after a failed load.
+  bool LoadState(std::istream* in);
+
+ private:
+  Options options_;
+  WindowRepresentation representation_;
+  std::unique_ptr<TrainingSetStrategy> strategy_;
+  std::unique_ptr<DriftDetector> drift_;
+  std::unique_ptr<Model> model_;
+  std::unique_ptr<NonconformityMeasure> nonconformity_;
+  std::unique_ptr<AnomalyScorer> scorer_;
+
+  std::int64_t t_ = -1;
+  std::int64_t scorable_steps_ = 0;  // steps with a full window so far
+  bool trained_ = false;
+  std::int64_t finetune_count_ = 0;
+};
+
+}  // namespace streamad::core
+
+#endif  // STREAMAD_CORE_DETECTOR_H_

@@ -1,0 +1,105 @@
+#include "src/core/training_set.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace streamad::core {
+
+TrainingSet::TrainingSet(std::size_t capacity) : capacity_(capacity) {
+  STREAMAD_CHECK_MSG(capacity > 0, "training set capacity must be positive");
+  entries_.reserve(capacity);
+}
+
+const FeatureVector& TrainingSet::at(std::size_t i) const {
+  STREAMAD_CHECK(i < entries_.size());
+  return entries_[i];
+}
+
+void TrainingSet::Add(FeatureVector x) {
+  STREAMAD_CHECK_MSG(!full(), "Add to full TrainingSet");
+  entries_.push_back(std::move(x));
+}
+
+FeatureVector TrainingSet::ReplaceAt(std::size_t i, FeatureVector x) {
+  STREAMAD_CHECK(i < entries_.size());
+  FeatureVector evicted = std::move(entries_[i]);
+  entries_[i] = std::move(x);
+  return evicted;
+}
+
+FeatureVector TrainingSet::RemoveAt(std::size_t i) {
+  STREAMAD_CHECK(i < entries_.size());
+  FeatureVector removed = std::move(entries_[i]);
+  entries_[i] = std::move(entries_.back());
+  entries_.pop_back();
+  return removed;
+}
+
+void TrainingSet::Clear() { entries_.clear(); }
+
+std::vector<double> TrainingSet::PooledChannel(std::size_t channel) const {
+  std::vector<double> pooled;
+  if (entries_.empty()) return pooled;
+  const std::size_t w = entries_[0].w();
+  pooled.reserve(entries_.size() * w);
+  for (const FeatureVector& fv : entries_) {
+    STREAMAD_CHECK(channel < fv.channels());
+    for (std::size_t r = 0; r < fv.w(); ++r) {
+      pooled.push_back(fv.window(r, channel));
+    }
+  }
+  return pooled;
+}
+
+linalg::Matrix TrainingSet::StackedFlat() const {
+  STREAMAD_CHECK(!entries_.empty());
+  const std::size_t flat = entries_[0].window.size();
+  linalg::Matrix out(entries_.size(), flat);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    STREAMAD_CHECK(entries_[i].window.size() == flat);
+    for (std::size_t j = 0; j < flat; ++j) {
+      out(i, j) = entries_[i].window.at_flat(j);
+    }
+  }
+  return out;
+}
+
+linalg::Matrix TrainingSet::StackedLastRows() const {
+  STREAMAD_CHECK(!entries_.empty());
+  const std::size_t n = entries_[0].channels();
+  linalg::Matrix out(entries_.size(), n);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto row = entries_[i].LastRow();
+    out.SetRow(i, row);
+  }
+  return out;
+}
+
+void TrainingSet::Save(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
+  writer->WriteU64(capacity_);
+  writer->WriteU64(entries_.size());
+  for (const FeatureVector& fv : entries_) {
+    writer->WriteMatrix(fv.window);
+    writer->WriteI64(fv.t);
+  }
+}
+
+bool TrainingSet::Load(io::BinaryReader* reader) {
+  STREAMAD_CHECK(reader != nullptr);
+  std::uint64_t capacity = 0;
+  std::uint64_t size = 0;
+  if (!reader->ReadU64(&capacity) || !reader->ReadU64(&size)) return false;
+  if (capacity != capacity_ || size > capacity) return false;
+  std::vector<FeatureVector> entries(size);
+  for (FeatureVector& fv : entries) {
+    if (!reader->ReadMatrix(&fv.window) || !reader->ReadI64(&fv.t)) {
+      return false;
+    }
+  }
+  entries_ = std::move(entries);
+  return true;
+}
+
+}  // namespace streamad::core

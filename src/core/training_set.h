@@ -1,0 +1,68 @@
+#ifndef STREAMAD_CORE_TRAINING_SET_H_
+#define STREAMAD_CORE_TRAINING_SET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/io/binary_io.h"
+
+namespace streamad::core {
+
+/// The training set `R_train` of feature vectors — the part of the reference
+/// parameters `θ = {θ_model, R_train}` that the Task-1 learning strategies
+/// maintain (paper §IV-B). Capacity-bounded; the strategies decide which
+/// element is evicted.
+class TrainingSet {
+ public:
+  /// Creates a set with the given maximum number of feature vectors (the
+  /// paper's `m`).
+  explicit TrainingSet(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  bool full() const { return entries_.size() == capacity_; }
+
+  const FeatureVector& at(std::size_t i) const;
+  const std::vector<FeatureVector>& entries() const { return entries_; }
+
+  /// Appends a feature vector; requires `!full()`.
+  void Add(FeatureVector x);
+
+  /// Replaces the element at `i`, returning the evicted value.
+  FeatureVector ReplaceAt(std::size_t i, FeatureVector x);
+
+  /// Removes the element at `i` (swap-with-last), returning it.
+  FeatureVector RemoveAt(std::size_t i);
+
+  /// Drops all entries, keeping the capacity.
+  void Clear();
+
+  /// Pools every window value of channel `channel` over all entries into a
+  /// single flat sample of size `size() * w` — the per-channel ECDF input of
+  /// the KSWIN drift detector.
+  std::vector<double> PooledChannel(std::size_t channel) const;
+
+  /// Flattens each entry's window into one long vector and stacks them as
+  /// rows: a `size() x (w*N)` matrix. Training input for the reshaping
+  /// models (AE, USAD).
+  linalg::Matrix StackedFlat() const;
+
+  /// The newest stream vector of every entry stacked as rows:
+  /// a `size() x N` matrix of points. Training input for PCB-iForest.
+  linalg::Matrix StackedLastRows() const;
+
+  /// Checkpointing (io/binary_io.h). `Load` requires the archived capacity
+  /// to match this set's capacity and replaces the entries.
+  void Save(io::BinaryWriter* writer) const;
+  bool Load(io::BinaryReader* reader);
+
+ private:
+  std::size_t capacity_;
+  std::vector<FeatureVector> entries_;
+};
+
+}  // namespace streamad::core
+
+#endif  // STREAMAD_CORE_TRAINING_SET_H_

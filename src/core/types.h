@@ -1,0 +1,33 @@
+#ifndef STREAMAD_CORE_TYPES_H_
+#define STREAMAD_CORE_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace streamad::core {
+
+/// One multivariate stream observation `s_t ∈ R^N` (paper Def. III.1).
+using StreamVector = std::vector<double>;
+
+/// The feature vector `x_t = [s_{t-w+1}, ..., s_t]ᵀ ∈ R^{w x N}`
+/// produced by the (single) data representation of the paper (§IV-A):
+/// the raw window of the last `w` stream vectors, newest row last.
+///
+/// `t` records which stream step produced the window; the anomaly-aware
+/// reservoir and the VAR model use it for bookkeeping.
+struct FeatureVector {
+  linalg::Matrix window;  // w rows x N channels, row w-1 is s_t
+  std::int64_t t = -1;
+
+  std::size_t w() const { return window.rows(); }
+  std::size_t channels() const { return window.cols(); }
+
+  /// The newest stream vector `s_t` (last row of the window).
+  std::vector<double> LastRow() const { return window.Row(window.rows() - 1); }
+};
+
+}  // namespace streamad::core
+
+#endif  // STREAMAD_CORE_TYPES_H_

@@ -1,0 +1,88 @@
+#include "src/data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace streamad::data {
+
+namespace {
+
+bool ParseRow(const std::string& line, std::vector<double>* out) {
+  out->clear();
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str()) return false;  // not a number
+    out->push_back(v);
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+std::optional<LabeledSeries> LoadCsv(const std::string& path,
+                                     bool has_label_column,
+                                     bool skip_header) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first && skip_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    std::vector<double> row;
+    if (!ParseRow(line, &row)) return std::nullopt;
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      return std::nullopt;  // ragged file
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return std::nullopt;
+
+  const std::size_t total_cols = rows.front().size();
+  const std::size_t channels = has_label_column ? total_cols - 1 : total_cols;
+  if (channels == 0) return std::nullopt;
+
+  LabeledSeries series;
+  series.name = path;
+  series.values = linalg::Matrix(rows.size(), channels);
+  series.labels.assign(rows.size(), 0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      series.values(r, c) = rows[r][c];
+    }
+    if (has_label_column) {
+      series.labels[r] = rows[r][channels] != 0.0 ? 1 : 0;
+    }
+  }
+  series.Validate();
+  return series;
+}
+
+bool SaveCsv(const LabeledSeries& series, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (std::size_t c = 0; c < series.channels(); ++c) {
+    out << "ch" << c << ',';
+  }
+  out << "label\n";
+  for (std::size_t t = 0; t < series.length(); ++t) {
+    for (std::size_t c = 0; c < series.channels(); ++c) {
+      out << series.values(t, c) << ',';
+    }
+    out << series.labels[t] << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace streamad::data

@@ -1,0 +1,31 @@
+#ifndef STREAMAD_DATA_CSV_H_
+#define STREAMAD_DATA_CSV_H_
+
+#include <optional>
+#include <string>
+
+#include "src/data/series.h"
+
+namespace streamad::data {
+
+/// Loads a labelled series from a CSV file so the harness can run on the
+/// real benchmark corpora when they are available (see DESIGN.md §2).
+///
+/// Format: one row per time step; all columns are channel values except an
+/// optional last column named `label` (when `has_label_column` is true, the
+/// last column is parsed as the 0/1 anomaly label). An optional single
+/// header line is skipped when `skip_header` is true.
+///
+/// Returns std::nullopt when the file cannot be opened or a row fails to
+/// parse; the library does not throw.
+std::optional<LabeledSeries> LoadCsv(const std::string& path,
+                                     bool has_label_column = true,
+                                     bool skip_header = true);
+
+/// Writes a labelled series to CSV (channel columns then a `label`
+/// column), the inverse of `LoadCsv`. Returns false on I/O failure.
+bool SaveCsv(const LabeledSeries& series, const std::string& path);
+
+}  // namespace streamad::data
+
+#endif  // STREAMAD_DATA_CSV_H_

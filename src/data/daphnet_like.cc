@@ -1,0 +1,152 @@
+#include "src/data/daphnet_like.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace streamad::data {
+
+namespace {
+
+constexpr std::size_t kChannels = 9;  // 3 sensors x 3 axes
+constexpr double kTwoPi = 6.283185307179586;
+
+struct AxisProfile {
+  double amplitude;
+  double phase;
+  double harmonic2;  // relative weight of the 2nd harmonic
+  double noise;
+};
+
+LabeledSeries MakeOneSeries(const GeneratorConfig& config,
+                            std::uint64_t seed, std::size_t index) {
+  Rng rng(seed);
+  LabeledSeries series;
+  series.name = "daphnet-like-" + std::to_string(index);
+  series.values = linalg::Matrix(config.length, kChannels);
+  series.labels.assign(config.length, 0);
+
+  // Per-axis gait profile: hip / thigh / shank sensors carry progressively
+  // stronger oscillation; phases decorrelate the axes.
+  std::vector<AxisProfile> profile(kChannels);
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    const double sensor_gain = 0.6 + 0.4 * static_cast<double>(c / 3);
+    profile[c].amplitude = sensor_gain * rng.Uniform(0.8, 1.2);
+    profile[c].phase = rng.Uniform(0.0, kTwoPi);
+    profile[c].harmonic2 = rng.Uniform(0.15, 0.35);
+    profile[c].noise = rng.Uniform(0.08, 0.15);
+  }
+
+  // Cadence drift schedule: the base gait frequency changes gradually at
+  // `num_drifts` points after the normal prefix (concept drift, unlabeled).
+  const double base_freq = rng.Uniform(0.045, 0.06);  // cycles per step
+  std::vector<std::size_t> drift_starts;
+  std::vector<double> drift_freq_scale;
+  std::vector<double> drift_amp_scale;
+  std::vector<double> drift_level;
+  for (std::size_t d = 0; d < config.num_drifts; ++d) {
+    const std::size_t lo =
+        config.normal_prefix +
+        d * (config.length - config.normal_prefix) / (config.num_drifts + 1);
+    drift_starts.push_back(lo + static_cast<std::size_t>(rng.UniformInt(
+                                    0, (config.length - config.normal_prefix) /
+                                           (config.num_drifts + 1) / 2)));
+    drift_freq_scale.push_back(rng.Uniform(0.75, 1.35));
+    drift_amp_scale.push_back(rng.Uniform(0.8, 1.25));
+    // Posture change: a persistent accelerometer offset. This is the drift
+    // component that moves the training-set *mean* (what mu/sigma-Change
+    // watches); cadence and amplitude changes only reshape the
+    // distribution (what KSWIN watches).
+    drift_level.push_back((rng.Bernoulli(0.5) ? 1.0 : -1.0) *
+                          rng.Uniform(0.9, 1.4));
+  }
+
+  // Freeze-of-gait anomaly segments: amplitude collapse + tremor.
+  struct Freeze {
+    std::size_t start;
+    std::size_t length;
+  };
+  std::vector<Freeze> freezes;
+  const std::size_t tail = config.length - config.normal_prefix;
+  for (std::size_t a = 0; a < config.num_anomalies; ++a) {
+    const std::size_t slot = tail / config.num_anomalies;
+    const std::size_t start =
+        config.normal_prefix + a * slot +
+        static_cast<std::size_t>(rng.UniformInt(slot / 8, slot / 2));
+    const std::size_t length =
+        static_cast<std::size_t>(rng.UniformInt(40, 120));
+    freezes.push_back({start, length});
+  }
+
+  double phase_acc = 0.0;  // integrated instantaneous frequency
+  double amp_walk = 1.0;   // stochastic stride-to-stride amplitude
+  for (std::size_t t = 0; t < config.length; ++t) {
+    // Instantaneous frequency / amplitude after the drift schedule,
+    // blended in over 400 steps for gradual drift.
+    double freq = base_freq;
+    double amp_scale = 1.0;
+    double level = 0.0;
+    for (std::size_t d = 0; d < drift_starts.size(); ++d) {
+      if (t < drift_starts[d]) continue;
+      const double blend =
+          std::min(1.0, static_cast<double>(t - drift_starts[d]) / 400.0);
+      freq *= 1.0 + blend * (drift_freq_scale[d] - 1.0);
+      amp_scale *= 1.0 + blend * (drift_amp_scale[d] - 1.0);
+      level += blend * drift_level[d];
+    }
+    // Stride-to-stride variability: phase jitter and a mean-reverting
+    // amplitude walk. Real gait is not a clean oscillator — this is what
+    // keeps a linear AR extrapolation from being a near-perfect forecast.
+    phase_acc += freq * (1.0 + rng.Gaussian(0.0, 0.25));
+    amp_walk += 0.1 * (1.0 - amp_walk) + rng.Gaussian(0.0, 0.04);
+    amp_walk = std::min(1.5, std::max(0.5, amp_walk));
+
+    bool frozen = false;
+    for (const Freeze& f : freezes) {
+      if (t >= f.start && t < f.start + f.length) {
+        frozen = true;
+        break;
+      }
+    }
+
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      const AxisProfile& p = profile[c];
+      double gait = p.amplitude * amp_scale * amp_walk *
+                    (std::sin(kTwoPi * phase_acc + p.phase) +
+                     p.harmonic2 * std::sin(2.0 * kTwoPi * phase_acc + p.phase));
+      double value;
+      if (frozen) {
+        // Freeze: oscillation collapses; the shank/thigh sensors (c >= 3)
+        // pick up a ~4x-frequency tremor, the classic FoG signature.
+        const double tremor =
+            c >= 3 ? 0.45 * std::sin(4.0 * kTwoPi * phase_acc + p.phase) : 0.0;
+        value = level + 0.15 * gait + tremor + rng.Gaussian(0.0, p.noise);
+        series.labels[t] = 1;
+      } else {
+        value = level + gait + rng.Gaussian(0.0, p.noise);
+      }
+      series.values(t, c) = value;
+    }
+  }
+
+  series.Validate();
+  STREAMAD_CHECK_MSG(series.AnomalyPointCount() > 0, "no anomalies injected");
+  return series;
+}
+
+}  // namespace
+
+Corpus MakeDaphnetLike(const GeneratorConfig& config) {
+  STREAMAD_CHECK(config.length > config.normal_prefix);
+  STREAMAD_CHECK(config.num_anomalies > 0);
+  Corpus corpus;
+  corpus.name = "Daphnet-like";
+  for (std::size_t i = 0; i < config.num_series; ++i) {
+    corpus.series.push_back(MakeOneSeries(config, config.seed + i, i));
+  }
+  return corpus;
+}
+
+}  // namespace streamad::data

@@ -1,0 +1,23 @@
+#ifndef STREAMAD_DATA_DAPHNET_LIKE_H_
+#define STREAMAD_DATA_DAPHNET_LIKE_H_
+
+#include "src/data/generator_config.h"
+#include "src/data/series.h"
+
+namespace streamad::data {
+
+/// Synthetic stand-in for the **Daphnet freezing-of-gait** corpus
+/// (Bächlin et al.): 9 accelerometer channels (3 sensors x 3 axes) of
+/// quasi-periodic gait oscillation with per-axis amplitude, phase and
+/// harmonics plus sensor noise.
+///
+/// Anomalies are freeze episodes: the gait amplitude collapses while a
+/// high-frequency tremor appears on the leg sensors — the signature the
+/// real dataset is known for. Concept drift comes as gradual cadence
+/// (frequency) and amplitude changes, the walking-speed variation a
+/// wearable monitor must absorb without alarming.
+Corpus MakeDaphnetLike(const GeneratorConfig& config = GeneratorConfig());
+
+}  // namespace streamad::data
+
+#endif  // STREAMAD_DATA_DAPHNET_LIKE_H_

@@ -1,0 +1,172 @@
+#include "src/data/exathlon_like.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/data/injectors.h"
+
+namespace streamad::data {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+// Channel layout: 5 CPU gauges, 4 memory gauges, 4 network counters,
+// 3 task gauges.
+constexpr std::size_t kCpu = 5;
+constexpr std::size_t kMem = 4;
+constexpr std::size_t kNet = 4;
+constexpr std::size_t kTask = 3;
+constexpr std::size_t kChannels = kCpu + kMem + kNet + kTask;
+
+LabeledSeries MakeOneSeries(const GeneratorConfig& config,
+                            std::uint64_t seed, std::size_t index) {
+  Rng rng(seed);
+  LabeledSeries series;
+  series.name = "exathlon-like-" + std::to_string(index);
+  series.values = linalg::Matrix(config.length, kChannels);
+  series.labels.assign(config.length, 0);
+
+  // Workload-change drift points (unlabeled): level and period shift.
+  std::vector<std::size_t> drift_starts;
+  std::vector<double> drift_level;
+  std::vector<double> drift_period;
+  for (std::size_t d = 0; d < config.num_drifts; ++d) {
+    const std::size_t lo =
+        config.normal_prefix +
+        (d + 1) * (config.length - config.normal_prefix) /
+            (config.num_drifts + 2);
+    drift_starts.push_back(lo);
+    // Strong enough that the per-window mean moves beyond one training-set
+    // sigma (the mu/sigma-Change trigger).
+    drift_level.push_back((rng.Bernoulli(0.5) ? 1.0 : -1.0) *
+                          rng.Uniform(1.0, 1.6));
+    drift_period.push_back(rng.Uniform(0.7, 1.4));
+  }
+
+  std::vector<double> cpu_phase(kCpu);
+  std::vector<double> cpu_period(kCpu);
+  for (std::size_t c = 0; c < kCpu; ++c) {
+    cpu_phase[c] = rng.Uniform(0.0, kTwoPi);
+    // Short relative to the training-set span (see the note in
+    // smd_like.cc on partial-cycle excess).
+    cpu_period[c] = rng.Uniform(15.0, 35.0);
+  }
+  std::vector<double> mem_level(kMem);
+  std::vector<double> mem_slope(kMem);
+  std::vector<double> mem_value(kMem);
+  for (std::size_t c = 0; c < kMem; ++c) {
+    mem_level[c] = rng.Uniform(2.0, 4.0);
+    // GC cycle of ~50-150 steps, so a training set spans several cycles.
+    mem_slope[c] = rng.Uniform(0.01, 0.03);
+    mem_value[c] = mem_level[c];
+  }
+  std::vector<double> net_rate(kNet);
+  std::vector<double> net_value(kNet, 0.0);
+  for (std::size_t c = 0; c < kNet; ++c) net_rate[c] = rng.Uniform(0.5, 1.5);
+  std::vector<double> task_level(kTask);
+  for (std::size_t c = 0; c < kTask; ++c) {
+    task_level[c] = std::floor(rng.Uniform(2.0, 8.0));
+  }
+
+  for (std::size_t t = 0; t < config.length; ++t) {
+    double level_shift = 0.0;
+    double period_scale = 1.0;
+    for (std::size_t d = 0; d < drift_starts.size(); ++d) {
+      if (t < drift_starts[d]) continue;
+      const double blend =
+          std::min(1.0, static_cast<double>(t - drift_starts[d]) / 50.0);
+      level_shift += blend * drift_level[d];
+      period_scale *= 1.0 + blend * (drift_period[d] - 1.0);
+    }
+
+    std::size_t ch = 0;
+    // CPU gauges: periodic utilisation around a workload level.
+    for (std::size_t c = 0; c < kCpu; ++c, ++ch) {
+      const double osc =
+          std::sin(kTwoPi * static_cast<double>(t) /
+                       (cpu_period[c] * period_scale) +
+                   cpu_phase[c]);
+      series.values(t, ch) =
+          2.5 + level_shift + 0.8 * osc + rng.Gaussian(0.0, 0.12);
+    }
+    // Memory gauges: slow ramp, drained smoothly by the GC (an abrupt
+    // reset would be an unlabeled reconstruction spike at every cycle).
+    for (std::size_t c = 0; c < kMem; ++c, ++ch) {
+      if (mem_value[c] > mem_level[c] + 1.5) {
+        mem_value[c] -= 0.25;  // GC draining phase
+      } else {
+        mem_value[c] += mem_slope[c] * period_scale;
+      }
+      series.values(t, ch) =
+          mem_value[c] + 0.4 * level_shift + rng.Gaussian(0.0, 0.05);
+    }
+    // Network gauges: triangular load waves (continuous, unlike a rolled-
+    // over counter) with workload-dependent rate.
+    for (std::size_t c = 0; c < kNet; ++c, ++ch) {
+      net_value[c] += net_rate[c] * (1.0 + 0.3 * level_shift);
+      const double phase = std::fmod(net_value[c], 40.0) / 40.0;
+      const double triangle = phase < 0.5 ? phase * 2.0 : 2.0 - phase * 2.0;
+      series.values(t, ch) = 2.0 * triangle + rng.Gaussian(0.0, 0.08);
+    }
+    // Task gauges: piecewise constant with rare re-scheduling (rare
+    // enough that the jumps do not dominate the false-alarm budget).
+    for (std::size_t c = 0; c < kTask; ++c, ++ch) {
+      if (rng.Bernoulli(0.0005)) {
+        task_level[c] = std::floor(rng.Uniform(2.0, 8.0));
+      }
+      series.values(t, ch) =
+          task_level[c] / 2.0 + level_shift * 0.2 + rng.Gaussian(0.0, 0.03);
+    }
+  }
+
+  // Anomalies: rotate through the Exathlon event families.
+  const std::size_t tail = config.length - config.normal_prefix;
+  for (std::size_t a = 0; a < config.num_anomalies; ++a) {
+    const std::size_t slot = tail / config.num_anomalies;
+    const std::size_t start =
+        config.normal_prefix + a * slot +
+        static_cast<std::size_t>(rng.UniformInt(slot / 8, slot / 2));
+    const std::size_t length =
+        static_cast<std::size_t>(rng.UniformInt(30, 100));
+    switch (a % 3) {
+      case 0:  // CPU burst across the CPU gauges
+        InjectSpike(&series, start, length, {0, 1, 2, 3, 4}, 4.0);
+        break;
+      case 1:  // memory leak ramp on two memory gauges
+        InjectRamp(&series, start, length, {kCpu, kCpu + 1}, 6.0);
+        break;
+      case 2: {  // network counters stuck at an abnormal reading
+        const std::vector<std::size_t> net_channels = {
+            kCpu + kMem, kCpu + kMem + 1, kCpu + kMem + 2};
+        InjectStall(&series, start, length, net_channels);
+        // A stall at a normal level is invisible to reconstruction-based
+        // detectors (a frozen signal is trivially easy to predict); real
+        // stuck-counter incidents freeze at an out-of-range value.
+        InjectSpike(&series, start, length, net_channels, 3.0);
+        break;
+      }
+    }
+  }
+
+  series.Validate();
+  STREAMAD_CHECK_MSG(series.AnomalyPointCount() > 0, "no anomalies injected");
+  return series;
+}
+
+}  // namespace
+
+Corpus MakeExathlonLike(const GeneratorConfig& config) {
+  STREAMAD_CHECK(config.length > config.normal_prefix);
+  STREAMAD_CHECK(config.num_anomalies > 0);
+  Corpus corpus;
+  corpus.name = "Exathlon-like";
+  for (std::size_t i = 0; i < config.num_series; ++i) {
+    corpus.series.push_back(MakeOneSeries(config, config.seed + 1000 + i, i));
+  }
+  return corpus;
+}
+
+}  // namespace streamad::data

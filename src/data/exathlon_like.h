@@ -1,0 +1,23 @@
+#ifndef STREAMAD_DATA_EXATHLON_LIKE_H_
+#define STREAMAD_DATA_EXATHLON_LIKE_H_
+
+#include "src/data/generator_config.h"
+#include "src/data/series.h"
+
+namespace streamad::data {
+
+/// Synthetic stand-in for the **Exathlon** corpus (Jacob et al.): 16
+/// Spark-cluster-style metric channels — periodic CPU gauges, slowly
+/// ramping memory with GC resets, saw-tooth network counters and
+/// piecewise-constant task gauges.
+///
+/// Anomalies are the Exathlon event families: CPU bursts, memory-leak
+/// ramps and stalled counters, each hitting the matching channel group.
+/// Concept drift is an abrupt workload change (level and period shift
+/// across the gauge channels), which the detectors must re-learn rather
+/// than flag.
+Corpus MakeExathlonLike(const GeneratorConfig& config = GeneratorConfig());
+
+}  // namespace streamad::data
+
+#endif  // STREAMAD_DATA_EXATHLON_LIKE_H_

@@ -1,0 +1,33 @@
+#ifndef STREAMAD_DATA_GENERATOR_CONFIG_H_
+#define STREAMAD_DATA_GENERATOR_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace streamad::data {
+
+/// Shared knobs of the three synthetic corpus generators (DESIGN.md §2).
+///
+/// The first `normal_prefix` steps of every series are guaranteed
+/// anomaly-free so the detectors' initial training phase sees only normal
+/// behaviour, matching the paper's setup of building the initial training
+/// set from the first 5000 steps. Concept drifts (which are *not*
+/// anomalies) and labelled anomaly segments are injected after the prefix.
+struct GeneratorConfig {
+  /// Steps per series.
+  std::size_t length = 12000;
+  /// Series per corpus.
+  std::size_t num_series = 2;
+  /// Master seed; series i uses seed + i.
+  std::uint64_t seed = 42;
+  /// Anomaly-free prefix for initial training.
+  std::size_t normal_prefix = 6000;
+  /// Labelled anomaly segments injected after the prefix.
+  std::size_t num_anomalies = 6;
+  /// Concept drifts injected after the prefix.
+  std::size_t num_drifts = 2;
+};
+
+}  // namespace streamad::data
+
+#endif  // STREAMAD_DATA_GENERATOR_CONFIG_H_

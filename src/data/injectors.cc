@@ -1,0 +1,122 @@
+#include "src/data/injectors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace streamad::data {
+
+namespace {
+
+/// Clamps the segment to the series and marks its labels anomalous.
+std::size_t PrepareSegment(LabeledSeries* series, std::size_t start,
+                           std::size_t length, bool label) {
+  STREAMAD_CHECK(series != nullptr);
+  STREAMAD_CHECK_MSG(start < series->length(), "segment starts out of range");
+  const std::size_t end = std::min(series->length(), start + length);
+  if (label) {
+    for (std::size_t t = start; t < end; ++t) series->labels[t] = 1;
+  }
+  return end;
+}
+
+}  // namespace
+
+std::vector<double> ChannelStddev(const LabeledSeries& series) {
+  const std::size_t n = series.channels();
+  const std::size_t t_len = series.length();
+  STREAMAD_CHECK(t_len > 1);
+  std::vector<double> mean(n, 0.0);
+  std::vector<double> var(n, 0.0);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    for (std::size_t c = 0; c < n; ++c) mean[c] += series.values(t, c);
+  }
+  for (double& m : mean) m /= static_cast<double>(t_len);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    for (std::size_t c = 0; c < n; ++c) {
+      const double d = series.values(t, c) - mean[c];
+      var[c] += d * d;
+    }
+  }
+  std::vector<double> std_dev(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    std_dev[c] = std::sqrt(var[c] / static_cast<double>(t_len));
+    if (std_dev[c] < 1e-9) std_dev[c] = 1.0;
+  }
+  return std_dev;
+}
+
+void InjectSpike(LabeledSeries* series, std::size_t start, std::size_t length,
+                 const std::vector<std::size_t>& channels, double magnitude) {
+  const std::size_t end = PrepareSegment(series, start, length, true);
+  const std::vector<double> std_dev = ChannelStddev(*series);
+  for (std::size_t t = start; t < end; ++t) {
+    for (std::size_t c : channels) {
+      series->values(t, c) += magnitude * std_dev[c];
+    }
+  }
+}
+
+void InjectStall(LabeledSeries* series, std::size_t start, std::size_t length,
+                 const std::vector<std::size_t>& channels) {
+  const std::size_t end = PrepareSegment(series, start, length, true);
+  for (std::size_t c : channels) {
+    const double frozen = series->values(start, c);
+    for (std::size_t t = start; t < end; ++t) {
+      series->values(t, c) = frozen;
+    }
+  }
+}
+
+void InjectVarianceScale(LabeledSeries* series, std::size_t start,
+                         std::size_t length,
+                         const std::vector<std::size_t>& channels,
+                         double factor) {
+  const std::size_t end = PrepareSegment(series, start, length, true);
+  // The local level is the mean over the segment itself; scaling the
+  // deviation around it preserves the level while changing the variance.
+  for (std::size_t c : channels) {
+    double level = 0.0;
+    for (std::size_t t = start; t < end; ++t) level += series->values(t, c);
+    level /= static_cast<double>(end - start);
+    for (std::size_t t = start; t < end; ++t) {
+      series->values(t, c) = level + factor * (series->values(t, c) - level);
+    }
+  }
+}
+
+void InjectRamp(LabeledSeries* series, std::size_t start, std::size_t length,
+                const std::vector<std::size_t>& channels, double magnitude) {
+  const std::size_t end = PrepareSegment(series, start, length, true);
+  const std::vector<double> std_dev = ChannelStddev(*series);
+  const double span = static_cast<double>(end - start);
+  for (std::size_t t = start; t < end; ++t) {
+    const double progress = static_cast<double>(t - start + 1) / span;
+    for (std::size_t c : channels) {
+      series->values(t, c) += progress * magnitude * std_dev[c];
+    }
+  }
+}
+
+void InjectLevelDrift(LabeledSeries* series, std::size_t start,
+                      std::size_t transition,
+                      const std::vector<std::size_t>& channels,
+                      double magnitude) {
+  STREAMAD_CHECK(series != nullptr);
+  STREAMAD_CHECK(start < series->length());
+  const std::vector<double> std_dev = ChannelStddev(*series);
+  const std::size_t blend_end =
+      std::min(series->length(), start + std::max<std::size_t>(1, transition));
+  for (std::size_t t = start; t < series->length(); ++t) {
+    const double progress =
+        t >= blend_end ? 1.0
+                       : static_cast<double>(t - start + 1) /
+                             static_cast<double>(blend_end - start);
+    for (std::size_t c : channels) {
+      series->values(t, c) += progress * magnitude * std_dev[c];
+    }
+  }
+}
+
+}  // namespace streamad::data

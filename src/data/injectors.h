@@ -1,0 +1,54 @@
+#ifndef STREAMAD_DATA_INJECTORS_H_
+#define STREAMAD_DATA_INJECTORS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/series.h"
+
+namespace streamad::data {
+
+/// Anomaly / drift injectors shared by the synthetic corpus generators and
+/// the Figure-1 fine-tuning experiment. Anomaly injectors set the labels
+/// of the affected steps to 1; drift injectors deliberately do not — drift
+/// is a change of the *normal* regime the detector must adapt to, not an
+/// anomaly it should flag.
+
+/// Adds an additive spike (constant offset `magnitude * channel_std`) on
+/// the listed channels over `[start, start+length)`.
+void InjectSpike(LabeledSeries* series, std::size_t start, std::size_t length,
+                 const std::vector<std::size_t>& channels, double magnitude);
+
+/// Replaces the listed channels with a frozen (stalled-sensor) value over
+/// the segment.
+void InjectStall(LabeledSeries* series, std::size_t start, std::size_t length,
+                 const std::vector<std::size_t>& channels);
+
+/// Multiplies the deviation from the local level by `factor` (variance
+/// burst for factor > 1, amplitude collapse for factor < 1).
+void InjectVarianceScale(LabeledSeries* series, std::size_t start,
+                         std::size_t length,
+                         const std::vector<std::size_t>& channels,
+                         double factor);
+
+/// Adds a linearly growing ramp reaching `magnitude * channel_std` at the
+/// segment's end (memory-leak shape).
+void InjectRamp(LabeledSeries* series, std::size_t start, std::size_t length,
+                const std::vector<std::size_t>& channels, double magnitude);
+
+/// Concept drift: permanently shifts the level of the listed channels by
+/// `magnitude * channel_std` starting at `start`, blended in linearly over
+/// `transition` steps. Labels are left untouched.
+void InjectLevelDrift(LabeledSeries* series, std::size_t start,
+                      std::size_t transition,
+                      const std::vector<std::size_t>& channels,
+                      double magnitude);
+
+/// Per-channel standard deviation over the whole series (used by the
+/// injectors to express magnitudes in channel-relative units).
+std::vector<double> ChannelStddev(const LabeledSeries& series);
+
+}  // namespace streamad::data
+
+#endif  // STREAMAD_DATA_INJECTORS_H_

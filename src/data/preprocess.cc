@@ -1,0 +1,49 @@
+#include "src/data/preprocess.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace streamad::data {
+
+void StandardizePerChannel(LabeledSeries* series,
+                           std::size_t calibration_steps) {
+  STREAMAD_CHECK(series != nullptr);
+  STREAMAD_CHECK_MSG(calibration_steps >= 2, "calibration too short");
+  STREAMAD_CHECK_MSG(calibration_steps <= series->length(),
+                     "calibration longer than series");
+  const std::size_t channels = series->channels();
+  std::vector<double> mean(channels, 0.0);
+  std::vector<double> stddev(channels, 0.0);
+  for (std::size_t t = 0; t < calibration_steps; ++t) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      mean[c] += series->values(t, c);
+    }
+  }
+  for (double& m : mean) m /= static_cast<double>(calibration_steps);
+  for (std::size_t t = 0; t < calibration_steps; ++t) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const double d = series->values(t, c) - mean[c];
+      stddev[c] += d * d;
+    }
+  }
+  for (double& s : stddev) {
+    s = std::sqrt(s / static_cast<double>(calibration_steps));
+    if (s < 1e-9) s = 1.0;  // constant channel: centre only
+  }
+  for (std::size_t t = 0; t < series->length(); ++t) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      series->values(t, c) = (series->values(t, c) - mean[c]) / stddev[c];
+    }
+  }
+}
+
+void StandardizePerChannel(Corpus* corpus, std::size_t calibration_steps) {
+  STREAMAD_CHECK(corpus != nullptr);
+  for (LabeledSeries& series : corpus->series) {
+    StandardizePerChannel(&series, calibration_steps);
+  }
+}
+
+}  // namespace streamad::data

@@ -1,0 +1,29 @@
+#ifndef STREAMAD_DATA_PREPROCESS_H_
+#define STREAMAD_DATA_PREPROCESS_H_
+
+#include <cstddef>
+
+#include "src/data/series.h"
+
+namespace streamad::data {
+
+/// Standardises a series per channel using statistics estimated on its
+/// first `calibration_steps` steps (z-score; constant channels are only
+/// centred). Labels are untouched.
+///
+/// Streaming anomaly detection pipelines normalise their inputs before
+/// the detector sees them — the cosine nonconformity in particular is
+/// otherwise dominated by large positive channel levels (the "DC
+/// component" makes every pair of windows nearly parallel, compressing
+/// the signal of genuine anomalies). Calibrating on the prefix only keeps
+/// the transform causal: no statistic leaks from the evaluated suffix.
+void StandardizePerChannel(LabeledSeries* series,
+                           std::size_t calibration_steps);
+
+/// Convenience: standardises every series of a corpus in place, each on
+/// its own `calibration_steps` prefix.
+void StandardizePerChannel(Corpus* corpus, std::size_t calibration_steps);
+
+}  // namespace streamad::data
+
+#endif  // STREAMAD_DATA_PREPROCESS_H_

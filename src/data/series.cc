@@ -1,0 +1,21 @@
+#include "src/data/series.h"
+
+#include "src/common/check.h"
+
+namespace streamad::data {
+
+std::size_t LabeledSeries::AnomalyPointCount() const {
+  std::size_t count = 0;
+  for (int label : labels) count += label != 0 ? 1 : 0;
+  return count;
+}
+
+void LabeledSeries::Validate() const {
+  STREAMAD_CHECK_MSG(labels.size() == values.rows(),
+                     "label / value length mismatch");
+  for (int label : labels) {
+    STREAMAD_CHECK_MSG(label == 0 || label == 1, "labels must be 0/1");
+  }
+}
+
+}  // namespace streamad::data

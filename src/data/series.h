@@ -1,0 +1,44 @@
+#ifndef STREAMAD_DATA_SERIES_H_
+#define STREAMAD_DATA_SERIES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/linalg/matrix.h"
+
+namespace streamad::data {
+
+/// A finite multivariate time series with point-wise anomaly labels — the
+/// unit of evaluation. `values` is `T x N` (rows = time steps), `labels[t]`
+/// is 1 inside a ground-truth anomaly and 0 otherwise.
+struct LabeledSeries {
+  std::string name;
+  linalg::Matrix values;
+  std::vector<int> labels;
+
+  std::size_t length() const { return values.rows(); }
+  std::size_t channels() const { return values.cols(); }
+
+  /// The stream vector at step `t`.
+  core::StreamVector At(std::size_t t) const { return values.Row(t); }
+
+  /// Total number of labelled anomaly steps.
+  std::size_t AnomalyPointCount() const;
+
+  /// Checks the container invariants (label length matches, labels are
+  /// 0/1). CHECK-fails on violation; generators call this before returning.
+  void Validate() const;
+};
+
+/// A named collection of labelled series, standing in for one benchmark
+/// corpus (Daphnet / Exathlon / SMD).
+struct Corpus {
+  std::string name;
+  std::vector<LabeledSeries> series;
+};
+
+}  // namespace streamad::data
+
+#endif  // STREAMAD_DATA_SERIES_H_

@@ -1,0 +1,132 @@
+#include "src/data/smd_like.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/data/injectors.h"
+
+namespace streamad::data {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+constexpr std::size_t kChannels = 38;
+
+enum class ChannelKind { kPeriodic, kBursty, kConstant };
+
+LabeledSeries MakeOneSeries(const GeneratorConfig& config,
+                            std::uint64_t seed, std::size_t index) {
+  Rng rng(seed);
+  LabeledSeries series;
+  series.name = "smd-like-" + std::to_string(index);
+  series.values = linalg::Matrix(config.length, kChannels);
+  series.labels.assign(config.length, 0);
+
+  // Channel mix roughly matching SMD: half periodic gauges, a third bursty
+  // counters, the rest near-constant indicators.
+  std::vector<ChannelKind> kind(kChannels);
+  std::vector<double> period(kChannels);
+  std::vector<double> phase(kChannels);
+  std::vector<double> level(kChannels);
+  std::vector<double> noise(kChannels);
+  std::vector<double> burst_prob(kChannels);
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    const double pick = rng.Uniform();
+    kind[c] = pick < 0.5
+                  ? ChannelKind::kPeriodic
+                  : (pick < 0.85 ? ChannelKind::kBursty
+                                 : ChannelKind::kConstant);
+    // Periods short relative to the training-set span (~175 steps for the
+    // laptop-scale m = 150): the pooled per-channel distribution carries a
+    // partial-cycle excess of ~period/span that rotates with the phase, so
+    // long periods make every drift detector fire continuously.
+    period[c] = rng.Uniform(15.0, 35.0);
+    phase[c] = rng.Uniform(0.0, kTwoPi);
+    level[c] = rng.Uniform(0.5, 3.0);
+    noise[c] = rng.Uniform(0.05, 0.15);
+    burst_prob[c] = rng.Uniform(0.01, 0.04);
+  }
+
+  for (std::size_t t = 0; t < config.length; ++t) {
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      double value = level[c] + rng.Gaussian(0.0, noise[c]);
+      switch (kind[c]) {
+        case ChannelKind::kPeriodic:
+          value += 0.4 * std::sin(kTwoPi * static_cast<double>(t) /
+                                      period[c] +
+                                  phase[c]);
+          break;
+        case ChannelKind::kBursty:
+          if (rng.Bernoulli(burst_prob[c])) {
+            value += rng.Uniform(0.3, 1.0);  // normal short burst
+          }
+          break;
+        case ChannelKind::kConstant:
+          break;
+      }
+      series.values(t, c) = value;
+    }
+  }
+
+  // Concept drift: slow level trend on a channel subset (unlabeled).
+  for (std::size_t d = 0; d < config.num_drifts; ++d) {
+    const std::size_t start =
+        config.normal_prefix +
+        (d + 1) * (config.length - config.normal_prefix) /
+            (config.num_drifts + 2);
+    std::vector<std::size_t> channels;
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      if (rng.Bernoulli(0.5)) channels.push_back(c);
+    }
+    if (channels.empty()) channels.push_back(d % kChannels);
+    InjectLevelDrift(&series, start, /*transition=*/800, channels,
+                     rng.Uniform(1.5, 2.5));
+  }
+
+  // Anomalies: correlated incidents across random 5-10 channel subsets.
+  const std::size_t tail = config.length - config.normal_prefix;
+  for (std::size_t a = 0; a < config.num_anomalies; ++a) {
+    const std::size_t slot = tail / config.num_anomalies;
+    const std::size_t start =
+        config.normal_prefix + a * slot +
+        static_cast<std::size_t>(rng.UniformInt(slot / 8, slot / 2));
+    const std::size_t length =
+        static_cast<std::size_t>(rng.UniformInt(25, 90));
+    const std::size_t subset_size =
+        static_cast<std::size_t>(rng.UniformInt(5, 10));
+    std::vector<std::size_t> channels;
+    while (channels.size() < subset_size) {
+      const std::size_t c =
+          static_cast<std::size_t>(rng.UniformInt(0, kChannels - 1));
+      bool seen = false;
+      for (std::size_t existing : channels) seen = seen || existing == c;
+      if (!seen) channels.push_back(c);
+    }
+    if (a % 2 == 0) {
+      InjectSpike(&series, start, length, channels, 3.5);
+    } else {
+      InjectVarianceScale(&series, start, length, channels, 4.0);
+    }
+  }
+
+  series.Validate();
+  STREAMAD_CHECK_MSG(series.AnomalyPointCount() > 0, "no anomalies injected");
+  return series;
+}
+
+}  // namespace
+
+Corpus MakeSmdLike(const GeneratorConfig& config) {
+  STREAMAD_CHECK(config.length > config.normal_prefix);
+  STREAMAD_CHECK(config.num_anomalies > 0);
+  Corpus corpus;
+  corpus.name = "SMD-like";
+  for (std::size_t i = 0; i < config.num_series; ++i) {
+    corpus.series.push_back(MakeOneSeries(config, config.seed + 2000 + i, i));
+  }
+  return corpus;
+}
+
+}  // namespace streamad::data

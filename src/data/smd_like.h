@@ -1,0 +1,21 @@
+#ifndef STREAMAD_DATA_SMD_LIKE_H_
+#define STREAMAD_DATA_SMD_LIKE_H_
+
+#include "src/data/generator_config.h"
+#include "src/data/series.h"
+
+namespace streamad::data {
+
+/// Synthetic stand-in for the **SMD** (Server Machine Dataset, Su et al.)
+/// corpus: 38 heterogeneous server telemetry channels — a mix of daily-
+/// periodic gauges, bursty counters and near-constant indicators, the
+/// channel zoo a real machine exposes.
+///
+/// Anomalies are correlated multi-channel incidents: a random subset of
+/// 5-10 channels shifts level / spikes together, as real server incidents
+/// do. Concept drift is a slow level trend on a channel subset.
+Corpus MakeSmdLike(const GeneratorConfig& config = GeneratorConfig());
+
+}  // namespace streamad::data
+
+#endif  // STREAMAD_DATA_SMD_LIKE_H_

@@ -1,0 +1,81 @@
+#ifndef STREAMAD_HARNESS_EXPERIMENT_H_
+#define STREAMAD_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/algorithm_spec.h"
+#include "src/data/series.h"
+
+namespace streamad::harness {
+
+/// The per-step trace of one detector run over one series.
+struct RunTrace {
+  /// Anomaly scores `f_t` for the scored suffix of the series.
+  std::vector<double> scores;
+  /// Nonconformity scores `a_t`, aligned with `scores`.
+  std::vector<double> nonconformities;
+  /// Index of the first scored step within the series.
+  std::size_t first_scored = 0;
+  /// Steps (series indices) at which a fine-tune was triggered.
+  std::vector<std::int64_t> finetune_steps;
+
+  /// The ground-truth labels aligned with `scores`.
+  std::vector<int> AlignedLabels(const data::LabeledSeries& series) const;
+};
+
+/// Streams `series` through `detector` and records the trace.
+RunTrace RunDetector(core::StreamingDetector* detector,
+                     const data::LabeledSeries& series);
+
+/// One Table III cell: the five reported metrics.
+struct MetricSummary {
+  double precision = 0.0;
+  double recall = 0.0;
+  double pr_auc = 0.0;
+  double vus = 0.0;
+  double nab = 0.0;
+
+  /// Elementwise mean of summaries (series / scorer averaging).
+  static MetricSummary Mean(const std::vector<MetricSummary>& parts);
+};
+
+/// Evaluates a scored trace against the series labels. Precision / recall
+/// and NAB are reported at the best-F1 threshold of the range-PR sweep
+/// (one shared operating point), PR-AUC and VUS are threshold-free.
+MetricSummary Evaluate(const RunTrace& trace,
+                       const data::LabeledSeries& series);
+
+/// Shared configuration of the Table III / ablation sweeps.
+struct EvalConfig {
+  core::DetectorParams params;
+  std::uint64_t seed = 7;
+};
+
+/// Builds a fresh detector for (spec, score), runs every series of the
+/// corpus and averages the metrics.
+MetricSummary EvaluateAlgorithmOnCorpus(const core::AlgorithmSpec& spec,
+                                        core::ScoreType score,
+                                        const data::Corpus& corpus,
+                                        const EvalConfig& config);
+
+/// One row of Table III: the metrics averaged over the two anomaly scores
+/// (average / anomaly likelihood), exactly as the paper reports them.
+MetricSummary EvaluateTable3Row(const core::AlgorithmSpec& spec,
+                                const data::Corpus& corpus,
+                                const EvalConfig& config);
+
+/// The anomaly-score ablation rows at the bottom of Table III: one summary
+/// per score type, averaged over all 26 algorithms of Table I.
+struct ScoreAblation {
+  MetricSummary raw;
+  MetricSummary average;
+  MetricSummary anomaly_likelihood;
+};
+
+ScoreAblation EvaluateScoreAblation(const data::Corpus& corpus,
+                                    const EvalConfig& config);
+
+}  // namespace streamad::harness
+
+#endif  // STREAMAD_HARNESS_EXPERIMENT_H_

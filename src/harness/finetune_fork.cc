@@ -1,0 +1,170 @@
+#include "src/harness/finetune_fork.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/data/injectors.h"
+
+namespace streamad::harness {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// Streams `series` through `detector` up to (exclusive) `stop`, recording
+/// nonconformities and fine-tune steps from `record_from` on.
+struct StreamLog {
+  std::vector<double> nonconformity;  // indexed by absolute step
+  std::vector<std::size_t> finetunes;
+};
+
+StreamLog StreamThrough(core::StreamingDetector* detector,
+                        const data::LabeledSeries& series,
+                        std::size_t stop) {
+  StreamLog log;
+  log.nonconformity.assign(series.length(), 0.0);
+  for (std::size_t t = 0; t < std::min(stop, series.length()); ++t) {
+    const auto result = detector->Step(series.At(t));
+    if (result.scored) log.nonconformity[t] = result.nonconformity;
+    if (result.finetuned) log.finetunes.push_back(t);
+  }
+  return log;
+}
+
+}  // namespace
+
+data::LabeledSeries MakeDriftStream(const FinetuneForkConfig& config) {
+  STREAMAD_CHECK(config.drift_start > config.params.initial_train_steps);
+  STREAMAD_CHECK(config.length > config.drift_start + 500);
+  Rng rng(config.seed);
+
+  data::LabeledSeries series;
+  series.name = "finetune-fork-stream";
+  series.values = linalg::Matrix(config.length, config.channels);
+  series.labels.assign(config.length, 0);
+
+  std::vector<double> amplitude(config.channels);
+  std::vector<double> phase(config.channels);
+  for (std::size_t c = 0; c < config.channels; ++c) {
+    amplitude[c] = rng.Uniform(0.8, 1.2);
+    phase[c] = rng.Uniform(0.0, kTwoPi);
+  }
+  const double base_freq = 0.05;
+  // The drift: cadence slows by 30%, the amplitude grows by 40% and the
+  // baseline level shifts (posture change), blended in over 300 steps —
+  // a regime change, not an anomaly. The level component is what moves
+  // the training-set mean and lets mu/sigma-Change fire.
+  double phase_acc = 0.0;
+  for (std::size_t t = 0; t < config.length; ++t) {
+    double freq = base_freq;
+    double amp_scale = 1.0;
+    double level = 0.0;
+    if (t >= config.drift_start) {
+      const double blend = std::min(
+          1.0, static_cast<double>(t - config.drift_start) / 300.0);
+      freq *= 1.0 - 0.3 * blend;
+      amp_scale = 1.0 + 0.4 * blend;
+      level = 2.5 * blend;
+    }
+    phase_acc += freq;
+    for (std::size_t c = 0; c < config.channels; ++c) {
+      series.values(t, c) =
+          level +
+          amplitude[c] * amp_scale * std::sin(kTwoPi * phase_acc + phase[c]) +
+          rng.Gaussian(0.0, 0.1);
+    }
+  }
+  series.Validate();
+  return series;
+}
+
+FinetuneForkResult RunFinetuneForkExperiment(
+    const FinetuneForkConfig& config) {
+  const data::LabeledSeries clean = MakeDriftStream(config);
+
+  // Phase 1: find the fork point — the first fine-tune after the drift —
+  // by streaming the clean series through a reference detector.
+  std::size_t finetune_step = 0;
+  {
+    auto probe = core::BuildDetector(config.spec, core::ScoreType::kAverage,
+                                     config.params, config.seed);
+    const StreamLog log = StreamThrough(probe.get(), clean, clean.length());
+    bool found = false;
+    for (std::size_t t : log.finetunes) {
+      if (t >= config.drift_start) {
+        finetune_step = t;
+        found = true;
+        break;
+      }
+    }
+    STREAMAD_CHECK_MSG(found, "no fine-tune triggered after the drift");
+  }
+
+  // Phase 2: inject the artificial anomaly right after the fork point and
+  // replay the stream through two fresh, identically seeded detectors.
+  FinetuneForkResult result;
+  result.drift_start = config.drift_start;
+  result.finetune_step = finetune_step;
+  result.anomaly_begin = finetune_step + config.anomaly_offset;
+  result.anomaly_end = result.anomaly_begin + config.anomaly_length;
+  STREAMAD_CHECK_MSG(result.anomaly_end + config.params.window <
+                         clean.length(),
+                     "stream too short for the injected anomaly");
+
+  data::LabeledSeries injected = clean;
+  std::vector<std::size_t> all_channels(injected.channels());
+  for (std::size_t c = 0; c < all_channels.size(); ++c) all_channels[c] = c;
+  data::InjectSpike(&injected, result.anomaly_begin, config.anomaly_length,
+                    all_channels, config.anomaly_magnitude);
+
+  auto adaptive = core::BuildDetector(config.spec, core::ScoreType::kAverage,
+                                      config.params, config.seed);
+  auto stale = core::BuildDetector(config.spec, core::ScoreType::kAverage,
+                                   config.params, config.seed);
+
+  // Both detectors evolve identically until the drift; from there the
+  // stale twin keeps the "previous model" by suppressing fine-tunes.
+  const std::size_t horizon =
+      result.anomaly_end + config.params.window;  // anomaly leaves window
+  StreamLog log_adaptive;
+  StreamLog log_stale;
+  log_adaptive.nonconformity.assign(injected.length(), 0.0);
+  log_stale.nonconformity.assign(injected.length(), 0.0);
+  for (std::size_t t = 0; t <= horizon; ++t) {
+    if (t == config.drift_start) stale->set_finetuning_enabled(false);
+    const auto ra = adaptive->Step(injected.At(t));
+    const auto rs = stale->Step(injected.At(t));
+    if (ra.scored) log_adaptive.nonconformity[t] = ra.nonconformity;
+    if (rs.scored) log_stale.nonconformity[t] = rs.nonconformity;
+  }
+
+  auto summarize = [&](const StreamLog& log) {
+    ForkSideResult side;
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t t = finetune_step; t < result.anomaly_begin; ++t) {
+      sum += log.nonconformity[t];
+      ++count;
+    }
+    STREAMAD_CHECK(count > 0);
+    side.pre_anomaly_mean = sum / static_cast<double>(count);
+    double var = 0.0;
+    for (std::size_t t = finetune_step; t < result.anomaly_begin; ++t) {
+      const double d = log.nonconformity[t] - side.pre_anomaly_mean;
+      var += d * d;
+    }
+    side.pre_anomaly_std = std::sqrt(var / static_cast<double>(count));
+    side.peak = 0.0;
+    for (std::size_t t = result.anomaly_begin; t <= horizon; ++t) {
+      side.peak = std::max(side.peak, log.nonconformity[t]);
+    }
+    return side;
+  };
+  result.finetuned = summarize(log_adaptive);
+  result.stale = summarize(log_stale);
+  return result;
+}
+
+}  // namespace streamad::harness

@@ -1,0 +1,43 @@
+#include "src/harness/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace streamad::harness {
+
+void ParallelFor(std::size_t count,
+                 const std::function<void(std::size_t)>& work,
+                 std::size_t max_threads) {
+  STREAMAD_CHECK(work != nullptr);
+  if (count == 0) return;
+
+  std::size_t threads = max_threads;
+  if (threads == 0) {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    threads = hardware == 0 ? 4 : hardware;
+  }
+  if (threads > count) threads = count;
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) work(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      work(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace streamad::harness

@@ -1,0 +1,28 @@
+#ifndef STREAMAD_HARNESS_PARALLEL_H_
+#define STREAMAD_HARNESS_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace streamad::harness {
+
+/// Runs `work(i)` for every `i` in `[0, count)` on up to `max_threads`
+/// worker threads (hardware concurrency by default, capped at `count`).
+///
+/// The Table III sweeps evaluate 26 algorithms x 3 anomaly scores per
+/// corpus; every evaluation is an independent, deterministic detector run,
+/// so the sweep parallelises embarrassingly. Work items are handed out via
+/// an atomic counter, which keeps long items (KSWIN detectors) from
+/// serialising behind a static partition.
+///
+/// `work` must be safe to call concurrently for distinct `i` (the harness
+/// writes each result into a distinct pre-allocated slot). Exceptions are
+/// not used in this codebase; a CHECK failure in any worker aborts the
+/// process as usual.
+void ParallelFor(std::size_t count,
+                 const std::function<void(std::size_t)>& work,
+                 std::size_t max_threads = 0);
+
+}  // namespace streamad::harness
+
+#endif  // STREAMAD_HARNESS_PARALLEL_H_

@@ -1,0 +1,70 @@
+#include "src/harness/table_printer.h"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace streamad::harness {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  STREAMAD_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  STREAMAD_CHECK_MSG(row.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() {
+  rows_.push_back({kSeparatorTag});
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorTag) continue;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ") << std::left
+          << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    out << " |\n";
+  };
+  auto print_separator = [&]() {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+    }
+    out << "-|\n";
+  };
+
+  print_separator();
+  print_row(header_);
+  print_separator();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorTag) {
+      print_separator();
+    } else {
+      print_row(row);
+    }
+  }
+  print_separator();
+}
+
+std::string TablePrinter::Num(double value, int digits) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(digits) << value;
+  return ss.str();
+}
+
+}  // namespace streamad::harness

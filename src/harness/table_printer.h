@@ -1,0 +1,37 @@
+#ifndef STREAMAD_HARNESS_TABLE_PRINTER_H_
+#define STREAMAD_HARNESS_TABLE_PRINTER_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace streamad::harness {
+
+/// Fixed-width console table used by the bench binaries to print the
+/// reproduced paper tables. Column widths adapt to the widest cell.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; must have as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table to `out`.
+  void Print(std::ostream& out = std::cout) const;
+
+  /// Formats a double with `digits` decimals (helper for metric cells).
+  static std::string Num(double value, int digits = 2);
+
+ private:
+  static constexpr const char* kSeparatorTag = "\x01--";
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace streamad::harness
+
+#endif  // STREAMAD_HARNESS_TABLE_PRINTER_H_

@@ -1,0 +1,145 @@
+#include "src/io/binary_io.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace streamad::io {
+
+BinaryWriter::BinaryWriter(std::ostream* out) : out_(out) {
+  STREAMAD_CHECK(out != nullptr);
+}
+
+void BinaryWriter::WriteBytes(const void* data, std::size_t size) {
+  if (!ok_) return;
+  out_->write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  ok_ = static_cast<bool>(*out_);
+}
+
+void BinaryWriter::WriteU64(std::uint64_t value) {
+  WriteBytes(&value, sizeof(value));
+}
+
+void BinaryWriter::WriteI64(std::int64_t value) {
+  WriteBytes(&value, sizeof(value));
+}
+
+void BinaryWriter::WriteDouble(double value) {
+  WriteBytes(&value, sizeof(value));
+}
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteU64(value.size());
+  WriteBytes(value.data(), value.size());
+}
+
+void BinaryWriter::WriteDoubleVec(const std::vector<double>& value) {
+  WriteU64(value.size());
+  WriteBytes(value.data(), value.size() * sizeof(double));
+}
+
+void BinaryWriter::WriteIntVec(const std::vector<int>& value) {
+  WriteU64(value.size());
+  for (int v : value) WriteI64(v);
+}
+
+void BinaryWriter::WriteMatrix(const linalg::Matrix& value) {
+  WriteU64(value.rows());
+  WriteU64(value.cols());
+  WriteBytes(value.data().data(), value.size() * sizeof(double));
+}
+
+BinaryReader::BinaryReader(std::istream* in) : in_(in) {
+  STREAMAD_CHECK(in != nullptr);
+}
+
+bool BinaryReader::ReadBytes(void* data, std::size_t size) {
+  if (!ok_) return false;
+  in_->read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  ok_ = static_cast<bool>(*in_);
+  return ok_;
+}
+
+bool BinaryReader::ReadU64(std::uint64_t* value) {
+  STREAMAD_CHECK(value != nullptr);
+  return ReadBytes(value, sizeof(*value));
+}
+
+bool BinaryReader::ReadI64(std::int64_t* value) {
+  STREAMAD_CHECK(value != nullptr);
+  return ReadBytes(value, sizeof(*value));
+}
+
+bool BinaryReader::ReadDouble(double* value) {
+  STREAMAD_CHECK(value != nullptr);
+  return ReadBytes(value, sizeof(*value));
+}
+
+bool BinaryReader::ReadString(std::string* value) {
+  STREAMAD_CHECK(value != nullptr);
+  std::uint64_t size = 0;
+  if (!ReadU64(&size) || size > kMaxElements) {
+    ok_ = false;
+    return false;
+  }
+  value->resize(size);
+  return size == 0 || ReadBytes(value->data(), size);
+}
+
+bool BinaryReader::ReadDoubleVec(std::vector<double>* value) {
+  STREAMAD_CHECK(value != nullptr);
+  std::uint64_t size = 0;
+  if (!ReadU64(&size) || size > kMaxElements) {
+    ok_ = false;
+    return false;
+  }
+  value->resize(size);
+  return size == 0 || ReadBytes(value->data(), size * sizeof(double));
+}
+
+bool BinaryReader::ReadIntVec(std::vector<int>* value) {
+  STREAMAD_CHECK(value != nullptr);
+  std::uint64_t size = 0;
+  if (!ReadU64(&size) || size > kMaxElements) {
+    ok_ = false;
+    return false;
+  }
+  value->resize(size);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    std::int64_t v = 0;
+    if (!ReadI64(&v)) return false;
+    (*value)[i] = static_cast<int>(v);
+  }
+  return true;
+}
+
+bool BinaryReader::ReadMatrix(linalg::Matrix* value) {
+  STREAMAD_CHECK(value != nullptr);
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  if (!ReadU64(&rows) || !ReadU64(&cols)) return false;
+  if (rows > kMaxElements || cols > kMaxElements ||
+      (rows != 0 && cols > kMaxElements / rows)) {
+    ok_ = false;
+    return false;
+  }
+  std::vector<double> flat(rows * cols);
+  if (!flat.empty() && !ReadBytes(flat.data(), flat.size() * sizeof(double))) {
+    return false;
+  }
+  *value = linalg::Matrix::FromFlat(rows, cols, std::move(flat));
+  return true;
+}
+
+bool BinaryReader::ExpectString(const std::string& expected) {
+  std::string actual;
+  if (!ReadString(&actual)) return false;
+  if (actual != expected) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace streamad::io

@@ -1,0 +1,193 @@
+#include "src/linalg/matrix.h"
+
+#include <cmath>
+
+namespace streamad::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    STREAMAD_CHECK_MSG(row.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::RowVector(const std::vector<double>& values) {
+  return FromFlat(1, values.size(), values);
+}
+
+Matrix Matrix::ColVector(const std::vector<double>& values) {
+  return FromFlat(values.size(), 1, values);
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromFlat(std::size_t rows, std::size_t cols,
+                        std::vector<double> flat) {
+  STREAMAD_CHECK(flat.size() == rows * cols);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(flat);
+  return m;
+}
+
+std::vector<double> Matrix::Row(std::size_t r) const {
+  STREAMAD_CHECK(r < rows_);
+  return std::vector<double>(data_.begin() + r * cols_,
+                             data_.begin() + (r + 1) * cols_);
+}
+
+std::vector<double> Matrix::Col(std::size_t c) const {
+  STREAMAD_CHECK(c < cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::SetRow(std::size_t r, const std::vector<double>& values) {
+  STREAMAD_CHECK(r < rows_);
+  STREAMAD_CHECK(values.size() == cols_);
+  std::copy(values.begin(), values.end(), data_.begin() + r * cols_);
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix Matrix::Reshaped(std::size_t new_rows, std::size_t new_cols) const {
+  STREAMAD_CHECK(new_rows * new_cols == data_.size());
+  Matrix m;
+  m.rows_ = new_rows;
+  m.cols_ = new_cols;
+  m.data_ = data_;
+  return m;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  STREAMAD_CHECK_MSG(a.cols() == b.rows(), "MatMul shape mismatch");
+  Matrix out(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop contiguous over both b and out.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) out(j, i) = a(i, j);
+  }
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  STREAMAD_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.at_flat(i) += b.at_flat(i);
+  }
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  STREAMAD_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.at_flat(i) -= b.at_flat(i);
+  }
+  return out;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  STREAMAD_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.at_flat(i) *= b.at_flat(i);
+  }
+  return out;
+}
+
+Matrix Scale(const Matrix& a, double s) {
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) out.at_flat(i) *= s;
+  return out;
+}
+
+void Axpy(double s, const Matrix& b, Matrix* a) {
+  STREAMAD_CHECK(a != nullptr);
+  STREAMAD_CHECK(a->rows() == b.rows() && a->cols() == b.cols());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    a->at_flat(i) += s * b.at_flat(i);
+  }
+}
+
+double Sum(const Matrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a.at_flat(i);
+  return s;
+}
+
+double FrobeniusNorm(const Matrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += a.at_flat(i) * a.at_flat(i);
+  }
+  return std::sqrt(s);
+}
+
+double FlatDot(const Matrix& a, const Matrix& b) {
+  STREAMAD_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += a.at_flat(i) * b.at_flat(i);
+  }
+  return s;
+}
+
+double CosineSimilarity(const Matrix& a, const Matrix& b) {
+  const double na = FrobeniusNorm(a);
+  const double nb = FrobeniusNorm(b);
+  constexpr double kEps = 1e-12;
+  if (na < kEps && nb < kEps) return 1.0;
+  if (na < kEps || nb < kEps) return 0.0;
+  double cos = FlatDot(a, b) / (na * nb);
+  if (cos > 1.0) cos = 1.0;
+  if (cos < -1.0) cos = -1.0;
+  return cos;
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
+  STREAMAD_CHECK(row.rows() == 1 && row.cols() == a.cols());
+  Matrix out = a;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) out(i, j) += row(0, j);
+  }
+  return out;
+}
+
+Matrix MeanRows(const Matrix& a) {
+  STREAMAD_CHECK(a.rows() > 0);
+  Matrix out(1, a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) out(0, j) += a(i, j);
+  }
+  const double inv = 1.0 / static_cast<double>(a.rows());
+  for (std::size_t j = 0; j < a.cols(); ++j) out(0, j) *= inv;
+  return out;
+}
+
+}  // namespace streamad::linalg

@@ -1,0 +1,147 @@
+#ifndef STREAMAD_LINALG_MATRIX_H_
+#define STREAMAD_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace streamad::linalg {
+
+/// Dense row-major matrix of doubles.
+///
+/// This is the single numeric container of the library: stream windows
+/// (`w x N`), neural-network weights and activations, VAR coefficient
+/// matrices and isolation-forest point sets are all `Matrix` instances.
+/// The class is a value type — copyable, movable, comparable — and keeps the
+/// surface small: construction, element access, shape queries and in-place
+/// fills. All algebraic operations live in free functions below so that the
+/// reader can find every arithmetic routine in one place.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// `rows x cols` matrix, zero-initialised.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// `rows x cols` matrix with every element set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from nested initialiser lists; all rows must have the
+  /// same length. Intended for tests and small literals.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Builds a `1 x values.size()` row vector.
+  static Matrix RowVector(const std::vector<double>& values);
+
+  /// Builds a `values.size() x 1` column vector.
+  static Matrix ColVector(const std::vector<double>& values);
+
+  /// Identity matrix of size `n x n`.
+  static Matrix Identity(std::size_t n);
+
+  /// Wraps an existing flat row-major buffer (copied).
+  static Matrix FromFlat(std::size_t rows, std::size_t cols,
+                         std::vector<double> flat);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    STREAMAD_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    STREAMAD_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Flat row-major access (useful when a window is treated as one long
+  /// vector, e.g. the `r(x_t)` reshaping operation of the paper's AE).
+  double& at_flat(std::size_t i) {
+    STREAMAD_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  double at_flat(std::size_t i) const {
+    STREAMAD_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Copies row `r` into a std::vector.
+  std::vector<double> Row(std::size_t r) const;
+
+  /// Copies column `c` into a std::vector.
+  std::vector<double> Col(std::size_t c) const;
+
+  /// Overwrites row `r` with `values` (must have `cols()` entries).
+  void SetRow(std::size_t r, const std::vector<double>& values);
+
+  /// Sets all elements to `value`.
+  void Fill(double value);
+
+  /// Reinterprets the buffer with a new shape; `new_rows * new_cols` must
+  /// equal `size()`. Constant time.
+  Matrix Reshaped(std::size_t new_rows, std::size_t new_cols) const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Matrix product `a * b`; requires `a.cols() == b.rows()`.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// Transpose.
+Matrix Transpose(const Matrix& a);
+
+/// Elementwise sum / difference; shapes must match.
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+
+/// Elementwise (Hadamard) product; shapes must match.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+/// Scalar multiple.
+Matrix Scale(const Matrix& a, double s);
+
+/// In-place `a += s * b`; shapes must match. The workhorse of the SGD /
+/// Adam update loops.
+void Axpy(double s, const Matrix& b, Matrix* a);
+
+/// Sum of all elements.
+double Sum(const Matrix& a);
+
+/// Frobenius norm (L2 norm of the flattened matrix).
+double FrobeniusNorm(const Matrix& a);
+
+/// Dot product of the flattened matrices; shapes must match.
+double FlatDot(const Matrix& a, const Matrix& b);
+
+/// Cosine similarity of the flattened matrices, in [-1, 1]. Returns 1 when
+/// both inputs are (near-)zero and 0 when exactly one is, matching the
+/// convention that two silent signals are maximally similar.
+double CosineSimilarity(const Matrix& a, const Matrix& b);
+
+/// Broadcasts a `1 x c` row across all rows of `a` (adds it to each row).
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row);
+
+/// Mean over rows: returns a `1 x cols` matrix.
+Matrix MeanRows(const Matrix& a);
+
+}  // namespace streamad::linalg
+
+#endif  // STREAMAD_LINALG_MATRIX_H_

@@ -1,0 +1,125 @@
+#include "src/linalg/solve.h"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace streamad::linalg {
+
+bool CholeskySolve(const Matrix& a, const Matrix& b, Matrix* x) {
+  STREAMAD_CHECK(x != nullptr);
+  STREAMAD_CHECK(a.rows() == a.cols());
+  STREAMAD_CHECK(a.rows() == b.rows());
+  const std::size_t n = a.rows();
+
+  // Factor A = L Lᵀ.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 1e-14) return false;  // not positive definite
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+
+  // Solve L z = b (forward), then Lᵀ x = z (backward), per column of b.
+  Matrix out(n, b.cols());
+  std::vector<double> z(n);
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = b(i, c);
+      for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * z[k];
+      z[i] = sum / l(i, i);
+    }
+    for (std::size_t ii = n; ii-- > 0;) {
+      double sum = z[ii];
+      for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * out(k, c);
+      out(ii, c) = sum / l(ii, ii);
+    }
+  }
+  *x = std::move(out);
+  return true;
+}
+
+bool LuSolve(const Matrix& a, const Matrix& b, Matrix* x) {
+  STREAMAD_CHECK(x != nullptr);
+  STREAMAD_CHECK(a.rows() == a.cols());
+  STREAMAD_CHECK(a.rows() == b.rows());
+  const std::size_t n = a.rows();
+
+  Matrix lu = a;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest magnitude in the column.
+    std::size_t pivot = col;
+    double best = std::fabs(lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(lu(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) return false;  // singular
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(lu(pivot, j), lu(col, j));
+      }
+      std::swap(perm[pivot], perm[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      lu(r, col) /= lu(col, col);
+      const double factor = lu(r, col);
+      for (std::size_t j = col + 1; j < n; ++j) {
+        lu(r, j) -= factor * lu(col, j);
+      }
+    }
+  }
+
+  Matrix out(n, b.cols());
+  std::vector<double> z(n);
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    // Forward substitution with permuted right-hand side (L has unit diag).
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = b(perm[i], c);
+      for (std::size_t k = 0; k < i; ++k) sum -= lu(i, k) * z[k];
+      z[i] = sum;
+    }
+    // Backward substitution.
+    for (std::size_t ii = n; ii-- > 0;) {
+      double sum = z[ii];
+      for (std::size_t k = ii + 1; k < n; ++k) sum -= lu(ii, k) * out(k, c);
+      out(ii, c) = sum / lu(ii, ii);
+    }
+  }
+  *x = std::move(out);
+  return true;
+}
+
+Matrix LeastSquares(const Matrix& x, const Matrix& y, double ridge) {
+  STREAMAD_CHECK(x.rows() == y.rows());
+  STREAMAD_CHECK(ridge >= 0.0);
+  const Matrix xt = Transpose(x);
+  Matrix gram = MatMul(xt, x);
+  for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
+  const Matrix rhs = MatMul(xt, y);
+  Matrix beta;
+  if (!CholeskySolve(gram, rhs, &beta)) {
+    // Gram matrix not SPD despite the ridge (e.g. severely rank-deficient
+    // inputs): fall back to LU with a stronger ridge.
+    Matrix gram2 = gram;
+    for (std::size_t i = 0; i < gram2.rows(); ++i) gram2(i, i) += 1e-6;
+    STREAMAD_CHECK_MSG(LuSolve(gram2, rhs, &beta),
+                       "least squares: singular Gram matrix");
+  }
+  return beta;
+}
+
+}  // namespace streamad::linalg

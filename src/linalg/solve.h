@@ -1,0 +1,33 @@
+#ifndef STREAMAD_LINALG_SOLVE_H_
+#define STREAMAD_LINALG_SOLVE_H_
+
+#include "src/linalg/matrix.h"
+
+namespace streamad::linalg {
+
+/// Linear-system solvers backing the VAR model's least-squares estimation.
+///
+/// The VAR(p) estimator solves `min ||Y - X B||_F` for the stacked
+/// coefficient matrix B via the normal equations `(XᵀX) B = XᵀY`. We provide
+/// a Cholesky factorisation (fast path for the SPD normal-equations matrix,
+/// with a ridge fallback when the Gram matrix is near-singular) and a
+/// partial-pivoting LU solver used as the general-purpose fallback and as a
+/// cross-check in tests.
+
+/// Solves `A x = b` for SPD `A` via Cholesky. Returns false (and leaves
+/// `*x` untouched) if `A` is not positive definite within tolerance.
+/// `b` may have multiple columns; the solve is performed per column.
+bool CholeskySolve(const Matrix& a, const Matrix& b, Matrix* x);
+
+/// Solves `A x = b` via LU with partial pivoting. Returns false when `A` is
+/// singular within tolerance. `b` may have multiple columns.
+bool LuSolve(const Matrix& a, const Matrix& b, Matrix* x);
+
+/// Least squares: returns `argmin_B ||y - x B||_F` by solving the ridge
+/// normal equations `(XᵀX + ridge I) B = XᵀY`. `ridge >= 0`; a tiny default
+/// keeps the Gram matrix well-conditioned on short windows.
+Matrix LeastSquares(const Matrix& x, const Matrix& y, double ridge = 1e-8);
+
+}  // namespace streamad::linalg
+
+#endif  // STREAMAD_LINALG_SOLVE_H_

@@ -1,0 +1,55 @@
+#include "src/metrics/intervals.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace streamad::metrics {
+
+std::vector<Interval> IntervalsFromLabels(const std::vector<int>& labels) {
+  std::vector<Interval> intervals;
+  std::size_t start = 0;
+  bool open = false;
+  for (std::size_t t = 0; t < labels.size(); ++t) {
+    const bool positive = labels[t] != 0;
+    if (positive && !open) {
+      start = t;
+      open = true;
+    } else if (!positive && open) {
+      intervals.push_back({start, t});
+      open = false;
+    }
+  }
+  if (open) intervals.push_back({start, labels.size()});
+  return intervals;
+}
+
+std::vector<Interval> IntervalsFromScores(const std::vector<double>& scores,
+                                          double threshold) {
+  std::vector<int> labels(scores.size());
+  for (std::size_t t = 0; t < scores.size(); ++t) {
+    labels[t] = scores[t] >= threshold ? 1 : 0;
+  }
+  return IntervalsFromLabels(labels);
+}
+
+std::vector<double> ThresholdCandidates(const std::vector<double>& scores,
+                                        std::size_t max_candidates) {
+  STREAMAD_CHECK(max_candidates >= 2);
+  std::vector<double> sorted = scores;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (sorted.empty()) return {0.0};
+  if (sorted.size() <= max_candidates) return sorted;
+  std::vector<double> out;
+  out.reserve(max_candidates);
+  for (std::size_t i = 0; i < max_candidates; ++i) {
+    const std::size_t idx =
+        i * (sorted.size() - 1) / (max_candidates - 1);
+    out.push_back(sorted[idx]);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace streamad::metrics

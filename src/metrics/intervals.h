@@ -1,0 +1,39 @@
+#ifndef STREAMAD_METRICS_INTERVALS_H_
+#define STREAMAD_METRICS_INTERVALS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace streamad::metrics {
+
+/// A half-open index range `[begin, end)` of time steps — a ground-truth
+/// anomaly sequence or a predicted one.
+struct Interval {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t length() const { return end - begin; }
+  bool Overlaps(const Interval& other) const {
+    return begin < other.end && other.begin < end;
+  }
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// Maximal runs of non-zero labels as intervals, in order.
+std::vector<Interval> IntervalsFromLabels(const std::vector<int>& labels);
+
+/// Maximal runs of `scores[t] >= threshold` as predicted intervals.
+std::vector<Interval> IntervalsFromScores(const std::vector<double>& scores,
+                                          double threshold);
+
+/// Up to `max_candidates` threshold candidates spread over the empirical
+/// quantiles of `scores` (deduplicated, ascending). Shared by the
+/// threshold-sweeping metrics (PR-AUC, NAB, VUS).
+std::vector<double> ThresholdCandidates(const std::vector<double>& scores,
+                                        std::size_t max_candidates);
+
+}  // namespace streamad::metrics
+
+#endif  // STREAMAD_METRICS_INTERVALS_H_

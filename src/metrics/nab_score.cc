@@ -1,0 +1,60 @@
+#include "src/metrics/nab_score.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace streamad::metrics {
+
+double NabSigmoid(double y) { return 2.0 / (1.0 + std::exp(5.0 * y)) - 1.0; }
+
+double NabScoreAt(const std::vector<double>& scores,
+                  const std::vector<int>& labels, double threshold,
+                  const NabParams& params) {
+  STREAMAD_CHECK(scores.size() == labels.size());
+  const std::vector<Interval> windows = IntervalsFromLabels(labels);
+  if (windows.empty()) return 0.0;
+
+  double raw = 0.0;
+  // Rewards: the earliest detection within each window.
+  for (const Interval& window : windows) {
+    double best = -params.fn_weight;  // missed window until proven otherwise
+    for (std::size_t t = window.begin; t < window.end; ++t) {
+      if (scores[t] >= threshold) {
+        // Relative position: window start maps to -1, end to 0.
+        const double y =
+            (static_cast<double>(t) - static_cast<double>(window.end)) /
+            static_cast<double>(window.length());
+        best = NabSigmoid(y);
+        break;  // only the earliest detection counts
+      }
+    }
+    raw += best;
+  }
+  // Penalties: every detection step outside all windows.
+  std::size_t w_idx = 0;
+  for (std::size_t t = 0; t < scores.size(); ++t) {
+    while (w_idx < windows.size() && windows[w_idx].end <= t) ++w_idx;
+    const bool inside =
+        w_idx < windows.size() && t >= windows[w_idx].begin &&
+        t < windows[w_idx].end;
+    if (!inside && scores[t] >= threshold) raw -= params.fp_weight;
+  }
+  return raw / static_cast<double>(windows.size());
+}
+
+double NabScoreBestThreshold(const std::vector<double>& scores,
+                             const std::vector<int>& labels,
+                             std::size_t max_thresholds,
+                             const NabParams& params) {
+  STREAMAD_CHECK(!scores.empty());
+  double best = -std::numeric_limits<double>::infinity();
+  for (double threshold : ThresholdCandidates(scores, max_thresholds)) {
+    best = std::max(best, NabScoreAt(scores, labels, threshold, params));
+  }
+  return best;
+}
+
+}  // namespace streamad::metrics

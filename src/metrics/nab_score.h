@@ -1,0 +1,49 @@
+#ifndef STREAMAD_METRICS_NAB_SCORE_H_
+#define STREAMAD_METRICS_NAB_SCORE_H_
+
+#include <vector>
+
+#include "src/metrics/intervals.h"
+
+namespace streamad::metrics {
+
+/// Numenta Anomaly Benchmark scoring (paper §V-A, after Lavin & Ahmad).
+///
+/// Point-wise detections (score >= threshold) are judged against the
+/// ground-truth anomaly windows:
+///  * the earliest detection inside each window earns a sigmoidal reward —
+///    close to 1 at the window start, decaying towards 0 at its end
+///    (rewarding early detection);
+///  * every detection step outside all windows costs `fp_weight`;
+///  * every missed window costs `fn_weight`.
+///
+/// The sum is normalised by the number of windows, so a perfect detector
+/// approaches 1 while an always-firing one diverges towards large negative
+/// values — each false-alarm step contributes −fp_weight/|anomalies|,
+/// which is exactly the behaviour the paper describes for its very
+/// negative Table III entries.
+struct NabParams {
+  double fp_weight = 0.11;  // NAB "standard profile" A_FP
+  double fn_weight = 1.0;   // A_FN
+};
+
+/// NAB score at a fixed detection threshold.
+double NabScoreAt(const std::vector<double>& scores,
+                  const std::vector<int>& labels, double threshold,
+                  const NabParams& params = NabParams());
+
+/// NAB score at the best threshold over a quantile sweep — NAB's usual
+/// per-detector threshold optimisation.
+double NabScoreBestThreshold(const std::vector<double>& scores,
+                             const std::vector<int>& labels,
+                             std::size_t max_thresholds = 100,
+                             const NabParams& params = NabParams());
+
+/// The scaled-sigmoid positional weight used for rewards: position `y` in
+/// [-1, 0] relative to the window (start = -1, end = 0) maps to ~0.98
+/// down to 0. Exposed for tests.
+double NabSigmoid(double y);
+
+}  // namespace streamad::metrics
+
+#endif  // STREAMAD_METRICS_NAB_SCORE_H_

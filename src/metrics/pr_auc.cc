@@ -1,0 +1,98 @@
+#include "src/metrics/pr_auc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/metrics/precision_recall.h"
+
+namespace streamad::metrics {
+
+namespace {
+
+struct CurvePoint {
+  double recall;
+  double precision;
+};
+
+double FlaggedFraction(const std::vector<double>& scores, double threshold) {
+  std::size_t flagged = 0;
+  for (double s : scores) flagged += s >= threshold ? 1 : 0;
+  return static_cast<double>(flagged) / static_cast<double>(scores.size());
+}
+
+std::vector<CurvePoint> SweepCurve(const std::vector<double>& scores,
+                                   const std::vector<int>& labels,
+                                   std::size_t max_thresholds,
+                                   double max_flag_fraction) {
+  STREAMAD_CHECK(scores.size() == labels.size());
+  STREAMAD_CHECK(!scores.empty());
+  const std::vector<Interval> truth = IntervalsFromLabels(labels);
+  std::vector<CurvePoint> curve;
+  for (double threshold : ThresholdCandidates(scores, max_thresholds)) {
+    if (FlaggedFraction(scores, threshold) > max_flag_fraction) continue;
+    const PrecisionRecall pr = ComputePrecisionRecall(ComputeRangeConfusion(
+        truth, IntervalsFromScores(scores, threshold)));
+    curve.push_back({pr.recall, pr.precision});
+  }
+  // Anchor at (0, 1): an infinitely strict threshold claims nothing.
+  curve.push_back({0.0, 1.0});
+  std::sort(curve.begin(), curve.end(),
+            [](const CurvePoint& a, const CurvePoint& b) {
+              return a.recall < b.recall ||
+                     (a.recall == b.recall && a.precision > b.precision);
+            });
+  return curve;
+}
+
+}  // namespace
+
+double RangePrAuc(const std::vector<double>& scores,
+                  const std::vector<int>& labels,
+                  std::size_t max_thresholds, double max_flag_fraction) {
+  const std::vector<CurvePoint> curve =
+      SweepCurve(scores, labels, max_thresholds, max_flag_fraction);
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dr = curve[i].recall - curve[i - 1].recall;
+    auc += dr * 0.5 * (curve[i].precision + curve[i - 1].precision);
+  }
+  return auc;
+}
+
+BestOperatingPoint BestF1OperatingPoint(const std::vector<double>& scores,
+                                        const std::vector<int>& labels,
+                                        std::size_t max_thresholds,
+                                        double max_flag_fraction) {
+  STREAMAD_CHECK(scores.size() == labels.size());
+  STREAMAD_CHECK(!scores.empty());
+  const std::vector<Interval> truth = IntervalsFromLabels(labels);
+  const std::vector<double> candidates =
+      ThresholdCandidates(scores, max_thresholds);
+  BestOperatingPoint best;
+  best.threshold = candidates.back();  // strictest fallback
+  bool any_valid = false;
+  for (double threshold : candidates) {
+    if (FlaggedFraction(scores, threshold) > max_flag_fraction) continue;
+    const PrecisionRecall pr = ComputePrecisionRecall(ComputeRangeConfusion(
+        truth, IntervalsFromScores(scores, threshold)));
+    const double denom = pr.precision + pr.recall;
+    const double f1 =
+        denom > 0.0 ? 2.0 * pr.precision * pr.recall / denom : 0.0;
+    if (!any_valid || f1 > best.f1) {
+      best = {threshold, pr.precision, pr.recall, f1};
+      any_valid = true;
+    }
+  }
+  if (!any_valid) {
+    const PrecisionRecall pr = ComputePrecisionRecall(ComputeRangeConfusion(
+        truth, IntervalsFromScores(scores, best.threshold)));
+    const double denom = pr.precision + pr.recall;
+    best.precision = pr.precision;
+    best.recall = pr.recall;
+    best.f1 = denom > 0.0 ? 2.0 * pr.precision * pr.recall / denom : 0.0;
+  }
+  return best;
+}
+
+}  // namespace streamad::metrics

@@ -1,0 +1,47 @@
+#ifndef STREAMAD_METRICS_PR_AUC_H_
+#define STREAMAD_METRICS_PR_AUC_H_
+
+#include <vector>
+
+namespace streamad::metrics {
+
+/// Area under the interval-based precision-recall curve (paper §V-A, the
+/// "AUC" column of Table III): the anomaly-score threshold is swept over
+/// the empirical quantiles, range precision / recall are computed at each
+/// (Hundman counting), the curve is completed with the (recall=0,
+/// precision=1) endpoint and integrated over recall with the trapezoid
+/// rule.
+///
+/// `max_thresholds` bounds the sweep; `scores` and `labels` must align.
+///
+/// Degenerate operating points are excluded: a threshold that flags more
+/// than `max_flag_fraction` of all points produces one stream-spanning
+/// predicted interval that trivially overlaps every anomaly (range
+/// precision = recall = 1), which would let any detector reach a perfect
+/// curve. Capping the flagged fraction keeps the sweep to operating
+/// points a monitoring system could actually deploy.
+double RangePrAuc(const std::vector<double>& scores,
+                  const std::vector<int>& labels,
+                  std::size_t max_thresholds = 100,
+                  double max_flag_fraction = 0.3);
+
+/// The best (threshold, precision, recall) by F1 over the same sweep —
+/// the operating point the per-corpus Prec / Rec columns report.
+struct BestOperatingPoint {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Thresholds flagging more than `max_flag_fraction` of the stream are
+/// excluded (see `RangePrAuc`); if every candidate exceeds the cap, the
+/// strictest threshold is returned.
+BestOperatingPoint BestF1OperatingPoint(const std::vector<double>& scores,
+                                        const std::vector<int>& labels,
+                                        std::size_t max_thresholds = 100,
+                                        double max_flag_fraction = 0.3);
+
+}  // namespace streamad::metrics
+
+#endif  // STREAMAD_METRICS_PR_AUC_H_

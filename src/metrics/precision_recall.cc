@@ -1,0 +1,62 @@
+#include "src/metrics/precision_recall.h"
+
+#include "src/common/check.h"
+
+namespace streamad::metrics {
+
+RangeConfusion ComputeRangeConfusion(const std::vector<Interval>& truth,
+                                     const std::vector<Interval>& predicted) {
+  RangeConfusion confusion;
+  for (const Interval& anomaly : truth) {
+    bool hit = false;
+    for (const Interval& pred : predicted) {
+      if (anomaly.Overlaps(pred)) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      ++confusion.true_positives;
+    } else {
+      ++confusion.false_negatives;
+    }
+  }
+  for (const Interval& pred : predicted) {
+    bool overlaps_truth = false;
+    for (const Interval& anomaly : truth) {
+      if (pred.Overlaps(anomaly)) {
+        overlaps_truth = true;
+        break;
+      }
+    }
+    if (!overlaps_truth) ++confusion.false_positives;
+  }
+  return confusion;
+}
+
+PrecisionRecall ComputePrecisionRecall(const RangeConfusion& confusion) {
+  PrecisionRecall pr;
+  const std::size_t claimed =
+      confusion.true_positives + confusion.false_positives;
+  pr.precision = claimed == 0
+                     ? 1.0
+                     : static_cast<double>(confusion.true_positives) /
+                           static_cast<double>(claimed);
+  const std::size_t actual =
+      confusion.true_positives + confusion.false_negatives;
+  pr.recall = actual == 0 ? 1.0
+                          : static_cast<double>(confusion.true_positives) /
+                                static_cast<double>(actual);
+  return pr;
+}
+
+PrecisionRecall RangePrecisionRecallAt(const std::vector<double>& scores,
+                                       const std::vector<int>& labels,
+                                       double threshold) {
+  STREAMAD_CHECK(scores.size() == labels.size());
+  return ComputePrecisionRecall(
+      ComputeRangeConfusion(IntervalsFromLabels(labels),
+                            IntervalsFromScores(scores, threshold)));
+}
+
+}  // namespace streamad::metrics

@@ -1,0 +1,46 @@
+#ifndef STREAMAD_METRICS_PRECISION_RECALL_H_
+#define STREAMAD_METRICS_PRECISION_RECALL_H_
+
+#include <vector>
+
+#include "src/metrics/intervals.h"
+
+namespace streamad::metrics {
+
+/// Interval-based (range) confusion counts following Hundman et al.
+/// (paper §V-A): a ground-truth anomaly sequence with at least one
+/// positively predicted step counts as one TP; with none, one FN; a
+/// predicted sequence with no overlap to any true sequence counts as one
+/// FP. A long run of consecutive false alarms is therefore a *single* FP —
+/// the source of the paper's "high precision, very negative NAB" effect.
+struct RangeConfusion {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+};
+
+/// Computes the range confusion between ground-truth and predicted
+/// intervals.
+RangeConfusion ComputeRangeConfusion(
+    const std::vector<Interval>& truth,
+    const std::vector<Interval>& predicted);
+
+/// Precision / recall from range counts. Conventions: with no predictions
+/// at all, precision is 1 (nothing claimed, nothing wrong); with no true
+/// anomalies, recall is 1.
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+PrecisionRecall ComputePrecisionRecall(const RangeConfusion& confusion);
+
+/// End-to-end convenience: threshold `scores`, derive intervals from the
+/// point labels, and return range precision / recall.
+PrecisionRecall RangePrecisionRecallAt(const std::vector<double>& scores,
+                                       const std::vector<int>& labels,
+                                       double threshold);
+
+}  // namespace streamad::metrics
+
+#endif  // STREAMAD_METRICS_PRECISION_RECALL_H_

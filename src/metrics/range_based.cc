@@ -1,0 +1,86 @@
+#include "src/metrics/range_based.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace streamad::metrics {
+
+namespace {
+
+std::size_t OverlapLength(const Interval& a, const Interval& b) {
+  const std::size_t begin = std::max(a.begin, b.begin);
+  const std::size_t end = std::min(a.end, b.end);
+  return end > begin ? end - begin : 0;
+}
+
+/// The per-range score of `range` against the `others` set: existence,
+/// overlap fraction and cardinality combined per Tatbul et al. with flat
+/// positional bias.
+double RangeScore(const Interval& range, const std::vector<Interval>& others,
+                  double alpha) {
+  std::size_t covered = 0;
+  std::size_t overlapping = 0;
+  for (const Interval& other : others) {
+    const std::size_t overlap = OverlapLength(range, other);
+    if (overlap > 0) {
+      covered += overlap;
+      ++overlapping;
+    }
+  }
+  if (overlapping == 0) return 0.0;
+  const double existence = 1.0;
+  const double overlap_fraction =
+      static_cast<double>(covered) / static_cast<double>(range.length());
+  const double cardinality = 1.0 / static_cast<double>(overlapping);
+  return alpha * existence +
+         (1.0 - alpha) * cardinality * overlap_fraction;
+}
+
+}  // namespace
+
+RangeBasedResult RangeBasedPrecisionRecall(
+    const std::vector<Interval>& truth,
+    const std::vector<Interval>& predicted,
+    const RangeBasedParams& params) {
+  STREAMAD_CHECK(params.alpha >= 0.0 && params.alpha <= 1.0);
+  RangeBasedResult result;
+
+  if (truth.empty()) {
+    result.recall = 1.0;
+  } else {
+    double total = 0.0;
+    for (const Interval& range : truth) {
+      total += RangeScore(range, predicted, params.alpha);
+    }
+    result.recall = total / static_cast<double>(truth.size());
+  }
+
+  if (predicted.empty()) {
+    result.precision = 1.0;
+  } else {
+    double total = 0.0;
+    for (const Interval& range : predicted) {
+      // Precision has no existence reward in Tatbul et al. (alpha = 0):
+      // a predicted range earns only for the fraction covering anomalies.
+      total += RangeScore(range, truth, /*alpha=*/0.0);
+    }
+    result.precision = total / static_cast<double>(predicted.size());
+  }
+
+  const double denom = result.precision + result.recall;
+  result.f1 =
+      denom > 0.0 ? 2.0 * result.precision * result.recall / denom : 0.0;
+  return result;
+}
+
+RangeBasedResult RangeBasedPrecisionRecallAt(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    double threshold, const RangeBasedParams& params) {
+  STREAMAD_CHECK(scores.size() == labels.size());
+  return RangeBasedPrecisionRecall(IntervalsFromLabels(labels),
+                                   IntervalsFromScores(scores, threshold),
+                                   params);
+}
+
+}  // namespace streamad::metrics

@@ -1,0 +1,51 @@
+#ifndef STREAMAD_METRICS_RANGE_BASED_H_
+#define STREAMAD_METRICS_RANGE_BASED_H_
+
+#include <vector>
+
+#include "src/metrics/intervals.h"
+
+namespace streamad::metrics {
+
+/// Range-based precision / recall after Tatbul et al. (NeurIPS 2018) — a
+/// finer-grained alternative to the Hundman point-adjust counting used in
+/// the paper's Table III (shipped as a metrics extension; see DESIGN.md).
+///
+/// For each real anomaly range R and the set of predicted ranges P, the
+/// recall of R combines
+///   * existence       — was R detected at all,
+///   * overlap size    — how much of R is covered,
+///   * cardinality     — is R covered by one prediction or fragmented.
+/// Precision is symmetric (how much of each predicted range covers real
+/// anomalies). The final scores average over ranges.
+///
+/// This implementation uses the flat positional bias (all positions in a
+/// range weigh equally) and the reciprocal cardinality factor `1/x` for a
+/// range overlapped by `x` predictions.
+struct RangeBasedParams {
+  /// Weight of the existence reward inside recall, `alpha` in the paper
+  /// (0 = pure overlap, 1 = pure existence).
+  double alpha = 0.0;
+};
+
+struct RangeBasedResult {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Computes range-based precision / recall between ground-truth and
+/// predicted intervals. With no predictions, precision is 1 by
+/// convention; with no real anomalies, recall is 1.
+RangeBasedResult RangeBasedPrecisionRecall(
+    const std::vector<Interval>& truth, const std::vector<Interval>& predicted,
+    const RangeBasedParams& params = RangeBasedParams());
+
+/// Convenience overload thresholding a score stream.
+RangeBasedResult RangeBasedPrecisionRecallAt(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    double threshold, const RangeBasedParams& params = RangeBasedParams());
+
+}  // namespace streamad::metrics
+
+#endif  // STREAMAD_METRICS_RANGE_BASED_H_

@@ -1,0 +1,96 @@
+#include "src/metrics/vus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/metrics/intervals.h"
+
+namespace streamad::metrics {
+
+std::vector<double> BufferedLabels(const std::vector<int>& labels,
+                                   std::size_t buffer) {
+  std::vector<double> soft(labels.size(), 0.0);
+  for (std::size_t t = 0; t < labels.size(); ++t) {
+    if (labels[t] != 0) soft[t] = 1.0;
+  }
+  if (buffer == 0) return soft;
+  for (const Interval& range : IntervalsFromLabels(labels)) {
+    for (std::size_t d = 1; d <= buffer; ++d) {
+      const double ramp = 1.0 - static_cast<double>(d) /
+                                    static_cast<double>(buffer + 1);
+      if (range.begin >= d) {
+        const std::size_t t = range.begin - d;
+        soft[t] = std::max(soft[t], ramp);
+      }
+      const std::size_t after = range.end + d - 1;
+      if (after < soft.size()) {
+        soft[after] = std::max(soft[after], ramp);
+      }
+    }
+  }
+  return soft;
+}
+
+namespace {
+
+/// Point-wise PR area with continuous labels: TP(θ) = Σ_{score≥θ} soft(t),
+/// precision = TP / |claimed|, recall = TP / Σ soft.
+double SoftPrArea(const std::vector<double>& scores,
+                  const std::vector<double>& soft,
+                  std::size_t max_thresholds) {
+  double total_positive = 0.0;
+  for (double s : soft) total_positive += s;
+  if (total_positive <= 0.0) return 0.0;
+
+  struct Point {
+    double recall;
+    double precision;
+  };
+  std::vector<Point> curve;
+  for (double threshold : ThresholdCandidates(scores, max_thresholds)) {
+    double tp = 0.0;
+    std::size_t claimed = 0;
+    for (std::size_t t = 0; t < scores.size(); ++t) {
+      if (scores[t] >= threshold) {
+        tp += soft[t];
+        ++claimed;
+      }
+    }
+    const double precision =
+        claimed == 0 ? 1.0 : tp / static_cast<double>(claimed);
+    curve.push_back({tp / total_positive, precision});
+  }
+  curve.push_back({0.0, 1.0});
+  std::sort(curve.begin(), curve.end(), [](const Point& a, const Point& b) {
+    return a.recall < b.recall ||
+           (a.recall == b.recall && a.precision > b.precision);
+  });
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    area += (curve[i].recall - curve[i - 1].recall) * 0.5 *
+            (curve[i].precision + curve[i - 1].precision);
+  }
+  return area;
+}
+
+}  // namespace
+
+double VolumeUnderPrSurface(const std::vector<double>& scores,
+                            const std::vector<int>& labels,
+                            const VusParams& params) {
+  STREAMAD_CHECK(scores.size() == labels.size());
+  STREAMAD_CHECK(!scores.empty());
+  STREAMAD_CHECK(params.buffer_step > 0);
+  double volume = 0.0;
+  std::size_t slices = 0;
+  for (std::size_t buffer = 0; buffer <= params.max_buffer;
+       buffer += params.buffer_step) {
+    volume += SoftPrArea(scores, BufferedLabels(labels, buffer),
+                         params.max_thresholds);
+    ++slices;
+  }
+  return volume / static_cast<double>(slices);
+}
+
+}  // namespace streamad::metrics

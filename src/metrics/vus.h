@@ -1,0 +1,36 @@
+#ifndef STREAMAD_METRICS_VUS_H_
+#define STREAMAD_METRICS_VUS_H_
+
+#include <vector>
+
+namespace streamad::metrics {
+
+/// Volume under the surface (paper §V-A, after Paparrizos et al.), PR
+/// variant: point-wise precision / recall with *buffered* continuous
+/// labels.
+///
+/// For each buffer width ℓ in {0, step, 2·step, ..., max_buffer} the 0/1
+/// labels are softened with a linear ramp of width ℓ on both sides of
+/// every anomaly range; a point-wise PR curve over the score thresholds is
+/// integrated to an area; the volume is the mean area over all ℓ — a
+/// parameter-free metric combining point-wise scores with tolerance for
+/// near-miss predictions at range borders.
+struct VusParams {
+  std::size_t max_buffer = 20;
+  std::size_t buffer_step = 5;
+  std::size_t max_thresholds = 50;
+};
+
+/// VUS-PR in [0, 1].
+double VolumeUnderPrSurface(const std::vector<double>& scores,
+                            const std::vector<int>& labels,
+                            const VusParams& params = VusParams());
+
+/// The soft labels for one buffer width (exposed for tests): 1 inside an
+/// anomaly, linear ramp down to 0 over `buffer` steps outside its borders.
+std::vector<double> BufferedLabels(const std::vector<int>& labels,
+                                   std::size_t buffer);
+
+}  // namespace streamad::metrics
+
+#endif  // STREAMAD_METRICS_VUS_H_

@@ -1,0 +1,135 @@
+#include "src/models/autoencoder.h"
+#include "src/models/checkpoint_util.h"
+
+#include <memory>
+
+#include "src/common/check.h"
+#include "src/nn/activations.h"
+#include "src/nn/linear.h"
+#include "src/nn/loss.h"
+
+namespace streamad::models {
+
+Autoencoder::Autoencoder(const Params& params, std::uint64_t seed)
+    : params_(params), rng_(seed), optimizer_(params.learning_rate) {
+  STREAMAD_CHECK(params.hidden > 0);
+  STREAMAD_CHECK(params.learning_rate > 0.0);
+  STREAMAD_CHECK(params.batch_size > 0);
+}
+
+void Autoencoder::EnsureBuilt(std::size_t flat_dim) {
+  if (flat_dim_ == flat_dim) return;
+  STREAMAD_CHECK_MSG(flat_dim_ == 0, "input dimensionality changed");
+  flat_dim_ = flat_dim;
+  net_ = nn::Sequential();
+  net_.Add(std::make_unique<nn::Linear>(flat_dim, params_.hidden, &rng_))
+      .Add(std::make_unique<nn::Sigmoid>())
+      .Add(std::make_unique<nn::Linear>(params_.hidden, flat_dim, &rng_));
+}
+
+void Autoencoder::TrainOneEpoch(const linalg::Matrix& flat_scaled) {
+  const std::size_t rows = flat_scaled.rows();
+  for (std::size_t start = 0; start < rows; start += params_.batch_size) {
+    const std::size_t count = std::min(params_.batch_size, rows - start);
+    linalg::Matrix batch(count, flat_scaled.cols());
+    for (std::size_t i = 0; i < count; ++i) {
+      batch.SetRow(i, flat_scaled.Row(start + i));
+    }
+    nn::Sequential::Tape tape;
+    const linalg::Matrix recon = net_.Forward(batch, &tape);
+    const linalg::Matrix grad = nn::MseLossGrad(recon, batch);
+    net_.ZeroGrads();
+    net_.Backward(grad, tape, /*accumulate_param_grads=*/true);
+    optimizer_.StepAll(net_.Params());
+  }
+}
+
+void Autoencoder::Fit(const core::TrainingSet& train) {
+  STREAMAD_CHECK(!train.empty());
+  scaler_.Fit(train);
+  const std::size_t flat_dim = train.at(0).window.size();
+  flat_dim_ = 0;  // force rebuild: Fit restarts from fresh weights
+  EnsureBuilt(flat_dim);
+
+  // Standardise each window, then flatten to rows.
+  linalg::Matrix flat(train.size(), flat_dim);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const linalg::Matrix scaled = scaler_.Transform(train.at(i).window);
+    for (std::size_t j = 0; j < flat_dim; ++j) {
+      flat(i, j) = scaled.at_flat(j);
+    }
+  }
+  for (std::size_t epoch = 0; epoch < params_.fit_epochs; ++epoch) {
+    TrainOneEpoch(flat);
+  }
+}
+
+void Autoencoder::Finetune(const core::TrainingSet& train) {
+  STREAMAD_CHECK_MSG(flat_dim_ > 0, "Finetune before Fit");
+  STREAMAD_CHECK(!train.empty());
+  // Refresh the channel statistics, then one epoch (Table I caption).
+  scaler_.Fit(train);
+  const std::size_t flat_dim = train.at(0).window.size();
+  STREAMAD_CHECK(flat_dim == flat_dim_);
+  linalg::Matrix flat(train.size(), flat_dim);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const linalg::Matrix scaled = scaler_.Transform(train.at(i).window);
+    for (std::size_t j = 0; j < flat_dim; ++j) {
+      flat(i, j) = scaled.at_flat(j);
+    }
+  }
+  TrainOneEpoch(flat);
+}
+
+linalg::Matrix Autoencoder::Predict(const core::FeatureVector& x) {
+  STREAMAD_CHECK_MSG(flat_dim_ > 0, "Predict before Fit");
+  STREAMAD_CHECK(x.window.size() == flat_dim_);
+  const linalg::Matrix scaled = scaler_.Transform(x.window);
+  const linalg::Matrix flat = scaled.Reshaped(1, flat_dim_);
+  const linalg::Matrix recon = net_.Infer(flat);
+  return scaler_.InverseTransform(
+      recon.Reshaped(x.window.rows(), x.window.cols()));
+}
+
+double Autoencoder::MeanReconstructionError(const core::TrainingSet& train) {
+  STREAMAD_CHECK(!train.empty());
+  double total = 0.0;
+  for (const core::FeatureVector& fv : train.entries()) {
+    const linalg::Matrix scaled = scaler_.Transform(fv.window);
+    const linalg::Matrix flat = scaled.Reshaped(1, flat_dim_);
+    total += nn::MseLoss(net_.Infer(flat), flat);
+  }
+  return total / static_cast<double>(train.size());
+}
+
+
+bool Autoencoder::SaveState(std::ostream* out) const {
+  STREAMAD_CHECK(out != nullptr);
+  io::BinaryWriter w(out);
+  w.WriteString("streamad.ae.v1");
+  w.WriteU64(flat_dim_);
+  w.WriteU64(params_.hidden);
+  internal::SaveScaler(scaler_, &w);
+  // Params() is non-const by interface design (optimizers mutate through
+  // it); serialisation only reads.
+  internal::SaveNnParams(const_cast<Autoencoder*>(this)->net_.Params(), &w);
+  return w.ok();
+}
+
+bool Autoencoder::LoadState(std::istream* in) {
+  STREAMAD_CHECK(in != nullptr);
+  io::BinaryReader r(in);
+  std::uint64_t flat_dim = 0;
+  std::uint64_t hidden = 0;
+  if (!r.ExpectString("streamad.ae.v1") || !r.ReadU64(&flat_dim) ||
+      !r.ReadU64(&hidden)) {
+    return false;
+  }
+  if (hidden != params_.hidden || flat_dim == 0) return false;
+  if (!internal::LoadScaler(&scaler_, &r)) return false;
+  flat_dim_ = 0;  // force a rebuild with the checkpointed dimensionality
+  EnsureBuilt(flat_dim);
+  return internal::LoadNnParams(net_.Params(), &r);
+}
+
+}  // namespace streamad::models

@@ -1,0 +1,66 @@
+#ifndef STREAMAD_MODELS_AUTOENCODER_H_
+#define STREAMAD_MODELS_AUTOENCODER_H_
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/core/component_interfaces.h"
+#include "src/models/scaler.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/sequential.h"
+
+namespace streamad::models {
+
+/// **Two-layer autoencoder** (paper §IV-C): the reconstruction baseline
+///
+///   x̂ = r⁻¹( σ( r(x) W₁ + b₁ ) W₂ + b₂ )
+///
+/// where `r` flattens the `w x N` window to a row of length `Nw`. The model
+/// parameters θ_model = {W₁, W₂, b₁, b₂}. Inputs are standardised per
+/// channel (see `ChannelScaler`); the reconstruction is mapped back to raw
+/// stream units, so `Predict` returns a window-shaped matrix comparable to
+/// the input.
+class Autoencoder : public core::Model {
+ public:
+  struct Params {
+    /// Width of the hidden (bottleneck) layer.
+    std::size_t hidden = 32;
+    /// Adam learning rate.
+    double learning_rate = 1e-2;
+    /// Epochs for the initial `Fit` (fine-tuning is always one epoch).
+    std::size_t fit_epochs = 30;
+    /// Mini-batch size; the training set is visited in chunks of this many
+    /// feature vectors per optimizer step.
+    std::size_t batch_size = 32;
+  };
+
+  Autoencoder(const Params& params, std::uint64_t seed);
+
+  Kind kind() const override { return Kind::kReconstruction; }
+  std::string_view name() const override { return "2-layer-AE"; }
+  void Fit(const core::TrainingSet& train) override;
+  void Finetune(const core::TrainingSet& train) override;
+  linalg::Matrix Predict(const core::FeatureVector& x) override;
+
+  bool SaveState(std::ostream* out) const override;
+  bool LoadState(std::istream* in) override;
+
+  /// Mean squared reconstruction error over a training set (diagnostics
+  /// and convergence tests).
+  double MeanReconstructionError(const core::TrainingSet& train);
+
+ private:
+  void EnsureBuilt(std::size_t flat_dim);
+  void TrainOneEpoch(const linalg::Matrix& flat_scaled);
+
+  Params params_;
+  Rng rng_;
+  nn::Sequential net_;
+  nn::Adam optimizer_;
+  ChannelScaler scaler_;
+  std::size_t flat_dim_ = 0;
+};
+
+}  // namespace streamad::models
+
+#endif  // STREAMAD_MODELS_AUTOENCODER_H_

@@ -1,0 +1,70 @@
+#ifndef STREAMAD_MODELS_CHECKPOINT_UTIL_H_
+#define STREAMAD_MODELS_CHECKPOINT_UTIL_H_
+
+#include <vector>
+
+#include "src/io/binary_io.h"
+#include "src/models/scaler.h"
+#include "src/nn/layer.h"
+
+namespace streamad::models::internal {
+
+/// Shared checkpoint plumbing for the model implementations: the channel
+/// scaler and neural-network parameter lists (values plus Adam moments, so
+/// fine-tuning resumes exactly where it stopped).
+
+inline void SaveScaler(const ChannelScaler& scaler, io::BinaryWriter* w) {
+  w->WriteDoubleVec(scaler.mean());
+  w->WriteDoubleVec(scaler.stddev());
+}
+
+inline bool LoadScaler(ChannelScaler* scaler, io::BinaryReader* r) {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+  if (!r->ReadDoubleVec(&mean) || !r->ReadDoubleVec(&stddev)) return false;
+  if (mean.size() != stddev.size()) return false;
+  scaler->Restore(std::move(mean), std::move(stddev));
+  return true;
+}
+
+inline void SaveNnParams(const std::vector<nn::Parameter*>& params,
+                         io::BinaryWriter* w) {
+  w->WriteU64(params.size());
+  for (const nn::Parameter* p : params) {
+    w->WriteMatrix(p->value);
+    w->WriteMatrix(p->adam_m);
+    w->WriteMatrix(p->adam_v);
+    w->WriteI64(p->adam_steps);
+  }
+}
+
+/// Loads into an already-built network whose parameter shapes must match
+/// the checkpoint exactly.
+inline bool LoadNnParams(const std::vector<nn::Parameter*>& params,
+                         io::BinaryReader* r) {
+  std::uint64_t count = 0;
+  if (!r->ReadU64(&count) || count != params.size()) return false;
+  for (nn::Parameter* p : params) {
+    linalg::Matrix value;
+    linalg::Matrix adam_m;
+    linalg::Matrix adam_v;
+    std::int64_t steps = 0;
+    if (!r->ReadMatrix(&value) || !r->ReadMatrix(&adam_m) ||
+        !r->ReadMatrix(&adam_v) || !r->ReadI64(&steps)) {
+      return false;
+    }
+    if (value.rows() != p->value.rows() || value.cols() != p->value.cols()) {
+      return false;
+    }
+    p->value = std::move(value);
+    p->adam_m = std::move(adam_m);
+    p->adam_v = std::move(adam_v);
+    p->adam_steps = steps;
+    p->ZeroGrad();
+  }
+  return true;
+}
+
+}  // namespace streamad::models::internal
+
+#endif  // STREAMAD_MODELS_CHECKPOINT_UTIL_H_

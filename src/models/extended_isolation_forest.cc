@@ -1,0 +1,287 @@
+#include "src/models/extended_isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace streamad::models {
+
+namespace {
+
+constexpr double kEulerMascheroni = 0.5772156649015329;
+
+}  // namespace
+
+double IsolationTree::AveragePathLength(std::size_t n) {
+  if (n <= 1) return 0.0;
+  if (n == 2) return 1.0;
+  const double nd = static_cast<double>(n);
+  // c(n) = 2 H(n-1) - 2(n-1)/n with H(k) ≈ ln(k) + γ.
+  return 2.0 * (std::log(nd - 1.0) + kEulerMascheroni) -
+         2.0 * (nd - 1.0) / nd;
+}
+
+IsolationTree::IsolationTree(const linalg::Matrix& points,
+                             std::size_t max_depth, Rng* rng) {
+  STREAMAD_CHECK(rng != nullptr);
+  STREAMAD_CHECK(points.rows() > 0);
+  std::vector<std::size_t> index(points.rows());
+  std::iota(index.begin(), index.end(), 0);
+  root_ = Build(points, std::move(index), 0, max_depth, rng);
+}
+
+int IsolationTree::Build(const linalg::Matrix& points,
+                         std::vector<std::size_t> index, std::size_t depth,
+                         std::size_t max_depth, Rng* rng) {
+  const std::size_t dims = points.cols();
+  if (index.size() <= 1 || depth >= max_depth) {
+    Node leaf;
+    leaf.leaf = true;
+    leaf.size = index.size();
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  // Bounding box of the points reaching this node.
+  std::vector<double> lo(dims, 0.0);
+  std::vector<double> hi(dims, 0.0);
+  for (std::size_t d = 0; d < dims; ++d) {
+    lo[d] = hi[d] = points(index[0], d);
+  }
+  for (std::size_t i = 1; i < index.size(); ++i) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      lo[d] = std::min(lo[d], points(index[i], d));
+      hi[d] = std::max(hi[d], points(index[i], d));
+    }
+  }
+
+  Node node;
+  node.leaf = false;
+  node.normal.resize(dims);
+  node.intercept.resize(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    node.normal[d] = rng->Gaussian();
+    node.intercept[d] = rng->Uniform(lo[d], hi[d]);
+  }
+
+  std::vector<std::size_t> left_idx;
+  std::vector<std::size_t> right_idx;
+  for (std::size_t i : index) {
+    double dot = 0.0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      dot += (points(i, d) - node.intercept[d]) * node.normal[d];
+    }
+    (dot <= 0.0 ? left_idx : right_idx).push_back(i);
+  }
+
+  // A degenerate split (all points on one side, e.g. identical points)
+  // terminates the branch as a leaf to guarantee progress.
+  if (left_idx.empty() || right_idx.empty()) {
+    Node leaf;
+    leaf.leaf = true;
+    leaf.size = index.size();
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  const int self = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  const int left = Build(points, std::move(left_idx), depth + 1, max_depth,
+                         rng);
+  const int right = Build(points, std::move(right_idx), depth + 1, max_depth,
+                          rng);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+double IsolationTree::PathLength(const std::vector<double>& point) const {
+  STREAMAD_CHECK(root_ >= 0);
+  int current = root_;
+  double depth = 0.0;
+  while (!nodes_[current].leaf) {
+    const Node& node = nodes_[current];
+    STREAMAD_DCHECK(point.size() == node.normal.size());
+    double dot = 0.0;
+    for (std::size_t d = 0; d < point.size(); ++d) {
+      dot += (point[d] - node.intercept[d]) * node.normal[d];
+    }
+    current = dot <= 0.0 ? node.left : node.right;
+    depth += 1.0;
+  }
+  return depth + AveragePathLength(nodes_[current].size);
+}
+
+ExtendedIsolationForest::ExtendedIsolationForest(const Params& params,
+                                                 std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  STREAMAD_CHECK(params.num_trees > 0);
+  STREAMAD_CHECK(params.subsample > 1);
+}
+
+IsolationTree ExtendedIsolationForest::BuildTree(
+    const linalg::Matrix& points) {
+  const std::size_t total = points.rows();
+  const std::size_t sample = std::min(params_.subsample, total);
+  effective_subsample_ = sample;
+
+  linalg::Matrix subset(sample, points.cols());
+  if (sample == total) {
+    subset = points;
+  } else {
+    // Sample without replacement via a partial Fisher-Yates over indices.
+    std::vector<std::size_t> index(total);
+    std::iota(index.begin(), index.end(), 0);
+    for (std::size_t i = 0; i < sample; ++i) {
+      const std::size_t j = static_cast<std::size_t>(
+          rng_.UniformInt(static_cast<std::int64_t>(i),
+                          static_cast<std::int64_t>(total - 1)));
+      std::swap(index[i], index[j]);
+      subset.SetRow(i, points.Row(index[i]));
+    }
+  }
+
+  std::size_t max_depth = 1;
+  while ((std::size_t{1} << max_depth) < sample) ++max_depth;
+  return IsolationTree(subset, max_depth, &rng_);
+}
+
+void ExtendedIsolationForest::Fit(const linalg::Matrix& points) {
+  STREAMAD_CHECK(points.rows() > 1);
+  trees_.clear();
+  trees_.reserve(params_.num_trees);
+  for (std::size_t i = 0; i < params_.num_trees; ++i) {
+    trees_.push_back(BuildTree(points));
+  }
+}
+
+std::vector<double> ExtendedIsolationForest::PathLengths(
+    const std::vector<double>& point) const {
+  STREAMAD_CHECK(fitted());
+  std::vector<double> lengths(trees_.size());
+  for (std::size_t i = 0; i < trees_.size(); ++i) {
+    lengths[i] = trees_[i].PathLength(point);
+  }
+  return lengths;
+}
+
+double ExtendedIsolationForest::Score(const std::vector<double>& point) const {
+  const std::vector<double> lengths = PathLengths(point);
+  double mean = 0.0;
+  for (double h : lengths) mean += h;
+  mean /= static_cast<double>(lengths.size());
+  const double c = IsolationTree::AveragePathLength(effective_subsample_);
+  if (c <= 0.0) return 0.5;
+  return std::pow(2.0, -mean / c);
+}
+
+double ExtendedIsolationForest::TreeScore(
+    std::size_t tree, const std::vector<double>& point) const {
+  STREAMAD_CHECK(tree < trees_.size());
+  const double c = IsolationTree::AveragePathLength(effective_subsample_);
+  if (c <= 0.0) return 0.5;
+  return std::pow(2.0, -trees_[tree].PathLength(point) / c);
+}
+
+void ExtendedIsolationForest::ReplaceTrees(
+    const std::vector<std::size_t>& drop, const linalg::Matrix& points) {
+  STREAMAD_CHECK(fitted());
+  // Remove in descending index order so earlier indices stay valid.
+  std::vector<std::size_t> sorted = drop;
+  std::sort(sorted.begin(), sorted.end(), std::greater<std::size_t>());
+  for (std::size_t idx : sorted) {
+    STREAMAD_CHECK(idx < trees_.size());
+    trees_.erase(trees_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  while (trees_.size() < params_.num_trees) {
+    trees_.push_back(BuildTree(points));
+  }
+}
+
+
+void IsolationTree::Save(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
+  writer->WriteI64(root_);
+  writer->WriteU64(nodes_.size());
+  for (const Node& node : nodes_) {
+    writer->WriteU64(node.leaf ? 1 : 0);
+    writer->WriteU64(node.size);
+    writer->WriteDoubleVec(node.normal);
+    writer->WriteDoubleVec(node.intercept);
+    writer->WriteI64(node.left);
+    writer->WriteI64(node.right);
+  }
+}
+
+bool IsolationTree::Load(io::BinaryReader* reader, IsolationTree* tree) {
+  STREAMAD_CHECK(reader != nullptr);
+  STREAMAD_CHECK(tree != nullptr);
+  std::int64_t root = -1;
+  std::uint64_t count = 0;
+  if (!reader->ReadI64(&root) || !reader->ReadU64(&count)) return false;
+  std::vector<Node> nodes(count);
+  for (Node& node : nodes) {
+    std::uint64_t leaf = 0;
+    std::uint64_t size = 0;
+    std::int64_t left = -1;
+    std::int64_t right = -1;
+    if (!reader->ReadU64(&leaf) || !reader->ReadU64(&size) ||
+        !reader->ReadDoubleVec(&node.normal) ||
+        !reader->ReadDoubleVec(&node.intercept) ||
+        !reader->ReadI64(&left) || !reader->ReadI64(&right)) {
+      return false;
+    }
+    node.leaf = leaf != 0;
+    node.size = size;
+    node.left = static_cast<int>(left);
+    node.right = static_cast<int>(right);
+    // Structural sanity: child indices must stay inside the node array.
+    const std::int64_t limit = static_cast<std::int64_t>(count);
+    if (!node.leaf &&
+        (node.left < 0 || node.right < 0 || node.left >= limit ||
+         node.right >= limit)) {
+      return false;
+    }
+  }
+  if (root < 0 || root >= static_cast<std::int64_t>(count)) return false;
+  tree->root_ = static_cast<int>(root);
+  tree->nodes_ = std::move(nodes);
+  return true;
+}
+
+void ExtendedIsolationForest::Save(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
+  writer->WriteU64(effective_subsample_);
+  writer->WriteU64(trees_.size());
+  for (const IsolationTree& tree : trees_) tree.Save(writer);
+  // The RNG cursor travels too: PCB-iForest rebuilds trees at every
+  // drift-triggered fine-tune, so a restored forest must draw the same
+  // future splits as the original.
+  writer->WriteString(rng_.SerializeState());
+}
+
+bool ExtendedIsolationForest::Load(io::BinaryReader* reader) {
+  STREAMAD_CHECK(reader != nullptr);
+  std::uint64_t subsample = 0;
+  std::uint64_t count = 0;
+  if (!reader->ReadU64(&subsample) || !reader->ReadU64(&count)) return false;
+  std::vector<IsolationTree> trees;
+  trees.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    IsolationTree tree;
+    if (!IsolationTree::Load(reader, &tree)) return false;
+    trees.push_back(std::move(tree));
+  }
+  std::string rng_state;
+  if (!reader->ReadString(&rng_state) ||
+      !rng_.DeserializeState(rng_state)) {
+    return false;
+  }
+  effective_subsample_ = subsample;
+  trees_ = std::move(trees);
+  return true;
+}
+
+}  // namespace streamad::models

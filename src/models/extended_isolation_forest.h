@@ -1,0 +1,111 @@
+#ifndef STREAMAD_MODELS_EXTENDED_ISOLATION_FOREST_H_
+#define STREAMAD_MODELS_EXTENDED_ISOLATION_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/io/binary_io.h"
+#include "src/linalg/matrix.h"
+
+namespace streamad::models {
+
+/// A single tree of the **extended isolation forest** (Hariri et al.;
+/// paper §IV-C). Unlike the axis-parallel splits of the classic isolation
+/// forest, each branch cuts with a random hyperplane: a point `s` goes left
+/// when `(s - p) · n <= 0` for a random slope `n` and a random intercept
+/// `p` drawn inside the bounding box of the points reaching the node.
+class IsolationTree {
+ public:
+  /// Builds a tree over `points` (rows = samples). `max_depth` caps the
+  /// branching; the conventional value is ceil(log2(sample size)).
+  IsolationTree(const linalg::Matrix& points, std::size_t max_depth,
+                Rng* rng);
+
+  /// Path length h(x) for a point, including the `c(size)` adjustment for
+  /// unresolved leaves.
+  double PathLength(const std::vector<double>& point) const;
+
+  /// Number of nodes (tests / introspection).
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Average unsuccessful-search path length `c(n)` of a BST with n
+  /// external nodes — the normaliser of the isolation-forest score.
+  static double AveragePathLength(std::size_t n);
+
+  /// Checkpointing (io/binary_io.h): node-level round trip.
+  void Save(io::BinaryWriter* writer) const;
+  static bool Load(io::BinaryReader* reader, IsolationTree* tree);
+
+  /// Empty tree; only a valid target for `Load`. Querying it CHECK-fails.
+  IsolationTree() = default;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::size_t size = 0;          // leaf: points isolated here
+    std::vector<double> normal;    // internal: hyperplane slope n
+    std::vector<double> intercept; // internal: hyperplane point p
+    int left = -1;
+    int right = -1;
+  };
+
+  int Build(const linalg::Matrix& points, std::vector<std::size_t> index,
+            std::size_t depth, std::size_t max_depth, Rng* rng);
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+/// An extended isolation forest: `num_trees` trees over subsamples of the
+/// training points, scoring with `2^{-E(h(x)) / c(ψ)}` (paper §IV-D).
+class ExtendedIsolationForest {
+ public:
+  struct Params {
+    std::size_t num_trees = 50;
+    /// Subsample size ψ per tree (capped by the number of points).
+    std::size_t subsample = 256;
+  };
+
+  ExtendedIsolationForest(const Params& params, std::uint64_t seed);
+
+  /// Rebuilds all trees from `points` (rows = samples).
+  void Fit(const linalg::Matrix& points);
+
+  /// Whether `Fit` has produced at least one tree.
+  bool fitted() const { return !trees_.empty(); }
+
+  std::size_t num_trees() const { return trees_.size(); }
+
+  /// Per-tree path lengths for a point.
+  std::vector<double> PathLengths(const std::vector<double>& point) const;
+
+  /// Forest anomaly score in [0, 1]: `2^{-mean(h) / c(ψ)}`.
+  double Score(const std::vector<double>& point) const;
+
+  /// Score a single tree's opinion: `2^{-h_i / c(ψ)}`.
+  double TreeScore(std::size_t tree, const std::vector<double>& point) const;
+
+  /// Drops the trees at the given indices (PCB-iForest culling) and grows
+  /// replacements from `points` so `num_trees` is restored.
+  void ReplaceTrees(const std::vector<std::size_t>& drop,
+                    const linalg::Matrix& points);
+
+  /// Checkpointing (io/binary_io.h). `Load` replaces the forest's trees
+  /// AND the RNG cursor, so trees grown after a restore are identical to
+  /// an uninterrupted run.
+  void Save(io::BinaryWriter* writer) const;
+  bool Load(io::BinaryReader* reader);
+
+ private:
+  IsolationTree BuildTree(const linalg::Matrix& points);
+
+  Params params_;
+  Rng rng_;
+  std::vector<IsolationTree> trees_;
+  std::size_t effective_subsample_ = 0;  // ψ actually used (normaliser)
+};
+
+}  // namespace streamad::models
+
+#endif  // STREAMAD_MODELS_EXTENDED_ISOLATION_FOREST_H_

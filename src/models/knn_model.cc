@@ -1,0 +1,121 @@
+#include "src/models/knn_model.h"
+#include "src/io/binary_io.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace streamad::models {
+
+KnnModel::KnnModel(const Params& params) : params_(params) {
+  STREAMAD_CHECK_MSG(params.k > 0, "k must be positive");
+}
+
+double KnnModel::MeanKnnDistance(const std::vector<double>& flat,
+                                 std::size_t skip) const {
+  STREAMAD_CHECK(!reference_.empty());
+  // Collect squared distances, then average the k smallest.
+  std::vector<double> distances;
+  distances.reserve(reference_.size());
+  for (std::size_t i = 0; i < reference_.size(); ++i) {
+    if (i == skip) continue;
+    const std::vector<double>& ref = reference_[i];
+    STREAMAD_CHECK(ref.size() == flat.size());
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < flat.size(); ++j) {
+      const double d = flat[j] - ref[j];
+      d2 += d * d;
+    }
+    distances.push_back(d2);
+  }
+  const std::size_t k = std::min(params_.k, distances.size());
+  STREAMAD_CHECK(k > 0);
+  std::nth_element(distances.begin(),
+                   distances.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   distances.end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) sum += std::sqrt(distances[i]);
+  return sum / static_cast<double>(k);
+}
+
+void KnnModel::Fit(const core::TrainingSet& train) {
+  STREAMAD_CHECK(!train.empty());
+  reference_.clear();
+  reference_.reserve(train.size());
+  for (const core::FeatureVector& fv : train.entries()) {
+    reference_.push_back(fv.window.data());
+  }
+  // Calibration: each reference member's mean k-NN distance to its peers
+  // (leave-one-out), sorted for the p-value lookups.
+  calibration_.clear();
+  calibration_.reserve(reference_.size());
+  if (reference_.size() < 2) {
+    calibration_.push_back(0.0);
+  } else {
+    for (std::size_t i = 0; i < reference_.size(); ++i) {
+      calibration_.push_back(MeanKnnDistance(reference_[i], i));
+    }
+  }
+  std::sort(calibration_.begin(), calibration_.end());
+}
+
+void KnnModel::Finetune(const core::TrainingSet& train) {
+  // The reference group IS the model: "fine-tuning" re-snapshots it.
+  Fit(train);
+}
+
+linalg::Matrix KnnModel::Predict(const core::FeatureVector& /*x*/) {
+  STREAMAD_CHECK_MSG(false, "kNN-conformal is a scoring model");
+  return {};
+}
+
+double KnnModel::AnomalyScore(const core::FeatureVector& x) {
+  STREAMAD_CHECK_MSG(fitted(), "AnomalyScore before Fit");
+  const double distance =
+      MeanKnnDistance(x.window.data(), reference_.size());
+  // Conformal p-value style: the fraction of calibration distances below
+  // the probe's distance.
+  const auto it =
+      std::lower_bound(calibration_.begin(), calibration_.end(), distance);
+  return static_cast<double>(it - calibration_.begin()) /
+         static_cast<double>(calibration_.size());
+}
+
+
+bool KnnModel::SaveState(std::ostream* out) const {
+  STREAMAD_CHECK(out != nullptr);
+  io::BinaryWriter w(out);
+  w.WriteString("streamad.knn.v1");
+  w.WriteU64(params_.k);
+  w.WriteU64(reference_.size());
+  for (const std::vector<double>& ref : reference_) {
+    w.WriteDoubleVec(ref);
+  }
+  w.WriteDoubleVec(calibration_);
+  return w.ok();
+}
+
+bool KnnModel::LoadState(std::istream* in) {
+  STREAMAD_CHECK(in != nullptr);
+  io::BinaryReader r(in);
+  std::uint64_t k = 0;
+  std::uint64_t count = 0;
+  if (!r.ExpectString("streamad.knn.v1") || !r.ReadU64(&k) ||
+      !r.ReadU64(&count)) {
+    return false;
+  }
+  if (k != params_.k) return false;
+  std::vector<std::vector<double>> reference(count);
+  for (std::vector<double>& ref : reference) {
+    if (!r.ReadDoubleVec(&ref)) return false;
+  }
+  std::vector<double> calibration;
+  if (!r.ReadDoubleVec(&calibration)) return false;
+  if (calibration.empty() != reference.empty()) return false;
+  reference_ = std::move(reference);
+  calibration_ = std::move(calibration);
+  return true;
+}
+
+}  // namespace streamad::models

@@ -1,0 +1,68 @@
+#ifndef STREAMAD_MODELS_KNN_MODEL_H_
+#define STREAMAD_MODELS_KNN_MODEL_H_
+
+#include <vector>
+
+#include "src/core/component_interfaces.h"
+#include "src/linalg/matrix.h"
+
+namespace streamad::models {
+
+/// **k-nearest-neighbour conformal model** — the similarity-based family
+/// of the original SAFARI framework, expressed in the extended framework's
+/// terms: the reference parameters degenerate to the reference group
+/// itself, `θ = {R_train}` (paper §III: "In the special case that θ
+/// consists of only feature vectors, the original definition is
+/// recovered").
+///
+/// `Fit` / `Finetune` snapshot the current training set as the reference
+/// group together with its calibration distances (each reference window's
+/// mean distance to its k nearest peers). `AnomalyScore` computes the mean
+/// k-NN distance of the probe window to the reference group and returns
+/// the conformal p-value-style score: the fraction of calibration
+/// distances that are smaller. The score is exactly in [0, 1]; ~0.5 for
+/// typical windows, →1 for windows farther from the group than any
+/// reference.
+///
+/// Not part of the paper's Table I (those are the model-based methods);
+/// shipped as the framework-fidelity extension alongside VAR.
+class KnnModel : public core::Model {
+ public:
+  struct Params {
+    /// Neighbours considered per query.
+    std::size_t k = 5;
+  };
+
+  explicit KnnModel(const Params& params);
+
+  Kind kind() const override { return Kind::kScore; }
+  std::string_view name() const override { return "kNN-conformal"; }
+  void Fit(const core::TrainingSet& train) override;
+  void Finetune(const core::TrainingSet& train) override;
+  linalg::Matrix Predict(const core::FeatureVector& x) override;
+  double AnomalyScore(const core::FeatureVector& x) override;
+
+  bool SaveState(std::ostream* out) const override;
+  bool LoadState(std::istream* in) override;
+
+  bool fitted() const { return !reference_.empty(); }
+  std::size_t reference_size() const { return reference_.size(); }
+  const std::vector<double>& calibration_distances() const {
+    return calibration_;
+  }
+
+ private:
+  /// Mean distance from `flat` to its k nearest rows of `reference_`,
+  /// skipping row `skip` (self-exclusion during calibration; pass
+  /// `reference_.size()` to include all rows).
+  double MeanKnnDistance(const std::vector<double>& flat,
+                         std::size_t skip) const;
+
+  Params params_;
+  std::vector<std::vector<double>> reference_;  // flattened windows
+  std::vector<double> calibration_;             // sorted self-distances
+};
+
+}  // namespace streamad::models
+
+#endif  // STREAMAD_MODELS_KNN_MODEL_H_

@@ -1,0 +1,205 @@
+#include "src/models/nbeats.h"
+#include "src/models/checkpoint_util.h"
+
+#include "src/common/check.h"
+#include "src/nn/activations.h"
+#include "src/nn/loss.h"
+
+namespace streamad::models {
+
+NBeats::NBeats(const Params& params, std::uint64_t seed)
+    : params_(params), rng_(seed), optimizer_(params.learning_rate) {
+  STREAMAD_CHECK(params.num_blocks > 0);
+  STREAMAD_CHECK(params.fc_layers > 0);
+  STREAMAD_CHECK(params.hidden > 0);
+  STREAMAD_CHECK(params.batch_size > 0);
+}
+
+void NBeats::Build(std::size_t input_dim, std::size_t output_dim) {
+  input_dim_ = input_dim;
+  output_dim_ = output_dim;
+  blocks_.clear();
+  for (std::size_t b = 0; b < params_.num_blocks; ++b) {
+    Block block;
+    std::size_t in = input_dim;
+    for (std::size_t l = 0; l < params_.fc_layers; ++l) {
+      block.fc.Add(std::make_unique<nn::Linear>(in, params_.hidden, &rng_))
+          .Add(std::make_unique<nn::Relu>());
+      in = params_.hidden;
+    }
+    block.backcast =
+        std::make_unique<nn::Linear>(params_.hidden, input_dim, &rng_);
+    block.forecast =
+        std::make_unique<nn::Linear>(params_.hidden, output_dim, &rng_);
+    blocks_.push_back(std::move(block));
+  }
+}
+
+linalg::Matrix NBeats::Forward(const linalg::Matrix& input,
+                               StackTape* tape) const {
+  STREAMAD_CHECK(tape != nullptr);
+  tape->fc.assign(blocks_.size(), {});
+  tape->backcast.assign(blocks_.size(), {});
+  tape->forecast.assign(blocks_.size(), {});
+
+  linalg::Matrix x = input;
+  linalg::Matrix total_forecast(input.rows(), output_dim_);
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    const Block& block = blocks_[l];
+    const linalg::Matrix h = block.fc.Forward(x, &tape->fc[l]);
+    const linalg::Matrix back = block.backcast->Forward(h, &tape->backcast[l]);
+    const linalg::Matrix fore = block.forecast->Forward(h, &tape->forecast[l]);
+    // Double residual: the next block sees what this one failed to explain.
+    x = linalg::Sub(x, back);
+    total_forecast = linalg::Add(total_forecast, fore);
+  }
+  return total_forecast;
+}
+
+void NBeats::Backward(const linalg::Matrix& grad_forecast,
+                      const StackTape& tape) {
+  // dL/dŷ flows into every block's forecast head; the residual recursion
+  // x_{l+1} = x_l − backcast_l contributes dL/dx_l = dL/dx_{l+1} and
+  // dL/dbackcast_l = −dL/dx_{l+1}, accumulated from the last block back.
+  linalg::Matrix grad_x(grad_forecast.rows(), input_dim_);
+  for (std::size_t l = blocks_.size(); l-- > 0;) {
+    Block& block = blocks_[l];
+    const linalg::Matrix g_h_fore = block.forecast->Backward(
+        grad_forecast, tape.forecast[l], /*accumulate_param_grads=*/true);
+    const linalg::Matrix g_back = linalg::Scale(grad_x, -1.0);
+    const linalg::Matrix g_h_back = block.backcast->Backward(
+        g_back, tape.backcast[l], /*accumulate_param_grads=*/true);
+    const linalg::Matrix g_h = linalg::Add(g_h_fore, g_h_back);
+    const linalg::Matrix g_x_block =
+        block.fc.Backward(g_h, tape.fc[l], /*accumulate_param_grads=*/true);
+    grad_x = linalg::Add(grad_x, g_x_block);
+  }
+}
+
+std::vector<nn::Parameter*> NBeats::AllParams() {
+  std::vector<nn::Parameter*> params;
+  for (Block& block : blocks_) {
+    for (nn::Parameter* p : block.fc.Params()) params.push_back(p);
+    for (nn::Parameter* p : block.backcast->Params()) params.push_back(p);
+    for (nn::Parameter* p : block.forecast->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+void NBeats::BuildDataset(const core::TrainingSet& train,
+                          linalg::Matrix* inputs,
+                          linalg::Matrix* targets) const {
+  const std::size_t w = train.at(0).w();
+  const std::size_t n = train.at(0).channels();
+  STREAMAD_CHECK_MSG(w >= 2, "N-BEATS needs at least two rows per window");
+  const std::size_t in_dim = (w - 1) * n;
+  *inputs = linalg::Matrix(train.size(), in_dim);
+  *targets = linalg::Matrix(train.size(), n);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const linalg::Matrix scaled = scaler_.Transform(train.at(i).window);
+    for (std::size_t r = 0; r + 1 < w; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        (*inputs)(i, r * n + c) = scaled(r, c);
+      }
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      (*targets)(i, c) = scaled(w - 1, c);
+    }
+  }
+}
+
+void NBeats::TrainOneEpoch(const linalg::Matrix& inputs,
+                           const linalg::Matrix& targets) {
+  const std::size_t rows = inputs.rows();
+  for (std::size_t start = 0; start < rows; start += params_.batch_size) {
+    const std::size_t count = std::min(params_.batch_size, rows - start);
+    linalg::Matrix x(count, inputs.cols());
+    linalg::Matrix y(count, targets.cols());
+    for (std::size_t i = 0; i < count; ++i) {
+      x.SetRow(i, inputs.Row(start + i));
+      y.SetRow(i, targets.Row(start + i));
+    }
+    StackTape tape;
+    const linalg::Matrix pred = Forward(x, &tape);
+    const linalg::Matrix grad = nn::MseLossGrad(pred, y);
+    for (nn::Parameter* p : AllParams()) p->ZeroGrad();
+    Backward(grad, tape);
+    optimizer_.StepAll(AllParams());
+  }
+}
+
+void NBeats::Fit(const core::TrainingSet& train) {
+  STREAMAD_CHECK(!train.empty());
+  scaler_.Fit(train);
+  const std::size_t w = train.at(0).w();
+  const std::size_t n = train.at(0).channels();
+  Build((w - 1) * n, n);
+  linalg::Matrix inputs;
+  linalg::Matrix targets;
+  BuildDataset(train, &inputs, &targets);
+  for (std::size_t epoch = 0; epoch < params_.fit_epochs; ++epoch) {
+    TrainOneEpoch(inputs, targets);
+  }
+}
+
+void NBeats::Finetune(const core::TrainingSet& train) {
+  STREAMAD_CHECK_MSG(input_dim_ > 0, "Finetune before Fit");
+  STREAMAD_CHECK(!train.empty());
+  scaler_.Fit(train);
+  linalg::Matrix inputs;
+  linalg::Matrix targets;
+  BuildDataset(train, &inputs, &targets);
+  STREAMAD_CHECK(inputs.cols() == input_dim_);
+  TrainOneEpoch(inputs, targets);
+}
+
+linalg::Matrix NBeats::Predict(const core::FeatureVector& x) {
+  STREAMAD_CHECK_MSG(input_dim_ > 0, "Predict before Fit");
+  const std::size_t w = x.w();
+  const std::size_t n = x.channels();
+  STREAMAD_CHECK((w - 1) * n == input_dim_);
+  const linalg::Matrix scaled = scaler_.Transform(x.window);
+  linalg::Matrix input(1, input_dim_);
+  for (std::size_t r = 0; r + 1 < w; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      input(0, r * n + c) = scaled(r, c);
+    }
+  }
+  StackTape tape;
+  const linalg::Matrix forecast_scaled = Forward(input, &tape);
+  return scaler_.InverseTransform(forecast_scaled);
+}
+
+
+bool NBeats::SaveState(std::ostream* out) const {
+  STREAMAD_CHECK(out != nullptr);
+  io::BinaryWriter w(out);
+  w.WriteString("streamad.nbeats.v1");
+  w.WriteU64(input_dim_);
+  w.WriteU64(output_dim_);
+  w.WriteU64(params_.num_blocks);
+  internal::SaveScaler(scaler_, &w);
+  NBeats* self = const_cast<NBeats*>(this);  // Params() is non-const
+  internal::SaveNnParams(self->AllParams(), &w);
+  return w.ok();
+}
+
+bool NBeats::LoadState(std::istream* in) {
+  STREAMAD_CHECK(in != nullptr);
+  io::BinaryReader r(in);
+  std::uint64_t input_dim = 0;
+  std::uint64_t output_dim = 0;
+  std::uint64_t blocks = 0;
+  if (!r.ExpectString("streamad.nbeats.v1") || !r.ReadU64(&input_dim) ||
+      !r.ReadU64(&output_dim) || !r.ReadU64(&blocks)) {
+    return false;
+  }
+  if (blocks != params_.num_blocks || input_dim == 0 || output_dim == 0) {
+    return false;
+  }
+  if (!internal::LoadScaler(&scaler_, &r)) return false;
+  Build(input_dim, output_dim);
+  return internal::LoadNnParams(AllParams(), &r);
+}
+
+}  // namespace streamad::models

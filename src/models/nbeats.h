@@ -1,0 +1,89 @@
+#ifndef STREAMAD_MODELS_NBEATS_H_
+#define STREAMAD_MODELS_NBEATS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/component_interfaces.h"
+#include "src/models/scaler.h"
+#include "src/nn/linear.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/sequential.h"
+
+namespace streamad::models {
+
+/// **N-BEATS** (paper §IV-C, after Oreshkin et al.): a stack of blocks with
+/// double residual connections. Block l computes
+///
+///   h_l = FC_l(x_l),   θ_l^b = LINEAR(h_l),   θ_l^f = LINEAR(h_l),
+///   backcast x̂_l = θ_l^b V^b,   forecast ŷ_l = θ_l^f V^f,
+///
+/// with the residual recursion x_{l+1} = x_l − x̂_l and the total forecast
+/// ŷ = Σ_l ŷ_l. We implement the *generic* basis, where θ and the trainable
+/// basis vectors V merge into a single linear head per output.
+///
+/// In the streaming setting the model forecasts the newest stream vector
+/// `s_t` from the preceding `w−1` rows of the window (flattened across
+/// channels), exactly as §IV-C prescribes. Inputs are standardised per
+/// channel; `Predict` returns the forecast in raw units as a `1 x N` row.
+class NBeats : public core::Model {
+ public:
+  struct Params {
+    std::size_t num_blocks = 3;
+    /// Layers in each block's FC stack.
+    std::size_t fc_layers = 2;
+    /// Hidden width of the FC stack.
+    std::size_t hidden = 64;
+    double learning_rate = 1e-2;
+    std::size_t fit_epochs = 30;
+    std::size_t batch_size = 32;
+  };
+
+  NBeats(const Params& params, std::uint64_t seed);
+
+  Kind kind() const override { return Kind::kForecast; }
+  std::string_view name() const override { return "N-BEATS"; }
+  void Fit(const core::TrainingSet& train) override;
+  void Finetune(const core::TrainingSet& train) override;
+  linalg::Matrix Predict(const core::FeatureVector& x) override;
+
+  bool SaveState(std::ostream* out) const override;
+  bool LoadState(std::istream* in) override;
+
+ private:
+  struct Block {
+    nn::Sequential fc;        // FC stack: input -> hidden
+    std::unique_ptr<nn::Linear> backcast;  // hidden -> input dim
+    std::unique_ptr<nn::Linear> forecast;  // hidden -> output dim
+  };
+
+  /// Tapes for one forward pass through the whole stack.
+  struct StackTape {
+    std::vector<nn::Sequential::Tape> fc;
+    std::vector<nn::Layer::Cache> backcast;
+    std::vector<nn::Layer::Cache> forecast;
+  };
+
+  void Build(std::size_t input_dim, std::size_t output_dim);
+  linalg::Matrix Forward(const linalg::Matrix& input, StackTape* tape) const;
+  void Backward(const linalg::Matrix& grad_forecast, const StackTape& tape);
+  std::vector<nn::Parameter*> AllParams();
+  void TrainOneEpoch(const linalg::Matrix& inputs,
+                     const linalg::Matrix& targets);
+  /// Splits a training set into (standardised) model inputs and targets.
+  void BuildDataset(const core::TrainingSet& train, linalg::Matrix* inputs,
+                    linalg::Matrix* targets) const;
+
+  Params params_;
+  Rng rng_;
+  std::vector<Block> blocks_;
+  nn::Adam optimizer_;
+  ChannelScaler scaler_;
+  std::size_t input_dim_ = 0;
+  std::size_t output_dim_ = 0;
+};
+
+}  // namespace streamad::models
+
+#endif  // STREAMAD_MODELS_NBEATS_H_

@@ -1,0 +1,189 @@
+#include "src/models/online_arima.h"
+#include "src/io/binary_io.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace streamad::models {
+
+OnlineArima::OnlineArima(const Params& params) : params_(params) {
+  STREAMAD_CHECK(params.lag_order > 0);
+  STREAMAD_CHECK(params.learning_rate > 0.0);
+  STREAMAD_CHECK(params.grad_clip > 0.0);
+  STREAMAD_CHECK(params.ons_epsilon > 0.0);
+  gamma_.assign(params_.lag_order, 0.0);
+  if (params_.optimizer == Optimizer::kOns) {
+    a_inv_ = linalg::Scale(linalg::Matrix::Identity(params_.lag_order),
+                           1.0 / params_.ons_epsilon);
+  }
+}
+
+double OnlineArima::Diff(const linalg::Matrix& window, std::size_t row,
+                         std::size_t ch, std::size_t order) {
+  STREAMAD_DCHECK(row >= order);
+  // ∇^d s_r = Σ_{i=0..d} (-1)^i C(d, i) s_{r-i}; the binomial coefficients
+  // are accumulated iteratively.
+  double result = 0.0;
+  double coeff = 1.0;  // C(d, 0)
+  for (std::size_t i = 0; i <= order; ++i) {
+    const double sign = (i % 2 == 0) ? 1.0 : -1.0;
+    result += sign * coeff * window(row - i, ch);
+    coeff = coeff * static_cast<double>(order - i) /
+            static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+std::vector<double> OnlineArima::Forecast(const linalg::Matrix& window) const {
+  const std::size_t w = window.rows();
+  const std::size_t n = window.cols();
+  const std::size_t k = params_.lag_order;
+  const std::size_t d = params_.diff_order;
+  STREAMAD_CHECK_MSG(w >= k + d + 1, "window too short for lag order");
+
+  std::vector<double> forecast(n, 0.0);
+  for (std::size_t ch = 0; ch < n; ++ch) {
+    // AR part on the differenced series: Σ γ_i ∇^d s_{t-i}.
+    double acc = 0.0;
+    for (std::size_t i = 1; i <= k; ++i) {
+      acc += gamma_[i - 1] * Diff(window, w - 1 - i, ch, d);
+    }
+    // Integration part: Σ_{i=0..d-1} ∇^i s_{t-1}.
+    for (std::size_t i = 0; i < d; ++i) {
+      acc += Diff(window, w - 2, ch, i);
+    }
+    forecast[ch] = acc;
+  }
+  return forecast;
+}
+
+void OnlineArima::GradStep(const core::FeatureVector& x) {
+  const linalg::Matrix& window = x.window;
+  const std::size_t w = window.rows();
+  const std::size_t n = window.cols();
+  const std::size_t k = params_.lag_order;
+  const std::size_t d = params_.diff_order;
+
+  const std::vector<double> forecast = Forecast(window);
+
+  // L = (1/N) Σ_ch (ŝ_ch - s_ch)²  →  ∂L/∂γ_i = (2/N) Σ_ch e_ch ∇^d s_{t-i}.
+  std::vector<double> grad(k, 0.0);
+  for (std::size_t ch = 0; ch < n; ++ch) {
+    const double err = forecast[ch] - window(w - 1, ch);
+    for (std::size_t i = 1; i <= k; ++i) {
+      grad[i - 1] += 2.0 * err * Diff(window, w - 1 - i, ch, d) /
+                     static_cast<double>(n);
+    }
+  }
+
+  ApplyUpdate(grad);
+}
+
+void OnlineArima::ApplyUpdate(const std::vector<double>& grad) {
+  const std::size_t k = params_.lag_order;
+  double norm2 = 0.0;
+  for (double g : grad) norm2 += g * g;
+  const double norm = std::sqrt(norm2);
+  const double scale =
+      norm > params_.grad_clip ? params_.grad_clip / norm : 1.0;
+
+  if (params_.optimizer == Optimizer::kOgd) {
+    for (std::size_t i = 0; i < k; ++i) {
+      gamma_[i] -= params_.learning_rate * scale * grad[i];
+    }
+    return;
+  }
+
+  // ONS: A ← A + g gᵀ, γ ← γ − lr · A⁻¹ g. The inverse is maintained
+  // incrementally via Sherman-Morrison:
+  //   (A + g gᵀ)⁻¹ = A⁻¹ − (A⁻¹ g)(A⁻¹ g)ᵀ / (1 + gᵀ A⁻¹ g).
+  std::vector<double> clipped(k);
+  for (std::size_t i = 0; i < k; ++i) clipped[i] = scale * grad[i];
+
+  std::vector<double> ag(k, 0.0);  // A⁻¹ g
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      ag[r] += a_inv_(r, c) * clipped[c];
+    }
+  }
+  double g_ag = 0.0;
+  for (std::size_t i = 0; i < k; ++i) g_ag += clipped[i] * ag[i];
+  const double denom = 1.0 + g_ag;
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      a_inv_(r, c) -= ag[r] * ag[c] / denom;
+    }
+  }
+  // Fresh A⁻¹ g after the update (the classic ONS step uses the updated
+  // metric).
+  std::vector<double> step(k, 0.0);
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      step[r] += a_inv_(r, c) * clipped[c];
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    gamma_[i] -= params_.learning_rate * step[i];
+  }
+}
+
+void OnlineArima::Fit(const core::TrainingSet& train) {
+  STREAMAD_CHECK(!train.empty());
+  gamma_.assign(params_.lag_order, 0.0);
+  if (params_.optimizer == Optimizer::kOns) {
+    a_inv_ = linalg::Scale(linalg::Matrix::Identity(params_.lag_order),
+                           1.0 / params_.ons_epsilon);
+  }
+  for (std::size_t epoch = 0; epoch < params_.fit_epochs; ++epoch) {
+    for (const core::FeatureVector& fv : train.entries()) GradStep(fv);
+  }
+}
+
+void OnlineArima::Finetune(const core::TrainingSet& train) {
+  // One epoch of OGD over the current training set (Table I caption).
+  for (const core::FeatureVector& fv : train.entries()) GradStep(fv);
+}
+
+linalg::Matrix OnlineArima::Predict(const core::FeatureVector& x) {
+  const std::vector<double> forecast = Forecast(x.window);
+  return linalg::Matrix::RowVector(forecast);
+}
+
+
+bool OnlineArima::SaveState(std::ostream* out) const {
+  STREAMAD_CHECK(out != nullptr);
+  io::BinaryWriter w(out);
+  w.WriteString("streamad.arima.v1");
+  w.WriteU64(params_.lag_order);
+  w.WriteU64(params_.diff_order);
+  w.WriteI64(params_.optimizer == Optimizer::kOns ? 1 : 0);
+  w.WriteDoubleVec(gamma_);
+  w.WriteMatrix(a_inv_);
+  return w.ok();
+}
+
+bool OnlineArima::LoadState(std::istream* in) {
+  STREAMAD_CHECK(in != nullptr);
+  io::BinaryReader r(in);
+  std::uint64_t lag = 0;
+  std::uint64_t diff = 0;
+  std::int64_t optimizer = 0;
+  if (!r.ExpectString("streamad.arima.v1") || !r.ReadU64(&lag) ||
+      !r.ReadU64(&diff) || !r.ReadI64(&optimizer)) {
+    return false;
+  }
+  if (lag != params_.lag_order || diff != params_.diff_order ||
+      optimizer != (params_.optimizer == Optimizer::kOns ? 1 : 0)) {
+    return false;  // hyperparameter mismatch
+  }
+  std::vector<double> gamma;
+  linalg::Matrix a_inv;
+  if (!r.ReadDoubleVec(&gamma) || !r.ReadMatrix(&a_inv)) return false;
+  if (gamma.size() != params_.lag_order) return false;
+  gamma_ = std::move(gamma);
+  a_inv_ = std::move(a_inv);
+  return true;
+}
+
+}  // namespace streamad::models

@@ -1,0 +1,84 @@
+#ifndef STREAMAD_MODELS_ONLINE_ARIMA_H_
+#define STREAMAD_MODELS_ONLINE_ARIMA_H_
+
+#include <vector>
+
+#include "src/core/component_interfaces.h"
+
+namespace streamad::models {
+
+/// **Online ARIMA** (paper §IV-C, after Liu et al. 2016): the
+/// ARIMA(q, d, q') model approximated by an AR model on the d-times
+/// differenced series, ARIMA(q+m, d, 0), trained with online gradient
+/// descent. The one-step forecast is
+///
+///   ŝ_t = Σ_{i=1..K} γ_i ∇^d s_{t-i} + Σ_{i=0..d-1} ∇^i s_{t-1}
+///
+/// with γ ∈ R^K the only model parameter. The window length bounds the lag
+/// order: `w >= K + d + 1`.
+///
+/// Multivariate streams are handled the way the paper prescribes: the same
+/// γ is applied to every channel independently, "as if they were part of
+/// the same univariate stream" — no cross-channel correlations (those are
+/// the domain of the VAR extension, `models::VarModel`).
+class OnlineArima : public core::Model {
+ public:
+  /// Update rule for γ. Liu et al. propose both: ONS (their ARIMA-ONS,
+  /// second-order, O(K²) per step with a Sherman-Morrison inverse) and the
+  /// cheaper OGD (ARIMA-OGD, O(K) per step). The paper's experiments use
+  /// the gradient variant; ONS ships as the faithful companion.
+  enum class Optimizer { kOgd, kOns };
+
+  struct Params {
+    /// Lag order K = q + m of the differenced AR model.
+    std::size_t lag_order = 20;
+    /// Differencing order d.
+    std::size_t diff_order = 1;
+    Optimizer optimizer = Optimizer::kOgd;
+    /// OGD learning rate / ONS step scale (1/η).
+    double learning_rate = 0.05;
+    /// Gradient L2-norm clip, guarding OGD against heavy-tailed steps.
+    double grad_clip = 10.0;
+    /// ONS: initial A = epsilon * I (inverse Hessian-sketch prior).
+    double ons_epsilon = 1.0;
+    /// Passes over the training set in the initial `Fit`.
+    std::size_t fit_epochs = 5;
+  };
+
+  explicit OnlineArima(const Params& params);
+
+  Kind kind() const override { return Kind::kForecast; }
+  std::string_view name() const override { return "online-ARIMA"; }
+  void Fit(const core::TrainingSet& train) override;
+  void Finetune(const core::TrainingSet& train) override;
+  linalg::Matrix Predict(const core::FeatureVector& x) override;
+
+  bool SaveState(std::ostream* out) const override;
+  bool LoadState(std::istream* in) override;
+
+  const std::vector<double>& gamma() const { return gamma_; }
+
+  /// One OGD step on a single window (predict its last row from the rest,
+  /// update γ). Exposed for the tests of the learning rule.
+  void GradStep(const core::FeatureVector& x);
+
+ private:
+  /// d-times differenced value ∇^d s at window row `row`, channel `ch`
+  /// (requires `row >= diff_order`).
+  static double Diff(const linalg::Matrix& window, std::size_t row,
+                     std::size_t ch, std::size_t order);
+
+  /// Forecast of the last row of `window` using rows [0, w-2] only.
+  std::vector<double> Forecast(const linalg::Matrix& window) const;
+
+  /// Applies one update of the configured optimizer for gradient `grad`.
+  void ApplyUpdate(const std::vector<double>& grad);
+
+  Params params_;
+  std::vector<double> gamma_;  // γ ∈ R^K, the θ_model of the paper
+  linalg::Matrix a_inv_;       // ONS: (Σ g gᵀ + εI)⁻¹, Sherman-Morrison
+};
+
+}  // namespace streamad::models
+
+#endif  // STREAMAD_MODELS_ONLINE_ARIMA_H_

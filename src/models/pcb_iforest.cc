@@ -1,0 +1,90 @@
+#include "src/models/pcb_iforest.h"
+#include "src/io/binary_io.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace streamad::models {
+
+PcbIForest::PcbIForest(const Params& params, std::uint64_t seed)
+    : params_(params), forest_(params.forest, seed) {
+  STREAMAD_CHECK(params.threshold > 0.0 && params.threshold < 1.0);
+}
+
+void PcbIForest::Fit(const core::TrainingSet& train) {
+  STREAMAD_CHECK(!train.empty());
+  forest_.Fit(train.StackedLastRows());
+  counters_.assign(forest_.num_trees(), 0);
+}
+
+void PcbIForest::Finetune(const core::TrainingSet& train) {
+  STREAMAD_CHECK(forest_.fitted());
+  if (culling_enabled_) {
+    std::vector<std::size_t> drop;
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      if (counters_[i] <= 0) drop.push_back(i);
+    }
+    // Keep at least one tree: if every counter is non-positive the forest
+    // is rebuilt wholesale from the current training set anyway.
+    total_culled_ += drop.size();
+    forest_.ReplaceTrees(drop, train.StackedLastRows());
+  }
+  counters_.assign(forest_.num_trees(), 0);
+}
+
+linalg::Matrix PcbIForest::Predict(const core::FeatureVector& /*x*/) {
+  STREAMAD_CHECK_MSG(false, "PCB-iForest is a scoring model");
+  return {};
+}
+
+double PcbIForest::AnomalyScore(const core::FeatureVector& x) {
+  STREAMAD_CHECK_MSG(forest_.fitted(), "AnomalyScore before Fit");
+  const std::vector<double> point = x.LastRow();
+  const double forest_score = forest_.Score(point);
+  const bool forest_says_anomaly = forest_score >= params_.threshold;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    const bool tree_says_anomaly =
+        forest_.TreeScore(i, point) >= params_.threshold;
+    counters_[i] += (tree_says_anomaly == forest_says_anomaly) ? 1 : -1;
+  }
+  return forest_score;
+}
+
+
+bool PcbIForest::SaveState(std::ostream* out) const {
+  STREAMAD_CHECK(out != nullptr);
+  io::BinaryWriter w(out);
+  w.WriteString("streamad.pcb.v1");
+  w.WriteDouble(params_.threshold);
+  forest_.Save(&w);
+  w.WriteIntVec(counters_);
+  w.WriteU64(total_culled_);
+  w.WriteU64(culling_enabled_ ? 1 : 0);
+  return w.ok();
+}
+
+bool PcbIForest::LoadState(std::istream* in) {
+  STREAMAD_CHECK(in != nullptr);
+  io::BinaryReader r(in);
+  double threshold = 0.0;
+  if (!r.ExpectString("streamad.pcb.v1") || !r.ReadDouble(&threshold)) {
+    return false;
+  }
+  if (threshold != params_.threshold) return false;
+  if (!forest_.Load(&r)) return false;
+  std::vector<int> counters;
+  std::uint64_t culled = 0;
+  std::uint64_t culling = 0;
+  if (!r.ReadIntVec(&counters) || !r.ReadU64(&culled) ||
+      !r.ReadU64(&culling)) {
+    return false;
+  }
+  if (counters.size() != forest_.num_trees()) return false;
+  counters_ = std::move(counters);
+  total_culled_ = culled;
+  culling_enabled_ = culling != 0;
+  return true;
+}
+
+}  // namespace streamad::models

@@ -1,0 +1,66 @@
+#ifndef STREAMAD_MODELS_PCB_IFOREST_H_
+#define STREAMAD_MODELS_PCB_IFOREST_H_
+
+#include <vector>
+
+#include "src/core/component_interfaces.h"
+#include "src/models/extended_isolation_forest.h"
+
+namespace streamad::models {
+
+/// **PCB-iForest** (paper §IV-C, after Heigl et al. 2021): a
+/// performance-counter-based online isolation forest built on the extended
+/// isolation forest.
+///
+/// Every scored stream vector updates a per-tree performance counter: a
+/// tree whose individual anomaly decision (its score against `threshold`)
+/// agrees with the forest's overall decision "contributed positively" and
+/// gains a point; a disagreeing tree loses one. When the framework's drift
+/// detector triggers a fine-tune, trees with a non-positive counter are
+/// discarded, replacements are grown from the current training set, and
+/// all counters reset — exactly the drift reaction of the original
+/// algorithm (which pairs with KSWIN, as Table I does).
+///
+/// As a scoring model (`Kind::kScore`), its nonconformity is the isolation
+/// forest score `2^{-E(h(s_t))/c(ψ)}` of the newest stream vector.
+class PcbIForest : public core::Model {
+ public:
+  struct Params {
+    ExtendedIsolationForest::Params forest;
+    /// Anomaly decision threshold θ for the performance counters.
+    double threshold = 0.5;
+  };
+
+  PcbIForest(const Params& params, std::uint64_t seed);
+
+  Kind kind() const override { return Kind::kScore; }
+  std::string_view name() const override { return "PCB-iForest"; }
+  void Fit(const core::TrainingSet& train) override;
+  void Finetune(const core::TrainingSet& train) override;
+  linalg::Matrix Predict(const core::FeatureVector& x) override;
+  double AnomalyScore(const core::FeatureVector& x) override;
+
+  bool SaveState(std::ostream* out) const override;
+  bool LoadState(std::istream* in) override;
+
+  const std::vector<int>& performance_counters() const { return counters_; }
+  std::size_t num_trees() const { return forest_.num_trees(); }
+
+  /// Number of trees culled over the lifetime (ablation statistics).
+  std::size_t total_culled() const { return total_culled_; }
+
+  /// Disables the performance-counter culling: `Finetune` then rebuilds
+  /// nothing and only the counters reset. Used by the culling ablation.
+  void set_culling_enabled(bool enabled) { culling_enabled_ = enabled; }
+
+ private:
+  Params params_;
+  ExtendedIsolationForest forest_;
+  std::vector<int> counters_;
+  std::size_t total_culled_ = 0;
+  bool culling_enabled_ = true;
+};
+
+}  // namespace streamad::models
+
+#endif  // STREAMAD_MODELS_PCB_IFOREST_H_

@@ -1,0 +1,96 @@
+#ifndef STREAMAD_MODELS_SCALER_H_
+#define STREAMAD_MODELS_SCALER_H_
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/training_set.h"
+#include "src/linalg/matrix.h"
+
+namespace streamad::models {
+
+/// Per-channel standardisation fitted on a training set.
+///
+/// The neural models (AE, USAD, N-BEATS) train on standardised windows and
+/// emit predictions mapped back to raw units, so the detector-facing
+/// contract (predictions in stream units) is independent of channel scale.
+/// The scaler is refreshed at every fine-tune, which is part of how a model
+/// adapts to concept drift in the channel levels.
+class ChannelScaler {
+ public:
+  /// Fits per-channel mean / std over every window value in `train`.
+  void Fit(const core::TrainingSet& train) {
+    STREAMAD_CHECK(!train.empty());
+    const std::size_t channels = train.at(0).channels();
+    mean_.assign(channels, 0.0);
+    std_.assign(channels, 0.0);
+    std::size_t count = 0;
+    for (const core::FeatureVector& fv : train.entries()) {
+      for (std::size_t r = 0; r < fv.w(); ++r) {
+        for (std::size_t c = 0; c < channels; ++c) {
+          mean_[c] += fv.window(r, c);
+        }
+      }
+      count += fv.w();
+    }
+    for (double& m : mean_) m /= static_cast<double>(count);
+    for (const core::FeatureVector& fv : train.entries()) {
+      for (std::size_t r = 0; r < fv.w(); ++r) {
+        for (std::size_t c = 0; c < channels; ++c) {
+          const double d = fv.window(r, c) - mean_[c];
+          std_[c] += d * d;
+        }
+      }
+    }
+    for (double& s : std_) {
+      s = std::sqrt(s / static_cast<double>(count));
+      if (s < 1e-9) s = 1.0;  // constant channel: leave values centred
+    }
+  }
+
+  bool fitted() const { return !mean_.empty(); }
+  std::size_t channels() const { return mean_.size(); }
+
+  /// Standardises a `rows x channels` matrix of stream values.
+  linalg::Matrix Transform(const linalg::Matrix& raw) const {
+    STREAMAD_CHECK(fitted());
+    STREAMAD_CHECK(raw.cols() == mean_.size());
+    linalg::Matrix out = raw;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      for (std::size_t c = 0; c < out.cols(); ++c) {
+        out(r, c) = (out(r, c) - mean_[c]) / std_[c];
+      }
+    }
+    return out;
+  }
+
+  /// Inverse of `Transform`.
+  linalg::Matrix InverseTransform(const linalg::Matrix& scaled) const {
+    STREAMAD_CHECK(fitted());
+    STREAMAD_CHECK(scaled.cols() == mean_.size());
+    linalg::Matrix out = scaled;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      for (std::size_t c = 0; c < out.cols(); ++c) {
+        out(r, c) = out(r, c) * std_[c] + mean_[c];
+      }
+    }
+    return out;
+  }
+
+  /// Accessors / restore hook for checkpointing (io/binary_io.h).
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return std_; }
+  void Restore(std::vector<double> mean, std::vector<double> stddev) {
+    STREAMAD_CHECK(mean.size() == stddev.size());
+    mean_ = std::move(mean);
+    std_ = std::move(stddev);
+  }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace streamad::models
+
+#endif  // STREAMAD_MODELS_SCALER_H_

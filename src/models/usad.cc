@@ -1,0 +1,227 @@
+#include "src/models/usad.h"
+#include "src/models/checkpoint_util.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/check.h"
+#include "src/nn/activations.h"
+#include "src/nn/linear.h"
+#include "src/nn/loss.h"
+
+namespace streamad::models {
+
+Usad::Usad(const Params& params, std::uint64_t seed)
+    : params_(params), rng_(seed), optimizer_(params.learning_rate) {
+  STREAMAD_CHECK(params.hidden1 > 0 && params.hidden2 > 0 &&
+                 params.latent > 0);
+  STREAMAD_CHECK(params.learning_rate > 0.0);
+  STREAMAD_CHECK(params.batch_size > 0);
+}
+
+void Usad::Build(std::size_t flat_dim) {
+  flat_dim_ = flat_dim;
+  epoch_ = 0;
+
+  encoder_ = nn::Sequential();
+  encoder_.Add(std::make_unique<nn::Linear>(flat_dim, params_.hidden1, &rng_))
+      .Add(std::make_unique<nn::Sigmoid>())
+      .Add(std::make_unique<nn::Linear>(params_.hidden1, params_.hidden2,
+                                        &rng_))
+      .Add(std::make_unique<nn::Sigmoid>())
+      // Linear latent (like the linear decoder outputs): a sigmoid here
+      // saturates under the adversarial gradient and collapses AE1's
+      // reconstructions of standardised (signed) data.
+      .Add(std::make_unique<nn::Linear>(params_.hidden2, params_.latent,
+                                        &rng_));
+
+  auto build_decoder = [this, flat_dim]() {
+    nn::Sequential d;
+    d.Add(std::make_unique<nn::Linear>(params_.latent, params_.hidden2,
+                                       &rng_))
+        .Add(std::make_unique<nn::Sigmoid>())
+        .Add(std::make_unique<nn::Linear>(params_.hidden2, params_.hidden1,
+                                          &rng_))
+        .Add(std::make_unique<nn::Sigmoid>())
+        .Add(std::make_unique<nn::Linear>(params_.hidden1, flat_dim, &rng_));
+    return d;
+  };
+  decoder1_ = build_decoder();
+  decoder2_ = build_decoder();
+}
+
+linalg::Matrix Usad::ScaledFlatRows(const core::TrainingSet& train) const {
+  const std::size_t flat_dim = train.at(0).window.size();
+  linalg::Matrix flat(train.size(), flat_dim);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const linalg::Matrix scaled = scaler_.Transform(train.at(i).window);
+    for (std::size_t j = 0; j < flat_dim; ++j) {
+      flat(i, j) = scaled.at_flat(j);
+    }
+  }
+  return flat;
+}
+
+void Usad::TrainOneEpoch(const linalg::Matrix& flat_scaled) {
+  ++epoch_;
+  const double n = static_cast<double>(epoch_);
+  const double w_recon = std::max(1.0 / n, params_.recon_weight_floor);
+  const double w_adv = 1.0 - w_recon;
+  const std::size_t rows = flat_scaled.rows();
+
+  for (std::size_t start = 0; start < rows; start += params_.batch_size) {
+    const std::size_t count = std::min(params_.batch_size, rows - start);
+    linalg::Matrix x(count, flat_scaled.cols());
+    for (std::size_t i = 0; i < count; ++i) {
+      x.SetRow(i, flat_scaled.Row(start + i));
+    }
+
+    // --- Phase A: update AE1 = {E, D1} with L_AE1. -----------------------
+    {
+      nn::Sequential::Tape t_e1, t_d1, t_e2, t_d2;
+      const linalg::Matrix z = encoder_.Forward(x, &t_e1);
+      const linalg::Matrix w1 = decoder1_.Forward(z, &t_d1);
+      const linalg::Matrix z2 = encoder_.Forward(w1, &t_e2);
+      const linalg::Matrix w3 = decoder2_.Forward(z2, &t_d2);
+
+      encoder_.ZeroGrads();
+      decoder1_.ZeroGrads();
+      decoder2_.ZeroGrads();
+
+      // (1/n) ||x - w1||² term.
+      linalg::Matrix g1 = nn::MseLossGrad(w1, x);
+      g1 = linalg::Scale(g1, w_recon);
+      // (1 - 1/n) ||x - w3||² term, routed through frozen D2 back into
+      // the second encoder application (E's parameters DO accumulate: E is
+      // part of AE1) and on through D1 and the first encoder application.
+      linalg::Matrix g3 = nn::MseLossGrad(w3, x);
+      g3 = linalg::Scale(g3, w_adv);
+
+      const linalg::Matrix g_z2 =
+          decoder2_.Backward(g3, t_d2, /*accumulate_param_grads=*/false);
+      const linalg::Matrix g_w1_adv =
+          encoder_.Backward(g_z2, t_e2, /*accumulate_param_grads=*/true);
+      const linalg::Matrix g_w1_total = linalg::Add(g1, g_w1_adv);
+      const linalg::Matrix g_z =
+          decoder1_.Backward(g_w1_total, t_d1, /*accumulate_param_grads=*/true);
+      encoder_.Backward(g_z, t_e1, /*accumulate_param_grads=*/true);
+
+      auto params = encoder_.Params();
+      const auto d1_params = decoder1_.Params();
+      params.insert(params.end(), d1_params.begin(), d1_params.end());
+      optimizer_.StepAll(params);
+    }
+
+    // --- Phase B: update AE2 = {E, D2} with L_AE2 (fresh forward). -------
+    {
+      nn::Sequential::Tape t_e1, t_d1, t_d2a, t_e2, t_d2b;
+      const linalg::Matrix z = encoder_.Forward(x, &t_e1);
+      const linalg::Matrix w2 = decoder2_.Forward(z, &t_d2a);
+      const linalg::Matrix w1 = decoder1_.Forward(z, &t_d1);
+      const linalg::Matrix z2 = encoder_.Forward(w1, &t_e2);
+      const linalg::Matrix w3 = decoder2_.Forward(z2, &t_d2b);
+
+      encoder_.ZeroGrads();
+      decoder1_.ZeroGrads();
+      decoder2_.ZeroGrads();
+
+      // (1/n) ||x - w2||² pulls AE2 towards reconstruction...
+      linalg::Matrix g2 = nn::MseLossGrad(w2, x);
+      g2 = linalg::Scale(g2, w_recon);
+      // ... while -(1 - 1/n) ||x - w3||² pushes it to expose AE1's output.
+      linalg::Matrix g3 = nn::MseLossGrad(w3, x);
+      g3 = linalg::Scale(g3, -w_adv);
+
+      const linalg::Matrix g_z2 =
+          decoder2_.Backward(g3, t_d2b, /*accumulate_param_grads=*/true);
+      const linalg::Matrix g_w1 =
+          encoder_.Backward(g_z2, t_e2, /*accumulate_param_grads=*/true);
+      const linalg::Matrix g_z_adv =
+          decoder1_.Backward(g_w1, t_d1, /*accumulate_param_grads=*/false);
+      const linalg::Matrix g_z_rec =
+          decoder2_.Backward(g2, t_d2a, /*accumulate_param_grads=*/true);
+      encoder_.Backward(linalg::Add(g_z_rec, g_z_adv), t_e1,
+                        /*accumulate_param_grads=*/true);
+
+      auto params = encoder_.Params();
+      const auto d2_params = decoder2_.Params();
+      params.insert(params.end(), d2_params.begin(), d2_params.end());
+      optimizer_.StepAll(params);
+    }
+  }
+}
+
+void Usad::Fit(const core::TrainingSet& train) {
+  STREAMAD_CHECK(!train.empty());
+  scaler_.Fit(train);
+  Build(train.at(0).window.size());
+  const linalg::Matrix flat = ScaledFlatRows(train);
+  for (std::size_t epoch = 0; epoch < params_.fit_epochs; ++epoch) {
+    TrainOneEpoch(flat);
+  }
+}
+
+void Usad::Finetune(const core::TrainingSet& train) {
+  STREAMAD_CHECK_MSG(flat_dim_ > 0, "Finetune before Fit");
+  STREAMAD_CHECK(!train.empty());
+  scaler_.Fit(train);
+  STREAMAD_CHECK(train.at(0).window.size() == flat_dim_);
+  TrainOneEpoch(ScaledFlatRows(train));
+}
+
+linalg::Matrix Usad::Predict(const core::FeatureVector& x) {
+  STREAMAD_CHECK_MSG(flat_dim_ > 0, "Predict before Fit");
+  STREAMAD_CHECK(x.window.size() == flat_dim_);
+  const linalg::Matrix scaled = scaler_.Transform(x.window);
+  const linalg::Matrix flat = scaled.Reshaped(1, flat_dim_);
+  const linalg::Matrix recon = decoder1_.Infer(encoder_.Infer(flat));
+  return scaler_.InverseTransform(
+      recon.Reshaped(x.window.rows(), x.window.cols()));
+}
+
+double Usad::UsadScore(const core::FeatureVector& x, double alpha,
+                       double beta) {
+  STREAMAD_CHECK_MSG(flat_dim_ > 0, "UsadScore before Fit");
+  const linalg::Matrix scaled = scaler_.Transform(x.window);
+  const linalg::Matrix flat = scaled.Reshaped(1, flat_dim_);
+  const linalg::Matrix w1 = decoder1_.Infer(encoder_.Infer(flat));
+  const linalg::Matrix w3 = decoder2_.Infer(encoder_.Infer(w1));
+  return alpha * nn::MseLoss(w1, flat) + beta * nn::MseLoss(w3, flat);
+}
+
+
+bool Usad::SaveState(std::ostream* out) const {
+  STREAMAD_CHECK(out != nullptr);
+  io::BinaryWriter w(out);
+  w.WriteString("streamad.usad.v1");
+  w.WriteU64(flat_dim_);
+  w.WriteU64(params_.latent);
+  w.WriteI64(epoch_);
+  internal::SaveScaler(scaler_, &w);
+  Usad* self = const_cast<Usad*>(this);  // Params() is non-const; read-only
+  internal::SaveNnParams(self->encoder_.Params(), &w);
+  internal::SaveNnParams(self->decoder1_.Params(), &w);
+  internal::SaveNnParams(self->decoder2_.Params(), &w);
+  return w.ok();
+}
+
+bool Usad::LoadState(std::istream* in) {
+  STREAMAD_CHECK(in != nullptr);
+  io::BinaryReader r(in);
+  std::uint64_t flat_dim = 0;
+  std::uint64_t latent = 0;
+  std::int64_t epoch = 0;
+  if (!r.ExpectString("streamad.usad.v1") || !r.ReadU64(&flat_dim) ||
+      !r.ReadU64(&latent) || !r.ReadI64(&epoch)) {
+    return false;
+  }
+  if (latent != params_.latent || flat_dim == 0) return false;
+  if (!internal::LoadScaler(&scaler_, &r)) return false;
+  Build(flat_dim);
+  epoch_ = epoch;  // the (1/n) schedule resumes where it stopped
+  return internal::LoadNnParams(encoder_.Params(), &r) &&
+         internal::LoadNnParams(decoder1_.Params(), &r) &&
+         internal::LoadNnParams(decoder2_.Params(), &r);
+}
+
+}  // namespace streamad::models

@@ -1,0 +1,100 @@
+#include "src/models/var_model.h"
+#include "src/io/binary_io.h"
+
+#include "src/common/check.h"
+#include "src/linalg/solve.h"
+
+namespace streamad::models {
+
+namespace {
+
+/// Builds one regression row: [1, s_{r-1}, ..., s_{r-p}] flattened.
+void FillRegressorRow(const linalg::Matrix& window, std::size_t target_row,
+                      std::size_t order, linalg::Matrix* x,
+                      std::size_t x_row) {
+  const std::size_t n = window.cols();
+  (*x)(x_row, 0) = 1.0;
+  std::size_t col = 1;
+  for (std::size_t lag = 1; lag <= order; ++lag) {
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      (*x)(x_row, col++) = window(target_row - lag, ch);
+    }
+  }
+}
+
+}  // namespace
+
+VarModel::VarModel(const Params& params) : params_(params) {
+  STREAMAD_CHECK(params.order > 0);
+  STREAMAD_CHECK(params.ridge >= 0.0);
+}
+
+void VarModel::Fit(const core::TrainingSet& train) {
+  STREAMAD_CHECK(!train.empty());
+  const std::size_t p = params_.order;
+  const std::size_t w = train.at(0).w();
+  const std::size_t n = train.at(0).channels();
+  STREAMAD_CHECK_MSG(w > p, "window too short for VAR order");
+
+  const std::size_t eq_per_window = w - p;
+  const std::size_t rows = train.size() * eq_per_window;
+  const std::size_t regressors = n * p + 1;
+  linalg::Matrix x(rows, regressors);
+  linalg::Matrix y(rows, n);
+  std::size_t row = 0;
+  for (const core::FeatureVector& fv : train.entries()) {
+    for (std::size_t r = p; r < w; ++r) {
+      FillRegressorRow(fv.window, r, p, &x, row);
+      for (std::size_t ch = 0; ch < n; ++ch) y(row, ch) = fv.window(r, ch);
+      ++row;
+    }
+  }
+  beta_ = linalg::LeastSquares(x, y, params_.ridge);
+  fitted_ = true;
+}
+
+void VarModel::Finetune(const core::TrainingSet& train) {
+  // Least squares has no epochs: "the model parameters are estimated for
+  // the most recent training set" (paper §IV-C) — a full re-estimate.
+  Fit(train);
+}
+
+linalg::Matrix VarModel::Predict(const core::FeatureVector& x) {
+  STREAMAD_CHECK_MSG(fitted_, "Predict before Fit");
+  const std::size_t p = params_.order;
+  const std::size_t w = x.w();
+  STREAMAD_CHECK(w > p);
+  linalg::Matrix reg(1, x.channels() * p + 1);
+  // Forecast the last row from the p rows preceding it.
+  FillRegressorRow(x.window, w - 1, p, &reg, 0);
+  return linalg::MatMul(reg, beta_);
+}
+
+
+bool VarModel::SaveState(std::ostream* out) const {
+  STREAMAD_CHECK(out != nullptr);
+  io::BinaryWriter w(out);
+  w.WriteString("streamad.var.v1");
+  w.WriteU64(params_.order);
+  w.WriteU64(fitted_ ? 1 : 0);
+  w.WriteMatrix(beta_);
+  return w.ok();
+}
+
+bool VarModel::LoadState(std::istream* in) {
+  STREAMAD_CHECK(in != nullptr);
+  io::BinaryReader r(in);
+  std::uint64_t order = 0;
+  std::uint64_t fitted = 0;
+  linalg::Matrix beta;
+  if (!r.ExpectString("streamad.var.v1") || !r.ReadU64(&order) ||
+      !r.ReadU64(&fitted) || !r.ReadMatrix(&beta)) {
+    return false;
+  }
+  if (order != params_.order) return false;
+  beta_ = std::move(beta);
+  fitted_ = fitted != 0;
+  return true;
+}
+
+}  // namespace streamad::models

@@ -1,0 +1,75 @@
+#include "src/nn/activations.h"
+
+#include <cmath>
+
+namespace streamad::nn {
+
+linalg::Matrix Sigmoid::Forward(const linalg::Matrix& input,
+                                Cache* cache) const {
+  STREAMAD_CHECK(cache != nullptr);
+  linalg::Matrix out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.at_flat(i) = 1.0 / (1.0 + std::exp(-out.at_flat(i)));
+  }
+  cache->output = out;
+  return out;
+}
+
+linalg::Matrix Sigmoid::Backward(const linalg::Matrix& grad_output,
+                                 const Cache& cache,
+                                 bool /*accumulate_param_grads*/) {
+  STREAMAD_CHECK(grad_output.size() == cache.output.size());
+  linalg::Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const double y = cache.output.at_flat(i);
+    grad.at_flat(i) *= y * (1.0 - y);
+  }
+  return grad;
+}
+
+linalg::Matrix Relu::Forward(const linalg::Matrix& input,
+                             Cache* cache) const {
+  STREAMAD_CHECK(cache != nullptr);
+  linalg::Matrix out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out.at_flat(i) < 0.0) out.at_flat(i) = 0.0;
+  }
+  cache->input = input;
+  return out;
+}
+
+linalg::Matrix Relu::Backward(const linalg::Matrix& grad_output,
+                              const Cache& cache,
+                              bool /*accumulate_param_grads*/) {
+  STREAMAD_CHECK(grad_output.size() == cache.input.size());
+  linalg::Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (cache.input.at_flat(i) <= 0.0) grad.at_flat(i) = 0.0;
+  }
+  return grad;
+}
+
+linalg::Matrix Tanh::Forward(const linalg::Matrix& input,
+                             Cache* cache) const {
+  STREAMAD_CHECK(cache != nullptr);
+  linalg::Matrix out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.at_flat(i) = std::tanh(out.at_flat(i));
+  }
+  cache->output = out;
+  return out;
+}
+
+linalg::Matrix Tanh::Backward(const linalg::Matrix& grad_output,
+                              const Cache& cache,
+                              bool /*accumulate_param_grads*/) {
+  STREAMAD_CHECK(grad_output.size() == cache.output.size());
+  linalg::Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const double y = cache.output.at_flat(i);
+    grad.at_flat(i) *= 1.0 - y * y;
+  }
+  return grad;
+}
+
+}  // namespace streamad::nn

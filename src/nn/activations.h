@@ -1,0 +1,41 @@
+#ifndef STREAMAD_NN_ACTIVATIONS_H_
+#define STREAMAD_NN_ACTIVATIONS_H_
+
+#include "src/nn/layer.h"
+
+namespace streamad::nn {
+
+/// Elementwise logistic sigmoid `σ(x) = 1 / (1 + e^{-x})` — the
+/// nonlinearity the paper writes for its autoencoder layers.
+class Sigmoid : public Layer {
+ public:
+  linalg::Matrix Forward(const linalg::Matrix& input,
+                         Cache* cache) const override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output,
+                          const Cache& cache,
+                          bool accumulate_param_grads) override;
+};
+
+/// Elementwise rectified linear unit, used in the N-BEATS block FC stack.
+class Relu : public Layer {
+ public:
+  linalg::Matrix Forward(const linalg::Matrix& input,
+                         Cache* cache) const override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output,
+                          const Cache& cache,
+                          bool accumulate_param_grads) override;
+};
+
+/// Elementwise hyperbolic tangent.
+class Tanh : public Layer {
+ public:
+  linalg::Matrix Forward(const linalg::Matrix& input,
+                         Cache* cache) const override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output,
+                          const Cache& cache,
+                          bool accumulate_param_grads) override;
+};
+
+}  // namespace streamad::nn
+
+#endif  // STREAMAD_NN_ACTIVATIONS_H_

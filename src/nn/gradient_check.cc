@@ -1,0 +1,34 @@
+#include "src/nn/gradient_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace streamad::nn {
+
+double MaxGradError(const std::vector<Parameter*>& params,
+                    const std::function<double()>& loss_fn, double epsilon) {
+  STREAMAD_CHECK(epsilon > 0.0);
+  double worst = 0.0;
+  for (Parameter* p : params) {
+    STREAMAD_CHECK(p != nullptr);
+    STREAMAD_CHECK(p->grad.size() == p->value.size());
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const double saved = p->value.at_flat(i);
+      p->value.at_flat(i) = saved + epsilon;
+      const double plus = loss_fn();
+      p->value.at_flat(i) = saved - epsilon;
+      const double minus = loss_fn();
+      p->value.at_flat(i) = saved;
+      const double numeric = (plus - minus) / (2.0 * epsilon);
+      const double analytic = p->grad.at_flat(i);
+      const double denom =
+          std::max(1.0, std::fabs(analytic) + std::fabs(numeric));
+      worst = std::max(worst, std::fabs(analytic - numeric) / denom);
+    }
+  }
+  return worst;
+}
+
+}  // namespace streamad::nn

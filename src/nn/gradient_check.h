@@ -1,0 +1,23 @@
+#ifndef STREAMAD_NN_GRADIENT_CHECK_H_
+#define STREAMAD_NN_GRADIENT_CHECK_H_
+
+#include <functional>
+
+#include "src/nn/sequential.h"
+
+namespace streamad::nn {
+
+/// Finite-difference gradient verification used by the test suite.
+///
+/// `loss_fn` must evaluate the full forward + loss for the current parameter
+/// values (it is invoked many times with perturbed parameters). The analytic
+/// gradient is expected to already be accumulated in `Parameter::grad`.
+/// Returns the maximum relative error over all parameter elements:
+/// `|analytic - numeric| / max(1, |analytic| + |numeric|)`.
+double MaxGradError(const std::vector<Parameter*>& params,
+                    const std::function<double()>& loss_fn,
+                    double epsilon = 1e-5);
+
+}  // namespace streamad::nn
+
+#endif  // STREAMAD_NN_GRADIENT_CHECK_H_

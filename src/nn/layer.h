@@ -1,0 +1,71 @@
+#ifndef STREAMAD_NN_LAYER_H_
+#define STREAMAD_NN_LAYER_H_
+
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace streamad::nn {
+
+/// A trainable tensor together with its accumulated gradient and optimizer
+/// state. Layers own their `Parameter`s; optimizers mutate them in place.
+struct Parameter {
+  linalg::Matrix value;
+  linalg::Matrix grad;
+
+  // Adam moment estimates, lazily sized by the optimizer on first use.
+  linalg::Matrix adam_m;
+  linalg::Matrix adam_v;
+  long adam_steps = 0;
+
+  /// Zeroes the accumulated gradient (allocating it on first use).
+  void ZeroGrad() {
+    if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+      grad = linalg::Matrix(value.rows(), value.cols());
+    } else {
+      grad.Fill(0.0);
+    }
+  }
+};
+
+/// Base class for differentiable layers.
+///
+/// Forward passes are *stateless*: all activations needed by the backward
+/// pass are written into a caller-owned `Cache`. This matters for USAD
+/// (paper §IV-C), whose loss evaluates the shared encoder on two different
+/// inputs within a single training step — with layer-internal caching the
+/// second forward would clobber the tape of the first.
+class Layer {
+ public:
+  /// Activation tape for one forward pass through one layer.
+  struct Cache {
+    linalg::Matrix input;
+    linalg::Matrix output;
+  };
+
+  virtual ~Layer() = default;
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output for a batch (rows = samples) and records the
+  /// tape in `*cache`.
+  virtual linalg::Matrix Forward(const linalg::Matrix& input,
+                                 Cache* cache) const = 0;
+
+  /// Propagates `grad_output` (dL/d output) back through the tape recorded
+  /// in `cache`, returning dL/d input. When `accumulate_param_grads` is
+  /// true, parameter gradients are added into `Parameter::grad`; when false
+  /// the pass is gradient-transparent (used to route gradients *through* a
+  /// frozen subnetwork, e.g. through D2 when updating AE1 in USAD).
+  virtual linalg::Matrix Backward(const linalg::Matrix& grad_output,
+                                  const Cache& cache,
+                                  bool accumulate_param_grads) = 0;
+
+  /// The layer's trainable parameters (empty for activations).
+  virtual std::vector<Parameter*> Params() { return {}; }
+};
+
+}  // namespace streamad::nn
+
+#endif  // STREAMAD_NN_LAYER_H_

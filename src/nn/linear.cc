@@ -1,0 +1,54 @@
+#include "src/nn/linear.h"
+
+#include <cmath>
+
+namespace streamad::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng* rng)
+    : in_features_(in_features), out_features_(out_features) {
+  STREAMAD_CHECK(rng != nullptr);
+  STREAMAD_CHECK(in_features > 0 && out_features > 0);
+  weight_.value = linalg::Matrix(in_features, out_features);
+  bias_.value = linalg::Matrix(1, out_features);
+  const double limit = std::sqrt(
+      6.0 / static_cast<double>(in_features + out_features));
+  for (std::size_t i = 0; i < weight_.value.size(); ++i) {
+    weight_.value.at_flat(i) = rng->Uniform(-limit, limit);
+  }
+  weight_.ZeroGrad();
+  bias_.ZeroGrad();
+}
+
+linalg::Matrix Linear::Forward(const linalg::Matrix& input,
+                               Cache* cache) const {
+  STREAMAD_CHECK(cache != nullptr);
+  STREAMAD_CHECK_MSG(input.cols() == in_features_, "Linear input width");
+  linalg::Matrix out =
+      linalg::AddRowBroadcast(linalg::MatMul(input, weight_.value),
+                              bias_.value);
+  cache->input = input;
+  cache->output = out;
+  return out;
+}
+
+linalg::Matrix Linear::Backward(const linalg::Matrix& grad_output,
+                                const Cache& cache,
+                                bool accumulate_param_grads) {
+  STREAMAD_CHECK(grad_output.rows() == cache.input.rows());
+  STREAMAD_CHECK(grad_output.cols() == out_features_);
+  if (accumulate_param_grads) {
+    // dL/dW = xᵀ g ; dL/db = column sums of g.
+    linalg::Axpy(1.0, linalg::MatMul(linalg::Transpose(cache.input),
+                                     grad_output),
+                 &weight_.grad);
+    for (std::size_t r = 0; r < grad_output.rows(); ++r) {
+      for (std::size_t c = 0; c < grad_output.cols(); ++c) {
+        bias_.grad(0, c) += grad_output(r, c);
+      }
+    }
+  }
+  // dL/dx = g Wᵀ.
+  return linalg::MatMul(grad_output, linalg::Transpose(weight_.value));
+}
+
+}  // namespace streamad::nn

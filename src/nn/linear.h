@@ -1,0 +1,43 @@
+#ifndef STREAMAD_NN_LINEAR_H_
+#define STREAMAD_NN_LINEAR_H_
+
+#include "src/common/rng.h"
+#include "src/nn/layer.h"
+
+namespace streamad::nn {
+
+/// Fully connected layer `y = x W + b` with `x: batch x in`,
+/// `W: in x out`, `b: 1 x out` — the `FC_i(x) = σ(x W_i + b_i)` building
+/// block of the paper's AE, USAD and N-BEATS models (the nonlinearity is a
+/// separate activation layer).
+class Linear : public Layer {
+ public:
+  /// Glorot-uniform initialised layer. The RNG is caller-provided so whole
+  /// models initialise deterministically from one seed.
+  Linear(std::size_t in_features, std::size_t out_features, Rng* rng);
+
+  linalg::Matrix Forward(const linalg::Matrix& input,
+                         Cache* cache) const override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output,
+                          const Cache& cache,
+                          bool accumulate_param_grads) override;
+  std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+
+  const Parameter& weight() const { return weight_; }
+  const Parameter& bias() const { return bias_; }
+  Parameter* mutable_weight() { return &weight_; }
+  Parameter* mutable_bias() { return &bias_; }
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  Parameter weight_;
+  Parameter bias_;
+};
+
+}  // namespace streamad::nn
+
+#endif  // STREAMAD_NN_LINEAR_H_

@@ -1,0 +1,33 @@
+#include "src/nn/loss.h"
+
+#include "src/common/check.h"
+
+namespace streamad::nn {
+
+double MseLoss(const linalg::Matrix& pred, const linalg::Matrix& target) {
+  STREAMAD_CHECK(pred.size() == target.size());
+  STREAMAD_CHECK(pred.size() > 0);
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.at_flat(i) - target.at_flat(i);
+    s += d * d;
+  }
+  return s / static_cast<double>(pred.size());
+}
+
+linalg::Matrix MseLossGrad(const linalg::Matrix& pred,
+                           const linalg::Matrix& target) {
+  STREAMAD_CHECK(pred.rows() == target.rows() &&
+                 pred.cols() == target.cols());
+  STREAMAD_CHECK(pred.size() > 0);
+  linalg::Matrix g = linalg::Sub(pred, target);
+  const double scale = 2.0 / static_cast<double>(pred.size());
+  for (std::size_t i = 0; i < g.size(); ++i) g.at_flat(i) *= scale;
+  return g;
+}
+
+double L2Error(const linalg::Matrix& pred, const linalg::Matrix& target) {
+  return linalg::FrobeniusNorm(linalg::Sub(pred, target));
+}
+
+}  // namespace streamad::nn

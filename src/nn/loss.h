@@ -1,0 +1,21 @@
+#ifndef STREAMAD_NN_LOSS_H_
+#define STREAMAD_NN_LOSS_H_
+
+#include "src/linalg/matrix.h"
+
+namespace streamad::nn {
+
+/// Mean squared error `L = (1/n) Σ (pred - target)²` over all elements.
+double MseLoss(const linalg::Matrix& pred, const linalg::Matrix& target);
+
+/// Gradient of `MseLoss` with respect to `pred`: `2 (pred - target) / n`.
+linalg::Matrix MseLossGrad(const linalg::Matrix& pred,
+                           const linalg::Matrix& target);
+
+/// L2 reconstruction error `||pred - target||_2` over the flattened
+/// matrices — the `R_i = ||x - AE_i(x)||_2` terms of USAD's losses.
+double L2Error(const linalg::Matrix& pred, const linalg::Matrix& target);
+
+}  // namespace streamad::nn
+
+#endif  // STREAMAD_NN_LOSS_H_

@@ -1,0 +1,46 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace streamad::nn {
+
+void Optimizer::StepAll(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) {
+    STREAMAD_CHECK(p != nullptr);
+    Step(p);
+    p->ZeroGrad();
+  }
+}
+
+void Sgd::Step(Parameter* p) {
+  STREAMAD_CHECK(p != nullptr);
+  STREAMAD_CHECK(p->grad.size() == p->value.size());
+  linalg::Axpy(-lr_, p->grad, &p->value);
+}
+
+void Adam::Step(Parameter* p) {
+  STREAMAD_CHECK(p != nullptr);
+  STREAMAD_CHECK(p->grad.size() == p->value.size());
+  if (p->adam_m.size() != p->value.size()) {
+    p->adam_m = linalg::Matrix(p->value.rows(), p->value.cols());
+    p->adam_v = linalg::Matrix(p->value.rows(), p->value.cols());
+    p->adam_steps = 0;
+  }
+  ++p->adam_steps;
+  const double bc1 = 1.0 - std::pow(beta1_, p->adam_steps);
+  const double bc2 = 1.0 - std::pow(beta2_, p->adam_steps);
+  for (std::size_t i = 0; i < p->value.size(); ++i) {
+    const double g = p->grad.at_flat(i);
+    double& m = p->adam_m.at_flat(i);
+    double& v = p->adam_v.at_flat(i);
+    m = beta1_ * m + (1.0 - beta1_) * g;
+    v = beta2_ * v + (1.0 - beta2_) * g * g;
+    const double m_hat = m / bc1;
+    const double v_hat = v / bc2;
+    p->value.at_flat(i) -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+  }
+}
+
+}  // namespace streamad::nn

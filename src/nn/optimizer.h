@@ -1,0 +1,53 @@
+#ifndef STREAMAD_NN_OPTIMIZER_H_
+#define STREAMAD_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/nn/layer.h"
+
+namespace streamad::nn {
+
+/// Applies accumulated gradients to parameters — the `Opt` function of the
+/// paper's fine-tuning rule `θ_model,t = θ_model,t-1 - grads`.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies `p->grad` to `p->value` (and updates optimizer state).
+  /// Does not zero the gradient; callers decide the accumulation window.
+  virtual void Step(Parameter* p) = 0;
+
+  /// Convenience: steps every parameter then zeroes all gradients.
+  void StepAll(const std::vector<Parameter*>& params);
+};
+
+/// Plain stochastic gradient descent `θ ← θ - lr * g`.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate) : lr_(learning_rate) {}
+  void Step(Parameter* p) override;
+
+ private:
+  double lr_;
+};
+
+/// Adam (Kingma & Ba) with per-parameter first/second moment estimates.
+/// Used to train the AE / USAD / N-BEATS models; SGD is used by Online
+/// ARIMA, following the online-gradient-descent formulation of Liu et al.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double learning_rate, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-8)
+      : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {}
+  void Step(Parameter* p) override;
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+};
+
+}  // namespace streamad::nn
+
+#endif  // STREAMAD_NN_OPTIMIZER_H_

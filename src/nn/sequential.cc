@@ -1,0 +1,51 @@
+#include "src/nn/sequential.h"
+
+namespace streamad::nn {
+
+Sequential& Sequential::Add(std::unique_ptr<Layer> layer) {
+  STREAMAD_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+linalg::Matrix Sequential::Forward(const linalg::Matrix& input,
+                                   Tape* tape) const {
+  STREAMAD_CHECK(tape != nullptr);
+  tape->layers.assign(layers_.size(), Layer::Cache{});
+  linalg::Matrix x = input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    x = layers_[i]->Forward(x, &tape->layers[i]);
+  }
+  return x;
+}
+
+linalg::Matrix Sequential::Infer(const linalg::Matrix& input) const {
+  Tape tape;
+  return Forward(input, &tape);
+}
+
+linalg::Matrix Sequential::Backward(const linalg::Matrix& grad_output,
+                                    const Tape& tape,
+                                    bool accumulate_param_grads) {
+  STREAMAD_CHECK_MSG(tape.layers.size() == layers_.size(),
+                     "tape does not match network");
+  linalg::Matrix g = grad_output;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->Backward(g, tape.layers[i], accumulate_param_grads);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::Params() {
+  std::vector<Parameter*> out;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+void Sequential::ZeroGrads() {
+  for (Parameter* p : Params()) p->ZeroGrad();
+}
+
+}  // namespace streamad::nn

@@ -1,0 +1,59 @@
+#ifndef STREAMAD_NN_SEQUENTIAL_H_
+#define STREAMAD_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/layer.h"
+
+namespace streamad::nn {
+
+/// An ordered stack of layers applied back to back — the encoder / decoder
+/// building block of the AE and USAD models.
+///
+/// Like `Layer`, the forward pass is stateless: the per-layer tapes for one
+/// pass live in a caller-owned `Tape`, so the same `Sequential` can appear
+/// several times in one computation graph (USAD's encoder does).
+class Sequential {
+ public:
+  /// Tape for one forward pass through the whole stack.
+  struct Tape {
+    std::vector<Layer::Cache> layers;
+  };
+
+  Sequential() = default;
+  Sequential(const Sequential&) = delete;
+  Sequential& operator=(const Sequential&) = delete;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  /// Appends a layer; returns *this for fluent construction.
+  Sequential& Add(std::unique_ptr<Layer> layer);
+
+  std::size_t num_layers() const { return layers_.size(); }
+
+  /// Runs the stack on `input` (batch rows), recording the tape.
+  linalg::Matrix Forward(const linalg::Matrix& input, Tape* tape) const;
+
+  /// Convenience forward without keeping the tape (inference).
+  linalg::Matrix Infer(const linalg::Matrix& input) const;
+
+  /// Backpropagates through the recorded tape. Parameter gradients are
+  /// accumulated only when `accumulate_param_grads` is true; gradients are
+  /// always propagated to the returned input gradient.
+  linalg::Matrix Backward(const linalg::Matrix& grad_output, const Tape& tape,
+                          bool accumulate_param_grads);
+
+  /// All trainable parameters of all layers, in order.
+  std::vector<Parameter*> Params();
+
+  /// Zeroes the gradients of all parameters.
+  void ZeroGrads();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace streamad::nn
+
+#endif  // STREAMAD_NN_SEQUENTIAL_H_

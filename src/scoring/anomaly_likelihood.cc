@@ -1,0 +1,87 @@
+#include "src/scoring/anomaly_likelihood.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/stats/distributions.h"
+
+namespace streamad::scoring {
+
+AnomalyLikelihood::AnomalyLikelihood(std::size_t k, std::size_t k_short)
+    : k_(k), k_short_(k_short) {
+  STREAMAD_CHECK_MSG(k_short > 0 && k_short < k, "requires k' < k");
+}
+
+double AnomalyLikelihood::Update(double nonconformity) {
+  window_.push_back(nonconformity);
+  sum_ += nonconformity;
+  sum_sq_ += nonconformity * nonconformity;
+  if (window_.size() > k_) {
+    const double old = window_.front();
+    window_.pop_front();
+    sum_ -= old;
+    sum_sq_ -= old * old;
+  }
+
+  const double count = static_cast<double>(window_.size());
+  const double mean = sum_ / count;
+  double variance = sum_sq_ / count - mean * mean;
+  if (variance < 0.0) variance = 0.0;
+  double sigma = std::sqrt(variance);
+  // Degenerate long window (constant scores): fall back to a tiny sigma so
+  // any deviation of the short-term mean saturates the likelihood.
+  if (sigma < 1e-9) sigma = 1e-9;
+
+  const std::size_t short_count =
+      std::min<std::size_t>(k_short_, window_.size());
+  double short_sum = 0.0;
+  for (std::size_t i = window_.size() - short_count; i < window_.size();
+       ++i) {
+    short_sum += window_[i];
+  }
+  const double short_mean = short_sum / static_cast<double>(short_count);
+
+  return 1.0 - stats::GaussianTailQ((short_mean - mean) / sigma);
+}
+
+void AnomalyLikelihood::Reset() {
+  window_.clear();
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+
+bool AnomalyLikelihood::SaveState(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
+  writer->WriteString("al.v1");
+  writer->WriteU64(k_);
+  writer->WriteU64(k_short_);
+  writer->WriteDoubleVec(std::vector<double>(window_.begin(), window_.end()));
+  // Exact accumulators (see AverageScore::SaveState).
+  writer->WriteDouble(sum_);
+  writer->WriteDouble(sum_sq_);
+  return writer->ok();
+}
+
+bool AnomalyLikelihood::LoadState(io::BinaryReader* reader) {
+  STREAMAD_CHECK(reader != nullptr);
+  std::uint64_t k = 0;
+  std::uint64_t k_short = 0;
+  std::vector<double> window;
+  if (!reader->ExpectString("al.v1") || !reader->ReadU64(&k) || k != k_ ||
+      !reader->ReadU64(&k_short) || k_short != k_short_ ||
+      !reader->ReadDoubleVec(&window) || window.size() > k_) {
+    return false;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  if (!reader->ReadDouble(&sum) || !reader->ReadDouble(&sum_sq)) {
+    return false;
+  }
+  window_.assign(window.begin(), window.end());
+  sum_ = sum;
+  sum_sq_ = sum_sq;
+  return true;
+}
+
+}  // namespace streamad::scoring

@@ -1,0 +1,42 @@
+#ifndef STREAMAD_SCORING_ANOMALY_LIKELIHOOD_H_
+#define STREAMAD_SCORING_ANOMALY_LIKELIHOOD_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "src/core/component_interfaces.h"
+
+namespace streamad::scoring {
+
+/// Anomaly scoring **anomaly likelihood** (paper §IV-E, after Lavin &
+/// Ahmad): compares a short-term mean of nonconformity scores against the
+/// long-window mean in units of the long window's standard deviation,
+///
+///   f_t = 1 − Q( (μ̃_t − μ_t) / σ_t ),
+///
+/// where μ_t, σ_t run over the last `k` scores, μ̃_t over the last
+/// `k_short` (k' << k) and Q is the Gaussian tail function. The score is a
+/// probability in [0, 1] that reacts to *changes* in the nonconformity
+/// level rather than its absolute magnitude.
+class AnomalyLikelihood : public core::AnomalyScorer {
+ public:
+  AnomalyLikelihood(std::size_t k, std::size_t k_short);
+
+  double Update(double nonconformity) override;
+  void Reset() override;
+  std::string_view name() const override { return "anomaly-likelihood"; }
+
+  bool SaveState(io::BinaryWriter* writer) const override;
+  bool LoadState(io::BinaryReader* reader) override;
+
+ private:
+  std::size_t k_;
+  std::size_t k_short_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace streamad::scoring
+
+#endif  // STREAMAD_SCORING_ANOMALY_LIKELIHOOD_H_

@@ -1,0 +1,37 @@
+#ifndef STREAMAD_SCORING_AVERAGE_SCORE_H_
+#define STREAMAD_SCORING_AVERAGE_SCORE_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "src/core/component_interfaces.h"
+
+namespace streamad::scoring {
+
+/// Anomaly scoring **average** (paper §IV-E): the mean of the last `k`
+/// nonconformity scores,
+///
+///   f_t = (1/k) Σ_{j=0..k-1} a_{t-j}.
+///
+/// While fewer than `k` scores have been seen, the mean runs over the
+/// available prefix.
+class AverageScore : public core::AnomalyScorer {
+ public:
+  explicit AverageScore(std::size_t k);
+
+  double Update(double nonconformity) override;
+  void Reset() override;
+  std::string_view name() const override { return "average"; }
+
+  bool SaveState(io::BinaryWriter* writer) const override;
+  bool LoadState(io::BinaryReader* reader) override;
+
+ private:
+  std::size_t k_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+};
+
+}  // namespace streamad::scoring
+
+#endif  // STREAMAD_SCORING_AVERAGE_SCORE_H_

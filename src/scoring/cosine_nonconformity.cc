@@ -1,0 +1,40 @@
+#include "src/scoring/cosine_nonconformity.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/linalg/matrix.h"
+
+namespace streamad::scoring {
+
+double CosineNonconformity::Score(const core::FeatureVector& x,
+                                  core::Model* model) {
+  STREAMAD_CHECK(model != nullptr);
+  double cos = 0.0;
+  switch (model->kind()) {
+    case core::Model::Kind::kReconstruction: {
+      const linalg::Matrix prediction = model->Predict(x);
+      STREAMAD_CHECK(prediction.rows() == x.window.rows() &&
+                     prediction.cols() == x.window.cols());
+      cos = linalg::CosineSimilarity(x.window, prediction);
+      break;
+    }
+    case core::Model::Kind::kForecast: {
+      STREAMAD_CHECK_MSG(x.channels() > 1,
+                         "cosine nonconformity on forecasts needs N > 1");
+      const linalg::Matrix forecast = model->Predict(x);
+      STREAMAD_CHECK(forecast.rows() == 1 &&
+                     forecast.cols() == x.channels());
+      const linalg::Matrix actual =
+          linalg::Matrix::RowVector(x.LastRow());
+      cos = linalg::CosineSimilarity(actual, forecast);
+      break;
+    }
+    case core::Model::Kind::kScore:
+      STREAMAD_CHECK_MSG(false,
+                         "cosine nonconformity needs a prediction model");
+  }
+  return std::clamp(1.0 - cos, 0.0, 1.0);
+}
+
+}  // namespace streamad::scoring

@@ -1,0 +1,26 @@
+#ifndef STREAMAD_SCORING_COSINE_NONCONFORMITY_H_
+#define STREAMAD_SCORING_COSINE_NONCONFORMITY_H_
+
+#include "src/core/component_interfaces.h"
+
+namespace streamad::scoring {
+
+/// Cosine-similarity nonconformity (paper §IV-D):
+///
+///   a_t = 1 − cos(x_t, x̂_t)        (reconstruction models)
+///   a_t = 1 − cos(s_t, ŝ_t)        (forecasting models, comparing the
+///                                   newest stream vector to its forecast)
+///
+/// `1 − cos` ranges over [0, 2]; the paper requires nonconformity in
+/// [0, 1], so the value is clamped (see DESIGN.md). For forecasting models
+/// the measure is only defined for multivariate streams (N > 1), which the
+/// paper notes; univariate forecasts CHECK-fail here.
+class CosineNonconformity : public core::NonconformityMeasure {
+ public:
+  double Score(const core::FeatureVector& x, core::Model* model) override;
+  std::string_view name() const override { return "cosine"; }
+};
+
+}  // namespace streamad::scoring
+
+#endif  // STREAMAD_SCORING_COSINE_NONCONFORMITY_H_

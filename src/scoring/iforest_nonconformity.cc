@@ -1,0 +1,15 @@
+#include "src/scoring/iforest_nonconformity.h"
+
+#include "src/common/check.h"
+
+namespace streamad::scoring {
+
+double IForestNonconformity::Score(const core::FeatureVector& x,
+                                   core::Model* model) {
+  STREAMAD_CHECK(model != nullptr);
+  STREAMAD_CHECK_MSG(model->kind() == core::Model::Kind::kScore,
+                     "iforest nonconformity needs a scoring model");
+  return model->AnomalyScore(x);
+}
+
+}  // namespace streamad::scoring

@@ -1,0 +1,19 @@
+#ifndef STREAMAD_SCORING_IFOREST_NONCONFORMITY_H_
+#define STREAMAD_SCORING_IFOREST_NONCONFORMITY_H_
+
+#include "src/core/component_interfaces.h"
+
+namespace streamad::scoring {
+
+/// The isolation forest's native nonconformity (paper §IV-D):
+/// `a_t = 2^{-E(h(x_t)) / c(n)}`, delegated to the scoring model
+/// (PCB-iForest), which already produces it in [0, 1].
+class IForestNonconformity : public core::NonconformityMeasure {
+ public:
+  double Score(const core::FeatureVector& x, core::Model* model) override;
+  std::string_view name() const override { return "iforest"; }
+};
+
+}  // namespace streamad::scoring
+
+#endif  // STREAMAD_SCORING_IFOREST_NONCONFORMITY_H_

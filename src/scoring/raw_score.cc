@@ -1,0 +1,4 @@
+#include "src/scoring/raw_score.h"
+
+// RawScore is fully defined inline; this translation unit anchors the
+// class for the build system.

@@ -1,0 +1,24 @@
+#ifndef STREAMAD_SCORING_RAW_SCORE_H_
+#define STREAMAD_SCORING_RAW_SCORE_H_
+
+#include "src/core/component_interfaces.h"
+
+namespace streamad::scoring {
+
+/// Identity anomaly scoring: `f_t = a_t`. The "Raw" row of the paper's
+/// anomaly-score ablation (last rows of Table III) — the baseline against
+/// which the average and anomaly-likelihood scores are compared.
+class RawScore : public core::AnomalyScorer {
+ public:
+  double Update(double nonconformity) override { return nonconformity; }
+  void Reset() override {}
+  std::string_view name() const override { return "raw"; }
+
+  // Stateless: checkpointing is trivially supported.
+  bool SaveState(io::BinaryWriter* /*writer*/) const override { return true; }
+  bool LoadState(io::BinaryReader* /*reader*/) override { return true; }
+};
+
+}  // namespace streamad::scoring
+
+#endif  // STREAMAD_SCORING_RAW_SCORE_H_

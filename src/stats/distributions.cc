@@ -1,0 +1,22 @@
+#include "src/stats/distributions.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace streamad::stats {
+
+double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double GaussianTailQ(double x) {
+  return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+double KsCriticalValue(double alpha) {
+  STREAMAD_CHECK_MSG(alpha > 0.0 && alpha < 2.0, "alpha out of range");
+  return std::sqrt(std::log(2.0 / alpha));
+}
+
+}  // namespace streamad::stats

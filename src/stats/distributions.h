@@ -1,0 +1,21 @@
+#ifndef STREAMAD_STATS_DISTRIBUTIONS_H_
+#define STREAMAD_STATS_DISTRIBUTIONS_H_
+
+namespace streamad::stats {
+
+/// Standard normal cumulative distribution function Φ(x).
+double NormalCdf(double x);
+
+/// Gaussian tail distribution function Q(x) = 1 - Φ(x).
+///
+/// This is the `Q` of the anomaly-likelihood score (paper §IV-E):
+/// `f_t = 1 - Q((μ̃_t - μ_t) / σ_t)`.
+double GaussianTailQ(double x);
+
+/// Kolmogorov–Smirnov critical value factor c(α) = sqrt(ln(2/α)) for the
+/// two-sample test (paper §IV-B, KSWIN).
+double KsCriticalValue(double alpha);
+
+}  // namespace streamad::stats
+
+#endif  // STREAMAD_STATS_DISTRIBUTIONS_H_

@@ -1,0 +1,38 @@
+#ifndef STREAMAD_STATS_KS_TEST_H_
+#define STREAMAD_STATS_KS_TEST_H_
+
+#include <vector>
+
+#include "src/common/op_counters.h"
+
+namespace streamad::stats {
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+struct KsResult {
+  /// The statistic `dist = sup_x |F_a(x) - F_b(x)|` over the empirical CDFs.
+  double statistic = 0.0;
+  /// The threshold `c(α) * sqrt((r_a + r_b) / (r_a * r_b))` the statistic is
+  /// compared against at significance level α.
+  double threshold = 0.0;
+  /// True iff `statistic > threshold`, i.e. the null hypothesis
+  /// "same distribution" is rejected at level α.
+  bool reject = false;
+};
+
+/// Two-sample Kolmogorov–Smirnov test at significance level `alpha`
+/// (paper §IV-B, KSWIN). Both samples must be non-empty. The inputs are
+/// copied and sorted internally; the ECDF difference is evaluated with a
+/// single merge sweep.
+///
+/// When `counters` is non-null, the additions / multiplications /
+/// comparisons the test performs are tallied there (Table II
+/// instrumentation). The tallies model the binary-search-insertion
+/// formulation the paper counts: every element of both samples is located in
+/// the concatenated sorted array.
+KsResult TwoSampleKsTest(const std::vector<double>& a,
+                         const std::vector<double>& b, double alpha,
+                         OpCounters* counters = nullptr);
+
+}  // namespace streamad::stats
+
+#endif  // STREAMAD_STATS_KS_TEST_H_

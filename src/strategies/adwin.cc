@@ -1,0 +1,192 @@
+#include "src/strategies/adwin.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace streamad::strategies {
+
+Adwin::Adwin() : Adwin(Params()) {}
+
+Adwin::Adwin(const Params& params) : params_(params) {
+  STREAMAD_CHECK(params.delta > 0.0 && params.delta < 1.0);
+  STREAMAD_CHECK(params.max_buckets_per_level >= 2);
+  STREAMAD_CHECK(params.check_every >= 1);
+}
+
+double Adwin::window_mean() const {
+  return total_count_ == 0 ? 0.0
+                           : total_sum_ / static_cast<double>(total_count_);
+}
+
+void Adwin::Compress() {
+  // Exponential histogram invariant: at most `max_buckets_per_level`
+  // buckets of each power-of-two size. Buckets are ordered oldest first
+  // with non-increasing sizes towards the back, so same-size buckets form
+  // contiguous runs; an over-full run merges its two *oldest* members
+  // (preserving the ordering), which may overflow the next level — hence
+  // the outer repeat-until-stable loop.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    std::size_t run_start = 0;
+    while (run_start < buckets_.size()) {
+      std::size_t run_end = run_start;
+      while (run_end < buckets_.size() &&
+             buckets_[run_end].count == buckets_[run_start].count) {
+        ++run_end;
+      }
+      if (run_end - run_start > params_.max_buckets_per_level) {
+        Bucket& keep = buckets_[run_start];
+        const Bucket& absorb = buckets_[run_start + 1];
+        keep.sum += absorb.sum;
+        keep.sum_sq += absorb.sum_sq;
+        keep.count += absorb.count;
+        buckets_.erase(buckets_.begin() +
+                       static_cast<std::ptrdiff_t>(run_start + 1));
+        merged = true;
+        break;
+      }
+      run_start = run_end;
+    }
+  }
+}
+
+bool Adwin::DetectCutAndShrink() {
+  bool any_cut = false;
+  bool cut_found = true;
+  while (cut_found && buckets_.size() >= 2) {
+    cut_found = false;
+    const double n = static_cast<double>(total_count_);
+    const double mean = total_sum_ / n;
+    double variance = total_sum_sq_ / n - mean * mean;
+    if (variance < 0.0) variance = 0.0;
+    const double delta_prime =
+        params_.delta / std::log(std::max(2.0, n));
+
+    // Sweep split points oldest..newest: W = W0 | W1.
+    double sum0 = 0.0;
+    double count0 = 0.0;
+    for (std::size_t i = 0; i + 1 < buckets_.size(); ++i) {
+      sum0 += buckets_[i].sum;
+      count0 += static_cast<double>(buckets_[i].count);
+      const double count1 = n - count0;
+      if (count0 < 1.0 || count1 < 1.0) continue;
+      const double mean0 = sum0 / count0;
+      const double mean1 = (total_sum_ - sum0) / count1;
+      const double m = 1.0 / (1.0 / count0 + 1.0 / count1);
+      const double ln_term = std::log(2.0 / delta_prime);
+      const double eps_cut = std::sqrt(2.0 * variance * ln_term / m) +
+                             2.0 * ln_term / (3.0 * m);
+      if (std::fabs(mean0 - mean1) > eps_cut) {
+        // Drop the oldest bucket and re-evaluate.
+        total_sum_ -= buckets_.front().sum;
+        total_sum_sq_ -= buckets_.front().sum_sq;
+        total_count_ -= buckets_.front().count;
+        buckets_.pop_front();
+        cut_found = true;
+        any_cut = true;
+        break;
+      }
+    }
+  }
+  return any_cut;
+}
+
+bool Adwin::InsertAndCheck(double value) {
+  buckets_.push_back({value, value * value, 1});
+  ++total_count_;
+  total_sum_ += value;
+  total_sum_sq_ += value * value;
+  Compress();
+  if (++since_check_ < params_.check_every) return false;
+  since_check_ = 0;
+  if (DetectCutAndShrink()) {
+    ++cut_count_;
+    return true;
+  }
+  return false;
+}
+
+void Adwin::Observe(const core::TrainingSet& /*set*/,
+                    const core::TrainingSetUpdate& update,
+                    std::int64_t /*t*/) {
+  if (!update.inserted) return;
+  // The monitored statistic: the mean of the feature vector entering the
+  // training set.
+  const linalg::Matrix& window = update.inserted_value.window;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < window.size(); ++i) mean += window.at_flat(i);
+  mean /= static_cast<double>(window.size());
+  if (InsertAndCheck(mean)) drift_pending_ = true;
+}
+
+bool Adwin::ShouldFinetune(const core::TrainingSet& set, std::int64_t /*t*/) {
+  if (set.empty()) return false;
+  const bool fire = drift_pending_;
+  drift_pending_ = false;
+  return fire;
+}
+
+void Adwin::OnFinetune(const core::TrainingSet& /*set*/, std::int64_t /*t*/) {
+  // ADWIN's window already shrank at the cut; nothing to snapshot.
+}
+
+
+bool Adwin::SaveState(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
+  writer->WriteString("adwin.v1");
+  writer->WriteU64(buckets_.size());
+  for (const Bucket& bucket : buckets_) {
+    writer->WriteDouble(bucket.sum);
+    writer->WriteDouble(bucket.sum_sq);
+    writer->WriteU64(bucket.count);
+  }
+  writer->WriteU64(total_count_);
+  writer->WriteDouble(total_sum_);
+  writer->WriteDouble(total_sum_sq_);
+  writer->WriteI64(since_check_);
+  writer->WriteU64(drift_pending_ ? 1 : 0);
+  writer->WriteU64(cut_count_);
+  return writer->ok();
+}
+
+bool Adwin::LoadState(io::BinaryReader* reader) {
+  STREAMAD_CHECK(reader != nullptr);
+  std::uint64_t bucket_count = 0;
+  if (!reader->ExpectString("adwin.v1") || !reader->ReadU64(&bucket_count)) {
+    return false;
+  }
+  std::deque<Bucket> buckets;
+  for (std::uint64_t i = 0; i < bucket_count; ++i) {
+    Bucket bucket;
+    std::uint64_t count = 0;
+    if (!reader->ReadDouble(&bucket.sum) ||
+        !reader->ReadDouble(&bucket.sum_sq) || !reader->ReadU64(&count)) {
+      return false;
+    }
+    bucket.count = count;
+    buckets.push_back(bucket);
+  }
+  std::uint64_t total_count = 0;
+  double total_sum = 0.0;
+  double total_sum_sq = 0.0;
+  std::int64_t since_check = 0;
+  std::uint64_t pending = 0;
+  std::uint64_t cuts = 0;
+  if (!reader->ReadU64(&total_count) || !reader->ReadDouble(&total_sum) ||
+      !reader->ReadDouble(&total_sum_sq) || !reader->ReadI64(&since_check) ||
+      !reader->ReadU64(&pending) || !reader->ReadU64(&cuts)) {
+    return false;
+  }
+  buckets_ = std::move(buckets);
+  total_count_ = total_count;
+  total_sum_ = total_sum;
+  total_sum_sq_ = total_sum_sq;
+  since_check_ = since_check;
+  drift_pending_ = pending != 0;
+  cut_count_ = cuts;
+  return true;
+}
+
+}  // namespace streamad::strategies

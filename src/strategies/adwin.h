@@ -1,0 +1,82 @@
+#ifndef STREAMAD_STRATEGIES_ADWIN_H_
+#define STREAMAD_STRATEGIES_ADWIN_H_
+
+#include <deque>
+
+#include "src/core/component_interfaces.h"
+
+namespace streamad::strategies {
+
+/// Task-2 extension: **ADWIN** (ADaptive WINdowing, Bifet & Gavaldà 2007)
+/// — the drift detector used by the LSTM encoder-decoder streaming work
+/// the paper cites (Belacel et al.). Not part of Table I; shipped as an
+/// alternative Task-2 strategy with its own ablation bench.
+///
+/// ADWIN maintains an adaptive window of a univariate statistic — here
+/// the mean of each feature vector entering the training set — inside an
+/// exponential histogram. Whenever two adjacent sub-windows have means
+/// that differ significantly (variance-based Hoeffding/Bernstein bound at
+/// confidence δ), the older sub-window is dropped and drift is signalled;
+/// the framework reacts with a fine-tune.
+class Adwin : public core::DriftDetector {
+ public:
+  struct Params {
+    /// Confidence parameter δ of the cut test.
+    double delta = 0.002;
+    /// Maximum buckets per exponential-histogram level.
+    std::size_t max_buckets_per_level = 5;
+    /// Evaluate cuts only every `check_every` insertions (ADWIN's usual
+    /// cost-control; the bound is valid under repeated testing).
+    std::int64_t check_every = 4;
+  };
+
+  Adwin();
+  explicit Adwin(const Params& params);
+
+  void Observe(const core::TrainingSet& set,
+               const core::TrainingSetUpdate& update, std::int64_t t) override;
+  bool ShouldFinetune(const core::TrainingSet& set, std::int64_t t) override;
+  void OnFinetune(const core::TrainingSet& set, std::int64_t t) override;
+  std::string_view name() const override { return "ADWIN"; }
+
+  bool SaveState(io::BinaryWriter* writer) const override;
+  bool LoadState(io::BinaryReader* reader) override;
+
+  /// Number of values currently inside the adaptive window.
+  std::size_t window_size() const { return total_count_; }
+  /// Mean of the adaptive window.
+  double window_mean() const;
+  /// Total number of cuts (drifts) detected so far.
+  std::size_t cut_count() const { return cut_count_; }
+
+  /// Direct scalar insertion (exposed for unit tests): returns true if
+  /// the insertion caused at least one cut.
+  bool InsertAndCheck(double value);
+
+ private:
+  /// One exponential-histogram bucket: `count` values summarised by their
+  /// sum and sum of squares (for the variance-based bound).
+  struct Bucket {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    std::size_t count = 0;
+  };
+
+  void Compress();
+  bool DetectCutAndShrink();
+
+  Params params_;
+  // Buckets ordered oldest first; counts are powers of two, kept compact
+  // by `Compress`.
+  std::deque<Bucket> buckets_;
+  std::size_t total_count_ = 0;
+  double total_sum_ = 0.0;
+  double total_sum_sq_ = 0.0;
+  std::int64_t since_check_ = 0;
+  bool drift_pending_ = false;
+  std::size_t cut_count_ = 0;
+};
+
+}  // namespace streamad::strategies
+
+#endif  // STREAMAD_STRATEGIES_ADWIN_H_

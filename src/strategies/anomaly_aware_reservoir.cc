@@ -1,0 +1,84 @@
+#include "src/strategies/anomaly_aware_reservoir.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace streamad::strategies {
+
+AnomalyAwareReservoir::AnomalyAwareReservoir(std::size_t capacity,
+                                             std::uint64_t seed)
+    : AnomalyAwareReservoir(capacity, seed, Params()) {}
+
+AnomalyAwareReservoir::AnomalyAwareReservoir(std::size_t capacity,
+                                             std::uint64_t seed,
+                                             const Params& params)
+    : set_(capacity), rng_(seed), params_(params) {
+  STREAMAD_CHECK(params.lambda1 > 0.0 && params.lambda2 > 0.0);
+  STREAMAD_CHECK(params.u_lo > 0.0 && params.u_lo <= params.u_hi &&
+                 params.u_hi < 1.0);
+  priorities_.reserve(capacity);
+}
+
+double AnomalyAwareReservoir::Priority(double u, double f,
+                                       const Params& params) {
+  // p = u^(λ1 / exp(-λ2 f)) = u^(λ1 e^{λ2 f}); u < 1 so the priority is
+  // monotonically decreasing in the anomaly score f.
+  return std::pow(u, params.lambda1 * std::exp(params.lambda2 * f));
+}
+
+core::TrainingSetUpdate AnomalyAwareReservoir::Offer(
+    const core::FeatureVector& x, double anomaly_score) {
+  core::TrainingSetUpdate update;
+  const double u = rng_.Uniform(params_.u_lo, params_.u_hi);
+  const double p = Priority(u, anomaly_score, params_);
+
+  if (!set_.full()) {
+    set_.Add(x);
+    priorities_.push_back(p);
+    update.inserted = true;
+    update.inserted_value = x;
+    return update;
+  }
+
+  // The paper's helper c(ps, p_t): the minimum priority among those lower
+  // than p_t. Equivalently: replace the overall minimum iff it is < p_t.
+  const auto min_it = std::min_element(priorities_.begin(), priorities_.end());
+  if (*min_it < p) {
+    const std::size_t victim =
+        static_cast<std::size_t>(min_it - priorities_.begin());
+    update.inserted = true;
+    update.inserted_value = x;
+    update.removed = true;
+    update.removed_value = set_.ReplaceAt(victim, x);
+    priorities_[victim] = p;
+  }
+  return update;
+}
+
+
+bool AnomalyAwareReservoir::SaveState(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
+  writer->WriteString("ares.v1");
+  set_.Save(writer);
+  writer->WriteDoubleVec(priorities_);
+  writer->WriteString(rng_.SerializeState());
+  return writer->ok();
+}
+
+bool AnomalyAwareReservoir::LoadState(io::BinaryReader* reader) {
+  STREAMAD_CHECK(reader != nullptr);
+  std::vector<double> priorities;
+  std::string rng_state;
+  if (!reader->ExpectString("ares.v1") || !set_.Load(reader) ||
+      !reader->ReadDoubleVec(&priorities) ||
+      priorities.size() != set_.size() || !reader->ReadString(&rng_state) ||
+      !rng_.DeserializeState(rng_state)) {
+    return false;
+  }
+  priorities_ = std::move(priorities);
+  return true;
+}
+
+}  // namespace streamad::strategies

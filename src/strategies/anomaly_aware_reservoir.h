@@ -1,0 +1,57 @@
+#ifndef STREAMAD_STRATEGIES_ANOMALY_AWARE_RESERVOIR_H_
+#define STREAMAD_STRATEGIES_ANOMALY_AWARE_RESERVOIR_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/component_interfaces.h"
+
+namespace streamad::strategies {
+
+/// Task-1 learning strategy **ARES** (paper §IV-B): the anomaly-aware
+/// reservoir. Every offered feature vector receives a priority
+///
+///   p_t = u^(λ1 / exp(-λ2 f_t)),  u ~ Uniform[u_lo, u_hi]
+///
+/// which decreases with the anomaly score `f_t`, so "normal" vectors carry
+/// higher priorities. A full reservoir replaces its minimum-priority
+/// element when that priority is below `p_t`, keeping the most normal
+/// vectors while the random base `u` prevents convergence to a fixed set.
+/// Paper parameters: `u ∈ [0.7, 0.9]`, `λ1 = λ2 = 3`.
+class AnomalyAwareReservoir : public core::TrainingSetStrategy {
+ public:
+  struct Params {
+    double lambda1 = 3.0;
+    double lambda2 = 3.0;
+    double u_lo = 0.7;
+    double u_hi = 0.9;
+  };
+
+  AnomalyAwareReservoir(std::size_t capacity, std::uint64_t seed);
+  AnomalyAwareReservoir(std::size_t capacity, std::uint64_t seed,
+                        const Params& params);
+
+  core::TrainingSetUpdate Offer(const core::FeatureVector& x,
+                                double anomaly_score) override;
+  const core::TrainingSet& set() const override { return set_; }
+  std::string_view name() const override { return "ARES"; }
+
+  bool SaveState(io::BinaryWriter* writer) const override;
+  bool LoadState(io::BinaryReader* reader) override;
+
+  /// The priority that would be assigned for anomaly score `f` with random
+  /// base `u`; exposed for property tests of monotonicity.
+  static double Priority(double u, double f, const Params& params);
+
+  const std::vector<double>& priorities() const { return priorities_; }
+
+ private:
+  core::TrainingSet set_;
+  Rng rng_;
+  Params params_;
+  std::vector<double> priorities_;  // aligned with set_ indices
+};
+
+}  // namespace streamad::strategies
+
+#endif  // STREAMAD_STRATEGIES_ANOMALY_AWARE_RESERVOIR_H_

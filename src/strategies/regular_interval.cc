@@ -1,0 +1,47 @@
+#include "src/strategies/regular_interval.h"
+
+#include "src/common/check.h"
+
+namespace streamad::strategies {
+
+RegularInterval::RegularInterval(std::int64_t interval) : interval_(interval) {
+  STREAMAD_CHECK_MSG(interval > 0, "interval must be positive");
+}
+
+void RegularInterval::Observe(const core::TrainingSet& /*set*/,
+                              const core::TrainingSetUpdate& /*update*/,
+                              std::int64_t /*t*/) {}
+
+bool RegularInterval::ShouldFinetune(const core::TrainingSet& set,
+                                     std::int64_t t) {
+  if (set.empty()) return false;
+  return last_finetune_t_ < 0 || t - last_finetune_t_ >= interval_;
+}
+
+void RegularInterval::OnFinetune(const core::TrainingSet& /*set*/,
+                                 std::int64_t t) {
+  last_finetune_t_ = t;
+}
+
+
+bool RegularInterval::SaveState(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
+  writer->WriteString("regular.v1");
+  writer->WriteI64(interval_);
+  writer->WriteI64(last_finetune_t_);
+  return writer->ok();
+}
+
+bool RegularInterval::LoadState(io::BinaryReader* reader) {
+  STREAMAD_CHECK(reader != nullptr);
+  std::int64_t interval = 0;
+  std::int64_t last = 0;
+  if (!reader->ExpectString("regular.v1") || !reader->ReadI64(&interval) ||
+      !reader->ReadI64(&last) || interval != interval_) {
+    return false;
+  }
+  last_finetune_t_ = last;
+  return true;
+}
+
+}  // namespace streamad::strategies

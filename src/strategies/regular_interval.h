@@ -1,0 +1,33 @@
+#ifndef STREAMAD_STRATEGIES_REGULAR_INTERVAL_H_
+#define STREAMAD_STRATEGIES_REGULAR_INTERVAL_H_
+
+#include "src/core/component_interfaces.h"
+
+namespace streamad::strategies {
+
+/// Task-2 strategy **regular fine-tuning** (paper §IV-B): retrain the model
+/// parameters after every `interval` time steps, unconditionally. The
+/// simplest baseline against which the drift-reactive strategies are
+/// compared.
+class RegularInterval : public core::DriftDetector {
+ public:
+  /// `interval` is the paper's `m` in `t mod m == 0`.
+  explicit RegularInterval(std::int64_t interval);
+
+  void Observe(const core::TrainingSet& set,
+               const core::TrainingSetUpdate& update, std::int64_t t) override;
+  bool ShouldFinetune(const core::TrainingSet& set, std::int64_t t) override;
+  void OnFinetune(const core::TrainingSet& set, std::int64_t t) override;
+  std::string_view name() const override { return "regular"; }
+
+  bool SaveState(io::BinaryWriter* writer) const override;
+  bool LoadState(io::BinaryReader* reader) override;
+
+ private:
+  std::int64_t interval_;
+  std::int64_t last_finetune_t_ = -1;
+};
+
+}  // namespace streamad::strategies
+
+#endif  // STREAMAD_STRATEGIES_REGULAR_INTERVAL_H_

@@ -1,0 +1,42 @@
+#include "src/strategies/sliding_window.h"
+
+namespace streamad::strategies {
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : set_(capacity) {}
+
+core::TrainingSetUpdate SlidingWindow::Offer(const core::FeatureVector& x,
+                                             double /*anomaly_score*/) {
+  core::TrainingSetUpdate update;
+  update.inserted = true;
+  update.inserted_value = x;
+  if (!set_.full()) {
+    set_.Add(x);
+    return update;
+  }
+  update.removed = true;
+  update.removed_value = set_.ReplaceAt(next_slot_, x);
+  next_slot_ = (next_slot_ + 1) % set_.capacity();
+  return update;
+}
+
+
+bool SlidingWindow::SaveState(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
+  writer->WriteString("sw.v1");
+  set_.Save(writer);
+  writer->WriteU64(next_slot_);
+  return writer->ok();
+}
+
+bool SlidingWindow::LoadState(io::BinaryReader* reader) {
+  STREAMAD_CHECK(reader != nullptr);
+  std::uint64_t next_slot = 0;
+  if (!reader->ExpectString("sw.v1") || !set_.Load(reader) ||
+      !reader->ReadU64(&next_slot) || next_slot >= set_.capacity()) {
+    return false;
+  }
+  next_slot_ = next_slot;
+  return true;
+}
+
+}  // namespace streamad::strategies

@@ -1,0 +1,31 @@
+#ifndef STREAMAD_STRATEGIES_SLIDING_WINDOW_H_
+#define STREAMAD_STRATEGIES_SLIDING_WINDOW_H_
+
+#include "src/core/component_interfaces.h"
+
+namespace streamad::strategies {
+
+/// Task-1 learning strategy **SW** (paper §IV-B): the training set always
+/// holds the `m` most recent feature vectors; the oldest one is replaced
+/// when the set is full.
+class SlidingWindow : public core::TrainingSetStrategy {
+ public:
+  /// `capacity` is the paper's `m`.
+  explicit SlidingWindow(std::size_t capacity);
+
+  core::TrainingSetUpdate Offer(const core::FeatureVector& x,
+                                double anomaly_score) override;
+  const core::TrainingSet& set() const override { return set_; }
+  std::string_view name() const override { return "SW"; }
+
+  bool SaveState(io::BinaryWriter* writer) const override;
+  bool LoadState(io::BinaryReader* reader) override;
+
+ private:
+  core::TrainingSet set_;
+  std::size_t next_slot_ = 0;  // ring cursor over the full set
+};
+
+}  // namespace streamad::strategies
+
+#endif  // STREAMAD_STRATEGIES_SLIDING_WINDOW_H_

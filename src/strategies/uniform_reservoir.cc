@@ -1,0 +1,54 @@
+#include "src/strategies/uniform_reservoir.h"
+
+namespace streamad::strategies {
+
+UniformReservoir::UniformReservoir(std::size_t capacity, std::uint64_t seed)
+    : set_(capacity), rng_(seed) {}
+
+core::TrainingSetUpdate UniformReservoir::Offer(const core::FeatureVector& x,
+                                                double /*anomaly_score*/) {
+  ++offered_;
+  core::TrainingSetUpdate update;
+  if (!set_.full()) {
+    set_.Add(x);
+    update.inserted = true;
+    update.inserted_value = x;
+    return update;
+  }
+  const double keep_probability =
+      static_cast<double>(set_.capacity()) / static_cast<double>(offered_);
+  if (rng_.Uniform() < keep_probability) {
+    const std::size_t victim =
+        static_cast<std::size_t>(rng_.UniformInt(0, set_.size() - 1));
+    update.inserted = true;
+    update.inserted_value = x;
+    update.removed = true;
+    update.removed_value = set_.ReplaceAt(victim, x);
+  }
+  return update;
+}
+
+
+bool UniformReservoir::SaveState(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
+  writer->WriteString("ures.v1");
+  set_.Save(writer);
+  writer->WriteU64(offered_);
+  writer->WriteString(rng_.SerializeState());
+  return writer->ok();
+}
+
+bool UniformReservoir::LoadState(io::BinaryReader* reader) {
+  STREAMAD_CHECK(reader != nullptr);
+  std::uint64_t offered = 0;
+  std::string rng_state;
+  if (!reader->ExpectString("ures.v1") || !set_.Load(reader) ||
+      !reader->ReadU64(&offered) || !reader->ReadString(&rng_state) ||
+      !rng_.DeserializeState(rng_state)) {
+    return false;
+  }
+  offered_ = offered;
+  return true;
+}
+
+}  // namespace streamad::strategies

@@ -1,0 +1,33 @@
+#ifndef STREAMAD_STRATEGIES_UNIFORM_RESERVOIR_H_
+#define STREAMAD_STRATEGIES_UNIFORM_RESERVOIR_H_
+
+#include "src/common/rng.h"
+#include "src/core/component_interfaces.h"
+
+namespace streamad::strategies {
+
+/// Task-1 learning strategy **URES** (paper §IV-B): classic uniform
+/// reservoir sampling. While the set is below capacity every feature vector
+/// is added; afterwards the newest vector replaces a uniformly random
+/// element with probability `m / t`, where `t` counts offered vectors.
+class UniformReservoir : public core::TrainingSetStrategy {
+ public:
+  UniformReservoir(std::size_t capacity, std::uint64_t seed);
+
+  core::TrainingSetUpdate Offer(const core::FeatureVector& x,
+                                double anomaly_score) override;
+  const core::TrainingSet& set() const override { return set_; }
+  std::string_view name() const override { return "URES"; }
+
+  bool SaveState(io::BinaryWriter* writer) const override;
+  bool LoadState(io::BinaryReader* reader) override;
+
+ private:
+  core::TrainingSet set_;
+  Rng rng_;
+  std::uint64_t offered_ = 0;  // the paper's t
+};
+
+}  // namespace streamad::strategies
+
+#endif  // STREAMAD_STRATEGIES_UNIFORM_RESERVOIR_H_

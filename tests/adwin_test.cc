@@ -1,0 +1,194 @@
+#include "src/strategies/adwin.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/strategies/sliding_window.h"
+
+namespace streamad::strategies {
+namespace {
+
+TEST(AdwinTest, StartsEmpty) {
+  Adwin adwin;
+  EXPECT_EQ(adwin.window_size(), 0u);
+  EXPECT_EQ(adwin.window_mean(), 0.0);
+  EXPECT_EQ(adwin.cut_count(), 0u);
+}
+
+TEST(AdwinTest, WindowMeanTracksInsertions) {
+  Adwin::Params params;
+  params.check_every = 1;
+  Adwin adwin(params);
+  adwin.InsertAndCheck(1.0);
+  adwin.InsertAndCheck(3.0);
+  EXPECT_EQ(adwin.window_size(), 2u);
+  EXPECT_DOUBLE_EQ(adwin.window_mean(), 2.0);
+}
+
+TEST(AdwinTest, StationaryStreamKeepsGrowing) {
+  Adwin::Params params;
+  params.check_every = 1;
+  Adwin adwin(params);
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    adwin.InsertAndCheck(rng.Gaussian(5.0, 1.0));
+  }
+  // A handful of spurious cuts is statistically possible, but the window
+  // must retain the bulk of a stationary stream.
+  EXPECT_GT(adwin.window_size(), 1000u);
+  EXPECT_NEAR(adwin.window_mean(), 5.0, 0.3);
+}
+
+TEST(AdwinTest, MeanShiftCutsWindow) {
+  Adwin::Params params;
+  params.check_every = 1;
+  Adwin adwin(params);
+  Rng rng(2);
+  for (int i = 0; i < 600; ++i) adwin.InsertAndCheck(rng.Gaussian(0.0, 0.5));
+  const std::size_t before = adwin.window_size();
+  bool cut = false;
+  for (int i = 0; i < 300; ++i) {
+    cut = adwin.InsertAndCheck(rng.Gaussian(3.0, 0.5)) || cut;
+  }
+  EXPECT_TRUE(cut);
+  EXPECT_GT(adwin.cut_count(), 0u);
+  // The old regime was dropped: the window is much smaller than the total
+  // stream and its mean reflects the new regime.
+  EXPECT_LT(adwin.window_size(), before + 300);
+  EXPECT_NEAR(adwin.window_mean(), 3.0, 0.8);
+}
+
+TEST(AdwinTest, SmallShiftNeedsMoreEvidenceThanLargeShift) {
+  auto steps_to_detect = [](double shift) {
+    Adwin::Params params;
+    params.check_every = 1;
+    Adwin adwin(params);
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+      adwin.InsertAndCheck(rng.Gaussian(0.0, 0.5));
+    }
+    for (int i = 0; i < 2000; ++i) {
+      if (adwin.InsertAndCheck(rng.Gaussian(shift, 0.5))) return i;
+    }
+    return 2000;
+  };
+  EXPECT_LT(steps_to_detect(3.0), steps_to_detect(0.8));
+}
+
+TEST(AdwinTest, GradualDriftEventuallyDetected) {
+  Adwin::Params params;
+  params.check_every = 1;
+  Adwin adwin(params);
+  Rng rng(4);
+  for (int i = 0; i < 400; ++i) adwin.InsertAndCheck(rng.Gaussian(0.0, 0.3));
+  bool cut = false;
+  for (int i = 0; i < 1500; ++i) {
+    const double level = 2.0 * static_cast<double>(i) / 1500.0;
+    cut = adwin.InsertAndCheck(rng.Gaussian(level, 0.3)) || cut;
+  }
+  EXPECT_TRUE(cut);
+}
+
+TEST(AdwinTest, DriftDetectorContract) {
+  // Drive ADWIN through the framework interface with a training-set
+  // strategy: stable windows -> no fine-tune; shifted windows -> fire.
+  Adwin adwin;
+  SlidingWindow strategy(30);
+  Rng rng(5);
+  auto make_window = [&](double level) {
+    core::FeatureVector fv;
+    fv.window = linalg::Matrix(4, 2);
+    for (std::size_t i = 0; i < fv.window.size(); ++i) {
+      fv.window.at_flat(i) = rng.Gaussian(level, 0.2);
+    }
+    return fv;
+  };
+  std::int64_t t = 0;
+  bool fired_before_shift = false;
+  for (; t < 400; ++t) {
+    const auto update = strategy.Offer(make_window(0.0), 0.0);
+    adwin.Observe(strategy.set(), update, t);
+    fired_before_shift =
+        fired_before_shift || adwin.ShouldFinetune(strategy.set(), t);
+  }
+  bool fired_after_shift = false;
+  for (; t < 800; ++t) {
+    const auto update = strategy.Offer(make_window(2.5), 0.0);
+    adwin.Observe(strategy.set(), update, t);
+    fired_after_shift =
+        fired_after_shift || adwin.ShouldFinetune(strategy.set(), t);
+  }
+  EXPECT_FALSE(fired_before_shift);
+  EXPECT_TRUE(fired_after_shift);
+}
+
+TEST(AdwinTest, ShouldFinetuneClearsPendingFlag) {
+  Adwin adwin;
+  SlidingWindow strategy(10);
+  Rng rng(6);
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(2, 2, 1.0);
+  const auto update = strategy.Offer(fv, 0.0);
+  adwin.Observe(strategy.set(), update, 0);
+  // Even if a cut had fired, a second query must not re-fire.
+  adwin.ShouldFinetune(strategy.set(), 0);
+  EXPECT_FALSE(adwin.ShouldFinetune(strategy.set(), 1));
+}
+
+TEST(AdwinTest, CheckEveryThrottles) {
+  Adwin::Params every_step;
+  every_step.check_every = 1;
+  Adwin::Params throttled;
+  throttled.check_every = 16;
+  Adwin a(every_step);
+  Adwin b(throttled);
+  Rng rng(7);
+  int detect_a = -1;
+  int detect_b = -1;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Gaussian(0.0, 0.3);
+    a.InsertAndCheck(v);
+    b.InsertAndCheck(v);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Gaussian(4.0, 0.3);
+    if (a.InsertAndCheck(v) && detect_a < 0) detect_a = i;
+    if (b.InsertAndCheck(v) && detect_b < 0) detect_b = i;
+  }
+  ASSERT_GE(detect_a, 0);
+  ASSERT_GE(detect_b, 0);
+  EXPECT_LE(detect_a, detect_b);  // throttling can only delay detection
+  EXPECT_LT(detect_b, 100);       // but not by much for a clear shift
+}
+
+TEST(AdwinDeathTest, InvalidParamsAbort) {
+  Adwin::Params params;
+  params.delta = 0.0;
+  EXPECT_DEATH(Adwin adwin(params), "");
+}
+
+// Delta sweep: smaller delta (higher confidence) delays detection but
+// every tested delta still finds an unmistakable shift.
+class AdwinDeltaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdwinDeltaTest, DetectsClearShift) {
+  Adwin::Params params;
+  params.delta = GetParam();
+  params.check_every = 1;
+  Adwin adwin(params);
+  Rng rng(8);
+  for (int i = 0; i < 500; ++i) adwin.InsertAndCheck(rng.Gaussian(0.0, 0.4));
+  bool cut = false;
+  for (int i = 0; i < 400; ++i) {
+    cut = adwin.InsertAndCheck(rng.Gaussian(5.0, 0.4)) || cut;
+  }
+  EXPECT_TRUE(cut) << "delta=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, AdwinDeltaTest,
+                         ::testing::Values(0.05, 0.002, 1e-5));
+
+}  // namespace
+}  // namespace streamad::strategies

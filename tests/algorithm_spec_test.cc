@@ -1,0 +1,146 @@
+#include "src/core/algorithm_spec.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace streamad::core {
+namespace {
+
+TEST(AllPaperAlgorithmsTest, ExactlyTwentySix) {
+  EXPECT_EQ(AllPaperAlgorithms().size(), 26u);
+}
+
+TEST(AllPaperAlgorithmsTest, UniqueCombinations) {
+  std::set<std::string> labels;
+  for (const AlgorithmSpec& spec : AllPaperAlgorithms()) {
+    labels.insert(SpecLabel(spec));
+  }
+  EXPECT_EQ(labels.size(), 26u);
+}
+
+TEST(AllPaperAlgorithmsTest, PerModelCountsMatchTableOne) {
+  std::size_t arima = 0;
+  std::size_t ae = 0;
+  std::size_t usad = 0;
+  std::size_t nbeats = 0;
+  std::size_t pcb = 0;
+  for (const AlgorithmSpec& spec : AllPaperAlgorithms()) {
+    switch (spec.model) {
+      case ModelType::kOnlineArima: ++arima; break;
+      case ModelType::kTwoLayerAe: ++ae; break;
+      case ModelType::kUsad: ++usad; break;
+      case ModelType::kNBeats: ++nbeats; break;
+      case ModelType::kPcbIForest: ++pcb; break;
+      case ModelType::kVar:
+      case ModelType::kNearestNeighbor:
+        FAIL() << "extension models are not in Table I";
+        break;
+    }
+  }
+  EXPECT_EQ(arima, 6u);
+  EXPECT_EQ(ae, 6u);
+  EXPECT_EQ(usad, 6u);
+  EXPECT_EQ(nbeats, 6u);
+  EXPECT_EQ(pcb, 2u);
+}
+
+TEST(AllPaperAlgorithmsTest, PcbPairsOnlyWithKswin) {
+  for (const AlgorithmSpec& spec : AllPaperAlgorithms()) {
+    if (spec.model == ModelType::kPcbIForest) {
+      EXPECT_EQ(spec.task2, Task2::kKswin);
+      EXPECT_NE(spec.task1, Task1::kUniformReservoir);
+    }
+  }
+}
+
+TEST(AllPaperAlgorithmsTest, NoExtensionTask2InTableOne) {
+  for (const AlgorithmSpec& spec : AllPaperAlgorithms()) {
+    EXPECT_NE(spec.task2, Task2::kRegular);
+    EXPECT_NE(spec.task2, Task2::kAdwin);
+  }
+}
+
+TEST(BuildDetectorTest, AdwinTask2Composes) {
+  DetectorParams params;
+  params.window = 10;
+  const AlgorithmSpec spec{ModelType::kTwoLayerAe, Task1::kSlidingWindow,
+                           Task2::kAdwin};
+  auto detector = BuildDetector(spec, ScoreType::kAverage, params, 5);
+  EXPECT_EQ(detector->drift_detector().name(), "ADWIN");
+}
+
+TEST(ToStringTest, AllEnumsPrintable) {
+  EXPECT_STREQ(ToString(ModelType::kUsad), "USAD");
+  EXPECT_STREQ(ToString(ModelType::kVar), "VAR");
+  EXPECT_STREQ(ToString(Task1::kAnomalyAwareReservoir), "ARES");
+  EXPECT_STREQ(ToString(Task2::kMuSigma), "mu-sigma");
+  EXPECT_STREQ(ToString(ScoreType::kAnomalyLikelihood),
+               "anomaly-likelihood");
+}
+
+TEST(SpecLabelTest, Format) {
+  const AlgorithmSpec spec{ModelType::kNBeats, Task1::kUniformReservoir,
+                           Task2::kKswin};
+  EXPECT_EQ(SpecLabel(spec), "N-BEATS/URES/KSWIN");
+}
+
+TEST(BuildModelTest, KindsMatchModelType) {
+  DetectorParams params;
+  params.window = 12;
+  EXPECT_EQ(BuildModel(ModelType::kOnlineArima, params, 1)->kind(),
+            Model::Kind::kForecast);
+  EXPECT_EQ(BuildModel(ModelType::kTwoLayerAe, params, 1)->kind(),
+            Model::Kind::kReconstruction);
+  EXPECT_EQ(BuildModel(ModelType::kUsad, params, 1)->kind(),
+            Model::Kind::kReconstruction);
+  EXPECT_EQ(BuildModel(ModelType::kNBeats, params, 1)->kind(),
+            Model::Kind::kForecast);
+  EXPECT_EQ(BuildModel(ModelType::kPcbIForest, params, 1)->kind(),
+            Model::Kind::kScore);
+  EXPECT_EQ(BuildModel(ModelType::kVar, params, 1)->kind(),
+            Model::Kind::kForecast);
+  EXPECT_EQ(BuildModel(ModelType::kNearestNeighbor, params, 1)->kind(),
+            Model::Kind::kScore);
+}
+
+TEST(BuildDetectorTest, ComposesEveryPaperAlgorithm) {
+  DetectorParams params;
+  params.window = 10;
+  params.train_capacity = 20;
+  params.initial_train_steps = 30;
+  for (const AlgorithmSpec& spec : AllPaperAlgorithms()) {
+    for (ScoreType score : {ScoreType::kRaw, ScoreType::kAverage,
+                            ScoreType::kAnomalyLikelihood}) {
+      auto detector = BuildDetector(spec, score, params, 5);
+      ASSERT_NE(detector, nullptr) << SpecLabel(spec);
+      EXPECT_FALSE(detector->trained());
+    }
+  }
+}
+
+TEST(BuildDetectorTest, WiresRequestedComponents) {
+  DetectorParams params;
+  params.window = 10;
+  const AlgorithmSpec spec{ModelType::kUsad, Task1::kAnomalyAwareReservoir,
+                           Task2::kKswin};
+  auto detector =
+      BuildDetector(spec, ScoreType::kAverage, params, 5);
+  EXPECT_EQ(detector->strategy().name(), "ARES");
+  EXPECT_EQ(detector->drift_detector().name(), "KSWIN");
+  EXPECT_EQ(detector->model().name(), "USAD");
+}
+
+TEST(BuildDetectorTest, ArimaLagDerivedFromWindow) {
+  DetectorParams params;
+  params.window = 20;
+  params.arima.diff_order = 1;
+  const AlgorithmSpec spec{ModelType::kOnlineArima, Task1::kSlidingWindow,
+                           Task2::kMuSigma};
+  // Must not abort: the derived lag order fits the window.
+  auto detector = BuildDetector(spec, ScoreType::kAverage, params, 5);
+  EXPECT_NE(detector, nullptr);
+}
+
+}  // namespace
+}  // namespace streamad::core

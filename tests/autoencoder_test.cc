@@ -1,0 +1,156 @@
+#include "src/models/autoencoder.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/training_set.h"
+#include "src/linalg/matrix.h"
+
+namespace streamad::models {
+namespace {
+
+/// Training set of sinusoidal windows (strong low-dimensional structure an
+/// AE can compress).
+core::TrainingSet SineTrainingSet(std::size_t m, std::size_t w,
+                                  std::size_t channels, std::uint64_t seed) {
+  Rng rng(seed);
+  core::TrainingSet set(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    core::FeatureVector fv;
+    fv.window = linalg::Matrix(w, channels);
+    const double phase = rng.Uniform(0.0, 6.28);
+    for (std::size_t r = 0; r < w; ++r) {
+      for (std::size_t c = 0; c < channels; ++c) {
+        fv.window(r, c) =
+            std::sin(0.4 * static_cast<double>(r) + phase +
+                     0.5 * static_cast<double>(c)) +
+            rng.Gaussian(0.0, 0.02);
+      }
+    }
+    fv.t = static_cast<std::int64_t>(i);
+    set.Add(fv);
+  }
+  return set;
+}
+
+TEST(AutoencoderTest, IsReconstructionModel) {
+  Autoencoder::Params params;
+  Autoencoder model(params, 1);
+  EXPECT_EQ(model.kind(), core::Model::Kind::kReconstruction);
+}
+
+TEST(AutoencoderTest, PredictShapeMatchesWindow) {
+  Autoencoder::Params params;
+  params.hidden = 8;
+  params.fit_epochs = 2;
+  Autoencoder model(params, 2);
+  const core::TrainingSet train = SineTrainingSet(40, 10, 3, 3);
+  model.Fit(train);
+  const linalg::Matrix recon = model.Predict(train.at(0));
+  EXPECT_EQ(recon.rows(), 10u);
+  EXPECT_EQ(recon.cols(), 3u);
+}
+
+TEST(AutoencoderTest, TrainingReducesReconstructionError) {
+  Autoencoder::Params quick;
+  quick.hidden = 12;
+  quick.fit_epochs = 1;
+  Autoencoder shallow(quick, 4);
+  Autoencoder::Params long_train = quick;
+  long_train.fit_epochs = 60;
+  Autoencoder deep(long_train, 4);  // same seed: same initial weights
+
+  const core::TrainingSet train = SineTrainingSet(60, 8, 2, 5);
+  shallow.Fit(train);
+  deep.Fit(train);
+  EXPECT_LT(deep.MeanReconstructionError(train),
+            shallow.MeanReconstructionError(train));
+}
+
+TEST(AutoencoderTest, ReconstructsTrainingDistribution) {
+  Autoencoder::Params params;
+  params.hidden = 16;
+  params.fit_epochs = 80;
+  Autoencoder model(params, 6);
+  const core::TrainingSet train = SineTrainingSet(80, 8, 2, 7);
+  model.Fit(train);
+  EXPECT_LT(model.MeanReconstructionError(train), 0.1);
+}
+
+TEST(AutoencoderTest, AnomalousWindowReconstructsWorse) {
+  Autoencoder::Params params;
+  params.hidden = 12;
+  params.fit_epochs = 60;
+  Autoencoder model(params, 8);
+  const core::TrainingSet train = SineTrainingSet(80, 10, 2, 9);
+  model.Fit(train);
+
+  const core::FeatureVector normal = train.at(0);
+  core::FeatureVector anomalous = normal;
+  for (std::size_t r = 4; r < 8; ++r) {
+    anomalous.window(r, 0) += 5.0;  // spike segment
+  }
+  auto error = [&](const core::FeatureVector& fv) {
+    const linalg::Matrix recon = model.Predict(fv);
+    return linalg::FrobeniusNorm(linalg::Sub(recon, fv.window));
+  };
+  EXPECT_GT(error(anomalous), error(normal) * 1.5);
+}
+
+TEST(AutoencoderTest, FinetuneAdaptsToShiftedRegime) {
+  Autoencoder::Params params;
+  params.hidden = 12;
+  params.fit_epochs = 40;
+  Autoencoder model(params, 10);
+  const core::TrainingSet train = SineTrainingSet(60, 8, 2, 11);
+  model.Fit(train);
+
+  // New regime: same shape, large level shift (scaler must re-fit).
+  core::TrainingSet shifted(60);
+  for (const auto& fv : train.entries()) {
+    core::FeatureVector moved = fv;
+    for (std::size_t i = 0; i < moved.window.size(); ++i) {
+      moved.window.at_flat(i) += 10.0;
+    }
+    shifted.Add(moved);
+  }
+  const double before = model.MeanReconstructionError(shifted);
+  for (int i = 0; i < 5; ++i) model.Finetune(shifted);
+  const double after = model.MeanReconstructionError(shifted);
+  EXPECT_LT(after, before);
+}
+
+TEST(AutoencoderTest, DeterministicForSameSeed) {
+  Autoencoder::Params params;
+  params.fit_epochs = 5;
+  Autoencoder a(params, 42);
+  Autoencoder b(params, 42);
+  const core::TrainingSet train = SineTrainingSet(30, 6, 2, 12);
+  a.Fit(train);
+  b.Fit(train);
+  const linalg::Matrix ra = a.Predict(train.at(3));
+  const linalg::Matrix rb = b.Predict(train.at(3));
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra.at_flat(i), rb.at_flat(i));
+  }
+}
+
+TEST(AutoencoderDeathTest, PredictBeforeFitAborts) {
+  Autoencoder::Params params;
+  Autoencoder model(params, 13);
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(4, 2);
+  EXPECT_DEATH(model.Predict(fv), "before Fit");
+}
+
+TEST(AutoencoderDeathTest, FinetuneBeforeFitAborts) {
+  Autoencoder::Params params;
+  Autoencoder model(params, 14);
+  const core::TrainingSet train = SineTrainingSet(10, 4, 1, 15);
+  EXPECT_DEATH(model.Finetune(train), "before Fit");
+}
+
+}  // namespace
+}  // namespace streamad::models

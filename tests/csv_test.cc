@@ -1,0 +1,98 @@
+#include "src/data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace streamad::data {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(CsvTest, RoundTripThroughSave) {
+  LabeledSeries series;
+  series.name = "roundtrip";
+  series.values = linalg::Matrix{{1.5, -2.0}, {3.0, 4.25}, {0.0, 0.5}};
+  series.labels = {0, 1, 0};
+  const std::string path = Path("roundtrip.csv");
+  ASSERT_TRUE(SaveCsv(series, path));
+
+  const auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->length(), 3u);
+  EXPECT_EQ(loaded->channels(), 2u);
+  EXPECT_EQ(loaded->values, series.values);
+  EXPECT_EQ(loaded->labels, series.labels);
+}
+
+TEST_F(CsvTest, LoadWithoutLabelColumn) {
+  const std::string path = Path("nolabel.csv");
+  WriteFile(path, "a,b\n1,2\n3,4\n");
+  const auto loaded =
+      LoadCsv(path, /*has_label_column=*/false, /*skip_header=*/true);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->channels(), 2u);
+  EXPECT_EQ(loaded->labels, (std::vector<int>{0, 0}));
+}
+
+TEST_F(CsvTest, LoadWithoutHeader) {
+  const std::string path = Path("noheader.csv");
+  WriteFile(path, "1,2,0\n3,4,1\n");
+  const auto loaded =
+      LoadCsv(path, /*has_label_column=*/true, /*skip_header=*/false);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->length(), 2u);
+  EXPECT_EQ(loaded->labels, (std::vector<int>{0, 1}));
+}
+
+TEST_F(CsvTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(LoadCsv(Path("does-not-exist.csv")).has_value());
+}
+
+TEST_F(CsvTest, MalformedCellReturnsNullopt) {
+  const std::string path = Path("bad.csv");
+  WriteFile(path, "h1,h2\n1,oops\n");
+  EXPECT_FALSE(LoadCsv(path).has_value());
+}
+
+TEST_F(CsvTest, RaggedRowsReturnNullopt) {
+  const std::string path = Path("ragged.csv");
+  WriteFile(path, "h1,h2,h3\n1,2,0\n1,2,3,0\n");
+  EXPECT_FALSE(LoadCsv(path).has_value());
+}
+
+TEST_F(CsvTest, EmptyFileReturnsNullopt) {
+  const std::string path = Path("empty.csv");
+  WriteFile(path, "");
+  EXPECT_FALSE(LoadCsv(path).has_value());
+}
+
+TEST_F(CsvTest, BlankLinesSkipped) {
+  const std::string path = Path("blanks.csv");
+  WriteFile(path, "h1,h2\n\n1,0\n\n2,1\n");
+  const auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->length(), 2u);
+}
+
+TEST_F(CsvTest, NonZeroLabelValuesBecomeOne) {
+  const std::string path = Path("labels.csv");
+  WriteFile(path, "v,label\n1,0\n2,1\n3,2\n");
+  const auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->labels, (std::vector<int>{0, 1, 1}));
+}
+
+}  // namespace
+}  // namespace streamad::data

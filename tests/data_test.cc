@@ -1,0 +1,262 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/data/daphnet_like.h"
+#include "src/data/exathlon_like.h"
+#include "src/data/injectors.h"
+#include "src/data/smd_like.h"
+#include "src/metrics/intervals.h"
+
+namespace streamad::data {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.length = 3000;
+  config.normal_prefix = 1200;
+  config.num_series = 2;
+  config.num_anomalies = 4;
+  config.num_drifts = 1;
+  config.seed = 5;
+  return config;
+}
+
+// ------------------------------------------------------- injectors ----
+
+LabeledSeries FlatSeries(std::size_t length, std::size_t channels) {
+  LabeledSeries series;
+  series.name = "flat";
+  series.values = linalg::Matrix(length, channels);
+  for (std::size_t t = 0; t < length; ++t) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      series.values(t, c) =
+          std::sin(0.1 * static_cast<double>(t)) + static_cast<double>(c);
+    }
+  }
+  series.labels.assign(length, 0);
+  return series;
+}
+
+TEST(InjectorsTest, SpikeShiftsValuesAndLabels) {
+  LabeledSeries series = FlatSeries(200, 2);
+  const double before = series.values(100, 0);
+  InjectSpike(&series, 100, 10, {0}, 3.0);
+  EXPECT_GT(series.values(100, 0), before);
+  EXPECT_EQ(series.labels[100], 1);
+  EXPECT_EQ(series.labels[109], 1);
+  EXPECT_EQ(series.labels[110], 0);
+  // Untouched channel unchanged.
+  EXPECT_EQ(series.values(100, 1), FlatSeries(200, 2).values(100, 1));
+}
+
+TEST(InjectorsTest, StallFreezesChannel) {
+  LabeledSeries series = FlatSeries(200, 2);
+  InjectStall(&series, 50, 20, {1});
+  for (std::size_t t = 50; t < 70; ++t) {
+    EXPECT_EQ(series.values(t, 1), series.values(50, 1));
+    EXPECT_EQ(series.labels[t], 1);
+  }
+}
+
+TEST(InjectorsTest, VarianceScalePreservesSegmentMean) {
+  LabeledSeries series = FlatSeries(400, 1);
+  double mean_before = 0.0;
+  for (std::size_t t = 100; t < 150; ++t) mean_before += series.values(t, 0);
+  InjectVarianceScale(&series, 100, 50, {0}, 5.0);
+  double mean_after = 0.0;
+  for (std::size_t t = 100; t < 150; ++t) mean_after += series.values(t, 0);
+  EXPECT_NEAR(mean_before, mean_after, 1e-9);
+}
+
+TEST(InjectorsTest, RampGrowsMonotonically) {
+  LabeledSeries series = FlatSeries(200, 1);
+  LabeledSeries original = series;
+  InjectRamp(&series, 50, 40, {0}, 5.0);
+  double prev_offset = 0.0;
+  for (std::size_t t = 50; t < 90; ++t) {
+    const double offset = series.values(t, 0) - original.values(t, 0);
+    EXPECT_GE(offset, prev_offset - 1e-12);
+    prev_offset = offset;
+  }
+  EXPECT_GT(prev_offset, 0.0);
+}
+
+TEST(InjectorsTest, LevelDriftDoesNotLabel) {
+  LabeledSeries series = FlatSeries(300, 2);
+  InjectLevelDrift(&series, 150, 50, {0, 1}, 2.0);
+  for (int label : series.labels) EXPECT_EQ(label, 0);
+  // But the level moved permanently.
+  EXPECT_GT(series.values(299, 0), FlatSeries(300, 2).values(299, 0) + 0.5);
+}
+
+TEST(InjectorsTest, SegmentClampedToSeriesEnd) {
+  LabeledSeries series = FlatSeries(100, 1);
+  InjectSpike(&series, 95, 50, {0}, 2.0);  // would overrun
+  EXPECT_EQ(series.labels[99], 1);
+  EXPECT_EQ(series.length(), 100u);
+}
+
+TEST(InjectorsDeathTest, StartOutOfRangeAborts) {
+  LabeledSeries series = FlatSeries(100, 1);
+  EXPECT_DEATH(InjectSpike(&series, 100, 5, {0}, 1.0), "out of range");
+}
+
+// ------------------------------------------------------ generators ----
+
+struct GeneratorCase {
+  const char* name;
+  Corpus (*make)(const GeneratorConfig&);
+  std::size_t channels;
+};
+
+class GeneratorContractTest
+    : public ::testing::TestWithParam<GeneratorCase> {};
+
+TEST_P(GeneratorContractTest, ShapesAndLabelsValid) {
+  const GeneratorCase& test_case = GetParam();
+  const Corpus corpus = test_case.make(SmallConfig());
+  ASSERT_EQ(corpus.series.size(), 2u);
+  for (const LabeledSeries& series : corpus.series) {
+    EXPECT_EQ(series.length(), 3000u);
+    EXPECT_EQ(series.channels(), test_case.channels);
+    series.Validate();
+  }
+}
+
+TEST_P(GeneratorContractTest, PrefixIsAnomalyFree) {
+  const GeneratorCase& test_case = GetParam();
+  const Corpus corpus = test_case.make(SmallConfig());
+  for (const LabeledSeries& series : corpus.series) {
+    for (std::size_t t = 0; t < 1200; ++t) {
+      ASSERT_EQ(series.labels[t], 0) << "t=" << t;
+    }
+  }
+}
+
+TEST_P(GeneratorContractTest, HasRequestedAnomalySegments) {
+  const GeneratorCase& test_case = GetParam();
+  const Corpus corpus = test_case.make(SmallConfig());
+  for (const LabeledSeries& series : corpus.series) {
+    const auto intervals = metrics::IntervalsFromLabels(series.labels);
+    EXPECT_GE(intervals.size(), 3u);  // segments may merge, most survive
+    EXPECT_LE(intervals.size(), 5u);
+  }
+}
+
+TEST_P(GeneratorContractTest, DeterministicForSeed) {
+  const GeneratorCase& test_case = GetParam();
+  const Corpus a = test_case.make(SmallConfig());
+  const Corpus b = test_case.make(SmallConfig());
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].values, b.series[i].values);
+    EXPECT_EQ(a.series[i].labels, b.series[i].labels);
+  }
+}
+
+TEST_P(GeneratorContractTest, DifferentSeedsDiffer) {
+  const GeneratorCase& test_case = GetParam();
+  GeneratorConfig other = SmallConfig();
+  other.seed = 6;
+  const Corpus a = test_case.make(SmallConfig());
+  const Corpus b = test_case.make(other);
+  EXPECT_FALSE(a.series[0].values == b.series[0].values);
+}
+
+TEST_P(GeneratorContractTest, SeriesWithinCorpusDiffer) {
+  const GeneratorCase& test_case = GetParam();
+  const Corpus corpus = test_case.make(SmallConfig());
+  EXPECT_FALSE(corpus.series[0].values == corpus.series[1].values);
+}
+
+TEST_P(GeneratorContractTest, ValuesBoundedAndFinite) {
+  const GeneratorCase& test_case = GetParam();
+  const Corpus corpus = test_case.make(SmallConfig());
+  for (const LabeledSeries& series : corpus.series) {
+    for (std::size_t i = 0; i < series.values.size(); ++i) {
+      const double v = series.values.at_flat(i);
+      ASSERT_TRUE(std::isfinite(v));
+      ASSERT_LT(std::fabs(v), 1e3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorContractTest,
+    ::testing::Values(GeneratorCase{"daphnet", &MakeDaphnetLike, 9},
+                      GeneratorCase{"exathlon", &MakeExathlonLike, 16},
+                      GeneratorCase{"smd", &MakeSmdLike, 38}),
+    [](const ::testing::TestParamInfo<GeneratorCase>& info) {
+      return info.param.name;
+    });
+
+TEST(DaphnetLikeTest, FreezeCollapsesOscillation) {
+  // Within anomaly segments the gait amplitude drops: the local variance
+  // of the strongest sensor should be visibly lower than in normal gait.
+  GeneratorConfig config = SmallConfig();
+  config.num_series = 1;
+  const Corpus corpus = MakeDaphnetLike(config);
+  const LabeledSeries& series = corpus.series[0];
+  const auto intervals = metrics::IntervalsFromLabels(series.labels);
+  ASSERT_FALSE(intervals.empty());
+
+  auto variance = [&](std::size_t begin, std::size_t end, std::size_t ch) {
+    double mean = 0.0;
+    for (std::size_t t = begin; t < end; ++t) mean += series.values(t, ch);
+    mean /= static_cast<double>(end - begin);
+    double var = 0.0;
+    for (std::size_t t = begin; t < end; ++t) {
+      var += std::pow(series.values(t, ch) - mean, 2);
+    }
+    return var / static_cast<double>(end - begin);
+  };
+  const metrics::Interval& freeze = intervals[0];
+  // Compare against the same-length stretch right before the freeze
+  // (channel 8 = strongest shank sensor; tremor lives on c >= 3 but with
+  // amplitude 0.45 < gait amplitude ~1.0).
+  const double frozen_var = variance(freeze.begin, freeze.end, 8);
+  const double normal_var =
+      variance(freeze.begin - freeze.length(), freeze.begin, 8);
+  EXPECT_LT(frozen_var, normal_var);
+}
+
+TEST(ExathlonLikeTest, NormalRegionsAreSmooth) {
+  // Regression guard for the generator rework: GC drains and triangular
+  // network waves replaced the abrupt resets/rollovers whose
+  // reconstruction spikes used to dominate the false-alarm budget. No
+  // normal (unlabeled) step may jump by more than ~8 channel-stddevs.
+  GeneratorConfig config = SmallConfig();
+  config.num_series = 1;
+  const Corpus corpus = MakeExathlonLike(config);
+  const LabeledSeries& series = corpus.series[0];
+  const std::vector<double> stddev = ChannelStddev(series);
+  for (std::size_t t = 1; t < series.length(); ++t) {
+    if (series.labels[t] != 0 || series.labels[t - 1] != 0) continue;
+    for (std::size_t c = 0; c < series.channels(); ++c) {
+      const double jump =
+          std::fabs(series.values(t, c) - series.values(t - 1, c));
+      ASSERT_LT(jump, 8.0 * stddev[c])
+          << "t=" << t << " channel=" << c;
+    }
+  }
+}
+
+TEST(SeriesTest, AnomalyPointCountMatchesLabels) {
+  LabeledSeries series = FlatSeries(10, 1);
+  series.labels[3] = 1;
+  series.labels[4] = 1;
+  EXPECT_EQ(series.AnomalyPointCount(), 2u);
+}
+
+TEST(SeriesDeathTest, ValidateCatchesBadLabels) {
+  LabeledSeries series = FlatSeries(10, 1);
+  series.labels[0] = 2;
+  EXPECT_DEATH(series.Validate(), "0/1");
+  series.labels.pop_back();
+  EXPECT_DEATH(series.Validate(), "");
+}
+
+}  // namespace
+}  // namespace streamad::data

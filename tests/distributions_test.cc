@@ -1,0 +1,56 @@
+#include "src/stats/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace streamad::stats {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(NormalCdf(-1.0), 1.0 - 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-9);
+}
+
+TEST(NormalCdfTest, Monotone) {
+  double prev = 0.0;
+  for (double x = -6.0; x <= 6.0; x += 0.25) {
+    const double v = NormalCdf(x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(GaussianTailQTest, ComplementOfCdf) {
+  for (double x = -4.0; x <= 4.0; x += 0.5) {
+    EXPECT_NEAR(GaussianTailQ(x) + NormalCdf(x), 1.0, 1e-12);
+  }
+}
+
+TEST(GaussianTailQTest, TailBehaviour) {
+  EXPECT_NEAR(GaussianTailQ(0.0), 0.5, 1e-12);
+  EXPECT_LT(GaussianTailQ(5.0), 1e-6);
+  EXPECT_GT(GaussianTailQ(-5.0), 1.0 - 1e-6);
+}
+
+TEST(KsCriticalValueTest, Formula) {
+  EXPECT_NEAR(KsCriticalValue(0.05), std::sqrt(std::log(2.0 / 0.05)),
+              1e-12);
+  EXPECT_NEAR(KsCriticalValue(0.01), std::sqrt(std::log(200.0)), 1e-12);
+}
+
+TEST(KsCriticalValueTest, DecreasingInAlpha) {
+  // Stricter significance -> larger critical distance.
+  EXPECT_GT(KsCriticalValue(0.001), KsCriticalValue(0.01));
+  EXPECT_GT(KsCriticalValue(0.01), KsCriticalValue(0.1));
+}
+
+TEST(KsCriticalValueDeathTest, InvalidAlphaAborts) {
+  EXPECT_DEATH(KsCriticalValue(0.0), "alpha");
+  EXPECT_DEATH(KsCriticalValue(2.0), "alpha");
+}
+
+}  // namespace
+}  // namespace streamad::stats

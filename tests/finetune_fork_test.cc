@@ -1,0 +1,107 @@
+#include "src/harness/finetune_fork.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace streamad::harness {
+namespace {
+
+FinetuneForkConfig FastConfig() {
+  FinetuneForkConfig config;
+  config.length = 2500;
+  config.drift_start = 1400;
+  config.params.window = 20;
+  config.params.train_capacity = 80;
+  config.params.initial_train_steps = 400;
+  config.params.scorer_k = 30;
+  config.params.scorer_k_short = 4;
+  config.params.usad.fit_epochs = 15;
+  // A strong spike: the stale model's nonconformity saturates near the
+  // [0, 1] cap, so a weak spike can vanish inside its noise floor.
+  config.anomaly_magnitude = 6.0;
+  return config;
+}
+
+TEST(MakeDriftStreamTest, ShapeAndCleanLabels) {
+  const FinetuneForkConfig config = FastConfig();
+  const data::LabeledSeries series = MakeDriftStream(config);
+  EXPECT_EQ(series.length(), config.length);
+  EXPECT_EQ(series.channels(), config.channels);
+  EXPECT_EQ(series.AnomalyPointCount(), 0u);
+}
+
+TEST(MakeDriftStreamTest, DriftChangesSignalStatistics) {
+  const FinetuneForkConfig config = FastConfig();
+  const data::LabeledSeries series = MakeDriftStream(config);
+  // Amplitude grows by 40% after the drift: compare variances.
+  auto variance = [&](std::size_t begin, std::size_t end) {
+    double mean = 0.0;
+    for (std::size_t t = begin; t < end; ++t) mean += series.values(t, 0);
+    mean /= static_cast<double>(end - begin);
+    double var = 0.0;
+    for (std::size_t t = begin; t < end; ++t) {
+      var += std::pow(series.values(t, 0) - mean, 2);
+    }
+    return var / static_cast<double>(end - begin);
+  };
+  const double before = variance(400, 1400);
+  const double after = variance(1800, 2500);
+  EXPECT_GT(after, before * 1.3);
+}
+
+TEST(MakeDriftStreamTest, DeterministicForSeed) {
+  const FinetuneForkConfig config = FastConfig();
+  const data::LabeledSeries a = MakeDriftStream(config);
+  const data::LabeledSeries b = MakeDriftStream(config);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(FinetuneForkTest, ReproducesFigureOne) {
+  const FinetuneForkResult result =
+      RunFinetuneForkExperiment(FastConfig());
+
+  // The fork point is a post-drift fine-tune.
+  EXPECT_GE(result.finetune_step, result.drift_start);
+  // The anomaly is placed at the configured offset.
+  EXPECT_EQ(result.anomaly_begin, result.finetune_step + 90);
+  EXPECT_EQ(result.anomaly_end, result.anomaly_begin + 20);
+
+  // Both models react to the anomaly at all...
+  EXPECT_GT(result.finetuned.peak, result.finetuned.pre_anomaly_mean);
+  // ... and the paper's claim: after fine-tuning the anomaly separates
+  // more clearly from the model's normal scores (gap in noise-floor
+  // units).
+  EXPECT_TRUE(result.finetuned_gap_larger());
+  EXPECT_GT(result.finetuned.normalized_gap(), 1.0);
+}
+
+TEST(FinetuneForkTest, FinetuningLowersNoiseFloor) {
+  // The paper's companion observation: fine-tuning also lowers the level
+  // and the variance of the nonconformity scores on post-drift data.
+  const FinetuneForkResult result =
+      RunFinetuneForkExperiment(FastConfig());
+  EXPECT_LT(result.finetuned.pre_anomaly_mean,
+            result.stale.pre_anomaly_mean);
+  EXPECT_LT(result.finetuned.pre_anomaly_std, result.stale.pre_anomaly_std);
+}
+
+TEST(FinetuneForkTest, FinetunedModelHasLowerBaselineError) {
+  // Fine-tuning on the post-drift training set should reduce the normal
+  // (pre-anomaly) nonconformity relative to the stale model.
+  const FinetuneForkResult result =
+      RunFinetuneForkExperiment(FastConfig());
+  EXPECT_LT(result.finetuned.pre_anomaly_mean,
+            result.stale.pre_anomaly_mean * 1.5);
+}
+
+TEST(FinetuneForkTest, DeterministicAcrossRuns) {
+  const FinetuneForkResult a = RunFinetuneForkExperiment(FastConfig());
+  const FinetuneForkResult b = RunFinetuneForkExperiment(FastConfig());
+  EXPECT_EQ(a.finetune_step, b.finetune_step);
+  EXPECT_DOUBLE_EQ(a.finetuned.peak, b.finetuned.peak);
+  EXPECT_DOUBLE_EQ(a.stale.peak, b.stale.peak);
+}
+
+}  // namespace
+}  // namespace streamad::harness

@@ -1,0 +1,204 @@
+#include "src/harness/experiment.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/data/daphnet_like.h"
+#include "src/harness/table_printer.h"
+
+namespace streamad::harness {
+namespace {
+
+core::DetectorParams FastParams() {
+  core::DetectorParams params;
+  params.window = 8;
+  params.train_capacity = 40;
+  params.initial_train_steps = 150;
+  params.scorer_k = 20;
+  params.scorer_k_short = 3;
+  params.ae.fit_epochs = 10;
+  params.usad.fit_epochs = 10;
+  params.nbeats.fit_epochs = 8;
+  params.kswin.check_every = 4;
+  return params;
+}
+
+data::Corpus SmallCorpus(std::size_t num_series = 1) {
+  data::GeneratorConfig gen;
+  gen.length = 1200;
+  gen.normal_prefix = 400;
+  gen.num_series = num_series;
+  gen.num_anomalies = 3;
+  gen.num_drifts = 1;
+  gen.seed = 77;
+  return data::MakeDaphnetLike(gen);
+}
+
+TEST(RunDetectorTest, TraceAlignsWithSeries) {
+  const data::Corpus corpus = SmallCorpus();
+  const core::AlgorithmSpec spec{core::ModelType::kTwoLayerAe,
+                                 core::Task1::kSlidingWindow,
+                                 core::Task2::kMuSigma};
+  auto detector =
+      core::BuildDetector(spec, core::ScoreType::kAverage, FastParams(), 3);
+  const RunTrace trace = RunDetector(detector.get(), corpus.series[0]);
+
+  // warm-up (w-1 = 7) + initial training (150) = 157.
+  EXPECT_EQ(trace.first_scored, 157u);
+  EXPECT_EQ(trace.scores.size(), 1200u - 157u);
+  EXPECT_EQ(trace.nonconformities.size(), trace.scores.size());
+  EXPECT_EQ(trace.AlignedLabels(corpus.series[0]).size(),
+            trace.scores.size());
+}
+
+TEST(RunDetectorTest, FinetuneStepsRecorded) {
+  const data::Corpus corpus = SmallCorpus();
+  const core::AlgorithmSpec spec{core::ModelType::kTwoLayerAe,
+                                 core::Task1::kSlidingWindow,
+                                 core::Task2::kMuSigma};
+  auto detector =
+      core::BuildDetector(spec, core::ScoreType::kAverage, FastParams(), 3);
+  const RunTrace trace = RunDetector(detector.get(), corpus.series[0]);
+  EXPECT_EQ(trace.finetune_steps.size(),
+            static_cast<std::size_t>(detector->finetune_count()));
+  for (std::int64_t t : trace.finetune_steps) {
+    EXPECT_GE(t, static_cast<std::int64_t>(trace.first_scored));
+  }
+}
+
+TEST(MetricSummaryTest, MeanAveragesFields) {
+  MetricSummary a;
+  a.precision = 1.0;
+  a.nab = -2.0;
+  MetricSummary b;
+  b.precision = 0.0;
+  b.nab = 4.0;
+  const MetricSummary mean = MetricSummary::Mean({a, b});
+  EXPECT_DOUBLE_EQ(mean.precision, 0.5);
+  EXPECT_DOUBLE_EQ(mean.nab, 1.0);
+}
+
+TEST(EvaluateTest, MetricsWithinExpectedRanges) {
+  const data::Corpus corpus = SmallCorpus();
+  const core::AlgorithmSpec spec{core::ModelType::kTwoLayerAe,
+                                 core::Task1::kSlidingWindow,
+                                 core::Task2::kMuSigma};
+  auto detector = core::BuildDetector(
+      spec, core::ScoreType::kAnomalyLikelihood, FastParams(), 5);
+  const RunTrace trace = RunDetector(detector.get(), corpus.series[0]);
+  const MetricSummary m = Evaluate(trace, corpus.series[0]);
+  EXPECT_GE(m.precision, 0.0);
+  EXPECT_LE(m.precision, 1.0);
+  EXPECT_GE(m.recall, 0.0);
+  EXPECT_LE(m.recall, 1.0);
+  EXPECT_GE(m.pr_auc, 0.0);
+  EXPECT_LE(m.pr_auc, 1.0);
+  EXPECT_GE(m.vus, 0.0);
+  EXPECT_LE(m.vus, 1.0);
+  EXPECT_LE(m.nab, 1.0);  // NAB is unbounded below only
+}
+
+TEST(EvaluateAlgorithmOnCorpusTest, AveragesOverSeries) {
+  const data::Corpus corpus = SmallCorpus(2);
+  const core::AlgorithmSpec spec{core::ModelType::kOnlineArima,
+                                 core::Task1::kSlidingWindow,
+                                 core::Task2::kMuSigma};
+  EvalConfig config;
+  config.params = FastParams();
+  config.seed = 5;
+  const MetricSummary m = EvaluateAlgorithmOnCorpus(
+      spec, core::ScoreType::kAverage, corpus, config);
+  EXPECT_TRUE(std::isfinite(m.pr_auc));
+}
+
+TEST(EvaluateTable3RowTest, IsMeanOfBothScorers) {
+  const data::Corpus corpus = SmallCorpus();
+  const core::AlgorithmSpec spec{core::ModelType::kOnlineArima,
+                                 core::Task1::kSlidingWindow,
+                                 core::Task2::kMuSigma};
+  EvalConfig config;
+  config.params = FastParams();
+  config.seed = 5;
+  const MetricSummary avg = EvaluateAlgorithmOnCorpus(
+      spec, core::ScoreType::kAverage, corpus, config);
+  const MetricSummary al = EvaluateAlgorithmOnCorpus(
+      spec, core::ScoreType::kAnomalyLikelihood, corpus, config);
+  const MetricSummary row = EvaluateTable3Row(spec, corpus, config);
+  EXPECT_NEAR(row.pr_auc, 0.5 * (avg.pr_auc + al.pr_auc), 1e-12);
+  EXPECT_NEAR(row.nab, 0.5 * (avg.nab + al.nab), 1e-12);
+}
+
+TEST(EvaluateScoreAblationTest, CoversAllScorersOverAllAlgorithms) {
+  // Smoke the full 26-algorithm x 3-scorer ablation sweep at a tiny scale;
+  // all means must be finite and the recall/precision means in [0, 1].
+  data::GeneratorConfig gen;
+  gen.length = 500;
+  gen.normal_prefix = 150;
+  gen.num_series = 1;
+  gen.num_anomalies = 2;
+  gen.num_drifts = 1;
+  gen.seed = 3;
+  const data::Corpus corpus = data::MakeDaphnetLike(gen);
+
+  EvalConfig config;
+  config.params.window = 6;
+  config.params.train_capacity = 25;
+  config.params.initial_train_steps = 60;
+  config.params.scorer_k = 10;
+  config.params.scorer_k_short = 2;
+  config.params.ae.fit_epochs = 3;
+  config.params.usad.fit_epochs = 3;
+  config.params.nbeats.fit_epochs = 3;
+  config.params.pcb.forest.num_trees = 10;
+  config.params.kswin.check_every = 8;
+  config.seed = 5;
+
+  const ScoreAblation ablation = EvaluateScoreAblation(corpus, config);
+  for (const MetricSummary* m :
+       {&ablation.raw, &ablation.average, &ablation.anomaly_likelihood}) {
+    EXPECT_TRUE(std::isfinite(m->nab));
+    EXPECT_GE(m->precision, 0.0);
+    EXPECT_LE(m->precision, 1.0);
+    EXPECT_GE(m->recall, 0.0);
+    EXPECT_LE(m->recall, 1.0);
+    EXPECT_GE(m->pr_auc, 0.0);
+    EXPECT_LE(m->pr_auc, 1.0);
+  }
+}
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1.00"});
+  table.AddSeparator();
+  table.AddRow({"longer-name", "2"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("| alpha"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  // All lines share the same width.
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinterTest, NumFormatsDigits) {
+  EXPECT_EQ(TablePrinter::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Num(-0.5, 1), "-0.5");
+  EXPECT_EQ(TablePrinter::Num(3.0, 0), "3");
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatchAborts) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "width");
+}
+
+}  // namespace
+}  // namespace streamad::harness

@@ -1,0 +1,183 @@
+#include "src/models/extended_isolation_forest.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace streamad::models {
+namespace {
+
+/// A tight Gaussian cluster with one far outlier appended last.
+linalg::Matrix ClusterWithOutlier(std::size_t n, std::size_t dims,
+                                  double outlier_distance,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix points(n + 1, dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      points(i, d) = rng.Gaussian(0.0, 1.0);
+    }
+  }
+  for (std::size_t d = 0; d < dims; ++d) {
+    points(n, d) = outlier_distance;
+  }
+  return points;
+}
+
+TEST(AveragePathLengthTest, SmallValues) {
+  EXPECT_EQ(IsolationTree::AveragePathLength(0), 0.0);
+  EXPECT_EQ(IsolationTree::AveragePathLength(1), 0.0);
+  EXPECT_EQ(IsolationTree::AveragePathLength(2), 1.0);
+}
+
+TEST(AveragePathLengthTest, GrowsLogarithmically) {
+  const double c256 = IsolationTree::AveragePathLength(256);
+  const double c1024 = IsolationTree::AveragePathLength(1024);
+  EXPECT_GT(c1024, c256);
+  // c(n) ~ 2 ln(n) + const: quadrupling n adds ~ 2 ln 4 ~ 2.77.
+  EXPECT_NEAR(c1024 - c256, 2.0 * std::log(4.0), 0.1);
+}
+
+TEST(IsolationTreeTest, SinglePointIsLeaf) {
+  Rng rng(1);
+  linalg::Matrix points(1, 3);
+  IsolationTree tree(points, 8, &rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.PathLength({0.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(IsolationTreeTest, IdenticalPointsTerminate) {
+  // Degenerate data must not loop or crash: the split is impossible, the
+  // node becomes a leaf with the c(size) adjustment.
+  Rng rng(2);
+  linalg::Matrix points(20, 2, 3.14);
+  IsolationTree tree(points, 10, &rng);
+  const double h = tree.PathLength({3.14, 3.14});
+  EXPECT_GE(h, 0.0);
+  EXPECT_LE(h, 10.0 + IsolationTree::AveragePathLength(20));
+}
+
+TEST(IsolationTreeTest, PathLengthBoundedByMaxDepth) {
+  Rng rng(3);
+  linalg::Matrix points = ClusterWithOutlier(100, 3, 10.0, 4);
+  IsolationTree tree(points, 7, &rng);
+  Rng probe_rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> p = {probe_rng.Gaussian(), probe_rng.Gaussian(),
+                                   probe_rng.Gaussian()};
+    EXPECT_LE(tree.PathLength(p),
+              7.0 + IsolationTree::AveragePathLength(100));
+  }
+}
+
+TEST(ForestTest, FitCreatesRequestedTrees) {
+  ExtendedIsolationForest::Params params;
+  params.num_trees = 17;
+  ExtendedIsolationForest forest(params, 6);
+  forest.Fit(ClusterWithOutlier(50, 2, 8.0, 7));
+  EXPECT_EQ(forest.num_trees(), 17u);
+  EXPECT_TRUE(forest.fitted());
+}
+
+TEST(ForestTest, OutlierScoresHigherThanInliers) {
+  ExtendedIsolationForest::Params params;
+  params.num_trees = 60;
+  ExtendedIsolationForest forest(params, 8);
+  forest.Fit(ClusterWithOutlier(300, 2, 12.0, 9));
+
+  const double outlier_score = forest.Score({12.0, 12.0});
+  const double inlier_score = forest.Score({0.1, -0.2});
+  EXPECT_GT(outlier_score, inlier_score + 0.1);
+  EXPECT_GT(outlier_score, 0.6);
+}
+
+TEST(ForestTest, ScoresInUnitInterval) {
+  ExtendedIsolationForest::Params params;
+  ExtendedIsolationForest forest(params, 10);
+  forest.Fit(ClusterWithOutlier(100, 3, 5.0, 11));
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> p = {rng.Uniform(-20, 20), rng.Uniform(-20, 20),
+                                   rng.Uniform(-20, 20)};
+    const double s = forest.Score(p);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(ForestTest, PathLengthsOnePerTree) {
+  ExtendedIsolationForest::Params params;
+  params.num_trees = 9;
+  ExtendedIsolationForest forest(params, 13);
+  forest.Fit(ClusterWithOutlier(60, 2, 6.0, 14));
+  EXPECT_EQ(forest.PathLengths({0.0, 0.0}).size(), 9u);
+}
+
+TEST(ForestTest, ReplaceTreesRestoresCount) {
+  ExtendedIsolationForest::Params params;
+  params.num_trees = 10;
+  ExtendedIsolationForest forest(params, 15);
+  const linalg::Matrix points = ClusterWithOutlier(80, 2, 6.0, 16);
+  forest.Fit(points);
+  forest.ReplaceTrees({0, 3, 7}, points);
+  EXPECT_EQ(forest.num_trees(), 10u);
+}
+
+TEST(ForestTest, ReplaceAllTreesIsFullRebuild) {
+  ExtendedIsolationForest::Params params;
+  params.num_trees = 5;
+  ExtendedIsolationForest forest(params, 17);
+  const linalg::Matrix points = ClusterWithOutlier(40, 2, 6.0, 18);
+  forest.Fit(points);
+  forest.ReplaceTrees({0, 1, 2, 3, 4}, points);
+  EXPECT_EQ(forest.num_trees(), 5u);
+  EXPECT_GE(forest.Score({6.0, 6.0}), forest.Score({0.0, 0.0}));
+}
+
+TEST(ForestTest, DeterministicForSameSeed) {
+  ExtendedIsolationForest::Params params;
+  params.num_trees = 20;
+  const linalg::Matrix points = ClusterWithOutlier(100, 2, 8.0, 19);
+  ExtendedIsolationForest a(params, 21);
+  ExtendedIsolationForest b(params, 21);
+  a.Fit(points);
+  b.Fit(points);
+  Rng rng(22);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> p = {rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    EXPECT_EQ(a.Score(p), b.Score(p));
+  }
+}
+
+TEST(ForestTest, SubsamplingKeepsScoresSane) {
+  ExtendedIsolationForest::Params params;
+  params.num_trees = 40;
+  params.subsample = 32;  // far smaller than the dataset
+  ExtendedIsolationForest forest(params, 23);
+  forest.Fit(ClusterWithOutlier(1000, 2, 10.0, 24));
+  EXPECT_GT(forest.Score({10.0, 10.0}), forest.Score({0.0, 0.0}));
+}
+
+// Dimensionality sweep: outlier separation works for growing N — the
+// extended (hyperplane) splits must not degrade in higher dimensions.
+class ForestDimsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForestDimsTest, OutlierSeparationAcrossDims) {
+  const std::size_t dims = static_cast<std::size_t>(GetParam());
+  ExtendedIsolationForest::Params params;
+  params.num_trees = 50;
+  ExtendedIsolationForest forest(params, 31);
+  forest.Fit(ClusterWithOutlier(200, dims, 10.0, 32));
+  std::vector<double> outlier(dims, 10.0);
+  std::vector<double> inlier(dims, 0.0);
+  EXPECT_GT(forest.Score(outlier), forest.Score(inlier))
+      << "dims=" << dims;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ForestDimsTest,
+                         ::testing::Values(1, 2, 5, 9, 38));
+
+}  // namespace
+}  // namespace streamad::models

@@ -1,0 +1,198 @@
+#include "src/models/knn_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/training_set.h"
+
+namespace streamad::models {
+namespace {
+
+core::FeatureVector SineWindow(double phase, std::size_t w, std::size_t n,
+                               double noise, Rng* rng, std::int64_t t) {
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(w, n);
+  for (std::size_t r = 0; r < w; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      fv.window(r, c) = std::sin(0.5 * static_cast<double>(r) + phase +
+                                 static_cast<double>(c)) +
+                        rng->Gaussian(0.0, noise);
+    }
+  }
+  fv.t = t;
+  return fv;
+}
+
+core::TrainingSet SineTrainingSet(std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  core::TrainingSet set(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    set.Add(SineWindow(rng.Uniform(0.0, 6.28), 8, 2, 0.05, &rng,
+                       static_cast<std::int64_t>(i)));
+  }
+  return set;
+}
+
+TEST(KnnModelTest, IsScoringModel) {
+  KnnModel model(KnnModel::Params{});
+  EXPECT_EQ(model.kind(), core::Model::Kind::kScore);
+  EXPECT_FALSE(model.fitted());
+}
+
+TEST(KnnModelTest, FitSnapshotsReferenceGroup) {
+  KnnModel model(KnnModel::Params{});
+  const core::TrainingSet train = SineTrainingSet(40, 1);
+  model.Fit(train);
+  EXPECT_TRUE(model.fitted());
+  EXPECT_EQ(model.reference_size(), 40u);
+  EXPECT_EQ(model.calibration_distances().size(), 40u);
+}
+
+TEST(KnnModelTest, CalibrationDistancesSorted) {
+  KnnModel model(KnnModel::Params{});
+  model.Fit(SineTrainingSet(30, 2));
+  const auto& cal = model.calibration_distances();
+  for (std::size_t i = 1; i < cal.size(); ++i) {
+    EXPECT_LE(cal[i - 1], cal[i]);
+  }
+}
+
+TEST(KnnModelTest, ScoreInUnitInterval) {
+  KnnModel model(KnnModel::Params{});
+  model.Fit(SineTrainingSet(50, 3));
+  Rng rng(4);
+  for (int i = 0; i < 30; ++i) {
+    const double s = model.AnomalyScore(
+        SineWindow(rng.Uniform(0.0, 6.28), 8, 2, 0.05, &rng, 100 + i));
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(KnnModelTest, TypicalWindowScoresLow) {
+  KnnModel model(KnnModel::Params{});
+  model.Fit(SineTrainingSet(80, 5));
+  Rng rng(6);
+  // A fresh window from the same distribution: should be unremarkable.
+  const double s = model.AnomalyScore(
+      SineWindow(1.0, 8, 2, 0.05, &rng, 500));
+  EXPECT_LT(s, 0.9);
+}
+
+TEST(KnnModelTest, FarWindowScoresOne) {
+  KnnModel model(KnnModel::Params{});
+  model.Fit(SineTrainingSet(80, 7));
+  Rng rng(8);
+  core::FeatureVector far = SineWindow(1.0, 8, 2, 0.05, &rng, 501);
+  for (std::size_t i = 0; i < far.window.size(); ++i) {
+    far.window.at_flat(i) += 50.0;
+  }
+  EXPECT_DOUBLE_EQ(model.AnomalyScore(far), 1.0);
+}
+
+TEST(KnnModelTest, AnomalousWindowScoresAboveTypical) {
+  KnnModel model(KnnModel::Params{});
+  model.Fit(SineTrainingSet(80, 9));
+  Rng rng(10);
+  const core::FeatureVector normal =
+      SineWindow(2.0, 8, 2, 0.05, &rng, 600);
+  core::FeatureVector anomalous = normal;
+  for (std::size_t r = 2; r < 6; ++r) anomalous.window(r, 0) += 3.0;
+  EXPECT_GT(model.AnomalyScore(anomalous), model.AnomalyScore(normal));
+  EXPECT_GT(model.AnomalyScore(anomalous), 0.9);
+}
+
+TEST(KnnModelTest, FinetuneRefreshesReference) {
+  KnnModel model(KnnModel::Params{});
+  model.Fit(SineTrainingSet(40, 11));
+  Rng rng(12);
+
+  // Shifted regime: initially anomalous, normal after re-snapshot.
+  core::TrainingSet shifted(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    core::FeatureVector fv =
+        SineWindow(rng.Uniform(0.0, 6.28), 8, 2, 0.05, &rng,
+                   static_cast<std::int64_t>(i));
+    for (std::size_t j = 0; j < fv.window.size(); ++j) {
+      fv.window.at_flat(j) += 5.0;
+    }
+    shifted.Add(fv);
+  }
+  const core::FeatureVector probe = shifted.at(0);
+  const double before = model.AnomalyScore(probe);
+  model.Finetune(shifted);
+  const double after = model.AnomalyScore(probe);
+  EXPECT_GT(before, 0.95);
+  EXPECT_LT(after, before);
+}
+
+TEST(KnnModelTest, KLargerThanReferenceIsClamped) {
+  KnnModel::Params params;
+  params.k = 100;  // more neighbours than reference members
+  KnnModel model(params);
+  model.Fit(SineTrainingSet(10, 13));
+  Rng rng(14);
+  const double s = model.AnomalyScore(
+      SineWindow(0.5, 8, 2, 0.05, &rng, 700));
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(KnnModelTest, SingleMemberReference) {
+  KnnModel model(KnnModel::Params{});
+  core::TrainingSet tiny(1);
+  Rng rng(15);
+  tiny.Add(SineWindow(0.0, 8, 2, 0.05, &rng, 0));
+  model.Fit(tiny);
+  // Degenerate calibration: any probe with positive distance scores 1.
+  core::FeatureVector probe = tiny.at(0);
+  probe.window.at_flat(0) += 1.0;
+  EXPECT_DOUBLE_EQ(model.AnomalyScore(probe), 1.0);
+}
+
+TEST(KnnModelDeathTest, PredictAborts) {
+  KnnModel model(KnnModel::Params{});
+  model.Fit(SineTrainingSet(10, 16));
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(8, 2);
+  EXPECT_DEATH(model.Predict(fv), "scoring model");
+}
+
+TEST(KnnModelDeathTest, ScoreBeforeFitAborts) {
+  KnnModel model(KnnModel::Params{});
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(8, 2);
+  EXPECT_DEATH(model.AnomalyScore(fv), "before Fit");
+}
+
+TEST(KnnModelDeathTest, ZeroKAborts) {
+  KnnModel::Params params;
+  params.k = 0;
+  EXPECT_DEATH(KnnModel model(params), "positive");
+}
+
+// Sweep k: the conformal property (typical probes score ~uniform, so the
+// mean over many probes stays near 0.5) holds for every k.
+class KnnKSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnnKSweepTest, TypicalScoresRoughlyUniform) {
+  KnnModel::Params params;
+  params.k = static_cast<std::size_t>(GetParam());
+  KnnModel model(params);
+  model.Fit(SineTrainingSet(100, 17));
+  Rng rng(18);
+  double sum = 0.0;
+  constexpr int kProbes = 100;
+  for (int i = 0; i < kProbes; ++i) {
+    sum += model.AnomalyScore(
+        SineWindow(rng.Uniform(0.0, 6.28), 8, 2, 0.05, &rng, 800 + i));
+  }
+  EXPECT_NEAR(sum / kProbes, 0.5, 0.2) << "k=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KnnKSweepTest, ::testing::Values(1, 3, 5, 15));
+
+}  // namespace
+}  // namespace streamad::models

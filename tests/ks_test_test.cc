@@ -1,0 +1,151 @@
+#include "src/stats/ks_test.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace streamad::stats {
+namespace {
+
+std::vector<double> GaussianSample(std::size_t n, double mean, double std,
+                                   Rng* rng) {
+  std::vector<double> out(n);
+  for (double& v : out) v = rng->Gaussian(mean, std);
+  return out;
+}
+
+TEST(KsTestTest, IdenticalSamplesHaveZeroStatistic) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const KsResult result = TwoSampleKsTest(a, a, 0.05);
+  EXPECT_EQ(result.statistic, 0.0);
+  EXPECT_FALSE(result.reject);
+}
+
+TEST(KsTestTest, DisjointSamplesHaveStatisticOne) {
+  // Sample sizes large enough that the critical distance drops below 1;
+  // with 3-element samples even a perfect separation cannot reject.
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(static_cast<double>(i));
+    b.push_back(static_cast<double>(i) + 100.0);
+  }
+  const KsResult result = TwoSampleKsTest(a, b, 0.05);
+  EXPECT_DOUBLE_EQ(result.statistic, 1.0);
+  EXPECT_TRUE(result.reject);
+}
+
+TEST(KsTestTest, TinySamplesCannotReject) {
+  // The threshold c(alpha) sqrt((ra+rb)/(ra rb)) exceeds 1 for tiny
+  // samples: even disjoint data is not significant.
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {10, 11, 12};
+  const KsResult result = TwoSampleKsTest(a, b, 0.05);
+  EXPECT_DOUBLE_EQ(result.statistic, 1.0);
+  EXPECT_GT(result.threshold, 1.0);
+  EXPECT_FALSE(result.reject);
+}
+
+TEST(KsTestTest, KnownSmallSampleStatistic) {
+  // a = {1,2}, b = {1.5,3}: ECDF sup difference is 0.5 (between 1 and 1.5
+  // F_a=0.5,F_b=0, and between 2 and 3 F_a=1,F_b=0.5).
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.5, 3.0};
+  const KsResult result = TwoSampleKsTest(a, b, 0.05);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.5);
+}
+
+TEST(KsTestTest, ThresholdFormula) {
+  const std::vector<double> a(100, 0.0);
+  const std::vector<double> b(50, 0.0);
+  const KsResult result = TwoSampleKsTest(a, b, 0.05);
+  const double expected =
+      std::sqrt(std::log(2.0 / 0.05)) * std::sqrt((100.0 + 50.0) /
+                                                  (100.0 * 50.0));
+  EXPECT_NEAR(result.threshold, expected, 1e-12);
+}
+
+TEST(KsTestTest, SameDistributionRarelyRejects) {
+  Rng rng(11);
+  int rejections = 0;
+  constexpr int kTrials = 100;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto a = GaussianSample(200, 0.0, 1.0, &rng);
+    const auto b = GaussianSample(200, 0.0, 1.0, &rng);
+    rejections += TwoSampleKsTest(a, b, 0.01).reject ? 1 : 0;
+  }
+  // alpha = 0.01 with the conservative sqrt(ln(2/alpha)) critical value:
+  // well under 10% of same-distribution pairs may reject.
+  EXPECT_LE(rejections, 10);
+}
+
+TEST(KsTestTest, MeanShiftDetected) {
+  Rng rng(13);
+  const auto a = GaussianSample(300, 0.0, 1.0, &rng);
+  const auto b = GaussianSample(300, 1.5, 1.0, &rng);
+  EXPECT_TRUE(TwoSampleKsTest(a, b, 0.01).reject);
+}
+
+TEST(KsTestTest, VarianceChangeDetected) {
+  Rng rng(17);
+  const auto a = GaussianSample(500, 0.0, 1.0, &rng);
+  const auto b = GaussianSample(500, 0.0, 3.0, &rng);
+  EXPECT_TRUE(TwoSampleKsTest(a, b, 0.01).reject);
+}
+
+TEST(KsTestTest, SymmetricInArguments) {
+  Rng rng(19);
+  const auto a = GaussianSample(100, 0.0, 1.0, &rng);
+  const auto b = GaussianSample(150, 0.5, 2.0, &rng);
+  const KsResult ab = TwoSampleKsTest(a, b, 0.05);
+  const KsResult ba = TwoSampleKsTest(b, a, 0.05);
+  EXPECT_DOUBLE_EQ(ab.statistic, ba.statistic);
+  EXPECT_DOUBLE_EQ(ab.threshold, ba.threshold);
+}
+
+TEST(KsTestTest, UnequalSampleSizes) {
+  Rng rng(23);
+  const auto a = GaussianSample(50, 0.0, 1.0, &rng);
+  const auto b = GaussianSample(1000, 4.0, 1.0, &rng);
+  EXPECT_TRUE(TwoSampleKsTest(a, b, 0.01).reject);
+}
+
+TEST(KsTestTest, OpCountersTally) {
+  const std::vector<double> a(64, 1.0);
+  const std::vector<double> b(64, 2.0);
+  OpCounters counters;
+  TwoSampleKsTest(a, b, 0.05, &counters);
+  EXPECT_GT(counters.comparisons, 0u);
+  EXPECT_GT(counters.additions, 0u);
+  EXPECT_GT(counters.multiplications, 0u);
+  // The binary-search model: (ra+rb) * log2(ra+rb) comparisons plus the
+  // sweep terms.
+  EXPECT_GE(counters.comparisons, 128u * 7u);
+}
+
+TEST(KsTestDeathTest, EmptySampleAborts) {
+  const std::vector<double> a;
+  const std::vector<double> b = {1.0};
+  EXPECT_DEATH(TwoSampleKsTest(a, b, 0.05), "needs data");
+}
+
+// Property sweep: detection power grows with shift size; tiny shifts with
+// small alpha stay undetected, large shifts always reject.
+class KsShiftTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(KsShiftTest, LargeShiftAlwaysRejects) {
+  const double shift = GetParam();
+  Rng rng(29);
+  const auto a = GaussianSample(400, 0.0, 1.0, &rng);
+  const auto b = GaussianSample(400, shift, 1.0, &rng);
+  EXPECT_TRUE(TwoSampleKsTest(a, b, 0.01).reject) << "shift=" << shift;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, KsShiftTest,
+                         ::testing::Values(1.0, 1.5, 2.0, 3.0, 5.0));
+
+}  // namespace
+}  // namespace streamad::stats

@@ -1,0 +1,227 @@
+#include "src/linalg/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace streamad::linalg {
+namespace {
+
+TEST(MatrixTest, DefaultConstructedIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialised) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(m.at_flat(i), 0.0);
+  }
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 2, 7.5);
+  EXPECT_EQ(m(0, 0), 7.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+}
+
+TEST(MatrixTest, InitializerListLayout) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 2), 3.0);
+  EXPECT_EQ(m(1, 0), 4.0);
+  EXPECT_EQ(m.at_flat(4), 5.0);  // row-major
+}
+
+TEST(MatrixTest, RowAndColVectors) {
+  const Matrix r = Matrix::RowVector({1, 2, 3});
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+  const Matrix c = Matrix::ColVector({1, 2, 3});
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 1u);
+}
+
+TEST(MatrixTest, IdentityProperties) {
+  const Matrix eye = Matrix::Identity(4);
+  const Matrix m{{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}, {13, 14, 15, 16}};
+  EXPECT_EQ(MatMul(eye, m), m);
+  EXPECT_EQ(MatMul(m, eye), m);
+}
+
+TEST(MatrixTest, RowColRoundtrip) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.Row(1), (std::vector<double>{3, 4}));
+  EXPECT_EQ(m.Col(0), (std::vector<double>{1, 3, 5}));
+  m.SetRow(1, {9, 10});
+  EXPECT_EQ(m(1, 0), 9.0);
+  EXPECT_EQ(m(1, 1), 10.0);
+}
+
+TEST(MatrixTest, ReshapedPreservesFlatOrder) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix r = m.Reshaped(3, 2);
+  EXPECT_EQ(r(0, 0), 1.0);
+  EXPECT_EQ(r(0, 1), 2.0);
+  EXPECT_EQ(r(1, 0), 3.0);
+  EXPECT_EQ(r(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MatMulKnownProduct) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix p = MatMul(a, b);
+  EXPECT_EQ(p(0, 0), 19.0);
+  EXPECT_EQ(p(0, 1), 22.0);
+  EXPECT_EQ(p(1, 0), 43.0);
+  EXPECT_EQ(p(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatMulNonSquareShapes) {
+  const Matrix a(2, 5, 1.0);
+  const Matrix b(5, 3, 2.0);
+  const Matrix p = MatMul(a, b);
+  EXPECT_EQ(p.rows(), 2u);
+  EXPECT_EQ(p.cols(), 3u);
+  EXPECT_EQ(p(1, 2), 10.0);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(Transpose(Transpose(m)), m);
+  EXPECT_EQ(Transpose(m)(2, 1), 6.0);
+}
+
+TEST(MatrixTest, AddSubInverse) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{0.5, -1}, {2, 7}};
+  EXPECT_EQ(Sub(Add(a, b), b), a);
+}
+
+TEST(MatrixTest, HadamardAndScale) {
+  const Matrix a{{2, 3}};
+  const Matrix b{{4, 5}};
+  const Matrix h = Hadamard(a, b);
+  EXPECT_EQ(h(0, 0), 8.0);
+  EXPECT_EQ(h(0, 1), 15.0);
+  const Matrix s = Scale(a, -2.0);
+  EXPECT_EQ(s(0, 0), -4.0);
+}
+
+TEST(MatrixTest, AxpyAccumulates) {
+  Matrix a{{1, 1}};
+  const Matrix b{{2, 3}};
+  Axpy(0.5, b, &a);
+  EXPECT_EQ(a(0, 0), 2.0);
+  EXPECT_EQ(a(0, 1), 2.5);
+}
+
+TEST(MatrixTest, SumAndNorm) {
+  const Matrix m{{3, 4}};
+  EXPECT_EQ(Sum(m), 7.0);
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(m), 5.0);
+}
+
+TEST(MatrixTest, FlatDot) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  EXPECT_EQ(FlatDot(a, b), 5.0 + 12.0 + 21.0 + 32.0);
+}
+
+TEST(MatrixTest, CosineSimilarityIdenticalIsOne) {
+  const Matrix a{{1, 2, 3}};
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-12);
+}
+
+TEST(MatrixTest, CosineSimilarityOppositeIsMinusOne) {
+  const Matrix a{{1, 2, 3}};
+  EXPECT_NEAR(CosineSimilarity(a, Scale(a, -2.0)), -1.0, 1e-12);
+}
+
+TEST(MatrixTest, CosineSimilarityOrthogonalIsZero) {
+  const Matrix a{{1, 0}};
+  const Matrix b{{0, 5}};
+  EXPECT_NEAR(CosineSimilarity(a, b), 0.0, 1e-12);
+}
+
+TEST(MatrixTest, CosineSimilarityZeroConventions) {
+  const Matrix zero(1, 3);
+  const Matrix nonzero{{1, 2, 3}};
+  EXPECT_EQ(CosineSimilarity(zero, zero), 1.0);
+  EXPECT_EQ(CosineSimilarity(zero, nonzero), 0.0);
+}
+
+TEST(MatrixTest, CosineSimilarityScaleInvariant) {
+  const Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const Matrix b{{2, 1, 0}, {1, 1, 1}};
+  EXPECT_NEAR(CosineSimilarity(a, b), CosineSimilarity(Scale(a, 10.0), b),
+              1e-12);
+}
+
+TEST(MatrixTest, AddRowBroadcast) {
+  const Matrix m{{1, 2}, {3, 4}};
+  const Matrix row{{10, 20}};
+  const Matrix out = AddRowBroadcast(m, row);
+  EXPECT_EQ(out(0, 0), 11.0);
+  EXPECT_EQ(out(1, 1), 24.0);
+}
+
+TEST(MatrixTest, MeanRows) {
+  const Matrix m{{1, 10}, {3, 20}};
+  const Matrix mean = MeanRows(m);
+  EXPECT_EQ(mean.rows(), 1u);
+  EXPECT_EQ(mean(0, 0), 2.0);
+  EXPECT_EQ(mean(0, 1), 15.0);
+}
+
+TEST(MatrixDeathTest, RaggedInitializerAborts) {
+  EXPECT_DEATH((Matrix{{1.0, 2.0}, {3.0}}), "ragged");
+}
+
+TEST(MatrixDeathTest, MatMulShapeMismatchAborts) {
+  const Matrix a(2, 3);
+  const Matrix b(4, 2);
+  EXPECT_DEATH(MatMul(a, b), "shape mismatch");
+}
+
+TEST(MatrixDeathTest, ReshapeSizeMismatchAborts) {
+  const Matrix m(2, 3);
+  EXPECT_DEATH(m.Reshaped(4, 2), "");
+}
+
+// Property sweep: (AB)^T == B^T A^T across shapes.
+class MatMulPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulPropertyTest, TransposeOfProduct) {
+  const auto [rows, inner, cols] = GetParam();
+  Matrix a(rows, inner);
+  Matrix b(inner, cols);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.at_flat(i) = std::sin(static_cast<double>(i) * 1.3) + 0.2;
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.at_flat(i) = std::cos(static_cast<double>(i) * 0.7) - 0.1;
+  }
+  const Matrix lhs = Transpose(MatMul(a, b));
+  const Matrix rhs = MatMul(Transpose(b), Transpose(a));
+  ASSERT_EQ(lhs.rows(), rhs.rows());
+  ASSERT_EQ(lhs.cols(), rhs.cols());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_NEAR(lhs.at_flat(i), rhs.at_flat(i), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulPropertyTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(5, 1, 7), std::make_tuple(8, 8, 8),
+                      std::make_tuple(1, 16, 3), std::make_tuple(13, 2, 1)));
+
+}  // namespace
+}  // namespace streamad::linalg

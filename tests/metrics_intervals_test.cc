@@ -1,0 +1,84 @@
+#include "src/metrics/intervals.h"
+
+#include <gtest/gtest.h>
+
+namespace streamad::metrics {
+namespace {
+
+TEST(IntervalTest, OverlapSemantics) {
+  const Interval a{2, 5};
+  EXPECT_TRUE(a.Overlaps({4, 8}));
+  EXPECT_TRUE(a.Overlaps({0, 3}));
+  EXPECT_TRUE(a.Overlaps({3, 4}));   // contained
+  EXPECT_TRUE(a.Overlaps({0, 10}));  // containing
+  EXPECT_FALSE(a.Overlaps({5, 8}));  // half-open: touching is disjoint
+  EXPECT_FALSE(a.Overlaps({0, 2}));
+}
+
+TEST(IntervalTest, Length) {
+  EXPECT_EQ((Interval{3, 7}).length(), 4u);
+  EXPECT_EQ((Interval{3, 3}).length(), 0u);
+}
+
+TEST(IntervalsFromLabelsTest, EmptyAndAllZero) {
+  EXPECT_TRUE(IntervalsFromLabels({}).empty());
+  EXPECT_TRUE(IntervalsFromLabels({0, 0, 0}).empty());
+}
+
+TEST(IntervalsFromLabelsTest, SingleRun) {
+  const auto intervals = IntervalsFromLabels({0, 1, 1, 1, 0});
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0], (Interval{1, 4}));
+}
+
+TEST(IntervalsFromLabelsTest, RunTouchingBothEnds) {
+  const auto intervals = IntervalsFromLabels({1, 1, 0, 1});
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0], (Interval{0, 2}));
+  EXPECT_EQ(intervals[1], (Interval{3, 4}));
+}
+
+TEST(IntervalsFromLabelsTest, AlternatingLabels) {
+  const auto intervals = IntervalsFromLabels({1, 0, 1, 0, 1});
+  ASSERT_EQ(intervals.size(), 3u);
+  for (const auto& interval : intervals) {
+    EXPECT_EQ(interval.length(), 1u);
+  }
+}
+
+TEST(IntervalsFromScoresTest, ThresholdIsInclusive) {
+  const auto intervals =
+      IntervalsFromScores({0.1, 0.5, 0.5, 0.4}, 0.5);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0], (Interval{1, 3}));
+}
+
+TEST(ThresholdCandidatesTest, SmallInputReturnsAllUnique) {
+  const auto thresholds =
+      ThresholdCandidates({0.3, 0.1, 0.3, 0.2}, 10);
+  EXPECT_EQ(thresholds, (std::vector<double>{0.1, 0.2, 0.3}));
+}
+
+TEST(ThresholdCandidatesTest, LargeInputCapped) {
+  std::vector<double> scores;
+  for (int i = 0; i < 1000; ++i) {
+    scores.push_back(static_cast<double>(i));
+  }
+  const auto thresholds = ThresholdCandidates(scores, 50);
+  EXPECT_LE(thresholds.size(), 50u);
+  EXPECT_GE(thresholds.size(), 2u);
+  // Ascending, covering min and max.
+  EXPECT_EQ(thresholds.front(), 0.0);
+  EXPECT_EQ(thresholds.back(), 999.0);
+  for (std::size_t i = 1; i < thresholds.size(); ++i) {
+    EXPECT_LT(thresholds[i - 1], thresholds[i]);
+  }
+}
+
+TEST(ThresholdCandidatesTest, ConstantScoresGiveSingleCandidate) {
+  const auto thresholds = ThresholdCandidates({0.7, 0.7, 0.7}, 10);
+  EXPECT_EQ(thresholds, (std::vector<double>{0.7}));
+}
+
+}  // namespace
+}  // namespace streamad::metrics

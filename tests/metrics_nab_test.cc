@@ -1,0 +1,131 @@
+#include "src/metrics/nab_score.h"
+
+#include <gtest/gtest.h>
+
+namespace streamad::metrics {
+namespace {
+
+TEST(NabSigmoidTest, ShapeAndRange) {
+  // y = -1 (window start): near-full credit; y = 0 (window end): zero.
+  EXPECT_NEAR(NabSigmoid(-1.0), 0.9866, 1e-3);
+  EXPECT_DOUBLE_EQ(NabSigmoid(0.0), 0.0);
+  EXPECT_LT(NabSigmoid(1.0), 0.0);  // beyond the window: negative
+  // Monotonically decreasing.
+  EXPECT_GT(NabSigmoid(-0.8), NabSigmoid(-0.2));
+}
+
+TEST(NabScoreTest, NoWindowsReturnsZero) {
+  EXPECT_EQ(NabScoreAt({0.9, 0.9}, {0, 0}, 0.5), 0.0);
+}
+
+TEST(NabScoreTest, PerfectEarlyDetection) {
+  std::vector<double> scores(100, 0.0);
+  std::vector<int> labels(100, 0);
+  for (std::size_t t = 50; t < 60; ++t) labels[t] = 1;
+  scores[50] = 1.0;  // detection at the very start of the window
+  const double score = NabScoreAt(scores, labels, 0.5);
+  EXPECT_GT(score, 0.9);
+  EXPECT_LE(score, 1.0);
+}
+
+TEST(NabScoreTest, LateDetectionEarnsLess) {
+  std::vector<int> labels(100, 0);
+  for (std::size_t t = 50; t < 60; ++t) labels[t] = 1;
+  std::vector<double> early(100, 0.0);
+  std::vector<double> late(100, 0.0);
+  early[50] = 1.0;
+  late[58] = 1.0;
+  EXPECT_GT(NabScoreAt(early, labels, 0.5),
+            NabScoreAt(late, labels, 0.5));
+}
+
+TEST(NabScoreTest, MissedWindowCostsFnWeight) {
+  std::vector<double> scores(100, 0.0);
+  std::vector<int> labels(100, 0);
+  for (std::size_t t = 50; t < 60; ++t) labels[t] = 1;
+  EXPECT_DOUBLE_EQ(NabScoreAt(scores, labels, 0.5), -1.0);
+}
+
+TEST(NabScoreTest, EachFalseAlarmStepCostsFpWeightOverWindows) {
+  // The paper: "every time step contributes -1/|anomalies|" (scaled by
+  // the FP weight). One window, 10 false-alarm steps plus a hit.
+  std::vector<double> scores(100, 0.0);
+  std::vector<int> labels(100, 0);
+  for (std::size_t t = 50; t < 60; ++t) labels[t] = 1;
+  scores[50] = 1.0;
+  const double clean = NabScoreAt(scores, labels, 0.5);
+  for (std::size_t t = 0; t < 10; ++t) scores[t] = 1.0;
+  const double noisy = NabScoreAt(scores, labels, 0.5);
+  EXPECT_NEAR(clean - noisy, 10 * 0.11, 1e-9);
+}
+
+TEST(NabScoreTest, FloodingDetectorGoesVeryNegative) {
+  // An always-firing detector on a long stream: hugely negative NAB while
+  // range-based precision would count a single FP — Table III's artefact.
+  std::vector<double> scores(5000, 1.0);
+  std::vector<int> labels(5000, 0);
+  for (std::size_t t = 100; t < 120; ++t) labels[t] = 1;
+  const double score = NabScoreAt(scores, labels, 0.5);
+  EXPECT_LT(score, -100.0);
+}
+
+TEST(NabScoreTest, OnlyEarliestDetectionInWindowCounts) {
+  std::vector<int> labels(100, 0);
+  for (std::size_t t = 50; t < 60; ++t) labels[t] = 1;
+  std::vector<double> single(100, 0.0);
+  single[52] = 1.0;
+  std::vector<double> many = single;
+  for (std::size_t t = 53; t < 60; ++t) many[t] = 1.0;
+  // Extra in-window detections neither help nor hurt.
+  EXPECT_DOUBLE_EQ(NabScoreAt(single, labels, 0.5),
+                   NabScoreAt(many, labels, 0.5));
+}
+
+TEST(NabScoreTest, CustomWeights) {
+  NabParams params;
+  params.fp_weight = 1.0;
+  std::vector<double> scores(10, 0.0);
+  std::vector<int> labels(10, 0);
+  labels[5] = 1;
+  scores[0] = 1.0;  // one FP step
+  scores[5] = 1.0;  // detection at window start
+  const double score = NabScoreAt(scores, labels, 0.5, params);
+  EXPECT_NEAR(score, NabSigmoid(-1.0) - 1.0, 1e-9);
+}
+
+TEST(NabScoreBestThresholdTest, PicksWorkingThreshold) {
+  std::vector<double> scores(200, 0.3);
+  std::vector<int> labels(200, 0);
+  for (std::size_t t = 100; t < 110; ++t) {
+    labels[t] = 1;
+    scores[t] = 0.8;
+  }
+  const double best = NabScoreBestThreshold(scores, labels);
+  EXPECT_GT(best, 0.9);
+}
+
+TEST(NabScoreBestThresholdTest, AtWorstAbstains) {
+  // Random scores: the best threshold can always be set above everything,
+  // giving -1 per missed window; never worse.
+  std::vector<double> scores;
+  std::vector<int> labels(50, 0);
+  labels[20] = 1;
+  for (int i = 0; i < 50; ++i) {
+    scores.push_back(static_cast<double>((i * 7) % 13) / 13.0);
+  }
+  EXPECT_GE(NabScoreBestThreshold(scores, labels), -1.0);
+}
+
+TEST(NabScoreTest, MultipleWindowsAveraged) {
+  std::vector<double> scores(300, 0.0);
+  std::vector<int> labels(300, 0);
+  // Two windows; only the first is detected (at its start).
+  for (std::size_t t = 50; t < 60; ++t) labels[t] = 1;
+  for (std::size_t t = 200; t < 210; ++t) labels[t] = 1;
+  scores[50] = 1.0;
+  const double score = NabScoreAt(scores, labels, 0.5);
+  EXPECT_NEAR(score, (NabSigmoid(-1.0) - 1.0) / 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace streamad::metrics

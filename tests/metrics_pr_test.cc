@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "src/metrics/pr_auc.h"
+#include "src/metrics/precision_recall.h"
+
+namespace streamad::metrics {
+namespace {
+
+// ------------------------------------------------- range confusion ----
+
+TEST(RangeConfusionTest, OnePointHitCountsWholeSegment) {
+  // Hundman point-adjust: any overlap with a true segment is one TP.
+  const std::vector<Interval> truth = {{10, 20}};
+  const std::vector<Interval> predicted = {{14, 15}};
+  const RangeConfusion c = ComputeRangeConfusion(truth, predicted);
+  EXPECT_EQ(c.true_positives, 1u);
+  EXPECT_EQ(c.false_positives, 0u);
+  EXPECT_EQ(c.false_negatives, 0u);
+}
+
+TEST(RangeConfusionTest, MissedSegmentIsFn) {
+  const RangeConfusion c = ComputeRangeConfusion({{10, 20}}, {});
+  EXPECT_EQ(c.false_negatives, 1u);
+  EXPECT_EQ(c.true_positives, 0u);
+}
+
+TEST(RangeConfusionTest, NonOverlappingPredictionIsFp) {
+  const RangeConfusion c = ComputeRangeConfusion({{10, 20}}, {{30, 40}});
+  EXPECT_EQ(c.false_positives, 1u);
+  EXPECT_EQ(c.false_negatives, 1u);
+}
+
+TEST(RangeConfusionTest, LongFalseRunIsSingleFp) {
+  // The paper's key artefact: a 1000-step false-alarm run is ONE range FP.
+  const RangeConfusion c = ComputeRangeConfusion({{5000, 5010}},
+                                                 {{0, 1000}});
+  EXPECT_EQ(c.false_positives, 1u);
+}
+
+TEST(RangeConfusionTest, OnePredictionCanHitMultipleSegments) {
+  const std::vector<Interval> truth = {{10, 20}, {30, 40}};
+  const std::vector<Interval> predicted = {{15, 35}};
+  const RangeConfusion c = ComputeRangeConfusion(truth, predicted);
+  EXPECT_EQ(c.true_positives, 2u);
+  EXPECT_EQ(c.false_positives, 0u);
+}
+
+TEST(PrecisionRecallTest, Conventions) {
+  RangeConfusion none;
+  const PrecisionRecall pr = ComputePrecisionRecall(none);
+  EXPECT_EQ(pr.precision, 1.0);  // nothing claimed
+  EXPECT_EQ(pr.recall, 1.0);     // nothing to find
+}
+
+TEST(PrecisionRecallTest, MixedCounts) {
+  RangeConfusion c;
+  c.true_positives = 3;
+  c.false_positives = 1;
+  c.false_negatives = 2;
+  const PrecisionRecall pr = ComputePrecisionRecall(c);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.75);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.6);
+}
+
+TEST(RangePrecisionRecallAtTest, EndToEnd) {
+  //                 0    1    2    3    4    5    6
+  const std::vector<double> scores = {0.1, 0.9, 0.8, 0.1, 0.9, 0.1, 0.1};
+  const std::vector<int> labels = {0, 1, 1, 0, 0, 0, 0};
+  const PrecisionRecall pr = RangePrecisionRecallAt(scores, labels, 0.8);
+  // Predicted segments: [1,3) (hits the anomaly), [4,5) (FP).
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+// ------------------------------------------------------------ PR AUC ----
+
+TEST(RangePrAucTest, PerfectScoresGiveAucNearOne) {
+  std::vector<double> scores(100, 0.0);
+  std::vector<int> labels(100, 0);
+  for (std::size_t t = 40; t < 50; ++t) {
+    scores[t] = 1.0;
+    labels[t] = 1;
+  }
+  EXPECT_GT(RangePrAuc(scores, labels), 0.95);
+}
+
+TEST(RangePrAucTest, InvertedScoresGiveLowAuc) {
+  std::vector<double> scores(100, 1.0);
+  std::vector<int> labels(100, 0);
+  for (std::size_t t = 40; t < 50; ++t) {
+    scores[t] = 0.0;
+    labels[t] = 1;
+  }
+  // Inverted scores: only very low thresholds reach the anomaly, and then
+  // everything else is flagged too.
+  EXPECT_LT(RangePrAuc(scores, labels), 0.6);
+}
+
+TEST(RangePrAucTest, BoundedInUnitInterval) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    scores.push_back(static_cast<double>((i * 31) % 97) / 97.0);
+    labels.push_back((i / 50) % 5 == 4 ? 1 : 0);
+  }
+  const double auc = RangePrAuc(scores, labels);
+  EXPECT_GE(auc, 0.0);
+  EXPECT_LE(auc, 1.0);
+}
+
+TEST(RangePrAucTest, BetterDetectorScoresHigher) {
+  std::vector<int> labels(300, 0);
+  for (std::size_t t = 100; t < 120; ++t) labels[t] = 1;
+  std::vector<double> good(300, 0.1);
+  std::vector<double> bad(300, 0.1);
+  for (std::size_t t = 100; t < 120; ++t) good[t] = 0.9;
+  for (std::size_t t = 200; t < 220; ++t) bad[t] = 0.9;  // wrong place
+  EXPECT_GT(RangePrAuc(good, labels), RangePrAuc(bad, labels));
+}
+
+// ---------------------------------------------------- best F1 point ----
+
+TEST(BestF1Test, FindsSeparatingThreshold) {
+  std::vector<double> scores(100, 0.2);
+  std::vector<int> labels(100, 0);
+  for (std::size_t t = 30; t < 40; ++t) {
+    scores[t] = 0.8;
+    labels[t] = 1;
+  }
+  const BestOperatingPoint op = BestF1OperatingPoint(scores, labels);
+  // Threshold 0.2 would flag the whole stream (a degenerate single
+  // interval with range F1 = 1); the flag-fraction cap excludes it.
+  EXPECT_GT(op.threshold, 0.2);
+  EXPECT_LE(op.threshold, 0.8);
+  EXPECT_DOUBLE_EQ(op.precision, 1.0);
+  EXPECT_DOUBLE_EQ(op.recall, 1.0);
+  EXPECT_DOUBLE_EQ(op.f1, 1.0);
+}
+
+TEST(BestF1Test, FlagEverythingExcludedByCap) {
+  // Constant scores: the only threshold flags 100% of points. The cap
+  // rejects it and the fallback reports the (degenerate) strictest point
+  // rather than a fake perfect F1... which here is the same threshold, so
+  // the reported numbers are the honest full-coverage ones.
+  std::vector<double> scores(50, 0.5);
+  std::vector<int> labels(50, 0);
+  labels[10] = 1;
+  const BestOperatingPoint op = BestF1OperatingPoint(scores, labels);
+  EXPECT_DOUBLE_EQ(op.threshold, 0.5);
+}
+
+TEST(BestF1Test, CapRelaxationChangesOperatingPoint) {
+  std::vector<double> scores(100, 0.4);
+  std::vector<int> labels(100, 0);
+  for (std::size_t t = 0; t < 10; ++t) labels[t] = 1;
+  // With the cap lifted, the flag-everything threshold wins with F1 = 1.
+  const BestOperatingPoint relaxed =
+      BestF1OperatingPoint(scores, labels, 100, 1.0);
+  EXPECT_DOUBLE_EQ(relaxed.f1, 1.0);
+}
+
+TEST(BestF1Test, NoisyScoresStillReasonable) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 400; ++i) {
+    const bool anomaly = i >= 200 && i < 210;
+    labels.push_back(anomaly ? 1 : 0);
+    scores.push_back(anomaly ? 0.7 + 0.01 * (i % 3)
+                             : 0.3 + 0.01 * (i % 20));
+  }
+  const BestOperatingPoint op = BestF1OperatingPoint(scores, labels);
+  EXPECT_GT(op.f1, 0.9);
+}
+
+}  // namespace
+}  // namespace streamad::metrics

@@ -1,0 +1,117 @@
+#include "src/metrics/vus.h"
+
+#include <gtest/gtest.h>
+
+namespace streamad::metrics {
+namespace {
+
+TEST(BufferedLabelsTest, ZeroBufferIsPlainCopy) {
+  const std::vector<int> labels = {0, 1, 1, 0};
+  const std::vector<double> soft = BufferedLabels(labels, 0);
+  EXPECT_EQ(soft, (std::vector<double>{0.0, 1.0, 1.0, 0.0}));
+}
+
+TEST(BufferedLabelsTest, RampOnBothSides) {
+  const std::vector<int> labels = {0, 0, 0, 1, 1, 0, 0, 0};
+  const std::vector<double> soft = BufferedLabels(labels, 2);
+  // Inside stays 1.
+  EXPECT_EQ(soft[3], 1.0);
+  EXPECT_EQ(soft[4], 1.0);
+  // Ramp: distance 1 -> 2/3, distance 2 -> 1/3.
+  EXPECT_NEAR(soft[2], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(soft[1], 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(soft[0], 0.0);
+  EXPECT_NEAR(soft[5], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(soft[6], 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(soft[7], 0.0);
+}
+
+TEST(BufferedLabelsTest, RampClampedAtSeriesBorders) {
+  const std::vector<int> labels = {1, 0, 0};
+  const std::vector<double> soft = BufferedLabels(labels, 5);
+  EXPECT_EQ(soft[0], 1.0);
+  EXPECT_GT(soft[1], 0.0);
+  EXPECT_GT(soft[2], 0.0);
+  EXPECT_EQ(soft.size(), 3u);
+}
+
+TEST(BufferedLabelsTest, OverlappingRampsTakeMax) {
+  const std::vector<int> labels = {1, 0, 0, 1};
+  const std::vector<double> soft = BufferedLabels(labels, 3);
+  // Index 1: distance 1 from the left anomaly, 2 from the right -> the
+  // larger ramp value (3/4 from the left) wins.
+  EXPECT_NEAR(soft[1], 0.75, 1e-12);
+}
+
+TEST(VusTest, PerfectDetectorNearOne) {
+  std::vector<double> scores(200, 0.0);
+  std::vector<int> labels(200, 0);
+  for (std::size_t t = 90; t < 110; ++t) {
+    scores[t] = 1.0;
+    labels[t] = 1;
+  }
+  EXPECT_GT(VolumeUnderPrSurface(scores, labels), 0.8);
+}
+
+TEST(VusTest, RandomScoresScoreLow) {
+  std::vector<double> scores;
+  std::vector<int> labels(500, 0);
+  for (std::size_t t = 200; t < 210; ++t) labels[t] = 1;
+  for (int i = 0; i < 500; ++i) {
+    scores.push_back(static_cast<double>((i * 17) % 101) / 101.0);
+  }
+  EXPECT_LT(VolumeUnderPrSurface(scores, labels), 0.3);
+}
+
+TEST(VusTest, BoundedInUnitInterval) {
+  std::vector<double> scores(100, 0.5);
+  std::vector<int> labels(100, 0);
+  labels[50] = 1;
+  const double vus = VolumeUnderPrSurface(scores, labels);
+  EXPECT_GE(vus, 0.0);
+  EXPECT_LE(vus, 1.0);
+}
+
+TEST(VusTest, NearMissRewardedByBuffer) {
+  // A detector firing right BEFORE the anomaly: point-wise PR at buffer 0
+  // scores ~0, but buffered slices grant partial credit — that's VUS's
+  // reason to exist.
+  std::vector<int> labels(300, 0);
+  for (std::size_t t = 150; t < 160; ++t) labels[t] = 1;
+  std::vector<double> near_miss(300, 0.0);
+  for (std::size_t t = 140; t < 150; ++t) near_miss[t] = 1.0;
+  std::vector<double> far_miss(300, 0.0);
+  for (std::size_t t = 50; t < 60; ++t) far_miss[t] = 1.0;
+
+  VusParams params;
+  params.max_buffer = 20;
+  params.buffer_step = 5;
+  EXPECT_GT(VolumeUnderPrSurface(near_miss, labels, params),
+            VolumeUnderPrSurface(far_miss, labels, params));
+}
+
+TEST(VusTest, NoAnomaliesGivesZero) {
+  std::vector<double> scores(50, 0.5);
+  std::vector<int> labels(50, 0);
+  EXPECT_EQ(VolumeUnderPrSurface(scores, labels), 0.0);
+}
+
+TEST(VusTest, MoreFocusedPredictionScoresHigher) {
+  std::vector<int> labels(400, 0);
+  for (std::size_t t = 200; t < 220; ++t) labels[t] = 1;
+  // Focused: fires exactly on the anomaly. Diffuse: fires everywhere.
+  std::vector<double> focused(400, 0.1);
+  for (std::size_t t = 200; t < 220; ++t) focused[t] = 0.9;
+  std::vector<double> diffuse(400, 0.9);
+  EXPECT_GT(VolumeUnderPrSurface(focused, labels),
+            VolumeUnderPrSurface(diffuse, labels));
+}
+
+TEST(VusDeathTest, MismatchedLengthsAbort) {
+  std::vector<double> scores(10, 0.5);
+  std::vector<int> labels(9, 0);
+  EXPECT_DEATH(VolumeUnderPrSurface(scores, labels), "");
+}
+
+}  // namespace
+}  // namespace streamad::metrics

@@ -1,0 +1,181 @@
+#include "src/models/nbeats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/training_set.h"
+
+namespace streamad::models {
+namespace {
+
+/// Windows over a clean multichannel sinusoid: a forecastable signal.
+core::TrainingSet SineWindows(std::size_t m, std::size_t w,
+                              std::size_t channels, double noise,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  core::TrainingSet set(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    core::FeatureVector fv;
+    fv.window = linalg::Matrix(w, channels);
+    const double start = static_cast<double>(i) * 0.37;
+    for (std::size_t r = 0; r < w; ++r) {
+      for (std::size_t c = 0; c < channels; ++c) {
+        fv.window(r, c) =
+            std::sin(0.4 * (start + static_cast<double>(r)) +
+                     static_cast<double>(c)) +
+            rng.Gaussian(0.0, noise);
+      }
+    }
+    fv.t = static_cast<std::int64_t>(i + w - 1);
+    set.Add(fv);
+  }
+  return set;
+}
+
+NBeats::Params SmallParams() {
+  NBeats::Params params;
+  params.num_blocks = 2;
+  params.fc_layers = 2;
+  params.hidden = 24;
+  params.fit_epochs = 40;
+  return params;
+}
+
+TEST(NBeatsTest, IsForecastModel) {
+  NBeats model(SmallParams(), 1);
+  EXPECT_EQ(model.kind(), core::Model::Kind::kForecast);
+}
+
+TEST(NBeatsTest, PredictReturnsOneRowPerChannelSet) {
+  NBeats::Params params = SmallParams();
+  params.fit_epochs = 2;
+  NBeats model(params, 2);
+  const core::TrainingSet train = SineWindows(40, 10, 3, 0.01, 3);
+  model.Fit(train);
+  const linalg::Matrix forecast = model.Predict(train.at(0));
+  EXPECT_EQ(forecast.rows(), 1u);
+  EXPECT_EQ(forecast.cols(), 3u);
+}
+
+TEST(NBeatsTest, ForecastsCleanSinusoidBetterThanNaive) {
+  NBeats model(SmallParams(), 4);
+  const core::TrainingSet train = SineWindows(120, 12, 2, 0.01, 5);
+  model.Fit(train);
+  const core::TrainingSet test = SineWindows(40, 12, 2, 0.01, 6);
+
+  double model_err = 0.0;
+  double naive_err = 0.0;
+  for (const auto& fv : test.entries()) {
+    const linalg::Matrix forecast = model.Predict(fv);
+    for (std::size_t c = 0; c < 2; ++c) {
+      const double actual = fv.window(fv.w() - 1, c);
+      const double naive = fv.window(fv.w() - 2, c);
+      model_err += std::pow(forecast(0, c) - actual, 2);
+      naive_err += std::pow(naive - actual, 2);
+    }
+  }
+  EXPECT_LT(model_err, naive_err);
+}
+
+TEST(NBeatsTest, MoreTrainingImprovesFit) {
+  const core::TrainingSet train = SineWindows(80, 10, 2, 0.01, 7);
+  auto mean_err = [&](NBeats* model) {
+    double total = 0.0;
+    for (const auto& fv : train.entries()) {
+      const linalg::Matrix forecast = model->Predict(fv);
+      for (std::size_t c = 0; c < 2; ++c) {
+        total += std::fabs(forecast(0, c) - fv.window(fv.w() - 1, c));
+      }
+    }
+    return total;
+  };
+  NBeats::Params quick = SmallParams();
+  quick.fit_epochs = 1;
+  NBeats shallow(quick, 8);
+  shallow.Fit(train);
+  NBeats::Params longer = SmallParams();
+  longer.fit_epochs = 80;
+  NBeats deep(longer, 8);
+  deep.Fit(train);
+  EXPECT_LT(mean_err(&deep), mean_err(&shallow));
+}
+
+TEST(NBeatsTest, SingleBlockStillWorks) {
+  NBeats::Params params = SmallParams();
+  params.num_blocks = 1;
+  params.fit_epochs = 30;
+  NBeats model(params, 9);
+  const core::TrainingSet train = SineWindows(60, 8, 1, 0.01, 10);
+  model.Fit(train);
+  const linalg::Matrix forecast = model.Predict(train.at(0));
+  EXPECT_TRUE(std::isfinite(forecast(0, 0)));
+}
+
+TEST(NBeatsTest, DeepStackIsStable) {
+  NBeats::Params params = SmallParams();
+  params.num_blocks = 6;  // the double residual must keep training stable
+  params.fit_epochs = 20;
+  NBeats model(params, 11);
+  const core::TrainingSet train = SineWindows(60, 8, 2, 0.01, 12);
+  model.Fit(train);
+  const linalg::Matrix forecast = model.Predict(train.at(5));
+  for (std::size_t i = 0; i < forecast.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(forecast.at_flat(i)));
+  }
+}
+
+TEST(NBeatsTest, FinetuneImprovesOnNewRegime) {
+  NBeats model(SmallParams(), 13);
+  const core::TrainingSet train = SineWindows(80, 10, 2, 0.01, 14);
+  model.Fit(train);
+
+  // Shifted regime: same sinusoid raised by 5.
+  core::TrainingSet shifted(80);
+  for (const auto& fv : train.entries()) {
+    core::FeatureVector moved = fv;
+    for (std::size_t i = 0; i < moved.window.size(); ++i) {
+      moved.window.at_flat(i) += 5.0;
+    }
+    shifted.Add(moved);
+  }
+  auto err_on = [&](const core::TrainingSet& set) {
+    double total = 0.0;
+    for (const auto& fv : set.entries()) {
+      const linalg::Matrix forecast = model.Predict(fv);
+      for (std::size_t c = 0; c < 2; ++c) {
+        total += std::fabs(forecast(0, c) - fv.window(fv.w() - 1, c));
+      }
+    }
+    return total;
+  };
+  const double before = err_on(shifted);
+  for (int i = 0; i < 3; ++i) model.Finetune(shifted);
+  EXPECT_LT(err_on(shifted), before);
+}
+
+TEST(NBeatsTest, DeterministicForSameSeed) {
+  NBeats::Params params = SmallParams();
+  params.fit_epochs = 3;
+  NBeats a(params, 55);
+  NBeats b(params, 55);
+  const core::TrainingSet train = SineWindows(30, 8, 2, 0.01, 15);
+  a.Fit(train);
+  b.Fit(train);
+  const linalg::Matrix fa = a.Predict(train.at(4));
+  const linalg::Matrix fb = b.Predict(train.at(4));
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa.at_flat(i), fb.at_flat(i));
+  }
+}
+
+TEST(NBeatsDeathTest, PredictBeforeFitAborts) {
+  NBeats model(SmallParams(), 16);
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(6, 2);
+  EXPECT_DEATH(model.Predict(fv), "before Fit");
+}
+
+}  // namespace
+}  // namespace streamad::models

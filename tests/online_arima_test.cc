@@ -1,0 +1,302 @@
+#include "src/models/online_arima.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/training_set.h"
+
+namespace streamad::models {
+namespace {
+
+/// Builds a training set of sliding windows over a generated univariate or
+/// multivariate sequence.
+core::TrainingSet WindowsFrom(const std::vector<std::vector<double>>& seq,
+                              std::size_t w, std::size_t capacity) {
+  core::TrainingSet set(capacity);
+  for (std::size_t start = 0; start + w <= seq.size() && !set.full();
+       ++start) {
+    core::FeatureVector fv;
+    fv.window = linalg::Matrix(w, seq[0].size());
+    for (std::size_t r = 0; r < w; ++r) fv.window.SetRow(r, seq[start + r]);
+    fv.t = static_cast<std::int64_t>(start + w - 1);
+    set.Add(fv);
+  }
+  return set;
+}
+
+std::vector<std::vector<double>> Ar1Sequence(std::size_t n, double phi,
+                                             double noise_std,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> seq;
+  double x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = phi * x + rng.Gaussian(0.0, noise_std);
+    seq.push_back({x});
+  }
+  return seq;
+}
+
+/// An oscillatory AR(2): s_t = 1.2 s_{t-1} - 0.8 s_{t-2} + eps. The naive
+/// carry-forward forecast is poor on oscillations, so a learned AR model
+/// must beat it by a wide margin.
+std::vector<std::vector<double>> Ar2Sequence(std::size_t n, double noise_std,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> seq;
+  double prev = 0.0;
+  double curr = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double next =
+        1.2 * curr - 0.8 * prev + rng.Gaussian(0.0, noise_std);
+    prev = curr;
+    curr = next;
+    seq.push_back({curr});
+  }
+  return seq;
+}
+
+TEST(OnlineArimaTest, GammaInitialisedToZero) {
+  OnlineArima::Params params;
+  params.lag_order = 5;
+  OnlineArima model(params);
+  for (double g : model.gamma()) EXPECT_EQ(g, 0.0);
+}
+
+TEST(OnlineArimaTest, ZeroGammaPredictsLastValueWithD1) {
+  // With gamma = 0 and d = 1 the forecast collapses to the integration
+  // term nabla^0 s_{t-1} = s_{t-1}: the naive carry-forward forecast.
+  OnlineArima::Params params;
+  params.lag_order = 3;
+  params.diff_order = 1;
+  OnlineArima model(params);
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(6, 1);
+  for (std::size_t r = 0; r < 6; ++r) {
+    fv.window(r, 0) = static_cast<double>(r * r);
+  }
+  const linalg::Matrix forecast = model.Predict(fv);
+  EXPECT_DOUBLE_EQ(forecast(0, 0), fv.window(4, 0));
+}
+
+TEST(OnlineArimaTest, LearnsOscillatoryAr2Process) {
+  const auto seq = Ar2Sequence(800, 0.05, 3);
+  OnlineArima::Params params;
+  params.lag_order = 4;
+  params.diff_order = 0;
+  params.learning_rate = 0.05;
+  params.fit_epochs = 30;
+  OnlineArima model(params);
+  const core::TrainingSet train = WindowsFrom(seq, 12, 500);
+  model.Fit(train);
+
+  // Forecast error on held-out windows must beat the naive last-value
+  // forecast clearly (carry-forward is terrible on oscillations).
+  const core::TrainingSet test =
+      WindowsFrom(Ar2Sequence(200, 0.05, 4), 12, 100);
+  double model_err = 0.0;
+  double naive_err = 0.0;
+  for (const auto& fv : test.entries()) {
+    const double actual = fv.window(fv.w() - 1, 0);
+    const double naive = fv.window(fv.w() - 2, 0);
+    const double predicted = model.Predict(fv)(0, 0);
+    model_err += (predicted - actual) * (predicted - actual);
+    naive_err += (naive - actual) * (naive - actual);
+  }
+  EXPECT_LT(model_err, naive_err * 0.5);
+}
+
+TEST(OnlineArimaTest, TracksLinearTrendWithD1) {
+  // A perfect line: with d=1 the differenced series is constant, so even
+  // gamma = 0 predicts exactly; with training, gamma stays finite.
+  std::vector<std::vector<double>> seq;
+  for (std::size_t i = 0; i < 100; ++i) {
+    seq.push_back({0.5 * static_cast<double>(i)});
+  }
+  OnlineArima::Params params;
+  params.lag_order = 3;
+  params.diff_order = 1;
+  OnlineArima model(params);
+  const core::TrainingSet train = WindowsFrom(seq, 10, 50);
+  model.Fit(train);
+  const auto& fv = train.at(train.size() - 1);
+  const double actual = fv.window(fv.w() - 1, 0);
+  EXPECT_NEAR(model.Predict(fv)(0, 0), actual, 0.6);
+}
+
+TEST(OnlineArimaTest, MultivariateSharesGammaAcrossChannels) {
+  // Two identical channels: the prediction must be identical per channel.
+  std::vector<std::vector<double>> seq;
+  Rng rng(5);
+  double x = 0.0;
+  for (std::size_t i = 0; i < 80; ++i) {
+    x = 0.7 * x + rng.Gaussian(0.0, 0.1);
+    seq.push_back({x, x});
+  }
+  OnlineArima::Params params;
+  params.lag_order = 3;
+  params.diff_order = 1;
+  OnlineArima model(params);
+  const core::TrainingSet train = WindowsFrom(seq, 8, 40);
+  model.Fit(train);
+  const linalg::Matrix forecast = model.Predict(train.at(10));
+  EXPECT_EQ(forecast.cols(), 2u);
+  EXPECT_NEAR(forecast(0, 0), forecast(0, 1), 1e-12);
+}
+
+TEST(OnlineArimaTest, FinetuneIsOneEpoch) {
+  const auto seq = Ar1Sequence(200, 0.8, 0.05, 7);
+  OnlineArima::Params params;
+  params.lag_order = 4;
+  params.fit_epochs = 1;
+  OnlineArima model_fit(params);
+  OnlineArima model_ft(params);
+  const core::TrainingSet train = WindowsFrom(seq, 12, 100);
+  // Fit with 1 epoch == Fit-from-zero + nothing, so a second Finetune must
+  // equal a 2-epoch fit.
+  OnlineArima::Params params2 = params;
+  params2.fit_epochs = 2;
+  OnlineArima model_2ep(params2);
+  model_2ep.Fit(train);
+  model_ft.Fit(train);
+  model_ft.Finetune(train);
+  ASSERT_EQ(model_ft.gamma().size(), model_2ep.gamma().size());
+  for (std::size_t i = 0; i < model_ft.gamma().size(); ++i) {
+    EXPECT_NEAR(model_ft.gamma()[i], model_2ep.gamma()[i], 1e-12);
+  }
+}
+
+TEST(OnlineArimaTest, GradientClippingBoundsStep) {
+  OnlineArima::Params params;
+  params.lag_order = 2;
+  params.diff_order = 0;
+  params.learning_rate = 1.0;
+  params.grad_clip = 0.001;  // tiny clip
+  OnlineArima model(params);
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(4, 1);
+  fv.window(0, 0) = 1e6;  // enormous values would explode without clipping
+  fv.window(1, 0) = 1e6;
+  fv.window(2, 0) = 1e6;
+  fv.window(3, 0) = 1e6;
+  model.GradStep(fv);
+  double norm = 0.0;
+  for (double g : model.gamma()) norm += g * g;
+  EXPECT_LE(std::sqrt(norm), 0.001 + 1e-12);
+}
+
+TEST(OnlineArimaOnsTest, OnsLearnsAr2Process) {
+  const auto seq = Ar2Sequence(800, 0.05, 31);
+  OnlineArima::Params params;
+  params.lag_order = 4;
+  params.diff_order = 0;
+  params.optimizer = OnlineArima::Optimizer::kOns;
+  params.learning_rate = 0.5;
+  params.fit_epochs = 10;
+  OnlineArima model(params);
+  model.Fit(WindowsFrom(seq, 12, 500));
+
+  const core::TrainingSet test =
+      WindowsFrom(Ar2Sequence(200, 0.05, 32), 12, 100);
+  double model_err = 0.0;
+  double naive_err = 0.0;
+  for (const auto& fv : test.entries()) {
+    const double actual = fv.window(fv.w() - 1, 0);
+    const double naive = fv.window(fv.w() - 2, 0);
+    const double predicted = model.Predict(fv)(0, 0);
+    model_err += (predicted - actual) * (predicted - actual);
+    naive_err += (naive - actual) * (naive - actual);
+  }
+  EXPECT_LT(model_err, naive_err * 0.5);
+}
+
+TEST(OnlineArimaOnsTest, OnsNeedsFewerEpochsThanOgd) {
+  // The second-order metric adapts per-coordinate step sizes; with the
+  // same small epoch budget it should fit the AR(2) at least as well.
+  const auto seq = Ar2Sequence(600, 0.05, 33);
+  const core::TrainingSet train = WindowsFrom(seq, 12, 400);
+  const core::TrainingSet test =
+      WindowsFrom(Ar2Sequence(150, 0.05, 34), 12, 80);
+
+  auto test_error = [&](OnlineArima* model) {
+    double err = 0.0;
+    for (const auto& fv : test.entries()) {
+      const double actual = fv.window(fv.w() - 1, 0);
+      err += std::pow(model->Predict(fv)(0, 0) - actual, 2);
+    }
+    return err;
+  };
+
+  OnlineArima::Params ogd;
+  ogd.lag_order = 4;
+  ogd.diff_order = 0;
+  ogd.fit_epochs = 2;
+  ogd.learning_rate = 0.05;
+  OnlineArima ogd_model(ogd);
+  ogd_model.Fit(train);
+
+  OnlineArima::Params ons = ogd;
+  ons.optimizer = OnlineArima::Optimizer::kOns;
+  ons.learning_rate = 0.5;
+  OnlineArima ons_model(ons);
+  ons_model.Fit(train);
+
+  EXPECT_LE(test_error(&ons_model), test_error(&ogd_model) * 1.2);
+}
+
+TEST(OnlineArimaOnsTest, OnsStableUnderLargeGradients) {
+  OnlineArima::Params params;
+  params.lag_order = 3;
+  params.diff_order = 0;
+  params.optimizer = OnlineArima::Optimizer::kOns;
+  params.learning_rate = 1.0;
+  OnlineArima model(params);
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(6, 1);
+  for (std::size_t r = 0; r < 6; ++r) fv.window(r, 0) = 1e3;
+  for (int i = 0; i < 50; ++i) model.GradStep(fv);
+  for (double g : model.gamma()) {
+    EXPECT_TRUE(std::isfinite(g));
+  }
+}
+
+TEST(OnlineArimaDeathTest, WindowTooShortAborts) {
+  OnlineArima::Params params;
+  params.lag_order = 10;
+  params.diff_order = 1;
+  OnlineArima model(params);
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(5, 1);  // needs >= 12 rows
+  EXPECT_DEATH(model.Predict(fv), "window too short");
+}
+
+// Sweep differencing orders: the forecast of a degree-d polynomial with
+// differencing order d+1 is exact even with zero gamma.
+class ArimaDiffOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArimaDiffOrderTest, PolynomialTrendExactWithMatchingD) {
+  const int degree = GetParam();
+  std::vector<std::vector<double>> seq;
+  for (std::size_t i = 0; i < 40; ++i) {
+    seq.push_back({std::pow(static_cast<double>(i) * 0.1, degree)});
+  }
+  OnlineArima::Params params;
+  params.lag_order = 2;
+  params.diff_order = static_cast<std::size_t>(degree) + 1;
+  OnlineArima model(params);  // gamma = 0: pure integration terms
+  const core::TrainingSet train = WindowsFrom(seq, 12, 20);
+  const auto& fv = train.at(5);
+  const double actual = fv.window(fv.w() - 1, 0);
+  // The d-fold integration of a degree-(d-1)-exact difference
+  // reconstructs the polynomial up to the step discretisation error.
+  const double tolerance = degree == 0 ? 1e-12 : 0.5;
+  EXPECT_NEAR(model.Predict(fv)(0, 0), actual, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, ArimaDiffOrderTest,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace streamad::models

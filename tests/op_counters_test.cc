@@ -1,0 +1,102 @@
+#include "src/common/op_counters.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/strategies/mu_sigma_change.h"
+#include "src/strategies/sliding_window.h"
+
+namespace streamad {
+namespace {
+
+TEST(OpCountersTest, ResetAndTotal) {
+  OpCounters counters;
+  counters.additions = 3;
+  counters.multiplications = 4;
+  counters.comparisons = 5;
+  EXPECT_EQ(counters.Total(), 12u);
+  counters.Reset();
+  EXPECT_EQ(counters.Total(), 0u);
+}
+
+TEST(Table2FormulasTest, MuSigmaMatchesPaper) {
+  // Table II: 6Nw adds, 2Nw muls, 3Nw comparisons.
+  EXPECT_EQ(Table2Formulas::MuSigmaAdditions(9, 100), 6u * 9u * 100u);
+  EXPECT_EQ(Table2Formulas::MuSigmaMultiplications(9, 100), 2u * 9u * 100u);
+  EXPECT_EQ(Table2Formulas::MuSigmaComparisons(9, 100), 3u * 9u * 100u);
+}
+
+TEST(Table2FormulasTest, KswinMatchesPaper) {
+  // Table II: 2Nmw adds and muls.
+  EXPECT_EQ(Table2Formulas::KswinAdditions(9, 50, 100),
+            2u * 9u * 50u * 100u);
+  EXPECT_EQ(Table2Formulas::KswinMultiplications(9, 50, 100),
+            2u * 9u * 50u * 100u);
+  // Comparisons: (1 + 4m) N w log2(mw) + N, with ceil(log2(5000)) = 13.
+  EXPECT_EQ(Table2Formulas::KswinComparisons(9, 50, 100),
+            (1u + 4u * 50u) * 9u * 100u * 13u + 9u);
+}
+
+TEST(Table2FormulasTest, KswinDominatesMuSigma) {
+  // The paper's point: the KSWIN cost carries the extra factor m.
+  for (std::uint64_t m : {50u, 150u, 500u}) {
+    EXPECT_GT(Table2Formulas::KswinAdditions(9, m, 100),
+              Table2Formulas::MuSigmaAdditions(9, 100) * (m / 4));
+  }
+}
+
+TEST(OpCountersIntegrationTest, MuSigmaTalliesScaleWithDimensions) {
+  // Twice the channels -> twice the per-step arithmetic.
+  auto measure = [](std::size_t channels) {
+    Rng rng(3);
+    strategies::SlidingWindow strategy(20);
+    strategies::MuSigmaChange detector;
+    OpCounters counters;
+    std::int64_t t = 0;
+    auto offer = [&]() {
+      core::FeatureVector fv;
+      fv.window = linalg::Matrix(5, channels);
+      for (std::size_t i = 0; i < fv.window.size(); ++i) {
+        fv.window.at_flat(i) = rng.Gaussian();
+      }
+      fv.t = t;
+      const auto update = strategy.Offer(fv, 0.0);
+      detector.Observe(strategy.set(), update, t);
+      detector.ShouldFinetune(strategy.set(), t);
+      ++t;
+    };
+    for (int i = 0; i < 20; ++i) offer();
+    detector.OnFinetune(strategy.set(), t);
+    detector.AttachOpCounters(&counters);
+    for (int i = 0; i < 10; ++i) offer();
+    return counters.additions;
+  };
+  const std::uint64_t narrow = measure(4);
+  const std::uint64_t wide = measure(8);
+  EXPECT_NEAR(static_cast<double>(wide) / static_cast<double>(narrow), 2.0,
+              0.2);
+}
+
+TEST(OpCountersIntegrationTest, DetachStopsTallying) {
+  Rng rng(4);
+  strategies::SlidingWindow strategy(10);
+  strategies::MuSigmaChange detector;
+  OpCounters counters;
+  detector.AttachOpCounters(&counters);
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(3, 2, 1.0);
+  fv.t = 0;
+  const auto update = strategy.Offer(fv, 0.0);
+  detector.Observe(strategy.set(), update, 0);
+  const std::uint64_t after_attach = counters.Total();
+  EXPECT_GT(after_attach, 0u);
+
+  detector.AttachOpCounters(nullptr);
+  fv.t = 1;
+  const auto update2 = strategy.Offer(fv, 0.0);
+  detector.Observe(strategy.set(), update2, 1);
+  EXPECT_EQ(counters.Total(), after_attach);
+}
+
+}  // namespace
+}  // namespace streamad

@@ -1,0 +1,70 @@
+#include "src/harness/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace streamad::harness {
+namespace {
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelFor(kCount, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroCountIsNoOp) {
+  bool called = false;
+  ParallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<std::size_t> order;
+  ParallelFor(
+      5, [&](std::size_t i) { order.push_back(i); }, /*max_threads=*/1);
+  // Serial execution preserves order.
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ResultsIndependentOfThreadCount) {
+  constexpr std::size_t kCount = 200;
+  auto run = [&](std::size_t threads) {
+    std::vector<double> out(kCount);
+    ParallelFor(
+        kCount,
+        [&](std::size_t i) {
+          out[i] = static_cast<double>(i) * 1.5 + 1.0;
+        },
+        threads);
+    return out;
+  };
+  const std::vector<double> serial = run(1);
+  const std::vector<double> parallel = run(8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWorkIsSafe) {
+  std::atomic<int> total{0};
+  ParallelFor(
+      3, [&](std::size_t) { ++total; }, /*max_threads=*/64);
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ParallelForTest, AggregationAcrossThreads) {
+  constexpr std::size_t kCount = 10000;
+  std::vector<long> values(kCount);
+  ParallelFor(kCount, [&](std::size_t i) {
+    values[i] = static_cast<long>(i);
+  });
+  const long sum = std::accumulate(values.begin(), values.end(), 0L);
+  EXPECT_EQ(sum, static_cast<long>(kCount) * (kCount - 1) / 2);
+}
+
+}  // namespace
+}  // namespace streamad::harness

@@ -1,0 +1,171 @@
+#include "src/models/pcb_iforest.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/training_set.h"
+
+namespace streamad::models {
+namespace {
+
+core::FeatureVector PointWindow(const std::vector<double>& point,
+                                std::size_t w, std::int64_t t) {
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(w, point.size());
+  for (std::size_t r = 0; r < w; ++r) fv.window.SetRow(r, point);
+  fv.t = t;
+  return fv;
+}
+
+core::TrainingSet GaussianTrainingSet(std::size_t m, std::size_t dims,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  core::TrainingSet set(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<double> point(dims);
+    for (double& v : point) v = rng.Gaussian();
+    set.Add(PointWindow(point, 3, static_cast<std::int64_t>(i)));
+  }
+  return set;
+}
+
+TEST(PcbIForestTest, IsScoringModel) {
+  PcbIForest::Params params;
+  PcbIForest model(params, 1);
+  EXPECT_EQ(model.kind(), core::Model::Kind::kScore);
+}
+
+TEST(PcbIForestTest, ScoresOutlierAboveInlier) {
+  PcbIForest::Params params;
+  params.forest.num_trees = 60;
+  PcbIForest model(params, 2);
+  model.Fit(GaussianTrainingSet(200, 2, 3));
+  const double outlier =
+      model.AnomalyScore(PointWindow({8.0, 8.0}, 3, 1000));
+  const double inlier =
+      model.AnomalyScore(PointWindow({0.0, 0.1}, 3, 1001));
+  EXPECT_GT(outlier, inlier);
+}
+
+TEST(PcbIForestTest, ScoreInUnitInterval) {
+  PcbIForest::Params params;
+  PcbIForest model(params, 4);
+  model.Fit(GaussianTrainingSet(100, 3, 5));
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const double s = model.AnomalyScore(
+        PointWindow({rng.Uniform(-20, 20), rng.Uniform(-20, 20),
+                     rng.Uniform(-20, 20)},
+                    3, i));
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(PcbIForestTest, CountersInitialisedToZeroOnFit) {
+  PcbIForest::Params params;
+  params.forest.num_trees = 10;
+  PcbIForest model(params, 7);
+  model.Fit(GaussianTrainingSet(50, 2, 8));
+  ASSERT_EQ(model.performance_counters().size(), 10u);
+  for (int c : model.performance_counters()) EXPECT_EQ(c, 0);
+}
+
+TEST(PcbIForestTest, CountersMoveWithScoring) {
+  PcbIForest::Params params;
+  params.forest.num_trees = 20;
+  PcbIForest model(params, 9);
+  const core::TrainingSet train = GaussianTrainingSet(100, 2, 10);
+  model.Fit(train);
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    model.AnomalyScore(
+        PointWindow({rng.Gaussian(), rng.Gaussian()}, 3, i));
+  }
+  // Counter parity: every score moves every counter by +-1, so after 30
+  // scores each counter has the parity of 30 and lies within [-30, 30].
+  for (int c : model.performance_counters()) {
+    EXPECT_EQ((c + 30) % 2, 0);
+    EXPECT_GE(c, -30);
+    EXPECT_LE(c, 30);
+  }
+}
+
+TEST(PcbIForestTest, FinetuneCullsNonPositiveTreesAndResetsCounters) {
+  PcbIForest::Params params;
+  params.forest.num_trees = 25;
+  PcbIForest model(params, 12);
+  const core::TrainingSet train = GaussianTrainingSet(100, 2, 13);
+  model.Fit(train);
+  Rng rng(14);
+  for (int i = 0; i < 21; ++i) {  // odd count: no counter can be zero
+    model.AnomalyScore(
+        PointWindow({rng.Gaussian(), rng.Gaussian()}, 3, i));
+  }
+  int non_positive = 0;
+  for (int c : model.performance_counters()) {
+    non_positive += c <= 0 ? 1 : 0;
+  }
+  model.Finetune(train);
+  EXPECT_EQ(model.num_trees(), 25u);  // culled trees are replaced
+  EXPECT_EQ(model.total_culled(), static_cast<std::size_t>(non_positive));
+  for (int c : model.performance_counters()) EXPECT_EQ(c, 0);
+}
+
+TEST(PcbIForestTest, CullingDisabledOnlyResetsCounters) {
+  PcbIForest::Params params;
+  params.forest.num_trees = 15;
+  PcbIForest model(params, 15);
+  model.set_culling_enabled(false);
+  const core::TrainingSet train = GaussianTrainingSet(80, 2, 16);
+  model.Fit(train);
+  Rng rng(17);
+  for (int i = 0; i < 11; ++i) {
+    model.AnomalyScore(
+        PointWindow({rng.Gaussian(), rng.Gaussian()}, 3, i));
+  }
+  model.Finetune(train);
+  EXPECT_EQ(model.total_culled(), 0u);
+  for (int c : model.performance_counters()) EXPECT_EQ(c, 0);
+}
+
+TEST(PcbIForestTest, AdaptsToDriftAfterFinetunes) {
+  // After drift to a new cluster centre, fine-tuning on the new training
+  // set must make the new centre normal again.
+  PcbIForest::Params params;
+  params.forest.num_trees = 40;
+  PcbIForest model(params, 18);
+  model.Fit(GaussianTrainingSet(150, 2, 19));
+  const double before =
+      model.AnomalyScore(PointWindow({6.0, 6.0}, 3, 500));
+
+  // New regime centred at (6, 6).
+  Rng rng(20);
+  core::TrainingSet drifted(150);
+  for (std::size_t i = 0; i < 150; ++i) {
+    drifted.Add(PointWindow({rng.Gaussian(6.0, 1.0), rng.Gaussian(6.0, 1.0)},
+                            3, static_cast<std::int64_t>(i)));
+  }
+  // A couple of fine-tunes with fresh data cull stale trees.
+  model.Finetune(drifted);
+  model.Finetune(drifted);
+  const double after = model.AnomalyScore(PointWindow({6.0, 6.0}, 3, 501));
+  EXPECT_LT(after, before);
+}
+
+TEST(PcbIForestDeathTest, PredictAborts) {
+  PcbIForest::Params params;
+  PcbIForest model(params, 21);
+  model.Fit(GaussianTrainingSet(30, 2, 22));
+  core::FeatureVector fv = PointWindow({0.0, 0.0}, 3, 0);
+  EXPECT_DEATH(model.Predict(fv), "scoring model");
+}
+
+TEST(PcbIForestDeathTest, ScoreBeforeFitAborts) {
+  PcbIForest::Params params;
+  PcbIForest model(params, 23);
+  EXPECT_DEATH(model.AnomalyScore(PointWindow({0.0}, 3, 0)), "before Fit");
+}
+
+}  // namespace
+}  // namespace streamad::models

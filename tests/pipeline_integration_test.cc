@@ -1,0 +1,218 @@
+// End-to-end pipeline tests crossing module boundaries: generator → CSV →
+// preprocessing → detector → metrics, serial-vs-parallel sweep
+// equivalence, and checkpoint-resume inside a harness run.
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/algorithm_spec.h"
+#include "src/data/csv.h"
+#include "src/data/daphnet_like.h"
+#include "src/data/preprocess.h"
+#include "src/data/smd_like.h"
+#include "src/harness/experiment.h"
+#include "src/harness/parallel.h"
+
+namespace streamad {
+namespace {
+
+core::DetectorParams FastParams() {
+  core::DetectorParams params;
+  params.window = 8;
+  params.train_capacity = 40;
+  params.initial_train_steps = 120;
+  params.scorer_k = 20;
+  params.scorer_k_short = 3;
+  params.ae.fit_epochs = 8;
+  params.kswin.check_every = 4;
+  return params;
+}
+
+data::Corpus SmallCorpus(std::uint64_t seed) {
+  data::GeneratorConfig gen;
+  gen.length = 1000;
+  gen.normal_prefix = 350;
+  gen.num_series = 1;
+  gen.num_anomalies = 3;
+  gen.num_drifts = 1;
+  gen.seed = seed;
+  return data::MakeDaphnetLike(gen);
+}
+
+TEST(PipelineTest, CsvRoundTripPreservesDetectionExactly) {
+  // A series written to CSV and reloaded must produce the identical
+  // detection trace — the CSV layer is how real corpora enter the
+  // harness, so any loss there would silently skew every evaluation.
+  const data::Corpus corpus = SmallCorpus(5);
+  const std::string path = ::testing::TempDir() + "/pipeline.csv";
+  ASSERT_TRUE(data::SaveCsv(corpus.series[0], path));
+  const auto reloaded = data::LoadCsv(path);
+  ASSERT_TRUE(reloaded.has_value());
+
+  const core::AlgorithmSpec spec{core::ModelType::kTwoLayerAe,
+                                 core::Task1::kSlidingWindow,
+                                 core::Task2::kMuSigma};
+  auto run = [&](const data::LabeledSeries& series) {
+    auto detector = core::BuildDetector(spec, core::ScoreType::kAverage,
+                                        FastParams(), 7);
+    return harness::RunDetector(detector.get(), series);
+  };
+  const harness::RunTrace a = run(corpus.series[0]);
+  const harness::RunTrace b = run(*reloaded);
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  for (std::size_t i = 0; i < a.scores.size(); ++i) {
+    // CSV stores decimal text; round-tripped values land within the
+    // default ostream precision of the originals.
+    ASSERT_NEAR(a.scores[i], b.scores[i], 1e-4) << "i=" << i;
+  }
+  EXPECT_EQ(a.finetune_steps, b.finetune_steps);
+}
+
+TEST(PipelineTest, StandardizationPreservesLabelsAndImprovesNothingByMagic) {
+  // Standardising must not move anomaly labels or change their count, and
+  // on an already zero-mean corpus it must leave detection quality in the
+  // same ballpark (it is a reparametrisation, not an oracle).
+  data::Corpus corpus = SmallCorpus(9);
+  const std::size_t points_before = corpus.series[0].AnomalyPointCount();
+  data::StandardizePerChannel(&corpus, 200);
+  EXPECT_EQ(corpus.series[0].AnomalyPointCount(), points_before);
+
+  const core::AlgorithmSpec spec{core::ModelType::kTwoLayerAe,
+                                 core::Task1::kSlidingWindow,
+                                 core::Task2::kMuSigma};
+  harness::EvalConfig config;
+  config.params = FastParams();
+  config.seed = 7;
+  const harness::MetricSummary m = harness::EvaluateAlgorithmOnCorpus(
+      spec, core::ScoreType::kAnomalyLikelihood, corpus, config);
+  EXPECT_GE(m.pr_auc, 0.0);
+  EXPECT_LE(m.pr_auc, 1.0);
+}
+
+TEST(PipelineTest, SweepResultsIndependentOfParallelism) {
+  // The Table III fan-out must produce the same numbers regardless of
+  // thread count: detectors are deterministic and slots pre-allocated.
+  const data::Corpus corpus = SmallCorpus(11);
+  const std::vector<core::AlgorithmSpec> specs = {
+      {core::ModelType::kOnlineArima, core::Task1::kSlidingWindow,
+       core::Task2::kMuSigma},
+      {core::ModelType::kTwoLayerAe, core::Task1::kUniformReservoir,
+       core::Task2::kKswin},
+      {core::ModelType::kNearestNeighbor,
+       core::Task1::kAnomalyAwareReservoir, core::Task2::kMuSigma},
+  };
+  harness::EvalConfig config;
+  config.params = FastParams();
+  config.seed = 13;
+
+  auto sweep = [&](std::size_t threads) {
+    std::vector<harness::MetricSummary> results(specs.size());
+    harness::ParallelFor(
+        specs.size(),
+        [&](std::size_t i) {
+          results[i] = harness::EvaluateAlgorithmOnCorpus(
+              specs[i], core::ScoreType::kAverage, corpus, config);
+        },
+        threads);
+    return results;
+  };
+  const auto serial = sweep(1);
+  const auto parallel = sweep(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].pr_auc, parallel[i].pr_auc) << i;
+    EXPECT_EQ(serial[i].nab, parallel[i].nab) << i;
+    EXPECT_EQ(serial[i].precision, parallel[i].precision) << i;
+  }
+}
+
+TEST(PipelineTest, CheckpointSplitsHarnessRunWithoutChangingMetrics) {
+  // Run a series half-way, checkpoint, restore, finish — the stitched
+  // trace must equal an uninterrupted run, so monitors can restart
+  // without skewing their evaluation.
+  const data::Corpus corpus = SmallCorpus(17);
+  const data::LabeledSeries& series = corpus.series[0];
+  const core::AlgorithmSpec spec{core::ModelType::kUsad,
+                                 core::Task1::kSlidingWindow,
+                                 core::Task2::kMuSigma};
+
+  auto uninterrupted = core::BuildDetector(
+      spec, core::ScoreType::kAnomalyLikelihood, FastParams(), 19);
+  const harness::RunTrace full =
+      harness::RunDetector(uninterrupted.get(), series);
+
+  auto first_half = core::BuildDetector(
+      spec, core::ScoreType::kAnomalyLikelihood, FastParams(), 19);
+  std::vector<double> stitched;
+  const std::size_t split = series.length() / 2;
+  for (std::size_t t = 0; t < split; ++t) {
+    const auto result = first_half->Step(series.At(t));
+    if (result.scored) stitched.push_back(result.anomaly_score);
+  }
+  std::stringstream checkpoint;
+  ASSERT_TRUE(first_half->SaveState(&checkpoint));
+
+  auto second_half = core::BuildDetector(
+      spec, core::ScoreType::kAnomalyLikelihood, FastParams(), 555);
+  ASSERT_TRUE(second_half->LoadState(&checkpoint));
+  for (std::size_t t = split; t < series.length(); ++t) {
+    const auto result = second_half->Step(series.At(t));
+    if (result.scored) stitched.push_back(result.anomaly_score);
+  }
+
+  ASSERT_EQ(stitched.size(), full.scores.size());
+  for (std::size_t i = 0; i < stitched.size(); ++i) {
+    ASSERT_EQ(stitched[i], full.scores[i]) << "i=" << i;
+  }
+}
+
+TEST(PipelineTest, ScoreModelPipelineEndToEnd) {
+  // The kScore path (PCB) through generator → preprocessing → harness →
+  // metrics, on the corpus its point-wise nature suits (SMD-like spikes).
+  data::GeneratorConfig gen;
+  gen.length = 1200;
+  gen.normal_prefix = 400;
+  gen.num_series = 1;
+  gen.num_anomalies = 3;
+  gen.num_drifts = 1;
+  gen.seed = 23;
+  data::Corpus corpus = data::MakeSmdLike(gen);
+  data::StandardizePerChannel(&corpus, 200);
+
+  core::DetectorParams params = FastParams();
+  params.pcb.forest.num_trees = 30;
+  const core::AlgorithmSpec spec{core::ModelType::kPcbIForest,
+                                 core::Task1::kSlidingWindow,
+                                 core::Task2::kKswin};
+  auto detector = core::BuildDetector(
+      spec, core::ScoreType::kAnomalyLikelihood, params, 29);
+  const harness::RunTrace trace =
+      harness::RunDetector(detector.get(), corpus.series[0]);
+  const harness::MetricSummary m =
+      harness::Evaluate(trace, corpus.series[0]);
+  // Range metrics are noisy at this tiny scale; the robust directional
+  // check is that the forest's raw nonconformity separates the
+  // point-visible spikes from normal data.
+  const std::vector<int> labels = trace.AlignedLabels(corpus.series[0]);
+  double in_sum = 0.0;
+  double out_sum = 0.0;
+  std::size_t in_count = 0;
+  std::size_t out_count = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] != 0) {
+      in_sum += trace.nonconformities[i];
+      ++in_count;
+    } else {
+      out_sum += trace.nonconformities[i];
+      ++out_count;
+    }
+  }
+  ASSERT_GT(in_count, 0u);
+  EXPECT_GT(in_sum / in_count, out_sum / out_count);
+  EXPECT_GT(m.recall, 0.3);
+}
+
+}  // namespace
+}  // namespace streamad

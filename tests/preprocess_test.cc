@@ -1,0 +1,111 @@
+#include "src/data/preprocess.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/data/daphnet_like.h"
+
+namespace streamad::data {
+namespace {
+
+LabeledSeries MakeSeries(std::size_t length, std::size_t channels,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  LabeledSeries series;
+  series.name = "test";
+  series.values = linalg::Matrix(length, channels);
+  for (std::size_t t = 0; t < length; ++t) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      series.values(t, c) =
+          rng.Gaussian(10.0 * static_cast<double>(c + 1), 2.0);
+    }
+  }
+  series.labels.assign(length, 0);
+  return series;
+}
+
+TEST(PreprocessTest, CalibrationPrefixBecomesStandardNormal) {
+  LabeledSeries series = MakeSeries(1000, 3, 1);
+  StandardizePerChannel(&series, 500);
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0;
+    for (std::size_t t = 0; t < 500; ++t) mean += series.values(t, c);
+    mean /= 500.0;
+    double var = 0.0;
+    for (std::size_t t = 0; t < 500; ++t) {
+      var += std::pow(series.values(t, c) - mean, 2);
+    }
+    var /= 500.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(PreprocessTest, TransformIsCausal) {
+  // Changing the suffix must not change how the prefix is transformed.
+  LabeledSeries a = MakeSeries(1000, 2, 2);
+  LabeledSeries b = a;
+  for (std::size_t t = 500; t < 1000; ++t) {
+    b.values(t, 0) += 100.0;  // wildly different suffix
+  }
+  StandardizePerChannel(&a, 400);
+  StandardizePerChannel(&b, 400);
+  for (std::size_t t = 0; t < 400; ++t) {
+    EXPECT_EQ(a.values(t, 0), b.values(t, 0));
+    EXPECT_EQ(a.values(t, 1), b.values(t, 1));
+  }
+}
+
+TEST(PreprocessTest, RelativeStructurePreserved) {
+  // An anomaly that is K sigma away stays K sigma away.
+  LabeledSeries series = MakeSeries(600, 1, 3);
+  series.values(550, 0) += 10.0;  // 5-sigma spike (channel std 2.0)
+  StandardizePerChannel(&series, 500);
+  // Neighbouring points sit near 0; the spike sits ~5 above them.
+  const double spike = series.values(550, 0);
+  const double neighbour = series.values(549, 0);
+  EXPECT_NEAR(spike - neighbour, 5.0, 1.0);
+}
+
+TEST(PreprocessTest, ConstantChannelOnlyCentred) {
+  LabeledSeries series = MakeSeries(100, 1, 4);
+  for (std::size_t t = 0; t < 100; ++t) series.values(t, 0) = 7.0;
+  StandardizePerChannel(&series, 50);
+  for (std::size_t t = 0; t < 100; ++t) {
+    EXPECT_EQ(series.values(t, 0), 0.0);
+  }
+}
+
+TEST(PreprocessTest, LabelsUntouched) {
+  LabeledSeries series = MakeSeries(200, 2, 5);
+  series.labels[42] = 1;
+  StandardizePerChannel(&series, 100);
+  EXPECT_EQ(series.labels[42], 1);
+  EXPECT_EQ(series.AnomalyPointCount(), 1u);
+}
+
+TEST(PreprocessTest, CorpusOverloadTransformsAllSeries) {
+  GeneratorConfig gen;
+  gen.length = 1500;
+  gen.normal_prefix = 600;
+  gen.num_series = 2;
+  gen.seed = 6;
+  Corpus corpus = MakeDaphnetLike(gen);
+  StandardizePerChannel(&corpus, 300);
+  for (const LabeledSeries& series : corpus.series) {
+    double mean = 0.0;
+    for (std::size_t t = 0; t < 300; ++t) mean += series.values(t, 0);
+    EXPECT_NEAR(mean / 300.0, 0.0, 1e-9);
+  }
+}
+
+TEST(PreprocessDeathTest, BadCalibrationAborts) {
+  LabeledSeries series = MakeSeries(100, 1, 7);
+  EXPECT_DEATH(StandardizePerChannel(&series, 1), "calibration too short");
+  EXPECT_DEATH(StandardizePerChannel(&series, 101), "longer than series");
+}
+
+}  // namespace
+}  // namespace streamad::data

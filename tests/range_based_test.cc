@@ -1,0 +1,107 @@
+#include "src/metrics/range_based.h"
+
+#include <gtest/gtest.h>
+
+namespace streamad::metrics {
+namespace {
+
+TEST(RangeBasedTest, PerfectMatchScoresOne) {
+  const std::vector<Interval> ranges = {{10, 20}, {40, 50}};
+  const RangeBasedResult r = RangeBasedPrecisionRecall(ranges, ranges);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+}
+
+TEST(RangeBasedTest, EmptyConventions) {
+  const RangeBasedResult none =
+      RangeBasedPrecisionRecall({}, {});
+  EXPECT_DOUBLE_EQ(none.precision, 1.0);
+  EXPECT_DOUBLE_EQ(none.recall, 1.0);
+
+  const RangeBasedResult miss =
+      RangeBasedPrecisionRecall({{5, 10}}, {});
+  EXPECT_DOUBLE_EQ(miss.precision, 1.0);
+  EXPECT_DOUBLE_EQ(miss.recall, 0.0);
+
+  const RangeBasedResult phantom =
+      RangeBasedPrecisionRecall({}, {{5, 10}});
+  EXPECT_DOUBLE_EQ(phantom.precision, 0.0);
+  EXPECT_DOUBLE_EQ(phantom.recall, 1.0);
+}
+
+TEST(RangeBasedTest, PartialOverlapScoresFraction) {
+  // Truth [0,10); prediction covers [0,5): recall = 0.5 (alpha = 0).
+  const RangeBasedResult r =
+      RangeBasedPrecisionRecall({{0, 10}}, {{0, 5}});
+  EXPECT_DOUBLE_EQ(r.recall, 0.5);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);  // the prediction is fully inside
+}
+
+TEST(RangeBasedTest, UnlikeHundmanPartialCoverageIsNotFullRecall) {
+  // The point-adjust convention would count this as a full TP; the
+  // range-based recall reflects the 10% coverage.
+  const RangeBasedResult r =
+      RangeBasedPrecisionRecall({{0, 100}}, {{0, 10}});
+  EXPECT_NEAR(r.recall, 0.1, 1e-12);
+}
+
+TEST(RangeBasedTest, FragmentationPenalised) {
+  // Same total coverage (half the range), once contiguous, once split
+  // into two pieces: the cardinality factor halves the fragmented score.
+  const RangeBasedResult whole =
+      RangeBasedPrecisionRecall({{0, 20}}, {{0, 10}});
+  const RangeBasedResult split =
+      RangeBasedPrecisionRecall({{0, 20}}, {{0, 5}, {10, 15}});
+  EXPECT_DOUBLE_EQ(whole.recall, 0.5);
+  EXPECT_DOUBLE_EQ(split.recall, 0.25);
+}
+
+TEST(RangeBasedTest, ExistenceRewardWithAlpha) {
+  RangeBasedParams params;
+  params.alpha = 1.0;  // pure existence: any overlap is full recall
+  const RangeBasedResult r =
+      RangeBasedPrecisionRecall({{0, 100}}, {{0, 1}}, params);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+
+  params.alpha = 0.5;
+  const RangeBasedResult mixed =
+      RangeBasedPrecisionRecall({{0, 100}}, {{0, 1}}, params);
+  EXPECT_NEAR(mixed.recall, 0.5 + 0.5 * 0.01, 1e-12);
+}
+
+TEST(RangeBasedTest, PrecisionPenalisesOvershoot) {
+  // Prediction [0,20) around truth [5,10): only a quarter of the claimed
+  // range is anomalous.
+  const RangeBasedResult r =
+      RangeBasedPrecisionRecall({{5, 10}}, {{0, 20}});
+  EXPECT_DOUBLE_EQ(r.precision, 0.25);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+}
+
+TEST(RangeBasedTest, AveragesOverRanges) {
+  // One truth range fully found, one missed -> recall 0.5.
+  const RangeBasedResult r =
+      RangeBasedPrecisionRecall({{0, 10}, {50, 60}}, {{0, 10}});
+  EXPECT_DOUBLE_EQ(r.recall, 0.5);
+}
+
+TEST(RangeBasedTest, ThresholdOverloadMatchesExplicitIntervals) {
+  const std::vector<double> scores = {0.1, 0.9, 0.9, 0.1, 0.9, 0.1};
+  const std::vector<int> labels = {0, 1, 1, 0, 0, 0};
+  const RangeBasedResult via_scores =
+      RangeBasedPrecisionRecallAt(scores, labels, 0.5);
+  const RangeBasedResult via_intervals =
+      RangeBasedPrecisionRecall({{1, 3}}, {{1, 3}, {4, 5}});
+  EXPECT_DOUBLE_EQ(via_scores.precision, via_intervals.precision);
+  EXPECT_DOUBLE_EQ(via_scores.recall, via_intervals.recall);
+}
+
+TEST(RangeBasedDeathTest, InvalidAlphaAborts) {
+  RangeBasedParams params;
+  params.alpha = 1.5;
+  EXPECT_DEATH(RangeBasedPrecisionRecall({{0, 1}}, {{0, 1}}, params), "");
+}
+
+}  // namespace
+}  // namespace streamad::metrics

@@ -1,0 +1,175 @@
+#include "src/stats/running_stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace streamad::stats {
+namespace {
+
+double NaiveMean(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double NaiveVariance(const std::vector<double>& v) {
+  const double mean = NaiveMean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - mean) * (x - mean);
+  return s / static_cast<double>(v.size());
+}
+
+TEST(RunningStatsTest, EmptyState) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Push(4.2);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.2);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesNaiveComputation) {
+  const std::vector<double> values = {1.0, 2.5, -3.0, 7.0, 0.0, 2.0};
+  RunningStats stats;
+  for (double v : values) stats.Push(v);
+  EXPECT_NEAR(stats.mean(), NaiveMean(values), 1e-12);
+  EXPECT_NEAR(stats.variance(), NaiveVariance(values), 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(NaiveVariance(values)), 1e-12);
+}
+
+TEST(RunningStatsTest, RemoveInvertsInsert) {
+  RunningStats stats;
+  stats.Push(1.0);
+  stats.Push(2.0);
+  stats.Push(3.0);
+  const double mean_before = stats.mean();
+  const double var_before = stats.variance();
+  stats.Push(10.0);
+  stats.Remove(10.0);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_NEAR(stats.mean(), mean_before, 1e-12);
+  EXPECT_NEAR(stats.variance(), var_before, 1e-12);
+}
+
+TEST(RunningStatsTest, RemoveDownToEmpty) {
+  RunningStats stats;
+  stats.Push(5.0);
+  stats.Remove(5.0);
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+}
+
+TEST(RunningStatsTest, SlidingReplacementTracksWindow) {
+  // The mu/sigma-Change usage pattern: a sliding set of fixed size where
+  // each step removes the oldest and inserts the newest value.
+  Rng rng(5);
+  std::vector<double> window;
+  RunningStats stats;
+  for (int i = 0; i < 50; ++i) {
+    const double v = rng.Gaussian(3.0, 2.0);
+    window.push_back(v);
+    stats.Push(v);
+  }
+  for (int step = 0; step < 500; ++step) {
+    const double incoming = rng.Gaussian(3.0, 2.0);
+    stats.Remove(window.front());
+    window.erase(window.begin());
+    window.push_back(incoming);
+    stats.Push(incoming);
+  }
+  EXPECT_NEAR(stats.mean(), NaiveMean(window), 1e-8);
+  EXPECT_NEAR(stats.variance(), NaiveVariance(window), 1e-6);
+}
+
+TEST(RunningStatsTest, RebuildFromIsExact) {
+  const std::vector<double> values = {9.0, -2.0, 4.5, 4.5};
+  RunningStats stats;
+  stats.Push(100.0);  // stale state to be discarded
+  stats.RebuildFrom(values);
+  EXPECT_EQ(stats.count(), values.size());
+  EXPECT_NEAR(stats.mean(), NaiveMean(values), 1e-12);
+  EXPECT_NEAR(stats.variance(), NaiveVariance(values), 1e-12);
+}
+
+TEST(RunningStatsDeathTest, RemoveFromEmptyAborts) {
+  RunningStats stats;
+  EXPECT_DEATH(stats.Remove(1.0), "empty");
+}
+
+TEST(VectorRunningStatsTest, PerDimensionTracking) {
+  VectorRunningStats stats(2);
+  stats.Push({1.0, 10.0});
+  stats.Push({3.0, 20.0});
+  const auto mean = stats.Mean();
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 15.0);
+  EXPECT_EQ(stats.count(), 2u);
+}
+
+TEST(VectorRunningStatsTest, StddevNormIsL2OfPerDimStddev) {
+  VectorRunningStats stats(2);
+  stats.Push({0.0, 0.0});
+  stats.Push({2.0, 4.0});
+  // Per-dim population stddevs: 1 and 2 -> norm sqrt(5).
+  EXPECT_NEAR(stats.StddevNorm(), std::sqrt(5.0), 1e-12);
+}
+
+TEST(VectorRunningStatsTest, RemoveKeepsDimsConsistent) {
+  VectorRunningStats stats(3);
+  stats.Push({1, 2, 3});
+  stats.Push({4, 5, 6});
+  stats.Remove({1, 2, 3});
+  const auto mean = stats.Mean();
+  EXPECT_DOUBLE_EQ(mean[0], 4.0);
+  EXPECT_DOUBLE_EQ(mean[2], 6.0);
+}
+
+TEST(VectorRunningStatsDeathTest, DimensionMismatchAborts) {
+  VectorRunningStats stats(2);
+  EXPECT_DEATH(stats.Push({1.0}), "");
+}
+
+// Property sweep: insert/remove consistency across sizes and seeds.
+class RunningStatsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RunningStatsPropertyTest, InterleavedInsertRemoveMatchesNaive) {
+  const auto [seed, window_size] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<double> window;
+  RunningStats stats;
+  for (int step = 0; step < 400; ++step) {
+    const double v = rng.Uniform(-10.0, 10.0);
+    window.push_back(v);
+    stats.Push(v);
+    if (window.size() > static_cast<std::size_t>(window_size)) {
+      // Remove a pseudo-random element, not necessarily the oldest
+      // (reservoir strategies remove arbitrary members).
+      const std::size_t idx = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(window.size()) - 1));
+      stats.Remove(window[idx]);
+      window.erase(window.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  }
+  ASSERT_EQ(stats.count(), window.size());
+  EXPECT_NEAR(stats.mean(), NaiveMean(window), 1e-7);
+  EXPECT_NEAR(stats.variance(), NaiveVariance(window), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSizes, RunningStatsPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(5, 20, 100)));
+
+}  // namespace
+}  // namespace streamad::stats

@@ -1,0 +1,231 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/scoring/anomaly_likelihood.h"
+#include "src/scoring/average_score.h"
+#include "src/scoring/cosine_nonconformity.h"
+#include "src/scoring/iforest_nonconformity.h"
+#include "src/scoring/raw_score.h"
+
+namespace streamad::scoring {
+namespace {
+
+/// Deterministic stand-in models for the nonconformity measures.
+class FakeReconstructionModel : public core::Model {
+ public:
+  explicit FakeReconstructionModel(double scale) : scale_(scale) {}
+  Kind kind() const override { return Kind::kReconstruction; }
+  std::string_view name() const override { return "fake-recon"; }
+  void Fit(const core::TrainingSet&) override {}
+  void Finetune(const core::TrainingSet&) override {}
+  linalg::Matrix Predict(const core::FeatureVector& x) override {
+    return linalg::Scale(x.window, scale_);
+  }
+
+ private:
+  double scale_;
+};
+
+class FakeForecastModel : public core::Model {
+ public:
+  explicit FakeForecastModel(std::vector<double> forecast)
+      : forecast_(std::move(forecast)) {}
+  Kind kind() const override { return Kind::kForecast; }
+  std::string_view name() const override { return "fake-forecast"; }
+  void Fit(const core::TrainingSet&) override {}
+  void Finetune(const core::TrainingSet&) override {}
+  linalg::Matrix Predict(const core::FeatureVector&) override {
+    return linalg::Matrix::RowVector(forecast_);
+  }
+
+ private:
+  std::vector<double> forecast_;
+};
+
+class FakeScoreModel : public core::Model {
+ public:
+  explicit FakeScoreModel(double score) : score_(score) {}
+  Kind kind() const override { return Kind::kScore; }
+  std::string_view name() const override { return "fake-score"; }
+  void Fit(const core::TrainingSet&) override {}
+  void Finetune(const core::TrainingSet&) override {}
+  linalg::Matrix Predict(const core::FeatureVector&) override { return {}; }
+  double AnomalyScore(const core::FeatureVector&) override { return score_; }
+
+ private:
+  double score_;
+};
+
+core::FeatureVector SomeWindow() {
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix{{1.0, 2.0}, {3.0, 4.0}};
+  fv.t = 1;
+  return fv;
+}
+
+// -------------------------------------------------- cosine measure ----
+
+TEST(CosineNonconformityTest, PerfectReconstructionScoresZero) {
+  FakeReconstructionModel model(1.0);
+  CosineNonconformity measure;
+  EXPECT_NEAR(measure.Score(SomeWindow(), &model), 0.0, 1e-12);
+}
+
+TEST(CosineNonconformityTest, ScaledReconstructionStillZero) {
+  // Cosine similarity is scale-invariant: a proportional reconstruction is
+  // maximally conforming.
+  FakeReconstructionModel model(3.0);
+  CosineNonconformity measure;
+  EXPECT_NEAR(measure.Score(SomeWindow(), &model), 0.0, 1e-12);
+}
+
+TEST(CosineNonconformityTest, OppositeReconstructionClampedToOne) {
+  // 1 - cos = 2 for anti-parallel vectors; the paper requires [0, 1].
+  FakeReconstructionModel model(-1.0);
+  CosineNonconformity measure;
+  EXPECT_DOUBLE_EQ(measure.Score(SomeWindow(), &model), 1.0);
+}
+
+TEST(CosineNonconformityTest, ForecastComparesLastRowOnly) {
+  core::FeatureVector fv = SomeWindow();  // last row (3, 4)
+  FakeForecastModel aligned({3.0, 4.0});
+  FakeForecastModel orthogonal({-4.0, 3.0});
+  CosineNonconformity measure;
+  EXPECT_NEAR(measure.Score(fv, &aligned), 0.0, 1e-12);
+  EXPECT_NEAR(measure.Score(fv, &orthogonal), 1.0, 1e-12);
+}
+
+TEST(CosineNonconformityDeathTest, UnivariateForecastAborts) {
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(3, 1, 1.0);
+  FakeForecastModel model({1.0});
+  CosineNonconformity measure;
+  EXPECT_DEATH(measure.Score(fv, &model), "N > 1");
+}
+
+TEST(CosineNonconformityDeathTest, ScoreModelAborts) {
+  FakeScoreModel model(0.5);
+  CosineNonconformity measure;
+  auto fv = SomeWindow();
+  EXPECT_DEATH(measure.Score(fv, &model), "prediction model");
+}
+
+// -------------------------------------------------- iforest measure ----
+
+TEST(IForestNonconformityTest, DelegatesToModel) {
+  FakeScoreModel model(0.73);
+  IForestNonconformity measure;
+  EXPECT_DOUBLE_EQ(measure.Score(SomeWindow(), &model), 0.73);
+}
+
+TEST(IForestNonconformityDeathTest, PredictionModelAborts) {
+  FakeReconstructionModel model(1.0);
+  IForestNonconformity measure;
+  auto fv = SomeWindow();
+  EXPECT_DEATH(measure.Score(fv, &model), "scoring model");
+}
+
+// -------------------------------------------------------- raw score ----
+
+TEST(RawScoreTest, Identity) {
+  RawScore raw;
+  EXPECT_EQ(raw.Update(0.42), 0.42);
+  EXPECT_EQ(raw.Update(0.0), 0.0);
+  EXPECT_EQ(raw.Update(1.0), 1.0);
+}
+
+// ---------------------------------------------------- average score ----
+
+TEST(AverageScoreTest, PrefixAverageDuringWarmup) {
+  AverageScore avg(4);
+  EXPECT_DOUBLE_EQ(avg.Update(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(avg.Update(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(avg.Update(0.5), 0.5);
+}
+
+TEST(AverageScoreTest, SlidingWindowAverage) {
+  AverageScore avg(2);
+  avg.Update(1.0);
+  avg.Update(0.0);
+  EXPECT_DOUBLE_EQ(avg.Update(0.5), 0.25);   // window {0.0, 0.5}
+  EXPECT_DOUBLE_EQ(avg.Update(0.5), 0.5);    // window {0.5, 0.5}
+}
+
+TEST(AverageScoreTest, ResetClearsWindow) {
+  AverageScore avg(3);
+  avg.Update(1.0);
+  avg.Reset();
+  EXPECT_DOUBLE_EQ(avg.Update(0.2), 0.2);
+}
+
+TEST(AverageScoreTest, SmoothsSpikes) {
+  AverageScore avg(10);
+  for (int i = 0; i < 10; ++i) avg.Update(0.1);
+  const double spiked = avg.Update(1.0);
+  EXPECT_LT(spiked, 0.25);  // one spike barely moves the long average
+  EXPECT_GT(spiked, 0.1);
+}
+
+TEST(AverageScoreDeathTest, ZeroWindowAborts) {
+  EXPECT_DEATH(AverageScore avg(0), "positive");
+}
+
+// ----------------------------------------------- anomaly likelihood ----
+
+TEST(AnomalyLikelihoodTest, OutputInUnitInterval) {
+  AnomalyLikelihood al(20, 3);
+  for (int i = 0; i < 100; ++i) {
+    const double f = al.Update(0.3 + 0.1 * std::sin(i));
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(AnomalyLikelihoodTest, SteadyStateIsNearHalf) {
+  AnomalyLikelihood al(50, 5);
+  double f = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    f = al.Update(0.4 + ((i % 2 == 0) ? 0.01 : -0.01));
+  }
+  EXPECT_NEAR(f, 0.5, 0.25);
+}
+
+TEST(AnomalyLikelihoodTest, SpikeRaisesLikelihoodTowardsOne) {
+  AnomalyLikelihood al(50, 5);
+  for (int i = 0; i < 100; ++i) {
+    al.Update(0.2 + 0.02 * std::sin(0.7 * i));
+  }
+  double f = 0.0;
+  for (int i = 0; i < 5; ++i) f = al.Update(0.9);  // short-term mean jumps
+  EXPECT_GT(f, 0.95);
+}
+
+TEST(AnomalyLikelihoodTest, ReactsToChangeNotLevel) {
+  // A constant high nonconformity is the new normal: the likelihood must
+  // come back down after the short window re-aligns with the long one.
+  AnomalyLikelihood al(40, 4);
+  for (int i = 0; i < 80; ++i) al.Update(0.1 + 0.01 * (i % 3));
+  for (int i = 0; i < 5; ++i) al.Update(0.8);
+  const double during = al.Update(0.8);
+  for (int i = 0; i < 80; ++i) al.Update(0.8 + 0.01 * (i % 3));
+  const double after = al.Update(0.8);
+  EXPECT_GT(during, 0.9);
+  EXPECT_LT(after, during);
+}
+
+TEST(AnomalyLikelihoodTest, DropInScoresGivesLowLikelihood) {
+  AnomalyLikelihood al(40, 4);
+  for (int i = 0; i < 80; ++i) al.Update(0.6 + 0.02 * (i % 2));
+  double f = 0.0;
+  for (int i = 0; i < 5; ++i) f = al.Update(0.05);
+  EXPECT_LT(f, 0.1);  // short-term mean below long-term mean
+}
+
+TEST(AnomalyLikelihoodDeathTest, RequiresShortWindowSmallerThanLong) {
+  EXPECT_DEATH(AnomalyLikelihood al(10, 10), "k' < k");
+  EXPECT_DEATH(AnomalyLikelihood al(10, 0), "k' < k");
+}
+
+}  // namespace
+}  // namespace streamad::scoring

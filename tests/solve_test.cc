@@ -1,0 +1,156 @@
+#include "src/linalg/solve.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace streamad::linalg {
+namespace {
+
+Matrix RandomSpd(std::size_t n, Rng* rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.at_flat(i) = rng->Uniform(-1.0, 1.0);
+  }
+  Matrix spd = MatMul(Transpose(a), a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(CholeskySolveTest, SolvesKnownSystem) {
+  const Matrix a{{4, 2}, {2, 3}};
+  const Matrix b = Matrix::ColVector({10, 8});
+  Matrix x;
+  ASSERT_TRUE(CholeskySolve(a, b, &x));
+  // Verify A x == b.
+  const Matrix ax = MatMul(a, x);
+  EXPECT_NEAR(ax(0, 0), 10.0, 1e-10);
+  EXPECT_NEAR(ax(1, 0), 8.0, 1e-10);
+}
+
+TEST(CholeskySolveTest, RejectsIndefiniteMatrix) {
+  const Matrix a{{0, 1}, {1, 0}};  // eigenvalues +-1
+  const Matrix b = Matrix::ColVector({1, 1});
+  Matrix x;
+  EXPECT_FALSE(CholeskySolve(a, b, &x));
+}
+
+TEST(CholeskySolveTest, MultipleRightHandSides) {
+  const Matrix a{{5, 1}, {1, 4}};
+  const Matrix b{{1, 0}, {0, 1}};
+  Matrix inv;
+  ASSERT_TRUE(CholeskySolve(a, b, &inv));
+  const Matrix product = MatMul(a, inv);
+  EXPECT_NEAR(product(0, 0), 1.0, 1e-10);
+  EXPECT_NEAR(product(0, 1), 0.0, 1e-10);
+  EXPECT_NEAR(product(1, 0), 0.0, 1e-10);
+  EXPECT_NEAR(product(1, 1), 1.0, 1e-10);
+}
+
+TEST(LuSolveTest, SolvesNonSymmetricSystem) {
+  const Matrix a{{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}};
+  const Matrix b = Matrix::ColVector({-8, 0, 3});
+  Matrix x;
+  ASSERT_TRUE(LuSolve(a, b, &x));
+  const Matrix ax = MatMul(a, x);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(ax(i, 0), b(i, 0), 1e-10);
+  }
+}
+
+TEST(LuSolveTest, NeedsPivoting) {
+  // Zero on the diagonal forces a row swap.
+  const Matrix a{{0, 1}, {1, 0}};
+  const Matrix b = Matrix::ColVector({3, 7});
+  Matrix x;
+  ASSERT_TRUE(LuSolve(a, b, &x));
+  EXPECT_NEAR(x(0, 0), 7.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 3.0, 1e-12);
+}
+
+TEST(LuSolveTest, RejectsSingularMatrix) {
+  const Matrix a{{1, 2}, {2, 4}};
+  const Matrix b = Matrix::ColVector({1, 2});
+  Matrix x;
+  EXPECT_FALSE(LuSolve(a, b, &x));
+}
+
+TEST(LeastSquaresTest, RecoversExactLinearModel) {
+  // y = 2*x0 - 3*x1 + 1 (intercept folded in as a regressor of ones).
+  Rng rng(17);
+  const std::size_t rows = 50;
+  Matrix x(rows, 3);
+  Matrix y(rows, 1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double x0 = rng.Uniform(-2.0, 2.0);
+    const double x1 = rng.Uniform(-2.0, 2.0);
+    x(r, 0) = 1.0;
+    x(r, 1) = x0;
+    x(r, 2) = x1;
+    y(r, 0) = 1.0 + 2.0 * x0 - 3.0 * x1;
+  }
+  const Matrix beta = LeastSquares(x, y);
+  EXPECT_NEAR(beta(0, 0), 1.0, 1e-5);
+  EXPECT_NEAR(beta(1, 0), 2.0, 1e-5);
+  EXPECT_NEAR(beta(2, 0), -3.0, 1e-5);
+}
+
+TEST(LeastSquaresTest, MultiOutputTargets) {
+  Rng rng(23);
+  const std::size_t rows = 80;
+  Matrix x(rows, 2);
+  Matrix y(rows, 2);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double v = rng.Uniform(-1.0, 1.0);
+    x(r, 0) = 1.0;
+    x(r, 1) = v;
+    y(r, 0) = 0.5 * v;
+    y(r, 1) = -4.0 + v;
+  }
+  const Matrix beta = LeastSquares(x, y);
+  EXPECT_NEAR(beta(1, 0), 0.5, 1e-6);
+  EXPECT_NEAR(beta(0, 1), -4.0, 1e-6);
+  EXPECT_NEAR(beta(1, 1), 1.0, 1e-6);
+}
+
+TEST(LeastSquaresTest, RankDeficientFallsBackGracefully) {
+  // Duplicate column: the ridge keeps the solve well-defined.
+  Matrix x(10, 2);
+  Matrix y(10, 1);
+  for (std::size_t r = 0; r < 10; ++r) {
+    x(r, 0) = static_cast<double>(r);
+    x(r, 1) = static_cast<double>(r);  // identical
+    y(r, 0) = 3.0 * static_cast<double>(r);
+  }
+  const Matrix beta = LeastSquares(x, y, 1e-6);
+  // The two coefficients split the weight; their sum predicts y.
+  EXPECT_NEAR(beta(0, 0) + beta(1, 0), 3.0, 1e-3);
+}
+
+// Property sweep: Cholesky and LU agree on random SPD systems.
+class SolverAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverAgreementTest, CholeskyMatchesLu) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Rng rng(1000 + GetParam());
+  const Matrix a = RandomSpd(n, &rng);
+  Matrix b(n, 2);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.at_flat(i) = rng.Uniform(-5.0, 5.0);
+  }
+  Matrix x_chol;
+  Matrix x_lu;
+  ASSERT_TRUE(CholeskySolve(a, b, &x_chol));
+  ASSERT_TRUE(LuSolve(a, b, &x_lu));
+  for (std::size_t i = 0; i < x_chol.size(); ++i) {
+    EXPECT_NEAR(x_chol.at_flat(i), x_lu.at_flat(i), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolverAgreementTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace streamad::linalg

@@ -1,0 +1,226 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/strategies/anomaly_aware_reservoir.h"
+#include "src/strategies/sliding_window.h"
+#include "src/strategies/uniform_reservoir.h"
+
+namespace streamad::strategies {
+namespace {
+
+core::FeatureVector MakeWindow(double fill, std::int64_t t) {
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(2, 2, fill);
+  fv.t = t;
+  return fv;
+}
+
+// ---------------------------------------------------------------- SW ----
+
+TEST(SlidingWindowTest, KeepsMostRecentM) {
+  SlidingWindow sw(3);
+  for (std::int64_t t = 0; t < 10; ++t) {
+    sw.Offer(MakeWindow(static_cast<double>(t), t), 0.0);
+  }
+  ASSERT_EQ(sw.set().size(), 3u);
+  std::set<std::int64_t> kept;
+  for (const auto& fv : sw.set().entries()) kept.insert(fv.t);
+  EXPECT_EQ(kept, (std::set<std::int64_t>{7, 8, 9}));
+}
+
+TEST(SlidingWindowTest, ReportsEvictions) {
+  SlidingWindow sw(2);
+  EXPECT_FALSE(sw.Offer(MakeWindow(0.0, 0), 0.0).removed);
+  EXPECT_FALSE(sw.Offer(MakeWindow(1.0, 1), 0.0).removed);
+  const auto update = sw.Offer(MakeWindow(2.0, 2), 0.0);
+  EXPECT_TRUE(update.inserted);
+  EXPECT_TRUE(update.removed);
+  EXPECT_EQ(update.removed_value.t, 0);
+  EXPECT_EQ(update.inserted_value.t, 2);
+}
+
+TEST(SlidingWindowTest, EvictsInFifoOrder) {
+  SlidingWindow sw(2);
+  sw.Offer(MakeWindow(0.0, 0), 0.0);
+  sw.Offer(MakeWindow(1.0, 1), 0.0);
+  EXPECT_EQ(sw.Offer(MakeWindow(2.0, 2), 0.0).removed_value.t, 0);
+  EXPECT_EQ(sw.Offer(MakeWindow(3.0, 3), 0.0).removed_value.t, 1);
+  EXPECT_EQ(sw.Offer(MakeWindow(4.0, 4), 0.0).removed_value.t, 2);
+}
+
+TEST(SlidingWindowTest, Name) {
+  SlidingWindow sw(2);
+  EXPECT_EQ(sw.name(), "SW");
+}
+
+// -------------------------------------------------------------- URES ----
+
+TEST(UniformReservoirTest, FillsToCapacityFirst) {
+  UniformReservoir ures(5, 1);
+  for (std::int64_t t = 0; t < 5; ++t) {
+    const auto update = ures.Offer(MakeWindow(0.0, t), 0.0);
+    EXPECT_TRUE(update.inserted);
+    EXPECT_FALSE(update.removed);
+  }
+  EXPECT_TRUE(ures.set().full());
+}
+
+TEST(UniformReservoirTest, NeverExceedsCapacity) {
+  UniformReservoir ures(5, 2);
+  for (std::int64_t t = 0; t < 500; ++t) {
+    ures.Offer(MakeWindow(0.0, t), 0.0);
+    EXPECT_LE(ures.set().size(), 5u);
+  }
+}
+
+TEST(UniformReservoirTest, AcceptanceRateDecaysLikeMOverT) {
+  // After many offers, the fraction of accepted elements approaches m/t.
+  UniformReservoir ures(10, 3);
+  std::int64_t accepted_late = 0;
+  for (std::int64_t t = 0; t < 2000; ++t) {
+    const auto update = ures.Offer(MakeWindow(0.0, t), 0.0);
+    if (t >= 1000 && update.removed) ++accepted_late;
+  }
+  // Expected acceptances in [1000, 2000): sum of 10/t ~ 10*ln(2) ~ 6.9.
+  EXPECT_GT(accepted_late, 0);
+  EXPECT_LT(accepted_late, 40);
+}
+
+TEST(UniformReservoirTest, ReservoirIsApproximatelyUniformOverTime) {
+  // Uniform reservoir property: the retained timestamps should span the
+  // whole stream rather than cluster at the end.
+  UniformReservoir ures(50, 5);
+  constexpr std::int64_t kTotal = 5000;
+  for (std::int64_t t = 0; t < kTotal; ++t) {
+    ures.Offer(MakeWindow(0.0, t), 0.0);
+  }
+  std::int64_t first_half = 0;
+  for (const auto& fv : ures.set().entries()) {
+    if (fv.t < kTotal / 2) ++first_half;
+  }
+  // With 50 samples, expect roughly 25 from each half; allow broad slack.
+  EXPECT_GE(first_half, 10);
+  EXPECT_LE(first_half, 40);
+}
+
+// -------------------------------------------------------------- ARES ----
+
+TEST(AnomalyAwareReservoirTest, PriorityDecreasesWithAnomalyScore) {
+  const AnomalyAwareReservoir::Params params;
+  const double u = 0.8;
+  double prev = AnomalyAwareReservoir::Priority(u, 0.0, params);
+  for (double f = 0.1; f <= 1.0; f += 0.1) {
+    const double p = AnomalyAwareReservoir::Priority(u, f, params);
+    EXPECT_LT(p, prev) << "f=" << f;
+    prev = p;
+  }
+}
+
+TEST(AnomalyAwareReservoirTest, PriorityInUnitInterval) {
+  const AnomalyAwareReservoir::Params params;
+  for (double u : {0.7, 0.8, 0.9}) {
+    for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const double p = AnomalyAwareReservoir::Priority(u, f, params);
+      EXPECT_GT(p, 0.0);
+      EXPECT_LT(p, 1.0);
+    }
+  }
+}
+
+TEST(AnomalyAwareReservoirTest, RetainsNormalOverAnomalous) {
+  // Offer alternating normal (f=0) and anomalous (f=1) vectors; the full
+  // reservoir should end up dominated by normal ones.
+  AnomalyAwareReservoir ares(20, 7);
+  for (std::int64_t t = 0; t < 400; ++t) {
+    const bool anomalous = t % 2 == 1;
+    core::FeatureVector fv = MakeWindow(anomalous ? 100.0 : 0.0, t);
+    ares.Offer(fv, anomalous ? 1.0 : 0.0);
+  }
+  std::size_t normal = 0;
+  for (const auto& fv : ares.set().entries()) {
+    if (fv.window(0, 0) == 0.0) ++normal;
+  }
+  EXPECT_GE(normal, 15u);  // strong majority normal
+}
+
+TEST(AnomalyAwareReservoirTest, PrioritiesAlignedWithSet) {
+  AnomalyAwareReservoir ares(5, 9);
+  for (std::int64_t t = 0; t < 50; ++t) {
+    ares.Offer(MakeWindow(0.0, t), 0.2);
+    EXPECT_EQ(ares.priorities().size(), ares.set().size());
+  }
+}
+
+TEST(AnomalyAwareReservoirTest, DiscardsWhenAllPrioritiesHigher) {
+  // A maximally anomalous vector (f >> 0) gets a tiny priority; when the
+  // reservoir holds only normal vectors it should usually be discarded.
+  AnomalyAwareReservoir ares(10, 11);
+  for (std::int64_t t = 0; t < 10; ++t) {
+    ares.Offer(MakeWindow(0.0, t), 0.0);
+  }
+  int accepted = 0;
+  for (std::int64_t t = 10; t < 60; ++t) {
+    const auto update = ares.Offer(MakeWindow(9.0, t), 1.0);
+    accepted += update.inserted ? 1 : 0;
+  }
+  EXPECT_LT(accepted, 15);  // mostly rejected
+}
+
+TEST(AnomalyAwareReservoirDeathTest, InvalidParamsAbort) {
+  AnomalyAwareReservoir::Params bad;
+  bad.lambda1 = -1.0;
+  EXPECT_DEATH(AnomalyAwareReservoir(5, 1, bad), "");
+}
+
+// Shared strategy contract, swept over all three implementations.
+enum class Kind { kSw, kUres, kAres };
+
+class Task1ContractTest : public ::testing::TestWithParam<Kind> {
+ protected:
+  std::unique_ptr<core::TrainingSetStrategy> Make(std::size_t capacity) {
+    switch (GetParam()) {
+      case Kind::kSw:
+        return std::make_unique<SlidingWindow>(capacity);
+      case Kind::kUres:
+        return std::make_unique<UniformReservoir>(capacity, 3);
+      case Kind::kAres:
+        return std::make_unique<AnomalyAwareReservoir>(capacity, 3);
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(Task1ContractTest, SizeNeverExceedsCapacityAndGrowsMonotonically) {
+  auto strategy = Make(8);
+  std::size_t prev_size = 0;
+  for (std::int64_t t = 0; t < 200; ++t) {
+    strategy->Offer(MakeWindow(static_cast<double>(t % 5), t), 0.1);
+    const std::size_t size = strategy->set().size();
+    EXPECT_LE(size, 8u);
+    EXPECT_GE(size, prev_size);  // strategies never shrink the set
+    prev_size = size;
+  }
+  EXPECT_EQ(prev_size, 8u);
+}
+
+TEST_P(Task1ContractTest, UpdateDeltaConsistentWithSetChange) {
+  auto strategy = Make(4);
+  std::size_t size = 0;
+  for (std::int64_t t = 0; t < 100; ++t) {
+    const auto update = strategy->Offer(MakeWindow(1.0, t), 0.3);
+    if (update.inserted && !update.removed) ++size;
+    EXPECT_EQ(strategy->set().size(), size);
+    if (update.removed) {
+      EXPECT_TRUE(update.inserted);  // replacements only, never pure drops
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, Task1ContractTest,
+                         ::testing::Values(Kind::kSw, Kind::kUres,
+                                           Kind::kAres));
+
+}  // namespace
+}  // namespace streamad::strategies

@@ -1,0 +1,127 @@
+#include "src/core/training_set.h"
+
+#include <gtest/gtest.h>
+
+namespace streamad::core {
+namespace {
+
+FeatureVector MakeWindow(std::size_t w, std::size_t n, double fill,
+                         std::int64_t t) {
+  FeatureVector fv;
+  fv.window = linalg::Matrix(w, n, fill);
+  fv.t = t;
+  return fv;
+}
+
+TEST(TrainingSetTest, StartsEmpty) {
+  TrainingSet set(4);
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.full());
+  EXPECT_EQ(set.capacity(), 4u);
+}
+
+TEST(TrainingSetTest, AddUntilFull) {
+  TrainingSet set(2);
+  set.Add(MakeWindow(3, 2, 1.0, 0));
+  EXPECT_EQ(set.size(), 1u);
+  set.Add(MakeWindow(3, 2, 2.0, 1));
+  EXPECT_TRUE(set.full());
+}
+
+TEST(TrainingSetTest, ReplaceReturnsEvicted) {
+  TrainingSet set(2);
+  set.Add(MakeWindow(2, 1, 1.0, 0));
+  set.Add(MakeWindow(2, 1, 2.0, 1));
+  const FeatureVector evicted = set.ReplaceAt(0, MakeWindow(2, 1, 9.0, 2));
+  EXPECT_EQ(evicted.t, 0);
+  EXPECT_EQ(set.at(0).t, 2);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TrainingSetTest, RemoveAtSwapsWithLast) {
+  TrainingSet set(3);
+  set.Add(MakeWindow(2, 1, 1.0, 0));
+  set.Add(MakeWindow(2, 1, 2.0, 1));
+  set.Add(MakeWindow(2, 1, 3.0, 2));
+  const FeatureVector removed = set.RemoveAt(0);
+  EXPECT_EQ(removed.t, 0);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.at(0).t, 2);  // last element swapped in
+}
+
+TEST(TrainingSetTest, ClearKeepsCapacity) {
+  TrainingSet set(3);
+  set.Add(MakeWindow(2, 1, 1.0, 0));
+  set.Clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.capacity(), 3u);
+}
+
+TEST(TrainingSetTest, PooledChannelConcatenatesWindowColumns) {
+  TrainingSet set(2);
+  FeatureVector a;
+  a.window = linalg::Matrix{{1.0, 10.0}, {2.0, 20.0}};
+  a.t = 0;
+  FeatureVector b;
+  b.window = linalg::Matrix{{3.0, 30.0}, {4.0, 40.0}};
+  b.t = 1;
+  set.Add(a);
+  set.Add(b);
+  EXPECT_EQ(set.PooledChannel(0), (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+  EXPECT_EQ(set.PooledChannel(1),
+            (std::vector<double>{10.0, 20.0, 30.0, 40.0}));
+}
+
+TEST(TrainingSetTest, StackedFlatShapeAndOrder) {
+  TrainingSet set(2);
+  FeatureVector a;
+  a.window = linalg::Matrix{{1.0, 2.0}, {3.0, 4.0}};
+  set.Add(a);
+  const linalg::Matrix flat = set.StackedFlat();
+  EXPECT_EQ(flat.rows(), 1u);
+  EXPECT_EQ(flat.cols(), 4u);
+  EXPECT_EQ(flat(0, 0), 1.0);
+  EXPECT_EQ(flat(0, 3), 4.0);
+}
+
+TEST(TrainingSetTest, StackedLastRowsExtractsNewestVectors) {
+  TrainingSet set(2);
+  FeatureVector a;
+  a.window = linalg::Matrix{{1.0, 2.0}, {3.0, 4.0}};
+  FeatureVector b;
+  b.window = linalg::Matrix{{5.0, 6.0}, {7.0, 8.0}};
+  set.Add(a);
+  set.Add(b);
+  const linalg::Matrix rows = set.StackedLastRows();
+  EXPECT_EQ(rows.rows(), 2u);
+  EXPECT_EQ(rows(0, 0), 3.0);
+  EXPECT_EQ(rows(0, 1), 4.0);
+  EXPECT_EQ(rows(1, 0), 7.0);
+}
+
+TEST(TrainingSetDeathTest, AddToFullAborts) {
+  TrainingSet set(1);
+  set.Add(MakeWindow(2, 1, 1.0, 0));
+  EXPECT_DEATH(set.Add(MakeWindow(2, 1, 2.0, 1)), "full");
+}
+
+TEST(TrainingSetDeathTest, ZeroCapacityAborts) {
+  EXPECT_DEATH(TrainingSet set(0), "positive");
+}
+
+TEST(TrainingSetDeathTest, OutOfRangeAccessAborts) {
+  TrainingSet set(2);
+  set.Add(MakeWindow(2, 1, 1.0, 0));
+  EXPECT_DEATH(set.at(1), "");
+}
+
+TEST(FeatureVectorTest, LastRowIsNewestStreamVector) {
+  FeatureVector fv;
+  fv.window = linalg::Matrix{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(fv.LastRow(), (std::vector<double>{5.0, 6.0}));
+  EXPECT_EQ(fv.w(), 3u);
+  EXPECT_EQ(fv.channels(), 2u);
+}
+
+}  // namespace
+}  // namespace streamad::core

@@ -1,0 +1,201 @@
+#include "src/models/var_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/training_set.h"
+
+namespace streamad::models {
+namespace {
+
+/// Simulates a stable VAR(1) process s_t = nu + A s_{t-1} + eps.
+std::vector<std::vector<double>> SimulateVar1(std::size_t n, double noise,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  const double a[2][2] = {{0.5, 0.2}, {-0.3, 0.4}};
+  const double nu[2] = {1.0, -0.5};
+  std::vector<std::vector<double>> seq;
+  std::vector<double> s = {0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> next(2);
+    for (int r = 0; r < 2; ++r) {
+      next[r] = nu[r] + a[r][0] * s[0] + a[r][1] * s[1] +
+                rng.Gaussian(0.0, noise);
+    }
+    s = next;
+    seq.push_back(s);
+  }
+  return seq;
+}
+
+core::TrainingSet WindowsFrom(const std::vector<std::vector<double>>& seq,
+                              std::size_t w, std::size_t capacity) {
+  core::TrainingSet set(capacity);
+  for (std::size_t start = 0; start + w <= seq.size() && !set.full();
+       ++start) {
+    core::FeatureVector fv;
+    fv.window = linalg::Matrix(w, seq[0].size());
+    for (std::size_t r = 0; r < w; ++r) fv.window.SetRow(r, seq[start + r]);
+    fv.t = static_cast<std::int64_t>(start + w - 1);
+    set.Add(fv);
+  }
+  return set;
+}
+
+TEST(VarModelTest, NotFittedInitially) {
+  VarModel::Params params;
+  VarModel model(params);
+  EXPECT_FALSE(model.fitted());
+}
+
+TEST(VarModelTest, RecoversVar1Coefficients) {
+  // The noise is the excitation: a noiseless stable VAR converges to its
+  // fixed point, leaving a rank-deficient regression, and weak noise makes
+  // intercept and dynamics trade off. 0.2 identifies both well.
+  // The estimator's standard error scales with 1/sqrt(#distinct steps)
+  // and is independent of the noise level (signal variance is noise-
+  // driven too), so identification needs a long sequence.
+  const auto seq = SimulateVar1(4000, 0.2, 1);
+  VarModel::Params params;
+  params.order = 1;
+  VarModel model(params);
+  model.Fit(WindowsFrom(seq, 10, 3900));
+  ASSERT_TRUE(model.fitted());
+  // beta layout: row 0 = intercept, rows 1..N = A_1 transposed chunks.
+  const linalg::Matrix& beta = model.coefficients();
+  EXPECT_NEAR(beta(0, 0), 1.0, 0.08);   // nu_0
+  EXPECT_NEAR(beta(0, 1), -0.5, 0.08);  // nu_1
+  EXPECT_NEAR(beta(1, 0), 0.5, 0.08);   // A[0][0]
+  EXPECT_NEAR(beta(2, 0), 0.2, 0.08);   // A[0][1]
+  EXPECT_NEAR(beta(1, 1), -0.3, 0.08);  // A[1][0]
+  EXPECT_NEAR(beta(2, 1), 0.4, 0.08);   // A[1][1]
+}
+
+TEST(VarModelTest, ForecastBeatsNaiveOnNoisyVar1) {
+  const auto train_seq = SimulateVar1(500, 0.05, 2);
+  const auto test_seq = SimulateVar1(200, 0.05, 3);
+  VarModel::Params params;
+  params.order = 1;
+  VarModel model(params);
+  model.Fit(WindowsFrom(train_seq, 10, 300));
+
+  const core::TrainingSet test = WindowsFrom(test_seq, 10, 150);
+  double model_err = 0.0;
+  double naive_err = 0.0;
+  for (const auto& fv : test.entries()) {
+    const linalg::Matrix forecast = model.Predict(fv);
+    for (std::size_t c = 0; c < 2; ++c) {
+      const double actual = fv.window(fv.w() - 1, c);
+      const double naive = fv.window(fv.w() - 2, c);
+      model_err += std::pow(forecast(0, c) - actual, 2);
+      naive_err += std::pow(naive - actual, 2);
+    }
+  }
+  // The model error approaches the irreducible noise floor; the naive
+  // forecast pays the full one-step dynamics on top of it.
+  EXPECT_LT(model_err, naive_err * 0.8);
+}
+
+TEST(VarModelTest, CapturesCrossChannelDependence) {
+  // Channel 1 is driven entirely by lagged channel 0; the fitted A must
+  // pick that up (this is what Online ARIMA cannot express).
+  Rng rng(4);
+  std::vector<std::vector<double>> seq;
+  double x = 0.0;
+  double prev_x = 0.0;
+  for (std::size_t i = 0; i < 300; ++i) {
+    const double new_x = rng.Gaussian(0.0, 1.0);
+    const double y = 2.0 * prev_x;  // y_t = 2 x_{t-1}
+    prev_x = x;
+    x = new_x;
+    seq.push_back({x, y});
+  }
+  VarModel::Params params;
+  params.order = 2;
+  VarModel model(params);
+  model.Fit(WindowsFrom(seq, 12, 250));
+  // Prediction of channel 1 must track 2 * x_{t-1}.
+  const auto test = WindowsFrom(seq, 12, 250);
+  double err = 0.0;
+  int count = 0;
+  for (std::size_t i = 200; i < test.size(); ++i) {
+    const auto& fv = test.at(i);
+    const linalg::Matrix forecast = model.Predict(fv);
+    err += std::fabs(forecast(0, 1) - fv.window(fv.w() - 1, 1));
+    ++count;
+  }
+  EXPECT_LT(err / count, 0.05);
+}
+
+TEST(VarModelTest, FinetuneReestimatesFromNewSet) {
+  const auto seq_a = SimulateVar1(200, 0.01, 5);
+  VarModel::Params params;
+  params.order = 1;
+  VarModel model(params);
+  model.Fit(WindowsFrom(seq_a, 8, 100));
+  const linalg::Matrix before = model.coefficients();
+
+  // A different regime: the re-estimate must move the coefficients.
+  Rng rng(6);
+  std::vector<std::vector<double>> seq_b;
+  for (std::size_t i = 0; i < 200; ++i) {
+    seq_b.push_back({rng.Gaussian(5.0, 0.1), rng.Gaussian(-5.0, 0.1)});
+  }
+  model.Finetune(WindowsFrom(seq_b, 8, 100));
+  const linalg::Matrix after = model.coefficients();
+  double diff = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    diff += std::fabs(before.at_flat(i) - after.at_flat(i));
+  }
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(VarModelDeathTest, PredictBeforeFitAborts) {
+  VarModel::Params params;
+  VarModel model(params);
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(10, 2);
+  EXPECT_DEATH(model.Predict(fv), "before Fit");
+}
+
+TEST(VarModelDeathTest, WindowShorterThanOrderAborts) {
+  VarModel::Params params;
+  params.order = 8;
+  VarModel model(params);
+  core::TrainingSet set(2);
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(5, 2);
+  set.Add(fv);
+  EXPECT_DEATH(model.Fit(set), "window too short");
+}
+
+// Order sweep: higher orders still recover a VAR(1) (extra lags ~ 0).
+class VarOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VarOrderTest, HigherOrderStillForecastsVar1) {
+  const std::size_t order = static_cast<std::size_t>(GetParam());
+  const auto seq = SimulateVar1(400, 0.02, 7);
+  VarModel::Params params;
+  params.order = order;
+  VarModel model(params);
+  model.Fit(WindowsFrom(seq, order + 6, 250));
+  const core::TrainingSet test = WindowsFrom(SimulateVar1(100, 0.02, 8),
+                                             order + 6, 60);
+  double err = 0.0;
+  int count = 0;
+  for (const auto& fv : test.entries()) {
+    const linalg::Matrix forecast = model.Predict(fv);
+    for (std::size_t c = 0; c < 2; ++c) {
+      err += std::fabs(forecast(0, c) - fv.window(fv.w() - 1, c));
+      ++count;
+    }
+  }
+  EXPECT_LT(err / count, 0.1) << "order=" << order;
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, VarOrderTest, ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace streamad::models

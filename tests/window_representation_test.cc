@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "src/core/detector.h"
+
+namespace streamad::core {
+namespace {
+
+TEST(WindowRepresentationTest, NotReadyUntilWindowFull) {
+  WindowRepresentation rep(3);
+  rep.Observe({1.0});
+  EXPECT_FALSE(rep.Ready());
+  rep.Observe({2.0});
+  EXPECT_FALSE(rep.Ready());
+  rep.Observe({3.0});
+  EXPECT_TRUE(rep.Ready());
+}
+
+TEST(WindowRepresentationTest, CurrentHoldsLastWObservationsInOrder) {
+  WindowRepresentation rep(2);
+  rep.Observe({1.0, 10.0});
+  rep.Observe({2.0, 20.0});
+  rep.Observe({3.0, 30.0});
+  const FeatureVector fv = rep.Current(2);
+  EXPECT_EQ(fv.t, 2);
+  EXPECT_EQ(fv.window(0, 0), 2.0);  // oldest kept row
+  EXPECT_EQ(fv.window(1, 0), 3.0);  // newest row last
+  EXPECT_EQ(fv.window(1, 1), 30.0);
+}
+
+TEST(WindowRepresentationTest, SlidesOneStepAtATime) {
+  WindowRepresentation rep(3);
+  for (double v = 0.0; v < 5.0; v += 1.0) rep.Observe({v});
+  const FeatureVector fv = rep.Current(4);
+  EXPECT_EQ(fv.window(0, 0), 2.0);
+  EXPECT_EQ(fv.window(1, 0), 3.0);
+  EXPECT_EQ(fv.window(2, 0), 4.0);
+}
+
+TEST(WindowRepresentationTest, WindowOfOne) {
+  WindowRepresentation rep(1);
+  rep.Observe({7.0});
+  EXPECT_TRUE(rep.Ready());
+  EXPECT_EQ(rep.Current(0).window(0, 0), 7.0);
+}
+
+TEST(WindowRepresentationDeathTest, ChannelCountChangeAborts) {
+  WindowRepresentation rep(2);
+  rep.Observe({1.0, 2.0});
+  EXPECT_DEATH(rep.Observe({1.0}), "channel count");
+}
+
+TEST(WindowRepresentationDeathTest, EmptyVectorAborts) {
+  WindowRepresentation rep(2);
+  EXPECT_DEATH(rep.Observe({}), "empty");
+}
+
+TEST(WindowRepresentationDeathTest, CurrentBeforeReadyAborts) {
+  WindowRepresentation rep(2);
+  rep.Observe({1.0});
+  EXPECT_DEATH(rep.Current(0), "not yet full");
+}
+
+TEST(WindowRepresentationDeathTest, ZeroWindowAborts) {
+  EXPECT_DEATH(WindowRepresentation rep(0), "positive");
+}
+
+}  // namespace
+}  // namespace streamad::core
