@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_drift_detectors.dir/ablation_drift_detectors.cc.o"
+  "CMakeFiles/ablation_drift_detectors.dir/ablation_drift_detectors.cc.o.d"
+  "ablation_drift_detectors"
+  "ablation_drift_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_drift_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

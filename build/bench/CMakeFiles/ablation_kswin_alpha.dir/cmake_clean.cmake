@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kswin_alpha.dir/ablation_kswin_alpha.cc.o"
+  "CMakeFiles/ablation_kswin_alpha.dir/ablation_kswin_alpha.cc.o.d"
+  "ablation_kswin_alpha"
+  "ablation_kswin_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kswin_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

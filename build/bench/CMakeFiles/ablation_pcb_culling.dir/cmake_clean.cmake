@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pcb_culling.dir/ablation_pcb_culling.cc.o"
+  "CMakeFiles/ablation_pcb_culling.dir/ablation_pcb_culling.cc.o.d"
+  "ablation_pcb_culling"
+  "ablation_pcb_culling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pcb_culling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

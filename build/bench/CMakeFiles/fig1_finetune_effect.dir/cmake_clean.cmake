@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_finetune_effect.dir/fig1_finetune_effect.cc.o"
+  "CMakeFiles/fig1_finetune_effect.dir/fig1_finetune_effect.cc.o.d"
+  "fig1_finetune_effect"
+  "fig1_finetune_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_finetune_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

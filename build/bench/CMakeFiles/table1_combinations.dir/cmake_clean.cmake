@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_combinations.dir/table1_combinations.cc.o"
+  "CMakeFiles/table1_combinations.dir/table1_combinations.cc.o.d"
+  "table1_combinations"
+  "table1_combinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_combinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_daphnet.dir/table3_daphnet.cc.o"
+  "CMakeFiles/table3_daphnet.dir/table3_daphnet.cc.o.d"
+  "table3_daphnet"
+  "table3_daphnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_daphnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

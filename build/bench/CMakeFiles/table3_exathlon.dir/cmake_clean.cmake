@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_exathlon.dir/table3_exathlon.cc.o"
+  "CMakeFiles/table3_exathlon.dir/table3_exathlon.cc.o.d"
+  "table3_exathlon"
+  "table3_exathlon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_exathlon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_smd.dir/table3_smd.cc.o"
+  "CMakeFiles/table3_smd.dir/table3_smd.cc.o.d"
+  "table3_smd"
+  "table3_smd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_smd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_monitoring.dir/telemetry_monitoring.cc.o"
+  "CMakeFiles/telemetry_monitoring.dir/telemetry_monitoring.cc.o.d"
+  "telemetry_monitoring"
+  "telemetry_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/op_counters.cc" "src/CMakeFiles/streamad.dir/common/op_counters.cc.o" "gcc" "src/CMakeFiles/streamad.dir/common/op_counters.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/streamad.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/streamad.dir/common/rng.cc.o.d"
+  "/root/repo/src/core/algorithm_spec.cc" "src/CMakeFiles/streamad.dir/core/algorithm_spec.cc.o" "gcc" "src/CMakeFiles/streamad.dir/core/algorithm_spec.cc.o.d"
+  "/root/repo/src/core/detector.cc" "src/CMakeFiles/streamad.dir/core/detector.cc.o" "gcc" "src/CMakeFiles/streamad.dir/core/detector.cc.o.d"
+  "/root/repo/src/core/training_set.cc" "src/CMakeFiles/streamad.dir/core/training_set.cc.o" "gcc" "src/CMakeFiles/streamad.dir/core/training_set.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/streamad.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/streamad.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/daphnet_like.cc" "src/CMakeFiles/streamad.dir/data/daphnet_like.cc.o" "gcc" "src/CMakeFiles/streamad.dir/data/daphnet_like.cc.o.d"
+  "/root/repo/src/data/exathlon_like.cc" "src/CMakeFiles/streamad.dir/data/exathlon_like.cc.o" "gcc" "src/CMakeFiles/streamad.dir/data/exathlon_like.cc.o.d"
+  "/root/repo/src/data/injectors.cc" "src/CMakeFiles/streamad.dir/data/injectors.cc.o" "gcc" "src/CMakeFiles/streamad.dir/data/injectors.cc.o.d"
+  "/root/repo/src/data/preprocess.cc" "src/CMakeFiles/streamad.dir/data/preprocess.cc.o" "gcc" "src/CMakeFiles/streamad.dir/data/preprocess.cc.o.d"
+  "/root/repo/src/data/series.cc" "src/CMakeFiles/streamad.dir/data/series.cc.o" "gcc" "src/CMakeFiles/streamad.dir/data/series.cc.o.d"
+  "/root/repo/src/data/smd_like.cc" "src/CMakeFiles/streamad.dir/data/smd_like.cc.o" "gcc" "src/CMakeFiles/streamad.dir/data/smd_like.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/streamad.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/streamad.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/finetune_fork.cc" "src/CMakeFiles/streamad.dir/harness/finetune_fork.cc.o" "gcc" "src/CMakeFiles/streamad.dir/harness/finetune_fork.cc.o.d"
+  "/root/repo/src/harness/parallel.cc" "src/CMakeFiles/streamad.dir/harness/parallel.cc.o" "gcc" "src/CMakeFiles/streamad.dir/harness/parallel.cc.o.d"
+  "/root/repo/src/harness/table_printer.cc" "src/CMakeFiles/streamad.dir/harness/table_printer.cc.o" "gcc" "src/CMakeFiles/streamad.dir/harness/table_printer.cc.o.d"
+  "/root/repo/src/io/binary_io.cc" "src/CMakeFiles/streamad.dir/io/binary_io.cc.o" "gcc" "src/CMakeFiles/streamad.dir/io/binary_io.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/streamad.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/streamad.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/solve.cc" "src/CMakeFiles/streamad.dir/linalg/solve.cc.o" "gcc" "src/CMakeFiles/streamad.dir/linalg/solve.cc.o.d"
+  "/root/repo/src/metrics/intervals.cc" "src/CMakeFiles/streamad.dir/metrics/intervals.cc.o" "gcc" "src/CMakeFiles/streamad.dir/metrics/intervals.cc.o.d"
+  "/root/repo/src/metrics/nab_score.cc" "src/CMakeFiles/streamad.dir/metrics/nab_score.cc.o" "gcc" "src/CMakeFiles/streamad.dir/metrics/nab_score.cc.o.d"
+  "/root/repo/src/metrics/pr_auc.cc" "src/CMakeFiles/streamad.dir/metrics/pr_auc.cc.o" "gcc" "src/CMakeFiles/streamad.dir/metrics/pr_auc.cc.o.d"
+  "/root/repo/src/metrics/precision_recall.cc" "src/CMakeFiles/streamad.dir/metrics/precision_recall.cc.o" "gcc" "src/CMakeFiles/streamad.dir/metrics/precision_recall.cc.o.d"
+  "/root/repo/src/metrics/range_based.cc" "src/CMakeFiles/streamad.dir/metrics/range_based.cc.o" "gcc" "src/CMakeFiles/streamad.dir/metrics/range_based.cc.o.d"
+  "/root/repo/src/metrics/vus.cc" "src/CMakeFiles/streamad.dir/metrics/vus.cc.o" "gcc" "src/CMakeFiles/streamad.dir/metrics/vus.cc.o.d"
+  "/root/repo/src/models/autoencoder.cc" "src/CMakeFiles/streamad.dir/models/autoencoder.cc.o" "gcc" "src/CMakeFiles/streamad.dir/models/autoencoder.cc.o.d"
+  "/root/repo/src/models/extended_isolation_forest.cc" "src/CMakeFiles/streamad.dir/models/extended_isolation_forest.cc.o" "gcc" "src/CMakeFiles/streamad.dir/models/extended_isolation_forest.cc.o.d"
+  "/root/repo/src/models/knn_model.cc" "src/CMakeFiles/streamad.dir/models/knn_model.cc.o" "gcc" "src/CMakeFiles/streamad.dir/models/knn_model.cc.o.d"
+  "/root/repo/src/models/nbeats.cc" "src/CMakeFiles/streamad.dir/models/nbeats.cc.o" "gcc" "src/CMakeFiles/streamad.dir/models/nbeats.cc.o.d"
+  "/root/repo/src/models/online_arima.cc" "src/CMakeFiles/streamad.dir/models/online_arima.cc.o" "gcc" "src/CMakeFiles/streamad.dir/models/online_arima.cc.o.d"
+  "/root/repo/src/models/pcb_iforest.cc" "src/CMakeFiles/streamad.dir/models/pcb_iforest.cc.o" "gcc" "src/CMakeFiles/streamad.dir/models/pcb_iforest.cc.o.d"
+  "/root/repo/src/models/usad.cc" "src/CMakeFiles/streamad.dir/models/usad.cc.o" "gcc" "src/CMakeFiles/streamad.dir/models/usad.cc.o.d"
+  "/root/repo/src/models/var_model.cc" "src/CMakeFiles/streamad.dir/models/var_model.cc.o" "gcc" "src/CMakeFiles/streamad.dir/models/var_model.cc.o.d"
+  "/root/repo/src/nn/activations.cc" "src/CMakeFiles/streamad.dir/nn/activations.cc.o" "gcc" "src/CMakeFiles/streamad.dir/nn/activations.cc.o.d"
+  "/root/repo/src/nn/gradient_check.cc" "src/CMakeFiles/streamad.dir/nn/gradient_check.cc.o" "gcc" "src/CMakeFiles/streamad.dir/nn/gradient_check.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/streamad.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/streamad.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/streamad.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/streamad.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/streamad.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/streamad.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/CMakeFiles/streamad.dir/nn/sequential.cc.o" "gcc" "src/CMakeFiles/streamad.dir/nn/sequential.cc.o.d"
+  "/root/repo/src/scoring/anomaly_likelihood.cc" "src/CMakeFiles/streamad.dir/scoring/anomaly_likelihood.cc.o" "gcc" "src/CMakeFiles/streamad.dir/scoring/anomaly_likelihood.cc.o.d"
+  "/root/repo/src/scoring/average_score.cc" "src/CMakeFiles/streamad.dir/scoring/average_score.cc.o" "gcc" "src/CMakeFiles/streamad.dir/scoring/average_score.cc.o.d"
+  "/root/repo/src/scoring/cosine_nonconformity.cc" "src/CMakeFiles/streamad.dir/scoring/cosine_nonconformity.cc.o" "gcc" "src/CMakeFiles/streamad.dir/scoring/cosine_nonconformity.cc.o.d"
+  "/root/repo/src/scoring/iforest_nonconformity.cc" "src/CMakeFiles/streamad.dir/scoring/iforest_nonconformity.cc.o" "gcc" "src/CMakeFiles/streamad.dir/scoring/iforest_nonconformity.cc.o.d"
+  "/root/repo/src/scoring/raw_score.cc" "src/CMakeFiles/streamad.dir/scoring/raw_score.cc.o" "gcc" "src/CMakeFiles/streamad.dir/scoring/raw_score.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/CMakeFiles/streamad.dir/stats/distributions.cc.o" "gcc" "src/CMakeFiles/streamad.dir/stats/distributions.cc.o.d"
+  "/root/repo/src/stats/ks_test.cc" "src/CMakeFiles/streamad.dir/stats/ks_test.cc.o" "gcc" "src/CMakeFiles/streamad.dir/stats/ks_test.cc.o.d"
+  "/root/repo/src/stats/running_stats.cc" "src/CMakeFiles/streamad.dir/stats/running_stats.cc.o" "gcc" "src/CMakeFiles/streamad.dir/stats/running_stats.cc.o.d"
+  "/root/repo/src/strategies/adwin.cc" "src/CMakeFiles/streamad.dir/strategies/adwin.cc.o" "gcc" "src/CMakeFiles/streamad.dir/strategies/adwin.cc.o.d"
+  "/root/repo/src/strategies/anomaly_aware_reservoir.cc" "src/CMakeFiles/streamad.dir/strategies/anomaly_aware_reservoir.cc.o" "gcc" "src/CMakeFiles/streamad.dir/strategies/anomaly_aware_reservoir.cc.o.d"
+  "/root/repo/src/strategies/kswin.cc" "src/CMakeFiles/streamad.dir/strategies/kswin.cc.o" "gcc" "src/CMakeFiles/streamad.dir/strategies/kswin.cc.o.d"
+  "/root/repo/src/strategies/mu_sigma_change.cc" "src/CMakeFiles/streamad.dir/strategies/mu_sigma_change.cc.o" "gcc" "src/CMakeFiles/streamad.dir/strategies/mu_sigma_change.cc.o.d"
+  "/root/repo/src/strategies/regular_interval.cc" "src/CMakeFiles/streamad.dir/strategies/regular_interval.cc.o" "gcc" "src/CMakeFiles/streamad.dir/strategies/regular_interval.cc.o.d"
+  "/root/repo/src/strategies/sliding_window.cc" "src/CMakeFiles/streamad.dir/strategies/sliding_window.cc.o" "gcc" "src/CMakeFiles/streamad.dir/strategies/sliding_window.cc.o.d"
+  "/root/repo/src/strategies/uniform_reservoir.cc" "src/CMakeFiles/streamad.dir/strategies/uniform_reservoir.cc.o" "gcc" "src/CMakeFiles/streamad.dir/strategies/uniform_reservoir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adwin_test.dir/adwin_test.cc.o"
+  "CMakeFiles/adwin_test.dir/adwin_test.cc.o.d"
+  "adwin_test"
+  "adwin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adwin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

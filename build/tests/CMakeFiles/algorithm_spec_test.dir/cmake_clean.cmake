@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_spec_test.dir/algorithm_spec_test.cc.o"
+  "CMakeFiles/algorithm_spec_test.dir/algorithm_spec_test.cc.o.d"
+  "algorithm_spec_test"
+  "algorithm_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

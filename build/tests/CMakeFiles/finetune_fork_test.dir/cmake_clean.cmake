@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune_fork_test.dir/finetune_fork_test.cc.o"
+  "CMakeFiles/finetune_fork_test.dir/finetune_fork_test.cc.o.d"
+  "finetune_fork_test"
+  "finetune_fork_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune_fork_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

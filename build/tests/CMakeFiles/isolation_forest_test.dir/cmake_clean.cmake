@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_forest_test.dir/isolation_forest_test.cc.o"
+  "CMakeFiles/isolation_forest_test.dir/isolation_forest_test.cc.o.d"
+  "isolation_forest_test"
+  "isolation_forest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

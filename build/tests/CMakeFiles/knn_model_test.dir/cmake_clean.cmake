@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_model_test.dir/knn_model_test.cc.o"
+  "CMakeFiles/knn_model_test.dir/knn_model_test.cc.o.d"
+  "knn_model_test"
+  "knn_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

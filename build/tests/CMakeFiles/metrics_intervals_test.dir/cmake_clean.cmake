@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_intervals_test.dir/metrics_intervals_test.cc.o"
+  "CMakeFiles/metrics_intervals_test.dir/metrics_intervals_test.cc.o.d"
+  "metrics_intervals_test"
+  "metrics_intervals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_intervals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_nab_test.dir/metrics_nab_test.cc.o"
+  "CMakeFiles/metrics_nab_test.dir/metrics_nab_test.cc.o.d"
+  "metrics_nab_test"
+  "metrics_nab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_nab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

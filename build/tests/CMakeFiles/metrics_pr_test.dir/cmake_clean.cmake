@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_pr_test.dir/metrics_pr_test.cc.o"
+  "CMakeFiles/metrics_pr_test.dir/metrics_pr_test.cc.o.d"
+  "metrics_pr_test"
+  "metrics_pr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_pr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_vus_test.dir/metrics_vus_test.cc.o"
+  "CMakeFiles/metrics_vus_test.dir/metrics_vus_test.cc.o.d"
+  "metrics_vus_test"
+  "metrics_vus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_vus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

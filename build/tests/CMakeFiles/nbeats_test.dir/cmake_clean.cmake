@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbeats_test.dir/nbeats_test.cc.o"
+  "CMakeFiles/nbeats_test.dir/nbeats_test.cc.o.d"
+  "nbeats_test"
+  "nbeats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbeats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

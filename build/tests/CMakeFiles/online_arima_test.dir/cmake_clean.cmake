@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_arima_test.dir/online_arima_test.cc.o"
+  "CMakeFiles/online_arima_test.dir/online_arima_test.cc.o.d"
+  "online_arima_test"
+  "online_arima_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_arima_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op_counters_test.dir/op_counters_test.cc.o"
+  "CMakeFiles/op_counters_test.dir/op_counters_test.cc.o.d"
+  "op_counters_test"
+  "op_counters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op_counters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

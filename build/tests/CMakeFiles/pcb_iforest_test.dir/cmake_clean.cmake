@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcb_iforest_test.dir/pcb_iforest_test.cc.o"
+  "CMakeFiles/pcb_iforest_test.dir/pcb_iforest_test.cc.o.d"
+  "pcb_iforest_test"
+  "pcb_iforest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcb_iforest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_based_test.dir/range_based_test.cc.o"
+  "CMakeFiles/range_based_test.dir/range_based_test.cc.o.d"
+  "range_based_test"
+  "range_based_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_based_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

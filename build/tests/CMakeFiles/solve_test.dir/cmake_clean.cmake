@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_test.dir/solve_test.cc.o"
+  "CMakeFiles/solve_test.dir/solve_test.cc.o.d"
+  "solve_test"
+  "solve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategies_task2_test.dir/strategies_task2_test.cc.o"
+  "CMakeFiles/strategies_task2_test.dir/strategies_task2_test.cc.o.d"
+  "strategies_task2_test"
+  "strategies_task2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategies_task2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_set_test.dir/training_set_test.cc.o"
+  "CMakeFiles/training_set_test.dir/training_set_test.cc.o.d"
+  "training_set_test"
+  "training_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usad_test.dir/usad_test.cc.o"
+  "CMakeFiles/usad_test.dir/usad_test.cc.o.d"
+  "usad_test"
+  "usad_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/var_model_test.dir/var_model_test.cc.o"
+  "CMakeFiles/var_model_test.dir/var_model_test.cc.o.d"
+  "var_model_test"
+  "var_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/var_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_representation_test.dir/window_representation_test.cc.o"
+  "CMakeFiles/window_representation_test.dir/window_representation_test.cc.o.d"
+  "window_representation_test"
+  "window_representation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_representation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
