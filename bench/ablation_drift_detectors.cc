@@ -46,8 +46,12 @@ const char* kNames[] = {"regular interval", "mu/sigma-Change", "KSWIN",
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using harness::TablePrinter;
+
+  const streamad::bench::BenchCli cli =
+      streamad::bench::ParseBenchCli(argc, argv);
+  obs::MetricsRegistry registry;
 
   const data::Corpus corpus =
       streamad::bench::Preprocessed(
@@ -72,8 +76,15 @@ int main() {
           std::make_unique<scoring::CosineNonconformity>(),
           std::make_unique<scoring::AnomalyLikelihood>(
               params.scorer_k, params.scorer_k_short));
-      const harness::RunTrace trace =
-          harness::RunDetector(&detector, series);
+      harness::RunTrace trace;
+      if (cli.metrics_out.empty()) {
+        trace = harness::RunDetector(&detector, series);
+      } else {
+        obs::RecorderOptions rec_options;
+        rec_options.label = kNames[variant];
+        obs::Recorder recorder(&registry, std::move(rec_options));
+        trace = harness::RunDetector(&detector, series, &recorder);
+      }
       finetunes += trace.finetune_steps.size();
       parts.push_back(harness::Evaluate(trace, series));
     }
@@ -90,5 +101,15 @@ int main() {
   std::printf("Ablation — Task-2 drift detectors head to head "
               "(2-layer AE / SW / anomaly likelihood, Daphnet-like)\n\n");
   table.Print();
+
+  if (!cli.metrics_out.empty()) {
+    std::ofstream metrics_file(cli.metrics_out);
+    if (metrics_file) {
+      registry.DumpText(&metrics_file);
+      std::printf("\nwrote %s\n", cli.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", cli.metrics_out.c_str());
+    }
+  }
   return 0;
 }

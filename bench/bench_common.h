@@ -9,9 +9,21 @@
 //                    setup corresponds to roughly SCALE=1.5 with WINDOW=100)
 //   STREAMAD_WINDOW  data representation length w (default 25; paper: 100)
 //   STREAMAD_SERIES  series per corpus (default 1)
+//
+// Command-line flags (table benches):
+//   --metrics-out=FILE   write the telemetry registry (per-stage latency
+//                        histograms, step/fine-tune counters, drift op
+//                        tallies) as Prometheus text exposition to FILE
+//   --trace-out=FILE     write sampled per-step JSONL trace records to FILE
+//
+// Alongside every printed table, `RunTable3` writes the same numbers
+// machine-readably to `BENCH_<name>.json` in the working directory so the
+// perf/quality trajectory can be tracked across commits.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +34,8 @@
 #include "src/harness/experiment.h"
 #include "src/harness/parallel.h"
 #include "src/harness/table_printer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
 
 namespace streamad::bench {
 
@@ -72,14 +86,73 @@ inline core::DetectorParams BenchParams() {
   return params;
 }
 
+/// Telemetry-related command line of the bench binaries.
+struct BenchCli {
+  std::string metrics_out;  // --metrics-out=FILE (Prometheus text)
+  std::string trace_out;    // --trace-out=FILE   (JSONL step trace)
+};
+
+inline BenchCli ParseBenchCli(int argc, char** argv) {
+  BenchCli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      cli.metrics_out = arg.substr(14);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      cli.trace_out = arg.substr(12);
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (supported: --metrics-out=FILE, "
+                   "--trace-out=FILE)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
+/// One metric summary as a JSON object (6 significant digits, ample for
+/// cross-commit comparison of [0,1]-ish metrics).
+inline std::string JsonMetrics(const harness::MetricSummary& m) {
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"precision\":%.6g,\"recall\":%.6g,\"pr_auc\":%.6g,"
+                "\"vus\":%.6g,\"nab\":%.6g}",
+                m.precision, m.recall, m.pr_auc, m.vus, m.nab);
+  return buffer;
+}
+
 /// Runs the full Table III reproduction for one corpus: the 26 algorithm
 /// rows (metrics averaged over the average / anomaly-likelihood scores)
 /// plus the three anomaly-score ablation rows averaged over all
 /// algorithms. Each (spec, scorer) pair is evaluated exactly once.
-inline void RunTable3(const data::Corpus& corpus) {
+///
+/// Side outputs: `BENCH_<bench_name>.json` (always, machine-readable copy
+/// of the printed table) and, when requested on the command line, the
+/// telemetry registry / JSONL step trace of the whole sweep.
+inline void RunTable3(const data::Corpus& corpus,
+                      const std::string& bench_name = "table3",
+                      const BenchCli& cli = {}) {
   harness::EvalConfig config;
   config.params = BenchParams();
   config.seed = 7;
+
+  // Telemetry: one shared registry + sink for the whole sweep; the
+  // harness attaches one recorder per detector run (ParallelFor-safe).
+  obs::MetricsRegistry registry;
+  std::ofstream trace_file;
+  std::unique_ptr<obs::TraceSink> trace;
+  const bool instrument = !cli.metrics_out.empty() || !cli.trace_out.empty();
+  if (instrument) config.metrics = &registry;
+  if (!cli.trace_out.empty()) {
+    trace_file.open(cli.trace_out);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open %s\n", cli.trace_out.c_str());
+      std::exit(1);
+    }
+    trace = std::make_unique<obs::TraceSink>(&trace_file);
+    config.trace = trace.get();
+  }
 
   const std::vector<core::AlgorithmSpec> specs = core::AllPaperAlgorithms();
   const core::ScoreType scorers[] = {core::ScoreType::kRaw,
@@ -131,6 +204,56 @@ inline void RunTable3(const data::Corpus& corpus) {
               corpus.series.empty() ? 0 : corpus.series[0].length(),
               config.params.window);
   table.Print();
+
+  // Machine-readable twin of the printed table, for cross-commit tracking.
+  const std::string json_path = "BENCH_" + bench_name + ".json";
+  std::ofstream json(json_path);
+  if (json) {
+    json << "{\"bench\":\"" << bench_name << "\",\"corpus\":\""
+         << corpus.name << "\",\"series\":" << corpus.series.size()
+         << ",\"steps\":"
+         << (corpus.series.empty() ? 0 : corpus.series[0].length())
+         << ",\"window\":" << config.params.window << ",\"rows\":[";
+    const char* score_keys[] = {"raw", "average", "anomaly_likelihood"};
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      const harness::MetricSummary row =
+          harness::MetricSummary::Mean({results[s][1], results[s][2]});
+      json << (s == 0 ? "" : ",") << "\n{\"algorithm\":\""
+           << core::SpecLabel(specs[s]) << "\",\"table_row\":"
+           << JsonMetrics(row);
+      for (std::size_t k = 0; k < 3; ++k) {
+        json << ",\"" << score_keys[k] << "\":" << JsonMetrics(results[s][k]);
+      }
+      json << '}';
+    }
+    json << "\n],\"score_ablation\":{";
+    for (std::size_t k = 0; k < 3; ++k) {
+      std::vector<harness::MetricSummary> column;
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        column.push_back(results[s][k]);
+      }
+      json << (k == 0 ? "" : ",") << "\"" << score_keys[k]
+           << "\":" << JsonMetrics(harness::MetricSummary::Mean(column));
+    }
+    json << "}}\n";
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+  }
+
+  if (!cli.metrics_out.empty()) {
+    std::ofstream metrics_file(cli.metrics_out);
+    if (metrics_file) {
+      registry.DumpText(&metrics_file);
+      std::printf("wrote %s\n", cli.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", cli.metrics_out.c_str());
+    }
+  }
+  if (trace != nullptr) {
+    std::printf("wrote %s (%llu trace records)\n", cli.trace_out.c_str(),
+                static_cast<unsigned long long>(trace->lines()));
+  }
 }
 
 }  // namespace streamad::bench

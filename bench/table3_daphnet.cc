@@ -6,9 +6,10 @@
 #include "bench/bench_common.h"
 #include "src/data/daphnet_like.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamad;
+  const bench::BenchCli cli = bench::ParseBenchCli(argc, argv);
   const data::Corpus corpus = data::MakeDaphnetLike(bench::BenchGenConfig());
-  bench::RunTable3(bench::Preprocessed(corpus));
+  bench::RunTable3(bench::Preprocessed(corpus), "table3_daphnet", cli);
   return 0;
 }

@@ -4,9 +4,10 @@
 #include "bench/bench_common.h"
 #include "src/data/exathlon_like.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamad;
+  const bench::BenchCli cli = bench::ParseBenchCli(argc, argv);
   const data::Corpus corpus = data::MakeExathlonLike(bench::BenchGenConfig());
-  bench::RunTable3(bench::Preprocessed(corpus));
+  bench::RunTable3(bench::Preprocessed(corpus), "table3_exathlon", cli);
   return 0;
 }

@@ -4,9 +4,10 @@
 #include "bench/bench_common.h"
 #include "src/data/smd_like.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamad;
+  const bench::BenchCli cli = bench::ParseBenchCli(argc, argv);
   const data::Corpus corpus = data::MakeSmdLike(bench::BenchGenConfig());
-  bench::RunTable3(bench::Preprocessed(corpus));
+  bench::RunTable3(bench::Preprocessed(corpus), "table3_smd", cli);
   return 0;
 }

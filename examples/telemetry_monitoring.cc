@@ -4,8 +4,11 @@
 // drift adaptation and an incident log.
 //
 // Demonstrates: per-step streaming use of the detector (no batch
-// evaluation), reacting to `StepResult` online, and watching fine-tunes
-// absorb concept drift without raising alarms.
+// evaluation), reacting to `StepResult` online, watching fine-tunes absorb
+// concept drift without raising alarms — and the observability layer
+// (src/obs): an `obs::Recorder` attached to the detector collects
+// per-stage wall-clock spans and counters, printed as an operations-style
+// latency / fine-tune-cost report at exit.
 
 #include <algorithm>
 #include <cstdio>
@@ -13,6 +16,7 @@
 
 #include "src/core/algorithm_spec.h"
 #include "src/data/exathlon_like.h"
+#include "src/obs/recorder.h"
 
 int main() {
   using namespace streamad;
@@ -42,6 +46,12 @@ int main() {
   params.scorer_k_short = 6;
   auto detector = core::BuildDetector(
       spec, core::ScoreType::kAverage, params, /*seed=*/5);
+
+  // Observability: per-stage latency histograms + counters for the whole
+  // monitoring session. The recorder watches; it never changes scores.
+  obs::MetricsRegistry registry;
+  obs::Recorder recorder(&registry);
+  detector->set_recorder(&recorder);
 
   // Alarm threshold calibration, the way a deployed monitor does it: the
   // first `kCalibrationSteps` scored steps are assumed alarm-free; the
@@ -100,5 +110,44 @@ int main() {
               "%lld fine-tunes\n",
               alarms, true_alarms,
               static_cast<long long>(detector->finetune_count()));
+
+  // --- telemetry report: where the session's wall-clock went -----------
+  const obs::StageTotals& totals = recorder.totals();
+  std::printf("\nper-stage latency (%llu steps, %llu scored)\n",
+              static_cast<unsigned long long>(totals.steps),
+              static_cast<unsigned long long>(totals.scored_steps));
+  std::printf("  %-16s %10s %12s %12s\n", "stage", "spans", "total ms",
+              "mean us");
+  for (std::size_t i = 0; i < obs::kNumStages; ++i) {
+    const auto stage = static_cast<obs::Stage>(i);
+    const unsigned long long spans = totals.StageSpans(stage);
+    if (spans == 0) continue;
+    const double total_ms = static_cast<double>(totals.StageNs(stage)) / 1e6;
+    const double mean_us =
+        static_cast<double>(totals.StageNs(stage)) / 1e3 /
+        static_cast<double>(spans);
+    std::printf("  %-16s %10llu %12.2f %12.2f\n", obs::StageName(stage),
+                spans, total_ms, mean_us);
+  }
+
+  const double total_ns = static_cast<double>(totals.TotalNs());
+  const double finetune_ns =
+      static_cast<double>(totals.StageNs(obs::Stage::kFinetune));
+  const double fit_ns = static_cast<double>(totals.StageNs(obs::Stage::kFit));
+  std::printf("\nadaptation cost: initial fit %.1f ms; %llu fine-tunes, "
+              "%.1f ms total (%.1f ms/fine-tune), %.1f%% of pipeline time\n",
+              fit_ns / 1e6,
+              static_cast<unsigned long long>(totals.finetunes),
+              finetune_ns / 1e6,
+              totals.finetunes == 0
+                  ? 0.0
+                  : finetune_ns / 1e6 / static_cast<double>(totals.finetunes),
+              total_ns == 0.0 ? 0.0 : 100.0 * finetune_ns / total_ns);
+
+  // The same numbers, machine-readably: the Prometheus text exposition a
+  // scrape endpoint would serve.
+  std::printf("\n--- metrics exposition (excerpt) ---\n");
+  const std::string exposition = registry.DumpText();
+  std::printf("%.*s...\n", 400, exposition.c_str());
   return 0;
 }

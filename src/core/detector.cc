@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/recorder.h"
 
 namespace streamad::core {
 
@@ -146,44 +147,98 @@ bool StreamingDetector::LoadState(std::istream* in) {
   return true;
 }
 
+void StreamingDetector::set_recorder(obs::Recorder* recorder) {
+  recorder_ = recorder;
+  // Route the drift detector's Table II tallies into the recorder so op
+  // counts and latencies land in one registry export.
+  drift_->AttachOpCounters(recorder == nullptr ? nullptr
+                                               : recorder->op_counters());
+}
+
 StreamingDetector::StepResult StreamingDetector::Step(const StreamVector& s) {
   ++t_;
-  representation_.Observe(s);
+  if (recorder_ != nullptr) recorder_->BeginStep(t_);
   StepResult result;
-  if (!representation_.Ready()) return result;  // warm-up
 
-  const FeatureVector x = representation_.Current(t_);
+  FeatureVector x;
+  bool ready = false;
+  {
+    obs::StageSpan span(recorder_, obs::Stage::kRepresentation);
+    representation_.Observe(s);
+    ready = representation_.Ready();
+    if (ready) x = representation_.Current(t_);
+  }
+  if (!ready) {  // warm-up
+    if (recorder_ != nullptr) {
+      recorder_->EndStep(t_, /*scored=*/false, 0.0, 0.0, /*finetuned=*/false);
+    }
+    return result;
+  }
   ++scorable_steps_;
 
   if (!trained_) {
     // Initial phase: accumulate the training set, then fit once.
-    const TrainingSetUpdate update = strategy_->Offer(x, /*anomaly_score=*/0.0);
-    drift_->Observe(strategy_->set(), update, t_);
+    TrainingSetUpdate update;
+    {
+      obs::StageSpan span(recorder_, obs::Stage::kTrainOffer);
+      update = strategy_->Offer(x, /*anomaly_score=*/0.0);
+    }
+    {
+      obs::StageSpan span(recorder_, obs::Stage::kDriftCheck);
+      drift_->Observe(strategy_->set(), update, t_);
+    }
     if (scorable_steps_ >=
             static_cast<std::int64_t>(options_.initial_train_steps) &&
         !strategy_->set().empty()) {
-      model_->Fit(strategy_->set());
+      {
+        obs::StageSpan span(recorder_, obs::Stage::kFit);
+        model_->Fit(strategy_->set());
+      }
       drift_->OnFinetune(strategy_->set(), t_);
       scorer_->Reset();
       trained_ = true;
+      if (recorder_ != nullptr) recorder_->OnFit();
+    }
+    if (recorder_ != nullptr) {
+      recorder_->EndStep(t_, /*scored=*/false, 0.0, 0.0, /*finetuned=*/false);
     }
     return result;
   }
 
   // Streaming phase: score, update the training set, maybe fine-tune.
   result.scored = true;
-  result.nonconformity = nonconformity_->Score(x, model_.get());
-  result.anomaly_score = scorer_->Update(result.nonconformity);
+  {
+    obs::StageSpan span(recorder_, obs::Stage::kNonconformity);
+    result.nonconformity = nonconformity_->Score(x, model_.get());
+  }
+  {
+    obs::StageSpan span(recorder_, obs::Stage::kScoring);
+    result.anomaly_score = scorer_->Update(result.nonconformity);
+  }
 
-  const TrainingSetUpdate update = strategy_->Offer(x, result.anomaly_score);
-  drift_->Observe(strategy_->set(), update, t_);
+  TrainingSetUpdate update;
+  {
+    obs::StageSpan span(recorder_, obs::Stage::kTrainOffer);
+    update = strategy_->Offer(x, result.anomaly_score);
+  }
+  bool should_finetune = false;
+  {
+    obs::StageSpan span(recorder_, obs::Stage::kDriftCheck);
+    drift_->Observe(strategy_->set(), update, t_);
+    should_finetune = options_.finetuning_enabled &&
+                      drift_->ShouldFinetune(strategy_->set(), t_);
+  }
 
-  if (options_.finetuning_enabled &&
-      drift_->ShouldFinetune(strategy_->set(), t_)) {
+  if (should_finetune) {
+    obs::StageSpan span(recorder_, obs::Stage::kFinetune);
     model_->Finetune(strategy_->set());
     drift_->OnFinetune(strategy_->set(), t_);
     ++finetune_count_;
     result.finetuned = true;
+  }
+  if (recorder_ != nullptr) {
+    recorder_->EndStep(t_, result.scored, result.nonconformity,
+                       result.anomaly_score, result.finetuned);
   }
   return result;
 }

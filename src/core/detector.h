@@ -9,6 +9,10 @@
 #include "src/core/training_set.h"
 #include "src/core/types.h"
 
+namespace streamad::obs {
+class Recorder;
+}
+
 namespace streamad::core {
 
 /// The single data representation of the paper (§IV-A): the raw window of
@@ -104,6 +108,16 @@ class StreamingDetector {
     options_.finetuning_enabled = enabled;
   }
 
+  /// Attaches a telemetry recorder (src/obs): every subsequent `Step` is
+  /// broken into per-stage wall-clock spans, counters and (optionally)
+  /// JSONL trace records, and the drift detector's Table II op tallies
+  /// are mirrored into the recorder's registry. Pass nullptr to detach.
+  /// The recorder observes but never participates: scores are bit-identical
+  /// with and without one attached. Not owned; must outlive the detector
+  /// or be detached first.
+  void set_recorder(obs::Recorder* recorder);
+  obs::Recorder* recorder() const { return recorder_; }
+
   const TrainingSetStrategy& strategy() const { return *strategy_; }
   const DriftDetector& drift_detector() const { return *drift_; }
   Model& model() { return *model_; }
@@ -130,6 +144,8 @@ class StreamingDetector {
   std::unique_ptr<Model> model_;
   std::unique_ptr<NonconformityMeasure> nonconformity_;
   std::unique_ptr<AnomalyScorer> scorer_;
+
+  obs::Recorder* recorder_ = nullptr;
 
   std::int64_t t_ = -1;
   std::int64_t scorable_steps_ = 0;  // steps with a full window so far

@@ -18,8 +18,10 @@ std::vector<int> RunTrace::AlignedLabels(
 }
 
 RunTrace RunDetector(core::StreamingDetector* detector,
-                     const data::LabeledSeries& series) {
+                     const data::LabeledSeries& series,
+                     obs::Recorder* recorder) {
   STREAMAD_CHECK(detector != nullptr);
+  if (recorder != nullptr) detector->set_recorder(recorder);
   RunTrace trace;
   bool any_scored = false;
   for (std::size_t t = 0; t < series.length(); ++t) {
@@ -36,6 +38,11 @@ RunTrace RunDetector(core::StreamingDetector* detector,
         trace.finetune_steps.push_back(static_cast<std::int64_t>(t));
       }
     }
+  }
+  if (recorder != nullptr) {
+    trace.stage_totals = recorder->totals();
+    trace.has_telemetry = true;
+    detector->set_recorder(nullptr);
   }
   STREAMAD_CHECK_MSG(any_scored,
                      "series shorter than warm-up + initial training");
@@ -84,11 +91,26 @@ MetricSummary EvaluateAlgorithmOnCorpus(const core::AlgorithmSpec& spec,
                                         const EvalConfig& config) {
   STREAMAD_CHECK(!corpus.series.empty());
   std::vector<MetricSummary> parts;
+  std::size_t series_index = 0;
   for (const data::LabeledSeries& series : corpus.series) {
     auto detector =
         core::BuildDetector(spec, score, config.params, config.seed);
-    const RunTrace trace = RunDetector(detector.get(), series);
+    RunTrace trace;
+    if (config.metrics != nullptr) {
+      // One recorder per run; the shared registry aggregates across the
+      // parallel sweep's threads.
+      obs::RecorderOptions options;
+      options.trace = config.trace;
+      options.trace_sample_every = config.trace_sample_every;
+      options.label = core::SpecLabel(spec) + "/" + core::ToString(score) +
+                      "/s" + std::to_string(series_index);
+      obs::Recorder recorder(config.metrics, std::move(options));
+      trace = RunDetector(detector.get(), series, &recorder);
+    } else {
+      trace = RunDetector(detector.get(), series);
+    }
     parts.push_back(Evaluate(trace, series));
+    ++series_index;
   }
   return MetricSummary::Mean(parts);
 }

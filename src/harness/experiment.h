@@ -6,6 +6,7 @@
 
 #include "src/core/algorithm_spec.h"
 #include "src/data/series.h"
+#include "src/obs/recorder.h"
 
 namespace streamad::harness {
 
@@ -20,13 +21,22 @@ struct RunTrace {
   /// Steps (series indices) at which a fine-tune was triggered.
   std::vector<std::int64_t> finetune_steps;
 
+  /// Per-stage wall-clock totals of the run; populated (and
+  /// `has_telemetry` set) when the run was instrumented with a recorder.
+  obs::StageTotals stage_totals;
+  bool has_telemetry = false;
+
   /// The ground-truth labels aligned with `scores`.
   std::vector<int> AlignedLabels(const data::LabeledSeries& series) const;
 };
 
-/// Streams `series` through `detector` and records the trace.
+/// Streams `series` through `detector` and records the trace. When
+/// `recorder` is non-null it is attached for the duration of the run
+/// (detached afterwards) and its per-stage totals are copied into the
+/// returned trace.
 RunTrace RunDetector(core::StreamingDetector* detector,
-                     const data::LabeledSeries& series);
+                     const data::LabeledSeries& series,
+                     obs::Recorder* recorder = nullptr);
 
 /// One Table III cell: the five reported metrics.
 struct MetricSummary {
@@ -50,6 +60,17 @@ MetricSummary Evaluate(const RunTrace& trace,
 struct EvalConfig {
   core::DetectorParams params;
   std::uint64_t seed = 7;
+
+  /// Optional shared telemetry registry. When set, every detector run of
+  /// the sweep is instrumented with its own `obs::Recorder` on this
+  /// registry — the registry is thread-safe, so the `ParallelFor` sweeps
+  /// record concurrently. Not owned.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional shared JSONL trace sink (requires `metrics`). Not owned.
+  obs::TraceSink* trace = nullptr;
+  /// Trace sampling: every Nth scored step per run (fine-tune steps are
+  /// always traced). 64 bounds trace volume during full-table sweeps.
+  std::size_t trace_sample_every = 64;
 };
 
 /// Builds a fresh detector for (spec, score), runs every series of the

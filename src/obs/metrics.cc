@@ -1,0 +1,177 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace streamad::obs {
+namespace {
+
+/// CAS-loop add for pre-C++20-toolchain portability of
+/// `atomic<double>::fetch_add` (libstdc++ lowers it to this anyway).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(expected, expected + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (value < expected &&
+         !target->compare_exchange_weak(expected, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (value > expected &&
+         !target->compare_exchange_weak(expected, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+/// Shortest-round-trip-ish double formatting for the text exposition;
+/// integral values print without a decimal point ("42", not "42.000000").
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::size_t ThreadShard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+std::uint64_t Counter::Value() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  STREAMAD_CHECK_MSG(!upper_bounds_.empty(), "histogram needs >= 1 bucket");
+  for (std::size_t i = 1; i < upper_bounds_.size(); ++i) {
+    STREAMAD_CHECK_MSG(upper_bounds_[i - 1] < upper_bounds_[i],
+                       "histogram bounds must be strictly increasing");
+  }
+  for (Shard& shard : shards_) {
+    shard.buckets =
+        std::vector<std::atomic<std::uint64_t>>(upper_bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double value) {
+  Shard& shard = shards_[ThreadShard()];
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - upper_bounds_.begin());
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&shard.sum, value);
+  if (shard.count.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // First observation of this shard seeds min/max (races with a
+    // concurrent second observation resolve through the CAS loops).
+    shard.min.store(value, std::memory_order_relaxed);
+    shard.max.store(value, std::memory_order_relaxed);
+  }
+  AtomicMin(&shard.min, value);
+  AtomicMax(&shard.max, value);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.bucket_counts.assign(upper_bounds_.size() + 1, 0);
+  bool first = true;
+  for (const Shard& shard : shards_) {
+    const std::uint64_t shard_count =
+        shard.count.load(std::memory_order_relaxed);
+    if (shard_count == 0) continue;
+    for (std::size_t b = 0; b < snap.bucket_counts.size(); ++b) {
+      snap.bucket_counts[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.count += shard_count;
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    const double shard_min = shard.min.load(std::memory_order_relaxed);
+    const double shard_max = shard.max.load(std::memory_order_relaxed);
+    snap.min = first ? shard_min : std::min(snap.min, shard_min);
+    snap.max = first ? shard_max : std::max(snap.max, shard_max);
+    first = false;
+  }
+  return snap;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(
+    const std::string& name, const std::vector<double>& upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(upper_bounds);
+  } else {
+    STREAMAD_CHECK_MSG(slot->upper_bounds() == upper_bounds,
+                       "histogram re-registered with different buckets");
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::DumpText(std::ostream* out) const {
+  STREAMAD_CHECK(out != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    *out << "# TYPE " << name << " counter\n"
+         << name << ' ' << counter->Value() << '\n';
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    *out << "# TYPE " << name << " gauge\n"
+         << name << ' ' << FormatDouble(gauge->Value()) << '\n';
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->Snap();
+    *out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < histogram->upper_bounds().size(); ++b) {
+      cumulative += snap.bucket_counts[b];
+      *out << name << "_bucket{le=\""
+           << FormatDouble(histogram->upper_bounds()[b]) << "\"} "
+           << cumulative << '\n';
+    }
+    cumulative += snap.bucket_counts.back();
+    *out << name << "_bucket{le=\"+Inf\"} " << cumulative << '\n'
+         << name << "_sum " << FormatDouble(snap.sum) << '\n'
+         << name << "_count " << snap.count << '\n';
+  }
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::ostringstream stream;
+  DumpText(&stream);
+  return stream.str();
+}
+
+}  // namespace streamad::obs

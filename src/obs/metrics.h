@@ -1,0 +1,141 @@
+#ifndef STREAMAD_OBS_METRICS_H_
+#define STREAMAD_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace streamad::obs {
+
+/// Number of independent shards each instrument spreads its writes over.
+/// Writers pick a shard from a thread-local id, so concurrent recorders
+/// (one per detector run in the `harness::ParallelFor` Table III sweeps)
+/// increment disjoint cache lines instead of bouncing one atomic.
+inline constexpr std::size_t kShards = 16;
+
+/// Stable shard index of the calling thread in `[0, kShards)`.
+std::size_t ThreadShard();
+
+/// Monotonically increasing event count. Writes are lock-free atomic adds
+/// into the calling thread's shard; `Value()` sums the shards on read.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::uint64_t delta) {
+    shards_[ThreadShard()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  std::uint64_t Value() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-written value; the only instrument that may go down. One atomic —
+/// gauges are set from single-threaded contexts (per-run recorders).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket `i` counts observations `<=
+/// upper_bounds[i]` exclusively of lower buckets (non-cumulative storage;
+/// the text exposition prints the Prometheus cumulative form). An implicit
+/// overflow bucket catches everything above the last bound. Observations
+/// are sharded like `Counter`; `Snapshot()` merges on read.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+
+  struct Snapshot {
+    /// Per-bucket counts, `upper_bounds().size() + 1` entries (last =
+    /// overflow / "+Inf" bucket). Non-cumulative.
+    std::vector<std::uint64_t> bucket_counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // valid when count > 0
+    double max = 0.0;  // valid when count > 0
+  };
+  Snapshot Snap() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+  };
+
+  std::vector<double> upper_bounds_;
+  std::array<Shard, kShards> shards_;
+};
+
+/// Named instrument registry, the shared aggregation point of one process
+/// (or one experiment). Instrument creation takes a mutex; the returned
+/// pointers are stable for the registry's lifetime, and recording through
+/// them is lock-free. Instrument names follow the Prometheus convention:
+/// `streamad_<subsystem>_<unit>[_total]`, e.g.
+/// `streamad_stage_nonconformity_ns` or `streamad_detector_steps_total`.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  Counter* GetCounter(const std::string& name);
+
+  /// Returns the gauge registered under `name`, creating it on first use.
+  Gauge* GetGauge(const std::string& name);
+
+  /// Returns the histogram registered under `name`, creating it with
+  /// `upper_bounds` on first use. CHECK-fails if the name exists with
+  /// different bounds (one instrument, one bucket layout).
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& upper_bounds);
+
+  /// Prometheus text exposition (`# TYPE` comments, cumulative `_bucket`
+  /// lines with `le` labels, `_sum` / `_count`). Instruments are emitted
+  /// in lexicographic name order so the output is deterministic.
+  void DumpText(std::ostream* out) const;
+  std::string DumpText() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace streamad::obs
+
+#endif  // STREAMAD_OBS_METRICS_H_

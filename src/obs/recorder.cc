@@ -1,0 +1,159 @@
+#include "src/obs/recorder.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace streamad::obs {
+namespace {
+
+constexpr const char* kStageNames[kNumStages] = {
+    "representation", "nonconformity", "scoring", "train_offer",
+    "drift_check",    "finetune",      "fit",
+};
+
+std::string StageHistogramName(Stage stage) {
+  return std::string("streamad_stage_") + StageName(stage) + "_ns";
+}
+
+void AppendF(std::string* out, const char* format, ...) {
+  char buffer[128];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  out->append(buffer);
+}
+
+}  // namespace
+
+const char* StageName(Stage stage) {
+  const std::size_t index = static_cast<std::size_t>(stage);
+  STREAMAD_CHECK(index < kNumStages);
+  return kStageNames[index];
+}
+
+std::uint64_t StageTotals::TotalNs() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t stage_ns : ns) total += stage_ns;
+  return total;
+}
+
+TraceSink::TraceSink(std::ostream* out) : out_(out) {
+  STREAMAD_CHECK(out != nullptr);
+}
+
+void TraceSink::Write(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << line << '\n';
+  lines_.Increment();
+}
+
+const std::vector<double>& Recorder::LatencyBucketsNs() {
+  // Quasi-logarithmic 100ns .. 1s: fine enough to separate a cheap window
+  // push (sub-µs) from a neural fine-tune (ms..s) in one shared layout.
+  static const std::vector<double> buckets = {
+      100.0, 250.0, 500.0, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5,
+      2.5e5, 5e5,   1e6,   2.5e6, 5e6, 1e7, 5e7, 1e8,   5e8, 1e9,
+  };
+  return buckets;
+}
+
+Recorder::Recorder(MetricsRegistry* registry, RecorderOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  STREAMAD_CHECK(registry != nullptr);
+  STREAMAD_CHECK_MSG(options_.trace_sample_every > 0,
+                     "trace_sample_every must be >= 1");
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    stage_ns_[i] = registry->GetHistogram(
+        StageHistogramName(static_cast<Stage>(i)), LatencyBucketsNs());
+  }
+  steps_total_ = registry->GetCounter("streamad_detector_steps_total");
+  scored_steps_total_ =
+      registry->GetCounter("streamad_detector_scored_steps_total");
+  finetunes_total_ = registry->GetCounter("streamad_detector_finetunes_total");
+  fits_total_ = registry->GetCounter("streamad_detector_fits_total");
+  op_additions_total_ =
+      registry->GetCounter("streamad_drift_op_additions_total");
+  op_multiplications_total_ =
+      registry->GetCounter("streamad_drift_op_multiplications_total");
+  op_comparisons_total_ =
+      registry->GetCounter("streamad_drift_op_comparisons_total");
+}
+
+void Recorder::BeginStep(std::int64_t /*t*/) {
+  step_ns_.fill(0);
+  steps_total_->Increment();
+  ++totals_.steps;
+}
+
+void Recorder::RecordStage(Stage stage, std::uint64_t elapsed_ns) {
+  const std::size_t index = static_cast<std::size_t>(stage);
+  stage_ns_[index]->Observe(static_cast<double>(elapsed_ns));
+  step_ns_[index] += elapsed_ns;
+  totals_.ns[index] += elapsed_ns;
+  ++totals_.spans[index];
+}
+
+void Recorder::OnFit() {
+  fits_total_->Increment();
+  ++totals_.fits;
+}
+
+void Recorder::EndStep(std::int64_t t, bool scored, double nonconformity,
+                       double anomaly_score, bool finetuned) {
+  if (scored) {
+    scored_steps_total_->Increment();
+    ++totals_.scored_steps;
+  }
+  if (finetuned) {
+    finetunes_total_->Increment();
+    ++totals_.finetunes;
+  }
+
+  // Mirror the drift detector's Table II tallies into the registry as
+  // monotonic counters (delta since the last step).
+  op_additions_total_->Add(op_counters_.additions - mirrored_ops_.additions);
+  op_multiplications_total_->Add(op_counters_.multiplications -
+                                 mirrored_ops_.multiplications);
+  op_comparisons_total_->Add(op_counters_.comparisons -
+                             mirrored_ops_.comparisons);
+  mirrored_ops_ = op_counters_;
+
+  if (options_.trace == nullptr) return;
+  bool emit = finetuned;
+  if (scored) {
+    emit = emit || (sample_cursor_ % options_.trace_sample_every) == 0;
+    ++sample_cursor_;
+  }
+  if (!emit) return;
+
+  std::string line;
+  line.reserve(256);
+  line += '{';
+  if (!options_.label.empty()) {
+    line += "\"run\":\"";
+    line += options_.label;  // labels are identifiers; no escaping needed
+    line += "\",";
+  }
+  AppendF(&line, "\"t\":%" PRId64, t);
+  line += scored ? ",\"scored\":true" : ",\"scored\":false";
+  if (scored) {
+    AppendF(&line, ",\"a\":%.17g,\"f\":%.17g", nonconformity, anomaly_score);
+  }
+  line += finetuned ? ",\"finetuned\":true" : ",\"finetuned\":false";
+  line += ",\"stage_ns\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    if (step_ns_[i] == 0) continue;
+    if (!first) line += ',';
+    first = false;
+    AppendF(&line, "\"%s\":%" PRIu64, kStageNames[i], step_ns_[i]);
+  }
+  line += "}}";
+  options_.trace->Write(line);
+}
+
+}  // namespace streamad::obs

@@ -1,0 +1,41 @@
+#ifndef STREAMAD_OBS_TIMER_H_
+#define STREAMAD_OBS_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/obs/metrics.h"
+
+namespace streamad::obs {
+
+/// Monotonic wall clock in nanoseconds; the time base of every span.
+inline std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII wall-clock span: records elapsed nanoseconds into a histogram when
+/// it leaves scope. A null histogram makes the whole span a no-op (the
+/// clock is not even read), so un-instrumented call sites pay one branch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_ns_(histogram ? NowNs() : 0) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(static_cast<double>(NowNs() - start_ns_));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace streamad::obs
+
+#endif  // STREAMAD_OBS_TIMER_H_
