@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_micro.json against the checked-in baseline.
+
+Absolute ns/op numbers are machine-dependent, so the hard gate is on the
+*speedup ratios* the compute-core optimizations promise — optimized vs
+reference matmul, incremental vs full kNN fine-tune, incremental vs full
+VAR fine-tune. These are measured on the same machine within one run and
+therefore transfer across hardware. A ratio may not drop more than
+REL_TOLERANCE below the baseline ratio, and never below the hard floors
+from the issue's acceptance criteria (2x matmul at 64x64+, 5x kNN
+fine-tune at 500).
+
+Absolute per-benchmark times are also compared, but only as warnings:
+they catch local regressions when baseline and run come from comparable
+machines, and noise when they don't.
+
+Usage: check_micro_regression.py <BENCH_micro.json> [baseline.json]
+Exit code 0 = pass, 1 = ratio regression, 2 = bad input.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REL_TOLERANCE = 0.25  # ratio may lose at most 25% vs baseline
+
+# (fast benchmark, slow benchmark, hard floor for slow/fast)
+RATIO_GATES = [
+    ("BM_MatMul/64", "BM_MatMulReference/64", 2.0),
+    ("BM_MatMul/128", "BM_MatMulReference/128", 2.0),
+    ("BM_MatMul/256", "BM_MatMulReference/256", 2.0),
+    ("BM_KnnFinetuneIncremental/500", "BM_KnnFitFull/500", 5.0),
+    ("BM_VarFinetuneIncremental/100", "BM_VarFitFull/100", 2.0),
+]
+
+
+def load_times(path):
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench["name"]] = float(bench["cpu_time"])
+    return times
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    results_path = Path(argv[1])
+    baseline_path = (
+        Path(argv[2])
+        if len(argv) > 2
+        else Path(__file__).parent / "micro_baseline.json"
+    )
+    try:
+        results = load_times(results_path)
+        baseline = load_times(baseline_path)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"error: failed to load inputs: {err}")
+        return 2
+    if not results:
+        print(f"error: no benchmarks in {results_path}")
+        return 2
+
+    failures = []
+    for fast, slow, floor in RATIO_GATES:
+        if fast not in results or slow not in results:
+            failures.append(f"missing benchmark pair {fast} / {slow}")
+            continue
+        ratio = results[slow] / results[fast]
+        line = f"{slow} / {fast}: {ratio:.2f}x (floor {floor:.1f}x"
+        if fast in baseline and slow in baseline:
+            base_ratio = baseline[slow] / baseline[fast]
+            threshold = max(floor, base_ratio * (1.0 - REL_TOLERANCE))
+            line += f", baseline {base_ratio:.2f}x, gate {threshold:.2f}x)"
+        else:
+            threshold = floor
+            line += ", no baseline)"
+        status = "ok" if ratio >= threshold else "FAIL"
+        print(f"[{status}] {line}")
+        if ratio < threshold:
+            failures.append(
+                f"{slow}/{fast} ratio {ratio:.2f}x below gate {threshold:.2f}x"
+            )
+
+    for name in sorted(set(results) & set(baseline)):
+        if results[name] > baseline[name] * (1.0 + REL_TOLERANCE):
+            print(
+                f"[warn] {name}: {results[name]:.0f}ns vs baseline "
+                f"{baseline[name]:.0f}ns (+"
+                f"{100.0 * (results[name] / baseline[name] - 1.0):.0f}%)"
+            )
+
+    if failures:
+        print("\nregression check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nregression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,16 +1,34 @@
-// Component micro-benchmarks (google-benchmark): per-step latency of the
-// models, Task-1 strategies, Task-2 drift detectors, anomaly scorers and
-// the evaluation metrics. These back the throughput claims in README.md
-// and catch performance regressions of individual components.
+// Component micro-benchmarks (google-benchmark): the compute-core kernels
+// (blocked/fused matmul, allocation-free NN train step, incremental kNN /
+// VAR calibration) plus per-step latency of the models, Task-1 strategies,
+// Task-2 drift detectors, anomaly scorers and the evaluation metrics.
+// These back the throughput claims in README.md and catch performance
+// regressions of individual components.
+//
+// The binary always writes its results to BENCH_micro.json (JSON reporter)
+// in the working directory, alongside the console output; CI compares that
+// file against bench/micro_baseline.json.
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/core/algorithm_spec.h"
 #include "src/core/training_set.h"
+#include "src/linalg/matrix.h"
 #include "src/metrics/nab_score.h"
 #include "src/metrics/pr_auc.h"
 #include "src/metrics/vus.h"
+#include "src/models/knn_model.h"
+#include "src/models/var_model.h"
+#include "src/nn/activations.h"
+#include "src/nn/linear.h"
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/sequential.h"
 #include "src/scoring/anomaly_likelihood.h"
 #include "src/scoring/average_score.h"
 #include "src/stats/ks_test.h"
@@ -221,6 +239,194 @@ void BM_Vus(benchmark::State& state) {
 }
 BENCHMARK(BM_Vus)->Arg(5000)->Arg(20000);
 
+// ------------------------------------------------------- compute core --
+
+linalg::Matrix RandomMatrix(std::size_t rows, std::size_t cols, Rng* rng) {
+  linalg::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.at_flat(i) = rng->Uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+void BenchMatMul(benchmark::State& state, linalg::KernelMode mode) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(17);
+  const linalg::Matrix a = RandomMatrix(n, n, &rng);
+  const linalg::Matrix b = RandomMatrix(n, n, &rng);
+  linalg::Matrix out;
+  linalg::ScopedKernelMode scoped(mode);
+  for (auto _ : state) {
+    linalg::MatMulInto(a, b, &out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+
+void BM_MatMul(benchmark::State& state) {
+  BenchMatMul(state, linalg::KernelMode::kOptimized);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulReference(benchmark::State& state) {
+  BenchMatMul(state, linalg::KernelMode::kReference);
+}
+BENCHMARK(BM_MatMulReference)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTransA(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(19);
+  const linalg::Matrix a = RandomMatrix(n, n, &rng);
+  const linalg::Matrix b = RandomMatrix(n, n, &rng);
+  linalg::Matrix out;
+  for (auto _ : state) {
+    linalg::MatMulTransAInto(a, b, &out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_MatMulTransA)->Arg(64)->Arg(128);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(23);
+  const linalg::Matrix a = RandomMatrix(n, n, &rng);
+  const linalg::Matrix b = RandomMatrix(n, n, &rng);
+  linalg::Matrix out;
+  for (auto _ : state) {
+    linalg::MatMulTransBInto(a, b, &out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_MatMulTransB)->Arg(64)->Arg(128);
+
+// One full train step (forward, loss gradient, backward, optimizer step)
+// of a 2-layer MLP through the persistent-tape path — allocation-free in
+// steady state.
+void BM_NnTrainStep(benchmark::State& state) {
+  constexpr std::size_t kIn = 225;
+  constexpr std::size_t kHidden = 64;
+  constexpr std::size_t kBatch = 32;
+  Rng rng(29);
+  nn::Sequential net;
+  net.Add(std::make_unique<nn::Linear>(kIn, kHidden, &rng))
+      .Add(std::make_unique<nn::Relu>())
+      .Add(std::make_unique<nn::Linear>(kHidden, kIn, &rng))
+      .Add(std::make_unique<nn::Sigmoid>());
+  const std::vector<nn::Parameter*> params = net.Params();
+  nn::Adam opt(1e-3);
+  const linalg::Matrix batch = RandomMatrix(kBatch, kIn, &rng);
+  nn::Sequential::Tape tape;
+  linalg::Matrix pred;
+  linalg::Matrix grad;
+  linalg::Matrix grad_in;
+  for (auto _ : state) {
+    net.ForwardInto(batch, &tape, &pred);
+    nn::MseLossGradInto(pred, batch, &grad);
+    net.BackwardInto(grad, tape, true, &grad_in);
+    opt.StepAll(params);
+    benchmark::DoNotOptimize(pred.data().data());
+  }
+}
+BENCHMARK(BM_NnTrainStep);
+
+core::TrainingSet MakeLargeSet(std::size_t count, Rng* rng) {
+  core::TrainingSet set(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    set.Add(RandomWindow(rng, static_cast<std::int64_t>(i)));
+  }
+  return set;
+}
+
+// Streaming fine-tune after a single training-set replacement: the
+// incremental path recomputes one row of the distance cache, the full path
+// rebuilds all O(n^2) pairs.
+void BM_KnnFinetuneIncremental(benchmark::State& state) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  Rng rng(31);
+  core::TrainingSet set = MakeLargeSet(count, &rng);
+  models::KnnModel model(models::KnnModel::Params{});
+  model.Fit(set);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    set.ReplaceAt(i++ % count, RandomWindow(&rng, 100000 + i));
+    model.Finetune(set);
+    benchmark::DoNotOptimize(model.calibration_distances().data());
+  }
+}
+BENCHMARK(BM_KnnFinetuneIncremental)->Arg(500);
+
+void BM_KnnFitFull(benchmark::State& state) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  Rng rng(31);
+  core::TrainingSet set = MakeLargeSet(count, &rng);
+  models::KnnModel model(models::KnnModel::Params{});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    set.ReplaceAt(i++ % count, RandomWindow(&rng, 100000 + i));
+    model.Fit(set);
+    benchmark::DoNotOptimize(model.calibration_distances().data());
+  }
+}
+BENCHMARK(BM_KnnFitFull)->Arg(500);
+
+// VAR fine-tune after one replacement: the incremental path downdates /
+// updates the cached normal equations instead of re-stacking every window.
+// (The incremental timing amortises one forced full rebuild per
+// kForcedRebuildPeriod calls.)
+void BM_VarFinetuneIncremental(benchmark::State& state) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  Rng rng(37);
+  core::TrainingSet set = MakeLargeSet(count, &rng);
+  models::VarModel model(models::VarModel::Params{});
+  model.Fit(set);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    set.ReplaceAt(i++ % count, RandomWindow(&rng, 100000 + i));
+    model.Finetune(set);
+    benchmark::DoNotOptimize(model.coefficients().data().data());
+  }
+}
+BENCHMARK(BM_VarFinetuneIncremental)->Arg(100);
+
+void BM_VarFitFull(benchmark::State& state) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  Rng rng(37);
+  core::TrainingSet set = MakeLargeSet(count, &rng);
+  models::VarModel model(models::VarModel::Params{});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    set.ReplaceAt(i++ % count, RandomWindow(&rng, 100000 + i));
+    model.Fit(set);
+    benchmark::DoNotOptimize(model.coefficients().data().data());
+  }
+}
+BENCHMARK(BM_VarFitFull)->Arg(100);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Default to emitting BENCH_micro.json next to the console output; an
+  // explicit --benchmark_out on the command line takes precedence.
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out=")) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

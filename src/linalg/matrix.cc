@@ -1,5 +1,7 @@
 #include "src/linalg/matrix.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 
 namespace streamad::linalg {
@@ -51,7 +53,7 @@ std::vector<double> Matrix::Col(std::size_t c) const {
   return out;
 }
 
-void Matrix::SetRow(std::size_t r, const std::vector<double>& values) {
+void Matrix::SetRow(std::size_t r, std::span<const double> values) {
   STREAMAD_CHECK(r < rows_);
   STREAMAD_CHECK(values.size() == cols_);
   std::copy(values.begin(), values.end(), data_.begin() + r * cols_);
@@ -70,19 +72,222 @@ Matrix Matrix::Reshaped(std::size_t new_rows, std::size_t new_cols) const {
   return m;
 }
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
-  STREAMAD_CHECK_MSG(a.cols() == b.rows(), "MatMul shape mismatch");
-  Matrix out(a.rows(), b.cols());
-  // i-k-j loop order keeps the inner loop contiguous over both b and out.
+void Matrix::ReshapeInPlace(std::size_t new_rows, std::size_t new_cols) {
+  STREAMAD_CHECK(new_rows * new_cols == data_.size());
+  rows_ = new_rows;
+  cols_ = new_cols;
+}
+
+void Matrix::EnsureShape(std::size_t rows, std::size_t cols) {
+  if (rows_ == rows && cols_ == cols) return;
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
+// ---------------------------------------------------------------- kernels --
+
+namespace {
+
+std::atomic<KernelMode> g_kernel_mode{KernelMode::kOptimized};
+
+/// The straightforward i-k-j product — the original implementation, kept
+/// verbatim as the reference the tuned kernels are validated against.
+void MatMulReference(const Matrix& a, const Matrix& b, Matrix* out) {
+  out->Fill(0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);
       if (aik == 0.0) continue;
       for (std::size_t j = 0; j < b.cols(); ++j) {
-        out(i, j) += aik * b(k, j);
+        (*out)(i, j) += aik * b(k, j);
       }
     }
   }
+}
+
+// On x86-64 Linux the blocked kernels are cloned for AVX2 with runtime
+// dispatch (ifunc). AVX2 only widens the vectors; it does NOT enable FMA,
+// so no a*b+c contraction can occur and every lane performs the exact same
+// IEEE mul-then-add sequence as the baseline clone — results stay
+// bit-identical across dispatch targets.
+#if defined(__x86_64__) && defined(__linux__) && defined(__has_attribute)
+#if __has_attribute(target_clones)
+#define STREAMAD_KERNEL_CLONES __attribute__((target_clones("avx2", "default")))
+#endif
+#endif
+#ifndef STREAMAD_KERNEL_CLONES
+#define STREAMAD_KERNEL_CLONES
+#endif
+
+// Register-tile sizes of the blocked kernels: each output tile is a
+// kMr x kNr accumulator block held in registers for the full k sweep.
+//
+// Bit-exactness argument (why the blocked kernels equal the reference):
+// for every output element C(i,j), both kernels add the products
+// A(i,k)*B(k,j) in ascending-k order into an accumulator that starts at
+// +0.0; whether that accumulator lives in a register or in C's memory
+// does not change the arithmetic. The reference's `aik == 0.0` skip is
+// also value-preserving on finite data: an accumulator seeded with +0.0
+// can never become -0.0 (x + (-x) rounds to +0.0), and v + (±0.0) == v
+// for every finite v that is not -0.0.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+
+/// C[m x n] = A[m x k] * B[k x n], row-major raw buffers.
+STREAMAD_KERNEL_CLONES
+void MatMulBlocked(const double* a, const double* b, double* c,
+                   std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i0 = 0; i0 < m; i0 += kMr) {
+    const std::size_t ib = std::min(kMr, m - i0);
+    for (std::size_t j0 = 0; j0 < n; j0 += kNr) {
+      const std::size_t jb = std::min(kNr, n - j0);
+      double acc[kMr][kNr] = {};
+      if (ib == kMr && jb == kNr) {
+        // Full tile: fixed trip counts so the compiler unrolls and keeps
+        // the 32 accumulators in vector registers.
+        for (std::size_t p = 0; p < k; ++p) {
+          const double* brow = b + p * n + j0;
+          for (std::size_t i = 0; i < kMr; ++i) {
+            const double aip = a[(i0 + i) * k + p];
+            for (std::size_t j = 0; j < kNr; ++j) {
+              acc[i][j] += aip * brow[j];
+            }
+          }
+        }
+      } else {
+        for (std::size_t p = 0; p < k; ++p) {
+          const double* brow = b + p * n + j0;
+          for (std::size_t i = 0; i < ib; ++i) {
+            const double aip = a[(i0 + i) * k + p];
+            for (std::size_t j = 0; j < jb; ++j) {
+              acc[i][j] += aip * brow[j];
+            }
+          }
+        }
+      }
+      for (std::size_t i = 0; i < ib; ++i) {
+        double* crow = c + (i0 + i) * n + j0;
+        for (std::size_t j = 0; j < jb; ++j) crow[j] = acc[i][j];
+      }
+    }
+  }
+}
+
+/// C[m x n] = Aᵀ * B with A[k x m], B[k x n]: the k index runs over the
+/// *rows* of both inputs, so both are swept contiguously.
+STREAMAD_KERNEL_CLONES
+void MatMulTransABlocked(const double* a, const double* b, double* c,
+                         std::size_t k, std::size_t m, std::size_t n) {
+  for (std::size_t i0 = 0; i0 < m; i0 += kMr) {
+    const std::size_t ib = std::min(kMr, m - i0);
+    for (std::size_t j0 = 0; j0 < n; j0 += kNr) {
+      const std::size_t jb = std::min(kNr, n - j0);
+      double acc[kMr][kNr] = {};
+      for (std::size_t p = 0; p < k; ++p) {
+        const double* arow = a + p * m + i0;
+        const double* brow = b + p * n + j0;
+        for (std::size_t i = 0; i < ib; ++i) {
+          const double api = arow[i];
+          for (std::size_t j = 0; j < jb; ++j) {
+            acc[i][j] += api * brow[j];
+          }
+        }
+      }
+      for (std::size_t i = 0; i < ib; ++i) {
+        double* crow = c + (i0 + i) * n + j0;
+        for (std::size_t j = 0; j < jb; ++j) crow[j] = acc[i][j];
+      }
+    }
+  }
+}
+
+/// C[m x n] = A * Bᵀ with A[m x k], B[n x k]: every output is a dot
+/// product of two contiguous rows.
+STREAMAD_KERNEL_CLONES
+void MatMulTransBBlocked(const double* a, const double* b, double* c,
+                         std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = b + j * k;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+KernelMode GetKernelMode() {
+  return g_kernel_mode.load(std::memory_order_relaxed);
+}
+
+void SetKernelMode(KernelMode mode) {
+  g_kernel_mode.store(mode, std::memory_order_relaxed);
+}
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  STREAMAD_CHECK(out != nullptr);
+  STREAMAD_CHECK_MSG(a.cols() == b.rows(), "MatMul shape mismatch");
+  STREAMAD_CHECK(out != &a && out != &b);
+  out->EnsureShape(a.rows(), b.cols());
+  if (GetKernelMode() == KernelMode::kReference) {
+    MatMulReference(a, b, out);
+    return;
+  }
+  MatMulBlocked(a.data().data(), b.data().data(),
+                out->mutable_data().data(), a.rows(), a.cols(), b.cols());
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMulInto(a, b, &out);
+  return out;
+}
+
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  STREAMAD_CHECK(out != nullptr);
+  STREAMAD_CHECK_MSG(a.rows() == b.rows(), "MatMulTransA shape mismatch");
+  STREAMAD_CHECK(out != &a && out != &b);
+  if (GetKernelMode() == KernelMode::kReference) {
+    const Matrix at = Transpose(a);
+    out->EnsureShape(a.cols(), b.cols());
+    MatMulReference(at, b, out);
+    return;
+  }
+  out->EnsureShape(a.cols(), b.cols());
+  MatMulTransABlocked(a.data().data(), b.data().data(),
+                      out->mutable_data().data(), a.rows(), a.cols(),
+                      b.cols());
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMulTransAInto(a, b, &out);
+  return out;
+}
+
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  STREAMAD_CHECK(out != nullptr);
+  STREAMAD_CHECK_MSG(a.cols() == b.cols(), "MatMulTransB shape mismatch");
+  STREAMAD_CHECK(out != &a && out != &b);
+  if (GetKernelMode() == KernelMode::kReference) {
+    const Matrix bt = Transpose(b);
+    out->EnsureShape(a.rows(), b.rows());
+    MatMulReference(a, bt, out);
+    return;
+  }
+  out->EnsureShape(a.rows(), b.rows());
+  MatMulTransBBlocked(a.data().data(), b.data().data(),
+                      out->mutable_data().data(), a.rows(), a.cols(),
+                      b.rows());
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMulTransBInto(a, b, &out);
   return out;
 }
 
@@ -97,19 +302,40 @@ Matrix Transpose(const Matrix& a) {
 Matrix Add(const Matrix& a, const Matrix& b) {
   STREAMAD_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   Matrix out = a;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out.at_flat(i) += b.at_flat(i);
-  }
+  AddInPlace(b, &out);
   return out;
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
   STREAMAD_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   Matrix out = a;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out.at_flat(i) -= b.at_flat(i);
-  }
+  SubInPlace(b, &out);
   return out;
+}
+
+void AddInPlace(const Matrix& b, Matrix* a) {
+  STREAMAD_CHECK(a != nullptr);
+  STREAMAD_CHECK(a->rows() == b.rows() && a->cols() == b.cols());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    a->at_flat(i) += b.at_flat(i);
+  }
+}
+
+void SubInPlace(const Matrix& b, Matrix* a) {
+  STREAMAD_CHECK(a != nullptr);
+  STREAMAD_CHECK(a->rows() == b.rows() && a->cols() == b.cols());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    a->at_flat(i) -= b.at_flat(i);
+  }
+}
+
+void SubInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  STREAMAD_CHECK(out != nullptr);
+  STREAMAD_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  out->EnsureShape(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out->at_flat(i) = a.at_flat(i) - b.at_flat(i);
+  }
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
@@ -123,8 +349,21 @@ Matrix Hadamard(const Matrix& a, const Matrix& b) {
 
 Matrix Scale(const Matrix& a, double s) {
   Matrix out = a;
-  for (std::size_t i = 0; i < out.size(); ++i) out.at_flat(i) *= s;
+  ScaleInPlace(s, &out);
   return out;
+}
+
+void ScaleInPlace(double s, Matrix* a) {
+  STREAMAD_CHECK(a != nullptr);
+  for (std::size_t i = 0; i < a->size(); ++i) a->at_flat(i) *= s;
+}
+
+void ScaleInto(const Matrix& a, double s, Matrix* out) {
+  STREAMAD_CHECK(out != nullptr);
+  out->EnsureShape(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out->at_flat(i) = a.at_flat(i) * s;
+  }
 }
 
 void Axpy(double s, const Matrix& b, Matrix* a) {
@@ -132,6 +371,15 @@ void Axpy(double s, const Matrix& b, Matrix* a) {
   STREAMAD_CHECK(a->rows() == b.rows() && a->cols() == b.cols());
   for (std::size_t i = 0; i < a->size(); ++i) {
     a->at_flat(i) += s * b.at_flat(i);
+  }
+}
+
+void AxpyInto(double s, const Matrix& x, const Matrix& y, Matrix* out) {
+  STREAMAD_CHECK(out != nullptr);
+  STREAMAD_CHECK(x.rows() == y.rows() && x.cols() == y.cols());
+  out->EnsureShape(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out->at_flat(i) = y.at_flat(i) + s * x.at_flat(i);
   }
 }
 
@@ -171,12 +419,28 @@ double CosineSimilarity(const Matrix& a, const Matrix& b) {
 }
 
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
-  STREAMAD_CHECK(row.rows() == 1 && row.cols() == a.cols());
   Matrix out = a;
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = 0; j < a.cols(); ++j) out(i, j) += row(0, j);
-  }
+  AddRowBroadcastInPlace(row, &out);
   return out;
+}
+
+void AddRowBroadcastInPlace(const Matrix& row, Matrix* a) {
+  STREAMAD_CHECK(a != nullptr);
+  STREAMAD_CHECK(row.rows() == 1 && row.cols() == a->cols());
+  for (std::size_t i = 0; i < a->rows(); ++i) {
+    for (std::size_t j = 0; j < a->cols(); ++j) (*a)(i, j) += row(0, j);
+  }
+}
+
+void AddRowBroadcastInto(const Matrix& a, const Matrix& row, Matrix* out) {
+  STREAMAD_CHECK(out != nullptr);
+  STREAMAD_CHECK(row.rows() == 1 && row.cols() == a.cols());
+  out->EnsureShape(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      (*out)(i, j) = a(i, j) + row(0, j);
+    }
+  }
 }
 
 Matrix MeanRows(const Matrix& a) {

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "src/common/check.h"
@@ -82,8 +83,24 @@ class Matrix {
   /// Copies column `c` into a std::vector.
   std::vector<double> Col(std::size_t c) const;
 
+  /// Borrowed view of row `r` — no copy. Invalidated by any reshaping
+  /// operation. The accessor for hot loops (kNN distances, scalers,
+  /// batch assembly) where `Row`'s vector allocation dominates.
+  std::span<const double> RowSpan(std::size_t r) const {
+    STREAMAD_DCHECK(r < rows_);
+    return std::span<const double>(data_.data() + r * cols_, cols_);
+  }
+  std::span<double> MutableRowSpan(std::size_t r) {
+    STREAMAD_DCHECK(r < rows_);
+    return std::span<double>(data_.data() + r * cols_, cols_);
+  }
+
   /// Overwrites row `r` with `values` (must have `cols()` entries).
-  void SetRow(std::size_t r, const std::vector<double>& values);
+  /// Accepts any contiguous range of doubles (vector, span, array).
+  void SetRow(std::size_t r, std::span<const double> values);
+  void SetRow(std::size_t r, std::initializer_list<double> values) {
+    SetRow(r, std::span<const double>(values.begin(), values.size()));
+  }
 
   /// Sets all elements to `value`.
   void Fill(double value);
@@ -91,6 +108,18 @@ class Matrix {
   /// Reinterprets the buffer with a new shape; `new_rows * new_cols` must
   /// equal `size()`. Constant time.
   Matrix Reshaped(std::size_t new_rows, std::size_t new_cols) const;
+
+  /// In-place `Reshaped`: reinterprets this matrix's buffer without
+  /// copying; `new_rows * new_cols` must equal `size()`.
+  void ReshapeInPlace(std::size_t new_rows, std::size_t new_cols);
+
+  /// Resizes to `rows x cols`, reusing the existing buffer capacity.
+  /// Element values are unspecified after a shape change (callers are
+  /// expected to overwrite); when the shape already matches this is a
+  /// no-op. The primitive behind the out-parameter kernels and workspace
+  /// pools: steady-state reuse never touches the heap once capacity has
+  /// grown to the high-water mark.
+  void EnsureShape(std::size_t rows, std::size_t cols);
 
   friend bool operator==(const Matrix& a, const Matrix& b) {
     return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
@@ -102,8 +131,54 @@ class Matrix {
   std::vector<double> data_;
 };
 
+// ---------------------------------------------------------------- kernels --
+
+/// Selects between the tuned compute kernels and the straightforward
+/// reference loops. Both produce bit-identical results on finite inputs
+/// (the blocked kernels preserve the reference accumulation order per
+/// output element); the switch exists so tests can *prove* that, and so a
+/// regression can be bisected to kernel vs. call-site changes. The mode is
+/// a process-wide atomic — flip it only from single-threaded test code.
+enum class KernelMode {
+  kOptimized,
+  kReference,
+};
+
+KernelMode GetKernelMode();
+void SetKernelMode(KernelMode mode);
+
+/// RAII kernel-mode override for tests.
+class ScopedKernelMode {
+ public:
+  explicit ScopedKernelMode(KernelMode mode) : previous_(GetKernelMode()) {
+    SetKernelMode(mode);
+  }
+  ~ScopedKernelMode() { SetKernelMode(previous_); }
+  ScopedKernelMode(const ScopedKernelMode&) = delete;
+  ScopedKernelMode& operator=(const ScopedKernelMode&) = delete;
+
+ private:
+  KernelMode previous_;
+};
+
 /// Matrix product `a * b`; requires `a.cols() == b.rows()`.
 Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// Out-parameter `MatMul`: writes `a * b` into `*out` (reshaped as
+/// needed, reusing its buffer). `out` must not alias `a` or `b`.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Fused `aᵀ * b` without materialising the transpose; `a: k x m`,
+/// `b: k x n`, result `m x n`. Bit-identical to
+/// `MatMul(Transpose(a), b)`. Backs `Linear::Backward`'s `xᵀ g` and the
+/// VAR normal equations `XᵀX`, `XᵀY`.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Fused `a * bᵀ`; `a: m x k`, `b: n x k`, result `m x n`. Bit-identical
+/// to `MatMul(a, Transpose(b))`. Backs `Linear::Backward`'s `g Wᵀ`.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// Transpose.
 Matrix Transpose(const Matrix& a);
@@ -112,15 +187,27 @@ Matrix Transpose(const Matrix& a);
 Matrix Add(const Matrix& a, const Matrix& b);
 Matrix Sub(const Matrix& a, const Matrix& b);
 
+/// In-place elementwise `a += b` / `a -= b`; shapes must match.
+void AddInPlace(const Matrix& b, Matrix* a);
+void SubInPlace(const Matrix& b, Matrix* a);
+
+/// Out-parameter `a - b`; `out` may alias `a` or `b`.
+void SubInto(const Matrix& a, const Matrix& b, Matrix* out);
+
 /// Elementwise (Hadamard) product; shapes must match.
 Matrix Hadamard(const Matrix& a, const Matrix& b);
 
 /// Scalar multiple.
 Matrix Scale(const Matrix& a, double s);
+void ScaleInPlace(double s, Matrix* a);
+void ScaleInto(const Matrix& a, double s, Matrix* out);
 
 /// In-place `a += s * b`; shapes must match. The workhorse of the SGD /
 /// Adam update loops.
 void Axpy(double s, const Matrix& b, Matrix* a);
+
+/// Out-parameter axpy: `out = y + s * x`; `out` may alias `x` or `y`.
+void AxpyInto(double s, const Matrix& x, const Matrix& y, Matrix* out);
 
 /// Sum of all elements.
 double Sum(const Matrix& a);
@@ -138,6 +225,8 @@ double CosineSimilarity(const Matrix& a, const Matrix& b);
 
 /// Broadcasts a `1 x c` row across all rows of `a` (adds it to each row).
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& row);
+void AddRowBroadcastInPlace(const Matrix& row, Matrix* a);
+void AddRowBroadcastInto(const Matrix& a, const Matrix& row, Matrix* out);
 
 /// Mean over rows: returns a `1 x cols` matrix.
 Matrix MeanRows(const Matrix& a);

@@ -105,18 +105,24 @@ bool LuSolve(const Matrix& a, const Matrix& b, Matrix* x) {
 
 Matrix LeastSquares(const Matrix& x, const Matrix& y, double ridge) {
   STREAMAD_CHECK(x.rows() == y.rows());
+  const Matrix gram = MatMulTransA(x, x);
+  const Matrix rhs = MatMulTransA(x, y);
+  return SolveNormalEquations(gram, rhs, ridge);
+}
+
+Matrix SolveNormalEquations(const Matrix& gram, const Matrix& rhs,
+                            double ridge) {
+  STREAMAD_CHECK(gram.rows() == gram.cols());
+  STREAMAD_CHECK(gram.rows() == rhs.rows());
   STREAMAD_CHECK(ridge >= 0.0);
-  const Matrix xt = Transpose(x);
-  Matrix gram = MatMul(xt, x);
-  for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
-  const Matrix rhs = MatMul(xt, y);
+  Matrix ridged = gram;
+  for (std::size_t i = 0; i < ridged.rows(); ++i) ridged(i, i) += ridge;
   Matrix beta;
-  if (!CholeskySolve(gram, rhs, &beta)) {
+  if (!CholeskySolve(ridged, rhs, &beta)) {
     // Gram matrix not SPD despite the ridge (e.g. severely rank-deficient
     // inputs): fall back to LU with a stronger ridge.
-    Matrix gram2 = gram;
-    for (std::size_t i = 0; i < gram2.rows(); ++i) gram2(i, i) += 1e-6;
-    STREAMAD_CHECK_MSG(LuSolve(gram2, rhs, &beta),
+    for (std::size_t i = 0; i < ridged.rows(); ++i) ridged(i, i) += 1e-6;
+    STREAMAD_CHECK_MSG(LuSolve(ridged, rhs, &beta),
                        "least squares: singular Gram matrix");
   }
   return beta;

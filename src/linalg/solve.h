@@ -25,8 +25,19 @@ bool LuSolve(const Matrix& a, const Matrix& b, Matrix* x);
 
 /// Least squares: returns `argmin_B ||y - x B||_F` by solving the ridge
 /// normal equations `(XᵀX + ridge I) B = XᵀY`. `ridge >= 0`; a tiny default
-/// keeps the Gram matrix well-conditioned on short windows.
+/// keeps the Gram matrix well-conditioned on short windows. The Gram
+/// matrix and right-hand side are formed with the fused `MatMulTransA`
+/// kernel — the transpose is never materialised.
 Matrix LeastSquares(const Matrix& x, const Matrix& y, double ridge = 1e-8);
+
+/// The back half of `LeastSquares`: solves `(gram + ridge I) B = rhs` with
+/// the Cholesky fast path and the LU-with-stronger-ridge fallback, without
+/// forming the Gram matrix itself. Exposed so callers that maintain
+/// `XᵀX` / `XᵀY` incrementally (the VAR model's rank-1 window updates)
+/// share the exact solve path — and therefore the exact result — of a
+/// from-scratch `LeastSquares`. `gram` is not modified.
+Matrix SolveNormalEquations(const Matrix& gram, const Matrix& rhs,
+                            double ridge);
 
 }  // namespace streamad::linalg
 

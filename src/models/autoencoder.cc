@@ -25,22 +25,36 @@ void Autoencoder::EnsureBuilt(std::size_t flat_dim) {
   net_.Add(std::make_unique<nn::Linear>(flat_dim, params_.hidden, &rng_))
       .Add(std::make_unique<nn::Sigmoid>())
       .Add(std::make_unique<nn::Linear>(params_.hidden, flat_dim, &rng_));
+  params_cache_ = net_.Params();
 }
 
 void Autoencoder::TrainOneEpoch(const linalg::Matrix& flat_scaled) {
   const std::size_t rows = flat_scaled.rows();
   for (std::size_t start = 0; start < rows; start += params_.batch_size) {
     const std::size_t count = std::min(params_.batch_size, rows - start);
-    linalg::Matrix batch(count, flat_scaled.cols());
+    batch_.EnsureShape(count, flat_scaled.cols());
     for (std::size_t i = 0; i < count; ++i) {
-      batch.SetRow(i, flat_scaled.Row(start + i));
+      batch_.SetRow(i, flat_scaled.RowSpan(start + i));
     }
-    nn::Sequential::Tape tape;
-    const linalg::Matrix recon = net_.Forward(batch, &tape);
-    const linalg::Matrix grad = nn::MseLossGrad(recon, batch);
+    net_.ForwardInto(batch_, &train_tape_, &recon_);
+    nn::MseLossGradInto(recon_, batch_, &grad_);
     net_.ZeroGrads();
-    net_.Backward(grad, tape, /*accumulate_param_grads=*/true);
-    optimizer_.StepAll(net_.Params());
+    net_.BackwardInto(grad_, train_tape_, /*accumulate_param_grads=*/true,
+                      &grad_in_);
+    optimizer_.StepAll(params_cache_);
+  }
+}
+
+void Autoencoder::StageFlat(const core::TrainingSet& train,
+                            std::size_t flat_dim) {
+  // Standardise each window, then flatten to rows of the staging matrix.
+  flat_.EnsureShape(train.size(), flat_dim);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    scaler_.TransformInto(train.at(i).window, &scaled_tmp_);
+    const std::span<double> dst = flat_.MutableRowSpan(i);
+    for (std::size_t j = 0; j < flat_dim; ++j) {
+      dst[j] = scaled_tmp_.at_flat(j);
+    }
   }
 }
 
@@ -50,17 +64,9 @@ void Autoencoder::Fit(const core::TrainingSet& train) {
   const std::size_t flat_dim = train.at(0).window.size();
   flat_dim_ = 0;  // force rebuild: Fit restarts from fresh weights
   EnsureBuilt(flat_dim);
-
-  // Standardise each window, then flatten to rows.
-  linalg::Matrix flat(train.size(), flat_dim);
-  for (std::size_t i = 0; i < train.size(); ++i) {
-    const linalg::Matrix scaled = scaler_.Transform(train.at(i).window);
-    for (std::size_t j = 0; j < flat_dim; ++j) {
-      flat(i, j) = scaled.at_flat(j);
-    }
-  }
+  StageFlat(train, flat_dim);
   for (std::size_t epoch = 0; epoch < params_.fit_epochs; ++epoch) {
-    TrainOneEpoch(flat);
+    TrainOneEpoch(flat_);
   }
 }
 
@@ -71,24 +77,18 @@ void Autoencoder::Finetune(const core::TrainingSet& train) {
   scaler_.Fit(train);
   const std::size_t flat_dim = train.at(0).window.size();
   STREAMAD_CHECK(flat_dim == flat_dim_);
-  linalg::Matrix flat(train.size(), flat_dim);
-  for (std::size_t i = 0; i < train.size(); ++i) {
-    const linalg::Matrix scaled = scaler_.Transform(train.at(i).window);
-    for (std::size_t j = 0; j < flat_dim; ++j) {
-      flat(i, j) = scaled.at_flat(j);
-    }
-  }
-  TrainOneEpoch(flat);
+  StageFlat(train, flat_dim);
+  TrainOneEpoch(flat_);
 }
 
 linalg::Matrix Autoencoder::Predict(const core::FeatureVector& x) {
   STREAMAD_CHECK_MSG(flat_dim_ > 0, "Predict before Fit");
   STREAMAD_CHECK(x.window.size() == flat_dim_);
-  const linalg::Matrix scaled = scaler_.Transform(x.window);
-  const linalg::Matrix flat = scaled.Reshaped(1, flat_dim_);
-  const linalg::Matrix recon = net_.Infer(flat);
-  return scaler_.InverseTransform(
-      recon.Reshaped(x.window.rows(), x.window.cols()));
+  scaler_.TransformInto(x.window, &scaled_tmp_);
+  scaled_tmp_.ReshapeInPlace(1, flat_dim_);
+  net_.ForwardInto(scaled_tmp_, &infer_tape_, &recon_);
+  recon_.ReshapeInPlace(x.window.rows(), x.window.cols());
+  return scaler_.InverseTransform(recon_);
 }
 
 double Autoencoder::MeanReconstructionError(const core::TrainingSet& train) {

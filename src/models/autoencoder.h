@@ -52,6 +52,7 @@ class Autoencoder : public core::Model {
  private:
   void EnsureBuilt(std::size_t flat_dim);
   void TrainOneEpoch(const linalg::Matrix& flat_scaled);
+  void StageFlat(const core::TrainingSet& train, std::size_t flat_dim);
 
   Params params_;
   Rng rng_;
@@ -59,6 +60,18 @@ class Autoencoder : public core::Model {
   nn::Adam optimizer_;
   ChannelScaler scaler_;
   std::size_t flat_dim_ = 0;
+
+  // Steady-state buffers: reused across Fit / Finetune / Predict calls so
+  // the streaming fine-tune path allocates nothing once shapes settle.
+  std::vector<nn::Parameter*> params_cache_;
+  nn::Sequential::Tape train_tape_;
+  nn::Sequential::Tape infer_tape_;
+  linalg::Matrix flat_;        // staged (standardised, flattened) train set
+  linalg::Matrix scaled_tmp_;  // per-window standardisation scratch
+  linalg::Matrix batch_;
+  linalg::Matrix recon_;
+  linalg::Matrix grad_;
+  linalg::Matrix grad_in_;
 };
 
 }  // namespace streamad::models

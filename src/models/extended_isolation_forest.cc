@@ -139,7 +139,7 @@ IsolationTree ExtendedIsolationForest::BuildTree(
           rng_.UniformInt(static_cast<std::int64_t>(i),
                           static_cast<std::int64_t>(total - 1)));
       std::swap(index[i], index[j]);
-      subset.SetRow(i, points.Row(index[i]));
+      subset.SetRow(i, points.RowSpan(index[i]));
     }
   }
 

@@ -3,66 +3,215 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/common/check.h"
+#include "src/models/snapshot_diff.h"
 
 namespace streamad::models {
+
+namespace {
+
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
+  STREAMAD_CHECK(a.size() == b.size());
+  double d2 = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const double d = a[j] - b[j];
+    d2 += d * d;
+  }
+  return d2;
+}
+
+}  // namespace
 
 KnnModel::KnnModel(const Params& params) : params_(params) {
   STREAMAD_CHECK_MSG(params.k > 0, "k must be positive");
 }
 
-double KnnModel::MeanKnnDistance(const std::vector<double>& flat,
-                                 std::size_t skip) const {
-  STREAMAD_CHECK(!reference_.empty());
-  // Collect squared distances, then average the k smallest.
-  std::vector<double> distances;
-  distances.reserve(reference_.size());
-  for (std::size_t i = 0; i < reference_.size(); ++i) {
-    if (i == skip) continue;
-    const std::vector<double>& ref = reference_[i];
-    STREAMAD_CHECK(ref.size() == flat.size());
-    double d2 = 0.0;
-    for (std::size_t j = 0; j < flat.size(); ++j) {
-      const double d = flat[j] - ref[j];
-      d2 += d * d;
-    }
-    distances.push_back(d2);
-  }
-  const std::size_t k = std::min(params_.k, distances.size());
+double KnnModel::MeanOfKSmallest(std::vector<double>* squared,
+                                 double* kth_out) const {
+  const std::size_t k = std::min(params_.k, squared->size());
   STREAMAD_CHECK(k > 0);
-  std::nth_element(distances.begin(),
-                   distances.begin() + static_cast<std::ptrdiff_t>(k - 1),
-                   distances.end());
+  std::nth_element(squared->begin(),
+                   squared->begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   squared->end());
+  // Sort the selected prefix so the summation order is a function of the
+  // distance multiset alone (nth_element leaves the prefix unordered).
+  std::sort(squared->begin(),
+            squared->begin() + static_cast<std::ptrdiff_t>(k));
+  if (kth_out != nullptr) *kth_out = (*squared)[k - 1];
   double sum = 0.0;
-  for (std::size_t i = 0; i < k; ++i) sum += std::sqrt(distances[i]);
+  for (std::size_t i = 0; i < k; ++i) sum += std::sqrt((*squared)[i]);
   return sum / static_cast<double>(k);
+}
+
+double KnnModel::MeanKnnDistance(std::span<const double> flat,
+                                 std::size_t skip) {
+  STREAMAD_CHECK(reference_.rows() > 0);
+  scratch_d2_.clear();
+  scratch_d2_.reserve(reference_.rows());
+  for (std::size_t i = 0; i < reference_.rows(); ++i) {
+    if (i == skip) continue;
+    scratch_d2_.push_back(SquaredDistance(flat, reference_.RowSpan(i)));
+  }
+  return MeanOfKSmallest(&scratch_d2_);
+}
+
+void KnnModel::RebuildDistanceCache() {
+  const std::size_t m = reference_.rows();
+  if (m > kMaxCachedRows) {
+    cache_valid_ = false;
+    dist2_ = linalg::Matrix();
+    return;
+  }
+  dist2_.EnsureShape(m, m);
+  for (std::size_t a = 0; a < m; ++a) {
+    dist2_(a, a) = 0.0;
+    for (std::size_t b = 0; b < a; ++b) {
+      const double d2 =
+          SquaredDistance(reference_.RowSpan(a), reference_.RowSpan(b));
+      dist2_(a, b) = d2;
+      dist2_(b, a) = d2;
+    }
+  }
+  cache_valid_ = true;
+}
+
+void KnnModel::RecomputeCalibRowFromCache(std::size_t i) {
+  const std::size_t m = reference_.rows();
+  scratch_d2_.clear();
+  scratch_d2_.reserve(m - 1);
+  for (std::size_t j = 0; j < m; ++j) {
+    if (j != i) scratch_d2_.push_back(dist2_(i, j));
+  }
+  calib_raw_[i] = MeanOfKSmallest(&scratch_d2_, &calib_kth_[i]);
+}
+
+void KnnModel::RecomputeCalibration() {
+  const std::size_t m = reference_.rows();
+  if (m < 2) {
+    calib_raw_.assign(1, 0.0);
+    calib_kth_.assign(1, 0.0);
+  } else {
+    calib_raw_.resize(m);
+    calib_kth_.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (cache_valid_) {
+        RecomputeCalibRowFromCache(i);
+      } else {
+        calib_raw_[i] = MeanKnnDistance(reference_.RowSpan(i), i);
+        calib_kth_[i] = 0.0;  // unused without the distance cache
+      }
+    }
+  }
+  calibration_ = calib_raw_;
+  std::sort(calibration_.begin(), calibration_.end());
 }
 
 void KnnModel::Fit(const core::TrainingSet& train) {
   STREAMAD_CHECK(!train.empty());
-  reference_.clear();
-  reference_.reserve(train.size());
-  for (const core::FeatureVector& fv : train.entries()) {
-    reference_.push_back(fv.window.data());
+  const std::size_t flat_dim = train.at(0).window.size();
+  reference_.EnsureShape(train.size(), flat_dim);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    reference_.SetRow(i, train.at(i).window.data());
   }
-  // Calibration: each reference member's mean k-NN distance to its peers
-  // (leave-one-out), sorted for the p-value lookups.
-  calibration_.clear();
-  calibration_.reserve(reference_.size());
-  if (reference_.size() < 2) {
-    calibration_.push_back(0.0);
-  } else {
-    for (std::size_t i = 0; i < reference_.size(); ++i) {
-      calibration_.push_back(MeanKnnDistance(reference_[i], i));
-    }
-  }
-  std::sort(calibration_.begin(), calibration_.end());
+  RebuildDistanceCache();
+  RecomputeCalibration();
 }
 
 void KnnModel::Finetune(const core::TrainingSet& train) {
-  // The reference group IS the model: "fine-tuning" re-snapshots it.
-  Fit(train);
+  // The reference group IS the model: "fine-tuning" re-snapshots it. The
+  // incremental path reuses the cached pairwise distances of unchanged
+  // rows; the result is bit-identical to a fresh `Fit` on the same set.
+  STREAMAD_CHECK(!train.empty());
+  const std::size_t m_new = train.size();
+  const std::size_t flat_dim = train.at(0).window.size();
+  if (!fitted() || !cache_valid_ || reference_.cols() != flat_dim ||
+      m_new > kMaxCachedRows) {
+    Fit(train);
+    return;
+  }
+
+  const SnapshotDiff diff = DiffRows(
+      reference_.rows(),
+      [this](std::size_t i) { return reference_.RowSpan(i); }, m_new,
+      [&train](std::size_t j) {
+        return std::span<const double>(train.at(j).window.data());
+      });
+  if ((diff.added.size() + diff.removed.size()) * 2 > m_new) {
+    Fit(train);  // mostly new content: the full rebuild is cheaper
+    return;
+  }
+
+  // Fast path: same size and every kept row kept its position — the
+  // streaming replacement pattern of the Task-1 strategies. Changed rows
+  // are overwritten in place, only their distance rows/columns recomputed,
+  // and calibration values of rows provably untouched by the swap (old and
+  // new distance both beyond the row's k-th-smallest threshold) are reused
+  // verbatim; everything else re-derives through the same canonical
+  // reduction, so the result is still bit-identical to a full `Fit`.
+  const bool in_place =
+      m_new == reference_.rows() && calib_kth_.size() == m_new &&
+      std::all_of(diff.kept.begin(), diff.kept.end(),
+                  [](const std::pair<std::size_t, std::size_t>& p) {
+                    return p.first == p.second;
+                  });
+  if (in_place) {
+    if (diff.added.empty()) return;  // identical content
+    for (const std::size_t c : diff.added) {
+      reference_.SetRow(c, train.at(c).window.data());
+    }
+    std::vector<char> stale(m_new, 0);
+    for (const std::size_t c : diff.added) {
+      stale[c] = 1;
+      for (std::size_t i = 0; i < m_new; ++i) {
+        if (i == c) continue;
+        const double old_d2 = dist2_(i, c);
+        const double new_d2 =
+            SquaredDistance(reference_.RowSpan(i), reference_.RowSpan(c));
+        if (old_d2 <= calib_kth_[i] || new_d2 <= calib_kth_[i]) stale[i] = 1;
+        dist2_(i, c) = new_d2;
+        dist2_(c, i) = new_d2;
+      }
+      dist2_(c, c) = 0.0;
+    }
+    if (m_new >= 2) {
+      for (std::size_t i = 0; i < m_new; ++i) {
+        if (stale[i]) RecomputeCalibRowFromCache(i);
+      }
+    } else {
+      calib_raw_.assign(1, 0.0);
+      calib_kth_.assign(1, 0.0);
+    }
+    calibration_ = calib_raw_;
+    std::sort(calibration_.begin(), calibration_.end());
+    return;
+  }
+
+  staged_rows_.EnsureShape(m_new, flat_dim);
+  for (std::size_t j = 0; j < m_new; ++j) {
+    staged_rows_.SetRow(j, train.at(j).window.data());
+  }
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> old_of(m_new, kNone);
+  for (const auto& [old_idx, new_idx] : diff.kept) old_of[new_idx] = old_idx;
+
+  staged_dist2_.EnsureShape(m_new, m_new);
+  for (std::size_t a = 0; a < m_new; ++a) {
+    staged_dist2_(a, a) = 0.0;
+    for (std::size_t b = 0; b < a; ++b) {
+      const double d2 =
+          (old_of[a] != kNone && old_of[b] != kNone)
+              ? dist2_(old_of[a], old_of[b])
+              : SquaredDistance(staged_rows_.RowSpan(a),
+                                staged_rows_.RowSpan(b));
+      staged_dist2_(a, b) = d2;
+      staged_dist2_(b, a) = d2;
+    }
+  }
+  std::swap(reference_, staged_rows_);
+  std::swap(dist2_, staged_dist2_);
+  RecomputeCalibration();
 }
 
 linalg::Matrix KnnModel::Predict(const core::FeatureVector& /*x*/) {
@@ -72,8 +221,8 @@ linalg::Matrix KnnModel::Predict(const core::FeatureVector& /*x*/) {
 
 double KnnModel::AnomalyScore(const core::FeatureVector& x) {
   STREAMAD_CHECK_MSG(fitted(), "AnomalyScore before Fit");
-  const double distance =
-      MeanKnnDistance(x.window.data(), reference_.size());
+  const double distance = MeanKnnDistance(
+      std::span<const double>(x.window.data()), reference_.rows());
   // Conformal p-value style: the fraction of calibration distances below
   // the probe's distance.
   const auto it =
@@ -88,9 +237,10 @@ bool KnnModel::SaveState(std::ostream* out) const {
   io::BinaryWriter w(out);
   w.WriteString("streamad.knn.v1");
   w.WriteU64(params_.k);
-  w.WriteU64(reference_.size());
-  for (const std::vector<double>& ref : reference_) {
-    w.WriteDoubleVec(ref);
+  w.WriteU64(reference_.rows());
+  for (std::size_t i = 0; i < reference_.rows(); ++i) {
+    const std::span<const double> row = reference_.RowSpan(i);
+    w.WriteDoubleVec(std::vector<double>(row.begin(), row.end()));
   }
   w.WriteDoubleVec(calibration_);
   return w.ok();
@@ -106,14 +256,30 @@ bool KnnModel::LoadState(std::istream* in) {
     return false;
   }
   if (k != params_.k) return false;
-  std::vector<std::vector<double>> reference(count);
-  for (std::vector<double>& ref : reference) {
-    if (!r.ReadDoubleVec(&ref)) return false;
+  std::vector<std::vector<double>> rows(count);
+  for (std::vector<double>& row : rows) {
+    if (!r.ReadDoubleVec(&row)) return false;
   }
   std::vector<double> calibration;
   if (!r.ReadDoubleVec(&calibration)) return false;
-  if (calibration.empty() != reference.empty()) return false;
-  reference_ = std::move(reference);
+  if (calibration.empty() != rows.empty()) return false;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() != rows[0].size()) return false;
+  }
+  if (rows.empty()) {
+    reference_ = linalg::Matrix();
+    cache_valid_ = false;
+    dist2_ = linalg::Matrix();
+  } else {
+    reference_.EnsureShape(rows.size(), rows[0].size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      reference_.SetRow(i, rows[i]);
+    }
+    // The distance cache and per-row calibration rebuild deterministically
+    // from the reference rows, so the v1 archive format carries neither.
+    RebuildDistanceCache();
+    RecomputeCalibration();
+  }
   calibration_ = std::move(calibration);
   return true;
 }

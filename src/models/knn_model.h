@@ -1,6 +1,7 @@
 #ifndef STREAMAD_MODELS_KNN_MODEL_H_
 #define STREAMAD_MODELS_KNN_MODEL_H_
 
+#include <span>
 #include <vector>
 
 #include "src/core/component_interfaces.h"
@@ -24,6 +25,16 @@ namespace streamad::models {
 /// typical windows, →1 for windows farther from the group than any
 /// reference.
 ///
+/// **Incremental calibration.** The model caches the full pairwise
+/// squared-distance matrix of the reference group. A fine-tune diffs the
+/// new training set against the previous snapshot (streaming Task-1
+/// strategies replace only a few entries per step) and recomputes distances
+/// only for rows that actually changed — O(changed · n · d) instead of the
+/// O(n² · d) full rebuild — then re-derives every calibration value from
+/// the cached matrix. Results are bit-identical to a full `Fit` on the same
+/// set. The cache is dropped above `kMaxCachedRows` reference rows to
+/// bound memory; the model then falls back to direct recomputation.
+///
 /// Not part of the paper's Table I (those are the model-based methods);
 /// shipped as the framework-fidelity extension alongside VAR.
 class KnnModel : public core::Model {
@@ -32,6 +43,10 @@ class KnnModel : public core::Model {
     /// Neighbours considered per query.
     std::size_t k = 5;
   };
+
+  /// Above this reference-group size the n x n distance cache is not kept
+  /// (quadratic memory); fine-tunes degrade to full recomputation.
+  static constexpr std::size_t kMaxCachedRows = 1024;
 
   explicit KnnModel(const Params& params);
 
@@ -45,8 +60,8 @@ class KnnModel : public core::Model {
   bool SaveState(std::ostream* out) const override;
   bool LoadState(std::istream* in) override;
 
-  bool fitted() const { return !reference_.empty(); }
-  std::size_t reference_size() const { return reference_.size(); }
+  bool fitted() const { return reference_.rows() > 0; }
+  std::size_t reference_size() const { return reference_.rows(); }
   const std::vector<double>& calibration_distances() const {
     return calibration_;
   }
@@ -54,13 +69,49 @@ class KnnModel : public core::Model {
  private:
   /// Mean distance from `flat` to its k nearest rows of `reference_`,
   /// skipping row `skip` (self-exclusion during calibration; pass
-  /// `reference_.size()` to include all rows).
-  double MeanKnnDistance(const std::vector<double>& flat,
-                         std::size_t skip) const;
+  /// `reference_.rows()` to include all rows).
+  double MeanKnnDistance(std::span<const double> flat, std::size_t skip);
+
+  /// Canonical mean-of-k-smallest-sqrt reduction shared by calibration and
+  /// scoring: selects the k smallest squared distances, sorts them
+  /// ascending and sums their roots in that order, so the same multiset of
+  /// distances always reduces to the same bits regardless of how it was
+  /// produced (cached vs freshly computed). When `kth_out` is non-null it
+  /// receives the k-th smallest squared distance (the selection threshold
+  /// the in-place fine-tune uses to skip untouched calibration rows).
+  double MeanOfKSmallest(std::vector<double>* squared,
+                         double* kth_out = nullptr) const;
+
+  /// Recomputes `calib_raw_[i]` (and its threshold) from the cached
+  /// distance row `i`.
+  void RecomputeCalibRowFromCache(std::size_t i);
+
+  /// Recomputes the pairwise squared-distance cache from `reference_`
+  /// (or drops it above `kMaxCachedRows`).
+  void RebuildDistanceCache();
+
+  /// Re-derives `calib_raw_` / `calibration_` from the cache (falling back
+  /// to direct distance computation when the cache is dropped).
+  void RecomputeCalibration();
 
   Params params_;
-  std::vector<std::vector<double>> reference_;  // flattened windows
-  std::vector<double> calibration_;             // sorted self-distances
+  linalg::Matrix reference_;        // flattened windows, one per row
+  std::vector<double> calibration_; // sorted self-distances
+  std::vector<double> calib_raw_;   // per-reference-row self-distances
+  // Per-row k-th smallest squared distance. A replaced reference row whose
+  // old and new distance to row i both exceed calib_kth_[i] cannot change
+  // row i's k-nearest multiset, so its calibration value is reused as-is.
+  std::vector<double> calib_kth_;
+
+  // Pairwise squared distances between reference rows (when cached).
+  bool cache_valid_ = false;
+  linalg::Matrix dist2_;
+
+  // Steady-state scratch (incremental fine-tune staging and per-query
+  // distance collection) reused across calls.
+  linalg::Matrix staged_rows_;
+  linalg::Matrix staged_dist2_;
+  std::vector<double> scratch_d2_;
 };
 
 }  // namespace streamad::models

@@ -33,27 +33,32 @@ void NBeats::Build(std::size_t input_dim, std::size_t output_dim) {
         std::make_unique<nn::Linear>(params_.hidden, output_dim, &rng_);
     blocks_.push_back(std::move(block));
   }
+  params_cache_ = AllParams();
 }
 
-linalg::Matrix NBeats::Forward(const linalg::Matrix& input,
-                               StackTape* tape) const {
+void NBeats::ForwardInto(const linalg::Matrix& input, StackTape* tape,
+                         linalg::Matrix* output) {
   STREAMAD_CHECK(tape != nullptr);
-  tape->fc.assign(blocks_.size(), {});
-  tape->backcast.assign(blocks_.size(), {});
-  tape->forecast.assign(blocks_.size(), {});
-
-  linalg::Matrix x = input;
-  linalg::Matrix total_forecast(input.rows(), output_dim_);
-  for (std::size_t l = 0; l < blocks_.size(); ++l) {
-    const Block& block = blocks_[l];
-    const linalg::Matrix h = block.fc.Forward(x, &tape->fc[l]);
-    const linalg::Matrix back = block.backcast->Forward(h, &tape->backcast[l]);
-    const linalg::Matrix fore = block.forecast->Forward(h, &tape->forecast[l]);
-    // Double residual: the next block sees what this one failed to explain.
-    x = linalg::Sub(x, back);
-    total_forecast = linalg::Add(total_forecast, fore);
+  STREAMAD_CHECK(output != nullptr);
+  // Resize (not assign) so a reused tape keeps its cache buffers.
+  if (tape->fc.size() != blocks_.size()) {
+    tape->fc.resize(blocks_.size());
+    tape->backcast.resize(blocks_.size());
+    tape->forecast.resize(blocks_.size());
   }
-  return total_forecast;
+
+  x_fwd_ = input;
+  output->EnsureShape(input.rows(), output_dim_);
+  output->Fill(0.0);
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    Block& block = blocks_[l];
+    block.fc.ForwardInto(x_fwd_, &tape->fc[l], &h_);
+    block.backcast->ForwardInto(h_, &tape->backcast[l], &back_);
+    block.forecast->ForwardInto(h_, &tape->forecast[l], &fore_);
+    // Double residual: the next block sees what this one failed to explain.
+    linalg::SubInPlace(back_, &x_fwd_);
+    linalg::AddInPlace(fore_, output);
+  }
 }
 
 void NBeats::Backward(const linalg::Matrix& grad_forecast,
@@ -61,18 +66,19 @@ void NBeats::Backward(const linalg::Matrix& grad_forecast,
   // dL/dŷ flows into every block's forecast head; the residual recursion
   // x_{l+1} = x_l − backcast_l contributes dL/dx_l = dL/dx_{l+1} and
   // dL/dbackcast_l = −dL/dx_{l+1}, accumulated from the last block back.
-  linalg::Matrix grad_x(grad_forecast.rows(), input_dim_);
+  grad_x_.EnsureShape(grad_forecast.rows(), input_dim_);
+  grad_x_.Fill(0.0);
   for (std::size_t l = blocks_.size(); l-- > 0;) {
     Block& block = blocks_[l];
-    const linalg::Matrix g_h_fore = block.forecast->Backward(
-        grad_forecast, tape.forecast[l], /*accumulate_param_grads=*/true);
-    const linalg::Matrix g_back = linalg::Scale(grad_x, -1.0);
-    const linalg::Matrix g_h_back = block.backcast->Backward(
-        g_back, tape.backcast[l], /*accumulate_param_grads=*/true);
-    const linalg::Matrix g_h = linalg::Add(g_h_fore, g_h_back);
-    const linalg::Matrix g_x_block =
-        block.fc.Backward(g_h, tape.fc[l], /*accumulate_param_grads=*/true);
-    grad_x = linalg::Add(grad_x, g_x_block);
+    block.forecast->BackwardInto(grad_forecast, tape.forecast[l],
+                                 /*accumulate_param_grads=*/true, &g_h_fore_);
+    linalg::ScaleInto(grad_x_, -1.0, &g_back_);
+    block.backcast->BackwardInto(g_back_, tape.backcast[l],
+                                 /*accumulate_param_grads=*/true, &g_h_back_);
+    linalg::AddInPlace(g_h_back_, &g_h_fore_);  // g_h
+    block.fc.BackwardInto(g_h_fore_, tape.fc[l],
+                          /*accumulate_param_grads=*/true, &g_x_block_);
+    linalg::AddInPlace(g_x_block_, &grad_x_);
   }
 }
 
@@ -86,24 +92,24 @@ std::vector<nn::Parameter*> NBeats::AllParams() {
   return params;
 }
 
-void NBeats::BuildDataset(const core::TrainingSet& train,
-                          linalg::Matrix* inputs,
-                          linalg::Matrix* targets) const {
+void NBeats::BuildDataset(const core::TrainingSet& train) {
   const std::size_t w = train.at(0).w();
   const std::size_t n = train.at(0).channels();
   STREAMAD_CHECK_MSG(w >= 2, "N-BEATS needs at least two rows per window");
   const std::size_t in_dim = (w - 1) * n;
-  *inputs = linalg::Matrix(train.size(), in_dim);
-  *targets = linalg::Matrix(train.size(), n);
+  ds_inputs_.EnsureShape(train.size(), in_dim);
+  ds_targets_.EnsureShape(train.size(), n);
   for (std::size_t i = 0; i < train.size(); ++i) {
-    const linalg::Matrix scaled = scaler_.Transform(train.at(i).window);
+    scaler_.TransformInto(train.at(i).window, &scaled_tmp_);
+    const std::span<double> in_row = ds_inputs_.MutableRowSpan(i);
     for (std::size_t r = 0; r + 1 < w; ++r) {
       for (std::size_t c = 0; c < n; ++c) {
-        (*inputs)(i, r * n + c) = scaled(r, c);
+        in_row[r * n + c] = scaled_tmp_(r, c);
       }
     }
+    const std::span<double> tgt_row = ds_targets_.MutableRowSpan(i);
     for (std::size_t c = 0; c < n; ++c) {
-      (*targets)(i, c) = scaled(w - 1, c);
+      tgt_row[c] = scaled_tmp_(w - 1, c);
     }
   }
 }
@@ -113,18 +119,17 @@ void NBeats::TrainOneEpoch(const linalg::Matrix& inputs,
   const std::size_t rows = inputs.rows();
   for (std::size_t start = 0; start < rows; start += params_.batch_size) {
     const std::size_t count = std::min(params_.batch_size, rows - start);
-    linalg::Matrix x(count, inputs.cols());
-    linalg::Matrix y(count, targets.cols());
+    x_batch_.EnsureShape(count, inputs.cols());
+    y_batch_.EnsureShape(count, targets.cols());
     for (std::size_t i = 0; i < count; ++i) {
-      x.SetRow(i, inputs.Row(start + i));
-      y.SetRow(i, targets.Row(start + i));
+      x_batch_.SetRow(i, inputs.RowSpan(start + i));
+      y_batch_.SetRow(i, targets.RowSpan(start + i));
     }
-    StackTape tape;
-    const linalg::Matrix pred = Forward(x, &tape);
-    const linalg::Matrix grad = nn::MseLossGrad(pred, y);
-    for (nn::Parameter* p : AllParams()) p->ZeroGrad();
-    Backward(grad, tape);
-    optimizer_.StepAll(AllParams());
+    ForwardInto(x_batch_, &stack_tape_, &pred_);
+    nn::MseLossGradInto(pred_, y_batch_, &grad_);
+    for (nn::Parameter* p : params_cache_) p->ZeroGrad();
+    Backward(grad_, stack_tape_);
+    optimizer_.StepAll(params_cache_);
   }
 }
 
@@ -134,11 +139,9 @@ void NBeats::Fit(const core::TrainingSet& train) {
   const std::size_t w = train.at(0).w();
   const std::size_t n = train.at(0).channels();
   Build((w - 1) * n, n);
-  linalg::Matrix inputs;
-  linalg::Matrix targets;
-  BuildDataset(train, &inputs, &targets);
+  BuildDataset(train);
   for (std::size_t epoch = 0; epoch < params_.fit_epochs; ++epoch) {
-    TrainOneEpoch(inputs, targets);
+    TrainOneEpoch(ds_inputs_, ds_targets_);
   }
 }
 
@@ -146,11 +149,9 @@ void NBeats::Finetune(const core::TrainingSet& train) {
   STREAMAD_CHECK_MSG(input_dim_ > 0, "Finetune before Fit");
   STREAMAD_CHECK(!train.empty());
   scaler_.Fit(train);
-  linalg::Matrix inputs;
-  linalg::Matrix targets;
-  BuildDataset(train, &inputs, &targets);
-  STREAMAD_CHECK(inputs.cols() == input_dim_);
-  TrainOneEpoch(inputs, targets);
+  BuildDataset(train);
+  STREAMAD_CHECK(ds_inputs_.cols() == input_dim_);
+  TrainOneEpoch(ds_inputs_, ds_targets_);
 }
 
 linalg::Matrix NBeats::Predict(const core::FeatureVector& x) {
@@ -158,16 +159,15 @@ linalg::Matrix NBeats::Predict(const core::FeatureVector& x) {
   const std::size_t w = x.w();
   const std::size_t n = x.channels();
   STREAMAD_CHECK((w - 1) * n == input_dim_);
-  const linalg::Matrix scaled = scaler_.Transform(x.window);
-  linalg::Matrix input(1, input_dim_);
+  scaler_.TransformInto(x.window, &scaled_tmp_);
+  input_row_.EnsureShape(1, input_dim_);
   for (std::size_t r = 0; r + 1 < w; ++r) {
     for (std::size_t c = 0; c < n; ++c) {
-      input(0, r * n + c) = scaled(r, c);
+      input_row_(0, r * n + c) = scaled_tmp_(r, c);
     }
   }
-  StackTape tape;
-  const linalg::Matrix forecast_scaled = Forward(input, &tape);
-  return scaler_.InverseTransform(forecast_scaled);
+  ForwardInto(input_row_, &stack_tape_, &pred_);
+  return scaler_.InverseTransform(pred_);
 }
 
 

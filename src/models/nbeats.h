@@ -66,14 +66,15 @@ class NBeats : public core::Model {
   };
 
   void Build(std::size_t input_dim, std::size_t output_dim);
-  linalg::Matrix Forward(const linalg::Matrix& input, StackTape* tape) const;
+  void ForwardInto(const linalg::Matrix& input, StackTape* tape,
+                   linalg::Matrix* output);
   void Backward(const linalg::Matrix& grad_forecast, const StackTape& tape);
   std::vector<nn::Parameter*> AllParams();
   void TrainOneEpoch(const linalg::Matrix& inputs,
                      const linalg::Matrix& targets);
-  /// Splits a training set into (standardised) model inputs and targets.
-  void BuildDataset(const core::TrainingSet& train, linalg::Matrix* inputs,
-                    linalg::Matrix* targets) const;
+  /// Splits a training set into (standardised) model inputs and targets,
+  /// staged into `ds_inputs_` / `ds_targets_`.
+  void BuildDataset(const core::TrainingSet& train);
 
   Params params_;
   Rng rng_;
@@ -82,6 +83,19 @@ class NBeats : public core::Model {
   ChannelScaler scaler_;
   std::size_t input_dim_ = 0;
   std::size_t output_dim_ = 0;
+
+  // Hoisted parameter list (rebuilt by `Build`) and steady-state buffers so
+  // the streaming fine-tune / predict path allocates nothing once shapes
+  // settle.
+  std::vector<nn::Parameter*> params_cache_;
+  StackTape stack_tape_;
+  linalg::Matrix ds_inputs_, ds_targets_;  // staged dataset
+  linalg::Matrix scaled_tmp_;              // per-window standardisation
+  linalg::Matrix x_batch_, y_batch_;
+  linalg::Matrix pred_, grad_;
+  linalg::Matrix x_fwd_, h_, back_, fore_;        // forward temporaries
+  linalg::Matrix grad_x_, g_back_, g_h_fore_, g_h_back_, g_x_block_;
+  linalg::Matrix input_row_;  // 1 x input_dim staging for Predict
 };
 
 }  // namespace streamad::models

@@ -2,6 +2,7 @@
 #define STREAMAD_MODELS_SCALER_H_
 
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "src/core/training_set.h"
@@ -51,29 +52,49 @@ class ChannelScaler {
   bool fitted() const { return !mean_.empty(); }
   std::size_t channels() const { return mean_.size(); }
 
-  /// Standardises a `rows x channels` matrix of stream values.
-  linalg::Matrix Transform(const linalg::Matrix& raw) const {
+  /// Standardises a `rows x channels` matrix of stream values into `*out`
+  /// (reusing its buffer; must not alias `raw`).
+  void TransformInto(const linalg::Matrix& raw, linalg::Matrix* out) const {
     STREAMAD_CHECK(fitted());
+    STREAMAD_CHECK(out != nullptr && out != &raw);
     STREAMAD_CHECK(raw.cols() == mean_.size());
-    linalg::Matrix out = raw;
-    for (std::size_t r = 0; r < out.rows(); ++r) {
-      for (std::size_t c = 0; c < out.cols(); ++c) {
-        out(r, c) = (out(r, c) - mean_[c]) / std_[c];
+    out->EnsureShape(raw.rows(), raw.cols());
+    for (std::size_t r = 0; r < raw.rows(); ++r) {
+      const std::span<const double> src = raw.RowSpan(r);
+      const std::span<double> dst = out->MutableRowSpan(r);
+      for (std::size_t c = 0; c < src.size(); ++c) {
+        dst[c] = (src[c] - mean_[c]) / std_[c];
       }
     }
+  }
+
+  /// Standardises a `rows x channels` matrix of stream values.
+  linalg::Matrix Transform(const linalg::Matrix& raw) const {
+    linalg::Matrix out;
+    TransformInto(raw, &out);
     return out;
+  }
+
+  /// Inverse of `TransformInto`; `out` must not alias `scaled`.
+  void InverseTransformInto(const linalg::Matrix& scaled,
+                            linalg::Matrix* out) const {
+    STREAMAD_CHECK(fitted());
+    STREAMAD_CHECK(out != nullptr && out != &scaled);
+    STREAMAD_CHECK(scaled.cols() == mean_.size());
+    out->EnsureShape(scaled.rows(), scaled.cols());
+    for (std::size_t r = 0; r < scaled.rows(); ++r) {
+      const std::span<const double> src = scaled.RowSpan(r);
+      const std::span<double> dst = out->MutableRowSpan(r);
+      for (std::size_t c = 0; c < src.size(); ++c) {
+        dst[c] = src[c] * std_[c] + mean_[c];
+      }
+    }
   }
 
   /// Inverse of `Transform`.
   linalg::Matrix InverseTransform(const linalg::Matrix& scaled) const {
-    STREAMAD_CHECK(fitted());
-    STREAMAD_CHECK(scaled.cols() == mean_.size());
-    linalg::Matrix out = scaled;
-    for (std::size_t r = 0; r < out.rows(); ++r) {
-      for (std::size_t c = 0; c < out.cols(); ++c) {
-        out(r, c) = out(r, c) * std_[c] + mean_[c];
-      }
-    }
+    linalg::Matrix out;
+    InverseTransformInto(scaled, &out);
     return out;
   }
 

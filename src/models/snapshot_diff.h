@@ -1,0 +1,47 @@
+#ifndef STREAMAD_MODELS_SNAPSHOT_DIFF_H_
+#define STREAMAD_MODELS_SNAPSHOT_DIFF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace streamad::models {
+
+/// Row-level diff between two snapshots of a training set.
+///
+/// The streaming Task-1 strategies (sliding window, uncertainty reservoirs)
+/// replace only a handful of training-set entries between consecutive
+/// fine-tune calls. Models that maintain incremental caches (kNN distance
+/// matrix, VAR Gram matrices) use this diff to touch only the changed rows
+/// instead of rebuilding from scratch.
+struct SnapshotDiff {
+  /// Rows present in both snapshots, as (old_index, new_index) pairs in
+  /// ascending new_index order. Matching is by exact (bitwise) content;
+  /// duplicate rows pair up in ascending old-index order, so the result is
+  /// deterministic.
+  std::vector<std::pair<std::size_t, std::size_t>> kept;
+  /// New indices with no content match in the old snapshot.
+  std::vector<std::size_t> added;
+  /// Old indices no longer present, ascending.
+  std::vector<std::size_t> removed;
+};
+
+/// FNV-1a over the raw 8-byte chunks of the doubles; used only to bucket
+/// candidate matches before the exact bitwise comparison.
+std::uint64_t HashRow(std::span<const double> row);
+
+using RowAccessor = std::function<std::span<const double>(std::size_t)>;
+
+/// Diffs `old_count` rows against `new_count` rows, both exposed through
+/// accessors so callers with different storage (matrix rows, nested
+/// vectors) avoid materialising copies. O(old + new) hashing plus exact
+/// verification per candidate match.
+SnapshotDiff DiffRows(std::size_t old_count, const RowAccessor& old_row,
+                      std::size_t new_count, const RowAccessor& new_row);
+
+}  // namespace streamad::models
+
+#endif  // STREAMAD_MODELS_SNAPSHOT_DIFF_H_

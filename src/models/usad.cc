@@ -48,18 +48,25 @@ void Usad::Build(std::size_t flat_dim) {
   };
   decoder1_ = build_decoder();
   decoder2_ = build_decoder();
+
+  params_ae1_ = encoder_.Params();
+  const auto d1_params = decoder1_.Params();
+  params_ae1_.insert(params_ae1_.end(), d1_params.begin(), d1_params.end());
+  params_ae2_ = encoder_.Params();
+  const auto d2_params = decoder2_.Params();
+  params_ae2_.insert(params_ae2_.end(), d2_params.begin(), d2_params.end());
 }
 
-linalg::Matrix Usad::ScaledFlatRows(const core::TrainingSet& train) const {
+void Usad::StageFlat(const core::TrainingSet& train) {
   const std::size_t flat_dim = train.at(0).window.size();
-  linalg::Matrix flat(train.size(), flat_dim);
+  flat_.EnsureShape(train.size(), flat_dim);
   for (std::size_t i = 0; i < train.size(); ++i) {
-    const linalg::Matrix scaled = scaler_.Transform(train.at(i).window);
+    scaler_.TransformInto(train.at(i).window, &scaled_tmp_);
+    const std::span<double> dst = flat_.MutableRowSpan(i);
     for (std::size_t j = 0; j < flat_dim; ++j) {
-      flat(i, j) = scaled.at_flat(j);
+      dst[j] = scaled_tmp_.at_flat(j);
     }
   }
-  return flat;
 }
 
 void Usad::TrainOneEpoch(const linalg::Matrix& flat_scaled) {
@@ -71,82 +78,74 @@ void Usad::TrainOneEpoch(const linalg::Matrix& flat_scaled) {
 
   for (std::size_t start = 0; start < rows; start += params_.batch_size) {
     const std::size_t count = std::min(params_.batch_size, rows - start);
-    linalg::Matrix x(count, flat_scaled.cols());
+    x_.EnsureShape(count, flat_scaled.cols());
     for (std::size_t i = 0; i < count; ++i) {
-      x.SetRow(i, flat_scaled.Row(start + i));
+      x_.SetRow(i, flat_scaled.RowSpan(start + i));
     }
 
     // --- Phase A: update AE1 = {E, D1} with L_AE1. -----------------------
     {
-      nn::Sequential::Tape t_e1, t_d1, t_e2, t_d2;
-      const linalg::Matrix z = encoder_.Forward(x, &t_e1);
-      const linalg::Matrix w1 = decoder1_.Forward(z, &t_d1);
-      const linalg::Matrix z2 = encoder_.Forward(w1, &t_e2);
-      const linalg::Matrix w3 = decoder2_.Forward(z2, &t_d2);
+      encoder_.ForwardInto(x_, &tape_e1_, &z_);
+      decoder1_.ForwardInto(z_, &tape_d1_, &w1_);
+      encoder_.ForwardInto(w1_, &tape_e2_, &z2_);
+      decoder2_.ForwardInto(z2_, &tape_d2_, &w3_);
 
       encoder_.ZeroGrads();
       decoder1_.ZeroGrads();
       decoder2_.ZeroGrads();
 
       // (1/n) ||x - w1||² term.
-      linalg::Matrix g1 = nn::MseLossGrad(w1, x);
-      g1 = linalg::Scale(g1, w_recon);
+      nn::MseLossGradInto(w1_, x_, &g1_);
+      linalg::ScaleInPlace(w_recon, &g1_);
       // (1 - 1/n) ||x - w3||² term, routed through frozen D2 back into
       // the second encoder application (E's parameters DO accumulate: E is
       // part of AE1) and on through D1 and the first encoder application.
-      linalg::Matrix g3 = nn::MseLossGrad(w3, x);
-      g3 = linalg::Scale(g3, w_adv);
+      nn::MseLossGradInto(w3_, x_, &g3_);
+      linalg::ScaleInPlace(w_adv, &g3_);
 
-      const linalg::Matrix g_z2 =
-          decoder2_.Backward(g3, t_d2, /*accumulate_param_grads=*/false);
-      const linalg::Matrix g_w1_adv =
-          encoder_.Backward(g_z2, t_e2, /*accumulate_param_grads=*/true);
-      const linalg::Matrix g_w1_total = linalg::Add(g1, g_w1_adv);
-      const linalg::Matrix g_z =
-          decoder1_.Backward(g_w1_total, t_d1, /*accumulate_param_grads=*/true);
-      encoder_.Backward(g_z, t_e1, /*accumulate_param_grads=*/true);
-
-      auto params = encoder_.Params();
-      const auto d1_params = decoder1_.Params();
-      params.insert(params.end(), d1_params.begin(), d1_params.end());
-      optimizer_.StepAll(params);
+      decoder2_.BackwardInto(g3_, tape_d2_, /*accumulate_param_grads=*/false,
+                             &g_z2_);
+      encoder_.BackwardInto(g_z2_, tape_e2_, /*accumulate_param_grads=*/true,
+                            &g_w1_);
+      linalg::AddInPlace(g1_, &g_w1_);  // total dL/dw1
+      decoder1_.BackwardInto(g_w1_, tape_d1_, /*accumulate_param_grads=*/true,
+                             &g_z_);
+      encoder_.BackwardInto(g_z_, tape_e1_, /*accumulate_param_grads=*/true,
+                            &g_in_);
+      optimizer_.StepAll(params_ae1_);
     }
 
     // --- Phase B: update AE2 = {E, D2} with L_AE2 (fresh forward). -------
     {
-      nn::Sequential::Tape t_e1, t_d1, t_d2a, t_e2, t_d2b;
-      const linalg::Matrix z = encoder_.Forward(x, &t_e1);
-      const linalg::Matrix w2 = decoder2_.Forward(z, &t_d2a);
-      const linalg::Matrix w1 = decoder1_.Forward(z, &t_d1);
-      const linalg::Matrix z2 = encoder_.Forward(w1, &t_e2);
-      const linalg::Matrix w3 = decoder2_.Forward(z2, &t_d2b);
+      encoder_.ForwardInto(x_, &tape_e1_, &z_);
+      decoder2_.ForwardInto(z_, &tape_d2_, &w2_);
+      decoder1_.ForwardInto(z_, &tape_d1_, &w1_);
+      encoder_.ForwardInto(w1_, &tape_e2_, &z2_);
+      decoder2_.ForwardInto(z2_, &tape_d2b_, &w3_);
 
       encoder_.ZeroGrads();
       decoder1_.ZeroGrads();
       decoder2_.ZeroGrads();
 
       // (1/n) ||x - w2||² pulls AE2 towards reconstruction...
-      linalg::Matrix g2 = nn::MseLossGrad(w2, x);
-      g2 = linalg::Scale(g2, w_recon);
+      nn::MseLossGradInto(w2_, x_, &g2_);
+      linalg::ScaleInPlace(w_recon, &g2_);
       // ... while -(1 - 1/n) ||x - w3||² pushes it to expose AE1's output.
-      linalg::Matrix g3 = nn::MseLossGrad(w3, x);
-      g3 = linalg::Scale(g3, -w_adv);
+      nn::MseLossGradInto(w3_, x_, &g3_);
+      linalg::ScaleInPlace(-w_adv, &g3_);
 
-      const linalg::Matrix g_z2 =
-          decoder2_.Backward(g3, t_d2b, /*accumulate_param_grads=*/true);
-      const linalg::Matrix g_w1 =
-          encoder_.Backward(g_z2, t_e2, /*accumulate_param_grads=*/true);
-      const linalg::Matrix g_z_adv =
-          decoder1_.Backward(g_w1, t_d1, /*accumulate_param_grads=*/false);
-      const linalg::Matrix g_z_rec =
-          decoder2_.Backward(g2, t_d2a, /*accumulate_param_grads=*/true);
-      encoder_.Backward(linalg::Add(g_z_rec, g_z_adv), t_e1,
-                        /*accumulate_param_grads=*/true);
-
-      auto params = encoder_.Params();
-      const auto d2_params = decoder2_.Params();
-      params.insert(params.end(), d2_params.begin(), d2_params.end());
-      optimizer_.StepAll(params);
+      decoder2_.BackwardInto(g3_, tape_d2b_, /*accumulate_param_grads=*/true,
+                             &g_z2_);
+      encoder_.BackwardInto(g_z2_, tape_e2_, /*accumulate_param_grads=*/true,
+                            &g_w1_);
+      decoder1_.BackwardInto(g_w1_, tape_d1_, /*accumulate_param_grads=*/false,
+                             &g_z_);
+      decoder2_.BackwardInto(g2_, tape_d2_, /*accumulate_param_grads=*/true,
+                             &g_z_rec_);
+      linalg::AddInPlace(g_z_, &g_z_rec_);  // g_z_rec + g_z_adv
+      encoder_.BackwardInto(g_z_rec_, tape_e1_, /*accumulate_param_grads=*/true,
+                            &g_in_);
+      optimizer_.StepAll(params_ae2_);
     }
   }
 }
@@ -155,9 +154,9 @@ void Usad::Fit(const core::TrainingSet& train) {
   STREAMAD_CHECK(!train.empty());
   scaler_.Fit(train);
   Build(train.at(0).window.size());
-  const linalg::Matrix flat = ScaledFlatRows(train);
+  StageFlat(train);
   for (std::size_t epoch = 0; epoch < params_.fit_epochs; ++epoch) {
-    TrainOneEpoch(flat);
+    TrainOneEpoch(flat_);
   }
 }
 
@@ -166,17 +165,19 @@ void Usad::Finetune(const core::TrainingSet& train) {
   STREAMAD_CHECK(!train.empty());
   scaler_.Fit(train);
   STREAMAD_CHECK(train.at(0).window.size() == flat_dim_);
-  TrainOneEpoch(ScaledFlatRows(train));
+  StageFlat(train);
+  TrainOneEpoch(flat_);
 }
 
 linalg::Matrix Usad::Predict(const core::FeatureVector& x) {
   STREAMAD_CHECK_MSG(flat_dim_ > 0, "Predict before Fit");
   STREAMAD_CHECK(x.window.size() == flat_dim_);
-  const linalg::Matrix scaled = scaler_.Transform(x.window);
-  const linalg::Matrix flat = scaled.Reshaped(1, flat_dim_);
-  const linalg::Matrix recon = decoder1_.Infer(encoder_.Infer(flat));
-  return scaler_.InverseTransform(
-      recon.Reshaped(x.window.rows(), x.window.cols()));
+  scaler_.TransformInto(x.window, &scaled_tmp_);
+  scaled_tmp_.ReshapeInPlace(1, flat_dim_);
+  encoder_.ForwardInto(scaled_tmp_, &tape_e1_, &z_);
+  decoder1_.ForwardInto(z_, &tape_d1_, &w1_);
+  w1_.ReshapeInPlace(x.window.rows(), x.window.cols());
+  return scaler_.InverseTransform(w1_);
 }
 
 double Usad::UsadScore(const core::FeatureVector& x, double alpha,

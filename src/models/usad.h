@@ -72,7 +72,7 @@ class Usad : public core::Model {
 
  private:
   void Build(std::size_t flat_dim);
-  linalg::Matrix ScaledFlatRows(const core::TrainingSet& train) const;
+  void StageFlat(const core::TrainingSet& train);
   void TrainOneEpoch(const linalg::Matrix& flat_scaled);
 
   Params params_;
@@ -84,6 +84,22 @@ class Usad : public core::Model {
   ChannelScaler scaler_;
   std::size_t flat_dim_ = 0;
   long epoch_ = 0;  // the n of the loss schedule
+
+  // Hoisted parameter lists for the two alternating objectives (E ∪ D1 and
+  // E ∪ D2), rebuilt by `Build`.
+  std::vector<nn::Parameter*> params_ae1_;
+  std::vector<nn::Parameter*> params_ae2_;
+
+  // Steady-state tapes and buffers reused across optimizer steps so the
+  // streaming fine-tune path performs no heap allocation once shapes
+  // settle. One tape per (network, application) pair within a step.
+  nn::Sequential::Tape tape_e1_, tape_e2_, tape_d1_, tape_d2_, tape_d2b_;
+  linalg::Matrix flat_;        // staged standardised training rows
+  linalg::Matrix scaled_tmp_;  // per-window standardisation scratch
+  linalg::Matrix x_;           // current mini-batch
+  linalg::Matrix z_, w1_, w2_, z2_, w3_;
+  linalg::Matrix g1_, g2_, g3_;
+  linalg::Matrix g_z2_, g_w1_, g_z_, g_z_rec_, g_in_;
 };
 
 }  // namespace streamad::models

@@ -3,6 +3,7 @@
 
 #include "src/common/check.h"
 #include "src/linalg/solve.h"
+#include "src/models/snapshot_diff.h"
 
 namespace streamad::models {
 
@@ -29,6 +30,39 @@ VarModel::VarModel(const Params& params) : params_(params) {
   STREAMAD_CHECK(params.ridge >= 0.0);
 }
 
+void VarModel::AccumulateWindow(std::span<const double> flat, double sign) {
+  const std::size_t p = params_.order;
+  const std::size_t regressors = n_ * p + 1;
+  STREAMAD_CHECK(flat.size() == w_ * n_);
+  for (std::size_t r = p; r < w_; ++r) {
+    reg_[0] = 1.0;
+    std::size_t col = 1;
+    for (std::size_t lag = 1; lag <= p; ++lag) {
+      for (std::size_t ch = 0; ch < n_; ++ch) {
+        reg_[col++] = flat[(r - lag) * n_ + ch];
+      }
+    }
+    // Rank-1 update of XᵀX and XᵀY. With sign = +1 and equations visited
+    // in design-matrix row order, each element of `gram_` accumulates the
+    // exact same products in the exact same order as the fused
+    // `MatMulTransA(x, x)` of a full least-squares stack, so a from-scratch
+    // accumulation is bit-identical to the dense path.
+    for (std::size_t i = 0; i < regressors; ++i) {
+      const double ri = reg_[i];
+      for (std::size_t j = 0; j < regressors; ++j) {
+        gram_(i, j) += sign * (ri * reg_[j]);
+      }
+      for (std::size_t ch = 0; ch < n_; ++ch) {
+        rhs_(i, ch) += sign * (ri * flat[r * n_ + ch]);
+      }
+    }
+  }
+}
+
+void VarModel::SolveBeta() {
+  beta_ = linalg::SolveNormalEquations(gram_, rhs_, params_.ridge);
+}
+
 void VarModel::Fit(const core::TrainingSet& train) {
   STREAMAD_CHECK(!train.empty());
   const std::size_t p = params_.order;
@@ -36,27 +70,62 @@ void VarModel::Fit(const core::TrainingSet& train) {
   const std::size_t n = train.at(0).channels();
   STREAMAD_CHECK_MSG(w > p, "window too short for VAR order");
 
-  const std::size_t eq_per_window = w - p;
-  const std::size_t rows = train.size() * eq_per_window;
+  w_ = w;
+  n_ = n;
   const std::size_t regressors = n * p + 1;
-  linalg::Matrix x(rows, regressors);
-  linalg::Matrix y(rows, n);
-  std::size_t row = 0;
-  for (const core::FeatureVector& fv : train.entries()) {
-    for (std::size_t r = p; r < w; ++r) {
-      FillRegressorRow(fv.window, r, p, &x, row);
-      for (std::size_t ch = 0; ch < n; ++ch) y(row, ch) = fv.window(r, ch);
-      ++row;
-    }
+  reg_.resize(regressors);
+  gram_.EnsureShape(regressors, regressors);
+  gram_.Fill(0.0);
+  rhs_.EnsureShape(regressors, n);
+  rhs_.Fill(0.0);
+  snapshot_.resize(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const core::FeatureVector& fv = train.at(i);
+    STREAMAD_CHECK(fv.w() == w && fv.channels() == n);
+    AccumulateWindow(fv.window.data(), +1.0);
+    snapshot_[i] = fv.window.data();
   }
-  beta_ = linalg::LeastSquares(x, y, params_.ridge);
+  SolveBeta();
   fitted_ = true;
+  finetunes_since_rebuild_ = 0;
 }
 
 void VarModel::Finetune(const core::TrainingSet& train) {
   // Least squares has no epochs: "the model parameters are estimated for
-  // the most recent training set" (paper §IV-C) — a full re-estimate.
-  Fit(train);
+  // the most recent training set" (paper §IV-C). The incremental path
+  // reaches the same estimate by downdating / updating the cached normal
+  // equations with only the windows that changed.
+  STREAMAD_CHECK(!train.empty());
+  if (!fitted_ || train.at(0).w() != w_ || train.at(0).channels() != n_) {
+    Fit(train);
+    return;
+  }
+  if (++finetunes_since_rebuild_ >= kForcedRebuildPeriod) {
+    Fit(train);  // periodic full rebuild bounds downdate round-off drift
+    return;
+  }
+  const SnapshotDiff diff = DiffRows(
+      snapshot_.size(),
+      [this](std::size_t i) { return std::span<const double>(snapshot_[i]); },
+      train.size(),
+      [&train](std::size_t j) {
+        return std::span<const double>(train.at(j).window.data());
+      });
+  if ((diff.added.size() + diff.removed.size()) * 2 > train.size()) {
+    Fit(train);  // mostly new content: the full rebuild is cheaper
+    return;
+  }
+  for (const std::size_t i : diff.removed) {
+    AccumulateWindow(snapshot_[i], -1.0);
+  }
+  for (const std::size_t j : diff.added) {
+    AccumulateWindow(train.at(j).window.data(), +1.0);
+  }
+  snapshot_.resize(train.size());
+  for (std::size_t j = 0; j < train.size(); ++j) {
+    snapshot_[j] = train.at(j).window.data();
+  }
+  SolveBeta();
 }
 
 linalg::Matrix VarModel::Predict(const core::FeatureVector& x) {
@@ -64,20 +133,32 @@ linalg::Matrix VarModel::Predict(const core::FeatureVector& x) {
   const std::size_t p = params_.order;
   const std::size_t w = x.w();
   STREAMAD_CHECK(w > p);
-  linalg::Matrix reg(1, x.channels() * p + 1);
+  predict_reg_.EnsureShape(1, x.channels() * p + 1);
   // Forecast the last row from the p rows preceding it.
-  FillRegressorRow(x.window, w - 1, p, &reg, 0);
-  return linalg::MatMul(reg, beta_);
+  FillRegressorRow(x.window, w - 1, p, &predict_reg_, 0);
+  return linalg::MatMul(predict_reg_, beta_);
 }
 
 
 bool VarModel::SaveState(std::ostream* out) const {
   STREAMAD_CHECK(out != nullptr);
   io::BinaryWriter w(out);
-  w.WriteString("streamad.var.v1");
+  // v2 carries the incremental normal-equation state: a restored detector
+  // must continue fine-tuning bit-identically to the instance that saved,
+  // which requires the exact accumulator bits, not a re-derivation.
+  w.WriteString("streamad.var.v2");
   w.WriteU64(params_.order);
   w.WriteU64(fitted_ ? 1 : 0);
   w.WriteMatrix(beta_);
+  w.WriteU64(w_);
+  w.WriteU64(n_);
+  w.WriteMatrix(gram_);
+  w.WriteMatrix(rhs_);
+  w.WriteU64(finetunes_since_rebuild_);
+  w.WriteU64(snapshot_.size());
+  for (const std::vector<double>& window : snapshot_) {
+    w.WriteDoubleVec(window);
+  }
   return w.ok();
 }
 
@@ -86,14 +167,34 @@ bool VarModel::LoadState(std::istream* in) {
   io::BinaryReader r(in);
   std::uint64_t order = 0;
   std::uint64_t fitted = 0;
+  std::uint64_t w = 0;
+  std::uint64_t n = 0;
+  std::uint64_t finetunes = 0;
+  std::uint64_t count = 0;
   linalg::Matrix beta;
-  if (!r.ExpectString("streamad.var.v1") || !r.ReadU64(&order) ||
-      !r.ReadU64(&fitted) || !r.ReadMatrix(&beta)) {
+  linalg::Matrix gram;
+  linalg::Matrix rhs;
+  if (!r.ExpectString("streamad.var.v2") || !r.ReadU64(&order) ||
+      !r.ReadU64(&fitted) || !r.ReadMatrix(&beta) || !r.ReadU64(&w) ||
+      !r.ReadU64(&n) || !r.ReadMatrix(&gram) || !r.ReadMatrix(&rhs) ||
+      !r.ReadU64(&finetunes) || !r.ReadU64(&count)) {
     return false;
   }
   if (order != params_.order) return false;
+  std::vector<std::vector<double>> snapshot(count);
+  for (std::vector<double>& window : snapshot) {
+    if (!r.ReadDoubleVec(&window)) return false;
+  }
+  if (fitted != 0 && (w <= params_.order || n == 0)) return false;
   beta_ = std::move(beta);
+  gram_ = std::move(gram);
+  rhs_ = std::move(rhs);
+  snapshot_ = std::move(snapshot);
+  w_ = w;
+  n_ = n;
+  finetunes_since_rebuild_ = finetunes;
   fitted_ = fitted != 0;
+  reg_.resize(n_ * params_.order + 1);
   return true;
 }
 

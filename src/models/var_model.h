@@ -1,6 +1,10 @@
 #ifndef STREAMAD_MODELS_VAR_MODEL_H_
 #define STREAMAD_MODELS_VAR_MODEL_H_
 
+#include <cstdint>
+#include <span>
+#include <vector>
+
 #include "src/core/component_interfaces.h"
 #include "src/linalg/matrix.h"
 
@@ -19,6 +23,17 @@ namespace streamad::models {
 /// "consecutive excerpt" formulation restricts Task 1 to the sliding
 /// window, which is how the factory wires it.
 ///
+/// **Incremental estimation.** Instead of restacking the full design
+/// matrix on every fine-tune, the model maintains the normal-equation
+/// accumulators `G = XᵀX` and `R = XᵀY` together with a snapshot of the
+/// windows that contributed to them. A fine-tune diffs the new training
+/// set against the snapshot, downdates the equations of removed windows
+/// and updates those of added ones — O(changed · (Np+1)²) per call instead
+/// of O(total · (Np+1)²) — and re-solves. Floating-point downdates are not
+/// exact inverses, so the accumulators are rebuilt from scratch whenever
+/// more than half the set changed and, as a drift bound, at least every
+/// `kForcedRebuildPeriod` fine-tunes.
+///
 /// The model is described in the paper but not part of Table I's 26
 /// combinations; it ships as a supported extension (see DESIGN.md).
 class VarModel : public core::Model {
@@ -29,6 +44,10 @@ class VarModel : public core::Model {
     /// Ridge regulariser for the least-squares normal equations.
     double ridge = 1e-6;
   };
+
+  /// Incremental fine-tunes between forced full rebuilds of the
+  /// normal-equation accumulators (bounds downdate round-off drift).
+  static constexpr std::uint64_t kForcedRebuildPeriod = 64;
 
   explicit VarModel(const Params& params);
 
@@ -46,9 +65,26 @@ class VarModel : public core::Model {
   const linalg::Matrix& coefficients() const { return beta_; }
 
  private:
+  /// Adds (`sign` = +1) or removes (`sign` = -1) one flattened window's
+  /// `w - p` regression equations to/from `gram_` and `rhs_`.
+  void AccumulateWindow(std::span<const double> flat, double sign);
+  void SolveBeta();
+
   Params params_;
   linalg::Matrix beta_;
   bool fitted_ = false;
+
+  // Incremental normal-equation state.
+  std::size_t w_ = 0;  // window rows of the fitted shape
+  std::size_t n_ = 0;  // channels of the fitted shape
+  linalg::Matrix gram_;  // XᵀX, un-ridged
+  linalg::Matrix rhs_;   // XᵀY
+  std::vector<std::vector<double>> snapshot_;  // contributing windows
+  std::uint64_t finetunes_since_rebuild_ = 0;
+
+  // Scratch reused across calls.
+  std::vector<double> reg_;
+  linalg::Matrix predict_reg_;
 };
 
 }  // namespace streamad::models

@@ -4,72 +4,74 @@
 
 namespace streamad::nn {
 
-linalg::Matrix Sigmoid::Forward(const linalg::Matrix& input,
-                                Cache* cache) const {
+void Sigmoid::ForwardInto(const linalg::Matrix& input, Cache* cache,
+                          linalg::Matrix* output) const {
   STREAMAD_CHECK(cache != nullptr);
-  linalg::Matrix out = input;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out.at_flat(i) = 1.0 / (1.0 + std::exp(-out.at_flat(i)));
+  STREAMAD_CHECK(output != nullptr);
+  output->EnsureShape(input.rows(), input.cols());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    output->at_flat(i) = 1.0 / (1.0 + std::exp(-input.at_flat(i)));
   }
-  cache->output = out;
-  return out;
+  cache->output = *output;
 }
 
-linalg::Matrix Sigmoid::Backward(const linalg::Matrix& grad_output,
-                                 const Cache& cache,
-                                 bool /*accumulate_param_grads*/) {
+void Sigmoid::BackwardInto(const linalg::Matrix& grad_output,
+                           const Cache& cache, bool /*accumulate*/,
+                           linalg::Matrix* grad_input) {
+  STREAMAD_CHECK(grad_input != nullptr);
   STREAMAD_CHECK(grad_output.size() == cache.output.size());
-  linalg::Matrix grad = grad_output;
-  for (std::size_t i = 0; i < grad.size(); ++i) {
+  grad_input->EnsureShape(grad_output.rows(), grad_output.cols());
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
     const double y = cache.output.at_flat(i);
-    grad.at_flat(i) *= y * (1.0 - y);
+    grad_input->at_flat(i) = grad_output.at_flat(i) * (y * (1.0 - y));
   }
-  return grad;
 }
 
-linalg::Matrix Relu::Forward(const linalg::Matrix& input,
-                             Cache* cache) const {
+void Relu::ForwardInto(const linalg::Matrix& input, Cache* cache,
+                       linalg::Matrix* output) const {
   STREAMAD_CHECK(cache != nullptr);
-  linalg::Matrix out = input;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    if (out.at_flat(i) < 0.0) out.at_flat(i) = 0.0;
+  STREAMAD_CHECK(output != nullptr);
+  output->EnsureShape(input.rows(), input.cols());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const double v = input.at_flat(i);
+    output->at_flat(i) = v < 0.0 ? 0.0 : v;
   }
   cache->input = input;
-  return out;
 }
 
-linalg::Matrix Relu::Backward(const linalg::Matrix& grad_output,
-                              const Cache& cache,
-                              bool /*accumulate_param_grads*/) {
+void Relu::BackwardInto(const linalg::Matrix& grad_output,
+                        const Cache& cache, bool /*accumulate*/,
+                        linalg::Matrix* grad_input) {
+  STREAMAD_CHECK(grad_input != nullptr);
   STREAMAD_CHECK(grad_output.size() == cache.input.size());
-  linalg::Matrix grad = grad_output;
-  for (std::size_t i = 0; i < grad.size(); ++i) {
-    if (cache.input.at_flat(i) <= 0.0) grad.at_flat(i) = 0.0;
+  grad_input->EnsureShape(grad_output.rows(), grad_output.cols());
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    grad_input->at_flat(i) =
+        cache.input.at_flat(i) <= 0.0 ? 0.0 : grad_output.at_flat(i);
   }
-  return grad;
 }
 
-linalg::Matrix Tanh::Forward(const linalg::Matrix& input,
-                             Cache* cache) const {
+void Tanh::ForwardInto(const linalg::Matrix& input, Cache* cache,
+                       linalg::Matrix* output) const {
   STREAMAD_CHECK(cache != nullptr);
-  linalg::Matrix out = input;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out.at_flat(i) = std::tanh(out.at_flat(i));
+  STREAMAD_CHECK(output != nullptr);
+  output->EnsureShape(input.rows(), input.cols());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    output->at_flat(i) = std::tanh(input.at_flat(i));
   }
-  cache->output = out;
-  return out;
+  cache->output = *output;
 }
 
-linalg::Matrix Tanh::Backward(const linalg::Matrix& grad_output,
-                              const Cache& cache,
-                              bool /*accumulate_param_grads*/) {
+void Tanh::BackwardInto(const linalg::Matrix& grad_output,
+                        const Cache& cache, bool /*accumulate*/,
+                        linalg::Matrix* grad_input) {
+  STREAMAD_CHECK(grad_input != nullptr);
   STREAMAD_CHECK(grad_output.size() == cache.output.size());
-  linalg::Matrix grad = grad_output;
-  for (std::size_t i = 0; i < grad.size(); ++i) {
+  grad_input->EnsureShape(grad_output.rows(), grad_output.cols());
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
     const double y = cache.output.at_flat(i);
-    grad.at_flat(i) *= 1.0 - y * y;
+    grad_input->at_flat(i) = grad_output.at_flat(i) * (1.0 - y * y);
   }
-  return grad;
 }
 
 }  // namespace streamad::nn

@@ -9,31 +9,31 @@ namespace streamad::nn {
 /// nonlinearity the paper writes for its autoencoder layers.
 class Sigmoid : public Layer {
  public:
-  linalg::Matrix Forward(const linalg::Matrix& input,
-                         Cache* cache) const override;
-  linalg::Matrix Backward(const linalg::Matrix& grad_output,
-                          const Cache& cache,
-                          bool accumulate_param_grads) override;
+  void ForwardInto(const linalg::Matrix& input, Cache* cache,
+                   linalg::Matrix* output) const override;
+  void BackwardInto(const linalg::Matrix& grad_output, const Cache& cache,
+                    bool accumulate_param_grads,
+                    linalg::Matrix* grad_input) override;
 };
 
 /// Elementwise rectified linear unit, used in the N-BEATS block FC stack.
 class Relu : public Layer {
  public:
-  linalg::Matrix Forward(const linalg::Matrix& input,
-                         Cache* cache) const override;
-  linalg::Matrix Backward(const linalg::Matrix& grad_output,
-                          const Cache& cache,
-                          bool accumulate_param_grads) override;
+  void ForwardInto(const linalg::Matrix& input, Cache* cache,
+                   linalg::Matrix* output) const override;
+  void BackwardInto(const linalg::Matrix& grad_output, const Cache& cache,
+                    bool accumulate_param_grads,
+                    linalg::Matrix* grad_input) override;
 };
 
 /// Elementwise hyperbolic tangent.
 class Tanh : public Layer {
  public:
-  linalg::Matrix Forward(const linalg::Matrix& input,
-                         Cache* cache) const override;
-  linalg::Matrix Backward(const linalg::Matrix& grad_output,
-                          const Cache& cache,
-                          bool accumulate_param_grads) override;
+  void ForwardInto(const linalg::Matrix& input, Cache* cache,
+                   linalg::Matrix* output) const override;
+  void BackwardInto(const linalg::Matrix& grad_output, const Cache& cache,
+                    bool accumulate_param_grads,
+                    linalg::Matrix* grad_input) override;
 };
 
 }  // namespace streamad::nn

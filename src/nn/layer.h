@@ -35,9 +35,18 @@ struct Parameter {
 /// (paper §IV-C), whose loss evaluates the shared encoder on two different
 /// inputs within a single training step — with layer-internal caching the
 /// second forward would clobber the tape of the first.
+///
+/// The primary entry points are the out-parameter `ForwardInto` /
+/// `BackwardInto`, which write into caller-owned matrices so the
+/// steady-state detector loop performs no heap allocation (the cache and
+/// output matrices reuse their buffers across steps once shapes settle).
+/// The by-value `Forward` / `Backward` wrappers keep the original
+/// convenience API for tests and one-off use.
 class Layer {
  public:
-  /// Activation tape for one forward pass through one layer.
+  /// Activation tape for one forward pass through one layer. Each layer
+  /// records only what its backward pass reads (Linear: input; Sigmoid /
+  /// Tanh: output; Relu: input).
   struct Cache {
     linalg::Matrix input;
     linalg::Matrix output;
@@ -48,19 +57,35 @@ class Layer {
   Layer(const Layer&) = delete;
   Layer& operator=(const Layer&) = delete;
 
-  /// Computes the layer output for a batch (rows = samples) and records the
-  /// tape in `*cache`.
-  virtual linalg::Matrix Forward(const linalg::Matrix& input,
-                                 Cache* cache) const = 0;
+  /// Computes the layer output for a batch (rows = samples) into `*output`
+  /// and records the tape in `*cache`. `output` must not alias `input`.
+  virtual void ForwardInto(const linalg::Matrix& input, Cache* cache,
+                           linalg::Matrix* output) const = 0;
 
   /// Propagates `grad_output` (dL/d output) back through the tape recorded
-  /// in `cache`, returning dL/d input. When `accumulate_param_grads` is
-  /// true, parameter gradients are added into `Parameter::grad`; when false
-  /// the pass is gradient-transparent (used to route gradients *through* a
-  /// frozen subnetwork, e.g. through D2 when updating AE1 in USAD).
-  virtual linalg::Matrix Backward(const linalg::Matrix& grad_output,
-                                  const Cache& cache,
-                                  bool accumulate_param_grads) = 0;
+  /// in `cache`, writing dL/d input into `*grad_input` (must not alias
+  /// `grad_output`). When `accumulate_param_grads` is true, parameter
+  /// gradients are added into `Parameter::grad`; when false the pass is
+  /// gradient-transparent (used to route gradients *through* a frozen
+  /// subnetwork, e.g. through D2 when updating AE1 in USAD).
+  virtual void BackwardInto(const linalg::Matrix& grad_output,
+                            const Cache& cache, bool accumulate_param_grads,
+                            linalg::Matrix* grad_input) = 0;
+
+  /// By-value convenience wrapper over `ForwardInto`.
+  linalg::Matrix Forward(const linalg::Matrix& input, Cache* cache) const {
+    linalg::Matrix out;
+    ForwardInto(input, cache, &out);
+    return out;
+  }
+
+  /// By-value convenience wrapper over `BackwardInto`.
+  linalg::Matrix Backward(const linalg::Matrix& grad_output,
+                          const Cache& cache, bool accumulate_param_grads) {
+    linalg::Matrix grad_input;
+    BackwardInto(grad_output, cache, accumulate_param_grads, &grad_input);
+    return grad_input;
+  }
 
   /// The layer's trainable parameters (empty for activations).
   virtual std::vector<Parameter*> Params() { return {}; }

@@ -19,36 +19,35 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng* rng)
   bias_.ZeroGrad();
 }
 
-linalg::Matrix Linear::Forward(const linalg::Matrix& input,
-                               Cache* cache) const {
+void Linear::ForwardInto(const linalg::Matrix& input, Cache* cache,
+                         linalg::Matrix* output) const {
   STREAMAD_CHECK(cache != nullptr);
+  STREAMAD_CHECK(output != nullptr);
   STREAMAD_CHECK_MSG(input.cols() == in_features_, "Linear input width");
-  linalg::Matrix out =
-      linalg::AddRowBroadcast(linalg::MatMul(input, weight_.value),
-                              bias_.value);
+  linalg::MatMulInto(input, weight_.value, output);
+  linalg::AddRowBroadcastInPlace(bias_.value, output);
   cache->input = input;
-  cache->output = out;
-  return out;
 }
 
-linalg::Matrix Linear::Backward(const linalg::Matrix& grad_output,
-                                const Cache& cache,
-                                bool accumulate_param_grads) {
+void Linear::BackwardInto(const linalg::Matrix& grad_output,
+                          const Cache& cache, bool accumulate_param_grads,
+                          linalg::Matrix* grad_input) {
+  STREAMAD_CHECK(grad_input != nullptr);
   STREAMAD_CHECK(grad_output.rows() == cache.input.rows());
   STREAMAD_CHECK(grad_output.cols() == out_features_);
   if (accumulate_param_grads) {
-    // dL/dW = xᵀ g ; dL/db = column sums of g.
-    linalg::Axpy(1.0, linalg::MatMul(linalg::Transpose(cache.input),
-                                     grad_output),
-                 &weight_.grad);
+    // dL/dW = xᵀ g ; dL/db = column sums of g. The fused kernel skips the
+    // explicit transpose.
+    linalg::MatMulTransAInto(cache.input, grad_output, &dw_scratch_);
+    linalg::Axpy(1.0, dw_scratch_, &weight_.grad);
     for (std::size_t r = 0; r < grad_output.rows(); ++r) {
       for (std::size_t c = 0; c < grad_output.cols(); ++c) {
         bias_.grad(0, c) += grad_output(r, c);
       }
     }
   }
-  // dL/dx = g Wᵀ.
-  return linalg::MatMul(grad_output, linalg::Transpose(weight_.value));
+  // dL/dx = g Wᵀ, fused.
+  linalg::MatMulTransBInto(grad_output, weight_.value, grad_input);
 }
 
 }  // namespace streamad::nn

@@ -16,11 +16,11 @@ class Linear : public Layer {
   /// models initialise deterministically from one seed.
   Linear(std::size_t in_features, std::size_t out_features, Rng* rng);
 
-  linalg::Matrix Forward(const linalg::Matrix& input,
-                         Cache* cache) const override;
-  linalg::Matrix Backward(const linalg::Matrix& grad_output,
-                          const Cache& cache,
-                          bool accumulate_param_grads) override;
+  void ForwardInto(const linalg::Matrix& input, Cache* cache,
+                   linalg::Matrix* output) const override;
+  void BackwardInto(const linalg::Matrix& grad_output, const Cache& cache,
+                    bool accumulate_param_grads,
+                    linalg::Matrix* grad_input) override;
   std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
 
   std::size_t in_features() const { return in_features_; }
@@ -36,6 +36,12 @@ class Linear : public Layer {
   std::size_t out_features_;
   Parameter weight_;
   Parameter bias_;
+  // Per-layer scratch for the weight-gradient product `xᵀ g` in
+  // `BackwardInto` — computing it into reused storage and then Axpy-ing
+  // into `weight_.grad` keeps the accumulation order (and hence the bits)
+  // of the original `grad += MatMul(Transpose(x), g)` formulation while
+  // avoiding a heap allocation per backward pass.
+  linalg::Matrix dw_scratch_;
 };
 
 }  // namespace streamad::nn

@@ -17,13 +17,20 @@ double MseLoss(const linalg::Matrix& pred, const linalg::Matrix& target) {
 
 linalg::Matrix MseLossGrad(const linalg::Matrix& pred,
                            const linalg::Matrix& target) {
+  linalg::Matrix g;
+  MseLossGradInto(pred, target, &g);
+  return g;
+}
+
+void MseLossGradInto(const linalg::Matrix& pred, const linalg::Matrix& target,
+                     linalg::Matrix* grad) {
+  STREAMAD_CHECK(grad != nullptr && grad != &pred && grad != &target);
   STREAMAD_CHECK(pred.rows() == target.rows() &&
                  pred.cols() == target.cols());
   STREAMAD_CHECK(pred.size() > 0);
-  linalg::Matrix g = linalg::Sub(pred, target);
+  linalg::SubInto(pred, target, grad);
   const double scale = 2.0 / static_cast<double>(pred.size());
-  for (std::size_t i = 0; i < g.size(); ++i) g.at_flat(i) *= scale;
-  return g;
+  for (std::size_t i = 0; i < grad->size(); ++i) grad->at_flat(i) *= scale;
 }
 
 double L2Error(const linalg::Matrix& pred, const linalg::Matrix& target) {

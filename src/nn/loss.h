@@ -12,6 +12,10 @@ double MseLoss(const linalg::Matrix& pred, const linalg::Matrix& target);
 linalg::Matrix MseLossGrad(const linalg::Matrix& pred,
                            const linalg::Matrix& target);
 
+/// Out-parameter form of `MseLossGrad`; `grad` must not alias the inputs.
+void MseLossGradInto(const linalg::Matrix& pred, const linalg::Matrix& target,
+                     linalg::Matrix* grad);
+
 /// L2 reconstruction error `||pred - target||_2` over the flattened
 /// matrices — the `R_i = ||x - AE_i(x)||_2` terms of USAD's losses.
 double L2Error(const linalg::Matrix& pred, const linalg::Matrix& target);

@@ -8,15 +8,34 @@ Sequential& Sequential::Add(std::unique_ptr<Layer> layer) {
   return *this;
 }
 
+void Sequential::ForwardInto(const linalg::Matrix& input, Tape* tape,
+                             linalg::Matrix* output) const {
+  STREAMAD_CHECK(tape != nullptr);
+  STREAMAD_CHECK(output != nullptr);
+  // Resize (not assign) so the caches inside a reused tape keep their
+  // buffers; `assign` would destroy and reallocate every cache matrix.
+  if (tape->layers.size() != layers_.size()) {
+    tape->layers.resize(layers_.size());
+  }
+  if (layers_.empty()) {
+    *output = input;
+    return;
+  }
+  const linalg::Matrix* cur = &input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    linalg::Matrix* dst = (i + 1 == layers_.size())
+                              ? output
+                              : (i % 2 == 0 ? &tape->buf_a : &tape->buf_b);
+    layers_[i]->ForwardInto(*cur, &tape->layers[i], dst);
+    cur = dst;
+  }
+}
+
 linalg::Matrix Sequential::Forward(const linalg::Matrix& input,
                                    Tape* tape) const {
-  STREAMAD_CHECK(tape != nullptr);
-  tape->layers.assign(layers_.size(), Layer::Cache{});
-  linalg::Matrix x = input;
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
-    x = layers_[i]->Forward(x, &tape->layers[i]);
-  }
-  return x;
+  linalg::Matrix out;
+  ForwardInto(input, tape, &out);
+  return out;
 }
 
 linalg::Matrix Sequential::Infer(const linalg::Matrix& input) const {
@@ -24,16 +43,32 @@ linalg::Matrix Sequential::Infer(const linalg::Matrix& input) const {
   return Forward(input, &tape);
 }
 
+void Sequential::BackwardInto(const linalg::Matrix& grad_output,
+                              const Tape& tape, bool accumulate_param_grads,
+                              linalg::Matrix* grad_input) {
+  STREAMAD_CHECK(grad_input != nullptr);
+  STREAMAD_CHECK_MSG(tape.layers.size() == layers_.size(),
+                     "tape does not match network");
+  if (layers_.empty()) {
+    *grad_input = grad_output;
+    return;
+  }
+  const linalg::Matrix* cur = &grad_output;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    linalg::Matrix* dst =
+        (i == 0) ? grad_input : (i % 2 == 0 ? &tape.gbuf_a : &tape.gbuf_b);
+    layers_[i]->BackwardInto(*cur, tape.layers[i], accumulate_param_grads,
+                             dst);
+    cur = dst;
+  }
+}
+
 linalg::Matrix Sequential::Backward(const linalg::Matrix& grad_output,
                                     const Tape& tape,
                                     bool accumulate_param_grads) {
-  STREAMAD_CHECK_MSG(tape.layers.size() == layers_.size(),
-                     "tape does not match network");
-  linalg::Matrix g = grad_output;
-  for (std::size_t i = layers_.size(); i-- > 0;) {
-    g = layers_[i]->Backward(g, tape.layers[i], accumulate_param_grads);
-  }
-  return g;
+  linalg::Matrix grad_input;
+  BackwardInto(grad_output, tape, accumulate_param_grads, &grad_input);
+  return grad_input;
 }
 
 std::vector<Parameter*> Sequential::Params() {

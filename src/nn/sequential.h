@@ -16,9 +16,19 @@ namespace streamad::nn {
 /// several times in one computation graph (USAD's encoder does).
 class Sequential {
  public:
-  /// Tape for one forward pass through the whole stack.
+  /// Tape for one forward pass through the whole stack. Besides the
+  /// per-layer caches it owns the ping-pong activation buffers the stack
+  /// alternates between, so a tape reused across steps makes
+  /// `ForwardInto` / `BackwardInto` allocation-free once shapes settle.
   struct Tape {
     std::vector<Layer::Cache> layers;
+    // Intermediate activations ping-pong between these two buffers.
+    linalg::Matrix buf_a;
+    linalg::Matrix buf_b;
+    // Gradient counterparts; mutable because `BackwardInto` reads the tape
+    // through a const reference but still needs scratch to chain layers.
+    mutable linalg::Matrix gbuf_a;
+    mutable linalg::Matrix gbuf_b;
   };
 
   Sequential() = default;
@@ -32,15 +42,27 @@ class Sequential {
 
   std::size_t num_layers() const { return layers_.size(); }
 
-  /// Runs the stack on `input` (batch rows), recording the tape.
+  /// Runs the stack on `input` (batch rows), recording the tape and writing
+  /// the final activation into `*output` (must not alias `input` or the
+  /// tape's buffers).
+  void ForwardInto(const linalg::Matrix& input, Tape* tape,
+                   linalg::Matrix* output) const;
+
+  /// By-value convenience wrapper over `ForwardInto`.
   linalg::Matrix Forward(const linalg::Matrix& input, Tape* tape) const;
 
   /// Convenience forward without keeping the tape (inference).
   linalg::Matrix Infer(const linalg::Matrix& input) const;
 
-  /// Backpropagates through the recorded tape. Parameter gradients are
+  /// Backpropagates through the recorded tape into `*grad_input` (must not
+  /// alias `grad_output` or the tape's buffers). Parameter gradients are
   /// accumulated only when `accumulate_param_grads` is true; gradients are
-  /// always propagated to the returned input gradient.
+  /// always propagated to the input gradient.
+  void BackwardInto(const linalg::Matrix& grad_output, const Tape& tape,
+                    bool accumulate_param_grads,
+                    linalg::Matrix* grad_input);
+
+  /// By-value convenience wrapper over `BackwardInto`.
   linalg::Matrix Backward(const linalg::Matrix& grad_output, const Tape& tape,
                           bool accumulate_param_grads);
 

@@ -1,0 +1,58 @@
+#ifndef STREAMAD_NN_WORKSPACE_H_
+#define STREAMAD_NN_WORKSPACE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace streamad::nn {
+
+/// A pool of scratch matrices reused across steps.
+///
+/// The training loops of the neural models need a handful of temporaries
+/// per optimizer step (mini-batch staging, loss gradients, the adversarial
+/// gradient sums of USAD, the per-block temporaries of N-BEATS). Allocating
+/// them per step made `Finetune` — which runs on the hot streaming path —
+/// heap-bound. A `Workspace` hands out stable `Matrix*` slots instead:
+///
+///   ws.Reset();                      // once per step
+///   linalg::Matrix* g = ws.Acquire(rows, cols);
+///
+/// `Acquire` reshapes an existing slot via `Matrix::EnsureShape`, so after
+/// the first step at the high-water-mark shape, no acquisition touches the
+/// heap. Slots are handed out in call order; callers must acquire in a
+/// deterministic order per step (all call sites do — the order is the
+/// program order of the training step). Slot contents are unspecified at
+/// acquisition; treat them as uninitialised output buffers.
+///
+/// Not thread-safe; each model owns its workspace, matching the library's
+/// one-detector-per-thread execution model.
+class Workspace {
+ public:
+  /// Returns a matrix slot of the given shape. Pointers remain stable for
+  /// the lifetime of the workspace (slots are heap-allocated once).
+  linalg::Matrix* Acquire(std::size_t rows, std::size_t cols) {
+    if (cursor_ == slots_.size()) {
+      slots_.push_back(std::make_unique<linalg::Matrix>());
+    }
+    linalg::Matrix* slot = slots_[cursor_++].get();
+    slot->EnsureShape(rows, cols);
+    return slot;
+  }
+
+  /// Returns all slots to the pool; previously acquired pointers must no
+  /// longer be used (the next `Acquire` sequence will hand them out again).
+  void Reset() { cursor_ = 0; }
+
+  std::size_t slot_count() const { return slots_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<linalg::Matrix>> slots_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace streamad::nn
+
+#endif  // STREAMAD_NN_WORKSPACE_H_

@@ -1,0 +1,184 @@
+// Golden-stream regression test: every Table I detector configuration is
+// run on a fixed synthetic series and its full score / nonconformity
+// streams are digested and compared against constants captured from the
+// pre-optimization implementation. This pins the compute-core refactor
+// (blocked/fused kernels, scratch arenas, incremental calibration) to
+// bit-identical behaviour: any change to summation order or caching that
+// alters even the last mantissa bit of one score flips a digest.
+//
+// To regenerate after an *intentional* numerical change, print the table
+// with the same series/params/digest code below and update the constants.
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/algorithm_spec.h"
+#include "src/data/series.h"
+#include "src/harness/experiment.h"
+#include "src/linalg/matrix.h"
+
+namespace streamad {
+namespace {
+
+data::LabeledSeries GoldenSeries() {
+  constexpr std::size_t kSteps = 260;
+  constexpr std::size_t kChannels = 3;
+  data::LabeledSeries series;
+  series.name = "golden";
+  series.values = linalg::Matrix(kSteps, kChannels);
+  series.labels.assign(kSteps, 0);
+  Rng rng(20240807);
+  for (std::size_t t = 0; t < kSteps; ++t) {
+    // Quasi-periodic base + slow level drift + noise; a level step late in
+    // the stream so the drift detectors have something to fire on.
+    const double drift = 0.002 * static_cast<double>(t);
+    const double bump = t > 180 ? 1.5 : 0.0;
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      const double phase = 0.31 * static_cast<double>(c);
+      series.values(t, c) = std::sin(0.37 * static_cast<double>(t) + phase) +
+                            drift + bump + rng.Gaussian(0.0, 0.08);
+    }
+  }
+  series.Validate();
+  return series;
+}
+
+core::DetectorParams GoldenParams() {
+  core::DetectorParams params;
+  params.window = 10;
+  params.train_capacity = 30;
+  params.initial_train_steps = 40;
+  params.scorer_k = 20;
+  params.scorer_k_short = 5;
+  params.arima.lag_order = 4;
+  params.ae.fit_epochs = 4;
+  params.usad.fit_epochs = 4;
+  params.nbeats.fit_epochs = 4;
+  params.pcb.forest.num_trees = 10;
+  return params;
+}
+
+std::uint64_t DigestVec(const std::vector<double>& v) {
+  std::uint64_t h = 14695981039346656037ull;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(v.data());
+  for (std::size_t i = 0; i < v.size() * sizeof(double); ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct GoldenEntry {
+  const char* label;
+  std::size_t scored_steps;
+  std::uint64_t score_digest;
+  std::uint64_t nonconformity_digest;
+  double last_score;
+};
+
+// Captured from the seed implementation (commit 9010b3c) with the series,
+// params and digest function above; detector seed 1234, average score.
+const GoldenEntry kGolden[] = {
+    {"Online-ARIMA/SW/mu-sigma", 211, 0x456e0caec102d34cull,
+     0x9ce82428ff9cded1ull, 0x1.cda038fc38d5ap-9},
+    {"Online-ARIMA/SW/KSWIN", 211, 0xc8d781b4d6965986ull,
+     0xde72b4b3e5718fb7ull, 0x1.cf03413b76a0dp-9},
+    {"Online-ARIMA/URES/mu-sigma", 211, 0x31a29e7c4756f00bull,
+     0x0e4b471c5754638full, 0x1.c9cf95b078066p-9},
+    {"Online-ARIMA/URES/KSWIN", 211, 0xa954a957dd50c76dull,
+     0xe06e6839ecf5cf7full, 0x1.e024ac6f5f1e6p-9},
+    {"Online-ARIMA/ARES/mu-sigma", 211, 0xb86a37959d80b692ull,
+     0x6ea7f328691b823cull, 0x1.ccf8c5c4b6d5ap-9},
+    {"Online-ARIMA/ARES/KSWIN", 211, 0x776e54c82901fb39ull,
+     0x979aec33b8201d3cull, 0x1.c899f854580b3p-9},
+    {"2-layer-AE/SW/mu-sigma", 211, 0x481c5f363e2cf0e8ull,
+     0x24324cd4a3e51d5cull, 0x1.83f98943ee83ep-6},
+    {"2-layer-AE/SW/KSWIN", 211, 0x21a20df6ce1cc4daull,
+     0x68c2578a28bdbcbaull, 0x1.33595e268df26p-6},
+    {"2-layer-AE/URES/mu-sigma", 211, 0x47a82455c88ffe21ull,
+     0x026cba8d6079fdcbull, 0x1.bf41438178865p-2},
+    {"2-layer-AE/URES/KSWIN", 211, 0xfdc29e542a3016f1ull,
+     0x90276199c660f4d2ull, 0x1.f9c36888e3548p-4},
+    {"2-layer-AE/ARES/mu-sigma", 211, 0x9d5afecab3e73194ull,
+     0x274a92a604f9c2d0ull, 0x1.268b40e6e0a82p-1},
+    {"2-layer-AE/ARES/KSWIN", 211, 0x9d5afecab3e73194ull,
+     0x274a92a604f9c2d0ull, 0x1.268b40e6e0a82p-1},
+    {"USAD/SW/mu-sigma", 211, 0x75356bcdbf55d276ull, 0x25b47abdcae0a899ull,
+     0x1.dd4adc091af5p-5},
+    {"USAD/SW/KSWIN", 211, 0x0f34c44421612ae9ull, 0x35dbcaa8707e70aaull,
+     0x1.be06ba656ca6bp-5},
+    {"USAD/URES/mu-sigma", 211, 0xa3ba3e0c0290e852ull, 0x7f60443690f68851ull,
+     0x1.f5845c418a458p-1},
+    {"USAD/URES/KSWIN", 211, 0x725fca37f9849392ull, 0x4f91c32b2282aa74ull,
+     0x1.649bbddc9f35dp-2},
+    {"USAD/ARES/mu-sigma", 211, 0x39066212b923b6f1ull, 0xa5bfbec3022ee80dull,
+     0x1p+0},
+    {"USAD/ARES/KSWIN", 211, 0x39066212b923b6f1ull, 0xa5bfbec3022ee80dull,
+     0x1p+0},
+    {"N-BEATS/SW/mu-sigma", 211, 0x2b3bbc5946e6a2cbull, 0xa40167e3d3ee383eull,
+     0x1.49f7d467cba63p-7},
+    {"N-BEATS/SW/KSWIN", 211, 0xaec9959bfb6f06bbull, 0xb590456b6778d8f6ull,
+     0x1.ff06442734546p-8},
+    {"N-BEATS/URES/mu-sigma", 211, 0x61d13801c25482d3ull,
+     0x2173d119850a3f66ull, 0x1.bd3b5632147c5p-1},
+    {"N-BEATS/URES/KSWIN", 211, 0x75be665fbcb27ba7ull, 0xca854abbbadbeddbull,
+     0x1.3063dbb33814ap-2},
+    {"N-BEATS/ARES/mu-sigma", 211, 0x7df633bf3c20d6a1ull,
+     0x5089602ea53ebdd5ull, 0x1.d32876f430726p-1},
+    {"N-BEATS/ARES/KSWIN", 211, 0x7df633bf3c20d6a1ull, 0x5089602ea53ebdd5ull,
+     0x1.d32876f430726p-1},
+    {"PCB-iForest/SW/KSWIN", 211, 0x8536b94532e8b5edull,
+     0x39cc37357cb15928ull, 0x1.2005e60c0c174p-1},
+    {"PCB-iForest/ARES/KSWIN", 211, 0x1bbd95c624534324ull,
+     0x276c2d99a4a89d07ull, 0x1.18e8cf00b20f2p-1},
+};
+
+const GoldenEntry* FindGolden(const std::string& label) {
+  for (const GoldenEntry& e : kGolden) {
+    if (label == e.label) return &e;
+  }
+  return nullptr;
+}
+
+void RunAllConfigsAndCompare() {
+  const data::LabeledSeries series = GoldenSeries();
+  const core::DetectorParams params = GoldenParams();
+  std::size_t checked = 0;
+  for (const core::AlgorithmSpec& spec : core::AllPaperAlgorithms()) {
+    const std::string label = core::SpecLabel(spec);
+    SCOPED_TRACE(label);
+    const GoldenEntry* expected = FindGolden(label);
+    ASSERT_NE(expected, nullptr) << "no golden entry for " << label;
+    auto detector =
+        core::BuildDetector(spec, core::ScoreType::kAverage, params, 1234);
+    const harness::RunTrace trace =
+        harness::RunDetector(detector.get(), series);
+    EXPECT_EQ(trace.scores.size(), expected->scored_steps);
+    ASSERT_FALSE(trace.scores.empty());
+    EXPECT_EQ(trace.scores.back(), expected->last_score);
+    EXPECT_EQ(DigestVec(trace.scores), expected->score_digest);
+    EXPECT_EQ(DigestVec(trace.nonconformities),
+              expected->nonconformity_digest);
+    ++checked;
+  }
+  EXPECT_EQ(checked, std::size(kGolden));
+}
+
+TEST(GoldenStreamTest, OptimizedKernelsMatchSeedBitExactly) {
+  ASSERT_EQ(linalg::GetKernelMode(), linalg::KernelMode::kOptimized);
+  RunAllConfigsAndCompare();
+}
+
+TEST(GoldenStreamTest, ReferenceKernelsMatchSeedBitExactly) {
+  linalg::ScopedKernelMode mode(linalg::KernelMode::kReference);
+  RunAllConfigsAndCompare();
+}
+
+}  // namespace
+}  // namespace streamad

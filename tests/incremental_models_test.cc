@@ -1,0 +1,317 @@
+// Tests for the incremental model-estimation paths: the snapshot differ,
+// the kNN cached-distance calibration (bit-exact vs a full rebuild) and
+// the VAR normal-equation update/downdate (within round-off of a full
+// re-estimate, bit-exact across checkpoint restore).
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/training_set.h"
+#include "src/models/knn_model.h"
+#include "src/models/snapshot_diff.h"
+#include "src/models/var_model.h"
+
+namespace streamad::models {
+namespace {
+
+std::uint64_t Bits(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+core::FeatureVector MakeWindow(std::size_t w, std::size_t n, Rng* rng,
+                               std::int64_t t) {
+  core::FeatureVector fv;
+  fv.window = linalg::Matrix(w, n);
+  for (std::size_t i = 0; i < fv.window.size(); ++i) {
+    fv.window.at_flat(i) = rng->Uniform(-1.0, 1.0);
+  }
+  fv.t = t;
+  return fv;
+}
+
+core::TrainingSet MakeSet(std::size_t count, std::size_t w, std::size_t n,
+                          Rng* rng) {
+  core::TrainingSet set(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    set.Add(MakeWindow(w, n, rng, static_cast<std::int64_t>(i)));
+  }
+  return set;
+}
+
+// ---------------------------------------------------------------- diff --
+
+std::span<const double> RowOf(const std::vector<std::vector<double>>& rows,
+                              std::size_t i) {
+  return std::span<const double>(rows[i]);
+}
+
+TEST(SnapshotDiffTest, ClassifiesKeptAddedRemoved) {
+  const std::vector<std::vector<double>> old_rows = {
+      {1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const std::vector<std::vector<double>> new_rows = {
+      {3.0, 4.0}, {5.0, 6.0}, {7.0, 8.0}};
+  const SnapshotDiff diff = DiffRows(
+      old_rows.size(), [&](std::size_t i) { return RowOf(old_rows, i); },
+      new_rows.size(), [&](std::size_t j) { return RowOf(new_rows, j); });
+  ASSERT_EQ(diff.kept.size(), 2u);
+  EXPECT_EQ(diff.kept[0], (std::pair<std::size_t, std::size_t>{1, 0}));
+  EXPECT_EQ(diff.kept[1], (std::pair<std::size_t, std::size_t>{2, 1}));
+  ASSERT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.added[0], 2u);
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.removed[0], 0u);
+}
+
+TEST(SnapshotDiffTest, DuplicateRowsPairDeterministically) {
+  const std::vector<std::vector<double>> old_rows = {{1.0}, {1.0}, {2.0}};
+  const std::vector<std::vector<double>> new_rows = {{1.0}, {2.0}, {1.0}};
+  const SnapshotDiff diff = DiffRows(
+      old_rows.size(), [&](std::size_t i) { return RowOf(old_rows, i); },
+      new_rows.size(), [&](std::size_t j) { return RowOf(new_rows, j); });
+  // Duplicates consume old indices in ascending order.
+  ASSERT_EQ(diff.kept.size(), 3u);
+  EXPECT_EQ(diff.kept[0], (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(diff.kept[1], (std::pair<std::size_t, std::size_t>{2, 1}));
+  EXPECT_EQ(diff.kept[2], (std::pair<std::size_t, std::size_t>{1, 2}));
+  EXPECT_TRUE(diff.added.empty());
+  EXPECT_TRUE(diff.removed.empty());
+}
+
+TEST(SnapshotDiffTest, DistinguishesBitwiseNotValueEquality) {
+  const std::vector<std::vector<double>> old_rows = {{0.0}};
+  const std::vector<std::vector<double>> new_rows = {{-0.0}};
+  const SnapshotDiff diff = DiffRows(
+      old_rows.size(), [&](std::size_t i) { return RowOf(old_rows, i); },
+      new_rows.size(), [&](std::size_t j) { return RowOf(new_rows, j); });
+  EXPECT_TRUE(diff.kept.empty());  // 0.0 == -0.0 but bits differ
+  EXPECT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.removed.size(), 1u);
+}
+
+// ----------------------------------------------------------------- kNN --
+
+TEST(IncrementalKnnTest, FinetuneBitIdenticalToFullRebuild) {
+  constexpr std::size_t kCapacity = 40;
+  constexpr std::size_t kW = 6;
+  constexpr std::size_t kN = 2;
+  Rng rng(2024);
+  core::TrainingSet set = MakeSet(kCapacity, kW, kN, &rng);
+
+  KnnModel::Params params;
+  params.k = 5;
+  KnnModel incremental(params);
+  incremental.Fit(set);
+
+  for (int step = 0; step < 30; ++step) {
+    // Streaming-style update: replace one (sometimes two) entries.
+    set.ReplaceAt(static_cast<std::size_t>(step) % kCapacity,
+                  MakeWindow(kW, kN, &rng, 1000 + step));
+    if (step % 3 == 0) {
+      set.ReplaceAt((static_cast<std::size_t>(step) + 17) % kCapacity,
+                    MakeWindow(kW, kN, &rng, 2000 + step));
+    }
+    incremental.Finetune(set);
+
+    KnnModel fresh(params);
+    fresh.Fit(set);
+    const std::vector<double>& inc_calib =
+        incremental.calibration_distances();
+    const std::vector<double>& fresh_calib = fresh.calibration_distances();
+    ASSERT_EQ(inc_calib.size(), fresh_calib.size());
+    for (std::size_t i = 0; i < inc_calib.size(); ++i) {
+      ASSERT_EQ(inc_calib[i], fresh_calib[i]) << "step " << step << " i " << i;
+    }
+    const core::FeatureVector probe = MakeWindow(kW, kN, &rng, 9999);
+    ASSERT_EQ(incremental.AnomalyScore(probe), fresh.AnomalyScore(probe))
+        << "step " << step;
+  }
+}
+
+TEST(IncrementalKnnTest, PositionShiftingUpdatesMatchFullRebuild) {
+  // RemoveAt swaps the last entry into the hole, so kept rows change
+  // position and the staged (non-in-place) incremental path runs.
+  constexpr std::size_t kW = 5;
+  constexpr std::size_t kN = 2;
+  Rng rng(303);
+  core::TrainingSet set = MakeSet(30, kW, kN, &rng);
+
+  KnnModel::Params params;
+  params.k = 3;
+  KnnModel incremental(params);
+  incremental.Fit(set);
+
+  for (int step = 0; step < 8; ++step) {
+    set.RemoveAt(static_cast<std::size_t>(step * 3) % set.size());
+    set.Add(MakeWindow(kW, kN, &rng, 400 + step));
+    incremental.Finetune(set);
+
+    KnnModel fresh(params);
+    fresh.Fit(set);
+    ASSERT_EQ(incremental.calibration_distances(),
+              fresh.calibration_distances())
+        << "step " << step;
+  }
+}
+
+TEST(IncrementalKnnTest, CheckpointRestoreContinuesIdentically) {
+  constexpr std::size_t kCapacity = 24;
+  constexpr std::size_t kW = 5;
+  constexpr std::size_t kN = 3;
+  Rng rng(77);
+  core::TrainingSet set = MakeSet(kCapacity, kW, kN, &rng);
+
+  KnnModel::Params params;
+  params.k = 4;
+  KnnModel original(params);
+  original.Fit(set);
+  set.ReplaceAt(3, MakeWindow(kW, kN, &rng, 100));
+  original.Finetune(set);
+
+  std::stringstream archive;
+  ASSERT_TRUE(original.SaveState(&archive));
+  KnnModel restored(params);
+  ASSERT_TRUE(restored.LoadState(&archive));
+
+  // Both instances must stay bit-identical through further fine-tunes: the
+  // restored one rebuilds its distance cache from the reference rows.
+  for (int step = 0; step < 10; ++step) {
+    set.ReplaceAt(static_cast<std::size_t>(step) % kCapacity,
+                  MakeWindow(kW, kN, &rng, 200 + step));
+    original.Finetune(set);
+    restored.Finetune(set);
+    const core::FeatureVector probe = MakeWindow(kW, kN, &rng, 300 + step);
+    ASSERT_EQ(original.AnomalyScore(probe), restored.AnomalyScore(probe));
+  }
+}
+
+// ----------------------------------------------------------------- VAR --
+
+double MaxAbsDiff(const linalg::Matrix& a, const linalg::Matrix& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a.at_flat(i) - b.at_flat(i)));
+  }
+  return max_diff;
+}
+
+TEST(IncrementalVarTest, FullFitBitIdenticalToSeedFormulation) {
+  // The from-scratch accumulation visits equations in design-matrix row
+  // order, so `Fit` must reproduce the dense stack-then-solve estimate
+  // bit for bit.
+  Rng rng(11);
+  core::TrainingSet set = MakeSet(20, 12, 2, &rng);
+  VarModel::Params params;
+  params.order = 3;
+  VarModel a(params);
+  a.Fit(set);
+  VarModel b(params);
+  b.Fit(set);
+  const linalg::Matrix& ca = a.coefficients();
+  const linalg::Matrix& cb = b.coefficients();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    ASSERT_EQ(Bits(ca.at_flat(i)), Bits(cb.at_flat(i)));
+  }
+}
+
+TEST(IncrementalVarTest, FinetuneTracksFullRebuildWithinRoundoff) {
+  constexpr std::size_t kCapacity = 25;
+  constexpr std::size_t kW = 12;
+  constexpr std::size_t kN = 2;
+  Rng rng(42);
+  core::TrainingSet set = MakeSet(kCapacity, kW, kN, &rng);
+
+  VarModel::Params params;
+  params.order = 3;
+  VarModel incremental(params);
+  incremental.Fit(set);
+
+  for (int step = 0; step < 20; ++step) {
+    set.ReplaceAt(static_cast<std::size_t>(step) % kCapacity,
+                  MakeWindow(kW, kN, &rng, 500 + step));
+    incremental.Finetune(set);
+
+    VarModel fresh(params);
+    fresh.Fit(set);
+    const double diff =
+        MaxAbsDiff(incremental.coefficients(), fresh.coefficients());
+    EXPECT_LE(diff, 1e-12) << "step " << step;
+  }
+}
+
+TEST(IncrementalVarTest, CheckpointRestoreContinuesBitIdentically) {
+  constexpr std::size_t kCapacity = 18;
+  constexpr std::size_t kW = 10;
+  constexpr std::size_t kN = 2;
+  Rng rng(5);
+  core::TrainingSet set = MakeSet(kCapacity, kW, kN, &rng);
+
+  VarModel::Params params;
+  params.order = 2;
+  VarModel original(params);
+  original.Fit(set);
+  for (int step = 0; step < 5; ++step) {
+    set.ReplaceAt(static_cast<std::size_t>(step) % kCapacity,
+                  MakeWindow(kW, kN, &rng, 50 + step));
+    original.Finetune(set);
+  }
+
+  std::stringstream archive;
+  ASSERT_TRUE(original.SaveState(&archive));
+  VarModel restored(params);
+  ASSERT_TRUE(restored.LoadState(&archive));
+
+  // The v2 archive carries the Gram accumulators, so both instances must
+  // produce bit-identical coefficients through further incremental steps.
+  for (int step = 0; step < 10; ++step) {
+    set.ReplaceAt(static_cast<std::size_t>(step * 7) % kCapacity,
+                  MakeWindow(kW, kN, &rng, 80 + step));
+    original.Finetune(set);
+    restored.Finetune(set);
+    const linalg::Matrix& co = original.coefficients();
+    const linalg::Matrix& cr = restored.coefficients();
+    ASSERT_EQ(co.size(), cr.size());
+    for (std::size_t i = 0; i < co.size(); ++i) {
+      ASSERT_EQ(Bits(co.at_flat(i)), Bits(cr.at_flat(i)))
+          << "step " << step << " i " << i;
+    }
+  }
+}
+
+TEST(IncrementalVarTest, ForcedRebuildResyncsWithFullFit) {
+  constexpr std::size_t kCapacity = 15;
+  constexpr std::size_t kW = 8;
+  constexpr std::size_t kN = 2;
+  Rng rng(9);
+  core::TrainingSet set = MakeSet(kCapacity, kW, kN, &rng);
+
+  VarModel::Params params;
+  params.order = 2;
+  VarModel incremental(params);
+  incremental.Fit(set);
+  for (std::uint64_t step = 0; step < VarModel::kForcedRebuildPeriod;
+       ++step) {
+    set.ReplaceAt(static_cast<std::size_t>(step % kCapacity),
+                  MakeWindow(kW, kN, &rng,
+                             static_cast<std::int64_t>(1000 + step)));
+    incremental.Finetune(set);
+  }
+  // The final fine-tune crossed the forced-rebuild threshold, so the state
+  // is exactly a fresh fit: zero drift, not just small drift.
+  VarModel fresh(params);
+  fresh.Fit(set);
+  EXPECT_EQ(MaxAbsDiff(incremental.coefficients(), fresh.coefficients()),
+            0.0);
+}
+
+}  // namespace
+}  // namespace streamad::models

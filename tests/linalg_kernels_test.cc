@@ -1,0 +1,196 @@
+// Property tests for the blocked / fused linear-algebra kernels: every
+// optimized kernel must produce bit-identical results to a naive
+// textbook-order reference, across shapes that exercise full tiles, partial
+// edge tiles and degenerate sizes.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/linalg/matrix.h"
+
+namespace streamad::linalg {
+namespace {
+
+std::uint64_t Bits(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+void ExpectBitEqual(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(Bits(a.at_flat(i)), Bits(b.at_flat(i)))
+        << "flat index " << i << ": " << a.at_flat(i) << " vs "
+        << b.at_flat(i);
+  }
+}
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, Rng* rng,
+                    double zero_fraction = 0.0) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (zero_fraction > 0.0 && rng->Uniform() < zero_fraction) {
+      m.at_flat(i) = 0.0;
+    } else {
+      m.at_flat(i) = rng->Uniform(-2.0, 2.0);
+    }
+  }
+  return m;
+}
+
+// Textbook i-k-j product with a zero-initialised accumulator and a single
+// ascending-k sweep per output element — the accumulation order the
+// optimized kernels are required to reproduce exactly.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+// Deterministic size pool covering sub-tile, exact-tile and multi-tile
+// shapes for the 4 x 8 register tiling.
+const std::size_t kSizes[] = {1, 2, 3, 4, 5, 7, 8, 9, 12, 16, 17, 31, 32, 64};
+
+std::size_t PickSize(Rng* rng) {
+  return kSizes[static_cast<std::size_t>(
+      rng->UniformInt(0, static_cast<std::int64_t>(std::size(kSizes)) - 1))];
+}
+
+TEST(LinalgKernelsTest, MatMulBitIdenticalToNaive) {
+  Rng rng(123);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t m = PickSize(&rng);
+    const std::size_t k = PickSize(&rng);
+    const std::size_t n = PickSize(&rng);
+    const Matrix a = RandomMatrix(m, k, &rng);
+    const Matrix b = RandomMatrix(k, n, &rng);
+    ExpectBitEqual(NaiveMatMul(a, b), MatMul(a, b));
+  }
+}
+
+TEST(LinalgKernelsTest, MatMulWithZeroEntriesBitIdentical) {
+  // The reference kernel skips zero multiplicands; the blocked kernel does
+  // not. Both must still agree bit-for-bit (adding a ±0.0 product never
+  // changes a finite accumulator that is not -0.0, and the accumulator
+  // can never become -0.0 from a +0.0 start).
+  Rng rng(456);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Matrix a = RandomMatrix(PickSize(&rng), PickSize(&rng), &rng, 0.3);
+    const Matrix b = RandomMatrix(a.cols(), PickSize(&rng), &rng, 0.3);
+    const Matrix blocked = MatMul(a, b);
+    Matrix reference;
+    {
+      ScopedKernelMode mode(KernelMode::kReference);
+      reference = MatMul(a, b);
+    }
+    ExpectBitEqual(NaiveMatMul(a, b), blocked);
+    ExpectBitEqual(blocked, reference);
+  }
+}
+
+TEST(LinalgKernelsTest, MatMulTransABitIdenticalToTransposedNaive) {
+  Rng rng(789);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t k = PickSize(&rng);  // shared (contraction) dim
+    const Matrix a = RandomMatrix(k, PickSize(&rng), &rng);
+    const Matrix b = RandomMatrix(k, PickSize(&rng), &rng);
+    ExpectBitEqual(NaiveMatMul(Transpose(a), b), MatMulTransA(a, b));
+  }
+}
+
+TEST(LinalgKernelsTest, MatMulTransBBitIdenticalToTransposedNaive) {
+  Rng rng(321);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t k = PickSize(&rng);
+    const Matrix a = RandomMatrix(PickSize(&rng), k, &rng);
+    const Matrix b = RandomMatrix(PickSize(&rng), k, &rng);
+    ExpectBitEqual(NaiveMatMul(a, Transpose(b)), MatMulTransB(a, b));
+  }
+}
+
+TEST(LinalgKernelsTest, IntoFormsMatchByValueAcrossShapeChanges) {
+  Rng rng(654);
+  Matrix out;  // reused across iterations with changing shapes
+  for (int trial = 0; trial < 20; ++trial) {
+    const Matrix a = RandomMatrix(PickSize(&rng), PickSize(&rng), &rng);
+    const Matrix b = RandomMatrix(a.cols(), PickSize(&rng), &rng);
+    MatMulInto(a, b, &out);
+    ExpectBitEqual(MatMul(a, b), out);
+  }
+}
+
+TEST(LinalgKernelsTest, IntoFormsRejectAliasedOutput) {
+  Matrix a(4, 4);
+  a.Fill(1.0);
+  EXPECT_DEATH(MatMulInto(a, a, &a), "");
+  Matrix g(4, 4);
+  EXPECT_DEATH(MatMulTransAInto(a, g, &g), "");
+  EXPECT_DEATH(MatMulTransBInto(g, a, &g), "");
+}
+
+TEST(LinalgKernelsTest, ElementwiseIntoFormsMatchByValue) {
+  Rng rng(987);
+  const Matrix a = RandomMatrix(9, 7, &rng);
+  const Matrix b = RandomMatrix(9, 7, &rng);
+  const Matrix row = RandomMatrix(1, 7, &rng);
+
+  Matrix out;
+  SubInto(a, b, &out);
+  ExpectBitEqual(Sub(a, b), out);
+
+  ScaleInto(a, -1.5, &out);
+  ExpectBitEqual(Scale(a, -1.5), out);
+
+  AxpyInto(0.25, a, b, &out);
+  Matrix expected = b;
+  Axpy(0.25, a, &expected);
+  ExpectBitEqual(expected, out);
+
+  AddRowBroadcastInto(a, row, &out);
+  ExpectBitEqual(AddRowBroadcast(a, row), out);
+}
+
+TEST(LinalgKernelsTest, EnsureShapeReusesBufferWhenCapacitySuffices) {
+  Matrix m(8, 8);
+  const double* before = m.data().data();
+  m.EnsureShape(4, 16);  // same element count
+  EXPECT_EQ(before, m.data().data());
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 16u);
+  m.EnsureShape(2, 3);  // shrink: must not reallocate
+  EXPECT_EQ(before, m.data().data());
+}
+
+TEST(LinalgKernelsTest, RowSpanViewsRowMajorStorage) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const std::span<const double> r1 = m.RowSpan(1);
+  ASSERT_EQ(r1.size(), 3u);
+  EXPECT_EQ(r1[0], 4.0);
+  EXPECT_EQ(r1[2], 6.0);
+  m.MutableRowSpan(0)[1] = 9.0;
+  EXPECT_EQ(m(0, 1), 9.0);
+}
+
+TEST(LinalgKernelsTest, ScopedKernelModeRestores) {
+  ASSERT_EQ(GetKernelMode(), KernelMode::kOptimized);
+  {
+    ScopedKernelMode mode(KernelMode::kReference);
+    EXPECT_EQ(GetKernelMode(), KernelMode::kReference);
+  }
+  EXPECT_EQ(GetKernelMode(), KernelMode::kOptimized);
+}
+
+}  // namespace
+}  // namespace streamad::linalg
