@@ -349,7 +349,10 @@ void BM_KnnFinetuneIncremental(benchmark::State& state) {
   model.Fit(set);
   std::size_t i = 0;
   for (auto _ : state) {
-    set.ReplaceAt(i++ % count, RandomWindow(&rng, 100000 + i));
+    const std::size_t slot = i % count;
+    ++i;
+    set.ReplaceAt(slot, RandomWindow(
+                            &rng, static_cast<std::int64_t>(100000 + i)));
     model.Finetune(set);
     benchmark::DoNotOptimize(model.calibration_distances().data());
   }
@@ -363,7 +366,10 @@ void BM_KnnFitFull(benchmark::State& state) {
   models::KnnModel model(models::KnnModel::Params{});
   std::size_t i = 0;
   for (auto _ : state) {
-    set.ReplaceAt(i++ % count, RandomWindow(&rng, 100000 + i));
+    const std::size_t slot = i % count;
+    ++i;
+    set.ReplaceAt(slot, RandomWindow(
+                            &rng, static_cast<std::int64_t>(100000 + i)));
     model.Fit(set);
     benchmark::DoNotOptimize(model.calibration_distances().data());
   }
@@ -382,7 +388,10 @@ void BM_VarFinetuneIncremental(benchmark::State& state) {
   model.Fit(set);
   std::size_t i = 0;
   for (auto _ : state) {
-    set.ReplaceAt(i++ % count, RandomWindow(&rng, 100000 + i));
+    const std::size_t slot = i % count;
+    ++i;
+    set.ReplaceAt(slot, RandomWindow(
+                            &rng, static_cast<std::int64_t>(100000 + i)));
     model.Finetune(set);
     benchmark::DoNotOptimize(model.coefficients().data().data());
   }
@@ -396,7 +405,10 @@ void BM_VarFitFull(benchmark::State& state) {
   models::VarModel model(models::VarModel::Params{});
   std::size_t i = 0;
   for (auto _ : state) {
-    set.ReplaceAt(i++ % count, RandomWindow(&rng, 100000 + i));
+    const std::size_t slot = i % count;
+    ++i;
+    set.ReplaceAt(slot, RandomWindow(
+                            &rng, static_cast<std::int64_t>(100000 + i)));
     model.Fit(set);
     benchmark::DoNotOptimize(model.coefficients().data().data());
   }

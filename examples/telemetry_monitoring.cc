@@ -142,6 +142,7 @@ int main() {
               totals.finetunes == 0
                   ? 0.0
                   : finetune_ns / 1e6 / static_cast<double>(totals.finetunes),
+              // NOLINT-STREAMAD-NEXTLINE(float-compare): exact-zero guard
               total_ns == 0.0 ? 0.0 : 100.0 * finetune_ns / total_ns);
 
   // The same numbers, machine-readably: the Prometheus text exposition a

@@ -62,6 +62,7 @@ std::optional<LabeledSeries> LoadCsv(const std::string& path,
       series.values(r, c) = rows[r][c];
     }
     if (has_label_column) {
+      // NOLINT-STREAMAD-NEXTLINE(float-compare): labels are exact 0/1 cells
       series.labels[r] = rows[r][channels] != 0.0 ? 1 : 0;
     }
   }

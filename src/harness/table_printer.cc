@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <iomanip>
+#include <iostream>
 #include <sstream>
 
 #include "src/common/check.h"
@@ -60,6 +61,8 @@ void TablePrinter::Print(std::ostream& out) const {
   }
   print_separator();
 }
+
+void TablePrinter::Print() const { Print(std::cout); }
 
 std::string TablePrinter::Num(double value, int digits) {
   std::ostringstream ss;

@@ -1,7 +1,7 @@
 #ifndef STREAMAD_HARNESS_TABLE_PRINTER_H_
 #define STREAMAD_HARNESS_TABLE_PRINTER_H_
 
-#include <iostream>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -20,7 +20,10 @@ class TablePrinter {
   void AddSeparator();
 
   /// Renders the table to `out`.
-  void Print(std::ostream& out = std::cout) const;
+  void Print(std::ostream& out) const;
+
+  /// Renders the table to stdout (keeps `<iostream>` out of this header).
+  void Print() const;
 
   /// Formats a double with `digits` decimals (helper for metric cells).
   static std::string Num(double value, int digits = 2);

@@ -98,6 +98,7 @@ void MatMulReference(const Matrix& a, const Matrix& b, Matrix* out) {
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);
+      // NOLINT-STREAMAD-NEXTLINE(float-compare): value-preserving skip
       if (aik == 0.0) continue;
       for (std::size_t j = 0; j < b.cols(); ++j) {
         (*out)(i, j) += aik * b(k, j);
@@ -111,7 +112,21 @@ void MatMulReference(const Matrix& a, const Matrix& b, Matrix* out) {
 // so no a*b+c contraction can occur and every lane performs the exact same
 // IEEE mul-then-add sequence as the baseline clone — results stay
 // bit-identical across dispatch targets.
-#if defined(__x86_64__) && defined(__linux__) && defined(__has_attribute)
+//
+// Disabled under ThreadSanitizer: ifunc resolvers run during early dynamic
+// linking, before the TSan runtime is initialised, and the instrumented
+// resolver crashes the process at startup. Plain dispatch-free kernels are
+// bit-identical anyway (see above), so sanitizer builds lose nothing but
+// the AVX2 speedup.
+#if defined(__SANITIZE_THREAD__)
+#define STREAMAD_KERNEL_CLONES
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define STREAMAD_KERNEL_CLONES
+#endif
+#endif
+#if !defined(STREAMAD_KERNEL_CLONES) && defined(__x86_64__) && \
+    defined(__linux__) && defined(__has_attribute)
 #if __has_attribute(target_clones)
 #define STREAMAD_KERNEL_CLONES __attribute__((target_clones("avx2", "default")))
 #endif
@@ -135,6 +150,7 @@ constexpr std::size_t kMr = 4;
 constexpr std::size_t kNr = 8;
 
 /// C[m x n] = A[m x k] * B[k x n], row-major raw buffers.
+// STREAMAD_HOT: innermost Step-path kernel
 STREAMAD_KERNEL_CLONES
 void MatMulBlocked(const double* a, const double* b, double* c,
                    std::size_t m, std::size_t k, std::size_t n) {
@@ -176,6 +192,7 @@ void MatMulBlocked(const double* a, const double* b, double* c,
 
 /// C[m x n] = Aᵀ * B with A[k x m], B[k x n]: the k index runs over the
 /// *rows* of both inputs, so both are swept contiguously.
+// STREAMAD_HOT: innermost Step-path kernel
 STREAMAD_KERNEL_CLONES
 void MatMulTransABlocked(const double* a, const double* b, double* c,
                          std::size_t k, std::size_t m, std::size_t n) {
@@ -204,6 +221,7 @@ void MatMulTransABlocked(const double* a, const double* b, double* c,
 
 /// C[m x n] = A * Bᵀ with A[m x k], B[n x k]: every output is a dot
 /// product of two contiguous rows.
+// STREAMAD_HOT: innermost Step-path kernel
 STREAMAD_KERNEL_CLONES
 void MatMulTransBBlocked(const double* a, const double* b, double* c,
                          std::size_t m, std::size_t k, std::size_t n) {
@@ -228,6 +246,7 @@ void SetKernelMode(KernelMode mode) {
   g_kernel_mode.store(mode, std::memory_order_relaxed);
 }
 
+// STREAMAD_HOT: Step-path entry of every NN layer and VAR forecast
 void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
   STREAMAD_CHECK(out != nullptr);
   STREAMAD_CHECK_MSG(a.cols() == b.rows(), "MatMul shape mismatch");
@@ -247,6 +266,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   return out;
 }
 
+// STREAMAD_HOT
 void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix* out) {
   STREAMAD_CHECK(out != nullptr);
   STREAMAD_CHECK_MSG(a.rows() == b.rows(), "MatMulTransA shape mismatch");
@@ -269,6 +289,7 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   return out;
 }
 
+// STREAMAD_HOT
 void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* out) {
   STREAMAD_CHECK(out != nullptr);
   STREAMAD_CHECK_MSG(a.cols() == b.cols(), "MatMulTransB shape mismatch");
@@ -329,6 +350,7 @@ void SubInPlace(const Matrix& b, Matrix* a) {
   }
 }
 
+// STREAMAD_HOT
 void SubInto(const Matrix& a, const Matrix& b, Matrix* out) {
   STREAMAD_CHECK(out != nullptr);
   STREAMAD_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
@@ -358,6 +380,7 @@ void ScaleInPlace(double s, Matrix* a) {
   for (std::size_t i = 0; i < a->size(); ++i) a->at_flat(i) *= s;
 }
 
+// STREAMAD_HOT
 void ScaleInto(const Matrix& a, double s, Matrix* out) {
   STREAMAD_CHECK(out != nullptr);
   out->EnsureShape(a.rows(), a.cols());
@@ -374,6 +397,7 @@ void Axpy(double s, const Matrix& b, Matrix* a) {
   }
 }
 
+// STREAMAD_HOT
 void AxpyInto(double s, const Matrix& x, const Matrix& y, Matrix* out) {
   STREAMAD_CHECK(out != nullptr);
   STREAMAD_CHECK(x.rows() == y.rows() && x.cols() == y.cols());
@@ -406,6 +430,7 @@ double FlatDot(const Matrix& a, const Matrix& b) {
   return s;
 }
 
+// STREAMAD_HOT: per-step nonconformity scoring
 double CosineSimilarity(const Matrix& a, const Matrix& b) {
   const double na = FrobeniusNorm(a);
   const double nb = FrobeniusNorm(b);
@@ -432,6 +457,7 @@ void AddRowBroadcastInPlace(const Matrix& row, Matrix* a) {
   }
 }
 
+// STREAMAD_HOT
 void AddRowBroadcastInto(const Matrix& a, const Matrix& row, Matrix* out) {
   STREAMAD_CHECK(out != nullptr);
   STREAMAD_CHECK(row.rows() == 1 && row.cols() == a.cols());

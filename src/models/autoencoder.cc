@@ -81,6 +81,7 @@ void Autoencoder::Finetune(const core::TrainingSet& train) {
   TrainOneEpoch(flat_);
 }
 
+// STREAMAD_HOT: per-step reconstruction
 linalg::Matrix Autoencoder::Predict(const core::FeatureVector& x) {
   STREAMAD_CHECK_MSG(flat_dim_ > 0, "Predict before Fit");
   STREAMAD_CHECK(x.window.size() == flat_dim_);
@@ -88,6 +89,7 @@ linalg::Matrix Autoencoder::Predict(const core::FeatureVector& x) {
   scaled_tmp_.ReshapeInPlace(1, flat_dim_);
   net_.ForwardInto(scaled_tmp_, &infer_tape_, &recon_);
   recon_.ReshapeInPlace(x.window.rows(), x.window.cols());
+  // NOLINT-STREAMAD-NEXTLINE(hot-alloc): only the returned value allocates
   return scaler_.InverseTransform(recon_);
 }
 

@@ -167,6 +167,7 @@ std::vector<double> ExtendedIsolationForest::PathLengths(
   return lengths;
 }
 
+// STREAMAD_HOT: per-step tree traversal
 double ExtendedIsolationForest::Score(const std::vector<double>& point) const {
   const std::vector<double> lengths = PathLengths(point);
   double mean = 0.0;

@@ -28,6 +28,7 @@ KnnModel::KnnModel(const Params& params) : params_(params) {
   STREAMAD_CHECK_MSG(params.k > 0, "k must be positive");
 }
 
+// STREAMAD_HOT: selection over the reused scratch distances
 double KnnModel::MeanOfKSmallest(std::vector<double>* squared,
                                  double* kth_out) const {
   const std::size_t k = std::min(params_.k, squared->size());
@@ -45,6 +46,7 @@ double KnnModel::MeanOfKSmallest(std::vector<double>* squared,
   return sum / static_cast<double>(k);
 }
 
+// STREAMAD_HOT: per-step probe distance sweep
 double KnnModel::MeanKnnDistance(std::span<const double> flat,
                                  std::size_t skip) {
   STREAMAD_CHECK(reference_.rows() > 0);
@@ -219,6 +221,7 @@ linalg::Matrix KnnModel::Predict(const core::FeatureVector& /*x*/) {
   return {};
 }
 
+// STREAMAD_HOT: per-step conformal score
 double KnnModel::AnomalyScore(const core::FeatureVector& x) {
   STREAMAD_CHECK_MSG(fitted(), "AnomalyScore before Fit");
   const double distance = MeanKnnDistance(

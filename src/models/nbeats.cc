@@ -36,6 +36,7 @@ void NBeats::Build(std::size_t input_dim, std::size_t output_dim) {
   params_cache_ = AllParams();
 }
 
+// STREAMAD_HOT: per-step stacked forecast
 void NBeats::ForwardInto(const linalg::Matrix& input, StackTape* tape,
                          linalg::Matrix* output) {
   STREAMAD_CHECK(tape != nullptr);
@@ -154,6 +155,7 @@ void NBeats::Finetune(const core::TrainingSet& train) {
   TrainOneEpoch(ds_inputs_, ds_targets_);
 }
 
+// STREAMAD_HOT: per-step forecast
 linalg::Matrix NBeats::Predict(const core::FeatureVector& x) {
   STREAMAD_CHECK_MSG(input_dim_ > 0, "Predict before Fit");
   const std::size_t w = x.w();
@@ -167,6 +169,7 @@ linalg::Matrix NBeats::Predict(const core::FeatureVector& x) {
     }
   }
   ForwardInto(input_row_, &stack_tape_, &pred_);
+  // NOLINT-STREAMAD-NEXTLINE(hot-alloc): only the returned value allocates
   return scaler_.InverseTransform(pred_);
 }
 

@@ -54,6 +54,7 @@ class ChannelScaler {
 
   /// Standardises a `rows x channels` matrix of stream values into `*out`
   /// (reusing its buffer; must not alias `raw`).
+  // STREAMAD_HOT: runs on every window of every step
   void TransformInto(const linalg::Matrix& raw, linalg::Matrix* out) const {
     STREAMAD_CHECK(fitted());
     STREAMAD_CHECK(out != nullptr && out != &raw);
@@ -76,6 +77,7 @@ class ChannelScaler {
   }
 
   /// Inverse of `TransformInto`; `out` must not alias `scaled`.
+  // STREAMAD_HOT
   void InverseTransformInto(const linalg::Matrix& scaled,
                             linalg::Matrix* out) const {
     STREAMAD_CHECK(fitted());

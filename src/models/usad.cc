@@ -169,6 +169,7 @@ void Usad::Finetune(const core::TrainingSet& train) {
   TrainOneEpoch(flat_);
 }
 
+// STREAMAD_HOT: per-step reconstruction
 linalg::Matrix Usad::Predict(const core::FeatureVector& x) {
   STREAMAD_CHECK_MSG(flat_dim_ > 0, "Predict before Fit");
   STREAMAD_CHECK(x.window.size() == flat_dim_);
@@ -177,6 +178,7 @@ linalg::Matrix Usad::Predict(const core::FeatureVector& x) {
   encoder_.ForwardInto(scaled_tmp_, &tape_e1_, &z_);
   decoder1_.ForwardInto(z_, &tape_d1_, &w1_);
   w1_.ReshapeInPlace(x.window.rows(), x.window.cols());
+  // NOLINT-STREAMAD-NEXTLINE(hot-alloc): only the returned value allocates
   return scaler_.InverseTransform(w1_);
 }
 

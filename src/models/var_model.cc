@@ -128,6 +128,7 @@ void VarModel::Finetune(const core::TrainingSet& train) {
   SolveBeta();
 }
 
+// STREAMAD_HOT: per-step one-row forecast
 linalg::Matrix VarModel::Predict(const core::FeatureVector& x) {
   STREAMAD_CHECK_MSG(fitted_, "Predict before Fit");
   const std::size_t p = params_.order;
@@ -136,6 +137,7 @@ linalg::Matrix VarModel::Predict(const core::FeatureVector& x) {
   predict_reg_.EnsureShape(1, x.channels() * p + 1);
   // Forecast the last row from the p rows preceding it.
   FillRegressorRow(x.window, w - 1, p, &predict_reg_, 0);
+  // NOLINT-STREAMAD-NEXTLINE(hot-alloc): only the returned value allocates
   return linalg::MatMul(predict_reg_, beta_);
 }
 

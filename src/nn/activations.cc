@@ -4,6 +4,7 @@
 
 namespace streamad::nn {
 
+// STREAMAD_HOT
 void Sigmoid::ForwardInto(const linalg::Matrix& input, Cache* cache,
                           linalg::Matrix* output) const {
   STREAMAD_CHECK(cache != nullptr);
@@ -15,6 +16,7 @@ void Sigmoid::ForwardInto(const linalg::Matrix& input, Cache* cache,
   cache->output = *output;
 }
 
+// STREAMAD_HOT
 void Sigmoid::BackwardInto(const linalg::Matrix& grad_output,
                            const Cache& cache, bool /*accumulate*/,
                            linalg::Matrix* grad_input) {
@@ -27,6 +29,7 @@ void Sigmoid::BackwardInto(const linalg::Matrix& grad_output,
   }
 }
 
+// STREAMAD_HOT
 void Relu::ForwardInto(const linalg::Matrix& input, Cache* cache,
                        linalg::Matrix* output) const {
   STREAMAD_CHECK(cache != nullptr);
@@ -39,6 +42,7 @@ void Relu::ForwardInto(const linalg::Matrix& input, Cache* cache,
   cache->input = input;
 }
 
+// STREAMAD_HOT
 void Relu::BackwardInto(const linalg::Matrix& grad_output,
                         const Cache& cache, bool /*accumulate*/,
                         linalg::Matrix* grad_input) {
@@ -51,6 +55,7 @@ void Relu::BackwardInto(const linalg::Matrix& grad_output,
   }
 }
 
+// STREAMAD_HOT
 void Tanh::ForwardInto(const linalg::Matrix& input, Cache* cache,
                        linalg::Matrix* output) const {
   STREAMAD_CHECK(cache != nullptr);
@@ -62,6 +67,7 @@ void Tanh::ForwardInto(const linalg::Matrix& input, Cache* cache,
   cache->output = *output;
 }
 
+// STREAMAD_HOT
 void Tanh::BackwardInto(const linalg::Matrix& grad_output,
                         const Cache& cache, bool /*accumulate*/,
                         linalg::Matrix* grad_input) {

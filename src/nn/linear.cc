@@ -19,6 +19,7 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng* rng)
   bias_.ZeroGrad();
 }
 
+// STREAMAD_HOT: per-step forward pass
 void Linear::ForwardInto(const linalg::Matrix& input, Cache* cache,
                          linalg::Matrix* output) const {
   STREAMAD_CHECK(cache != nullptr);
@@ -29,6 +30,7 @@ void Linear::ForwardInto(const linalg::Matrix& input, Cache* cache,
   cache->input = input;
 }
 
+// STREAMAD_HOT: per-finetune backward pass
 void Linear::BackwardInto(const linalg::Matrix& grad_output,
                           const Cache& cache, bool accumulate_param_grads,
                           linalg::Matrix* grad_input) {
@@ -39,6 +41,7 @@ void Linear::BackwardInto(const linalg::Matrix& grad_output,
     // dL/dW = xᵀ g ; dL/db = column sums of g. The fused kernel skips the
     // explicit transpose.
     linalg::MatMulTransAInto(cache.input, grad_output, &dw_scratch_);
+    // NOLINT-STREAMAD-NEXTLINE(hot-alloc): Axpy accumulates in place —
     linalg::Axpy(1.0, dw_scratch_, &weight_.grad);
     for (std::size_t r = 0; r < grad_output.rows(); ++r) {
       for (std::size_t c = 0; c < grad_output.cols(); ++c) {

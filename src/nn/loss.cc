@@ -1,9 +1,12 @@
 #include "src/nn/loss.h"
 
+#include <cmath>
+
 #include "src/common/check.h"
 
 namespace streamad::nn {
 
+// STREAMAD_HOT: per-step reconstruction error
 double MseLoss(const linalg::Matrix& pred, const linalg::Matrix& target) {
   STREAMAD_CHECK(pred.size() == target.size());
   STREAMAD_CHECK(pred.size() > 0);
@@ -22,6 +25,7 @@ linalg::Matrix MseLossGrad(const linalg::Matrix& pred,
   return g;
 }
 
+// STREAMAD_HOT
 void MseLossGradInto(const linalg::Matrix& pred, const linalg::Matrix& target,
                      linalg::Matrix* grad) {
   STREAMAD_CHECK(grad != nullptr && grad != &pred && grad != &target);
@@ -33,8 +37,19 @@ void MseLossGradInto(const linalg::Matrix& pred, const linalg::Matrix& target,
   for (std::size_t i = 0; i < grad->size(); ++i) grad->at_flat(i) *= scale;
 }
 
+// STREAMAD_HOT
 double L2Error(const linalg::Matrix& pred, const linalg::Matrix& target) {
-  return linalg::FrobeniusNorm(linalg::Sub(pred, target));
+  STREAMAD_CHECK(pred.rows() == target.rows() &&
+                 pred.cols() == target.cols());
+  // Frobenius norm of (pred - target) without materialising the
+  // difference; same flat summation order as Sub + FrobeniusNorm, so the
+  // result is bit-identical to the former allocating form.
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.at_flat(i) - target.at_flat(i);
+    s += d * d;
+  }
+  return std::sqrt(s);
 }
 
 }  // namespace streamad::nn

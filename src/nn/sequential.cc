@@ -8,6 +8,7 @@ Sequential& Sequential::Add(std::unique_ptr<Layer> layer) {
   return *this;
 }
 
+// STREAMAD_HOT: ping-pong tape forward, zero steady-state allocations
 void Sequential::ForwardInto(const linalg::Matrix& input, Tape* tape,
                              linalg::Matrix* output) const {
   STREAMAD_CHECK(tape != nullptr);
@@ -43,6 +44,7 @@ linalg::Matrix Sequential::Infer(const linalg::Matrix& input) const {
   return Forward(input, &tape);
 }
 
+// STREAMAD_HOT
 void Sequential::BackwardInto(const linalg::Matrix& grad_output,
                               const Tape& tape, bool accumulate_param_grads,
                               linalg::Matrix* grad_input) {

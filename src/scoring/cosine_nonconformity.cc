@@ -7,6 +7,7 @@
 
 namespace streamad::scoring {
 
+// STREAMAD_HOT: runs once per stream step
 double CosineNonconformity::Score(const core::FeatureVector& x,
                                   core::Model* model) {
   STREAMAD_CHECK(model != nullptr);

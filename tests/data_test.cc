@@ -188,8 +188,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(GeneratorCase{"daphnet", &MakeDaphnetLike, 9},
                       GeneratorCase{"exathlon", &MakeExathlonLike, 16},
                       GeneratorCase{"smd", &MakeSmdLike, 38}),
-    [](const ::testing::TestParamInfo<GeneratorCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<GeneratorCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(DaphnetLikeTest, FreezeCollapsesOscillation) {

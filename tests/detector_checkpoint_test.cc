@@ -116,8 +116,8 @@ INSTANTIATE_TEST_SUITE_P(
                        {ModelType::kVar, Task1::kSlidingWindow,
                         Task2::kMuSigma},
                        ScoreType::kAverage}),
-    [](const ::testing::TestParamInfo<CheckpointCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<CheckpointCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(DetectorCheckpointTest, WarmupCheckpointAlsoWorks) {

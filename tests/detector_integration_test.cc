@@ -207,8 +207,8 @@ TEST_P(AllAlgorithmsSmokeTest, RunsCleanlyOverDriftAndSpike) {
 INSTANTIATE_TEST_SUITE_P(
     TableOne, AllAlgorithmsSmokeTest,
     ::testing::Range<std::size_t>(0, 26),
-    [](const ::testing::TestParamInfo<std::size_t>& info) {
-      std::string label = SpecLabel(AllPaperAlgorithms()[info.param]);
+    [](const ::testing::TestParamInfo<std::size_t>& param_info) {
+      std::string label = SpecLabel(AllPaperAlgorithms()[param_info.param]);
       for (char& c : label) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

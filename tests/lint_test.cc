@@ -1,0 +1,197 @@
+// Unit tests for the streamad_lint static analyzer (tools/lint/). Each
+// rule has a fixture under tools/lint/testdata/ that violates it on
+// purpose; the fixtures are linted under fake repo-relative paths so the
+// path-scoped applicability logic is exercised too.
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/lint/driver.h"
+#include "tools/lint/lexer.h"
+#include "tools/lint/rules.h"
+
+namespace streamad::lint {
+namespace {
+
+std::string TestdataPath(const std::string& fixture) {
+  return std::string(LINT_TESTDATA_DIR) + "/" + fixture;
+}
+
+// Lints one fixture file as if it lived at `rel_path` inside the repo.
+std::vector<Finding> LintFixture(const std::string& fixture,
+                                 const std::string& rel_path,
+                                 ProjectIndex index = {}) {
+  // Index the fixture itself first, like the two-pass driver does.
+  std::ifstream in(TestdataPath(fixture));
+  EXPECT_TRUE(in.good()) << "missing fixture " << fixture;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const SourceFile file = LexFile(rel_path, buf.str());
+  IndexFile(file, &index);
+  return ApplySuppressions(file, AnalyzeFile(file, index));
+}
+
+std::size_t CountRule(const std::vector<Finding>& findings,
+                      const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+// --- R1: determinism ------------------------------------------------------
+
+TEST(LintDeterminismTest, FlagsEveryEntropyAndClockSource) {
+  const auto findings =
+      LintFixture("determinism_bad.cc", "src/core/determinism_bad.cc");
+  // srand, rand, time, random_device, ::now — and nothing else.
+  EXPECT_EQ(CountRule(findings, kRuleDeterminism), 5u);
+  EXPECT_EQ(findings.size(), 5u);
+}
+
+TEST(LintDeterminismTest, MemberAndForeignNamespaceCallsAreFine) {
+  const auto findings =
+      LintFixture("determinism_bad.cc", "src/core/determinism_bad.cc");
+  // The FineMemberCalls lines sit at the bottom of the fixture; no finding
+  // may point past the BadNow function (line 27).
+  for (const Finding& f : findings) EXPECT_LE(f.line, 27) << f.message;
+}
+
+TEST(LintDeterminismTest, AllowlistedPathsAreExempt) {
+  EXPECT_TRUE(
+      LintFixture("allowlisted_rng.cc", "src/common/rng.cc").empty());
+  EXPECT_TRUE(
+      LintFixture("allowlisted_rng.cc", "src/obs/wallclock.cc").empty());
+}
+
+TEST(LintDeterminismTest, SameContentOutsideAllowlistIsFlagged) {
+  const auto findings =
+      LintFixture("allowlisted_rng.cc", "src/core/seed.cc");
+  EXPECT_EQ(CountRule(findings, kRuleDeterminism), 2u);  // random_device, now
+}
+
+TEST(LintDeterminismTest, RuleOnlyAppliesUnderSrc) {
+  EXPECT_TRUE(
+      LintFixture("determinism_bad.cc", "bench/determinism_bad.cc").empty());
+}
+
+// --- R2: hot-path allocation ---------------------------------------------
+
+TEST(LintHotAllocTest, FlagsAllocationsInsideHotRegionOnly) {
+  const auto findings =
+      LintFixture("hot_alloc_bad.cc", "src/models/hot_alloc_bad.cc");
+  // new, make_unique, make_shared, push_back, resize, MatMul-with-Into.
+  EXPECT_EQ(CountRule(findings, kRuleHotAlloc), 6u);
+  EXPECT_EQ(findings.size(), 6u);
+  // The cold Setup() method repeats the same patterns after line 36 and
+  // must stay silent.
+  for (const Finding& f : findings) EXPECT_LE(f.line, 36) << f.message;
+}
+
+TEST(LintHotAllocTest, SuggestsTheIntoForm) {
+  const auto findings =
+      LintFixture("hot_alloc_bad.cc", "src/models/hot_alloc_bad.cc");
+  const auto it = std::find_if(
+      findings.begin(), findings.end(), [](const Finding& f) {
+        return f.message.find("MatMulInto") != std::string::npos;
+      });
+  ASSERT_NE(it, findings.end());
+  EXPECT_EQ(it->rule, kRuleHotAlloc);
+}
+
+// --- R3: float safety -----------------------------------------------------
+
+TEST(LintFloatCompareTest, FlagsExactAndAbsFreeComparisons) {
+  const auto findings =
+      LintFixture("float_compare_bad.cc", "src/scoring/float_compare_bad.cc");
+  // ==, !=, and the abs-free tolerance check.
+  EXPECT_EQ(CountRule(findings, kRuleFloatCompare), 3u);
+  EXPECT_EQ(findings.size(), 3u);
+  // The Fine* functions start at line 19; nothing there may be flagged.
+  for (const Finding& f : findings) EXPECT_LT(f.line, 19) << f.message;
+}
+
+TEST(LintFloatCompareTest, TestsDirectoryIsExempt) {
+  EXPECT_TRUE(
+      LintFixture("float_compare_bad.cc", "tests/float_compare_bad.cc")
+          .empty());
+}
+
+// --- R4: header hygiene ---------------------------------------------------
+
+TEST(LintHeaderTest, FlagsGuardUsingNamespaceAndIostream) {
+  const auto findings =
+      LintFixture("header_guard_bad.h", "src/util/header_guard_bad.h");
+  EXPECT_EQ(CountRule(findings, kRuleHeaderGuard), 1u);
+  EXPECT_EQ(CountRule(findings, kRuleUsingNamespace), 1u);
+  EXPECT_EQ(CountRule(findings, kRuleIostreamInclude), 1u);
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(LintHeaderTest, IostreamBanIsSrcOnly) {
+  const auto findings =
+      LintFixture("header_guard_bad.h", "bench/header_guard_bad.h");
+  EXPECT_EQ(CountRule(findings, kRuleIostreamInclude), 0u);
+  // Guard and using-namespace still apply outside src/.
+  EXPECT_EQ(CountRule(findings, kRuleHeaderGuard), 1u);
+  EXPECT_EQ(CountRule(findings, kRuleUsingNamespace), 1u);
+}
+
+TEST(LintHeaderTest, ConformingHeaderIsClean) {
+  EXPECT_TRUE(
+      LintFixture("header_guard_good.h", "src/util/header_guard_good.h")
+          .empty());
+}
+
+TEST(LintHeaderTest, ExpectedGuardDropsLeadingSrcOnly) {
+  EXPECT_EQ(ExpectedHeaderGuard("src/linalg/matrix.h"),
+            "STREAMAD_LINALG_MATRIX_H_");
+  EXPECT_EQ(ExpectedHeaderGuard("bench/bench_common.h"),
+            "STREAMAD_BENCH_BENCH_COMMON_H_");
+  EXPECT_EQ(ExpectedHeaderGuard("tools/lint/rules.h"),
+            "STREAMAD_TOOLS_LINT_RULES_H_");
+}
+
+// --- Suppressions ---------------------------------------------------------
+
+TEST(LintSuppressionTest, SameLineNextLineAndBareFormsSuppress) {
+  const auto findings =
+      LintFixture("suppressed.cc", "src/core/suppressed.cc");
+  // Only the deliberately mismatched rule list survives.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleDeterminism);
+  EXPECT_NE(findings[0].message.find("rand"), std::string::npos);
+}
+
+// --- Clean file + driver smoke test ---------------------------------------
+
+TEST(LintDriverTest, CleanFileProducesNoFindings) {
+  EXPECT_TRUE(LintFixture("clean.cc", "src/core/clean.cc").empty());
+}
+
+TEST(LintDriverTest, LintOneFileMatchesInProcessPipeline) {
+  ProjectIndex index;
+  const auto direct = LintOneFile(TestdataPath("determinism_bad.cc"),
+                                  "src/core/determinism_bad.cc", index);
+  EXPECT_EQ(direct.size(), 5u);
+}
+
+TEST(LintDriverTest, JsonReportIsWellFormedEnough) {
+  RunResult result;
+  result.files_scanned = 2;
+  result.findings.push_back(
+      {"src/a.cc", 3, kRuleDeterminism, "a \"quoted\" message"});
+  std::ostringstream os;
+  WriteReport(result, OutputFormat::kJson, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"finding_count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamad::lint

@@ -210,7 +210,8 @@ TEST(PipelineTest, ScoreModelPipelineEndToEnd) {
     }
   }
   ASSERT_GT(in_count, 0u);
-  EXPECT_GT(in_sum / in_count, out_sum / out_count);
+  EXPECT_GT(in_sum / static_cast<double>(in_count),
+            out_sum / static_cast<double>(out_count));
   EXPECT_GT(m.recall, 0.3);
 }
 

@@ -199,8 +199,8 @@ INSTANTIATE_TEST_SUITE_P(
                       core::ModelType::kNBeats, core::ModelType::kPcbIForest,
                       core::ModelType::kVar,
                       core::ModelType::kNearestNeighbor),
-    [](const ::testing::TestParamInfo<core::ModelType>& info) {
-      std::string label = core::ToString(info.param);
+    [](const ::testing::TestParamInfo<core::ModelType>& param_info) {
+      std::string label = core::ToString(param_info.param);
       for (char& c : label) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Verifies that the C++ files changed relative to the merge base are
+# clang-format clean. Scope is deliberately "changed files only": the seed
+# tree predates .clang-format, so a tree-wide gate would punish untouched
+# files. Exits 0 (with a notice) when clang-format or a merge base is
+# unavailable, so local builds without the tool still pass.
+#
+# Usage: tools/format_check.sh [base-ref]   (default: origin/main, then HEAD)
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+FMT=""
+for candidate in clang-format clang-format-18 clang-format-17 clang-format-16 \
+                 clang-format-15 clang-format-14; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    FMT="$candidate"
+    break
+  fi
+done
+if [ -z "$FMT" ]; then
+  echo "format-check: clang-format not found; skipping (CI installs it)"
+  exit 0
+fi
+
+BASE="${1:-}"
+if [ -z "$BASE" ]; then
+  if git rev-parse --verify --quiet origin/main > /dev/null 2>&1; then
+    BASE=$(git merge-base HEAD origin/main 2> /dev/null || true)
+  fi
+  # Detached/unsynced checkouts: fall back to comparing the work tree
+  # against HEAD, which still catches unformatted uncommitted edits.
+  [ -z "$BASE" ] && BASE=HEAD
+fi
+
+CHANGED=$(git diff --name-only --diff-filter=ACMR "$BASE" -- \
+  '*.cc' '*.h' | grep -v '^tools/lint/testdata/' || true)
+if [ -z "$CHANGED" ]; then
+  echo "format-check: no changed C++ files vs $BASE"
+  exit 0
+fi
+
+STATUS=0
+for f in $CHANGED; do
+  [ -f "$f" ] || continue
+  if ! "$FMT" --dry-run --Werror "$f" > /dev/null 2>&1; then
+    echo "format-check: $f needs clang-format"
+    STATUS=1
+  fi
+done
+if [ "$STATUS" -eq 0 ]; then
+  echo "format-check: OK ($(echo "$CHANGED" | wc -l) changed files clean)"
+else
+  echo "format-check: run '$FMT -i <file>' on the files above"
+fi
+exit $STATUS

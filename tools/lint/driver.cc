@@ -1,0 +1,153 @@
+#include "tools/lint/driver.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "tools/lint/lexer.h"
+
+namespace streamad::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+bool IsExcluded(const std::string& rel) {
+  // Fixtures violate rules on purpose; build trees contain generated code.
+  return rel.find("testdata/") != std::string::npos ||
+         rel.rfind("build", 0) == 0;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "streamad_lint: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> DefaultScanDirs() {
+  return {"src", "tools", "tests", "bench", "examples"};
+}
+
+std::vector<Finding> LintOneFile(const std::string& disk_path,
+                                 const std::string& rel_path,
+                                 const ProjectIndex& index) {
+  const SourceFile file = LexFile(rel_path, ReadFileOrDie(disk_path));
+  return ApplySuppressions(file, AnalyzeFile(file, index));
+}
+
+RunResult RunLint(const RunOptions& options) {
+  const fs::path root = options.root.empty() ? fs::path(".")
+                                             : fs::path(options.root);
+
+  std::vector<std::string> rel_files = options.files;
+  if (rel_files.empty()) {
+    for (const std::string& dir : DefaultScanDirs()) {
+      const fs::path base = root / dir;
+      if (!fs::exists(base)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (!entry.is_regular_file() ||
+            !HasLintableExtension(entry.path())) {
+          continue;
+        }
+        rel_files.push_back(
+            fs::relative(entry.path(), root).generic_string());
+      }
+    }
+  }
+  std::sort(rel_files.begin(), rel_files.end());
+  rel_files.erase(std::unique(rel_files.begin(), rel_files.end()),
+                  rel_files.end());
+
+  // Pass 1: lex everything once, building the *Into index the hot-alloc
+  // rule matches against. Pass 2 reuses the lexed files.
+  std::vector<SourceFile> lexed;
+  ProjectIndex index;
+  for (const std::string& rel : rel_files) {
+    if (IsExcluded(rel)) continue;
+    SourceFile f = LexFile(rel, ReadFileOrDie((root / rel).string()));
+    IndexFile(f, &index);
+    lexed.push_back(std::move(f));
+  }
+
+  RunResult result;
+  result.files_scanned = lexed.size();
+  for (const SourceFile& f : lexed) {
+    std::vector<Finding> findings =
+        ApplySuppressions(f, AnalyzeFile(f, index));
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(findings.begin()),
+                           std::make_move_iterator(findings.end()));
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return result;
+}
+
+void WriteReport(const RunResult& result, OutputFormat format,
+                 std::ostream& os) {
+  if (format == OutputFormat::kText) {
+    for (const Finding& f : result.findings) {
+      os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+         << "\n";
+    }
+    os << (result.findings.empty() ? "streamad_lint: clean ("
+                                   : "streamad_lint: FAILED (")
+       << result.findings.size() << " finding"
+       << (result.findings.size() == 1 ? "" : "s") << ", "
+       << result.files_scanned << " files scanned)\n";
+    return;
+  }
+  os << "{\n  \"files_scanned\": " << result.files_scanned
+     << ",\n  \"finding_count\": " << result.findings.size()
+     << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    os << (i == 0 ? "\n" : ",\n")
+       << "    {\"file\": \"" << JsonEscape(f.file) << "\", \"line\": "
+       << f.line << ", \"rule\": \"" << JsonEscape(f.rule)
+       << "\", \"message\": \"" << JsonEscape(f.message) << "\"}";
+  }
+  os << (result.findings.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+}  // namespace streamad::lint

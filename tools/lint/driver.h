@@ -1,0 +1,48 @@
+#ifndef STREAMAD_TOOLS_LINT_DRIVER_H_
+#define STREAMAD_TOOLS_LINT_DRIVER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/rules.h"
+
+namespace streamad::lint {
+
+enum class OutputFormat { kText, kJson };
+
+struct RunOptions {
+  std::string root;                 // repo root; scanned paths are relative
+  std::vector<std::string> files;   // explicit repo-relative files; empty =
+                                    // scan the default directories
+  OutputFormat format = OutputFormat::kText;
+};
+
+struct RunResult {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+};
+
+/// The directories a default (no explicit file list) run scans, relative to
+/// the root. `tools/lint/testdata` is always excluded — fixtures violate
+/// the rules on purpose.
+std::vector<std::string> DefaultScanDirs();
+
+/// Lexes + indexes + analyzes the requested files. Findings are sorted by
+/// (file, line, rule) and already NOLINT-filtered.
+RunResult RunLint(const RunOptions& options);
+
+/// Renders findings. Text: `path:line: [rule] message` lines plus a tally.
+/// JSON: stable machine-readable object for the CI artifact.
+void WriteReport(const RunResult& result, OutputFormat format,
+                 std::ostream& os);
+
+/// Loads and analyzes a single file from disk as `rel_path`, sharing
+/// `index`. Exposed for the fixture tests.
+std::vector<Finding> LintOneFile(const std::string& disk_path,
+                                 const std::string& rel_path,
+                                 const ProjectIndex& index);
+
+}  // namespace streamad::lint
+
+#endif  // STREAMAD_TOOLS_LINT_DRIVER_H_

@@ -1,0 +1,247 @@
+#include "tools/lint/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <cstddef>
+
+namespace streamad::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character operators, longest first so maximal munch is a plain
+// prefix scan. Three-char forms first, then two-char, then any single char.
+constexpr std::array<std::string_view, 21> kOps3 = {
+    "<<=", ">>=", "...", "->*", "<=>",
+    // two-char operators padded into the same scan by order below
+    "::", "->", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "++", "--", "+=", "-=", "*=", "/="};
+
+class Lexer {
+ public:
+  Lexer(std::string path, std::string_view src)
+      : src_(src) {
+    out_.path = std::move(path);
+  }
+
+  SourceFile Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        LexPpDirective();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '"') {
+        LexString();
+        continue;
+      }
+      if (c == '\'') {
+        LexChar();
+        continue;
+      }
+      if (c == 'R' && Peek(1) == '"') {
+        LexRawString();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdent();
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        LexNumber();
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(std::vector<Token>* stream, TokKind kind, std::size_t begin,
+            int line) {
+    stream->push_back(
+        Token{kind, std::string(src_.substr(begin, pos_ - begin)), line});
+  }
+
+  void LexLineComment() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    Emit(&out_.comments, TokKind::kComment, begin, line_);
+  }
+
+  void LexBlockComment() {
+    const std::size_t begin = pos_;
+    const int begin_line = line_;
+    pos_ += 2;
+    while (pos_ < src_.size() &&
+           !(src_[pos_] == '*' && Peek(1) == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ < src_.size()) pos_ += 2;  // consume `*/`
+    Emit(&out_.comments, TokKind::kComment, begin, begin_line);
+  }
+
+  void LexPpDirective() {
+    const std::size_t begin = pos_;
+    const int begin_line = line_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && Peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      // A trailing // comment on the directive line ends the directive
+      // text; the comment is lexed separately so NOLINT still works on
+      // include lines.
+      if (src_[pos_] == '/' && (Peek(1) == '/' || Peek(1) == '*')) break;
+      if (src_[pos_] == '\n') break;
+      ++pos_;
+    }
+    Emit(&out_.pp, TokKind::kPpDirective, begin, begin_line);
+    at_line_start_ = false;
+  }
+
+  void LexString() {
+    const std::size_t begin = pos_;
+    const int begin_line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;  // closing quote
+    Emit(&out_.code, TokKind::kString, begin, begin_line);
+  }
+
+  void LexRawString() {
+    const std::size_t begin = pos_;
+    const int begin_line = line_;
+    pos_ += 2;  // R"
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    const std::string closer = ")" + delim + "\"";
+    while (pos_ < src_.size() &&
+           src_.substr(pos_, closer.size()) != closer) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ < src_.size()) pos_ += closer.size();
+    Emit(&out_.code, TokKind::kString, begin, begin_line);
+  }
+
+  void LexChar() {
+    const std::size_t begin = pos_;
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;
+    Emit(&out_.code, TokKind::kChar, begin, line_);
+  }
+
+  void LexIdent() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) ++pos_;
+    Emit(&out_.code, TokKind::kIdent, begin, line_);
+  }
+
+  void LexNumber() {
+    // pp-number: digits, letters, dots, digit separators, and exponent
+    // signs when preceded by e/E/p/P. This swallows suffixes (1.0f, 10UL)
+    // into one token, which is what the float-literal check wants.
+    const std::size_t begin = pos_;
+    ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    Emit(&out_.code, TokKind::kNumber, begin, line_);
+  }
+
+  void LexPunct() {
+    const std::size_t begin = pos_;
+    for (std::string_view op : kOps3) {
+      if (src_.substr(pos_, op.size()) == op) {
+        pos_ += op.size();
+        Emit(&out_.code, TokKind::kPunct, begin, line_);
+        return;
+      }
+    }
+    ++pos_;
+    Emit(&out_.code, TokKind::kPunct, begin, line_);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  SourceFile out_;
+};
+
+}  // namespace
+
+SourceFile LexFile(std::string path, std::string_view source) {
+  return Lexer(std::move(path), source).Run();
+}
+
+bool IsFloatLiteral(std::string_view t) {
+  if (t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) {
+    // Hex: float only if it has a binary exponent (0x1.8p3).
+    return t.find('p') != std::string_view::npos ||
+           t.find('P') != std::string_view::npos;
+  }
+  if (t.find('.') != std::string_view::npos) return true;
+  if (t.find('e') != std::string_view::npos ||
+      t.find('E') != std::string_view::npos) {
+    return true;
+  }
+  // 1f / 3F style (rare but legal via user suffix? keep simple: digits+f).
+  return !t.empty() && (t.back() == 'f' || t.back() == 'F');
+}
+
+}  // namespace streamad::lint

@@ -1,0 +1,32 @@
+#ifndef STREAMAD_TOOLS_LINT_LEXER_H_
+#define STREAMAD_TOOLS_LINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+
+#include "tools/lint/token.h"
+
+namespace streamad::lint {
+
+/// Tokenizes `source` (the full text of one file) into the three token
+/// streams of a `SourceFile`. `path` is recorded verbatim; it should be the
+/// repo-relative path so that rule applicability (src/ vs tests/ vs bench/)
+/// and allowlists work.
+///
+/// Guarantees the rules rely on:
+///  - string/char literals (including raw strings) never leak tokens,
+///  - a `#` line becomes exactly one kPpDirective token with backslash
+///    continuations joined, so `#include <iostream>` is matchable as text,
+///  - multi-char operators are maximal-munch (`==` is one token, never
+///    `=` `=`), so comparison patterns are unambiguous,
+///  - every token carries the 1-based line it starts on.
+SourceFile LexFile(std::string path, std::string_view source);
+
+/// True if a kNumber token spells a floating-point literal (has a decimal
+/// point, a decimal exponent, or an f/F/l/L suffix on a fractional form;
+/// hex integers like 0x1E are NOT float).
+bool IsFloatLiteral(std::string_view number_text);
+
+}  // namespace streamad::lint
+
+#endif  // STREAMAD_TOOLS_LINT_LEXER_H_

@@ -1,0 +1,53 @@
+// streamad_lint: project-specific static analysis for the streamad tree.
+//
+// Usage:
+//   streamad_lint [--root=DIR] [--format=text|json] [file...]
+//
+// With no file arguments the default directories (src tools tests bench
+// examples) are scanned recursively for .h/.cc, excluding lint fixtures.
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+//
+// Rules (suppress with `// NOLINT-STREAMAD(rule)` on the finding line or
+// `// NOLINT-STREAMAD-NEXTLINE(rule)` on the line above; always give a
+// reason after a colon):
+//   determinism       R1  entropy/wall-clock sources outside rng/obs
+//   hot-alloc         R2  allocation in a // STREAMAD_HOT region
+//   float-compare     R3  exact float ==/!=, abs-free tolerance checks
+//   header-guard      R4  guard must be STREAMAD_<PATH>_H_
+//   using-namespace   R4  `using namespace` in a header
+//   iostream-include  R4  <iostream> in a src/ header
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "tools/lint/driver.h"
+
+int main(int argc, char** argv) {
+  streamad::lint::RunOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      options.root = arg.substr(7);
+    } else if (arg == "--format=json") {
+      options.format = streamad::lint::OutputFormat::kJson;
+    } else if (arg == "--format=text") {
+      options.format = streamad::lint::OutputFormat::kText;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: streamad_lint [--root=DIR] [--format=text|json] "
+                   "[file...]\n");
+      return 2;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "streamad_lint: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+
+  const streamad::lint::RunResult result = streamad::lint::RunLint(options);
+  streamad::lint::WriteReport(result, options.format, std::cout);
+  return result.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,466 @@
+#include "tools/lint/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string_view>
+#include <utility>
+
+#include "tools/lint/lexer.h"
+
+namespace streamad::lint {
+namespace {
+
+bool StartsWith(const std::string& s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         std::string_view(s).substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         std::string_view(s).substr(s.size() - suffix.size()) == suffix;
+}
+
+bool IsHeaderPath(const std::string& path) { return EndsWith(path, ".h"); }
+
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+// ---------------------------------------------------------------------------
+// R1: determinism. The detector pipeline must be bit-reproducible from the
+// seed alone (golden-stream digests depend on it), so wall-clock and
+// OS-entropy sources are banned in src/ outside the two sanctioned homes:
+// the seeded RNG wrapper and the observability layer (which measures real
+// time by design and never feeds results back into detection).
+// ---------------------------------------------------------------------------
+
+bool DeterminismRuleApplies(const std::string& path) {
+  if (!StartsWith(path, "src/")) return false;
+  if (path == "src/common/rng.h" || path == "src/common/rng.cc") return false;
+  if (StartsWith(path, "src/obs/")) return false;
+  return true;
+}
+
+void CheckDeterminism(const SourceFile& f, std::vector<Finding>* out) {
+  if (!DeterminismRuleApplies(f.path)) return;
+  const std::vector<Token>& code = f.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& t = code[i];
+    if (t.kind != TokKind::kIdent) continue;
+
+    if (t.text == "random_device") {
+      out->push_back({f.path, t.line, kRuleDeterminism,
+                      "std::random_device draws OS entropy; seed "
+                      "streamad::Rng (src/common/rng.h) instead"});
+      continue;
+    }
+
+    const bool call_like = i + 1 < code.size() && IsPunct(code[i + 1], "(");
+    if (!call_like) continue;
+    const Token* prev = i > 0 ? &code[i - 1] : nullptr;
+    const bool member = prev != nullptr &&
+                        (IsPunct(*prev, ".") || IsPunct(*prev, "->"));
+
+    if (t.text == "now" && prev != nullptr && IsPunct(*prev, "::")) {
+      out->push_back({f.path, t.line, kRuleDeterminism,
+                      "clock ::now() in the detector pipeline breaks "
+                      "reproducibility; timing belongs in src/obs/"});
+      continue;
+    }
+    if (member) continue;  // foo.time(), obj->rand(): not the libc calls
+
+    if (t.text == "rand" || t.text == "srand" || t.text == "time") {
+      // `other_ns::time(...)` is not the libc call; `std::time` is.
+      if (prev != nullptr && IsPunct(*prev, "::")) {
+        if (!(i >= 2 && IsIdent(code[i - 2], "std"))) continue;
+      }
+      out->push_back({f.path, t.line, kRuleDeterminism,
+                      "`" + t.text +
+                          "()` is seed-unstable; use streamad::Rng "
+                          "(src/common/rng.h)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R2: hot-path allocation. A `// STREAMAD_HOT` comment marks the next
+// brace-balanced block (by convention: the body of the function declared
+// right below it) as steady-state Step-path code that must not allocate.
+// ---------------------------------------------------------------------------
+
+struct Region {
+  std::size_t begin;  // index of `{` in code stream
+  std::size_t end;    // index of matching `}`
+};
+
+// A comment is a hot marker only when STREAMAD_HOT is its first word
+// (`// STREAMAD_HOT: step path`); prose that merely mentions the marker
+// ("allocates in a STREAMAD_HOT region") must not open a region.
+bool IsHotMarker(const std::string& comment) {
+  std::size_t i = 0;
+  while (i < comment.size() &&
+         (comment[i] == '/' || comment[i] == '*' ||
+          std::isspace(static_cast<unsigned char>(comment[i])))) {
+    ++i;
+  }
+  return comment.compare(i, 12, "STREAMAD_HOT") == 0;
+}
+
+std::vector<Region> HotRegions(const SourceFile& f) {
+  std::vector<Region> regions;
+  for (const Token& c : f.comments) {
+    if (!IsHotMarker(c.text)) continue;
+    // First code token at or after the marker line, then its next `{`.
+    std::size_t i = 0;
+    while (i < f.code.size() && f.code[i].line < c.line) ++i;
+    while (i < f.code.size() && !IsPunct(f.code[i], "{")) ++i;
+    if (i == f.code.size()) continue;
+    std::size_t depth = 0;
+    std::size_t j = i;
+    for (; j < f.code.size(); ++j) {
+      if (IsPunct(f.code[j], "{")) ++depth;
+      if (IsPunct(f.code[j], "}") && --depth == 0) break;
+    }
+    if (j < f.code.size()) regions.push_back({i, j});
+  }
+  return regions;
+}
+
+bool ReceiverLooksLocal(const Token& receiver) {
+  // Google style: members end in `_`; anything else reached via `.` is a
+  // local or parameter. `out->resize(...)` (arrow) is caller-owned scratch
+  // and intentionally not matched.
+  return receiver.kind == TokKind::kIdent && !EndsWith(receiver.text, "_");
+}
+
+void CheckHotRegion(const SourceFile& f, const ProjectIndex& index,
+                    const Region& r, std::vector<Finding>* out) {
+  const std::vector<Token>& code = f.code;
+  for (std::size_t i = r.begin + 1; i < r.end; ++i) {
+    const Token& t = code[i];
+    if (t.kind != TokKind::kIdent) continue;
+
+    if (t.text == "new" && !(i > 0 && IsIdent(code[i - 1], "operator"))) {
+      out->push_back({f.path, t.line, kRuleHotAlloc,
+                      "`new` in a STREAMAD_HOT region; hoist the "
+                      "allocation into a reused scratch member"});
+      continue;
+    }
+    if (t.text == "make_unique" || t.text == "make_shared") {
+      out->push_back({f.path, t.line, kRuleHotAlloc,
+                      "`" + t.text + "` allocates in a STREAMAD_HOT region"});
+      continue;
+    }
+
+    const bool call_like = i + 1 < code.size() && IsPunct(code[i + 1], "(");
+    if (!call_like) continue;
+
+    // `x.push_back(...)` with a plain local receiver. Chained accesses
+    // (`tape->layers.resize`, `out->data.reserve`) reach caller-owned
+    // scratch whose capacity amortises, so only a bare identifier matches.
+    const bool chained =
+        i >= 3 && (IsPunct(code[i - 3], ".") || IsPunct(code[i - 3], "->"));
+    if ((t.text == "push_back" || t.text == "emplace_back" ||
+         t.text == "resize" || t.text == "reserve") &&
+        i >= 2 && IsPunct(code[i - 1], ".") && !chained &&
+        ReceiverLooksLocal(code[i - 2])) {
+      out->push_back({f.path, t.line, kRuleHotAlloc,
+                      "`" + code[i - 2].text + "." + t.text +
+                          "` grows a non-member container in a "
+                          "STREAMAD_HOT region"});
+      continue;
+    }
+
+    if (!EndsWith(t.text, "Into") &&
+        index.into_names.count(t.text + "Into") != 0) {
+      out->push_back({f.path, t.line, kRuleHotAlloc,
+                      "`" + t.text + "()` returns by value in a "
+                          "STREAMAD_HOT region; use `" + t.text +
+                          "Into()` with a scratch out-parameter"});
+    }
+  }
+}
+
+void CheckHotAlloc(const SourceFile& f, const ProjectIndex& index,
+                   std::vector<Finding>* out) {
+  for (const Region& r : HotRegions(f)) CheckHotRegion(f, index, r, out);
+}
+
+// ---------------------------------------------------------------------------
+// R3: float safety. Exact ==/!= against floating literals, and
+// difference-vs-tolerance checks with no abs(), are almost always latent
+// bugs in scoring/calibration code (a drift detector that compares
+// `stat != 0.0` or `mu - prev < 1e-9` silently never fires on the negative
+// side). Tests are exempt: golden digests legitimately assert exactness.
+// ---------------------------------------------------------------------------
+
+bool FloatCompareRuleApplies(const std::string& path) {
+  return !StartsWith(path, "tests/");
+}
+
+bool IsFloatNumber(const Token& t) {
+  return t.kind == TokKind::kNumber && IsFloatLiteral(t.text);
+}
+
+// Backward scan from the comparison operator, classifying the left operand:
+// does it contain a top-level binary `-` and any abs-like call?
+void CheckToleranceWithoutAbs(const SourceFile& f, std::size_t op_index,
+                              std::vector<Finding>* out) {
+  const std::vector<Token>& code = f.code;
+  bool has_minus = false;
+  bool has_abs = false;
+  std::size_t depth = 0;
+  for (std::size_t j = op_index; j-- > 0;) {
+    const Token& t = code[j];
+    if (IsPunct(t, ")")) {
+      ++depth;
+      continue;
+    }
+    if (IsPunct(t, "(")) {
+      if (depth == 0) break;
+      --depth;
+      continue;
+    }
+    if (depth == 0 &&
+        (IsPunct(t, ";") || IsPunct(t, ",") || IsPunct(t, "{") ||
+         IsPunct(t, "}") || IsPunct(t, "&&") || IsPunct(t, "||") ||
+         IsPunct(t, "?") || IsPunct(t, ":") || IsPunct(t, "=") ||
+         IsIdent(t, "return"))) {
+      break;
+    }
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "abs" || t.text == "fabs" || t.text == "hypot")) {
+      has_abs = true;
+    }
+    if (IsPunct(t, "-") && j > 0) {
+      const Token& prev = code[j - 1];
+      const bool binary = prev.kind == TokKind::kIdent ||
+                          prev.kind == TokKind::kNumber ||
+                          IsPunct(prev, ")") || IsPunct(prev, "]");
+      if (binary) has_minus = true;
+    }
+  }
+  if (has_minus && !has_abs) {
+    out->push_back({f.path, code[op_index].line, kRuleFloatCompare,
+                    "difference compared against a tolerance without "
+                    "std::abs; negative deviations pass silently"});
+  }
+}
+
+void CheckFloatCompare(const SourceFile& f, std::vector<Finding>* out) {
+  if (!FloatCompareRuleApplies(f.path)) return;
+  const std::vector<Token>& code = f.code;
+  for (std::size_t i = 1; i + 1 < code.size(); ++i) {
+    const Token& t = code[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "==" || t.text == "!=") {
+      if (IsFloatNumber(code[i - 1]) || IsFloatNumber(code[i + 1])) {
+        out->push_back({f.path, t.line, kRuleFloatCompare,
+                        "exact `" + t.text +
+                            "` against a floating-point literal; compare "
+                            "with an explicit tolerance"});
+      }
+      continue;
+    }
+    if (t.text == "<" || t.text == "<=") {
+      const Token& rhs = code[i + 1];
+      if (!IsFloatNumber(rhs)) continue;
+      const double v = std::strtod(rhs.text.c_str(), nullptr);
+      if (v > 0.0 && v <= 1e-3) CheckToleranceWithoutAbs(f, i, out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R4: include/header hygiene.
+// ---------------------------------------------------------------------------
+
+std::string PpSymbol(const std::string& directive_text,
+                     std::string_view keyword) {
+  // "#ifndef  FOO" → "FOO" (empty when the directive is not `keyword`).
+  std::string_view s = directive_text;
+  if (!s.empty() && s[0] == '#') s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s[0]))) {
+    s.remove_prefix(1);
+  }
+  if (s.substr(0, keyword.size()) != keyword) return "";
+  s.remove_prefix(keyword.size());
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s[0]))) {
+    s.remove_prefix(1);
+  }
+  std::size_t end = 0;
+  while (end < s.size() &&
+         !std::isspace(static_cast<unsigned char>(s[end]))) {
+    ++end;
+  }
+  return std::string(s.substr(0, end));
+}
+
+void CheckHeaderHygiene(const SourceFile& f, std::vector<Finding>* out) {
+  if (!IsHeaderPath(f.path)) return;
+
+  const std::string expected = ExpectedHeaderGuard(f.path);
+  std::string ifndef_sym;
+  std::string define_sym;
+  int guard_line = 1;
+  for (const Token& d : f.pp) {
+    if (ifndef_sym.empty()) {
+      ifndef_sym = PpSymbol(d.text, "ifndef");
+      guard_line = d.line;
+      continue;
+    }
+    define_sym = PpSymbol(d.text, "define");
+    break;  // only the first two directives can form the guard
+  }
+  if (ifndef_sym.empty() || ifndef_sym != define_sym) {
+    out->push_back({f.path, guard_line, kRuleHeaderGuard,
+                    "missing include guard; expected `#ifndef " + expected +
+                        "` / `#define " + expected + "`"});
+  } else if (ifndef_sym != expected) {
+    out->push_back({f.path, guard_line, kRuleHeaderGuard,
+                    "include guard `" + ifndef_sym + "` should be `" +
+                        expected + "`"});
+  }
+
+  for (std::size_t i = 0; i + 1 < f.code.size(); ++i) {
+    if (IsIdent(f.code[i], "using") && IsIdent(f.code[i + 1], "namespace")) {
+      out->push_back({f.path, f.code[i].line, kRuleUsingNamespace,
+                      "`using namespace` in a header leaks into every "
+                      "includer"});
+    }
+  }
+
+  if (StartsWith(f.path, "src/")) {
+    for (const Token& d : f.pp) {
+      if (StartsWith(d.text, "#include") &&
+          d.text.find("<iostream>") != std::string::npos) {
+        out->push_back({f.path, d.line, kRuleIostreamInclude,
+                        "<iostream> in a library header drags iostream "
+                        "static initialisers into every TU; use <ostream> "
+                        "or move the printing into a .cc"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------------
+
+struct SuppressionSet {
+  bool all = false;
+  std::set<std::string> rules;
+
+  bool Covers(const std::string& rule) const {
+    return all || rules.count(rule) != 0;
+  }
+};
+
+void ParseSuppression(const std::string& comment, std::size_t marker_pos,
+                      SuppressionSet* set) {
+  std::size_t i = marker_pos;
+  while (i < comment.size() && comment[i] != '(' && comment[i] != '\n') {
+    // Stop at anything that ends the marker word (e.g. `: reason`).
+    if (std::isspace(static_cast<unsigned char>(comment[i])) ||
+        comment[i] == ':') {
+      set->all = true;
+      return;
+    }
+    ++i;
+  }
+  if (i == comment.size() || comment[i] != '(') {
+    set->all = true;
+    return;
+  }
+  const std::size_t close = comment.find(')', i);
+  if (close == std::string::npos) {
+    set->all = true;
+    return;
+  }
+  std::string rule;
+  for (std::size_t j = i + 1; j <= close; ++j) {
+    const char c = comment[j];
+    if (c == ',' || c == ')') {
+      if (!rule.empty()) set->rules.insert(rule);
+      rule.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      rule += c;
+    }
+  }
+}
+
+}  // namespace
+
+void IndexFile(const SourceFile& file, ProjectIndex* index) {
+  const std::vector<Token>& code = file.code;
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    if (code[i].kind == TokKind::kIdent && EndsWith(code[i].text, "Into") &&
+        code[i].text != "Into" && IsPunct(code[i + 1], "(")) {
+      index->into_names.insert(code[i].text);
+    }
+  }
+}
+
+std::vector<Finding> AnalyzeFile(const SourceFile& file,
+                                 const ProjectIndex& index) {
+  std::vector<Finding> findings;
+  CheckDeterminism(file, &findings);
+  CheckHotAlloc(file, index, &findings);
+  CheckFloatCompare(file, &findings);
+  CheckHeaderHygiene(file, &findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::pair(a.line, std::string_view(a.rule)) <
+                     std::pair(b.line, std::string_view(b.rule));
+            });
+  return findings;
+}
+
+std::vector<Finding> ApplySuppressions(const SourceFile& file,
+                                       std::vector<Finding> findings) {
+  static constexpr std::string_view kMarker = "NOLINT-STREAMAD";
+  static constexpr std::string_view kNextLine = "NOLINT-STREAMAD-NEXTLINE";
+  std::map<int, SuppressionSet> by_line;
+  for (const Token& c : file.comments) {
+    const std::size_t pos = c.text.find(kMarker);
+    if (pos == std::string::npos) continue;
+    const bool next_line =
+        c.text.compare(pos, kNextLine.size(), kNextLine) == 0;
+    const int target = next_line ? c.line + 1 : c.line;
+    ParseSuppression(c.text, pos + (next_line ? kNextLine.size()
+                                              : kMarker.size()),
+                     &by_line[target]);
+  }
+  if (by_line.empty()) return findings;
+
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (Finding& f : findings) {
+    const auto it = by_line.find(f.line);
+    if (it != by_line.end() && it->second.Covers(f.rule)) continue;
+    kept.push_back(std::move(f));
+  }
+  return kept;
+}
+
+std::string ExpectedHeaderGuard(const std::string& rel_path) {
+  std::string_view p = rel_path;
+  if (p.substr(0, 4) == "src/") p.remove_prefix(4);
+  std::string guard = "STREAMAD_";
+  for (char c : p) {
+    guard += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(
+                       std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  guard += '_';
+  return guard;
+}
+
+}  // namespace streamad::lint

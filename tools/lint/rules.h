@@ -1,0 +1,65 @@
+#ifndef STREAMAD_TOOLS_LINT_RULES_H_
+#define STREAMAD_TOOLS_LINT_RULES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/token.h"
+
+namespace streamad::lint {
+
+/// One diagnostic. `rule` is the stable machine name used by
+/// `NOLINT-STREAMAD(rule)` suppressions and the JSON report.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Rule identifiers (R1–R4 of the lint spec, see docs/ARCHITECTURE.md §9).
+inline constexpr char kRuleDeterminism[] = "determinism";
+inline constexpr char kRuleHotAlloc[] = "hot-alloc";
+inline constexpr char kRuleFloatCompare[] = "float-compare";
+inline constexpr char kRuleHeaderGuard[] = "header-guard";
+inline constexpr char kRuleUsingNamespace[] = "using-namespace";
+inline constexpr char kRuleIostreamInclude[] = "iostream-include";
+
+/// Cross-file knowledge the rules need: today, the set of project functions
+/// that have an allocation-free `<Name>Into(..., out)` form. Built in a
+/// first pass over every scanned file, consumed by the hot-alloc rule
+/// (`Matrix m = MatMul(a, b)` in a hot region → "use MatMulInto").
+struct ProjectIndex {
+  std::set<std::string> into_names;  // e.g. "MatMulInto", "TransformInto"
+};
+
+/// Adds every `<Name>Into(`-shaped call/declaration in `file` to the index.
+void IndexFile(const SourceFile& file, ProjectIndex* index);
+
+/// Runs every applicable rule on one file and returns raw findings,
+/// *before* NOLINT suppression. Applicability is path-based:
+///  - determinism: `src/**` except `src/common/rng.{h,cc}` and `src/obs/**`
+///  - hot-alloc:   regions below a `// STREAMAD_HOT` marker, any file
+///  - float-compare: everywhere except `tests/**`
+///  - header hygiene: `*.h` everywhere; the <iostream> ban only in `src/`
+std::vector<Finding> AnalyzeFile(const SourceFile& file,
+                                 const ProjectIndex& index);
+
+/// Drops findings suppressed by a `NOLINT-STREAMAD` comment on the same
+/// line or a `NOLINT-STREAMAD-NEXTLINE` comment on the previous line.
+/// Both forms accept an optional parenthesised comma-separated rule list;
+/// without one they suppress every rule on that line. Text after the
+/// closing paren (the conventional `: reason`) is ignored.
+std::vector<Finding> ApplySuppressions(const SourceFile& file,
+                                       std::vector<Finding> findings);
+
+/// Expected include guard for a repo-relative header path. The repo
+/// convention drops a leading `src/` ("src/linalg/matrix.h" →
+/// `STREAMAD_LINALG_MATRIX_H_`) and keeps every other top directory
+/// ("bench/bench_common.h" → `STREAMAD_BENCH_BENCH_COMMON_H_`).
+std::string ExpectedHeaderGuard(const std::string& rel_path);
+
+}  // namespace streamad::lint
+
+#endif  // STREAMAD_TOOLS_LINT_RULES_H_

@@ -1,0 +1,27 @@
+// Fixture: a file that violates nothing — the analyzer must stay silent.
+#include <cmath>
+#include <vector>
+
+namespace streamad {
+
+struct Mat {};
+void MatMulInto(const Mat& a, const Mat& b, Mat* out);
+
+class Accumulator {
+ public:
+  // STREAMAD_HOT: allocation-free by construction
+  void Step(const Mat& a, const Mat& b) {
+    MatMulInto(a, b, &scratch_);
+    total_ += 1.0;
+  }
+
+  bool Converged(double prev) const {
+    return std::abs(total_ - prev) < 1e-9;
+  }
+
+ private:
+  Mat scratch_;
+  double total_ = 0.0;
+};
+
+}  // namespace streamad

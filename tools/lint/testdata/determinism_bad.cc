@@ -1,0 +1,36 @@
+// Fixture: every banned entropy/clock source in one file. Linted under the
+// fake path src/core/determinism_bad.cc, where the determinism rule applies.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace streamad {
+
+int BadSeed() {
+  srand(42);                                     // finding: srand
+  return rand();                                 // finding: rand
+}
+
+long BadClock() {
+  return time(nullptr);                          // finding: time
+}
+
+unsigned BadEntropy() {
+  std::random_device rd;                         // finding: random_device
+  return rd();
+}
+
+long BadNow() {
+  const auto t = std::chrono::steady_clock::now();  // finding: ::now(
+  return t.time_since_epoch().count();
+}
+
+// Not findings: member calls and non-std qualified names.
+struct Clock;
+
+long FineMemberCalls(const Clock& c, const Clock* p) {
+  return c.time() + p->rand() + fake_os::time(nullptr);
+}
+
+}  // namespace streamad

@@ -1,0 +1,31 @@
+// Fixture: float comparison hazards. Linted under a src/-style path (the
+// rule applies everywhere except tests/).
+
+namespace streamad {
+
+bool BadEquality(double a, double b) {
+  return a == 0.5;                               // finding: == float literal
+}
+
+bool BadInequality(double x) {
+  if (x != 1e-3) return true;                    // finding: != float literal
+  return false;
+}
+
+bool BadTolerance(double a, double b) {
+  return a - b < 1e-6;                           // finding: no abs around diff
+}
+
+bool FineTolerance(double a, double b) {
+  return std::abs(a - b) < 1e-6;                 // fine: abs-wrapped
+}
+
+bool FineIntegerCompare(int a, int b) {
+  return a == b;                                 // fine: no float literal
+}
+
+bool FineLargeThreshold(double t) {
+  return t < 0.5;                                // fine: not a tolerance
+}
+
+}  // namespace streamad

@@ -1,0 +1,15 @@
+// Fixture: every header-hygiene violation. Linted under the fake path
+// src/util/header_guard_bad.h, so the expected guard is
+// STREAMAD_UTIL_HEADER_GUARD_BAD_H_.
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+#include <iostream>
+
+using namespace std;
+
+namespace streamad {
+inline void Shout() { cout << "hi\n"; }
+}  // namespace streamad
+
+#endif  // WRONG_GUARD_NAME_H

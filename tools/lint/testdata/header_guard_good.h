@@ -1,0 +1,12 @@
+// Fixture: a fully conforming header. Linted under the fake path
+// src/util/header_guard_good.h.
+#ifndef STREAMAD_UTIL_HEADER_GUARD_GOOD_H_
+#define STREAMAD_UTIL_HEADER_GUARD_GOOD_H_
+
+#include <ostream>
+
+namespace streamad {
+inline void Whisper(std::ostream& os) { os << "hi\n"; }
+}  // namespace streamad
+
+#endif  // STREAMAD_UTIL_HEADER_GUARD_GOOD_H_

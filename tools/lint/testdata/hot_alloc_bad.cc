@@ -1,0 +1,51 @@
+// Fixture: allocation patterns inside a STREAMAD_HOT region. The test
+// registers "MatMulInto" in the project index so the Matrix-returning
+// MatMul( call is flagged too.
+#include <memory>
+#include <vector>
+
+namespace streamad {
+
+struct Mat {};
+Mat MatMul(const Mat& a, const Mat& b);
+void MatMulInto(const Mat& a, const Mat& b, Mat* out);
+
+struct Tape {
+  std::vector<double> layers;
+};
+
+class Worker {
+ public:
+  // STREAMAD_HOT: fixture hot region
+  void Step(const Mat& a, const Mat& b, Tape* tape) {
+    double* raw = new double[8];                 // finding: new
+    auto owned = std::make_unique<int>(1);       // finding: make_unique
+    auto shared = std::make_shared<int>(2);      // finding: make_shared
+    std::vector<double> local;
+    local.push_back(1.0);                        // finding: growth on local
+    local.resize(16);                            // finding: growth on local
+    const Mat c = MatMul(a, b);                  // finding: MatMulInto exists
+    MatMulInto(a, b, &scratch_);                 // fine: Into form
+    scratch_buf_.push_back(0.0);                 // fine: member (underscore)
+    tape->layers.resize(4);                      // fine: chained receiver
+    delete[] raw;
+    (void)owned;
+    (void)shared;
+    (void)c;
+  }
+
+  // Outside any hot region: nothing below is flagged.
+  void Setup() {
+    cold_.push_back(0.0);
+    cold_.resize(32);
+    auto p = std::make_unique<int>(3);
+    (void)p;
+  }
+
+ private:
+  Mat scratch_;
+  std::vector<double> scratch_buf_;
+  std::vector<double> cold_;
+};
+
+}  // namespace streamad

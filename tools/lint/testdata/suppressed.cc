@@ -1,0 +1,24 @@
+// Fixture: NOLINT-STREAMAD suppression forms. Only the mismatched-rule
+// case at the bottom should survive as a finding.
+#include <cstdlib>
+
+namespace streamad {
+
+int SameLineSuppressed() {
+  return rand();  // NOLINT-STREAMAD(determinism): fixture exercises same-line
+}
+
+int NextLineSuppressed() {
+  // NOLINT-STREAMAD-NEXTLINE(determinism): fixture exercises next-line
+  return rand();
+}
+
+int BareSuppression(double a) {
+  return a == 0.5 ? rand() : 0;  // NOLINT-STREAMAD: bare form kills all rules
+}
+
+int WrongRuleListed() {
+  return rand();  // NOLINT-STREAMAD(hot-alloc): wrong rule, still a finding
+}
+
+}  // namespace streamad

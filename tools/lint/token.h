@@ -1,0 +1,41 @@
+#ifndef STREAMAD_TOOLS_LINT_TOKEN_H_
+#define STREAMAD_TOOLS_LINT_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+namespace streamad::lint {
+
+/// Lexical classes the analyzer distinguishes. The tokenizer is not a full
+/// C++ lexer — it only needs to be faithful enough that the rule patterns
+/// (identifier/punctuation sequences) never fire inside strings, comments
+/// or preprocessor text they should not see.
+enum class TokKind {
+  kIdent,        // identifiers and keywords (`new`, `using`, ...)
+  kNumber,       // pp-number: 0x1f, 1e-9, 3.5, 2'000'000
+  kString,       // "..." including raw strings R"(...)"
+  kChar,         // 'a'
+  kPunct,        // operators / punctuation, maximal munch (`==`, `->`, `::`)
+  kComment,      // // ... and /* ... */ including the delimiters
+  kPpDirective,  // a full `#...` line, backslash continuations joined
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+/// One lexed translation unit, split into the three streams the rules
+/// consume: executable-ish code tokens, preprocessor directives, and
+/// comments (needed for `STREAMAD_HOT` markers and NOLINT suppressions).
+struct SourceFile {
+  std::string path;  // repo-relative, '/'-separated
+  std::vector<Token> code;
+  std::vector<Token> pp;
+  std::vector<Token> comments;
+};
+
+}  // namespace streamad::lint
+
+#endif  // STREAMAD_TOOLS_LINT_TOKEN_H_
