@@ -12,9 +12,13 @@
 //
 // Command-line flags (table benches):
 //   --metrics-out=FILE   write the telemetry registry (per-stage latency
-//                        histograms, step/fine-tune counters, drift op
-//                        tallies) as Prometheus text exposition to FILE
+//                        histograms, quantile-sketch summaries, counters,
+//                        drift op tallies) as Prometheus text exposition
 //   --trace-out=FILE     write sampled per-step JSONL trace records to FILE
+//   --flight-dir=DIR     attach a flight recorder to every run and dump its
+//                        last-N-steps ring to DIR/flight_<run>.jsonl on
+//                        fine-tunes and STREAMAD_CHECK failures
+//                        (DIR must exist; analyse with streamad_inspect)
 //
 // Alongside every printed table, `RunTable3` writes the same numbers
 // machine-readably to `BENCH_<name>.json` in the working directory so the
@@ -90,7 +94,16 @@ inline core::DetectorParams BenchParams() {
 struct BenchCli {
   std::string metrics_out;  // --metrics-out=FILE (Prometheus text)
   std::string trace_out;    // --trace-out=FILE   (JSONL step trace)
+  std::string flight_dir;   // --flight-dir=DIR   (per-run flight dumps)
+
+  bool instrumented() const {
+    return !metrics_out.empty() || !trace_out.empty() || !flight_dir.empty();
+  }
 };
+
+/// Flight ring size used by the bench binaries: enough context around a
+/// drift event without noticeable memory per run.
+inline constexpr std::size_t kBenchFlightCapacity = 128;
 
 inline BenchCli ParseBenchCli(int argc, char** argv) {
   BenchCli cli;
@@ -100,15 +113,45 @@ inline BenchCli ParseBenchCli(int argc, char** argv) {
       cli.metrics_out = arg.substr(14);
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       cli.trace_out = arg.substr(12);
+    } else if (arg.rfind("--flight-dir=", 0) == 0) {
+      cli.flight_dir = arg.substr(13);
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (supported: --metrics-out=FILE, "
-                   "--trace-out=FILE)\n",
+                   "--trace-out=FILE, --flight-dir=DIR)\n",
                    arg.c_str());
       std::exit(2);
     }
   }
   return cli;
+}
+
+/// Emits the per-stage quantile-sketch summaries of `registry` as one JSON
+/// object: `{"<stage>":{"count":...,"p50":...,"p90":...,"p99":...,
+/// "p999":...},...}` (stages with no samples are skipped). This is what
+/// lands under `"stage_quantiles"` in `BENCH_*.json`, giving the perf
+/// trajectory tail latencies instead of means only.
+inline std::string JsonStageQuantiles(obs::MetricsRegistry* registry) {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = 0; i < obs::kNumStages; ++i) {
+    const char* stage = obs::StageName(static_cast<obs::Stage>(i));
+    obs::QuantileSketch* sketch = registry->GetSketch(
+        std::string("streamad_stage_") + stage + "_ns_summary");
+    const obs::QuantileSketch::Snapshot snap = sketch->Snap();
+    if (snap.count == 0) continue;
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s\"%s\":{\"count\":%llu,\"p50\":%.6g,\"p90\":%.6g,"
+                  "\"p99\":%.6g,\"p999\":%.6g}",
+                  first ? "" : ",", stage,
+                  static_cast<unsigned long long>(snap.count), snap.p50(),
+                  snap.p90(), snap.p99(), snap.p999());
+    out += buffer;
+    first = false;
+  }
+  out += '}';
+  return out;
 }
 
 /// One metric summary as a JSON object (6 significant digits, ample for
@@ -142,8 +185,12 @@ inline void RunTable3(const data::Corpus& corpus,
   obs::MetricsRegistry registry;
   std::ofstream trace_file;
   std::unique_ptr<obs::TraceSink> trace;
-  const bool instrument = !cli.metrics_out.empty() || !cli.trace_out.empty();
+  const bool instrument = cli.instrumented();
   if (instrument) config.metrics = &registry;
+  if (!cli.flight_dir.empty()) {
+    config.flight_capacity = kBenchFlightCapacity;
+    config.flight_dump_dir = cli.flight_dir;
+  }
   if (!cli.trace_out.empty()) {
     trace_file.open(cli.trace_out);
     if (!trace_file) {
@@ -235,7 +282,11 @@ inline void RunTable3(const data::Corpus& corpus,
       json << (k == 0 ? "" : ",") << "\"" << score_keys[k]
            << "\":" << JsonMetrics(harness::MetricSummary::Mean(column));
     }
-    json << "}}\n";
+    json << "}";
+    if (instrument) {
+      json << ",\"stage_quantiles\":" << JsonStageQuantiles(&registry);
+    }
+    json << "}\n";
     std::printf("\nwrote %s\n", json_path.c_str());
   } else {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

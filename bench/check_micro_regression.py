@@ -35,14 +35,22 @@ RATIO_GATES = [
 
 
 def load_times(path):
+    """Returns (mean cpu_time, p99 user-counter) maps keyed by benchmark.
+
+    The p99_ns counter comes from the per-iteration P² quantile sketch the
+    per-step benches export; benches without it just have no tail entry.
+    """
     with open(path) as f:
         data = json.load(f)
     times = {}
+    tails = {}
     for bench in data.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
         times[bench["name"]] = float(bench["cpu_time"])
-    return times
+        if "p99_ns" in bench:
+            tails[bench["name"]] = float(bench["p99_ns"])
+    return times, tails
 
 
 def main(argv):
@@ -56,8 +64,8 @@ def main(argv):
         else Path(__file__).parent / "micro_baseline.json"
     )
     try:
-        results = load_times(results_path)
-        baseline = load_times(baseline_path)
+        results, result_tails = load_times(results_path)
+        baseline, baseline_tails = load_times(baseline_path)
     except (OSError, ValueError, KeyError) as err:
         print(f"error: failed to load inputs: {err}")
         return 2
@@ -93,6 +101,25 @@ def main(argv):
                 f"{baseline[name]:.0f}ns (+"
                 f"{100.0 * (results[name] / baseline[name] - 1.0):.0f}%)"
             )
+
+    # Tail comparison: a bench whose mean holds but whose p99 blows up is a
+    # regression the mean gate cannot see (lock contention, rehash spikes,
+    # allocator churn). Warn-only like the absolute means — p99 in ns is as
+    # machine-dependent as the mean — but with a looser tolerance since
+    # tails are noisier.
+    tail_tolerance = 2.0 * REL_TOLERANCE
+    for name in sorted(set(result_tails) & set(baseline_tails)):
+        if result_tails[name] > baseline_tails[name] * (1.0 + tail_tolerance):
+            print(
+                f"[warn] {name} p99: {result_tails[name]:.0f}ns vs baseline "
+                f"{baseline_tails[name]:.0f}ns (+"
+                f"{100.0 * (result_tails[name] / baseline_tails[name] - 1.0):.0f}%)"
+            )
+    missing_tails = sorted(set(baseline_tails) - set(result_tails))
+    if missing_tails:
+        failures.append(
+            "benches lost their p99_ns counter: " + ", ".join(missing_tails)
+        )
 
     if failures:
         print("\nregression check FAILED:")

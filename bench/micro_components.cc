@@ -11,11 +11,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/obs/quantile_sketch.h"
 #include "src/core/algorithm_spec.h"
 #include "src/core/training_set.h"
 #include "src/linalg/matrix.h"
@@ -46,6 +49,35 @@ constexpr std::size_t kWindow = 25;
 constexpr std::size_t kChannels = 9;
 constexpr std::size_t kTrain = 100;
 
+// Per-iteration tail latency for the per-step benches: each iteration's
+// wall time feeds a P² sketch whose p50/p99 are exported as user counters,
+// so BENCH_micro.json carries tail data next to the mean and
+// check_micro_regression.py can compare p99, not just mean. The two extra
+// clock reads (~tens of ns) sit inside the timed region — acceptable for
+// the µs-scale step benches this wraps, so the ratio-gated kernels
+// (matmul / kNN / VAR fits) are deliberately left unwrapped.
+class TailLatency {
+ public:
+  std::uint64_t Begin() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+  void End(std::uint64_t begin_ns) {
+    sketch_.Observe(static_cast<double>(Begin() - begin_ns));
+  }
+  void Export(benchmark::State& state) const {
+    const obs::QuantileSketch::Snapshot snap = sketch_.Snap();
+    if (snap.count == 0) return;
+    state.counters["p50_ns"] = snap.p50();
+    state.counters["p99_ns"] = snap.p99();
+  }
+
+ private:
+  obs::QuantileSketch sketch_;
+};
+
 core::FeatureVector RandomWindow(Rng* rng, std::int64_t t) {
   core::FeatureVector fv;
   fv.window = linalg::Matrix(kWindow, kChannels);
@@ -68,9 +100,13 @@ template <typename Strategy>
 void BenchStrategyOffer(benchmark::State& state, Strategy* strategy) {
   Rng rng(5);
   std::int64_t t = 0;
+  TailLatency tail;
   for (auto _ : state) {
+    const std::uint64_t begin = tail.Begin();
     benchmark::DoNotOptimize(strategy->Offer(RandomWindow(&rng, t++), 0.3));
+    tail.End(begin);
   }
+  tail.Export(state);
 }
 
 void BM_SlidingWindowOffer(benchmark::State& state) {
@@ -101,12 +137,16 @@ void BenchDriftStep(benchmark::State& state, Detector* detector) {
     detector->Observe(strategy.set(), update, t);
   }
   detector->OnFinetune(strategy.set(), t);
+  TailLatency tail;
   for (auto _ : state) {
+    const std::uint64_t begin = tail.Begin();
     const auto update = strategy.Offer(RandomWindow(&rng, t), 0.0);
     detector->Observe(strategy.set(), update, t);
     benchmark::DoNotOptimize(detector->ShouldFinetune(strategy.set(), t));
     ++t;
+    tail.End(begin);
   }
+  tail.Export(state);
 }
 
 void BM_MuSigmaStep(benchmark::State& state) {
@@ -144,15 +184,21 @@ void BenchModelPredict(benchmark::State& state, core::ModelType type) {
   auto model = core::BuildModel(type, params, 77);
   model->Fit(train);
   const core::FeatureVector probe = RandomWindow(&rng, 1000);
+  TailLatency tail;
   if (model->kind() == core::Model::Kind::kScore) {
     for (auto _ : state) {
+      const std::uint64_t begin = tail.Begin();
       benchmark::DoNotOptimize(model->AnomalyScore(probe));
+      tail.End(begin);
     }
   } else {
     for (auto _ : state) {
+      const std::uint64_t begin = tail.Begin();
       benchmark::DoNotOptimize(model->Predict(probe));
+      tail.End(begin);
     }
   }
+  tail.Export(state);
 }
 
 void BM_PredictArima(benchmark::State& state) {
@@ -320,13 +366,17 @@ void BM_NnTrainStep(benchmark::State& state) {
   linalg::Matrix pred;
   linalg::Matrix grad;
   linalg::Matrix grad_in;
+  TailLatency tail;
   for (auto _ : state) {
+    const std::uint64_t begin = tail.Begin();
     net.ForwardInto(batch, &tape, &pred);
     nn::MseLossGradInto(pred, batch, &grad);
     net.BackwardInto(grad, tape, true, &grad_in);
     opt.StepAll(params);
     benchmark::DoNotOptimize(pred.data().data());
+    tail.End(begin);
   }
+  tail.Export(state);
 }
 BENCHMARK(BM_NnTrainStep);
 

@@ -2,14 +2,94 @@
 // combinations. Prints the 26 (model, Task-1, Task-2) cells with their
 // implied nonconformity measure and the applicable anomaly scores, and
 // verifies the count matches the paper.
+//
+// With any telemetry flag (--trace-out / --metrics-out / --flight-dir)
+// the binary additionally *runs* every combination on a short Daphnet-like
+// profile series, producing a genuine multi-run trace for
+// `streamad_inspect` — per-stage latency percentiles, fine-tune timeline,
+// score distributions — without the cost of a full Table III sweep.
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "src/core/algorithm_spec.h"
+#include "src/data/daphnet_like.h"
 #include "src/harness/table_printer.h"
 
-int main() {
+namespace {
+
+// Short profile sweep: every Table I combination once, with the 'average'
+// scorer, on one small series. Dense trace sampling — the point is
+// inspectability, not throughput.
+void RunProfileSweep(const streamad::bench::BenchCli& cli) {
   using namespace streamad;
+
+  data::GeneratorConfig gen;
+  gen.length = 1500;
+  gen.normal_prefix = 500;
+  gen.num_series = 1;
+  gen.num_anomalies = 4;
+  gen.num_drifts = 2;
+  gen.seed = 42;
+  data::Corpus corpus = data::MakeDaphnetLike(gen);
+  StandardizePerChannel(&corpus, gen.normal_prefix / 2);
+
+  harness::EvalConfig config;
+  config.params = bench::BenchParams();
+  config.params.initial_train_steps = 300;
+  config.params.ae.fit_epochs = 5;
+  config.params.usad.fit_epochs = 5;
+  config.params.nbeats.fit_epochs = 5;
+  config.seed = 7;
+  config.trace_sample_every = 4;
+
+  obs::MetricsRegistry registry;
+  config.metrics = &registry;
+  std::ofstream trace_file;
+  std::unique_ptr<obs::TraceSink> trace;
+  if (!cli.trace_out.empty()) {
+    trace_file.open(cli.trace_out);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open %s\n", cli.trace_out.c_str());
+      std::exit(1);
+    }
+    trace = std::make_unique<obs::TraceSink>(&trace_file);
+    config.trace = trace.get();
+  }
+  if (!cli.flight_dir.empty()) {
+    config.flight_capacity = bench::kBenchFlightCapacity;
+    config.flight_dump_dir = cli.flight_dir;
+  }
+
+  const std::vector<core::AlgorithmSpec> specs = core::AllPaperAlgorithms();
+  harness::ParallelFor(specs.size(), [&](std::size_t s) {
+    harness::EvaluateAlgorithmOnCorpus(specs[s], core::ScoreType::kAverage,
+                                       corpus, config);
+  });
+
+  std::printf("\nprofile sweep: %zu combinations x %zu steps (w=%zu)\n",
+              specs.size(), gen.length, config.params.window);
+  if (!cli.metrics_out.empty()) {
+    std::ofstream metrics_file(cli.metrics_out);
+    if (metrics_file) {
+      registry.DumpText(&metrics_file);
+      std::printf("wrote %s\n", cli.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", cli.metrics_out.c_str());
+    }
+  }
+  if (trace != nullptr) {
+    std::printf("wrote %s (%llu trace records)\n", cli.trace_out.c_str(),
+                static_cast<unsigned long long>(trace->lines()));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace streamad;
+
+  const bench::BenchCli cli = bench::ParseBenchCli(argc, argv);
 
   const auto specs = core::AllPaperAlgorithms();
   harness::TablePrinter table(
@@ -27,5 +107,8 @@ int main() {
   table.Print();
   std::printf("\ntotal algorithms: %zu (paper: 26) -> %s\n", specs.size(),
               specs.size() == 26 ? "MATCH" : "MISMATCH");
-  return specs.size() == 26 ? 0 : 1;
+  if (specs.size() != 26) return 1;
+
+  if (cli.instrumented()) RunProfileSweep(cli);
+  return 0;
 }

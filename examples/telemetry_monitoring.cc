@@ -7,19 +7,48 @@
 // evaluation), reacting to `StepResult` online, watching fine-tunes absorb
 // concept drift without raising alarms — and the observability layer
 // (src/obs): an `obs::Recorder` attached to the detector collects
-// per-stage wall-clock spans and counters, printed as an operations-style
-// latency / fine-tune-cost report at exit.
+// per-stage wall-clock spans, quantile sketches and counters, printed as
+// an operations-style latency / fine-tune-cost report at exit.
+//
+// Flags (all optional):
+//   --trace-out=FILE    sampled per-step JSONL trace (streamad_inspect input)
+//   --metrics-out=FILE  Prometheus text exposition of the registry
+//   --flight-out=FILE   attach a 256-step flight recorder; the ring is
+//                       dumped to FILE on every fine-tune and on
+//                       STREAMAD_CHECK failure (post-mortem black box)
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "src/core/algorithm_spec.h"
 #include "src/data/exathlon_like.h"
 #include "src/obs/recorder.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamad;
+
+  std::string trace_out;
+  std::string metrics_out;
+  std::string flight_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else if (arg.rfind("--flight-out=", 0) == 0) {
+      flight_out = arg.substr(13);
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (supported: --trace-out=FILE, "
+                   "--metrics-out=FILE, --flight-out=FILE)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
 
   data::GeneratorConfig gen;
   gen.length = 7000;
@@ -47,10 +76,30 @@ int main() {
   auto detector = core::BuildDetector(
       spec, core::ScoreType::kAverage, params, /*seed=*/5);
 
-  // Observability: per-stage latency histograms + counters for the whole
-  // monitoring session. The recorder watches; it never changes scores.
+  // Observability: per-stage latency histograms, quantile sketches and
+  // counters for the whole monitoring session, plus (on request) a JSONL
+  // step trace and a flight-recorder black box. The recorder watches; it
+  // never changes scores.
   obs::MetricsRegistry registry;
-  obs::Recorder recorder(&registry);
+  std::ofstream trace_file;
+  std::unique_ptr<obs::TraceSink> trace;
+  obs::RecorderOptions recorder_options;
+  recorder_options.label = "telemetry_monitoring";
+  if (!trace_out.empty()) {
+    trace_file.open(trace_out);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open %s\n", trace_out.c_str());
+      return 1;
+    }
+    trace = std::make_unique<obs::TraceSink>(&trace_file);
+    recorder_options.trace = trace.get();
+    recorder_options.trace_sample_every = 4;
+  }
+  if (!flight_out.empty()) {
+    recorder_options.flight_capacity = 256;
+    recorder_options.flight_dump_path = flight_out;
+  }
+  obs::Recorder recorder(&registry, std::move(recorder_options));
   detector->set_recorder(&recorder);
 
   // Alarm threshold calibration, the way a deployed monitor does it: the
@@ -116,8 +165,8 @@ int main() {
   std::printf("\nper-stage latency (%llu steps, %llu scored)\n",
               static_cast<unsigned long long>(totals.steps),
               static_cast<unsigned long long>(totals.scored_steps));
-  std::printf("  %-16s %10s %12s %12s\n", "stage", "spans", "total ms",
-              "mean us");
+  std::printf("  %-16s %10s %12s %12s %12s %12s\n", "stage", "spans",
+              "total ms", "mean us", "p50 us", "p99 us");
   for (std::size_t i = 0; i < obs::kNumStages; ++i) {
     const auto stage = static_cast<obs::Stage>(i);
     const unsigned long long spans = totals.StageSpans(stage);
@@ -126,8 +175,15 @@ int main() {
     const double mean_us =
         static_cast<double>(totals.StageNs(stage)) / 1e3 /
         static_cast<double>(spans);
-    std::printf("  %-16s %10llu %12.2f %12.2f\n", obs::StageName(stage),
-                spans, total_ms, mean_us);
+    // The per-stage quantile sketches the recorder feeds (P², O(1) memory).
+    const obs::QuantileSketch::Snapshot sketch =
+        registry
+            .GetSketch(std::string("streamad_stage_") + obs::StageName(stage) +
+                       "_ns_summary")
+            ->Snap();
+    std::printf("  %-16s %10llu %12.2f %12.2f %12.2f %12.2f\n",
+                obs::StageName(stage), spans, total_ms, mean_us,
+                sketch.p50() / 1e3, sketch.p99() / 1e3);
   }
 
   const double total_ns = static_cast<double>(totals.TotalNs());
@@ -150,5 +206,27 @@ int main() {
   std::printf("\n--- metrics exposition (excerpt) ---\n");
   const std::string exposition = registry.DumpText();
   std::printf("%.*s...\n", 400, exposition.c_str());
+
+  if (!metrics_out.empty()) {
+    std::ofstream metrics_file(metrics_out);
+    if (metrics_file) {
+      registry.DumpText(&metrics_file);
+      std::printf("wrote %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
+  if (trace != nullptr) {
+    std::printf("wrote %s (%llu trace records)\n", trace_out.c_str(),
+                static_cast<unsigned long long>(trace->lines()));
+  }
+  if (!flight_out.empty()) {
+    // Final on-demand dump so the file exists even for a drift-free run.
+    if (recorder.flight_recorder()->DumpToPath("exit")) {
+      std::printf("wrote %s (flight ring, %zu steps)\n", flight_out.c_str(),
+                  recorder.flight_recorder()->size());
+    }
+  }
   return 0;
 }

@@ -12,6 +12,38 @@
 /// source-located message, mirroring the CHECK idiom used across large C++
 /// database codebases.
 
+namespace streamad::common {
+
+/// Hook invoked (when installed) after a failed STREAMAD_CHECK prints its
+/// message and before the process aborts. The observability layer installs
+/// a hook that dumps every registered flight recorder, so crashes leave a
+/// JSONL post-mortem of the last N pipeline steps (src/obs/flight_recorder.h).
+/// The hook must be async-signal-tolerant in spirit: no throwing, no
+/// reliance on the failed invariant.
+using CheckFailureHook = void (*)();
+
+/// Single process-wide hook slot (function-local static: one instance
+/// across all translation units, header stays dependency-free).
+inline CheckFailureHook& CheckFailureHookSlot() {
+  static CheckFailureHook hook = nullptr;
+  return hook;
+}
+
+/// Installs `hook` (nullptr uninstalls). Returns the previous hook.
+inline CheckFailureHook SetCheckFailureHook(CheckFailureHook hook) {
+  CheckFailureHook previous = CheckFailureHookSlot();
+  CheckFailureHookSlot() = hook;
+  return previous;
+}
+
+/// Runs the installed hook, if any. Called by the CHECK macros on failure.
+inline void NotifyCheckFailure() {
+  CheckFailureHook hook = CheckFailureHookSlot();
+  if (hook != nullptr) hook();
+}
+
+}  // namespace streamad::common
+
 /// Aborts the process with a formatted message if `cond` is false.
 /// Always evaluated, also in release builds: the checks guard API contracts,
 /// not internal debugging assertions.
@@ -20,6 +52,7 @@
     if (!(cond)) {                                                          \
       std::fprintf(stderr, "STREAMAD_CHECK failed at %s:%d: %s\n",          \
                    __FILE__, __LINE__, #cond);                              \
+      ::streamad::common::NotifyCheckFailure();                             \
       std::abort();                                                         \
     }                                                                       \
   } while (false)
@@ -30,6 +63,7 @@
     if (!(cond)) {                                                          \
       std::fprintf(stderr, "STREAMAD_CHECK failed at %s:%d: %s (%s)\n",     \
                    __FILE__, __LINE__, #cond, msg);                         \
+      ::streamad::common::NotifyCheckFailure();                             \
       std::abort();                                                         \
     }                                                                       \
   } while (false)

@@ -67,6 +67,14 @@ class DriftDetector {
   /// Short identifier, e.g. "mu-sigma", "KSWIN".
   virtual std::string_view name() const = 0;
 
+  /// Last computed drift statistic, purely for observability (the flight
+  /// recorder snapshots it per step): the normalised mean distance for
+  /// μ/σ-Change, the max KS distance for KSWIN, steps since the last
+  /// fine-tune for the regular interval, the adaptive window width for
+  /// ADWIN. Implementations cache the value their `ShouldFinetune` already
+  /// computes — reading it never changes detection behaviour. Default 0.
+  virtual double DriftStatistic() const { return 0.0; }
+
   /// Attaches operation counters (Table II instrumentation). Optional;
   /// default is a no-op for detectors that are not part of that table.
   virtual void AttachOpCounters(OpCounters* /*counters*/) {}

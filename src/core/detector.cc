@@ -155,6 +155,29 @@ void StreamingDetector::set_recorder(obs::Recorder* recorder) {
                                                : recorder->op_counters());
 }
 
+void StreamingDetector::FinishStep(const StreamVector& s,
+                                   const StepResult& result) {
+  if (recorder_ == nullptr) return;
+  obs::StepContext context;
+  if (recorder_->flight_enabled() && !s.empty()) {
+    double min = s[0];
+    double max = s[0];
+    double sum = 0.0;
+    for (const double v : s) {
+      if (v < min) min = v;
+      if (v > max) max = v;
+      sum += v;
+    }
+    context.input_min = min;
+    context.input_max = max;
+    context.input_mean = sum / static_cast<double>(s.size());
+    context.drift_statistic = drift_->DriftStatistic();
+    context.train_size = strategy_->set().size();
+  }
+  recorder_->EndStep(t_, result.scored, result.nonconformity,
+                     result.anomaly_score, result.finetuned, context);
+}
+
 StreamingDetector::StepResult StreamingDetector::Step(const StreamVector& s) {
   ++t_;
   if (recorder_ != nullptr) recorder_->BeginStep(t_);
@@ -169,9 +192,7 @@ StreamingDetector::StepResult StreamingDetector::Step(const StreamVector& s) {
     if (ready) x = representation_.Current(t_);
   }
   if (!ready) {  // warm-up
-    if (recorder_ != nullptr) {
-      recorder_->EndStep(t_, /*scored=*/false, 0.0, 0.0, /*finetuned=*/false);
-    }
+    FinishStep(s, result);
     return result;
   }
   ++scorable_steps_;
@@ -199,9 +220,7 @@ StreamingDetector::StepResult StreamingDetector::Step(const StreamVector& s) {
       trained_ = true;
       if (recorder_ != nullptr) recorder_->OnFit();
     }
-    if (recorder_ != nullptr) {
-      recorder_->EndStep(t_, /*scored=*/false, 0.0, 0.0, /*finetuned=*/false);
-    }
+    FinishStep(s, result);
     return result;
   }
 
@@ -236,10 +255,7 @@ StreamingDetector::StepResult StreamingDetector::Step(const StreamVector& s) {
     ++finetune_count_;
     result.finetuned = true;
   }
-  if (recorder_ != nullptr) {
-    recorder_->EndStep(t_, result.scored, result.nonconformity,
-                       result.anomaly_score, result.finetuned);
-  }
+  FinishStep(s, result);
   return result;
 }
 

@@ -137,6 +137,12 @@ class StreamingDetector {
   bool LoadState(std::istream* in);
 
  private:
+  /// Closes the step on the attached recorder. When a flight recorder is
+  /// enabled it also assembles the per-step context (input digest, drift
+  /// statistic, |R_train|) — observability reads only, never arithmetic
+  /// that feeds back into the pipeline.
+  void FinishStep(const StreamVector& s, const StepResult& result);
+
   Options options_;
   WindowRepresentation representation_;
   std::unique_ptr<TrainingSetStrategy> strategy_;

@@ -68,6 +68,17 @@ MetricSummary MetricSummary::Mean(const std::vector<MetricSummary>& parts) {
   return mean;
 }
 
+std::string SanitizeRunLabel(const std::string& label) {
+  std::string sanitized = label;
+  for (char& c : sanitized) {
+    const bool keep = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                      c == '-';
+    if (!keep) c = '_';
+  }
+  return sanitized;
+}
+
 MetricSummary Evaluate(const RunTrace& trace,
                        const data::LabeledSeries& series) {
   const std::vector<int> labels = trace.AlignedLabels(series);
@@ -104,6 +115,11 @@ MetricSummary EvaluateAlgorithmOnCorpus(const core::AlgorithmSpec& spec,
       options.trace_sample_every = config.trace_sample_every;
       options.label = core::SpecLabel(spec) + "/" + core::ToString(score) +
                       "/s" + std::to_string(series_index);
+      options.flight_capacity = config.flight_capacity;
+      if (config.flight_capacity > 0 && !config.flight_dump_dir.empty()) {
+        options.flight_dump_path = config.flight_dump_dir + "/flight_" +
+                                   SanitizeRunLabel(options.label) + ".jsonl";
+      }
       obs::Recorder recorder(config.metrics, std::move(options));
       trace = RunDetector(detector.get(), series, &recorder);
     } else {

@@ -71,7 +71,21 @@ struct EvalConfig {
   /// Trace sampling: every Nth scored step per run (fine-tune steps are
   /// always traced). 64 bounds trace volume during full-table sweeps.
   std::size_t trace_sample_every = 64;
+
+  /// Flight recorder ring capacity per run (0 disables). Requires
+  /// `metrics`. Each run's recorder retains its last N steps of full
+  /// pipeline state (src/obs/flight_recorder.h).
+  std::size_t flight_capacity = 0;
+  /// Directory for per-run flight dumps. When non-empty (and
+  /// `flight_capacity > 0`), each run dumps its ring to
+  /// `<dir>/flight_<sanitised run label>.jsonl` on fine-tunes and on
+  /// `STREAMAD_CHECK` failures. The directory must already exist.
+  std::string flight_dump_dir;
 };
+
+/// `label` with every character outside `[A-Za-z0-9_.-]` replaced by '_',
+/// safe to embed in a file name (run labels contain '/' separators).
+std::string SanitizeRunLabel(const std::string& label);
 
 /// Builds a fresh detector for (spec, score), runs every series of the
 /// corpus and averages the metrics.

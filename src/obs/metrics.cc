@@ -81,12 +81,11 @@ void Histogram::Observe(double value) {
       static_cast<std::size_t>(it - upper_bounds_.begin());
   shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(&shard.sum, value);
-  if (shard.count.fetch_add(1, std::memory_order_relaxed) == 0) {
-    // First observation of this shard seeds min/max (races with a
-    // concurrent second observation resolve through the CAS loops).
-    shard.min.store(value, std::memory_order_relaxed);
-    shard.max.store(value, std::memory_order_relaxed);
-  }
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  // min/max are seeded at +/-infinity, so the CAS loops alone are correct:
+  // the first observation always beats the sentinel, and two racing "first"
+  // observations cannot overwrite each other (the old seeding store could
+  // clobber a concurrently CAS-ed tighter extreme).
   AtomicMin(&shard.min, value);
   AtomicMax(&shard.max, value);
 }
@@ -140,6 +139,13 @@ Histogram* MetricsRegistry::GetHistogram(
   return slot.get();
 }
 
+QuantileSketch* MetricsRegistry::GetSketch(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<QuantileSketch>& slot = sketches_[name];
+  if (slot == nullptr) slot = std::make_unique<QuantileSketch>();
+  return slot.get();
+}
+
 void MetricsRegistry::DumpText(std::ostream* out) const {
   STREAMAD_CHECK(out != nullptr);
   std::lock_guard<std::mutex> lock(mutex_);
@@ -164,6 +170,17 @@ void MetricsRegistry::DumpText(std::ostream* out) const {
     cumulative += snap.bucket_counts.back();
     *out << name << "_bucket{le=\"+Inf\"} " << cumulative << '\n'
          << name << "_sum " << FormatDouble(snap.sum) << '\n'
+         << name << "_count " << snap.count << '\n';
+  }
+  for (const auto& [name, sketch] : sketches_) {
+    const QuantileSketch::Snapshot snap = sketch->Snap();
+    *out << "# TYPE " << name << " summary\n";
+    const auto& quantiles = QuantileSketch::Quantiles();
+    for (std::size_t q = 0; q < QuantileSketch::kNumQuantiles; ++q) {
+      *out << name << "{quantile=\"" << FormatDouble(quantiles[q]) << "\"} "
+           << FormatDouble(snap.values[q]) << '\n';
+    }
+    *out << name << "_sum " << FormatDouble(snap.sum) << '\n'
          << name << "_count " << snap.count << '\n';
   }
 }

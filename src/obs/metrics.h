@@ -4,12 +4,15 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "src/obs/quantile_sketch.h"
 
 namespace streamad::obs {
 
@@ -91,8 +94,11 @@ class Histogram {
     std::vector<std::atomic<std::uint64_t>> buckets;
     std::atomic<std::uint64_t> count{0};
     std::atomic<double> sum{0.0};
-    std::atomic<double> min{0.0};
-    std::atomic<double> max{0.0};
+    // Seeded at the identity of min/max so the first observation always
+    // wins the CAS race; never-written shards keep these sentinels and are
+    // skipped by `Snap()` (count == 0), so they cannot pollute the merge.
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
   };
 
   std::vector<double> upper_bounds_;
@@ -123,8 +129,14 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name,
                           const std::vector<double>& upper_bounds);
 
+  /// Returns the quantile sketch registered under `name`, creating it on
+  /// first use. Sketches complement histograms: bucket-free p50/p90/p99/
+  /// p999 estimates in O(1) memory (see src/obs/quantile_sketch.h).
+  QuantileSketch* GetSketch(const std::string& name);
+
   /// Prometheus text exposition (`# TYPE` comments, cumulative `_bucket`
-  /// lines with `le` labels, `_sum` / `_count`). Instruments are emitted
+  /// lines with `le` labels, `_sum` / `_count`; sketches as `summary`
+  /// blocks with `quantile` labels). Instruments are emitted
   /// in lexicographic name order so the output is deterministic.
   void DumpText(std::ostream* out) const;
   std::string DumpText() const;
@@ -134,6 +146,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<QuantileSketch>> sketches_;
 };
 
 }  // namespace streamad::obs

@@ -1,0 +1,136 @@
+#include "src/obs/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace streamad::obs {
+
+P2Quantile::P2Quantile(double quantile) : quantile_(quantile) {
+  STREAMAD_CHECK_MSG(quantile > 0.0 && quantile < 1.0,
+                     "P2 quantile must be in (0, 1)");
+  increments_ = {0.0, quantile_ / 2.0, quantile_, (1.0 + quantile_) / 2.0,
+                 1.0};
+}
+
+void P2Quantile::Observe(double value) {
+  if (count_ < 5) {
+    heights_[count_] = value;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (std::size_t i = 0; i < 5; ++i) {
+        positions_[i] = static_cast<double>(i + 1);
+      }
+      desired_ = {1.0, 1.0 + 2.0 * quantile_, 1.0 + 4.0 * quantile_,
+                  3.0 + 2.0 * quantile_, 5.0};
+    }
+    return;
+  }
+
+  // Locate the cell the observation falls into and bump the end markers.
+  std::size_t k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = value;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && value >= heights_[k + 1]) ++k;
+  }
+  ++count_;
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    desired_[i] += increments_[i];
+  }
+
+  // Nudge the three interior markers at most one position towards their
+  // desired rank, preferring the parabolic (P²) height prediction and
+  // falling back to linear when it would break marker monotonicity.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double delta = desired_[i] - positions_[i];
+    const double gap_up = positions_[i + 1] - positions_[i];
+    const double gap_down = positions_[i - 1] - positions_[i];
+    if ((delta >= 1.0 && gap_up > 1.0) || (delta <= -1.0 && gap_down < -1.0)) {
+      const double d = delta >= 1.0 ? 1.0 : -1.0;
+      const double span = positions_[i + 1] - positions_[i - 1];
+      const double parabolic =
+          heights_[i] +
+          d / span *
+              ((positions_[i] - positions_[i - 1] + d) *
+                   (heights_[i + 1] - heights_[i]) /
+                   (positions_[i + 1] - positions_[i]) +
+               (positions_[i + 1] - positions_[i] - d) *
+                   (heights_[i] - heights_[i - 1]) /
+                   (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        // Linear fallback towards the neighbour in the move direction.
+        const std::size_t j = d > 0.0 ? i + 1 : i - 1;
+        heights_[i] += d * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += d;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ >= 5) return heights_[2];
+
+  // Exact small-sample quantile: sort the buffered observations and
+  // linearly interpolate at rank q * (n - 1).
+  std::array<double, 5> sorted = heights_;
+  std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+  const double rank = quantile_ * static_cast<double>(count_ - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, static_cast<std::size_t>(count_ - 1));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+const std::array<double, QuantileSketch::kNumQuantiles>&
+QuantileSketch::Quantiles() {
+  static const std::array<double, kNumQuantiles> quantiles = {0.5, 0.9, 0.99,
+                                                              0.999};
+  return quantiles;
+}
+
+QuantileSketch::QuantileSketch()
+    : estimators_{P2Quantile(Quantiles()[0]), P2Quantile(Quantiles()[1]),
+                  P2Quantile(Quantiles()[2]), P2Quantile(Quantiles()[3])} {}
+
+void QuantileSketch::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (P2Quantile& estimator : estimators_) estimator.Observe(value);
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+QuantileSketch::Snapshot QuantileSketch::Snap() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  for (std::size_t i = 0; i < kNumQuantiles; ++i) {
+    snap.values[i] = estimators_[i].Value();
+  }
+  return snap;
+}
+
+}  // namespace streamad::obs

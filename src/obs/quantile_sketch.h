@@ -1,0 +1,80 @@
+#ifndef STREAMAD_OBS_QUANTILE_SKETCH_H_
+#define STREAMAD_OBS_QUANTILE_SKETCH_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+namespace streamad::obs {
+
+/// Single-quantile P² estimator (Jain & Chlamtac, CACM 1985): five markers
+/// track {min, q/2, q, (1+q)/2, max} and are nudged by one position per
+/// observation with a piecewise-parabolic height update. O(1) memory and
+/// O(1) per observation, no allocation after construction. Exact (sorted
+/// interpolation) until the fifth observation.
+class P2Quantile {
+ public:
+  /// `quantile` must be in (0, 1).
+  explicit P2Quantile(double quantile);
+
+  void Observe(double value);
+
+  /// Current estimate; 0 before any observation, exact below 5 samples.
+  double Value() const;
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  double quantile_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights q_i
+  std::array<double, 5> positions_{}; // marker positions n_i (1-based)
+  std::array<double, 5> desired_{};   // desired positions n'_i
+  std::array<double, 5> increments_{};
+};
+
+/// Fixed battery of P² estimators for the latency quantiles the paper's
+/// runtime analysis cares about (p50/p90/p99/p999), plus exact count, sum,
+/// min and max. All state is O(1); `Observe` takes an internal mutex —
+/// unlike the sharded `Histogram`, P² marker state cannot be merged across
+/// shards, so concurrent recorders writing the same named sketch serialise
+/// on it (a handful of ns next to the observed stage latencies).
+class QuantileSketch {
+ public:
+  QuantileSketch();
+  QuantileSketch(const QuantileSketch&) = delete;
+  QuantileSketch& operator=(const QuantileSketch&) = delete;
+
+  void Observe(double value);
+
+  static constexpr std::size_t kNumQuantiles = 4;
+  /// The tracked quantile ranks, ascending: 0.5, 0.9, 0.99, 0.999.
+  static const std::array<double, kNumQuantiles>& Quantiles();
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // valid when count > 0
+    double max = 0.0;  // valid when count > 0
+    /// Estimates aligned with `Quantiles()`.
+    std::array<double, kNumQuantiles> values{};
+
+    double p50() const { return values[0]; }
+    double p90() const { return values[1]; }
+    double p99() const { return values[2]; }
+    double p999() const { return values[3]; }
+  };
+  Snapshot Snap() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::array<P2Quantile, kNumQuantiles> estimators_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace streamad::obs
+
+#endif  // STREAMAD_OBS_QUANTILE_SKETCH_H_

@@ -18,6 +18,10 @@ std::string StageHistogramName(Stage stage) {
   return std::string("streamad_stage_") + StageName(stage) + "_ns";
 }
 
+std::string StageSketchName(Stage stage) {
+  return StageHistogramName(stage) + "_summary";
+}
+
 void AppendF(std::string* out, const char* format, ...) {
   char buffer[128];
   va_list args;
@@ -69,6 +73,14 @@ Recorder::Recorder(MetricsRegistry* registry, RecorderOptions options)
   for (std::size_t i = 0; i < kNumStages; ++i) {
     stage_ns_[i] = registry->GetHistogram(
         StageHistogramName(static_cast<Stage>(i)), LatencyBucketsNs());
+    stage_ns_sketch_[i] = registry->GetSketch(StageSketchName(static_cast<Stage>(i)));
+  }
+  if (options_.flight_capacity > 0) {
+    flight_ = std::make_unique<FlightRecorder>(options_.flight_capacity);
+    flight_->set_label(options_.label);
+    if (!options_.flight_dump_path.empty()) {
+      flight_->set_dump_path(options_.flight_dump_path);
+    }
   }
   steps_total_ = registry->GetCounter("streamad_detector_steps_total");
   scored_steps_total_ =
@@ -92,6 +104,7 @@ void Recorder::BeginStep(std::int64_t /*t*/) {
 void Recorder::RecordStage(Stage stage, std::uint64_t elapsed_ns) {
   const std::size_t index = static_cast<std::size_t>(stage);
   stage_ns_[index]->Observe(static_cast<double>(elapsed_ns));
+  stage_ns_sketch_[index]->Observe(static_cast<double>(elapsed_ns));
   step_ns_[index] += elapsed_ns;
   totals_.ns[index] += elapsed_ns;
   ++totals_.spans[index];
@@ -103,7 +116,8 @@ void Recorder::OnFit() {
 }
 
 void Recorder::EndStep(std::int64_t t, bool scored, double nonconformity,
-                       double anomaly_score, bool finetuned) {
+                       double anomaly_score, bool finetuned,
+                       const StepContext& context) {
   if (scored) {
     scored_steps_total_->Increment();
     ++totals_.scored_steps;
@@ -121,6 +135,24 @@ void Recorder::EndStep(std::int64_t t, bool scored, double nonconformity,
   op_comparisons_total_->Add(op_counters_.comparisons -
                              mirrored_ops_.comparisons);
   mirrored_ops_ = op_counters_;
+
+  if (flight_ != nullptr) {
+    flight_scratch_.t = t;
+    flight_scratch_.scored = scored;
+    flight_scratch_.finetuned = finetuned;
+    flight_scratch_.nonconformity = scored ? nonconformity : 0.0;
+    flight_scratch_.anomaly_score = scored ? anomaly_score : 0.0;
+    flight_scratch_.input_min = context.input_min;
+    flight_scratch_.input_max = context.input_max;
+    flight_scratch_.input_mean = context.input_mean;
+    flight_scratch_.drift_statistic = context.drift_statistic;
+    flight_scratch_.train_size = context.train_size;
+    flight_scratch_.stage_ns = step_ns_;
+    flight_->Record(flight_scratch_);
+    if (finetuned && options_.flight_dump_on_finetune) {
+      flight_->DumpToPath("finetune");
+    }
+  }
 
   if (options_.trace == nullptr) return;
   bool emit = finetuned;

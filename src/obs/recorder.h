@@ -3,33 +3,18 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
 
 #include "src/common/op_counters.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/stage.h"
 #include "src/obs/timer.h"
 
 namespace streamad::obs {
-
-/// The span taxonomy of `core::StreamingDetector::Step`: the six pipeline
-/// stages of the paper's per-step loop plus the initial model fit. Each
-/// stage owns one wall-clock histogram `streamad_stage_<name>_ns`.
-enum class Stage : std::uint8_t {
-  kRepresentation = 0,  // window Observe + feature materialisation
-  kNonconformity,       // a_t = A(x_t, θ) — includes the model Predict
-  kScoring,             // f_t = F(a_{t-k+1..t})
-  kTrainOffer,          // Task-1 strategy Offer (R_train update)
-  kDriftCheck,          // Task-2 Observe + ShouldFinetune
-  kFinetune,            // model.Finetune + drift reference snapshot
-  kFit,                 // the one-off initial model fit
-};
-
-inline constexpr std::size_t kNumStages = 7;
-
-/// Short stable identifier, e.g. "drift_check" (metric and trace key).
-const char* StageName(Stage stage);
 
 /// Per-run aggregate of one recorder: where the run's wall-clock went.
 struct StageTotals {
@@ -78,6 +63,30 @@ struct RecorderOptions {
   /// Optional run label stamped into every trace record (`"run":...`),
   /// e.g. the Table I algorithm label.
   std::string label;
+  /// Flight recorder ring capacity: retain the last N steps of full
+  /// pipeline state (0 disables the flight recorder entirely).
+  std::size_t flight_capacity = 0;
+  /// Dump path for the flight recorder. A non-empty path registers the
+  /// ring for `STREAMAD_CHECK`-failure crash dumps and (by default) dumps
+  /// it after every finetune event.
+  std::string flight_dump_path;
+  /// Rewrite `flight_dump_path` whenever a step fine-tunes, so the file
+  /// always holds the pipeline state around the most recent drift event.
+  bool flight_dump_on_finetune = true;
+};
+
+/// Extra per-step pipeline state for the flight recorder, passed to
+/// `Recorder::EndStep`. The detector only computes these when a flight
+/// recorder is attached (`Recorder::flight_enabled()`); the defaults keep
+/// plain telemetry callers unchanged.
+struct StepContext {
+  double input_min = 0.0;
+  double input_max = 0.0;
+  double input_mean = 0.0;
+  /// Task-2 drift-detector statistic (`DriftDetector::DriftStatistic()`).
+  double drift_statistic = 0.0;
+  /// |R_train| after the step's Offer.
+  std::uint64_t train_size = 0;
 };
 
 /// Per-detector telemetry front-end. A recorder belongs to exactly one
@@ -102,7 +111,8 @@ class Recorder {
   void RecordStage(Stage stage, std::uint64_t elapsed_ns);
   void OnFit();
   void EndStep(std::int64_t t, bool scored, double nonconformity,
-               double anomaly_score, bool finetuned);
+               double anomaly_score, bool finetuned,
+               const StepContext& context = {});
 
   /// Table II op tallies; the detector attaches this to its drift
   /// detector so per-step deltas are mirrored into the registry counters.
@@ -111,6 +121,12 @@ class Recorder {
   /// --- read side ------------------------------------------------------
   const StageTotals& totals() const { return totals_; }
   MetricsRegistry* registry() const { return registry_; }
+
+  /// True when a flight recorder ring is attached; the detector uses this
+  /// to skip computing the per-step input digest when nobody retains it.
+  bool flight_enabled() const { return flight_ != nullptr; }
+  FlightRecorder* flight_recorder() { return flight_.get(); }
+  const FlightRecorder* flight_recorder() const { return flight_.get(); }
 
   /// Latency histogram bucket upper bounds (nanoseconds) shared by every
   /// stage histogram.
@@ -121,6 +137,7 @@ class Recorder {
   RecorderOptions options_;
 
   std::array<Histogram*, kNumStages> stage_ns_;
+  std::array<QuantileSketch*, kNumStages> stage_ns_sketch_;
   Counter* steps_total_;
   Counter* scored_steps_total_;
   Counter* finetunes_total_;
@@ -135,6 +152,9 @@ class Recorder {
   StageTotals totals_;
   std::array<std::uint64_t, kNumStages> step_ns_{};  // scratch, one step
   std::uint64_t sample_cursor_ = 0;
+
+  std::unique_ptr<FlightRecorder> flight_;
+  FlightRecord flight_scratch_;  // reused per step, no allocation
 };
 
 /// RAII stage span: measures one pipeline stage of one step and reports it

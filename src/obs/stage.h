@@ -1,0 +1,29 @@
+#ifndef STREAMAD_OBS_STAGE_H_
+#define STREAMAD_OBS_STAGE_H_
+
+#include <cstdint>
+
+namespace streamad::obs {
+
+/// The span taxonomy of `core::StreamingDetector::Step`: the six pipeline
+/// stages of the paper's per-step loop plus the initial model fit. Each
+/// stage owns one wall-clock histogram `streamad_stage_<name>_ns` and one
+/// quantile sketch `streamad_stage_<name>_ns_summary`.
+enum class Stage : std::uint8_t {
+  kRepresentation = 0,  // window Observe + feature materialisation
+  kNonconformity,       // a_t = A(x_t, θ) — includes the model Predict
+  kScoring,             // f_t = F(a_{t-k+1..t})
+  kTrainOffer,          // Task-1 strategy Offer (R_train update)
+  kDriftCheck,          // Task-2 Observe + ShouldFinetune
+  kFinetune,            // model.Finetune + drift reference snapshot
+  kFit,                 // the one-off initial model fit
+};
+
+inline constexpr std::size_t kNumStages = 7;
+
+/// Short stable identifier, e.g. "drift_check" (metric and trace key).
+const char* StageName(Stage stage);
+
+}  // namespace streamad::obs
+
+#endif  // STREAMAD_OBS_STAGE_H_

@@ -38,6 +38,11 @@ class Adwin : public core::DriftDetector {
   bool ShouldFinetune(const core::TrainingSet& set, std::int64_t t) override;
   void OnFinetune(const core::TrainingSet& set, std::int64_t t) override;
   std::string_view name() const override { return "ADWIN"; }
+  /// Width of the adaptive window (values retained in the exponential
+  /// histogram); it shrinks on every detected cut. Observability only.
+  double DriftStatistic() const override {
+    return static_cast<double>(total_count_);
+  }
 
   bool SaveState(io::BinaryWriter* writer) const override;
   bool LoadState(io::BinaryReader* reader) override;

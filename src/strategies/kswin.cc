@@ -23,6 +23,7 @@ bool Kswin::ShouldFinetune(const core::TrainingSet& set, std::int64_t /*t*/) {
 
   const std::size_t channels = set.at(0).channels();
   STREAMAD_CHECK(channels == reference_channels_.size());
+  last_statistic_ = 0.0;  // max KS distance of this sweep (observability)
   for (std::size_t j = 0; j < channels; ++j) {
     const std::vector<double> current = set.PooledChannel(j);
     if (current.empty() || reference_channels_[j].empty()) continue;
@@ -32,6 +33,7 @@ bool Kswin::ShouldFinetune(const core::TrainingSet& set, std::int64_t /*t*/) {
         params_.alpha / static_cast<double>(current.size());
     const stats::KsResult result = stats::TwoSampleKsTest(
         reference_channels_[j], current, alpha_star, counters_);
+    if (result.statistic > last_statistic_) last_statistic_ = result.statistic;
     if (result.reject) return true;
   }
   return false;

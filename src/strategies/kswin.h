@@ -35,6 +35,9 @@ class Kswin : public core::DriftDetector {
   bool ShouldFinetune(const core::TrainingSet& set, std::int64_t t) override;
   void OnFinetune(const core::TrainingSet& set, std::int64_t t) override;
   std::string_view name() const override { return "KSWIN"; }
+  /// Max two-sample KS distance across the channels swept by the most
+  /// recent `ShouldFinetune` check. Observability only.
+  double DriftStatistic() const override { return last_statistic_; }
   void AttachOpCounters(OpCounters* counters) override { counters_ = counters; }
 
   bool SaveState(io::BinaryWriter* writer) const override;
@@ -50,6 +53,7 @@ class Kswin : public core::DriftDetector {
   std::vector<std::vector<double>> reference_channels_;  // R_train,i pooled
   bool has_reference_ = false;
   std::int64_t steps_since_check_ = 0;
+  double last_statistic_ = 0.0;  // cached for DriftStatistic()
   OpCounters* counters_ = nullptr;
 };
 

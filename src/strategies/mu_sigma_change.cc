@@ -57,6 +57,9 @@ bool MuSigmaChange::ShouldFinetune(const core::TrainingSet& set,
     counters_->comparisons += 3;
   }
   const double dist = std::sqrt(dist2);
+  // Cache the normalised mean shift for the flight recorder; purely
+  // observational (reads state ShouldFinetune already computed).
+  last_statistic_ = reference_sigma_ > 0.0 ? dist / reference_sigma_ : dist;
   if (dist > reference_sigma_) return true;
   if (reference_sigma_ > 0.0 &&
       (sigma_now > 2.0 * reference_sigma_ ||

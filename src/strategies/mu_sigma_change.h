@@ -28,6 +28,9 @@ class MuSigmaChange : public core::DriftDetector {
   bool ShouldFinetune(const core::TrainingSet& set, std::int64_t t) override;
   void OnFinetune(const core::TrainingSet& set, std::int64_t t) override;
   std::string_view name() const override { return "mu-sigma"; }
+  /// ||μ_t − μ_i||₂ / σ_i from the most recent `ShouldFinetune` sweep
+  /// (> 1 means the mean-shift trigger fired). Observability only.
+  double DriftStatistic() const override { return last_statistic_; }
   void AttachOpCounters(OpCounters* counters) override { counters_ = counters; }
 
   bool SaveState(io::BinaryWriter* writer) const override;
@@ -45,6 +48,7 @@ class MuSigmaChange : public core::DriftDetector {
   stats::VectorRunningStats running_;
   std::vector<double> reference_mean_;  // μ_i
   double reference_sigma_ = 0.0;        // σ_i
+  double last_statistic_ = 0.0;         // cached for DriftStatistic()
   bool has_reference_ = false;
   OpCounters* counters_ = nullptr;
 };

@@ -14,6 +14,8 @@ void RegularInterval::Observe(const core::TrainingSet& /*set*/,
 
 bool RegularInterval::ShouldFinetune(const core::TrainingSet& set,
                                      std::int64_t t) {
+  last_statistic_ =
+      static_cast<double>(last_finetune_t_ < 0 ? t : t - last_finetune_t_);
   if (set.empty()) return false;
   return last_finetune_t_ < 0 || t - last_finetune_t_ >= interval_;
 }

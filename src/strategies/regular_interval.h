@@ -19,6 +19,9 @@ class RegularInterval : public core::DriftDetector {
   bool ShouldFinetune(const core::TrainingSet& set, std::int64_t t) override;
   void OnFinetune(const core::TrainingSet& set, std::int64_t t) override;
   std::string_view name() const override { return "regular"; }
+  /// Steps elapsed since the last fine-tune as of the most recent
+  /// `ShouldFinetune` call. Observability only.
+  double DriftStatistic() const override { return last_statistic_; }
 
   bool SaveState(io::BinaryWriter* writer) const override;
   bool LoadState(io::BinaryReader* reader) override;
@@ -26,6 +29,7 @@ class RegularInterval : public core::DriftDetector {
  private:
   std::int64_t interval_;
   std::int64_t last_finetune_t_ = -1;
+  double last_statistic_ = 0.0;  // cached for DriftStatistic()
 };
 
 }  // namespace streamad::strategies

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "src/data/series.h"
 #include "src/harness/experiment.h"
 #include "src/linalg/matrix.h"
+#include "src/obs/recorder.h"
 
 namespace streamad {
 namespace {
@@ -146,7 +148,7 @@ const GoldenEntry* FindGolden(const std::string& label) {
   return nullptr;
 }
 
-void RunAllConfigsAndCompare() {
+void RunAllConfigsAndCompare(bool instrumented = false) {
   const data::LabeledSeries series = GoldenSeries();
   const core::DetectorParams params = GoldenParams();
   std::size_t checked = 0;
@@ -157,8 +159,25 @@ void RunAllConfigsAndCompare() {
     ASSERT_NE(expected, nullptr) << "no golden entry for " << label;
     auto detector =
         core::BuildDetector(spec, core::ScoreType::kAverage, params, 1234);
-    const harness::RunTrace trace =
-        harness::RunDetector(detector.get(), series);
+    harness::RunTrace trace;
+    if (instrumented) {
+      // Full observability stack attached: metrics, sampled JSONL trace
+      // and a flight recorder. None of it may move a single bit.
+      obs::MetricsRegistry registry;
+      std::ostringstream sink_stream;
+      obs::TraceSink sink(&sink_stream);
+      obs::RecorderOptions options;
+      options.trace = &sink;
+      options.trace_sample_every = 3;
+      options.label = label;
+      options.flight_capacity = 64;
+      obs::Recorder recorder(&registry, std::move(options));
+      trace = harness::RunDetector(detector.get(), series, &recorder);
+      EXPECT_GT(sink.lines(), 0u);
+      EXPECT_GT(recorder.flight_recorder()->total_recorded(), 0u);
+    } else {
+      trace = harness::RunDetector(detector.get(), series);
+    }
     EXPECT_EQ(trace.scores.size(), expected->scored_steps);
     ASSERT_FALSE(trace.scores.empty());
     EXPECT_EQ(trace.scores.back(), expected->last_score);
@@ -178,6 +197,10 @@ TEST(GoldenStreamTest, OptimizedKernelsMatchSeedBitExactly) {
 TEST(GoldenStreamTest, ReferenceKernelsMatchSeedBitExactly) {
   linalg::ScopedKernelMode mode(linalg::KernelMode::kReference);
   RunAllConfigsAndCompare();
+}
+
+TEST(GoldenStreamTest, InstrumentedRunMatchesSeedBitExactly) {
+  RunAllConfigsAndCompare(/*instrumented=*/true);
 }
 
 }  // namespace

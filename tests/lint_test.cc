@@ -79,6 +79,19 @@ TEST(LintDeterminismTest, RuleOnlyAppliesUnderSrc) {
       LintFixture("determinism_bad.cc", "bench/determinism_bad.cc").empty());
 }
 
+TEST(LintDeterminismTest, FlightRecorderDumpTimestampStaysClean) {
+  // The flight recorder stamps dump headers with system_clock time — the
+  // exact clock-read idiom R1 exists to ban. It lives under the src/obs/
+  // allowlist subtree, so it must produce zero findings there...
+  EXPECT_TRUE(
+      LintFixture("flight_recorder_clock.cc", "src/obs/flight_recorder.cc")
+          .empty());
+  // ...and the identical code anywhere in the detector pipeline fires.
+  const auto findings =
+      LintFixture("flight_recorder_clock.cc", "src/core/flight_recorder.cc");
+  EXPECT_EQ(CountRule(findings, kRuleDeterminism), 1u);  // ::now(
+}
+
 // --- R2: hot-path allocation ---------------------------------------------
 
 TEST(LintHotAllocTest, FlagsAllocationsInsideHotRegionOnly) {

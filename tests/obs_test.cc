@@ -60,6 +60,37 @@ TEST(HistogramTest, ObserveIsThreadSafe) {
   EXPECT_DOUBLE_EQ(snap.max, 31.0);
 }
 
+TEST(HistogramTest, MinMaxIgnoreUntouchedShards) {
+  // Regression: shard min/max used to be seeded from a racy branch on the
+  // first observation, so an untouched shard could leak its seed value into
+  // Snap(). With identity seeding (±inf) a positive-only stream must never
+  // report min == 0.
+  obs::Histogram histogram({1.0});
+  histogram.Observe(5.0);
+  histogram.Observe(7.0);
+  const obs::Histogram::Snapshot snap = histogram.Snap();
+  EXPECT_DOUBLE_EQ(snap.min, 5.0);
+  EXPECT_DOUBLE_EQ(snap.max, 7.0);
+}
+
+TEST(HistogramTest, ParallelMinRespectsLowerBound) {
+  // All observed values are >= 100; under the old first-observation seeding
+  // a race could report a smaller min. Run enough concurrent observers that
+  // every shard sees its first value under contention.
+  obs::MetricsRegistry registry;
+  obs::Histogram* histogram =
+      registry.GetHistogram("streamad_minmax_ns", {1.0});
+  harness::ParallelFor(64, [&](std::size_t i) {
+    for (int k = 0; k < 100; ++k) {
+      histogram->Observe(100.0 + static_cast<double>(i));
+    }
+  });
+  const obs::Histogram::Snapshot snap = histogram->Snap();
+  EXPECT_EQ(snap.count, 6400u);
+  EXPECT_GE(snap.min, 100.0);
+  EXPECT_DOUBLE_EQ(snap.max, 163.0);
+}
+
 TEST(RegistryTest, InstrumentsAreSingletonsByName) {
   obs::MetricsRegistry registry;
   EXPECT_EQ(registry.GetCounter("a_total"), registry.GetCounter("a_total"));
@@ -135,6 +166,45 @@ TEST(RecorderTest, TraceSamplingKeepsEveryNthStepAndAllFinetunes) {
   recorder.EndStep(8, /*scored=*/true, 0.1, 0.2, /*finetuned=*/true);
   EXPECT_EQ(sink.lines(), 3u);  // fine-tunes bypass sampling
   EXPECT_NE(sink_stream.str().find("\"finetuned\":true"), std::string::npos);
+}
+
+TEST(RecorderTest, ParallelSweepTraceLinesMatchEmittedRecords) {
+  // A Table-III-style sweep: many recorders share one sink, each sampling
+  // its own scored steps. The sink's line counter must equal the number of
+  // JSONL records in the stream, and every fine-tune step must be present
+  // despite `trace_sample_every > 1`.
+  obs::MetricsRegistry registry;
+  std::ostringstream sink_stream;
+  obs::TraceSink sink(&sink_stream);
+  constexpr std::size_t kRuns = 8;
+  constexpr std::int64_t kSteps = 101;
+  harness::ParallelFor(kRuns, [&](std::size_t r) {
+    obs::RecorderOptions options;
+    options.trace = &sink;
+    options.trace_sample_every = 7;
+    options.label = "run" + std::to_string(r);
+    obs::Recorder recorder(&registry, std::move(options));
+    for (std::int64_t t = 0; t < kSteps; ++t) {
+      recorder.BeginStep(t);
+      recorder.EndStep(t, /*scored=*/true, 0.1, 0.2,
+                       /*finetuned=*/(t % 25) == 24);
+    }
+  });
+  // Per run: scored-step cursors 0,7,...,98 are sampled (15 records) and
+  // fine-tunes fire at t = 24, 49, 74, 99 — t=49 is already sampled, so
+  // three extra records. 18 per run across 8 runs.
+  const std::string text = sink_stream.str();
+  std::size_t record_count = 0;
+  for (const char c : text) record_count += c == '\n' ? 1 : 0;
+  EXPECT_EQ(sink.lines(), kRuns * 18u);
+  EXPECT_EQ(record_count, sink.lines());
+  std::size_t finetune_records = 0;
+  for (std::size_t pos = text.find("\"finetuned\":true");
+       pos != std::string::npos;
+       pos = text.find("\"finetuned\":true", pos + 1)) {
+    ++finetune_records;
+  }
+  EXPECT_EQ(finetune_records, kRuns * 4u);
 }
 
 // --- detector integration --------------------------------------------------

@@ -1,0 +1,307 @@
+#include "tools/inspect/analyze.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+namespace streamad::inspect {
+namespace {
+
+/// Pipeline order of the detector's stage taxonomy; stage keys not listed
+/// here (from future schema versions) sort after these, alphabetically.
+constexpr const char* kCanonicalStages[] = {
+    "representation", "nonconformity", "scoring", "train_offer",
+    "drift_check",    "finetune",      "fit",
+};
+
+std::size_t CanonicalRank(const std::string& stage) {
+  for (std::size_t i = 0; i < sizeof(kCanonicalStages) / sizeof(char*); ++i) {
+    if (stage == kCanonicalStages[i]) return i;
+  }
+  return sizeof(kCanonicalStages) / sizeof(char*);
+}
+
+/// "1.23ms" / "45.6us" / "789ns" — human-readable nanoseconds.
+std::string FormatNs(double ns) {
+  char buffer[32];
+  if (ns >= 1e9) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0fns", ns);
+  }
+  return buffer;
+}
+
+void PrintRow(std::ostream* out, const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  *out << buffer;
+}
+
+struct Distribution {
+  std::vector<double> sorted;
+
+  void Finish() { std::sort(sorted.begin(), sorted.end()); }
+  double Mean() const {
+    if (sorted.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double v : sorted) sum += v;
+    return sum / static_cast<double>(sorted.size());
+  }
+};
+
+}  // namespace
+
+double ExactPercentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::vector<StageLatency> CollectStageLatencies(const TraceFile& file,
+                                                bool include_flight) {
+  std::map<std::string, std::vector<double>> samples;
+  for (const TraceRecord& record : file.records) {
+    if (record.kind == TraceRecord::Kind::kFlightHeader) continue;
+    if (record.kind == TraceRecord::Kind::kFlightStep && !include_flight) {
+      continue;
+    }
+    for (const auto& [stage, ns] : record.stage_ns) {
+      samples[stage].push_back(static_cast<double>(ns));
+    }
+  }
+
+  std::vector<StageLatency> stages;
+  stages.reserve(samples.size());
+  for (auto& [stage, values] : samples) {
+    StageLatency latency;
+    latency.stage = stage;
+    latency.sorted_ns = std::move(values);
+    std::sort(latency.sorted_ns.begin(), latency.sorted_ns.end());
+    latency.p50 = ExactPercentile(latency.sorted_ns, 0.5);
+    latency.p90 = ExactPercentile(latency.sorted_ns, 0.9);
+    latency.p99 = ExactPercentile(latency.sorted_ns, 0.99);
+    latency.p999 = ExactPercentile(latency.sorted_ns, 0.999);
+    latency.max = latency.sorted_ns.back();
+    double sum = 0.0;
+    for (const double v : latency.sorted_ns) sum += v;
+    latency.mean = sum / static_cast<double>(latency.sorted_ns.size());
+    stages.push_back(std::move(latency));
+  }
+  std::sort(stages.begin(), stages.end(),
+            [](const StageLatency& a, const StageLatency& b) {
+              const std::size_t ra = CanonicalRank(a.stage);
+              const std::size_t rb = CanonicalRank(b.stage);
+              if (ra != rb) return ra < rb;
+              return a.stage < b.stage;
+            });
+  return stages;
+}
+
+std::size_t PrintLatencyTable(const TraceFile& file, std::ostream* out) {
+  const std::vector<StageLatency> stages = CollectStageLatencies(file, false);
+  PrintRow(out, "%-16s %8s %10s %10s %10s %10s %10s %10s\n", "stage", "count",
+           "p50", "p90", "p99", "p99.9", "max", "mean");
+  for (const StageLatency& stage : stages) {
+    PrintRow(out, "%-16s %8zu %10s %10s %10s %10s %10s %10s\n",
+             stage.stage.c_str(), stage.sorted_ns.size(),
+             FormatNs(stage.p50).c_str(), FormatNs(stage.p90).c_str(),
+             FormatNs(stage.p99).c_str(), FormatNs(stage.p999).c_str(),
+             FormatNs(stage.max).c_str(), FormatNs(stage.mean).c_str());
+  }
+  if (stages.empty()) *out << "(no stage latency samples)\n";
+  return stages.size();
+}
+
+std::size_t PrintFinetuneTimeline(const TraceFile& file, std::ostream* out) {
+  PrintRow(out, "%6s %10s %-28s %12s %12s %12s %10s\n", "#", "t", "run", "a",
+           "f", "finetune", "dt");
+  std::size_t count = 0;
+  std::int64_t previous_t = -1;
+  for (const TraceRecord& record : file.records) {
+    if (record.kind == TraceRecord::Kind::kFlightHeader) continue;
+    if (!record.finetuned) continue;
+    double finetune_ns = 0.0;
+    for (const auto& [stage, ns] : record.stage_ns) {
+      if (stage == "finetune") finetune_ns = static_cast<double>(ns);
+    }
+    char dt[24];
+    if (previous_t >= 0) {
+      std::snprintf(dt, sizeof(dt), "%lld",
+                    static_cast<long long>(record.t - previous_t));
+    } else {
+      std::snprintf(dt, sizeof(dt), "-");
+    }
+    PrintRow(out, "%6zu %10lld %-28s %12.5g %12.5g %12s %10s\n", count,
+             static_cast<long long>(record.t), record.run.c_str(),
+             record.nonconformity, record.anomaly_score,
+             FormatNs(finetune_ns).c_str(), dt);
+    previous_t = record.t;
+    ++count;
+  }
+  if (count == 0) *out << "(no fine-tune events)\n";
+  return count;
+}
+
+std::size_t PrintScoreDistribution(const TraceFile& file, std::ostream* out) {
+  Distribution scores;
+  Distribution nonconformities;
+  for (const TraceRecord& record : file.records) {
+    if (record.kind == TraceRecord::Kind::kFlightHeader) continue;
+    if (record.kind == TraceRecord::Kind::kFlightStep) continue;
+    if (!record.scored) continue;
+    scores.sorted.push_back(record.anomaly_score);
+    nonconformities.sorted.push_back(record.nonconformity);
+  }
+  scores.Finish();
+  nonconformities.Finish();
+
+  PrintRow(out, "%-6s %8s %12s %12s %12s %12s %12s %12s\n", "series", "count",
+           "mean", "min", "p50", "p90", "p99", "max");
+  const auto print_series = [&](const char* name, const Distribution& dist) {
+    if (dist.sorted.empty()) return;
+    PrintRow(out, "%-6s %8zu %12.5g %12.5g %12.5g %12.5g %12.5g %12.5g\n",
+             name, dist.sorted.size(), dist.Mean(), dist.sorted.front(),
+             ExactPercentile(dist.sorted, 0.5),
+             ExactPercentile(dist.sorted, 0.9),
+             ExactPercentile(dist.sorted, 0.99), dist.sorted.back());
+  };
+  print_series("f", scores);
+  print_series("a", nonconformities);
+  if (scores.sorted.empty()) *out << "(no scored steps)\n";
+  return scores.sorted.size();
+}
+
+std::size_t PrintSummary(const TraceFile& file, std::ostream* out) {
+  std::size_t trace_steps = 0;
+  std::size_t flight_steps = 0;
+  std::size_t flight_headers = 0;
+  std::size_t scored = 0;
+  std::size_t finetunes = 0;
+  std::int64_t t_min = 0;
+  std::int64_t t_max = 0;
+  bool any_t = false;
+  std::map<std::string, std::size_t> runs;
+  for (const TraceRecord& record : file.records) {
+    switch (record.kind) {
+      case TraceRecord::Kind::kTraceStep: ++trace_steps; break;
+      case TraceRecord::Kind::kFlightStep: ++flight_steps; break;
+      case TraceRecord::Kind::kFlightHeader: ++flight_headers; break;
+    }
+    if (record.kind != TraceRecord::Kind::kFlightHeader) {
+      if (record.scored) ++scored;
+      if (record.finetuned) ++finetunes;
+      if (!any_t || record.t < t_min) t_min = record.t;
+      if (!any_t || record.t > t_max) t_max = record.t;
+      any_t = true;
+    }
+    if (!record.run.empty()) ++runs[record.run];
+  }
+
+  *out << file.path << ": " << file.records.size() << " records ("
+       << trace_steps << " trace steps, " << flight_steps << " flight steps, "
+       << flight_headers << " flight headers), " << file.parse_errors
+       << " parse errors\n";
+  if (any_t) {
+    *out << "steps t=[" << t_min << ", " << t_max << "], scored " << scored
+         << ", finetunes " << finetunes << "\n";
+  }
+  if (!runs.empty()) {
+    *out << "runs (" << runs.size() << "):\n";
+    for (const auto& [run, count] : runs) {
+      PrintRow(out, "  %-40s %8zu\n", run.c_str(), count);
+    }
+  }
+  for (const std::string& sample : file.error_samples) {
+    *out << "parse error: " << sample << "\n";
+  }
+  return file.records.size();
+}
+
+std::size_t PrintFlight(const TraceFile& file, std::ostream* out) {
+  std::size_t rows = 0;
+  for (const TraceRecord& record : file.records) {
+    if (record.kind == TraceRecord::Kind::kFlightHeader) {
+      *out << "flight dump: reason=" << record.reason
+           << " run=" << (record.run.empty() ? "-" : record.run)
+           << " capacity=" << record.capacity
+           << " retained=" << record.retained << " total=" << record.total
+           << "\n";
+      PrintRow(out, "%10s %2s %2s %12s %12s %12s %12s %12s %10s\n", "t", "sc",
+               "ft", "f", "x_mean", "x_min", "x_max", "drift", "train");
+      ++rows;
+    } else if (record.kind == TraceRecord::Kind::kFlightStep) {
+      PrintRow(out, "%10lld %2d %2d %12.5g %12.5g %12.5g %12.5g %12.5g %10llu\n",
+               static_cast<long long>(record.t), record.scored ? 1 : 0,
+               record.finetuned ? 1 : 0, record.anomaly_score,
+               record.input_mean, record.input_min, record.input_max,
+               record.drift_statistic,
+               static_cast<unsigned long long>(record.train_size));
+      ++rows;
+    }
+  }
+  if (rows == 0) *out << "(no flight records)\n";
+  return rows;
+}
+
+std::size_t PrintDiff(const TraceFile& before, const TraceFile& after,
+                      std::ostream* out) {
+  const std::vector<StageLatency> a = CollectStageLatencies(before, false);
+  const std::vector<StageLatency> b = CollectStageLatencies(after, false);
+  std::map<std::string, const StageLatency*> by_name_a;
+  std::map<std::string, const StageLatency*> by_name_b;
+  for (const StageLatency& s : a) by_name_a[s.stage] = &s;
+  for (const StageLatency& s : b) by_name_b[s.stage] = &s;
+
+  std::vector<std::string> stages;
+  for (const StageLatency& s : a) stages.push_back(s.stage);
+  for (const StageLatency& s : b) {
+    if (by_name_a.find(s.stage) == by_name_a.end()) stages.push_back(s.stage);
+  }
+  std::sort(stages.begin(), stages.end(),
+            [](const std::string& x, const std::string& y) {
+              const std::size_t rx = CanonicalRank(x);
+              const std::size_t ry = CanonicalRank(y);
+              if (rx != ry) return rx < ry;
+              return x < y;
+            });
+
+  PrintRow(out, "%-16s %10s %10s %8s %10s %10s %8s\n", "stage", "p50_a",
+           "p50_b", "d_p50", "p99_a", "p99_b", "d_p99");
+  const auto delta = [](double from, double to) -> std::string {
+    if (from <= 0.0) return "n/a";
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%+.1f%%",
+                  (to - from) / from * 100.0);
+    return buffer;
+  };
+  for (const std::string& stage : stages) {
+    const auto ia = by_name_a.find(stage);
+    const auto ib = by_name_b.find(stage);
+    const double p50_a = ia != by_name_a.end() ? ia->second->p50 : 0.0;
+    const double p99_a = ia != by_name_a.end() ? ia->second->p99 : 0.0;
+    const double p50_b = ib != by_name_b.end() ? ib->second->p50 : 0.0;
+    const double p99_b = ib != by_name_b.end() ? ib->second->p99 : 0.0;
+    PrintRow(out, "%-16s %10s %10s %8s %10s %10s %8s\n", stage.c_str(),
+             FormatNs(p50_a).c_str(), FormatNs(p50_b).c_str(),
+             delta(p50_a, p50_b).c_str(), FormatNs(p99_a).c_str(),
+             FormatNs(p99_b).c_str(), delta(p99_a, p99_b).c_str());
+  }
+  if (stages.empty()) *out << "(no stage latency samples in either file)\n";
+  return stages.size();
+}
+
+}  // namespace streamad::inspect

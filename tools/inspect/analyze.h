@@ -1,0 +1,71 @@
+#ifndef STREAMAD_TOOLS_INSPECT_ANALYZE_H_
+#define STREAMAD_TOOLS_INSPECT_ANALYZE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tools/inspect/trace_reader.h"
+
+/// \file
+/// Offline analyses over decoded trace/flight files. All percentiles here
+/// are *exact* (sorted-sample interpolation) — the offline tool has the
+/// memory the streaming sketches don't, and doubles as their oracle.
+
+namespace streamad::inspect {
+
+/// Exact linear-interpolation percentile of `sorted` (ascending) at rank
+/// `q * (n - 1)`, `q` in [0, 1]. Returns 0 for an empty vector.
+double ExactPercentile(const std::vector<double>& sorted, double q);
+
+/// Latency samples of one pipeline stage across the file's step records.
+struct StageLatency {
+  std::string stage;
+  std::vector<double> sorted_ns;  // ascending
+
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Collects and sorts per-stage samples in canonical pipeline order
+/// (stages absent from the file are omitted; unknown stage keys follow the
+/// canonical ones). Flight `step` records are excluded unless
+/// `include_flight` — a flight dump duplicates steps the trace may also
+/// hold.
+std::vector<StageLatency> CollectStageLatencies(const TraceFile& file,
+                                                bool include_flight);
+
+/// Per-stage latency percentile table. Returns the number of stage rows
+/// printed (0 = no latency data in the file).
+std::size_t PrintLatencyTable(const TraceFile& file, std::ostream* out);
+
+/// Chronological fine-tune timeline (one row per finetuned step). Returns
+/// the number of fine-tune events found.
+std::size_t PrintFinetuneTimeline(const TraceFile& file, std::ostream* out);
+
+/// Distribution of anomaly scores `f` and nonconformities `a` over scored
+/// steps. Returns the number of scored records.
+std::size_t PrintScoreDistribution(const TraceFile& file, std::ostream* out);
+
+/// File overview: record kinds, runs, step range, scored/finetune counts,
+/// parse errors. Returns the number of records.
+std::size_t PrintSummary(const TraceFile& file, std::ostream* out);
+
+/// Flight-recorder view: dump headers plus the retained steps with input
+/// digest, drift statistic and training-set size. Returns the number of
+/// flight records (headers + steps).
+std::size_t PrintFlight(const TraceFile& file, std::ostream* out);
+
+/// Two-run comparison: per-stage p50/p99 deltas between `before` and
+/// `after`. Returns the number of stages compared (stages present in
+/// either file).
+std::size_t PrintDiff(const TraceFile& before, const TraceFile& after,
+                      std::ostream* out);
+
+}  // namespace streamad::inspect
+
+#endif  // STREAMAD_TOOLS_INSPECT_ANALYZE_H_

@@ -1,0 +1,106 @@
+// streamad_inspect: offline analyzer for streamad observability output —
+// per-step JSONL traces (obs::TraceSink) and flight-recorder dumps
+// (obs::FlightRecorder). See README.md for a quickstart.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/inspect/analyze.h"
+#include "tools/inspect/trace_reader.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: streamad_inspect <command> [flags] <file.jsonl> [file2.jsonl]
+
+commands:
+  summary   <file>          record counts, runs, step range, parse errors
+  latency   <file>          per-stage latency percentile table (p50..p99.9)
+  finetunes <file>          chronological fine-tune timeline
+  scores    <file>          anomaly-score / nonconformity distribution
+  flight    <file>          flight-recorder dump view (input digest, drift)
+  diff      <before> <after> per-stage p50/p99 latency deltas
+
+flags:
+  --run=SUBSTR   keep only records whose run label contains SUBSTR
+  --strict       fail (exit 2) on the first malformed JSONL line
+
+exit codes: 0 ok, 1 command produced an empty table, 2 usage/IO/parse error
+)";
+
+int UsageError(const std::string& message) {
+  std::fprintf(stderr, "streamad_inspect: %s\n", message.c_str());
+  std::fputs(kUsage, stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string command;
+  std::vector<std::string> paths;
+  streamad::inspect::ReadOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--run=", 0) == 0) {
+      options.run_filter = arg.substr(6);
+    } else if (arg == "--strict") {
+      options.strict = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return UsageError("unknown flag " + arg);
+    } else if (command.empty()) {
+      command = arg;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (command.empty()) return UsageError("missing command");
+  const bool is_diff = command == "diff";
+  const std::size_t want_files = is_diff ? 2 : 1;
+  if (paths.size() != want_files) {
+    return UsageError(command + " expects " + std::to_string(want_files) +
+                      " file argument(s), got " + std::to_string(paths.size()));
+  }
+
+  std::vector<streamad::inspect::TraceFile> files(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::string error;
+    if (!streamad::inspect::ReadTraceFile(paths[i], options, &files[i],
+                                          &error)) {
+      std::fprintf(stderr, "streamad_inspect: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  std::size_t rows = 0;
+  if (command == "summary") {
+    rows = streamad::inspect::PrintSummary(files[0], &std::cout);
+  } else if (command == "latency") {
+    rows = streamad::inspect::PrintLatencyTable(files[0], &std::cout);
+  } else if (command == "finetunes") {
+    rows = streamad::inspect::PrintFinetuneTimeline(files[0], &std::cout);
+    if (rows == 0) return 0;  // a run without drift events is not an error
+  } else if (command == "scores") {
+    rows = streamad::inspect::PrintScoreDistribution(files[0], &std::cout);
+  } else if (command == "flight") {
+    rows = streamad::inspect::PrintFlight(files[0], &std::cout);
+  } else if (command == "diff") {
+    rows = streamad::inspect::PrintDiff(files[0], files[1], &std::cout);
+  } else {
+    return UsageError("unknown command " + command);
+  }
+
+  for (const streamad::inspect::TraceFile& file : files) {
+    if (file.parse_errors > 0) {
+      std::fprintf(stderr, "streamad_inspect: %zu malformed line(s) in %s\n",
+                   file.parse_errors, file.path.c_str());
+    }
+  }
+  return rows == 0 ? 1 : 0;
+}

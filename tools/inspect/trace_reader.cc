@@ -1,0 +1,286 @@
+#include "tools/inspect/trace_reader.h"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace streamad::inspect {
+namespace {
+
+/// Recursive-descent parser over one line. Tracks a byte cursor; every
+/// Parse* method leaves the cursor just past what it consumed.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : line_(line) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    SkipSpace();
+    if (!ParseValue(out, error)) return false;
+    SkipSpace();
+    if (pos_ != line_.size()) {
+      *error = "trailing characters after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < line_.size() &&
+           (line_[pos_] == ' ' || line_[pos_] == '\t' || line_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(std::string* error, const std::string& message) {
+    *error = message + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool Literal(std::string_view word) {
+    if (line_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, std::string* error) {
+    if (pos_ >= line_.size()) return Fail(error, "unexpected end of line");
+    const char c = line_[pos_];
+    if (c == '{') return ParseObject(out, error);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->text, error);
+    }
+    if (Literal("true")) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = true;
+      return true;
+    }
+    if (Literal("false")) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = false;
+      return true;
+    }
+    if (Literal("null")) {
+      out->type = JsonValue::Type::kNull;
+      return true;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out, error);
+    return Fail(error, "unexpected character");
+  }
+
+  bool ParseObject(JsonValue* out, std::string* error) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // consume '{'
+    SkipSpace();
+    if (pos_ < line_.size() && line_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key, error)) return false;
+      SkipSpace();
+      if (pos_ >= line_.size() || line_[pos_] != ':') {
+        return Fail(error, "expected ':' after object key");
+      }
+      ++pos_;
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(&value, error)) return false;
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= line_.size()) return Fail(error, "unterminated object");
+      if (line_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (line_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail(error, "expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    if (pos_ >= line_.size() || line_[pos_] != '"') {
+      return Fail(error, "expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < line_.size()) {
+      const char c = line_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= line_.size()) return Fail(error, "dangling escape");
+        const char esc = line_[pos_];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u':
+            // The observability writers never emit \u escapes; decode to a
+            // placeholder rather than failing on foreign files.
+            if (pos_ + 4 >= line_.size()) return Fail(error, "bad \\u escape");
+            pos_ += 4;
+            out->push_back('?');
+            break;
+          default:
+            return Fail(error, "unknown escape");
+        }
+        ++pos_;
+        continue;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return Fail(error, "unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out, std::string* error) {
+    const char* begin = line_.data() + pos_;
+    char* end = nullptr;
+    out->number = std::strtod(begin, &end);
+    if (end == begin) return Fail(error, "malformed number");
+    out->type = JsonValue::Type::kNumber;
+    pos_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  std::string_view line_;
+  std::size_t pos_ = 0;
+};
+
+double NumberOr(const JsonValue& object, std::string_view key,
+                double fallback) {
+  const JsonValue* value = object.Find(key);
+  return value != nullptr && value->type == JsonValue::Type::kNumber
+             ? value->number
+             : fallback;
+}
+
+bool BoolOr(const JsonValue& object, std::string_view key, bool fallback) {
+  const JsonValue* value = object.Find(key);
+  return value != nullptr && value->type == JsonValue::Type::kBool
+             ? value->bool_value
+             : fallback;
+}
+
+std::string StringOr(const JsonValue& object, std::string_view key) {
+  const JsonValue* value = object.Find(key);
+  return value != nullptr && value->type == JsonValue::Type::kString
+             ? value->text
+             : std::string();
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool ParseJsonLine(std::string_view line, JsonValue* out, std::string* error) {
+  LineParser parser(line);
+  return parser.Parse(out, error);
+}
+
+bool ParseTraceRecord(std::string_view line, TraceRecord* out,
+                      std::string* error) {
+  JsonValue root;
+  if (!ParseJsonLine(line, &root, error)) return false;
+  if (root.type != JsonValue::Type::kObject) {
+    *error = "trace line is not a JSON object";
+    return false;
+  }
+
+  *out = TraceRecord();
+  const std::string flight = StringOr(root, "flight");
+  if (flight == "header") {
+    out->kind = TraceRecord::Kind::kFlightHeader;
+  } else if (flight == "step") {
+    out->kind = TraceRecord::Kind::kFlightStep;
+  } else {
+    out->kind = TraceRecord::Kind::kTraceStep;
+  }
+
+  out->run = StringOr(root, "run");
+  out->t = static_cast<std::int64_t>(NumberOr(root, "t", 0.0));
+  out->scored = BoolOr(root, "scored", false);
+  out->finetuned = BoolOr(root, "finetuned", false);
+  out->nonconformity = NumberOr(root, "a", 0.0);
+  out->anomaly_score = NumberOr(root, "f", 0.0);
+
+  if (const JsonValue* stages = root.Find("stage_ns");
+      stages != nullptr && stages->type == JsonValue::Type::kObject) {
+    for (const auto& [stage, value] : stages->members) {
+      if (value.type != JsonValue::Type::kNumber) continue;
+      out->stage_ns.emplace_back(stage,
+                                 static_cast<std::uint64_t>(value.number));
+    }
+  }
+
+  if (out->kind == TraceRecord::Kind::kFlightStep) {
+    out->input_min = NumberOr(root, "x_min", 0.0);
+    out->input_max = NumberOr(root, "x_max", 0.0);
+    out->input_mean = NumberOr(root, "x_mean", 0.0);
+    out->drift_statistic = NumberOr(root, "drift_stat", 0.0);
+    out->train_size = static_cast<std::uint64_t>(NumberOr(root, "train_size", 0.0));
+  } else if (out->kind == TraceRecord::Kind::kFlightHeader) {
+    out->reason = StringOr(root, "reason");
+    out->capacity = static_cast<std::uint64_t>(NumberOr(root, "capacity", 0.0));
+    out->retained = static_cast<std::uint64_t>(NumberOr(root, "retained", 0.0));
+    out->total = static_cast<std::uint64_t>(NumberOr(root, "total", 0.0));
+  }
+  return true;
+}
+
+bool ReadTraceFile(const std::string& path, const ReadOptions& options,
+                   TraceFile* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  out->path = path;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    ++out->lines_read;
+    TraceRecord record;
+    std::string parse_error;
+    if (!ParseTraceRecord(line, &record, &parse_error)) {
+      const std::string located =
+          path + ":" + std::to_string(line_number) + ": " + parse_error;
+      if (options.strict) {
+        *error = located;
+        return false;
+      }
+      ++out->parse_errors;
+      if (out->error_samples.size() < 5) out->error_samples.push_back(located);
+      continue;
+    }
+    if (!options.run_filter.empty() &&
+        record.run.find(options.run_filter) == std::string::npos) {
+      continue;
+    }
+    out->records.push_back(std::move(record));
+  }
+  return true;
+}
+
+}  // namespace streamad::inspect

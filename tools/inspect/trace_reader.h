@@ -1,0 +1,100 @@
+#ifndef STREAMAD_TOOLS_INSPECT_TRACE_READER_H_
+#define STREAMAD_TOOLS_INSPECT_TRACE_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file
+/// JSONL reader for the streamad observability outputs: per-step trace
+/// records written by `obs::TraceSink` and flight-recorder dumps written
+/// by `obs::FlightRecorder`. Standalone on purpose — the analyzer must
+/// open traces from any build of the library, so it parses the format,
+/// not the structs.
+
+namespace streamad::inspect {
+
+/// Minimal JSON value for the subset the observability layer emits:
+/// objects of string/number/bool/null/object members (no arrays).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject };
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  /// First member named `key`, or nullptr (objects only).
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses one JSONL line (a single object). Returns false and fills
+/// `error` on malformed input or trailing garbage.
+bool ParseJsonLine(std::string_view line, JsonValue* out, std::string* error);
+
+/// One decoded record of a trace or flight file.
+struct TraceRecord {
+  enum class Kind {
+    kTraceStep,     // obs::TraceSink per-step record
+    kFlightHeader,  // {"flight":"header",...}
+    kFlightStep,    // {"flight":"step",...}
+  };
+  Kind kind = Kind::kTraceStep;
+
+  std::string run;
+  std::int64_t t = 0;
+  bool scored = false;
+  bool finetuned = false;
+  double nonconformity = 0.0;   // "a", valid when scored
+  double anomaly_score = 0.0;   // "f", valid when scored
+  /// Stage wall-clock of the step, insertion-ordered as emitted.
+  std::vector<std::pair<std::string, std::uint64_t>> stage_ns;
+
+  /// Flight-step extras (input digest + drift state).
+  double input_min = 0.0;
+  double input_max = 0.0;
+  double input_mean = 0.0;
+  double drift_statistic = 0.0;
+  std::uint64_t train_size = 0;
+
+  /// Flight-header extras.
+  std::string reason;
+  std::uint64_t capacity = 0;
+  std::uint64_t retained = 0;
+  std::uint64_t total = 0;
+};
+
+/// Decodes one line into a record. Lines that parse as JSON but lack the
+/// expected fields decode to a best-effort record (missing fields keep
+/// their defaults); only malformed JSON fails.
+bool ParseTraceRecord(std::string_view line, TraceRecord* out,
+                      std::string* error);
+
+struct ReadOptions {
+  /// Keep only records whose run label contains this substring (empty =
+  /// keep everything, including unlabeled records).
+  std::string run_filter;
+  /// Abort on the first malformed line instead of skipping it.
+  bool strict = false;
+};
+
+struct TraceFile {
+  std::string path;
+  std::vector<TraceRecord> records;
+  std::size_t lines_read = 0;
+  std::size_t parse_errors = 0;
+  /// First few parse-error messages (file:line prefixed).
+  std::vector<std::string> error_samples;
+};
+
+/// Reads a whole JSONL file. Returns false (with `error`) when the file
+/// cannot be opened, or on the first malformed line under
+/// `options.strict`. Blank lines are ignored.
+bool ReadTraceFile(const std::string& path, const ReadOptions& options,
+                   TraceFile* out, std::string* error);
+
+}  // namespace streamad::inspect
+
+#endif  // STREAMAD_TOOLS_INSPECT_TRACE_READER_H_

@@ -40,10 +40,24 @@ bool IsIdent(const Token& t, std::string_view text) {
 // time by design and never feeds results back into detection).
 // ---------------------------------------------------------------------------
 
+// Sanctioned wall-clock / OS-entropy locations. Entries ending in '/'
+// allowlist the whole subtree; others must match exactly. Keep this list
+// tight: every entry is a place where real time is the *product* — the
+// seeded RNG wrapper, and src/obs/ (stage timing spans, the flight
+// recorder's dump timestamps) whose readings never feed back into
+// detection arithmetic.
+constexpr std::string_view kDeterminismAllowlist[] = {
+    "src/common/rng.h",
+    "src/common/rng.cc",
+    "src/obs/",
+};
+
 bool DeterminismRuleApplies(const std::string& path) {
   if (!StartsWith(path, "src/")) return false;
-  if (path == "src/common/rng.h" || path == "src/common/rng.cc") return false;
-  if (StartsWith(path, "src/obs/")) return false;
+  for (const std::string_view entry : kDeterminismAllowlist) {
+    const bool subtree = entry.back() == '/';
+    if (subtree ? StartsWith(path, entry) : path == entry) return false;
+  }
   return true;
 }
 

@@ -1,0 +1,17 @@
+// Fixture: the flight recorder's dump-timestamp idiom — a system_clock
+// read converted to unix milliseconds. Legal under src/obs/ (the dump
+// header records when the post-mortem was written); a determinism finding
+// anywhere else in src/.
+#include <chrono>
+#include <cstdint>
+
+namespace streamad {
+
+std::int64_t DumpUnixMillis() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace streamad
