@@ -27,7 +27,7 @@ namespace {
 using namespace streamad;
 
 std::unique_ptr<core::DriftDetector> MakeDetector(
-    int variant, const core::DetectorParams& params) {
+    int variant, const core::DetectorConfig& params) {
   switch (variant) {
     case 0:
       return std::make_unique<strategies::RegularInterval>(
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   const data::Corpus corpus =
       streamad::bench::Preprocessed(
           data::MakeDaphnetLike(streamad::bench::BenchGenConfig()));
-  const core::DetectorParams params = streamad::bench::BenchParams();
+  const core::DetectorConfig params = streamad::bench::BenchParams();
 
   TablePrinter table({"Task 2", "fine-tunes", "Prec", "Rec", "AUC", "VUS",
                       "NAB", "seconds"});
@@ -65,11 +65,8 @@ int main(int argc, char** argv) {
     std::vector<harness::MetricSummary> parts;
     const auto start = std::chrono::steady_clock::now();
     for (const data::LabeledSeries& series : corpus.series) {
-      core::StreamingDetector::Options options;
-      options.window = params.window;
-      options.initial_train_steps = params.initial_train_steps;
       core::StreamingDetector detector(
-          options,
+          params,
           std::make_unique<strategies::SlidingWindow>(params.train_capacity),
           MakeDetector(variant, params),
           std::make_unique<models::Autoencoder>(params.ae, 99),
@@ -83,7 +80,9 @@ int main(int argc, char** argv) {
         obs::RecorderOptions rec_options;
         rec_options.label = kNames[variant];
         obs::Recorder recorder(&registry, std::move(rec_options));
-        trace = harness::RunDetector(&detector, series, &recorder);
+        harness::RunOptions run;
+        run.recorder = &recorder;
+        trace = harness::RunDetector(&detector, series, run);
       }
       finetunes += trace.finetune_steps.size();
       parts.push_back(harness::Evaluate(trace, series));

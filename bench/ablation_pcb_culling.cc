@@ -21,7 +21,7 @@ namespace {
 using namespace streamad;
 
 harness::MetricSummary RunVariant(const data::Corpus& corpus,
-                                  const core::DetectorParams& params,
+                                  const core::DetectorConfig& params,
                                   bool culling, std::size_t* culled_total) {
   std::vector<harness::MetricSummary> parts;
   *culled_total = 0;
@@ -30,11 +30,8 @@ harness::MetricSummary RunVariant(const data::Corpus& corpus,
     models::PcbIForest* pcb = model.get();
     pcb->set_culling_enabled(culling);
 
-    core::StreamingDetector::Options options;
-    options.window = params.window;
-    options.initial_train_steps = params.initial_train_steps;
     core::StreamingDetector detector(
-        options,
+        params,
         std::make_unique<strategies::SlidingWindow>(params.train_capacity),
         std::make_unique<strategies::Kswin>(params.kswin), std::move(model),
         std::make_unique<scoring::IForestNonconformity>(),
@@ -54,7 +51,7 @@ int main() {
   using harness::TablePrinter;
 
   const data::Corpus corpus = data::MakeExathlonLike(bench::BenchGenConfig());
-  const core::DetectorParams params = bench::BenchParams();
+  const core::DetectorConfig params = bench::BenchParams();
 
   TablePrinter table({"variant", "Prec", "Rec", "AUC", "VUS", "NAB",
                       "trees culled"});

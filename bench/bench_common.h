@@ -75,9 +75,9 @@ inline data::Corpus Preprocessed(data::Corpus corpus) {
 }
 
 /// Detector params matched to `BenchGenConfig`.
-inline core::DetectorParams BenchParams() {
+inline core::DetectorConfig BenchParams() {
   const double scale = EnvDouble("STREAMAD_SCALE", 1.0);
-  core::DetectorParams params;
+  core::DetectorConfig params;
   params.window = EnvSize("STREAMAD_WINDOW", 25);
   params.train_capacity = 150;
   params.initial_train_steps = static_cast<std::size_t>(2500 * scale);
@@ -186,10 +186,10 @@ inline void RunTable3(const data::Corpus& corpus,
   std::ofstream trace_file;
   std::unique_ptr<obs::TraceSink> trace;
   const bool instrument = cli.instrumented();
-  if (instrument) config.metrics = &registry;
+  if (instrument) config.run.metrics = &registry;
   if (!cli.flight_dir.empty()) {
-    config.flight_capacity = kBenchFlightCapacity;
-    config.flight_dump_dir = cli.flight_dir;
+    config.run.flight_capacity = kBenchFlightCapacity;
+    config.run.flight_dump_dir = cli.flight_dir;
   }
   if (!cli.trace_out.empty()) {
     trace_file.open(cli.trace_out);
@@ -198,7 +198,7 @@ inline void RunTable3(const data::Corpus& corpus,
       std::exit(1);
     }
     trace = std::make_unique<obs::TraceSink>(&trace_file);
-    config.trace = trace.get();
+    config.run.trace = trace.get();
   }
 
   const std::vector<core::AlgorithmSpec> specs = core::AllPaperAlgorithms();

@@ -179,7 +179,7 @@ BENCHMARK(BM_TwoSampleKsTest)->Arg(500)->Arg(2500)->Arg(10000);
 void BenchModelPredict(benchmark::State& state, core::ModelType type) {
   Rng rng(13);
   core::TrainingSet train = MakeTrainingSet(&rng);
-  core::DetectorParams params;
+  core::DetectorConfig params;
   params.window = kWindow;
   auto model = core::BuildModel(type, params, 77);
   model->Fit(train);

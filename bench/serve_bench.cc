@@ -1,0 +1,164 @@
+// Fleet serving throughput: events/sec versus shard count at fleet sizes
+// of 1 / 8 / 64 / 512 sessions. One producer thread replays interleaved
+// synthetic streams into a `serve::DetectorFleet` (retrying drops, i.e.
+// honouring backpressure) and the wall clock runs from first submit to
+// WaitIdle. Results land in BENCH_serve.json for the CI artifact.
+//
+// Flags:
+//   --events N   total events per (sessions x shards) cell (default 50000)
+//   --out PATH   output JSON path (default BENCH_serve.json)
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/fleet.h"
+
+namespace {
+
+using namespace streamad;
+
+core::DetectorConfig BenchDetectorConfig() {
+  core::DetectorConfig config;
+  config.window = 16;
+  config.train_capacity = 40;
+  config.initial_train_steps = 100;
+  config.scorer_k = 20;
+  config.scorer_k_short = 4;
+  config.kswin.check_every = 8;
+  return config;
+}
+
+serve::SessionConfig BenchSessionConfig(std::size_t session) {
+  serve::SessionConfig config;
+  // kNN does real per-step work once trained (distances against the whole
+  // training set), which is what makes shard scaling visible.
+  config.spec = {core::ModelType::kNearestNeighbor,
+                 core::Task1::kUniformReservoir, core::Task2::kMuSigma};
+  config.score = core::ScoreType::kAverage;
+  config.detector = BenchDetectorConfig();
+  config.seed = 1000 + session;
+  return config;
+}
+
+struct CellResult {
+  std::size_t sessions = 0;
+  std::size_t shards = 0;
+  double events_per_sec = 0.0;
+  serve::FleetStats stats;
+};
+
+CellResult RunCell(std::size_t sessions, std::size_t shards,
+                   std::size_t events) {
+  serve::FleetOptions options;
+  options.shards = shards;
+  options.queue_capacity = 2048;
+  serve::DetectorFleet fleet(options);
+
+  std::vector<std::string> ids;
+  ids.reserve(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    ids.push_back("bench-" + std::to_string(i));
+    const core::Status status =
+        fleet.CreateSession(ids.back(), BenchSessionConfig(i));
+    if (!status.ok()) {
+      std::fprintf(stderr, "CreateSession failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  core::StreamVector v(3);
+  std::vector<std::int64_t> step(sessions, 0);
+  for (std::size_t e = 0; e < events; ++e) {
+    const std::size_t session = e % sessions;
+    const double t = static_cast<double>(step[session]++);
+    v[0] = std::sin(0.21 * t + static_cast<double>(session));
+    v[1] = std::sin(0.13 * t) + 0.2 * std::sin(1.7 * t);
+    v[2] = std::cos(0.08 * t + 0.5 * static_cast<double>(session));
+    while (fleet.Submit(ids[session], v) == serve::Admission::kDropped) {
+      std::this_thread::yield();
+    }
+  }
+  fleet.WaitIdle();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  fleet.Stop();
+
+  CellResult result;
+  result.sessions = sessions;
+  result.shards = shards;
+  result.events_per_sec =
+      seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
+  result.stats = fleet.Stats();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t events = 50000;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--events" && i + 1 < argc) {
+      events = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--events N] [--out PATH]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  const std::vector<std::size_t> session_counts = {1, 8, 64, 512};
+  const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+
+  std::printf("serve_bench: %zu events per cell, hardware_concurrency=%u\n\n",
+              events, std::thread::hardware_concurrency());
+  std::printf("%10s %8s %14s %10s %9s\n", "sessions", "shards", "events/sec",
+              "throttled", "dropped");
+
+  std::vector<CellResult> results;
+  for (const std::size_t sessions : session_counts) {
+    for (const std::size_t shards : shard_counts) {
+      const CellResult cell = RunCell(sessions, shards, events);
+      std::printf("%10zu %8zu %14.0f %10llu %9llu\n", cell.sessions,
+                  cell.shards, cell.events_per_sec,
+                  static_cast<unsigned long long>(cell.stats.throttled),
+                  static_cast<unsigned long long>(cell.stats.dropped));
+      std::fflush(stdout);
+      results.push_back(cell);
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"bench\": \"serve_fleet\",\n"
+      << "  \"events_per_cell\": " << events << ",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& cell = results[i];
+    out << "    {\"sessions\": " << cell.sessions
+        << ", \"shards\": " << cell.shards << ", \"events_per_sec\": "
+        << cell.events_per_sec << ", \"throttled\": " << cell.stats.throttled
+        << ", \"dropped\": " << cell.stats.dropped
+        << ", \"evictions\": " << cell.stats.evictions
+        << ", \"rehydrations\": " << cell.stats.rehydrations << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -41,10 +41,10 @@ void RunProfileSweep(const streamad::bench::BenchCli& cli) {
   config.params.usad.fit_epochs = 5;
   config.params.nbeats.fit_epochs = 5;
   config.seed = 7;
-  config.trace_sample_every = 4;
+  config.run.trace_sample_every = 4;
 
   obs::MetricsRegistry registry;
-  config.metrics = &registry;
+  config.run.metrics = &registry;
   std::ofstream trace_file;
   std::unique_ptr<obs::TraceSink> trace;
   if (!cli.trace_out.empty()) {
@@ -54,11 +54,11 @@ void RunProfileSweep(const streamad::bench::BenchCli& cli) {
       std::exit(1);
     }
     trace = std::make_unique<obs::TraceSink>(&trace_file);
-    config.trace = trace.get();
+    config.run.trace = trace.get();
   }
   if (!cli.flight_dir.empty()) {
-    config.flight_capacity = bench::kBenchFlightCapacity;
-    config.flight_dump_dir = cli.flight_dir;
+    config.run.flight_capacity = bench::kBenchFlightCapacity;
+    config.run.flight_dump_dir = cli.flight_dir;
   }
 
   const std::vector<core::AlgorithmSpec> specs = core::AllPaperAlgorithms();

@@ -1,12 +1,15 @@
 // Checkpoint & resume: long-running monitors restart — after a deploy, a
-// crash, a host migration. The model parameters (theta_model, including
-// optimizer state) checkpoint to a binary stream; a fresh process restores
-// them and continues scoring with bit-identical behaviour.
+// crash, a host migration. The WHOLE detector (representation ring,
+// training-set strategy, drift detector, scorer and — once trained — the
+// model with its optimizer state) checkpoints to a binary stream; a fresh
+// process restores it and continues scoring with bit-identical behaviour.
 //
-// This example trains a USAD model on a gait-like stream, checkpoints it,
-// "restarts" into a freshly constructed model with a different seed, and
-// verifies the restored model scores the remainder of the stream exactly
-// like the original would have.
+// This example runs a USAD detector over a gait-like stream, checkpoints
+// it mid-stream, "restarts" into a freshly built detector with a
+// different seed, and verifies the restored detector scores the remainder
+// of the stream exactly like the original would have. It then shows the
+// failure mode: restoring into a misconfigured detector is rejected with
+// a `core::Status` whose message names the offending knob.
 
 #include <cmath>
 #include <cstdio>
@@ -14,83 +17,100 @@
 #include <sstream>
 
 #include "src/core/algorithm_spec.h"
-#include "src/core/training_set.h"
 #include "src/harness/finetune_fork.h"
-#include "src/models/usad.h"
 
 int main() {
   using namespace streamad;
 
-  // A drifting multichannel stream and a training set built from its
-  // prefix windows.
+  // A drifting multichannel stream.
   harness::FinetuneForkConfig stream_config;
   stream_config.length = 2200;
   stream_config.drift_start = 1400;
   const data::LabeledSeries series = harness::MakeDriftStream(stream_config);
 
-  constexpr std::size_t kWindow = 30;
-  core::TrainingSet train(100);
-  core::WindowRepresentation representation(kWindow);
-  std::size_t t = 0;
-  for (; !train.full(); ++t) {
-    representation.Observe(series.At(t));
-    if (representation.Ready()) {
-      train.Add(representation.Current(static_cast<std::int64_t>(t)));
-    }
-  }
+  core::DetectorConfig config;
+  config.window = 30;
+  config.train_capacity = 100;
+  config.initial_train_steps = 400;
+  config.scorer_k = 50;
+  config.scorer_k_short = 5;
+  config.usad.fit_epochs = 20;
+  const core::AlgorithmSpec spec{core::ModelType::kUsad,
+                                 core::Task1::kSlidingWindow,
+                                 core::Task2::kMuSigma};
 
-  models::Usad::Params params;
-  params.fit_epochs = 20;
-  models::Usad original(params, /*seed=*/42);
-  original.Fit(train);
-  std::printf("trained USAD on %zu windows (%ld epochs seen)\n",
-              train.size(), original.epochs_seen());
+  auto original =
+      core::BuildDetector(spec, core::ScoreType::kAnomalyLikelihood, config,
+                          /*seed=*/42);
+  constexpr std::int64_t kCheckpointAt = 1000;  // post-fit, pre-drift
+  for (std::int64_t t = 0; t < kCheckpointAt; ++t) {
+    original->Step(series.At(static_cast<std::size_t>(t)));
+  }
+  std::printf("ran detector to t=%ld (trained=%s, %ld fine-tunes)\n",
+              original->t(), original->trained() ? "yes" : "no",
+              original->finetune_count());
 
   // Checkpoint to disk, exactly as a monitor would on shutdown.
-  const std::string path = "/tmp/streamad_usad.ckpt";
+  const std::string path = "/tmp/streamad_detector.ckpt";
   {
     std::ofstream out(path, std::ios::binary);
-    if (!original.SaveState(&out)) {
-      std::fprintf(stderr, "checkpoint failed\n");
+    const core::Status status = original->SaveState(&out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n",
+                   status.ToString().c_str());
       return 1;
     }
   }
   std::printf("checkpointed to %s\n", path.c_str());
 
-  // "Restart": a fresh process constructs the model anew (note the
-  // different seed — the restored parameters replace initialisation).
-  models::Usad restored(params, /*seed=*/777);
+  // "Restart": a fresh process builds the detector anew (note the
+  // different seed — every bit of restored behaviour must come from the
+  // archive, not from construction).
+  auto restored =
+      core::BuildDetector(spec, core::ScoreType::kAnomalyLikelihood, config,
+                          /*seed=*/777);
   {
     std::ifstream in(path, std::ios::binary);
-    if (!restored.LoadState(&in)) {
-      std::fprintf(stderr, "restore failed\n");
+    const core::Status status = restored->LoadState(&in);
+    if (!status.ok()) {
+      std::fprintf(stderr, "restore failed: %s\n", status.ToString().c_str());
       return 1;
     }
   }
-  std::printf("restored into a fresh instance\n\n");
+  std::printf("restored into a fresh detector at t=%ld\n\n", restored->t());
 
-  // Continue the stream through both models and compare reconstructions.
+  // Continue the stream through both detectors and compare scores.
   double max_divergence = 0.0;
   std::size_t compared = 0;
-  for (; t < series.length(); ++t) {
-    representation.Observe(series.At(t));
-    if (!representation.Ready()) continue;
-    const core::FeatureVector fv =
-        representation.Current(static_cast<std::int64_t>(t));
-    const linalg::Matrix a = original.Predict(fv);
-    const linalg::Matrix b = restored.Predict(fv);
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      max_divergence =
-          std::max(max_divergence, std::fabs(a.at_flat(i) - b.at_flat(i)));
-    }
+  for (std::int64_t t = kCheckpointAt;
+       t < static_cast<std::int64_t>(series.length()); ++t) {
+    const auto a = original->Step(series.At(static_cast<std::size_t>(t)));
+    const auto b = restored->Step(series.At(static_cast<std::size_t>(t)));
+    if (!a.scored && !b.scored) continue;
+    max_divergence = std::max(
+        max_divergence, std::fabs(a.anomaly_score - b.anomaly_score));
     ++compared;
   }
-  std::printf("compared %zu post-restore windows: max divergence = %g\n",
+  std::printf("compared %zu post-restore scores: max divergence = %g\n",
               compared, max_divergence);
+
+  // The guard rail: a detector configured with the wrong window refuses
+  // the archive instead of silently mis-scoring, and the status message
+  // says exactly what disagrees.
+  core::DetectorConfig wrong = config;
+  wrong.window = 50;
+  auto mismatched =
+      core::BuildDetector(spec, core::ScoreType::kAnomalyLikelihood, wrong,
+                          /*seed=*/7);
+  std::ifstream in(path, std::ios::binary);
+  const core::Status rejected = mismatched->LoadState(&in);
+  std::printf("restore into window=50 detector: %s\n",
+              rejected.ToString().c_str());
+
   // NOLINT-STREAMAD-NEXTLINE(float-compare): bit-identity is the contract
-  std::printf(max_divergence == 0.0
-                  ? "restored model is bit-identical — safe to resume\n"
+  const bool identical = max_divergence == 0.0;
+  std::printf(identical
+                  ? "restored detector is bit-identical — safe to resume\n"
                   : "divergence detected — checkpoint bug!\n");
-  // NOLINT-STREAMAD-NEXTLINE(float-compare): bit-identity is the contract
-  return max_divergence == 0.0 ? 0 : 1;
+  return identical && !rejected.ok() ? 0 : 1;
 }

@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
               input.c_str(), series.length(), series.channels(),
               series.AnomalyPointCount());
 
-  core::DetectorParams params;
+  core::DetectorConfig params;
   params.window = 20;
   params.train_capacity = 120;
   params.initial_train_steps = series.length() / 3;

@@ -34,7 +34,7 @@ int main() {
   core::AlgorithmSpec spec{core::ModelType::kTwoLayerAe,
                            core::Task1::kSlidingWindow,
                            core::Task2::kMuSigma};
-  core::DetectorParams params;
+  core::DetectorConfig params;
   params.window = 25;
   params.train_capacity = 200;
   params.initial_train_steps = 1500;

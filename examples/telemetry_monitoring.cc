@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
   core::AlgorithmSpec spec{core::ModelType::kUsad,
                            core::Task1::kSlidingWindow,
                            core::Task2::kMuSigma};
-  core::DetectorParams params;
+  core::DetectorConfig params;
   params.window = 25;
   params.train_capacity = 150;
   params.initial_train_steps = 2000;

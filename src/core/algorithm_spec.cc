@@ -89,30 +89,30 @@ std::vector<AlgorithmSpec> AllPaperAlgorithms() {
 }
 
 std::unique_ptr<Model> BuildModel(ModelType model,
-                                  const DetectorParams& params,
+                                  const DetectorConfig& config,
                                   std::uint64_t seed) {
   switch (model) {
     case ModelType::kOnlineArima: {
-      models::OnlineArima::Params p = params.arima;
+      models::OnlineArima::Params p = config.arima;
       if (p.lag_order == 0) {
-        STREAMAD_CHECK_MSG(params.window > p.diff_order + 1,
+        STREAMAD_CHECK_MSG(config.window > p.diff_order + 1,
                            "window too short for ARIMA");
-        p.lag_order = params.window - p.diff_order - 1;
+        p.lag_order = config.window - p.diff_order - 1;
       }
       return std::make_unique<models::OnlineArima>(p);
     }
     case ModelType::kTwoLayerAe:
-      return std::make_unique<models::Autoencoder>(params.ae, seed);
+      return std::make_unique<models::Autoencoder>(config.ae, seed);
     case ModelType::kUsad:
-      return std::make_unique<models::Usad>(params.usad, seed);
+      return std::make_unique<models::Usad>(config.usad, seed);
     case ModelType::kNBeats:
-      return std::make_unique<models::NBeats>(params.nbeats, seed);
+      return std::make_unique<models::NBeats>(config.nbeats, seed);
     case ModelType::kPcbIForest:
-      return std::make_unique<models::PcbIForest>(params.pcb, seed);
+      return std::make_unique<models::PcbIForest>(config.pcb, seed);
     case ModelType::kVar:
-      return std::make_unique<models::VarModel>(params.var);
+      return std::make_unique<models::VarModel>(config.var);
     case ModelType::kNearestNeighbor:
-      return std::make_unique<models::KnnModel>(params.knn);
+      return std::make_unique<models::KnnModel>(config.knn);
   }
   STREAMAD_CHECK_MSG(false, "unknown model type");
   return nullptr;
@@ -120,7 +120,7 @@ std::unique_ptr<Model> BuildModel(ModelType model,
 
 std::unique_ptr<StreamingDetector> BuildDetector(const AlgorithmSpec& spec,
                                                  ScoreType score,
-                                                 const DetectorParams& params,
+                                                 const DetectorConfig& config,
                                                  std::uint64_t seed) {
   // Decorrelated per-component seeds derived from the master seed.
   const std::uint64_t strategy_seed = seed * 0x9E3779B97F4A7C15ULL + 1;
@@ -130,15 +130,15 @@ std::unique_ptr<StreamingDetector> BuildDetector(const AlgorithmSpec& spec,
   switch (spec.task1) {
     case Task1::kSlidingWindow:
       strategy =
-          std::make_unique<strategies::SlidingWindow>(params.train_capacity);
+          std::make_unique<strategies::SlidingWindow>(config.train_capacity);
       break;
     case Task1::kUniformReservoir:
       strategy = std::make_unique<strategies::UniformReservoir>(
-          params.train_capacity, strategy_seed);
+          config.train_capacity, strategy_seed);
       break;
     case Task1::kAnomalyAwareReservoir:
       strategy = std::make_unique<strategies::AnomalyAwareReservoir>(
-          params.train_capacity, strategy_seed);
+          config.train_capacity, strategy_seed);
       break;
   }
 
@@ -146,9 +146,9 @@ std::unique_ptr<StreamingDetector> BuildDetector(const AlgorithmSpec& spec,
   switch (spec.task2) {
     case Task2::kRegular: {
       const std::int64_t interval =
-          params.regular_interval > 0
-              ? params.regular_interval
-              : static_cast<std::int64_t>(params.train_capacity);
+          config.regular_interval > 0
+              ? config.regular_interval
+              : static_cast<std::int64_t>(config.train_capacity);
       drift = std::make_unique<strategies::RegularInterval>(interval);
       break;
     }
@@ -156,14 +156,14 @@ std::unique_ptr<StreamingDetector> BuildDetector(const AlgorithmSpec& spec,
       drift = std::make_unique<strategies::MuSigmaChange>();
       break;
     case Task2::kKswin:
-      drift = std::make_unique<strategies::Kswin>(params.kswin);
+      drift = std::make_unique<strategies::Kswin>(config.kswin);
       break;
     case Task2::kAdwin:
       drift = std::make_unique<strategies::Adwin>();
       break;
   }
 
-  std::unique_ptr<Model> model = BuildModel(spec.model, params, model_seed);
+  std::unique_ptr<Model> model = BuildModel(spec.model, config, model_seed);
 
   std::unique_ptr<NonconformityMeasure> nonconformity;
   if (model->kind() == Model::Kind::kScore) {
@@ -178,19 +178,16 @@ std::unique_ptr<StreamingDetector> BuildDetector(const AlgorithmSpec& spec,
       scorer = std::make_unique<scoring::RawScore>();
       break;
     case ScoreType::kAverage:
-      scorer = std::make_unique<scoring::AverageScore>(params.scorer_k);
+      scorer = std::make_unique<scoring::AverageScore>(config.scorer_k);
       break;
     case ScoreType::kAnomalyLikelihood:
       scorer = std::make_unique<scoring::AnomalyLikelihood>(
-          params.scorer_k, params.scorer_k_short);
+          config.scorer_k, config.scorer_k_short);
       break;
   }
 
-  StreamingDetector::Options options;
-  options.window = params.window;
-  options.initial_train_steps = params.initial_train_steps;
   return std::make_unique<StreamingDetector>(
-      options, std::move(strategy), std::move(drift), std::move(model),
+      config, std::move(strategy), std::move(drift), std::move(model),
       std::move(nonconformity), std::move(scorer));
 }
 

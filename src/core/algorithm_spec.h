@@ -6,14 +6,7 @@
 #include <vector>
 
 #include "src/core/detector.h"
-#include "src/models/autoencoder.h"
-#include "src/models/knn_model.h"
-#include "src/models/nbeats.h"
-#include "src/models/online_arima.h"
-#include "src/models/pcb_iforest.h"
-#include "src/models/usad.h"
-#include "src/models/var_model.h"
-#include "src/strategies/kswin.h"
+#include "src/core/detector_config.h"
 
 namespace streamad::core {
 
@@ -76,47 +69,22 @@ std::string SpecLabel(const AlgorithmSpec& spec);
 /// The 26 combinations of Table I, in the paper's row order.
 std::vector<AlgorithmSpec> AllPaperAlgorithms();
 
-/// Every hyperparameter of a composed detector, with defaults matching the
-/// paper's description where stated (window 100, initial training 5000)
-/// and sensible laptop-scale values elsewhere. Benchmarks override the
-/// sizes (see DESIGN.md §3).
-struct DetectorParams {
-  /// Data representation length w.
-  std::size_t window = 100;
-  /// Training set capacity m.
-  std::size_t train_capacity = 500;
-  /// Steps of the initial training phase (paper: 5000).
-  std::size_t initial_train_steps = 5000;
-
-  /// Anomaly-score windows k and k' (k' << k).
-  std::size_t scorer_k = 100;
-  std::size_t scorer_k_short = 10;
-
-  /// Interval of the regular fine-tuning baseline; 0 derives it from
-  /// `train_capacity` (the paper's `t mod m`).
-  std::int64_t regular_interval = 0;
-
-  strategies::Kswin::Params kswin;
-  models::OnlineArima::Params arima;  // lag_order 0 derives w - d - 1
-  models::Autoencoder::Params ae;
-  models::Usad::Params usad;
-  models::NBeats::Params nbeats;
-  models::PcbIForest::Params pcb;
-  models::VarModel::Params var;
-  models::KnnModel::Params knn;
-
-  DetectorParams() { arima.lag_order = 0; }
-};
+/// Transitional alias, one PR long: the detector hyperparameters moved to
+/// the unified `DetectorConfig` (src/core/detector_config.h), which also
+/// absorbed `StreamingDetector::Options`.
+using DetectorParams [[deprecated("use core::DetectorConfig")]] =
+    DetectorConfig;
 
 /// Builds the model component of a spec (exposed for targeted tests).
-std::unique_ptr<Model> BuildModel(ModelType model, const DetectorParams& params,
+std::unique_ptr<Model> BuildModel(ModelType model,
+                                  const DetectorConfig& config,
                                   std::uint64_t seed);
 
 /// Composes a full streaming detector for a Table I cell plus an anomaly
 /// scoring function. Deterministic given `seed`.
 std::unique_ptr<StreamingDetector> BuildDetector(const AlgorithmSpec& spec,
                                                  ScoreType score,
-                                                 const DetectorParams& params,
+                                                 const DetectorConfig& config,
                                                  std::uint64_t seed);
 
 }  // namespace streamad::core

@@ -1,8 +1,10 @@
 #include "src/core/detector.h"
 
+#include <string>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/core/detector_config.h"
 #include "src/obs/recorder.h"
 
 namespace streamad::core {
@@ -44,12 +46,14 @@ FeatureVector WindowRepresentation::Current(std::int64_t t) const {
 }
 
 StreamingDetector::StreamingDetector(
-    const Options& options, std::unique_ptr<TrainingSetStrategy> strategy,
+    const DetectorConfig& config, std::unique_ptr<TrainingSetStrategy> strategy,
     std::unique_ptr<DriftDetector> drift, std::unique_ptr<Model> model,
     std::unique_ptr<NonconformityMeasure> nonconformity,
     std::unique_ptr<AnomalyScorer> scorer)
-    : options_(options),
-      representation_(options.window),
+    : window_(config.window),
+      initial_train_steps_(config.initial_train_steps),
+      finetuning_enabled_(config.finetuning_enabled),
+      representation_(config.window),
       strategy_(std::move(strategy)),
       drift_(std::move(drift)),
       model_(std::move(model)),
@@ -60,7 +64,7 @@ StreamingDetector::StreamingDetector(
   STREAMAD_CHECK(model_ != nullptr);
   STREAMAD_CHECK(nonconformity_ != nullptr);
   STREAMAD_CHECK(scorer_ != nullptr);
-  STREAMAD_CHECK_MSG(options_.initial_train_steps > 0,
+  STREAMAD_CHECK_MSG(initial_train_steps_ > 0,
                      "initial training phase must be non-empty");
 }
 
@@ -72,48 +76,71 @@ void WindowRepresentation::Save(io::BinaryWriter* writer) const {
   for (const StreamVector& s : buffer_) writer->WriteDoubleVec(s);
 }
 
-bool WindowRepresentation::Load(io::BinaryReader* reader) {
+Status WindowRepresentation::Load(io::BinaryReader* reader) {
   STREAMAD_CHECK(reader != nullptr);
   std::uint64_t window = 0;
   std::uint64_t channels = 0;
   std::uint64_t size = 0;
   if (!reader->ReadU64(&window) || !reader->ReadU64(&channels) ||
-      !reader->ReadU64(&size) || window != window_ || size > window) {
-    return false;
+      !reader->ReadU64(&size)) {
+    return Status::DataLoss("window ring header truncated");
+  }
+  if (window != window_) {
+    return Status::FailedPrecondition(
+        "window mismatch: archived " + std::to_string(window) +
+        ", configured " + std::to_string(window_));
+  }
+  if (size > window) {
+    return Status::DataLoss("window ring longer than its window length");
   }
   std::deque<StreamVector> buffer;
   for (std::uint64_t i = 0; i < size; ++i) {
     StreamVector s;
-    if (!reader->ReadDoubleVec(&s) || s.size() != channels) return false;
+    if (!reader->ReadDoubleVec(&s) || s.size() != channels) {
+      return Status::DataLoss("window ring entry " + std::to_string(i) +
+                              " truncated or channel count inconsistent");
+    }
     buffer.push_back(std::move(s));
   }
   channels_ = channels;
   buffer_ = std::move(buffer);
-  return true;
+  return Status::Ok();
 }
 
-bool StreamingDetector::SaveState(std::ostream* out) const {
+Status StreamingDetector::SaveState(std::ostream* out) const {
   STREAMAD_CHECK(out != nullptr);
   io::BinaryWriter writer(out);
   writer.WriteString("streamad.detector.v1");
-  writer.WriteU64(options_.window);
-  writer.WriteU64(options_.initial_train_steps);
-  writer.WriteU64(options_.finetuning_enabled ? 1 : 0);
+  writer.WriteU64(window_);
+  writer.WriteU64(initial_train_steps_);
+  writer.WriteU64(finetuning_enabled_ ? 1 : 0);
   writer.WriteI64(t_);
   writer.WriteI64(scorable_steps_);
   writer.WriteU64(trained_ ? 1 : 0);
   writer.WriteI64(finetune_count_);
   representation_.Save(&writer);
-  if (!strategy_->SaveState(&writer)) return false;
-  if (!drift_->SaveState(&writer)) return false;
-  if (!scorer_->SaveState(&writer)) return false;
-  if (!writer.ok()) return false;
+  if (!strategy_->SaveState(&writer)) {
+    return Status::Unimplemented(
+        "training-set strategy does not support checkpointing");
+  }
+  if (!drift_->SaveState(&writer)) {
+    return Status::Unimplemented(
+        "drift detector does not support checkpointing");
+  }
+  if (!scorer_->SaveState(&writer)) {
+    return Status::Unimplemented(
+        "anomaly scorer does not support checkpointing");
+  }
+  if (!writer.ok()) return Status::IoError("checkpoint stream write failed");
   // The model exists meaningfully only after the initial fit; LoadState
   // mirrors this condition.
-  return trained_ ? model_->SaveState(out) : true;
+  if (trained_ && !model_->SaveState(out)) {
+    return Status::Unimplemented("model does not support checkpointing");
+  }
+  return Status::Ok();
 }
 
-bool StreamingDetector::LoadState(std::istream* in) {
+Status StreamingDetector::LoadState(std::istream* in) {
   STREAMAD_CHECK(in != nullptr);
   io::BinaryReader reader(in);
   std::uint64_t window = 0;
@@ -123,28 +150,48 @@ bool StreamingDetector::LoadState(std::istream* in) {
   std::int64_t scorable = 0;
   std::uint64_t trained = 0;
   std::int64_t finetunes = 0;
-  if (!reader.ExpectString("streamad.detector.v1") ||
-      !reader.ReadU64(&window) || !reader.ReadU64(&initial) ||
+  if (!reader.ExpectString("streamad.detector.v1")) {
+    return Status::DataLoss("not a streamad.detector.v1 archive");
+  }
+  if (!reader.ReadU64(&window) || !reader.ReadU64(&initial) ||
       !reader.ReadU64(&finetuning) || !reader.ReadI64(&t) ||
       !reader.ReadI64(&scorable) || !reader.ReadU64(&trained) ||
       !reader.ReadI64(&finetunes)) {
-    return false;
+    return Status::DataLoss("checkpoint header truncated");
   }
-  if (window != options_.window ||
-      initial != options_.initial_train_steps) {
-    return false;  // checkpoint from a differently configured detector
+  // Checkpoints from a differently configured detector are rejected before
+  // any component state is touched.
+  if (window != window_) {
+    return Status::FailedPrecondition(
+        "window mismatch: archived " + std::to_string(window) +
+        ", configured " + std::to_string(window_));
   }
-  if (!representation_.Load(&reader)) return false;
-  if (!strategy_->LoadState(&reader)) return false;
-  if (!drift_->LoadState(&reader)) return false;
-  if (!scorer_->LoadState(&reader)) return false;
-  if (trained != 0 && !model_->LoadState(in)) return false;
-  options_.finetuning_enabled = finetuning != 0;
+  if (initial != initial_train_steps_) {
+    return Status::FailedPrecondition(
+        "initial_train_steps mismatch: archived " + std::to_string(initial) +
+        ", configured " + std::to_string(initial_train_steps_));
+  }
+  if (Status status = representation_.Load(&reader); !status.ok()) {
+    return status;
+  }
+  if (!strategy_->LoadState(&reader)) {
+    return Status::DataLoss("training-set strategy state corrupt or foreign");
+  }
+  if (!drift_->LoadState(&reader)) {
+    return Status::DataLoss("drift-detector state corrupt or foreign");
+  }
+  if (!scorer_->LoadState(&reader)) {
+    return Status::DataLoss("anomaly-scorer state corrupt or foreign");
+  }
+  if (trained != 0 && !model_->LoadState(in)) {
+    return Status::DataLoss("model state corrupt, foreign, or mismatched");
+  }
+  finetuning_enabled_ = finetuning != 0;
   t_ = t;
   scorable_steps_ = scorable;
   trained_ = trained != 0;
   finetune_count_ = finetunes;
-  return true;
+  return Status::Ok();
 }
 
 void StreamingDetector::set_recorder(obs::Recorder* recorder) {
@@ -208,8 +255,7 @@ StreamingDetector::StepResult StreamingDetector::Step(const StreamVector& s) {
       obs::StageSpan span(recorder_, obs::Stage::kDriftCheck);
       drift_->Observe(strategy_->set(), update, t_);
     }
-    if (scorable_steps_ >=
-            static_cast<std::int64_t>(options_.initial_train_steps) &&
+    if (scorable_steps_ >= static_cast<std::int64_t>(initial_train_steps_) &&
         !strategy_->set().empty()) {
       {
         obs::StageSpan span(recorder_, obs::Stage::kFit);
@@ -244,8 +290,8 @@ StreamingDetector::StepResult StreamingDetector::Step(const StreamVector& s) {
   {
     obs::StageSpan span(recorder_, obs::Stage::kDriftCheck);
     drift_->Observe(strategy_->set(), update, t_);
-    should_finetune = options_.finetuning_enabled &&
-                      drift_->ShouldFinetune(strategy_->set(), t_);
+    should_finetune =
+        finetuning_enabled_ && drift_->ShouldFinetune(strategy_->set(), t_);
   }
 
   if (should_finetune) {

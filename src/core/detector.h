@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "src/core/component_interfaces.h"
+#include "src/core/status.h"
 #include "src/core/training_set.h"
 #include "src/core/types.h"
 
@@ -14,6 +15,8 @@ class Recorder;
 }
 
 namespace streamad::core {
+
+struct DetectorConfig;  // src/core/detector_config.h
 
 /// The single data representation of the paper (§IV-A): the raw window of
 /// the last `w` stream vectors, `x_t = [s_{t-w+1}, ..., s_t]ᵀ`.
@@ -36,9 +39,10 @@ class WindowRepresentation {
   FeatureVector Current(std::int64_t t) const;
 
   /// Checkpointing (io/binary_io.h): the ring buffer of recent stream
-  /// vectors. `Load` requires the archived window length to match.
+  /// vectors. `Load` requires the archived window length to match and
+  /// reports mismatches with a diagnosable message.
   void Save(io::BinaryWriter* writer) const;
-  bool Load(io::BinaryReader* reader);
+  Status Load(io::BinaryReader* reader);
 
  private:
   std::size_t window_;
@@ -61,16 +65,9 @@ class WindowRepresentation {
 ///      drift detector may trigger a one-epoch fine-tune.
 class StreamingDetector {
  public:
-  struct Options {
-    /// Data representation length `w` (paper default 100).
-    std::size_t window = 100;
-    /// Number of initial steps used to build the training set and fit the
-    /// model before any score is emitted (paper default 5000).
-    std::size_t initial_train_steps = 5000;
-    /// Master switch for Task-2 fine-tuning. The Figure-1 experiment runs a
-    /// twin detector with this disabled to obtain the "previous model".
-    bool finetuning_enabled = true;
-  };
+  /// Transitional alias, one PR long: the nested options struct was merged
+  /// into the unified `core::DetectorConfig` (src/core/detector_config.h).
+  using Options [[deprecated("use core::DetectorConfig")]] = DetectorConfig;
 
   /// Outcome of one `Step`.
   struct StepResult {
@@ -84,7 +81,10 @@ class StreamingDetector {
     bool finetuned = false;
   };
 
-  StreamingDetector(const Options& options,
+  /// Only `window`, `initial_train_steps` and `finetuning_enabled` are
+  /// consumed here; the per-component parameters of `config` are applied
+  /// by `BuildDetector` when it constructs the injected components.
+  StreamingDetector(const DetectorConfig& config,
                     std::unique_ptr<TrainingSetStrategy> strategy,
                     std::unique_ptr<DriftDetector> drift,
                     std::unique_ptr<Model> model,
@@ -104,9 +104,7 @@ class StreamingDetector {
   bool trained() const { return trained_; }
 
   /// Toggles fine-tuning at runtime (Figure-1 fork experiment).
-  void set_finetuning_enabled(bool enabled) {
-    options_.finetuning_enabled = enabled;
-  }
+  void set_finetuning_enabled(bool enabled) { finetuning_enabled_ = enabled; }
 
   /// Attaches a telemetry recorder (src/obs): every subsequent `Step` is
   /// broken into per-stage wall-clock spans, counters and (optionally)
@@ -127,14 +125,15 @@ class StreamingDetector {
   /// anomaly-score window, model parameters and step counters. A detector
   /// restored from the checkpoint continues the stream bit-identically,
   /// including every future stochastic decision (the strategy RNG state
-  /// travels with the archive). Returns false if any composed component
-  /// does not support checkpointing or on I/O failure.
-  bool SaveState(std::ostream* out) const;
+  /// travels with the archive). Errors name the failing component or the
+  /// I/O condition.
+  Status SaveState(std::ostream* out) const;
 
   /// Restores a checkpoint produced by `SaveState` into a detector built
-  /// with the same components and options. Returns false on mismatch or
-  /// malformed input; the detector must not be used after a failed load.
-  bool LoadState(std::istream* in);
+  /// with the same components and configuration. On error the returned
+  /// status pinpoints the mismatch (e.g. "window mismatch: archived 100,
+  /// configured 50"); the detector must not be used after a failed load.
+  Status LoadState(std::istream* in);
 
  private:
   /// Closes the step on the attached recorder. When a flight recorder is
@@ -143,7 +142,9 @@ class StreamingDetector {
   /// that feeds back into the pipeline.
   void FinishStep(const StreamVector& s, const StepResult& result);
 
-  Options options_;
+  std::size_t window_;
+  std::size_t initial_train_steps_;
+  bool finetuning_enabled_;
   WindowRepresentation representation_;
   std::unique_ptr<TrainingSetStrategy> strategy_;
   std::unique_ptr<DriftDetector> drift_;

@@ -1,0 +1,26 @@
+#include "src/core/status.h"
+
+namespace streamad::core {
+
+const char* ToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+  }
+  return "?";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = streamad::core::ToString(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace streamad::core

@@ -1,0 +1,77 @@
+#ifndef STREAMAD_CORE_STATUS_H_
+#define STREAMAD_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace streamad::core {
+
+/// Outcome classes for fallible operations. The library does not use
+/// exceptions (DESIGN.md); operations that can fail for environmental
+/// reasons — checkpoint archives, files, stores — return a `Status`
+/// instead of a bare bool so callers (and fleet operators reading logs)
+/// see *why* something failed, e.g. "window mismatch: archived 100,
+/// configured 50". Programming errors still abort via STREAMAD_CHECK.
+enum class StatusCode {
+  kOk,
+  /// Caller-supplied value out of contract (bad key, empty blob).
+  kInvalidArgument,
+  /// The operation requires state the object is not in (configuration
+  /// mismatch between a checkpoint and the receiving detector).
+  kFailedPrecondition,
+  /// The archive or blob is truncated, corrupt, or of a foreign format.
+  kDataLoss,
+  /// A requested entity (checkpoint key, session id) does not exist.
+  kNotFound,
+  /// The underlying stream or filesystem operation failed.
+  kIoError,
+  /// The composed component does not support the operation.
+  kUnimplemented,
+};
+
+const char* ToString(StatusCode code);
+
+/// A cheap value type carrying a `StatusCode` plus a human-readable
+/// message. Default-constructed status is OK; error factories require a
+/// message so failures are always diagnosable.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>", for logs and CHECK messages.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace streamad::core
+
+#endif  // STREAMAD_CORE_STATUS_H_

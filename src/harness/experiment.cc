@@ -1,5 +1,7 @@
 #include "src/harness/experiment.h"
 
+#include <memory>
+
 #include "src/common/check.h"
 #include "src/metrics/nab_score.h"
 #include "src/metrics/pr_auc.h"
@@ -17,10 +19,33 @@ std::vector<int> RunTrace::AlignedLabels(
           static_cast<std::ptrdiff_t>(first_scored + scores.size()));
 }
 
+obs::RecorderOptions ToRecorderOptions(const RunOptions& options) {
+  obs::RecorderOptions recorder_options;
+  recorder_options.trace = options.trace;
+  recorder_options.trace_sample_every = options.trace_sample_every;
+  recorder_options.label = options.label;
+  recorder_options.flight_capacity = options.flight_capacity;
+  if (options.flight_capacity > 0 && !options.flight_dump_dir.empty()) {
+    recorder_options.flight_dump_path = options.flight_dump_dir + "/flight_" +
+                                        SanitizeRunLabel(options.label) +
+                                        ".jsonl";
+  }
+  return recorder_options;
+}
+
 RunTrace RunDetector(core::StreamingDetector* detector,
                      const data::LabeledSeries& series,
-                     obs::Recorder* recorder) {
+                     const RunOptions& options) {
   STREAMAD_CHECK(detector != nullptr);
+  // A pre-built recorder wins; otherwise a registry requests a run-scoped
+  // recorder built from the remaining fields.
+  obs::Recorder* recorder = options.recorder;
+  std::unique_ptr<obs::Recorder> owned;
+  if (recorder == nullptr && options.metrics != nullptr) {
+    owned = std::make_unique<obs::Recorder>(options.metrics,
+                                            ToRecorderOptions(options));
+    recorder = owned.get();
+  }
   if (recorder != nullptr) detector->set_recorder(recorder);
   RunTrace trace;
   bool any_scored = false;
@@ -47,6 +72,14 @@ RunTrace RunDetector(core::StreamingDetector* detector,
   STREAMAD_CHECK_MSG(any_scored,
                      "series shorter than warm-up + initial training");
   return trace;
+}
+
+RunTrace RunDetector(core::StreamingDetector* detector,
+                     const data::LabeledSeries& series,
+                     obs::Recorder* recorder) {
+  RunOptions options;
+  options.recorder = recorder;
+  return RunDetector(detector, series, options);
 }
 
 MetricSummary MetricSummary::Mean(const std::vector<MetricSummary>& parts) {
@@ -106,25 +139,12 @@ MetricSummary EvaluateAlgorithmOnCorpus(const core::AlgorithmSpec& spec,
   for (const data::LabeledSeries& series : corpus.series) {
     auto detector =
         core::BuildDetector(spec, score, config.params, config.seed);
-    RunTrace trace;
-    if (config.metrics != nullptr) {
-      // One recorder per run; the shared registry aggregates across the
-      // parallel sweep's threads.
-      obs::RecorderOptions options;
-      options.trace = config.trace;
-      options.trace_sample_every = config.trace_sample_every;
-      options.label = core::SpecLabel(spec) + "/" + core::ToString(score) +
-                      "/s" + std::to_string(series_index);
-      options.flight_capacity = config.flight_capacity;
-      if (config.flight_capacity > 0 && !config.flight_dump_dir.empty()) {
-        options.flight_dump_path = config.flight_dump_dir + "/flight_" +
-                                   SanitizeRunLabel(options.label) + ".jsonl";
-      }
-      obs::Recorder recorder(config.metrics, std::move(options));
-      trace = RunDetector(detector.get(), series, &recorder);
-    } else {
-      trace = RunDetector(detector.get(), series);
-    }
+    // One recorder per run (when the registry is set); the shared registry
+    // aggregates across the parallel sweep's threads.
+    RunOptions run = config.run;
+    run.label = core::SpecLabel(spec) + "/" + core::ToString(score) + "/s" +
+                std::to_string(series_index);
+    const RunTrace trace = RunDetector(detector.get(), series, run);
     parts.push_back(Evaluate(trace, series));
     ++series_index;
   }

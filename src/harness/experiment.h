@@ -2,6 +2,7 @@
 #define STREAMAD_HARNESS_EXPERIMENT_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/core/algorithm_spec.h"
@@ -30,13 +31,55 @@ struct RunTrace {
   std::vector<int> AlignedLabels(const data::LabeledSeries& series) const;
 };
 
+/// Observability attachments for one detector run. This is the ONE place
+/// where telemetry wiring is described — shared by `RunDetector`, the
+/// sweep drivers (via `EvalConfig::run`) and the serving layer's sessions
+/// (`serve::SessionConfig::run`) — so the registry / trace / flight knobs
+/// cannot drift between the harness and `obs::RecorderOptions` again.
+struct RunOptions {
+  /// When set, the run is instrumented with an `obs::Recorder` on this
+  /// registry (thread-safe; concurrent runs may share it). Not owned.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional shared JSONL trace sink (requires `metrics`). Not owned.
+  obs::TraceSink* trace = nullptr;
+  /// Trace sampling: every Nth scored step per run (fine-tune steps are
+  /// always traced). 64 bounds trace volume during full-table sweeps.
+  std::size_t trace_sample_every = 64;
+  /// Flight recorder ring capacity per run (0 disables). Requires
+  /// `metrics`. The recorder retains the last N steps of full pipeline
+  /// state (src/obs/flight_recorder.h).
+  std::size_t flight_capacity = 0;
+  /// Directory for flight dumps. When non-empty (and `flight_capacity >
+  /// 0`), the ring is dumped to `<dir>/flight_<sanitised label>.jsonl` on
+  /// fine-tunes and on `STREAMAD_CHECK` failures. Must already exist.
+  std::string flight_dump_dir;
+  /// Label stamped on trace records and flight dump file names; sweep
+  /// drivers derive it per run ("<spec>/<score>/s<series>").
+  std::string label;
+  /// Escape hatch: attach THIS pre-built recorder instead of constructing
+  /// one from the fields above (which are then ignored). Not owned.
+  obs::Recorder* recorder = nullptr;
+};
+
+/// Expands `options` into per-run `obs::RecorderOptions` (label and flight
+/// dump path derivation). The single conversion point between the harness
+/// and the obs layer.
+obs::RecorderOptions ToRecorderOptions(const RunOptions& options);
+
 /// Streams `series` through `detector` and records the trace. When
-/// `recorder` is non-null it is attached for the duration of the run
-/// (detached afterwards) and its per-stage totals are copied into the
-/// returned trace.
+/// `options` request telemetry (a registry or a pre-built recorder), the
+/// recorder is attached for the duration of the run (detached afterwards)
+/// and its per-stage totals are copied into the returned trace.
 RunTrace RunDetector(core::StreamingDetector* detector,
                      const data::LabeledSeries& series,
-                     obs::Recorder* recorder = nullptr);
+                     const RunOptions& options = RunOptions());
+
+/// Transitional overload, one PR long: the trailing recorder argument
+/// folded into `RunOptions::recorder`.
+[[deprecated("pass the recorder via RunOptions::recorder")]]
+RunTrace RunDetector(core::StreamingDetector* detector,
+                     const data::LabeledSeries& series,
+                     obs::Recorder* recorder);
 
 /// One Table III cell: the five reported metrics.
 struct MetricSummary {
@@ -58,29 +101,13 @@ MetricSummary Evaluate(const RunTrace& trace,
 
 /// Shared configuration of the Table III / ablation sweeps.
 struct EvalConfig {
-  core::DetectorParams params;
+  core::DetectorConfig params;
   std::uint64_t seed = 7;
 
-  /// Optional shared telemetry registry. When set, every detector run of
-  /// the sweep is instrumented with its own `obs::Recorder` on this
-  /// registry — the registry is thread-safe, so the `ParallelFor` sweeps
-  /// record concurrently. Not owned.
-  obs::MetricsRegistry* metrics = nullptr;
-  /// Optional shared JSONL trace sink (requires `metrics`). Not owned.
-  obs::TraceSink* trace = nullptr;
-  /// Trace sampling: every Nth scored step per run (fine-tune steps are
-  /// always traced). 64 bounds trace volume during full-table sweeps.
-  std::size_t trace_sample_every = 64;
-
-  /// Flight recorder ring capacity per run (0 disables). Requires
-  /// `metrics`. Each run's recorder retains its last N steps of full
-  /// pipeline state (src/obs/flight_recorder.h).
-  std::size_t flight_capacity = 0;
-  /// Directory for per-run flight dumps. When non-empty (and
-  /// `flight_capacity > 0`), each run dumps its ring to
-  /// `<dir>/flight_<sanitised run label>.jsonl` on fine-tunes and on
-  /// `STREAMAD_CHECK` failures. The directory must already exist.
-  std::string flight_dump_dir;
+  /// Per-run observability attachments. The sweep stamps a fresh
+  /// `RunOptions::label` per (spec, score, series) run; everything else is
+  /// forwarded verbatim to `RunDetector`.
+  RunOptions run;
 };
 
 /// `label` with every character outside `[A-Za-z0-9_.-]` replaced by '_',

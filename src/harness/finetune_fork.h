@@ -19,7 +19,7 @@ struct FinetuneForkConfig {
   core::AlgorithmSpec spec = {core::ModelType::kUsad,
                               core::Task1::kSlidingWindow,
                               core::Task2::kMuSigma};
-  core::DetectorParams params;
+  core::DetectorConfig params;
   std::uint64_t seed = 11;
 
   /// Stream construction.

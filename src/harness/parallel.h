@@ -1,8 +1,14 @@
 #ifndef STREAMAD_HARNESS_PARALLEL_H_
 #define STREAMAD_HARNESS_PARALLEL_H_
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <utility>
+
+#include "src/common/check.h"
 
 namespace streamad::harness {
 
@@ -22,6 +28,86 @@ namespace streamad::harness {
 void ParallelFor(std::size_t count,
                  const std::function<void(std::size_t)>& work,
                  std::size_t max_threads = 0);
+
+/// A bounded multi-producer FIFO with a non-blocking, three-outcome push —
+/// the ingestion primitive of the serving layer's shard queues
+/// (src/serve/fleet.h). Producers never block: a full queue REJECTS the
+/// item and a queue at or above the watermark accepts it but reports
+/// `kAboveWatermark`, which the fleet surfaces to callers as explicit
+/// backpressure. The consumer side blocks in `Pop` until an item arrives
+/// or the queue is closed and drained; items come out in push order, which
+/// is what preserves per-session ordering when one consumer owns a shard.
+template <typename T>
+class BoundedQueue {
+ public:
+  enum class Push {
+    /// Enqueued; the queue is comfortably below the watermark.
+    kAccepted,
+    /// Enqueued, but the queue depth reached the watermark — the producer
+    /// should slow down.
+    kAboveWatermark,
+    /// Not enqueued: the queue is at capacity (or closed).
+    kRejected,
+  };
+
+  /// `watermark` of 0 derives 3/4 of `capacity` (at least 1).
+  explicit BoundedQueue(std::size_t capacity, std::size_t watermark = 0)
+      : capacity_(capacity),
+        watermark_(watermark == 0 ? (capacity * 3 + 3) / 4 : watermark) {
+    STREAMAD_CHECK_MSG(capacity_ > 0, "queue capacity must be positive");
+    STREAMAD_CHECK_MSG(watermark_ <= capacity_,
+                       "watermark must not exceed capacity");
+  }
+
+  /// Never blocks. Thread-safe against concurrent pushes and pops.
+  Push TryPush(T value) {
+    std::size_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return Push::kRejected;
+      items_.push_back(std::move(value));
+      depth = items_.size();
+    }
+    ready_.notify_one();
+    return depth >= watermark_ ? Push::kAboveWatermark : Push::kAccepted;
+  }
+
+  /// Blocks until an item is available (returns true) or the queue has
+  /// been closed and fully drained (returns false).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// After closing, pushes are rejected; pops drain the remaining items.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t watermark() const { return watermark_; }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t watermark_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
 
 }  // namespace streamad::harness
 

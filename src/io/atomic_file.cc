@@ -1,0 +1,45 @@
+#include "src/io/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace streamad::io {
+
+core::Status WriteFileAtomic(const std::string& path,
+                             const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return core::Status::IoError("cannot open for write: " + tmp);
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return core::Status::IoError("short write: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return core::Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  return core::Status::Ok();
+}
+
+core::Status ReadFileToString(const std::string& path, std::string* contents) {
+  STREAMAD_CHECK(contents != nullptr);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return core::Status::NotFound("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return core::Status::IoError("read failed: " + path);
+  *contents = buffer.str();
+  return core::Status::Ok();
+}
+
+}  // namespace streamad::io

@@ -1,0 +1,22 @@
+#ifndef STREAMAD_IO_ATOMIC_FILE_H_
+#define STREAMAD_IO_ATOMIC_FILE_H_
+
+#include <string>
+
+#include "src/core/status.h"
+
+namespace streamad::io {
+
+/// Writes `contents` to `path` atomically: the bytes go to `<path>.tmp`
+/// first and are renamed into place, so readers never observe a torn
+/// checkpoint even if the process dies mid-write. Used by the serving
+/// layer's on-disk checkpoint store (src/serve/checkpoint_store.h).
+core::Status WriteFileAtomic(const std::string& path,
+                             const std::string& contents);
+
+/// Reads the whole of `path` into `*contents` (binary, replaced).
+core::Status ReadFileToString(const std::string& path, std::string* contents);
+
+}  // namespace streamad::io
+
+#endif  // STREAMAD_IO_ATOMIC_FILE_H_

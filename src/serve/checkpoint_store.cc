@@ -1,0 +1,56 @@
+#include "src/serve/checkpoint_store.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "src/harness/experiment.h"
+#include "src/io/atomic_file.h"
+
+namespace streamad::serve {
+
+core::Status MemoryCheckpointStore::Put(const std::string& key,
+                                        const std::string& blob) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  blobs_[key] = blob;
+  return core::Status::Ok();
+}
+
+core::Status MemoryCheckpointStore::Get(const std::string& key,
+                                        std::string* blob) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return core::Status::NotFound("no checkpoint for key: " + key);
+  }
+  *blob = it->second;
+  return core::Status::Ok();
+}
+
+std::size_t MemoryCheckpointStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blobs_.size();
+}
+
+DiskCheckpointStore::DiskCheckpointStore(std::string directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  // A pre-existing directory is fine; an unusable one surfaces as an
+  // IoError on the first Put.
+}
+
+std::string DiskCheckpointStore::PathFor(const std::string& key) const {
+  return directory_ + "/" + harness::SanitizeRunLabel(key) + ".ckpt";
+}
+
+core::Status DiskCheckpointStore::Put(const std::string& key,
+                                      const std::string& blob) {
+  return io::WriteFileAtomic(PathFor(key), blob);
+}
+
+core::Status DiskCheckpointStore::Get(const std::string& key,
+                                      std::string* blob) {
+  return io::ReadFileToString(PathFor(key), blob);
+}
+
+}  // namespace streamad::serve

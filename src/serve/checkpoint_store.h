@@ -1,0 +1,61 @@
+#ifndef STREAMAD_SERVE_CHECKPOINT_STORE_H_
+#define STREAMAD_SERVE_CHECKPOINT_STORE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/core/status.h"
+
+namespace streamad::serve {
+
+/// Blob storage for evicted detector sessions. Keys are stream ids; values
+/// are the byte-exact `StreamingDetector::SaveState` archives. A store
+/// must be safe for concurrent use from all shard workers.
+class CheckpointStore {
+ public:
+  virtual ~CheckpointStore() = default;
+
+  /// Stores `blob` under `key`, replacing any previous value.
+  virtual core::Status Put(const std::string& key,
+                           const std::string& blob) = 0;
+
+  /// Fetches the blob stored under `key` into `*blob`.
+  virtual core::Status Get(const std::string& key, std::string* blob) = 0;
+};
+
+/// In-memory store: a mutex-guarded map. The fleet tests use it to force
+/// thousands of evict/rehydrate cycles without filesystem traffic.
+class MemoryCheckpointStore : public CheckpointStore {
+ public:
+  core::Status Put(const std::string& key, const std::string& blob) override;
+  core::Status Get(const std::string& key, std::string* blob) override;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> blobs_;
+};
+
+/// On-disk store: one `<dir>/<sanitised key>.ckpt` file per session,
+/// written atomically (src/io/atomic_file.h) so a crash mid-eviction never
+/// leaves a torn archive. The directory is created on construction.
+class DiskCheckpointStore : public CheckpointStore {
+ public:
+  explicit DiskCheckpointStore(std::string directory);
+
+  core::Status Put(const std::string& key, const std::string& blob) override;
+  core::Status Get(const std::string& key, std::string* blob) override;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  std::string PathFor(const std::string& key) const;
+
+  std::string directory_;
+};
+
+}  // namespace streamad::serve
+
+#endif  // STREAMAD_SERVE_CHECKPOINT_STORE_H_

@@ -1,0 +1,355 @@
+#include "src/serve/fleet.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
+#include "src/obs/timer.h"
+
+namespace streamad::serve {
+
+const char* ToString(Admission admission) {
+  switch (admission) {
+    case Admission::kQueued: return "queued";
+    case Admission::kThrottled: return "throttled";
+    case Admission::kDropped: return "dropped";
+  }
+  return "?";
+}
+
+DetectorFleet::DetectorFleet(const FleetOptions& options) : options_(options) {
+  STREAMAD_CHECK_MSG(options_.shards > 0, "fleet needs at least one shard");
+  STREAMAD_CHECK_MSG(options_.queue_capacity > 0,
+                     "shard queues need positive capacity");
+  const bool evicting = options_.max_resident_per_shard > 0 ||
+                        options_.force_evict_every > 0;
+  STREAMAD_CHECK_MSG(!evicting || options_.store != nullptr,
+                     "session eviction requires a checkpoint store");
+  if (options_.metrics != nullptr) {
+    events_counter_ =
+        options_.metrics->GetCounter("streamad_serve_events_total");
+    throttled_counter_ =
+        options_.metrics->GetCounter("streamad_serve_throttled_total");
+    dropped_counter_ =
+        options_.metrics->GetCounter("streamad_serve_dropped_total");
+    evictions_counter_ =
+        options_.metrics->GetCounter("streamad_serve_evictions_total");
+    rehydrations_counter_ =
+        options_.metrics->GetCounter("streamad_serve_rehydrations_total");
+  }
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>(options_.queue_capacity,
+                                         options_.throttle_watermark);
+    if (options_.metrics != nullptr) {
+      const std::string prefix =
+          "streamad_serve_shard" + std::to_string(i) + "_";
+      shard->queue_depth =
+          options_.metrics->GetGauge(prefix + "queue_depth");
+      shard->step_ns = options_.metrics->GetHistogram(
+          prefix + "step_ns", obs::Recorder::LatencyBucketsNs());
+    }
+    shards_.push_back(std::move(shard));
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->worker = std::thread([this, raw] { WorkerLoop(raw); });
+  }
+}
+
+DetectorFleet::~DetectorFleet() { Stop(); }
+
+std::size_t DetectorFleet::ShardOf(const std::string& stream_id) const {
+  return std::hash<std::string>{}(stream_id) % options_.shards;
+}
+
+core::Status DetectorFleet::CreateSession(const std::string& stream_id,
+                                          const SessionConfig& config) {
+  if (stream_id.empty()) {
+    return core::Status::InvalidArgument("stream id must be non-empty");
+  }
+  auto session = std::make_unique<Session>();
+  session->id = stream_id;
+  session->config = config;
+  session->shard = ShardOf(stream_id);
+  session->detector = core::BuildDetector(config.spec, config.score,
+                                          config.detector, config.seed);
+  if (config.run.recorder != nullptr) {
+    session->detector->set_recorder(config.run.recorder);
+  } else if (config.run.metrics != nullptr) {
+    harness::RunOptions run = config.run;
+    if (run.label.empty()) run.label = stream_id;
+    session->recorder = std::make_unique<obs::Recorder>(
+        run.metrics, harness::ToRecorderOptions(run));
+    session->detector->set_recorder(session->recorder.get());
+  }
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  if (stopped_) {
+    return core::Status::FailedPrecondition("fleet is stopped");
+  }
+  if (sessions_.count(stream_id) != 0) {
+    return core::Status::InvalidArgument("session already exists: " +
+                                         stream_id);
+  }
+  ++shards_[session->shard]->resident;
+  sessions_.emplace(stream_id, std::move(session));
+  return core::Status::Ok();
+}
+
+DetectorFleet::Session* DetectorFleet::FindSession(
+    const std::string& stream_id) const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const auto it = sessions_.find(stream_id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+// STREAMAD_HOT: fleet ingress — one session lookup, one bounded-queue push
+// and the admission decision per event; the unavoidable allocation is the
+// queue's copy of the stream vector (it must own the event).
+Admission DetectorFleet::Submit(const std::string& stream_id,
+                                const core::StreamVector& s) {
+  Session* session = FindSession(stream_id);
+  STREAMAD_CHECK_MSG(session != nullptr, "Submit for unknown stream id");
+  Shard* shard = shards_[session->shard].get();
+  QueuedEvent event;
+  event.session = session;
+  event.values = s;
+  // Count the event in-flight BEFORE the push so a concurrent WaitIdle
+  // cannot observe an empty queue between push and worker pickup.
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  const auto push = shard->queue.TryPush(std::move(event));
+  if (shard->queue_depth != nullptr) {
+    shard->queue_depth->Set(static_cast<double>(shard->queue.size()));
+  }
+  if (push == harness::BoundedQueue<QueuedEvent>::Push::kRejected) {
+    FinishEvent();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (dropped_counter_ != nullptr) dropped_counter_->Increment();
+    return Admission::kDropped;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (events_counter_ != nullptr) events_counter_->Increment();
+  if (push == harness::BoundedQueue<QueuedEvent>::Push::kAboveWatermark) {
+    throttled_.fetch_add(1, std::memory_order_relaxed);
+    if (throttled_counter_ != nullptr) throttled_counter_->Increment();
+    return Admission::kThrottled;
+  }
+  return Admission::kQueued;
+}
+
+void DetectorFleet::WorkerLoop(Shard* shard) {
+  QueuedEvent event;
+  while (shard->queue.Pop(&event)) {
+    ProcessEvent(shard, event.session, event.values);
+    if (shard->queue_depth != nullptr) {
+      shard->queue_depth->Set(static_cast<double>(shard->queue.size()));
+    }
+    FinishEvent();
+  }
+}
+
+// STREAMAD_HOT: the fleet's per-event path. The resident fast path is one
+// detector step plus result delivery; rehydration and eviction are cold
+// helpers so their (unavoidable) serialisation work stays out of this
+// block.
+void DetectorFleet::ProcessEvent(Shard* shard, Session* session,
+                                 const core::StreamVector& values) {
+  ++shard->tick;
+  session->last_used = shard->tick;
+  if (!session->health.ok()) {
+    // Poisoned session (failed rehydration): drop, don't crash the fleet.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (session->detector == nullptr && !RestoreSession(session)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (options_.max_resident_per_shard > 0) {
+    EnforceResidencyCap(shard, session);
+  }
+  const bool timed = shard->step_ns != nullptr;
+  const std::uint64_t start = timed ? obs::NowNs() : 0;
+  const core::StreamingDetector::StepResult step =
+      session->detector->Step(values);
+  if (timed) {
+    shard->step_ns->Observe(static_cast<double>(obs::NowNs() - start));
+  }
+  ++session->since_restore;
+  processed_.fetch_add(1, std::memory_order_relaxed);
+  if (step.scored) {
+    SessionStepResult result;
+    result.t = session->detector->t();
+    result.step = step;
+    DeliverResult(shard, session, result);
+  }
+  if (options_.force_evict_every > 0 &&
+      session->since_restore >= options_.force_evict_every) {
+    EvictSession(shard, session);
+  }
+}
+
+void DetectorFleet::DeliverResult(Shard* shard, Session* session,
+                                  const SessionStepResult& result) {
+  if (session->config.on_result) {
+    // Shard workers are the only callers, one per shard: callbacks of one
+    // session are serialised without any lock.
+    session->config.on_result(session->id, result);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(shard->results_mutex);
+  session->results.push_back(result);
+  if (session->results.size() > options_.result_ring_capacity) {
+    session->results.pop_front();
+    result_overflow_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool DetectorFleet::RestoreSession(Session* session) {
+  Shard* shard = shards_[session->shard].get();
+  std::string blob;
+  core::Status status = options_.store->Get(session->id, &blob);
+  if (status.ok()) {
+    auto detector =
+        core::BuildDetector(session->config.spec, session->config.score,
+                            session->config.detector, session->config.seed);
+    std::istringstream in(blob);
+    status = detector->LoadState(&in);
+    if (status.ok()) session->detector = std::move(detector);
+  }
+  if (!status.ok()) {
+    rehydrate_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(shard->results_mutex);
+    session->health = core::Status(
+        status.code(), "rehydration of '" + session->id +
+                           "' failed: " + status.message());
+    return false;
+  }
+  if (session->recorder != nullptr) {
+    session->detector->set_recorder(session->recorder.get());
+  } else if (session->config.run.recorder != nullptr) {
+    session->detector->set_recorder(session->config.run.recorder);
+  }
+  session->since_restore = 0;
+  rehydrations_.fetch_add(1, std::memory_order_relaxed);
+  if (rehydrations_counter_ != nullptr) rehydrations_counter_->Increment();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    ++shard->resident;
+  }
+  return true;
+}
+
+void DetectorFleet::EvictSession(Shard* shard, Session* session) {
+  std::ostringstream out;
+  core::Status status = session->detector->SaveState(&out);
+  if (status.ok()) status = options_.store->Put(session->id, out.str());
+  if (!status.ok()) {
+    // A session that cannot be serialised simply stays resident; eviction
+    // is an optimisation, not a correctness requirement.
+    return;
+  }
+  session->detector.reset();
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  if (evictions_counter_ != nullptr) evictions_counter_->Increment();
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  --shard->resident;
+}
+
+void DetectorFleet::EnforceResidencyCap(Shard* shard, Session* current) {
+  while (true) {
+    Session* victim = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      if (shard->resident <= options_.max_resident_per_shard) return;
+      std::uint64_t oldest = 0;
+      for (const auto& [id, session] : sessions_) {
+        if (session->shard != current->shard) continue;
+        if (session->detector == nullptr) continue;
+        if (session.get() == current) continue;
+        if (victim == nullptr || session->last_used < oldest) {
+          victim = session.get();
+          oldest = session->last_used;
+        }
+      }
+    }
+    if (victim == nullptr) return;  // only the active session is resident
+    EvictSession(shard, victim);
+  }
+}
+
+std::size_t DetectorFleet::Poll(const std::string& stream_id,
+                                std::vector<SessionStepResult>* out,
+                                std::size_t limit) {
+  STREAMAD_CHECK(out != nullptr);
+  Session* session = FindSession(stream_id);
+  STREAMAD_CHECK_MSG(session != nullptr, "Poll for unknown stream id");
+  Shard* shard = shards_[session->shard].get();
+  std::lock_guard<std::mutex> lock(shard->results_mutex);
+  std::size_t moved = 0;
+  while (!session->results.empty() && (limit == 0 || moved < limit)) {
+    out->push_back(session->results.front());
+    session->results.pop_front();
+    ++moved;
+  }
+  return moved;
+}
+
+core::Status DetectorFleet::SessionHealth(const std::string& stream_id) const {
+  Session* session = FindSession(stream_id);
+  if (session == nullptr) {
+    return core::Status::NotFound("unknown session: " + stream_id);
+  }
+  Shard* shard = shards_[session->shard].get();
+  std::lock_guard<std::mutex> lock(shard->results_mutex);
+  return session->health;
+}
+
+void DetectorFleet::WaitIdle() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void DetectorFleet::FinishEvent() {
+  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    idle_cv_.notify_all();
+  }
+}
+
+void DetectorFleet::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) shard->queue.Close();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+FleetStats DetectorFleet::Stats() const {
+  FleetStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.processed = processed_.load(std::memory_order_relaxed);
+  stats.throttled = throttled_.load(std::memory_order_relaxed);
+  stats.dropped = dropped_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.rehydrations = rehydrations_.load(std::memory_order_relaxed);
+  stats.rehydrate_failures =
+      rehydrate_failures_.load(std::memory_order_relaxed);
+  stats.result_overflow = result_overflow_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  stats.sessions = sessions_.size();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    stats.resident_sessions += shard->resident;
+  }
+  return stats;
+}
+
+}  // namespace streamad::serve

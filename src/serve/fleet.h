@@ -1,0 +1,268 @@
+#ifndef STREAMAD_SERVE_FLEET_H_
+#define STREAMAD_SERVE_FLEET_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/algorithm_spec.h"
+#include "src/core/detector_config.h"
+#include "src/core/status.h"
+#include "src/harness/experiment.h"
+#include "src/harness/parallel.h"
+#include "src/serve/checkpoint_store.h"
+
+namespace streamad::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+class Recorder;
+}  // namespace streamad::obs
+
+namespace streamad::serve {
+
+/// Outcome of `DetectorFleet::Submit`, the fleet's explicit backpressure
+/// contract. Producers that ignore `kThrottled` will eventually see
+/// `kDropped`; the fleet never blocks an ingestion thread.
+enum class Admission {
+  /// Enqueued on the session's shard; the shard is keeping up.
+  kQueued,
+  /// Enqueued, but the shard queue reached its watermark — slow down.
+  kThrottled,
+  /// Not enqueued: the shard queue is at capacity (or the fleet stopped).
+  kDropped,
+};
+
+const char* ToString(Admission admission);
+
+/// One scored step of a session, as delivered to its callback or result
+/// ring. `t` is the session-local stream step (the detector's `t()` at the
+/// time of the step), so consumers can re-order-check and join against the
+/// original series.
+struct SessionStepResult {
+  std::int64_t t = 0;
+  core::StreamingDetector::StepResult step;
+};
+
+/// Everything needed to (re)build one session's detector — the same
+/// `AlgorithmSpec` registry + `DetectorConfig` + seed triple that
+/// `BuildDetector` consumes, which is what makes eviction lossless: an
+/// evicted session is reconstructed from this config and `LoadState`, and
+/// continues bit-identically (the seed matters even for not-yet-trained
+/// sessions, whose model parameters are rebuilt rather than archived).
+struct SessionConfig {
+  core::AlgorithmSpec spec{core::ModelType::kOnlineArima,
+                           core::Task1::kSlidingWindow, core::Task2::kMuSigma};
+  core::ScoreType score = core::ScoreType::kAverage;
+  core::DetectorConfig detector;
+  std::uint64_t seed = 7;
+
+  /// When set, every scored step is pushed to this callback from the
+  /// session's shard worker (one thread per shard, so callbacks of one
+  /// session never run concurrently). When null, results accumulate in
+  /// the session's pollable ring (`DetectorFleet::Poll`).
+  std::function<void(const std::string& stream_id,
+                     const SessionStepResult& result)>
+      on_result;
+
+  /// Observability attachments for this session, same struct the harness
+  /// sweeps use (src/harness/experiment.h). When `run.metrics` is set the
+  /// session owns an `obs::Recorder` that survives eviction cycles (label
+  /// defaults to the stream id).
+  harness::RunOptions run;
+};
+
+struct FleetOptions {
+  /// Worker shards; sessions are hash-partitioned over them.
+  std::size_t shards = 4;
+  /// Per-shard queue capacity (events). Beyond it, `Submit` drops.
+  std::size_t queue_capacity = 1024;
+  /// Queue depth at which `Submit` starts returning `kThrottled`;
+  /// 0 derives 3/4 of `queue_capacity`.
+  std::size_t throttle_watermark = 0;
+
+  /// LRU session-cache bound per shard: when more sessions than this are
+  /// resident on a shard, the least-recently-used ones are evicted to the
+  /// checkpoint `store`. 0 keeps every session resident.
+  std::size_t max_resident_per_shard = 0;
+  /// Debug / test knob: evict a session after every K processed events
+  /// regardless of cache pressure (0 disables). The golden fleet test
+  /// uses this to force hundreds of save/load cycles through a short
+  /// stream and still demand bit-identical scores.
+  std::size_t force_evict_every = 0;
+  /// Destination for evicted session state. Required if either eviction
+  /// knob above is set. Not owned.
+  CheckpointStore* store = nullptr;
+
+  /// Per-session result ring capacity for sessions without a callback.
+  /// When a ring overflows, the OLDEST results are discarded and the
+  /// fleet-wide `result_overflow` counter advances.
+  std::size_t result_ring_capacity = 4096;
+
+  /// Optional registry for fleet metrics: per-shard queue-depth gauges
+  /// and step-latency histograms, plus event / throttle / drop / eviction
+  /// / rehydration counters. Not owned.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Counters snapshot (see `DetectorFleet::Stats`).
+struct FleetStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t throttled = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rehydrations = 0;
+  std::uint64_t rehydrate_failures = 0;
+  std::uint64_t result_overflow = 0;
+  std::size_t sessions = 0;
+  std::size_t resident_sessions = 0;
+};
+
+/// A fleet of named detector sessions behind one ingestion API.
+///
+/// `Submit(stream_id, s)` hashes the id to a shard and enqueues the event
+/// on that shard's bounded queue (`harness::BoundedQueue`); one worker
+/// thread per shard pops events in FIFO order and steps the session's
+/// detector, which preserves per-session ordering while distinct streams
+/// run concurrently. Results are delivered from the shard worker via the
+/// session callback, or buffered for `Poll`.
+///
+/// Sessions are created up front (`CreateSession`) and live until the
+/// fleet dies; the LRU cache only bounds how many *detectors* are resident
+/// in memory. Eviction serialises the full detector through `SaveState`
+/// into the checkpoint store; the next event for the session rebuilds the
+/// detector from its `SessionConfig` and restores it with `LoadState` —
+/// bit-identically, which is the fleet's golden-tested invariant.
+class DetectorFleet {
+ public:
+  explicit DetectorFleet(const FleetOptions& options);
+  ~DetectorFleet();
+
+  DetectorFleet(const DetectorFleet&) = delete;
+  DetectorFleet& operator=(const DetectorFleet&) = delete;
+
+  /// Registers a session and builds its detector (resident immediately).
+  /// Fails with `kInvalidArgument` if the id already exists.
+  core::Status CreateSession(const std::string& stream_id,
+                             const SessionConfig& config);
+
+  /// Enqueues one stream vector for `stream_id`. Never blocks. The id
+  /// must name a created session (programming error otherwise).
+  Admission Submit(const std::string& stream_id, const core::StreamVector& s);
+
+  /// Blocks until every accepted event has been fully processed.
+  void WaitIdle();
+
+  /// Drains up to `limit` buffered results (0 = all) of a callback-less
+  /// session into `*out` (appended, oldest first). Returns the number
+  /// moved.
+  std::size_t Poll(const std::string& stream_id,
+                   std::vector<SessionStepResult>* out, std::size_t limit = 0);
+
+  /// Health of one session: OK, the sticky error that poisoned it (e.g.
+  /// a failed rehydration — such sessions drop all further events), or
+  /// `kNotFound` for an id with no session.
+  core::Status SessionHealth(const std::string& stream_id) const;
+
+  /// Closes the queues and joins the workers; queued events are still
+  /// drained. Subsequent `Submit` calls return `kDropped`. Idempotent.
+  void Stop();
+
+  FleetStats Stats() const;
+
+  /// Shard a given id maps to (stable for the fleet's lifetime).
+  std::size_t ShardOf(const std::string& stream_id) const;
+
+  const FleetOptions& options() const { return options_; }
+
+ private:
+  struct Session {
+    std::string id;
+    SessionConfig config;
+    std::size_t shard = 0;
+    /// Null while evicted; only the owning shard worker mutates it after
+    /// creation.
+    std::unique_ptr<core::StreamingDetector> detector;
+    /// Session-owned recorder (built when `config.run` asks for one);
+    /// re-attached after every rehydration.
+    std::unique_ptr<obs::Recorder> recorder;
+    /// Sticky failure (rehydration / eviction error); poisons the session.
+    core::Status health;
+    std::uint64_t last_used = 0;        // shard tick of the last event
+    std::uint64_t since_restore = 0;    // events since creation/rehydration
+    std::deque<SessionStepResult> results;  // ring; guarded by shard mutex
+  };
+
+  struct QueuedEvent {
+    Session* session = nullptr;
+    core::StreamVector values;
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t capacity, std::size_t watermark)
+        : queue(capacity, watermark) {}
+    harness::BoundedQueue<QueuedEvent> queue;
+    std::thread worker;
+    std::uint64_t tick = 0;       // worker-only LRU clock
+    std::size_t resident = 0;     // guarded by sessions_mutex_
+    std::mutex results_mutex;     // guards Session::results of this shard
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* step_ns = nullptr;
+  };
+
+  void WorkerLoop(Shard* shard);
+  void ProcessEvent(Shard* shard, Session* session,
+                    const core::StreamVector& values);
+  void DeliverResult(Shard* shard, Session* session,
+                     const SessionStepResult& result);
+  /// Rebuilds + LoadStates an evicted session. Returns false (and poisons
+  /// the session) on store or archive errors.
+  bool RestoreSession(Session* session);
+  /// SaveStates `session` into the store and releases its detector.
+  void EvictSession(Shard* shard, Session* session);
+  /// Evicts LRU sessions of `shard` (other than `current`) while the
+  /// shard's resident count exceeds the cache bound.
+  void EnforceResidencyCap(Shard* shard, Session* current);
+  Session* FindSession(const std::string& stream_id) const;
+  void FinishEvent();
+
+  FleetOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex sessions_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Session>> sessions_;
+
+  std::atomic<std::uint64_t> inflight_{0};
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  bool stopped_ = false;  // guarded by sessions_mutex_
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> throttled_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> rehydrations_{0};
+  std::atomic<std::uint64_t> rehydrate_failures_{0};
+  std::atomic<std::uint64_t> result_overflow_{0};
+
+  obs::Counter* events_counter_ = nullptr;
+  obs::Counter* throttled_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
+  obs::Counter* rehydrations_counter_ = nullptr;
+};
+
+}  // namespace streamad::serve
+
+#endif  // STREAMAD_SERVE_FLEET_H_

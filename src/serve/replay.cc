@@ -1,0 +1,58 @@
+#include "src/serve/replay.h"
+
+#include <thread>
+
+#include "src/common/check.h"
+#include "src/serve/fleet.h"
+
+namespace streamad::serve {
+
+std::vector<StreamEvent> RoundRobinMerge(
+    const std::vector<data::LabeledSeries>& streams) {
+  std::size_t total = 0;
+  std::size_t longest = 0;
+  for (const data::LabeledSeries& series : streams) {
+    total += series.length();
+    if (series.length() > longest) longest = series.length();
+  }
+  std::vector<StreamEvent> events;
+  events.reserve(total);
+  for (std::size_t r = 0; r < longest; ++r) {
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (r >= streams[i].length()) continue;
+      StreamEvent event;
+      event.stream = i;
+      event.t = static_cast<std::int64_t>(r);
+      event.values = streams[i].At(r);
+      events.push_back(std::move(event));
+    }
+  }
+  return events;
+}
+
+std::uint64_t ReplayMerged(DetectorFleet* fleet,
+                           const std::vector<std::string>& ids,
+                           const std::vector<StreamEvent>& events) {
+  STREAMAD_CHECK(fleet != nullptr);
+  std::uint64_t throttled = 0;
+  for (const StreamEvent& event : events) {
+    STREAMAD_CHECK_MSG(event.stream < ids.size(),
+                       "event stream index out of range");
+    const std::string& id = ids[event.stream];
+    while (true) {
+      const Admission admission = fleet->Submit(id, event.values);
+      if (admission == Admission::kQueued) break;
+      if (admission == Admission::kThrottled) {
+        ++throttled;
+        break;
+      }
+      // kDropped: the shard queue is full — yield until it drains. The
+      // event MUST eventually go in (in order), so the replay blocks here
+      // rather than losing data.
+      std::this_thread::yield();
+    }
+  }
+  return throttled;
+}
+
+}  // namespace streamad::serve

@@ -1,0 +1,44 @@
+#ifndef STREAMAD_SERVE_REPLAY_H_
+#define STREAMAD_SERVE_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/data/series.h"
+
+namespace streamad::serve {
+
+class DetectorFleet;
+
+/// One event of an interleaved multi-stream replay: stream vector number
+/// `t` of stream `stream` (an index into the merged series list).
+struct StreamEvent {
+  std::size_t stream = 0;
+  std::int64_t t = 0;
+  core::StreamVector values;
+};
+
+/// Deterministically interleaves N series into one event stream: round
+/// `r` emits step `r` of every series that still has data, in series
+/// order. This is the replay shape of the fleet example / bench / golden
+/// test — an interleaving the single-series `harness::RunDetector` loop
+/// cannot express, but whose per-stream projection is exactly each
+/// original series (which is what makes the bit-identity invariant
+/// checkable).
+std::vector<StreamEvent> RoundRobinMerge(
+    const std::vector<data::LabeledSeries>& streams);
+
+/// Replays `events` into `fleet`, mapping stream indices through `ids`
+/// (one created session per entry). Dropped events are retried until
+/// accepted — per-session ordering must not be broken by a retry loop
+/// that skips ahead — so the call applies backpressure to the caller, not
+/// data loss. Returns the number of throttled admissions observed.
+std::uint64_t ReplayMerged(DetectorFleet* fleet,
+                           const std::vector<std::string>& ids,
+                           const std::vector<StreamEvent>& events);
+
+}  // namespace streamad::serve
+
+#endif  // STREAMAD_SERVE_REPLAY_H_

@@ -62,7 +62,7 @@ TEST(AllPaperAlgorithmsTest, NoExtensionTask2InTableOne) {
 }
 
 TEST(BuildDetectorTest, AdwinTask2Composes) {
-  DetectorParams params;
+  DetectorConfig params;
   params.window = 10;
   const AlgorithmSpec spec{ModelType::kTwoLayerAe, Task1::kSlidingWindow,
                            Task2::kAdwin};
@@ -86,7 +86,7 @@ TEST(SpecLabelTest, Format) {
 }
 
 TEST(BuildModelTest, KindsMatchModelType) {
-  DetectorParams params;
+  DetectorConfig params;
   params.window = 12;
   EXPECT_EQ(BuildModel(ModelType::kOnlineArima, params, 1)->kind(),
             Model::Kind::kForecast);
@@ -105,7 +105,7 @@ TEST(BuildModelTest, KindsMatchModelType) {
 }
 
 TEST(BuildDetectorTest, ComposesEveryPaperAlgorithm) {
-  DetectorParams params;
+  DetectorConfig params;
   params.window = 10;
   params.train_capacity = 20;
   params.initial_train_steps = 30;
@@ -120,7 +120,7 @@ TEST(BuildDetectorTest, ComposesEveryPaperAlgorithm) {
 }
 
 TEST(BuildDetectorTest, WiresRequestedComponents) {
-  DetectorParams params;
+  DetectorConfig params;
   params.window = 10;
   const AlgorithmSpec spec{ModelType::kUsad, Task1::kAnomalyAwareReservoir,
                            Task2::kKswin};
@@ -132,7 +132,7 @@ TEST(BuildDetectorTest, WiresRequestedComponents) {
 }
 
 TEST(BuildDetectorTest, ArimaLagDerivedFromWindow) {
-  DetectorParams params;
+  DetectorConfig params;
   params.window = 20;
   params.arima.diff_order = 1;
   const AlgorithmSpec spec{ModelType::kOnlineArima, Task1::kSlidingWindow,

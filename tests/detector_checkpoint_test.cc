@@ -9,8 +9,8 @@
 namespace streamad::core {
 namespace {
 
-DetectorParams FastParams() {
-  DetectorParams params;
+DetectorConfig FastParams() {
+  DetectorConfig params;
   params.window = 8;
   params.train_capacity = 30;
   params.initial_train_steps = 60;
@@ -52,7 +52,7 @@ class DetectorCheckpointTest
 
 TEST_P(DetectorCheckpointTest, MidStreamRoundTripIsBitIdentical) {
   const CheckpointCase& test_case = GetParam();
-  const DetectorParams params = FastParams();
+  const DetectorConfig params = FastParams();
 
   auto original =
       BuildDetector(test_case.spec, test_case.score, params, 21);
@@ -62,13 +62,17 @@ TEST_P(DetectorCheckpointTest, MidStreamRoundTripIsBitIdentical) {
   }
 
   std::stringstream checkpoint;
-  ASSERT_TRUE(original->SaveState(&checkpoint)) << test_case.name;
+  const Status save_status = original->SaveState(&checkpoint);
+  ASSERT_TRUE(save_status.ok()) << test_case.name << ": "
+                                << save_status.ToString();
 
   // The twin is built with a different seed: every bit of behaviour it
   // shows must come from the checkpoint, not from construction.
   auto restored =
       BuildDetector(test_case.spec, test_case.score, params, 999);
-  ASSERT_TRUE(restored->LoadState(&checkpoint)) << test_case.name;
+  const Status load_status = restored->LoadState(&checkpoint);
+  ASSERT_TRUE(load_status.ok()) << test_case.name << ": "
+                                << load_status.ToString();
   EXPECT_EQ(restored->t(), original->t());
   EXPECT_EQ(restored->trained(), original->trained());
   EXPECT_EQ(restored->finetune_count(), original->finetune_count());
@@ -125,7 +129,7 @@ TEST(DetectorCheckpointTest, WarmupCheckpointAlsoWorks) {
   // archive, so the weight initialisation happens after restore — the
   // twin must be constructed with the SAME seed (the one remaining piece
   // of state outside an untrained checkpoint; see Model::SaveState).
-  const DetectorParams params = FastParams();
+  const DetectorConfig params = FastParams();
   const AlgorithmSpec spec{ModelType::kTwoLayerAe, Task1::kSlidingWindow,
                            Task2::kMuSigma};
   auto original = BuildDetector(spec, ScoreType::kAverage, params, 3);
@@ -133,9 +137,9 @@ TEST(DetectorCheckpointTest, WarmupCheckpointAlsoWorks) {
   ASSERT_FALSE(original->trained());
 
   std::stringstream checkpoint;
-  ASSERT_TRUE(original->SaveState(&checkpoint));
+  ASSERT_TRUE(original->SaveState(&checkpoint).ok());
   auto restored = BuildDetector(spec, ScoreType::kAverage, params, 3);
-  ASSERT_TRUE(restored->LoadState(&checkpoint));
+  ASSERT_TRUE(restored->LoadState(&checkpoint).ok());
 
   // Both finish warm-up + training and then agree exactly.
   for (std::int64_t t = 20; t < 250; ++t) {
@@ -148,44 +152,73 @@ TEST(DetectorCheckpointTest, WarmupCheckpointAlsoWorks) {
 }
 
 TEST(DetectorCheckpointTest, RejectsMismatchedOptions) {
-  const DetectorParams params = FastParams();
+  const DetectorConfig params = FastParams();
   const AlgorithmSpec spec{ModelType::kTwoLayerAe, Task1::kSlidingWindow,
                            Task2::kMuSigma};
   auto original = BuildDetector(spec, ScoreType::kAverage, params, 5);
   for (std::int64_t t = 0; t < 100; ++t) original->Step(Signal(t));
   std::stringstream checkpoint;
-  ASSERT_TRUE(original->SaveState(&checkpoint));
+  ASSERT_TRUE(original->SaveState(&checkpoint).ok());
 
-  DetectorParams other = params;
+  DetectorConfig other = params;
   other.window = 12;  // different representation length
   auto mismatched = BuildDetector(spec, ScoreType::kAverage, other, 6);
-  EXPECT_FALSE(mismatched->LoadState(&checkpoint));
+  const Status status = mismatched->LoadState(&checkpoint);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  // The error names both sides of the mismatch; the fleet surfaces this
+  // message verbatim when a rehydration hits a misconfigured session.
+  EXPECT_EQ(status.message(), "window mismatch: archived 8, configured 12");
+}
+
+TEST(DetectorCheckpointTest, RejectsMismatchedTrainingPhase) {
+  const DetectorConfig params = FastParams();
+  const AlgorithmSpec spec{ModelType::kTwoLayerAe, Task1::kSlidingWindow,
+                           Task2::kMuSigma};
+  auto original = BuildDetector(spec, ScoreType::kAverage, params, 5);
+  for (std::int64_t t = 0; t < 100; ++t) original->Step(Signal(t));
+  std::stringstream checkpoint;
+  ASSERT_TRUE(original->SaveState(&checkpoint).ok());
+
+  DetectorConfig other = params;
+  other.initial_train_steps = 90;
+  auto mismatched = BuildDetector(spec, ScoreType::kAverage, other, 6);
+  const Status status = mismatched->LoadState(&checkpoint);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(status.message(),
+            "initial_train_steps mismatch: archived 60, configured 90");
 }
 
 TEST(DetectorCheckpointTest, RejectsGarbage) {
-  const DetectorParams params = FastParams();
+  const DetectorConfig params = FastParams();
   const AlgorithmSpec spec{ModelType::kOnlineArima, Task1::kSlidingWindow,
                            Task2::kMuSigma};
   auto detector = BuildDetector(spec, ScoreType::kAverage, params, 7);
   std::stringstream garbage("definitely not a detector checkpoint");
-  EXPECT_FALSE(detector->LoadState(&garbage));
+  const Status status = detector->LoadState(&garbage);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("streamad.detector.v1"), std::string::npos);
 }
 
 TEST(DetectorCheckpointTest, RejectsTruncation) {
-  const DetectorParams params = FastParams();
+  const DetectorConfig params = FastParams();
   const AlgorithmSpec spec{ModelType::kUsad, Task1::kUniformReservoir,
                            Task2::kKswin};
   auto original =
       BuildDetector(spec, ScoreType::kAnomalyLikelihood, params, 8);
   for (std::int64_t t = 0; t < 200; ++t) original->Step(Signal(t));
   std::stringstream checkpoint;
-  ASSERT_TRUE(original->SaveState(&checkpoint));
+  ASSERT_TRUE(original->SaveState(&checkpoint).ok());
   std::string bytes = checkpoint.str();
   bytes.resize(bytes.size() / 2);
   std::stringstream cut(bytes);
   auto restored =
       BuildDetector(spec, ScoreType::kAnomalyLikelihood, params, 9);
-  EXPECT_FALSE(restored->LoadState(&cut));
+  const Status status = restored->LoadState(&cut);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message(), "");
 }
 
 }  // namespace

@@ -9,8 +9,8 @@ namespace streamad::core {
 namespace {
 
 /// Small, fast detector parameters shared by the integration tests.
-DetectorParams FastParams() {
-  DetectorParams params;
+DetectorConfig FastParams() {
+  DetectorConfig params;
   params.window = 8;
   params.train_capacity = 40;
   params.initial_train_steps = 80;
@@ -166,7 +166,7 @@ TEST(StreamingDetectorTest, AresKeepsTrainingSetCleanerThanSwDuringAnomaly) {
 TEST(StreamingDetectorTest, RegularIntervalFinetunesOnSchedule) {
   const AlgorithmSpec spec{ModelType::kTwoLayerAe, Task1::kSlidingWindow,
                            Task2::kRegular};
-  DetectorParams params = FastParams();
+  DetectorConfig params = FastParams();
   params.regular_interval = 50;
   auto detector = BuildDetector(spec, ScoreType::kAverage, params, 10);
   std::vector<std::int64_t> finetune_steps;
@@ -216,8 +216,8 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(StreamingDetectorDeathTest, NullComponentAborts) {
-  StreamingDetector::Options options;
-  EXPECT_DEATH(StreamingDetector(options, nullptr, nullptr, nullptr,
+  DetectorConfig config;
+  EXPECT_DEATH(StreamingDetector(config, nullptr, nullptr, nullptr,
                                  nullptr, nullptr),
                "");
 }

@@ -51,8 +51,8 @@ data::LabeledSeries GoldenSeries() {
   return series;
 }
 
-core::DetectorParams GoldenParams() {
-  core::DetectorParams params;
+core::DetectorConfig GoldenParams() {
+  core::DetectorConfig params;
   params.window = 10;
   params.train_capacity = 30;
   params.initial_train_steps = 40;
@@ -150,7 +150,7 @@ const GoldenEntry* FindGolden(const std::string& label) {
 
 void RunAllConfigsAndCompare(bool instrumented = false) {
   const data::LabeledSeries series = GoldenSeries();
-  const core::DetectorParams params = GoldenParams();
+  const core::DetectorConfig params = GoldenParams();
   std::size_t checked = 0;
   for (const core::AlgorithmSpec& spec : core::AllPaperAlgorithms()) {
     const std::string label = core::SpecLabel(spec);
@@ -172,7 +172,9 @@ void RunAllConfigsAndCompare(bool instrumented = false) {
       options.label = label;
       options.flight_capacity = 64;
       obs::Recorder recorder(&registry, std::move(options));
-      trace = harness::RunDetector(detector.get(), series, &recorder);
+      harness::RunOptions run;
+      run.recorder = &recorder;
+      trace = harness::RunDetector(detector.get(), series, run);
       EXPECT_GT(sink.lines(), 0u);
       EXPECT_GT(recorder.flight_recorder()->total_recorded(), 0u);
     } else {

@@ -11,8 +11,8 @@
 namespace streamad::harness {
 namespace {
 
-core::DetectorParams FastParams() {
-  core::DetectorParams params;
+core::DetectorConfig FastParams() {
+  core::DetectorConfig params;
   params.window = 8;
   params.train_capacity = 40;
   params.initial_train_steps = 150;

@@ -209,8 +209,8 @@ TEST(RecorderTest, ParallelSweepTraceLinesMatchEmittedRecords) {
 
 // --- detector integration --------------------------------------------------
 
-core::DetectorParams SmallParams() {
-  core::DetectorParams params;
+core::DetectorConfig SmallParams() {
+  core::DetectorConfig params;
   params.window = 10;
   params.train_capacity = 40;
   params.initial_train_steps = 120;
@@ -233,7 +233,7 @@ TEST(RecorderDetectorTest, AttachedRecorderLeavesScoresBitIdentical) {
   const core::AlgorithmSpec spec{core::ModelType::kOnlineArima,
                                  core::Task1::kSlidingWindow,
                                  core::Task2::kMuSigma};
-  const core::DetectorParams params = SmallParams();
+  const core::DetectorConfig params = SmallParams();
   const data::LabeledSeries series = SmallSeries();
 
   auto plain = core::BuildDetector(spec, core::ScoreType::kAverage, params,
@@ -270,7 +270,7 @@ TEST(RecorderDetectorTest, CoversAllPipelineStagesPlusFitAndFinetune) {
   const core::AlgorithmSpec spec{core::ModelType::kOnlineArima,
                                  core::Task1::kSlidingWindow,
                                  core::Task2::kRegular};
-  const core::DetectorParams params = SmallParams();
+  const core::DetectorConfig params = SmallParams();
   const data::LabeledSeries series = SmallSeries();
 
   auto detector = core::BuildDetector(spec, core::ScoreType::kAverage, params,
@@ -342,8 +342,10 @@ TEST(HarnessTest, RunDetectorFillsTraceTelemetry) {
   const data::LabeledSeries series = SmallSeries();
   obs::MetricsRegistry registry;
   obs::Recorder recorder(&registry);
+  harness::RunOptions run;
+  run.recorder = &recorder;
   const harness::RunTrace trace =
-      harness::RunDetector(detector.get(), series, &recorder);
+      harness::RunDetector(detector.get(), series, run);
   EXPECT_TRUE(trace.has_telemetry);
   EXPECT_EQ(trace.stage_totals.steps, series.length());
   EXPECT_EQ(trace.stage_totals.scored_steps, trace.scores.size());
@@ -373,9 +375,9 @@ TEST(HarnessTest, EvalConfigRegistryAggregatesSweepRuns) {
   obs::MetricsRegistry registry;
   std::ostringstream sink_stream;
   obs::TraceSink sink(&sink_stream);
-  config.metrics = &registry;
-  config.trace = &sink;
-  config.trace_sample_every = 100;
+  config.run.metrics = &registry;
+  config.run.trace = &sink;
+  config.run.trace_sample_every = 100;
 
   const core::AlgorithmSpec spec{core::ModelType::kOnlineArima,
                                  core::Task1::kSlidingWindow,

@@ -18,8 +18,8 @@
 namespace streamad {
 namespace {
 
-core::DetectorParams FastParams() {
-  core::DetectorParams params;
+core::DetectorConfig FastParams() {
+  core::DetectorConfig params;
   params.window = 8;
   params.train_capacity = 40;
   params.initial_train_steps = 120;
@@ -152,11 +152,11 @@ TEST(PipelineTest, CheckpointSplitsHarnessRunWithoutChangingMetrics) {
     if (result.scored) stitched.push_back(result.anomaly_score);
   }
   std::stringstream checkpoint;
-  ASSERT_TRUE(first_half->SaveState(&checkpoint));
+  ASSERT_TRUE(first_half->SaveState(&checkpoint).ok());
 
   auto second_half = core::BuildDetector(
       spec, core::ScoreType::kAnomalyLikelihood, FastParams(), 555);
-  ASSERT_TRUE(second_half->LoadState(&checkpoint));
+  ASSERT_TRUE(second_half->LoadState(&checkpoint).ok());
   for (std::size_t t = split; t < series.length(); ++t) {
     const auto result = second_half->Step(series.At(t));
     if (result.scored) stitched.push_back(result.anomaly_score);
@@ -181,7 +181,7 @@ TEST(PipelineTest, ScoreModelPipelineEndToEnd) {
   data::Corpus corpus = data::MakeSmdLike(gen);
   data::StandardizePerChannel(&corpus, 200);
 
-  core::DetectorParams params = FastParams();
+  core::DetectorConfig params = FastParams();
   params.pcb.forest.num_trees = 30;
   const core::AlgorithmSpec spec{core::ModelType::kPcbIForest,
                                  core::Task1::kSlidingWindow,

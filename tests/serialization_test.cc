@@ -113,8 +113,8 @@ core::TrainingSet MakeTrainingSet(std::size_t m, std::size_t w,
   return set;
 }
 
-core::DetectorParams SmallParams() {
-  core::DetectorParams params;
+core::DetectorConfig SmallParams() {
+  core::DetectorConfig params;
   params.window = 10;
   params.arima.lag_order = 4;
   params.ae.fit_epochs = 5;
@@ -132,7 +132,7 @@ class ModelSerializationTest
 
 TEST_P(ModelSerializationTest, RoundTripPreservesBehaviour) {
   const core::ModelType type = GetParam();
-  const core::DetectorParams params = SmallParams();
+  const core::DetectorConfig params = SmallParams();
   const core::TrainingSet train = MakeTrainingSet(40, 10, 3, 5);
 
   auto original = core::BuildModel(type, params, 77);
@@ -171,7 +171,7 @@ TEST_P(ModelSerializationTest, RoundTripPreservesBehaviour) {
 
 TEST_P(ModelSerializationTest, LoadRejectsForeignCheckpoint) {
   const core::ModelType type = GetParam();
-  const core::DetectorParams params = SmallParams();
+  const core::DetectorConfig params = SmallParams();
   std::stringstream garbage("not a checkpoint at all");
   auto model = core::BuildModel(type, params, 1);
   EXPECT_FALSE(model->LoadState(&garbage)) << core::ToString(type);
@@ -179,7 +179,7 @@ TEST_P(ModelSerializationTest, LoadRejectsForeignCheckpoint) {
 
 TEST_P(ModelSerializationTest, LoadRejectsTruncatedCheckpoint) {
   const core::ModelType type = GetParam();
-  const core::DetectorParams params = SmallParams();
+  const core::DetectorConfig params = SmallParams();
   const core::TrainingSet train = MakeTrainingSet(30, 10, 3, 6);
   auto model = core::BuildModel(type, params, 2);
   model->Fit(train);
@@ -210,7 +210,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(ModelSerializationTest, FinetuneResumesAfterRestore) {
   // The checkpoint carries the optimizer state: fine-tuning the restored
   // model must equal fine-tuning the original.
-  const core::DetectorParams params = SmallParams();
+  const core::DetectorConfig params = SmallParams();
   const core::TrainingSet train = MakeTrainingSet(40, 10, 3, 7);
   auto original = core::BuildModel(core::ModelType::kTwoLayerAe, params, 4);
   original->Fit(train);
@@ -232,21 +232,21 @@ TEST(ModelSerializationTest, FinetuneResumesAfterRestore) {
 }
 
 TEST(ModelSerializationTest, ArimaRejectsHyperparameterMismatch) {
-  core::DetectorParams params = SmallParams();
+  core::DetectorConfig params = SmallParams();
   const core::TrainingSet train = MakeTrainingSet(20, 10, 3, 8);
   auto model = core::BuildModel(core::ModelType::kOnlineArima, params, 6);
   model->Fit(train);
   std::stringstream checkpoint;
   ASSERT_TRUE(model->SaveState(&checkpoint));
 
-  core::DetectorParams other = params;
+  core::DetectorConfig other = params;
   other.arima.lag_order = 6;  // different K
   auto mismatched = core::BuildModel(core::ModelType::kOnlineArima, other, 7);
   EXPECT_FALSE(mismatched->LoadState(&checkpoint));
 }
 
 TEST(ModelSerializationTest, UsadEpochScheduleSurvives) {
-  const core::DetectorParams params = SmallParams();
+  const core::DetectorConfig params = SmallParams();
   const core::TrainingSet train = MakeTrainingSet(30, 10, 3, 9);
   models::Usad original(params.usad, 11);
   original.Fit(train);

@@ -1,0 +1,498 @@
+// The serving layer's contract tests. The headline invariant is golden:
+// an interleaved multi-stream fleet run — including one that forcibly
+// evicts and rehydrates sessions through a checkpoint store every few
+// events — produces BIT-IDENTICAL scores to running each stream through
+// its own sequential detector. The rest pins the backpressure state
+// machine, per-session ordering, the poll ring, and session health.
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/algorithm_spec.h"
+#include "src/core/detector.h"
+#include "src/obs/metrics.h"
+#include "src/serve/checkpoint_store.h"
+#include "src/serve/fleet.h"
+#include "src/serve/replay.h"
+
+namespace streamad::serve {
+namespace {
+
+core::DetectorConfig FastConfig() {
+  core::DetectorConfig config;
+  config.window = 8;
+  config.train_capacity = 30;
+  config.initial_train_steps = 60;
+  config.scorer_k = 15;
+  config.scorer_k_short = 3;
+  config.ae.fit_epochs = 4;
+  config.kswin.check_every = 4;
+  return config;
+}
+
+/// Per-stream signal: phase-shifted sines with a drift and a spike, so
+/// streams differ, fine-tunes trigger, and scores are non-trivial.
+data::LabeledSeries MakeSeries(std::size_t stream, std::size_t length) {
+  data::LabeledSeries series;
+  series.name = "stream" + std::to_string(stream);
+  series.values = linalg::Matrix(length, 3);
+  series.labels.assign(length, 0);
+  for (std::size_t t = 0; t < length; ++t) {
+    const double drift = t >= 250 + 10 * stream ? 1.0 : 0.0;
+    const bool spike = t >= 320 && t < 328;
+    for (std::size_t c = 0; c < 3; ++c) {
+      series.values(t, c) =
+          drift +
+          std::sin(0.2 * static_cast<double>(t) +
+                   0.7 * static_cast<double>(stream) +
+                   static_cast<double>(c)) +
+          (spike ? 2.5 : 0.0);
+    }
+    series.labels[t] = spike ? 1 : 0;
+  }
+  return series;
+}
+
+/// A small spread of cheap specs so the fleet hosts heterogeneous
+/// sessions (the eviction path exercises several component archives).
+SessionConfig ConfigFor(std::size_t stream) {
+  SessionConfig config;
+  config.detector = FastConfig();
+  config.seed = 100 + stream;
+  switch (stream % 3) {
+    case 0:
+      config.spec = {core::ModelType::kOnlineArima,
+                     core::Task1::kSlidingWindow, core::Task2::kMuSigma};
+      config.score = core::ScoreType::kAverage;
+      break;
+    case 1:
+      config.spec = {core::ModelType::kNearestNeighbor,
+                     core::Task1::kUniformReservoir, core::Task2::kKswin};
+      config.score = core::ScoreType::kAnomalyLikelihood;
+      break;
+    default:
+      config.spec = {core::ModelType::kTwoLayerAe,
+                     core::Task1::kSlidingWindow, core::Task2::kMuSigma};
+      config.score = core::ScoreType::kAverage;
+      break;
+  }
+  return config;
+}
+
+/// Sequential reference: the scores stream `stream` would produce alone.
+std::vector<SessionStepResult> SequentialReference(
+    std::size_t stream, const data::LabeledSeries& series) {
+  const SessionConfig config = ConfigFor(stream);
+  auto detector = core::BuildDetector(config.spec, config.score,
+                                      config.detector, config.seed);
+  std::vector<SessionStepResult> results;
+  for (std::size_t t = 0; t < series.length(); ++t) {
+    const auto step = detector->Step(series.At(t));
+    if (step.scored) results.push_back({detector->t(), step});
+  }
+  return results;
+}
+
+void ExpectBitIdentical(const std::vector<SessionStepResult>& fleet,
+                        const std::vector<SessionStepResult>& reference,
+                        const std::string& id) {
+  ASSERT_EQ(fleet.size(), reference.size()) << id;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    ASSERT_EQ(fleet[i].t, reference[i].t) << id << " result " << i;
+    // Bit-identity, not tolerance: EQ on doubles is deliberate.
+    ASSERT_EQ(fleet[i].step.anomaly_score, reference[i].step.anomaly_score)
+        << id << " t=" << fleet[i].t;
+    ASSERT_EQ(fleet[i].step.nonconformity, reference[i].step.nonconformity)
+        << id << " t=" << fleet[i].t;
+    ASSERT_EQ(fleet[i].step.finetuned, reference[i].step.finetuned)
+        << id << " t=" << fleet[i].t;
+  }
+}
+
+struct CollectedResults {
+  std::mutex mutex;
+  std::map<std::string, std::vector<SessionStepResult>> by_stream;
+};
+
+/// Runs the golden scenario: 8 interleaved streams over `shards` shards
+/// with the given fleet options, then compares every stream against its
+/// sequential reference.
+void RunGoldenScenario(FleetOptions options, std::size_t length) {
+  constexpr std::size_t kStreams = 8;
+  std::vector<data::LabeledSeries> streams;
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < kStreams; ++i) {
+    streams.push_back(MakeSeries(i, length));
+    ids.push_back("sensor-" + std::to_string(i));
+  }
+
+  CollectedResults collected;
+  DetectorFleet fleet(options);
+  for (std::size_t i = 0; i < kStreams; ++i) {
+    SessionConfig config = ConfigFor(i);
+    const std::string id = ids[i];
+    config.on_result = [&collected, id](const std::string& stream_id,
+                                        const SessionStepResult& result) {
+      ASSERT_EQ(stream_id, id);
+      std::lock_guard<std::mutex> lock(collected.mutex);
+      collected.by_stream[id].push_back(result);
+    };
+    ASSERT_TRUE(fleet.CreateSession(id, config).ok());
+  }
+
+  const std::vector<StreamEvent> merged = RoundRobinMerge(streams);
+  ReplayMerged(&fleet, ids, merged);
+  fleet.WaitIdle();
+  fleet.Stop();
+
+  // Every event was processed exactly once: drops only ever happen on
+  // rejected Submit attempts, which ReplayMerged retries.
+  const FleetStats stats = fleet.Stats();
+  EXPECT_EQ(stats.processed, merged.size());
+  for (std::size_t i = 0; i < kStreams; ++i) {
+    EXPECT_TRUE(fleet.SessionHealth(ids[i]).ok());
+    ExpectBitIdentical(collected.by_stream[ids[i]],
+                       SequentialReference(i, streams[i]), ids[i]);
+  }
+}
+
+TEST(ServeFleetTest, InterleavedMatchesSequentialBitIdentically) {
+  FleetOptions options;
+  options.shards = 4;
+  RunGoldenScenario(options, /*length=*/400);
+}
+
+TEST(ServeFleetTest, ForcedEvictionPreservesBitIdentity) {
+  // Every session is torn down and rehydrated from the in-memory store
+  // every 25 events — dozens of full save/load cycles per stream — and
+  // the scores must still match the never-evicted sequential run.
+  MemoryCheckpointStore store;
+  FleetOptions options;
+  options.shards = 4;
+  options.store = &store;
+  options.force_evict_every = 25;
+  RunGoldenScenario(options, /*length=*/400);
+  EXPECT_GT(store.size(), 0u);
+}
+
+TEST(ServeFleetTest, LruCacheEvictionPreservesBitIdentity) {
+  // One resident detector per shard: with 8 sessions on 2 shards, every
+  // event for a non-resident session forces an LRU eviction + rehydrate.
+  MemoryCheckpointStore store;
+  FleetOptions options;
+  options.shards = 2;
+  options.store = &store;
+  options.max_resident_per_shard = 1;
+  RunGoldenScenario(options, /*length=*/320);
+}
+
+TEST(ServeFleetTest, DiskStoreEvictionPreservesBitIdentity) {
+  DiskCheckpointStore store(::testing::TempDir() + "/serve_fleet_ckpt");
+  FleetOptions options;
+  options.shards = 3;
+  options.store = &store;
+  options.force_evict_every = 40;
+  RunGoldenScenario(options, /*length=*/320);
+}
+
+TEST(ServeFleetTest, GoldenInvariantAtIssueScale) {
+  // The acceptance scenario verbatim: 4 shards, 8 interleaved streams,
+  // eviction forced every 1000 events.
+  MemoryCheckpointStore store;
+  FleetOptions options;
+  options.shards = 4;
+  options.store = &store;
+  options.force_evict_every = 1000;
+  RunGoldenScenario(options, /*length=*/1100);
+}
+
+TEST(ServeFleetTest, CallbackResultsArriveInStreamOrder) {
+  constexpr std::size_t kStreams = 6;
+  std::vector<data::LabeledSeries> streams;
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < kStreams; ++i) {
+    streams.push_back(MakeSeries(i, 300));
+    ids.push_back("ord-" + std::to_string(i));
+  }
+  FleetOptions options;
+  options.shards = 3;
+  DetectorFleet fleet(options);
+  CollectedResults collected;
+  for (std::size_t i = 0; i < kStreams; ++i) {
+    SessionConfig config = ConfigFor(i);
+    config.on_result = [&collected](const std::string& stream_id,
+                                    const SessionStepResult& result) {
+      std::lock_guard<std::mutex> lock(collected.mutex);
+      collected.by_stream[stream_id].push_back(result);
+    };
+    ASSERT_TRUE(fleet.CreateSession(ids[i], config).ok());
+  }
+  ReplayMerged(&fleet, ids, RoundRobinMerge(streams));
+  fleet.WaitIdle();
+  fleet.Stop();
+  for (const std::string& id : ids) {
+    const auto& results = collected.by_stream[id];
+    ASSERT_FALSE(results.empty()) << id;
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      ASSERT_LT(results[i - 1].t, results[i].t) << id;
+    }
+  }
+}
+
+TEST(ServeFleetTest, PollRingBuffersResultsWithoutCallback) {
+  const data::LabeledSeries series = MakeSeries(0, 300);
+  FleetOptions options;
+  options.shards = 1;
+  DetectorFleet fleet(options);
+  ASSERT_TRUE(fleet.CreateSession("pollme", ConfigFor(0)).ok());
+  for (std::size_t t = 0; t < series.length(); ++t) {
+    while (fleet.Submit("pollme", series.At(t)) == Admission::kDropped) {
+      std::this_thread::yield();
+    }
+  }
+  fleet.WaitIdle();
+
+  std::vector<SessionStepResult> first_two;
+  EXPECT_EQ(fleet.Poll("pollme", &first_two, 2), 2u);
+  std::vector<SessionStepResult> rest;
+  const std::size_t drained = fleet.Poll("pollme", &rest, 0);
+  EXPECT_GT(drained, 0u);
+
+  std::vector<SessionStepResult> all = first_two;
+  all.insert(all.end(), rest.begin(), rest.end());
+  ExpectBitIdentical(all, SequentialReference(0, series), "pollme");
+
+  // Ring is drained now.
+  std::vector<SessionStepResult> empty;
+  EXPECT_EQ(fleet.Poll("pollme", &empty, 0), 0u);
+  fleet.Stop();
+}
+
+TEST(ServeFleetTest, PollRingDropsOldestOnOverflow) {
+  const data::LabeledSeries series = MakeSeries(1, 300);
+  FleetOptions options;
+  options.shards = 1;
+  options.result_ring_capacity = 4;
+  DetectorFleet fleet(options);
+  ASSERT_TRUE(fleet.CreateSession("tiny-ring", ConfigFor(1)).ok());
+  for (std::size_t t = 0; t < series.length(); ++t) {
+    while (fleet.Submit("tiny-ring", series.At(t)) == Admission::kDropped) {
+      std::this_thread::yield();
+    }
+  }
+  fleet.WaitIdle();
+  fleet.Stop();
+
+  std::vector<SessionStepResult> results;
+  EXPECT_EQ(fleet.Poll("tiny-ring", &results, 0), 4u);
+  const auto reference = SequentialReference(1, series);
+  ASSERT_GT(reference.size(), 4u);
+  // The surviving four are the NEWEST four, in order.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(results[i].t, reference[reference.size() - 4 + i].t);
+  }
+  EXPECT_GT(fleet.Stats().result_overflow, 0u);
+}
+
+TEST(ServeFleetTest, BackpressureStateMachine) {
+  // A callback that blocks on a latch wedges the single shard worker
+  // with an EMPTY queue behind it; with capacity 4 / watermark 3 the
+  // admission sequence is then fully deterministic: two events admit as
+  // kQueued (depth 1, 2), two as kThrottled (depth 3, 4 — at/over the
+  // watermark), and the fifth is kDropped (queue full).
+  std::mutex latch_mutex;
+  std::condition_variable latch_cv;
+  bool release = false;
+  std::atomic<int> callbacks{0};
+
+  FleetOptions options;
+  options.shards = 1;
+  options.queue_capacity = 4;
+  options.throttle_watermark = 3;
+  DetectorFleet fleet(options);
+
+  SessionConfig config;
+  config.spec = {core::ModelType::kNearestNeighbor,
+                 core::Task1::kSlidingWindow, core::Task2::kMuSigma};
+  config.score = core::ScoreType::kAverage;
+  config.detector = FastConfig();
+  // Minimal warm-up/training so the callback engages within a few events.
+  config.detector.window = 2;
+  config.detector.initial_train_steps = 1;
+  config.on_result = [&](const std::string&, const SessionStepResult&) {
+    callbacks.fetch_add(1);
+    std::unique_lock<std::mutex> lock(latch_mutex);
+    latch_cv.wait(lock, [&] { return release; });
+  };
+  ASSERT_TRUE(fleet.CreateSession("wedged", config).ok());
+
+  const core::StreamVector v{0.5, 1.0};
+  // Feed one event at a time until the first scored step wedges the
+  // worker inside the blocking callback. `processed` advances before the
+  // callback runs, so each iteration observes its event fully picked up
+  // — which means the queue is empty at the moment the worker blocks.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  std::uint64_t submitted = 0;
+  while (callbacks.load() == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "detector never produced a scored step";
+    ASSERT_EQ(fleet.Submit("wedged", v), Admission::kQueued);
+    ++submitted;
+    while (fleet.Stats().processed < submitted &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+  }
+
+  EXPECT_EQ(fleet.Submit("wedged", v), Admission::kQueued);
+  EXPECT_EQ(fleet.Submit("wedged", v), Admission::kQueued);
+  EXPECT_EQ(fleet.Submit("wedged", v), Admission::kThrottled);
+  EXPECT_EQ(fleet.Submit("wedged", v), Admission::kThrottled);
+  EXPECT_EQ(fleet.Submit("wedged", v), Admission::kDropped);
+  EXPECT_EQ(fleet.Stats().throttled, 2u);
+  EXPECT_EQ(fleet.Stats().dropped, 1u);
+
+  {
+    std::lock_guard<std::mutex> lock(latch_mutex);
+    release = true;
+  }
+  latch_cv.notify_all();
+  fleet.WaitIdle();
+  fleet.Stop();
+  EXPECT_EQ(fleet.Stats().processed, submitted + 4);
+}
+
+TEST(ServeFleetTest, DuplicateSessionIsRejectedWithMessage) {
+  FleetOptions options;
+  options.shards = 1;
+  DetectorFleet fleet(options);
+  ASSERT_TRUE(fleet.CreateSession("dup", ConfigFor(0)).ok());
+  const core::Status status = fleet.CreateSession("dup", ConfigFor(1));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), core::StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("dup"), std::string::npos);
+  fleet.Stop();
+}
+
+TEST(ServeFleetTest, CorruptCheckpointPoisonsSession) {
+  // Force an eviction, corrupt the stored blob, and require the next
+  // event to fail rehydration: the session reports a sticky non-OK
+  // health (with the LoadState message inside) and drops events instead
+  // of scoring garbage.
+  MemoryCheckpointStore store;
+  FleetOptions options;
+  options.shards = 1;
+  options.store = &store;
+  options.force_evict_every = 10;
+  DetectorFleet fleet(options);
+  ASSERT_TRUE(fleet.CreateSession("doomed", ConfigFor(0)).ok());
+  const data::LabeledSeries series = MakeSeries(0, 40);
+  for (std::size_t t = 0; t < 10; ++t) {
+    while (fleet.Submit("doomed", series.At(t)) == Admission::kDropped) {
+      std::this_thread::yield();
+    }
+  }
+  fleet.WaitIdle();
+  ASSERT_GE(fleet.Stats().evictions, 1u);
+  ASSERT_TRUE(store.Put("doomed", "corrupted beyond recognition").ok());
+
+  for (std::size_t t = 10; t < 14; ++t) {
+    while (fleet.Submit("doomed", series.At(t)) == Admission::kDropped) {
+      std::this_thread::yield();
+    }
+  }
+  fleet.WaitIdle();
+  fleet.Stop();
+
+  const core::Status health = fleet.SessionHealth("doomed");
+  EXPECT_FALSE(health.ok());
+  EXPECT_NE(health.message().find("doomed"), std::string::npos);
+  EXPECT_GE(fleet.Stats().rehydrate_failures, 1u);
+}
+
+TEST(ServeFleetTest, UnknownSessionHealthIsNotFound) {
+  FleetOptions options;
+  options.shards = 1;
+  DetectorFleet fleet(options);
+  EXPECT_EQ(fleet.SessionHealth("ghost").code(),
+            core::StatusCode::kNotFound);
+  fleet.Stop();
+}
+
+TEST(ServeFleetTest, SubmitAfterStopDrops) {
+  FleetOptions options;
+  options.shards = 1;
+  DetectorFleet fleet(options);
+  ASSERT_TRUE(fleet.CreateSession("late", ConfigFor(0)).ok());
+  fleet.Stop();
+  EXPECT_EQ(fleet.Submit("late", core::StreamVector{1.0, 2.0, 3.0}),
+            Admission::kDropped);
+  EXPECT_FALSE(fleet.CreateSession("later", ConfigFor(0)).ok());
+}
+
+TEST(ServeFleetTest, ShardAssignmentIsStableAndPartitionsSessions) {
+  FleetOptions options;
+  options.shards = 4;
+  DetectorFleet fleet(options);
+  for (int i = 0; i < 32; ++i) {
+    const std::string id = "part-" + std::to_string(i);
+    const std::size_t shard = fleet.ShardOf(id);
+    EXPECT_LT(shard, options.shards);
+    EXPECT_EQ(shard, fleet.ShardOf(id));  // stable
+  }
+  fleet.Stop();
+}
+
+TEST(ServeFleetTest, MetricsRegistryObservesFleetTraffic) {
+  obs::MetricsRegistry registry;
+  MemoryCheckpointStore store;
+  FleetOptions options;
+  options.shards = 2;
+  options.store = &store;
+  options.force_evict_every = 20;
+  options.metrics = &registry;
+  DetectorFleet fleet(options);
+  std::vector<data::LabeledSeries> streams;
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < 4; ++i) {
+    streams.push_back(MakeSeries(i, 120));
+    ids.push_back("m-" + std::to_string(i));
+    ASSERT_TRUE(fleet.CreateSession(ids[i], ConfigFor(i)).ok());
+  }
+  ReplayMerged(&fleet, ids, RoundRobinMerge(streams));
+  fleet.WaitIdle();
+  fleet.Stop();
+
+  const FleetStats stats = fleet.Stats();
+  // `submitted` already counts only accepted events.
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                registry.GetCounter("streamad_serve_events_total")->Value()),
+            stats.submitted);
+  EXPECT_EQ(
+      static_cast<std::uint64_t>(
+          registry.GetCounter("streamad_serve_evictions_total")->Value()),
+      stats.evictions);
+  EXPECT_EQ(
+      static_cast<std::uint64_t>(
+          registry.GetCounter("streamad_serve_rehydrations_total")->Value()),
+      stats.rehydrations);
+  EXPECT_GT(stats.evictions, 0u);
+  // A session evicted by its final event is never rehydrated, so the two
+  // counters differ by at most the session count.
+  EXPECT_LE(stats.rehydrations, stats.evictions);
+  EXPECT_LE(stats.evictions - stats.rehydrations, stats.sessions);
+}
+
+}  // namespace
+}  // namespace streamad::serve
