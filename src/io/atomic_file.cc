@@ -4,9 +4,48 @@
 #include <fstream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "src/common/check.h"
 
 namespace streamad::io {
+namespace {
+
+// ofstream::flush only reaches the kernel page cache. Without an fsync of
+// the data before the rename, a power loss can make the rename durable
+// while the bytes are not, leaving an empty/truncated file in place of
+// the old one.
+core::Status SyncFile(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return core::Status::IoError("cannot reopen for fsync: " + path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return core::Status::IoError("fsync failed: " + path);
+#endif
+  return core::Status::Ok();
+}
+
+// Best-effort: makes the rename itself durable.
+void SyncParentDir(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#endif
+}
+
+}  // namespace
 
 core::Status WriteFileAtomic(const std::string& path,
                              const std::string& contents) {
@@ -24,10 +63,16 @@ core::Status WriteFileAtomic(const std::string& path,
       return core::Status::IoError("short write: " + tmp);
     }
   }
+  const core::Status synced = SyncFile(tmp);
+  if (!synced.ok()) {
+    std::remove(tmp.c_str());
+    return synced;
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return core::Status::IoError("rename failed: " + tmp + " -> " + path);
   }
+  SyncParentDir(path);
   return core::Status::Ok();
 }
 

@@ -8,9 +8,11 @@
 namespace streamad::io {
 
 /// Writes `contents` to `path` atomically: the bytes go to `<path>.tmp`
-/// first and are renamed into place, so readers never observe a torn
-/// checkpoint even if the process dies mid-write. Used by the serving
-/// layer's on-disk checkpoint store (src/serve/checkpoint_store.h).
+/// first, are fsync'd (POSIX), and are then renamed into place (with a
+/// best-effort fsync of the directory), so readers never observe a torn
+/// checkpoint even if the process — or, on POSIX, the machine — dies
+/// mid-write. Used by the serving layer's on-disk checkpoint store
+/// (src/serve/checkpoint_store.h).
 core::Status WriteFileAtomic(const std::string& path,
                              const std::string& contents);
 

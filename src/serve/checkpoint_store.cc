@@ -1,5 +1,7 @@
 #include "src/serve/checkpoint_store.h"
 
+#include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <utility>
 
@@ -7,6 +9,21 @@
 #include "src/io/atomic_file.h"
 
 namespace streamad::serve {
+namespace {
+
+// FNV-1a, stable across platforms and processes (std::hash is not):
+// checkpoint files must be findable by a later process under the same
+// name.
+std::uint64_t Fnv1a64(const std::string& bytes) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
 
 core::Status MemoryCheckpointStore::Put(const std::string& key,
                                         const std::string& blob) {
@@ -40,7 +57,15 @@ DiskCheckpointStore::DiskCheckpointStore(std::string directory)
 }
 
 std::string DiskCheckpointStore::PathFor(const std::string& key) const {
-  return directory_ + "/" + harness::SanitizeRunLabel(key) + ".ckpt";
+  // The sanitised name alone is ambiguous — "a/b" and "a_b" both sanitise
+  // to "a_b", and sharing a file would silently rehydrate another
+  // session's state. The raw-key hash keeps distinct ids in distinct
+  // files while the sanitised prefix keeps them human-readable.
+  char hash[17];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(key)));
+  return directory_ + "/" + harness::SanitizeRunLabel(key) + "-" + hash +
+         ".ckpt";
 }
 
 core::Status DiskCheckpointStore::Put(const std::string& key,

@@ -38,9 +38,11 @@ class MemoryCheckpointStore : public CheckpointStore {
   std::map<std::string, std::string> blobs_;
 };
 
-/// On-disk store: one `<dir>/<sanitised key>.ckpt` file per session,
-/// written atomically (src/io/atomic_file.h) so a crash mid-eviction never
-/// leaves a torn archive. The directory is created on construction.
+/// On-disk store: one `<dir>/<sanitised key>-<raw-key hash>.ckpt` file per
+/// session (the hash keeps ids that sanitise identically, e.g. "a/b" and
+/// "a_b", in distinct files), written atomically (src/io/atomic_file.h)
+/// so a crash mid-eviction never leaves a torn archive. The directory is
+/// created on construction.
 class DiskCheckpointStore : public CheckpointStore {
  public:
   explicit DiskCheckpointStore(std::string directory);

@@ -1,5 +1,6 @@
 #include "src/serve/fleet.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -161,10 +162,12 @@ void DetectorFleet::ProcessEvent(Shard* shard, Session* session,
   if (!session->health.ok()) {
     // Poisoned session (failed rehydration): drop, don't crash the fleet.
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (dropped_counter_ != nullptr) dropped_counter_->Increment();
     return;
   }
   if (session->detector == nullptr && !RestoreSession(session)) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (dropped_counter_ != nullptr) dropped_counter_->Increment();
     return;
   }
   if (options_.max_resident_per_shard > 0) {
@@ -242,23 +245,30 @@ bool DetectorFleet::RestoreSession(Session* session) {
   return true;
 }
 
-void DetectorFleet::EvictSession(Shard* shard, Session* session) {
+bool DetectorFleet::EvictSession(Shard* shard, Session* session) {
   std::ostringstream out;
   core::Status status = session->detector->SaveState(&out);
   if (status.ok()) status = options_.store->Put(session->id, out.str());
   if (!status.ok()) {
     // A session that cannot be serialised simply stays resident; eviction
     // is an optimisation, not a correctness requirement.
-    return;
+    return false;
   }
   session->detector.reset();
   evictions_.fetch_add(1, std::memory_order_relaxed);
   if (evictions_counter_ != nullptr) evictions_counter_->Increment();
   std::lock_guard<std::mutex> lock(sessions_mutex_);
   --shard->resident;
+  return true;
 }
 
 void DetectorFleet::EnforceResidencyCap(Shard* shard, Session* current) {
+  // Victims whose eviction failed this pass (SaveState unimplemented, the
+  // store's disk full, ...). They must be skipped on reselection: a failed
+  // eviction changes neither `resident` nor `last_used`, so without the
+  // skip list the loop would pick the same LRU victim forever and wedge
+  // the shard worker.
+  std::vector<Session*> unevictable;
   while (true) {
     Session* victim = nullptr;
     {
@@ -269,14 +279,20 @@ void DetectorFleet::EnforceResidencyCap(Shard* shard, Session* current) {
         if (session->shard != current->shard) continue;
         if (session->detector == nullptr) continue;
         if (session.get() == current) continue;
+        if (std::find(unevictable.begin(), unevictable.end(),
+                      session.get()) != unevictable.end()) {
+          continue;
+        }
         if (victim == nullptr || session->last_used < oldest) {
           victim = session.get();
           oldest = session->last_used;
         }
       }
     }
-    if (victim == nullptr) return;  // only the active session is resident
-    EvictSession(shard, victim);
+    // No evictable candidate left (only the active session is resident,
+    // or everything else proved unevictable): stay over the cap.
+    if (victim == nullptr) return;
+    if (!EvictSession(shard, victim)) unevictable.push_back(victim);
   }
 }
 
@@ -319,6 +335,11 @@ void DetectorFleet::FinishEvent() {
     std::lock_guard<std::mutex> lock(idle_mutex_);
     idle_cv_.notify_all();
   }
+}
+
+bool DetectorFleet::stopped() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return stopped_;
 }
 
 void DetectorFleet::Stop() {

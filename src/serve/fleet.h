@@ -178,6 +178,10 @@ class DetectorFleet {
   /// drained. Subsequent `Submit` calls return `kDropped`. Idempotent.
   void Stop();
 
+  /// True once `Stop` has begun: every further `Submit` is a permanent
+  /// `kDropped`, so retry loops should give up rather than spin.
+  bool stopped() const;
+
   FleetStats Stats() const;
 
   /// Shard a given id maps to (stable for the fleet's lifetime).
@@ -229,9 +233,13 @@ class DetectorFleet {
   /// the session) on store or archive errors.
   bool RestoreSession(Session* session);
   /// SaveStates `session` into the store and releases its detector.
-  void EvictSession(Shard* shard, Session* session);
+  /// Returns false when serialisation or the store write fails; the
+  /// session then simply stays resident.
+  bool EvictSession(Shard* shard, Session* session);
   /// Evicts LRU sessions of `shard` (other than `current`) while the
-  /// shard's resident count exceeds the cache bound.
+  /// shard's resident count exceeds the cache bound. Sessions whose
+  /// eviction fails are skipped for the rest of the pass, so a persistent
+  /// store error leaves the shard over its cap rather than wedged.
   void EnforceResidencyCap(Shard* shard, Session* current);
   Session* FindSession(const std::string& stream_id) const;
   void FinishEvent();

@@ -48,7 +48,10 @@ std::uint64_t ReplayMerged(DetectorFleet* fleet,
       }
       // kDropped: the shard queue is full — yield until it drains. The
       // event MUST eventually go in (in order), so the replay blocks here
-      // rather than losing data.
+      // rather than losing data. The one permanent drop is a stopped
+      // fleet, whose closed queues reject forever: abandon the rest of
+      // the replay instead of spinning.
+      if (fleet->stopped()) return throttled;
       std::this_thread::yield();
     }
   }

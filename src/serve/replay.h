@@ -34,7 +34,9 @@ std::vector<StreamEvent> RoundRobinMerge(
 /// (one created session per entry). Dropped events are retried until
 /// accepted — per-session ordering must not be broken by a retry loop
 /// that skips ahead — so the call applies backpressure to the caller, not
-/// data loss. Returns the number of throttled admissions observed.
+/// data loss. If the fleet is stopped mid-replay the remaining events are
+/// abandoned (a stopped fleet can never accept them). Returns the number
+/// of throttled admissions observed.
 std::uint64_t ReplayMerged(DetectorFleet* fleet,
                            const std::vector<std::string>& ids,
                            const std::vector<StreamEvent>& events);

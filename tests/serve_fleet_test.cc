@@ -373,6 +373,74 @@ TEST(ServeFleetTest, BackpressureStateMachine) {
   EXPECT_EQ(fleet.Stats().processed, submitted + 4);
 }
 
+/// A store whose writes always fail — the shape of a full disk.
+class FailingPutStore : public CheckpointStore {
+ public:
+  core::Status Put(const std::string&, const std::string&) override {
+    puts_.fetch_add(1);
+    return core::Status::IoError("disk full");
+  }
+  core::Status Get(const std::string& key, std::string* blob) override {
+    (void)blob;
+    return core::Status::NotFound("no checkpoint for key: " + key);
+  }
+  int puts() const { return puts_.load(); }
+
+ private:
+  std::atomic<int> puts_{0};
+};
+
+TEST(ServeFleetTest, UnevictableSessionsDoNotWedgeTheShardWorker) {
+  // Regression: with every eviction failing, EnforceResidencyCap used to
+  // reselect the same LRU victim forever — the shard worker spun and
+  // WaitIdle hung. Unevictable sessions must instead stay resident (over
+  // the cap) while events keep flowing.
+  FailingPutStore store;
+  FleetOptions options;
+  options.shards = 1;
+  options.store = &store;
+  options.max_resident_per_shard = 1;
+  DetectorFleet fleet(options);
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < 3; ++i) {
+    ids.push_back("stuck-" + std::to_string(i));
+    ASSERT_TRUE(fleet.CreateSession(ids[i], ConfigFor(i)).ok());
+  }
+  const data::LabeledSeries series = MakeSeries(0, 20);
+  for (std::size_t t = 0; t < series.length(); ++t) {
+    for (const std::string& id : ids) {
+      while (fleet.Submit(id, series.At(t)) == Admission::kDropped) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  fleet.WaitIdle();
+  fleet.Stop();
+
+  const FleetStats stats = fleet.Stats();
+  EXPECT_EQ(stats.processed, series.length() * ids.size());
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_GT(store.puts(), 0);  // evictions were attempted, all failed
+  EXPECT_EQ(stats.resident_sessions, ids.size());
+  for (const std::string& id : ids) {
+    EXPECT_TRUE(fleet.SessionHealth(id).ok()) << id;
+  }
+}
+
+TEST(ServeFleetTest, DiskStoreDistinguishesKeysThatSanitiseIdentically) {
+  // "a/b" and "a_b" both sanitise to "a_b"; the raw-key hash in the file
+  // name must keep their checkpoints apart, or identically-configured
+  // sessions would silently rehydrate each other's state.
+  DiskCheckpointStore store(::testing::TempDir() + "/serve_fleet_collide");
+  ASSERT_TRUE(store.Put("a/b", "blob-slash").ok());
+  ASSERT_TRUE(store.Put("a_b", "blob-underscore").ok());
+  std::string blob;
+  ASSERT_TRUE(store.Get("a/b", &blob).ok());
+  EXPECT_EQ(blob, "blob-slash");
+  ASSERT_TRUE(store.Get("a_b", &blob).ok());
+  EXPECT_EQ(blob, "blob-underscore");
+}
+
 TEST(ServeFleetTest, DuplicateSessionIsRejectedWithMessage) {
   FleetOptions options;
   options.shards = 1;
@@ -390,11 +458,13 @@ TEST(ServeFleetTest, CorruptCheckpointPoisonsSession) {
   // event to fail rehydration: the session reports a sticky non-OK
   // health (with the LoadState message inside) and drops events instead
   // of scoring garbage.
+  obs::MetricsRegistry registry;
   MemoryCheckpointStore store;
   FleetOptions options;
   options.shards = 1;
   options.store = &store;
   options.force_evict_every = 10;
+  options.metrics = &registry;
   DetectorFleet fleet(options);
   ASSERT_TRUE(fleet.CreateSession("doomed", ConfigFor(0)).ok());
   const data::LabeledSeries series = MakeSeries(0, 40);
@@ -419,6 +489,12 @@ TEST(ServeFleetTest, CorruptCheckpointPoisonsSession) {
   EXPECT_FALSE(health.ok());
   EXPECT_NE(health.message().find("doomed"), std::string::npos);
   EXPECT_GE(fleet.Stats().rehydrate_failures, 1u);
+  // Worker-side drops (failed rehydration + poisoned session) count in
+  // the metric too, so it agrees with Stats().dropped.
+  EXPECT_GT(fleet.Stats().dropped, 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                registry.GetCounter("streamad_serve_dropped_total")->Value()),
+            fleet.Stats().dropped);
 }
 
 TEST(ServeFleetTest, UnknownSessionHealthIsNotFound) {
