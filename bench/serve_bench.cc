@@ -2,21 +2,42 @@
 // of 1 / 8 / 64 / 512 sessions. One producer thread replays interleaved
 // synthetic streams into a `serve::DetectorFleet` (retrying drops, i.e.
 // honouring backpressure) and the wall clock runs from first submit to
-// WaitIdle. Results land in BENCH_serve.json for the CI artifact.
+// WaitIdle.
+//
+// Every cell is run twice, back to back: once metrics-free (the baseline)
+// and once with the live observability plane on — a metrics registry
+// wired into the fleet, so queue-wait attribution and the per-shard
+// summaries are part of the measured cost. The pair yields the
+// attribution overhead ratio per cell measured inside ONE binary, which
+// is the only comparison that survives this class of machine: separate
+// binaries differ by code-layout luck alone more than the attribution
+// path costs. The instrumented run also reports the wait-versus-compute
+// split next to raw throughput. Results land in BENCH_serve.json for the
+// CI artifact.
 //
 // Flags:
-//   --events N   total events per (sessions x shards) cell (default 50000)
-//   --out PATH   output JSON path (default BENCH_serve.json)
+//   --events N      total events per (sessions x shards) cell (default 50000)
+//   --reps N        baseline/instrumented pairs per cell; the reported
+//                   ratio is the median of the per-pair ratios (default 5)
+//   --out PATH      output JSON path (default BENCH_serve.json)
+//   --http-port N   also serve /metrics, /healthz, /sessions during the
+//                   instrumented runs on 127.0.0.1:N (0 = off)
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/net/http_server.h"
+#include "src/obs/metrics.h"
+#include "src/obs/quantile_sketch.h"
+#include "src/serve/endpoints.h"
 #include "src/serve/fleet.h"
 
 namespace {
@@ -46,19 +67,46 @@ serve::SessionConfig BenchSessionConfig(std::size_t session) {
   return config;
 }
 
+/// One stage's per-shard latency summary, lifted from the registry after
+/// the cell's WaitIdle (counts are exact; quantiles are P² estimates).
+struct ShardQuantiles {
+  std::size_t shard = 0;
+  obs::QuantileSketch::Snapshot snap;
+};
+
 struct CellResult {
   std::size_t sessions = 0;
   std::size_t shards = 0;
-  double events_per_sec = 0.0;
+  double events_per_sec = 0.0;           // with the live plane on (median)
+  double baseline_events_per_sec = 0.0;  // metrics-free arm (median)
+  double attribution_ratio = 0.0;        // median of per-pair on/off ratios
   serve::FleetStats stats;
+  std::vector<ShardQuantiles> queue_wait;
+  std::vector<ShardQuantiles> step;
+  double wait_share = 0.0;  // sum(queue_wait) / (sum(queue_wait) + sum(step))
 };
 
-CellResult RunCell(std::size_t sessions, std::size_t shards,
-                   std::size_t events) {
+/// One timed pass over a cell. `metrics_on` wires the registry (and, when
+/// requested, the HTTP endpoints) into the fleet; off is the baseline arm.
+double RunCellPass(std::size_t sessions, std::size_t shards,
+                   std::size_t events, std::uint16_t http_port,
+                   bool metrics_on, obs::MetricsRegistry* registry,
+                   serve::FleetStats* stats_out) {
   serve::FleetOptions options;
   options.shards = shards;
   options.queue_capacity = 2048;
+  if (metrics_on) options.metrics = registry;
   serve::DetectorFleet fleet(options);
+
+  net::HttpServer server;
+  if (metrics_on && http_port != 0) {
+    serve::RegisterFleetEndpoints(&server, &fleet, registry);
+    const core::Status status = server.Start(http_port);
+    if (!status.ok()) {
+      std::fprintf(stderr, "http server: %s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+  }
 
   std::vector<std::string> ids;
   ids.reserve(sessions);
@@ -90,30 +138,107 @@ CellResult RunCell(std::size_t sessions, std::size_t shards,
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  fleet.Stop();
 
+  if (stats_out != nullptr) *stats_out = fleet.Stats();
+  server.Stop();
+  fleet.Stop();
+  return seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
+}
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+CellResult RunCell(std::size_t sessions, std::size_t shards,
+                   std::size_t events, std::size_t reps,
+                   std::uint16_t http_port) {
   CellResult result;
   result.sessions = sessions;
   result.shards = shards;
-  result.events_per_sec =
-      seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
-  result.stats = fleet.Stats();
+  // Each rep runs the baseline arm and the instrumented arm back to back —
+  // adjacent in time, same binary — so each pair's ratio controls for both
+  // machine drift and code-layout luck; the reported overhead is the
+  // median over pairs. Quantiles come from the last instrumented rep.
+  std::vector<double> base_rates;
+  std::vector<double> obs_rates;
+  std::vector<double> ratios;
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const double base = RunCellPass(sessions, shards, events, http_port,
+                                    /*metrics_on=*/false,
+                                    /*registry=*/nullptr,
+                                    /*stats_out=*/nullptr);
+    registry = std::make_unique<obs::MetricsRegistry>();
+    const double obs = RunCellPass(sessions, shards, events, http_port,
+                                   /*metrics_on=*/true, registry.get(),
+                                   &result.stats);
+    base_rates.push_back(base);
+    obs_rates.push_back(obs);
+    if (base > 0.0) ratios.push_back(obs / base);
+  }
+  result.baseline_events_per_sec = Median(base_rates);
+  result.events_per_sec = Median(obs_rates);
+  result.attribution_ratio = ratios.empty() ? 0.0 : Median(ratios);
+
+  double wait_sum = 0.0;
+  double step_sum = 0.0;
+  for (std::size_t i = 0; i < shards; ++i) {
+    const std::string prefix = "streamad_serve_shard" + std::to_string(i) + "_";
+    ShardQuantiles wait;
+    wait.shard = i;
+    wait.snap = registry->GetSketch(prefix + "queue_wait_ns_summary")->Snap();
+    wait_sum += wait.snap.sum;
+    result.queue_wait.push_back(wait);
+    ShardQuantiles compute;
+    compute.shard = i;
+    compute.snap = registry->GetSketch(prefix + "step_ns_summary")->Snap();
+    step_sum += compute.snap.sum;
+    result.step.push_back(compute);
+  }
+  result.wait_share =
+      wait_sum + step_sum > 0.0 ? wait_sum / (wait_sum + step_sum) : 0.0;
   return result;
+}
+
+void WriteStageQuantiles(std::ofstream& out, const char* name,
+                         const std::vector<ShardQuantiles>& quantiles,
+                         bool trailing_comma) {
+  out << "      \"" << name << "\": [";
+  for (std::size_t i = 0; i < quantiles.size(); ++i) {
+    const ShardQuantiles& q = quantiles[i];
+    out << (i == 0 ? "" : ", ") << "{\"shard\": " << q.shard
+        << ", \"count\": " << q.snap.count << ", \"p50\": " << q.snap.p50()
+        << ", \"p90\": " << q.snap.p90() << ", \"p99\": " << q.snap.p99()
+        << ", \"p999\": " << q.snap.p999() << "}";
+  }
+  out << "]" << (trailing_comma ? "," : "") << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t events = 50000;
+  std::size_t reps = 5;
   std::string out_path = "BENCH_serve.json";
+  std::uint16_t http_port = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--events" && i + 1 < argc) {
       events = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (reps == 0) reps = 1;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--http-port" && i + 1 < argc) {
+      http_port = static_cast<std::uint16_t>(
+          std::strtoul(argv[++i], nullptr, 10));
     } else {
-      std::fprintf(stderr, "usage: %s [--events N] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--events N] [--reps N] [--out PATH] "
+                   "[--http-port N]\n",
+                   argv[0]);
       return 1;
     }
   }
@@ -121,19 +246,32 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> session_counts = {1, 8, 64, 512};
   const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
 
-  std::printf("serve_bench: %zu events per cell, hardware_concurrency=%u\n\n",
-              events, std::thread::hardware_concurrency());
-  std::printf("%10s %8s %14s %10s %9s\n", "sessions", "shards", "events/sec",
-              "throttled", "dropped");
+  std::printf(
+      "serve_bench: %zu events per cell, %zu baseline/instrumented pairs, "
+      "hardware_concurrency=%u\n\n",
+      events, reps, std::thread::hardware_concurrency());
+  std::printf("%10s %8s %14s %14s %6s %9s %12s %12s %7s\n", "sessions",
+              "shards", "base_ev/sec", "obs_ev/sec", "ratio", "dropped",
+              "wait_p50_ns", "wait_p99_ns", "wait%");
 
   std::vector<CellResult> results;
   for (const std::size_t sessions : session_counts) {
     for (const std::size_t shards : shard_counts) {
-      const CellResult cell = RunCell(sessions, shards, events);
-      std::printf("%10zu %8zu %14.0f %10llu %9llu\n", cell.sessions,
-                  cell.shards, cell.events_per_sec,
-                  static_cast<unsigned long long>(cell.stats.throttled),
-                  static_cast<unsigned long long>(cell.stats.dropped));
+      const CellResult cell =
+          RunCell(sessions, shards, events, reps, http_port);
+      // Fleet-wide wait quantiles for the grid: the max over shards is the
+      // honest single number (a scraper reads the per-shard ones).
+      double wait_p50 = 0.0;
+      double wait_p99 = 0.0;
+      for (const ShardQuantiles& q : cell.queue_wait) {
+        wait_p50 = std::max(wait_p50, q.snap.p50());
+        wait_p99 = std::max(wait_p99, q.snap.p99());
+      }
+      std::printf("%10zu %8zu %14.0f %14.0f %6.2f %9llu %12.0f %12.0f %6.1f%%\n",
+                  cell.sessions, cell.shards, cell.baseline_events_per_sec,
+                  cell.events_per_sec, cell.attribution_ratio,
+                  static_cast<unsigned long long>(cell.stats.dropped),
+                  wait_p50, wait_p99, 100.0 * cell.wait_share);
       std::fflush(stdout);
       results.push_back(cell);
     }
@@ -152,11 +290,18 @@ int main(int argc, char** argv) {
     const CellResult& cell = results[i];
     out << "    {\"sessions\": " << cell.sessions
         << ", \"shards\": " << cell.shards << ", \"events_per_sec\": "
-        << cell.events_per_sec << ", \"throttled\": " << cell.stats.throttled
+        << cell.events_per_sec << ", \"baseline_events_per_sec\": "
+        << cell.baseline_events_per_sec << ", \"attribution_ratio\": "
+        << cell.attribution_ratio
+        << ", \"throttled\": " << cell.stats.throttled
         << ", \"dropped\": " << cell.stats.dropped
         << ", \"evictions\": " << cell.stats.evictions
-        << ", \"rehydrations\": " << cell.stats.rehydrations << "}"
-        << (i + 1 < results.size() ? "," : "") << "\n";
+        << ", \"rehydrations\": " << cell.stats.rehydrations
+        << ", \"wait_share\": " << cell.wait_share << ",\n"
+        << "     \"stage_quantiles\": {\n";
+    WriteStageQuantiles(out, "queue_wait", cell.queue_wait, true);
+    WriteStageQuantiles(out, "step", cell.step, false);
+    out << "    }}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::printf("\nwrote %s\n", out_path.c_str());

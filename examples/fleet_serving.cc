@@ -13,23 +13,53 @@
 // the scores each stream produced inside the evicting, interleaved fleet
 // are BIT-IDENTICAL to running that stream alone through `BuildDetector`
 // + `Step` — serving is a deployment detail, not a modelling change.
+//
+// Flags (both optional):
+//   --http-port=N       serve the live observability plane (/metrics,
+//                       /healthz, /sessions) on 127.0.0.1:N
+//   --linger-seconds=N  after the replay + golden check, keep the fleet
+//                       and endpoints up for N seconds so you can curl
+//                       them (see README "watch a running fleet")
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/algorithm_spec.h"
 #include "src/data/csv.h"
 #include "src/data/daphnet_like.h"
+#include "src/net/http_server.h"
+#include "src/obs/metrics.h"
 #include "src/serve/checkpoint_store.h"
+#include "src/serve/endpoints.h"
 #include "src/serve/fleet.h"
 #include "src/serve/replay.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamad;
+
+  std::uint16_t http_port = 0;
+  std::size_t linger_seconds = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--http-port=", 0) == 0) {
+      http_port = static_cast<std::uint16_t>(
+          std::strtoul(arg.c_str() + 12, nullptr, 10));
+    } else if (arg.rfind("--linger-seconds=", 0) == 0) {
+      linger_seconds = std::strtoul(arg.c_str() + 17, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--http-port=N] [--linger-seconds=N]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
 
   // --- 1. A multi-stream corpus, round-tripped through CSV files. ---
   data::GeneratorConfig gen;
@@ -69,11 +99,29 @@ int main() {
   detector_config.scorer_k_short = 5;
 
   serve::DiskCheckpointStore store(dir + "/checkpoints");
+  obs::MetricsRegistry registry;
   serve::FleetOptions options;
   options.shards = 3;
   options.store = &store;
   options.max_resident_per_shard = 2;  // 6 sessions -> constant churn
+  options.metrics = &registry;
+  options.watchdog_poll_ms = 200;   // live plane: stall detection on
+  options.stall_window_ms = 2000;
   serve::DetectorFleet fleet(options);
+
+  net::HttpServer server;
+  if (http_port != 0) {
+    serve::RegisterFleetEndpoints(&server, &fleet, &registry);
+    const core::Status status = server.Start(http_port);
+    if (!status.ok()) {
+      std::fprintf(stderr, "http server: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "live plane up: curl -s http://127.0.0.1:%u/metrics (also /healthz, "
+        "/sessions)\n",
+        static_cast<unsigned>(server.port()));
+  }
 
   std::mutex results_mutex;
   std::map<std::string, std::vector<serve::SessionStepResult>> by_stream;
@@ -84,6 +132,10 @@ int main() {
     session.score = core::ScoreType::kAnomalyLikelihood;
     session.detector = detector_config;
     session.seed = 40 + i;
+    // Per-session recorders feed the shared registry: the /metrics scrape
+    // then carries stage-level attribution (queue_wait next to the six
+    // pipeline stages), not just the shard-level queue summaries.
+    session.run.metrics = &registry;
     session.on_result = [&results_mutex, &by_stream](
                             const std::string& stream_id,
                             const serve::SessionStepResult& result) {
@@ -102,7 +154,6 @@ int main() {
       serve::RoundRobinMerge(streams);
   const std::uint64_t throttles = serve::ReplayMerged(&fleet, ids, merged);
   fleet.WaitIdle();
-  fleet.Stop();
 
   const serve::FleetStats stats = fleet.Stats();
   std::printf(
@@ -145,5 +196,15 @@ int main() {
   std::printf(identical ? "\nfleet == sequential on every stream; the "
                           "serving layer added zero score drift\n"
                         : "\nBIT-IDENTITY VIOLATION\n");
+
+  // --- 5. Optionally stay up so the endpoints can be scraped. ---
+  if (linger_seconds > 0) {
+    std::printf("lingering %zu s for scrapes (fleet idle, endpoints live)\n",
+                linger_seconds);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(linger_seconds));
+  }
+  server.Stop();
+  fleet.Stop();
   return identical ? 0 : 1;
 }

@@ -1,8 +1,10 @@
 #ifndef STREAMAD_HARNESS_PARALLEL_H_
 #define STREAMAD_HARNESS_PARALLEL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -60,26 +62,35 @@ class BoundedQueue {
   }
 
   /// Never blocks. Thread-safe against concurrent pushes and pops.
-  Push TryPush(T value) {
+  ///
+  /// `stamp` is an opaque caller-provided tag carried alongside the item
+  /// and handed back by `Pop` — the serving layer stamps a monotonic
+  /// enqueue time here so consumers can attribute queue wait without the
+  /// harness itself reading any clock (0 = unstamped).
+  Push TryPush(T value, std::uint64_t stamp = 0) {
     std::size_t depth = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return Push::kRejected;
-      items_.push_back(std::move(value));
+      items_.push_back(Entry{std::move(value), stamp});
       depth = items_.size();
+      depth_.store(depth, std::memory_order_relaxed);
     }
     ready_.notify_one();
     return depth >= watermark_ ? Push::kAboveWatermark : Push::kAccepted;
   }
 
   /// Blocks until an item is available (returns true) or the queue has
-  /// been closed and fully drained (returns false).
-  bool Pop(T* out) {
+  /// been closed and fully drained (returns false). When `stamp` is
+  /// non-null it receives the tag the producer pushed with the item.
+  bool Pop(T* out, std::uint64_t* stamp = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
     ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
     if (items_.empty()) return false;  // closed and drained
-    *out = std::move(items_.front());
+    *out = std::move(items_.front().value);
+    if (stamp != nullptr) *stamp = items_.front().stamp;
     items_.pop_front();
+    depth_.store(items_.size(), std::memory_order_relaxed);
     return true;
   }
 
@@ -92,20 +103,28 @@ class BoundedQueue {
     ready_.notify_all();
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return items_.size();
-  }
+  /// Lock-free depth snapshot (updated inside push/pop while the lock is
+  /// held). Exact for a quiesced queue; during concurrent traffic it is a
+  /// momentarily-stale reading — which is all the per-event queue-depth
+  /// gauge and the watchdog need, without another lock acquisition on the
+  /// serving hot path.
+  std::size_t size() const { return depth_.load(std::memory_order_relaxed); }
 
   std::size_t capacity() const { return capacity_; }
   std::size_t watermark() const { return watermark_; }
 
  private:
+  struct Entry {
+    T value;
+    std::uint64_t stamp;
+  };
+
   const std::size_t capacity_;
   const std::size_t watermark_;
   mutable std::mutex mutex_;
   std::condition_variable ready_;
-  std::deque<T> items_;
+  std::deque<Entry> items_;
+  std::atomic<std::size_t> depth_{0};
   bool closed_ = false;
 };
 

@@ -1,0 +1,192 @@
+#include "src/net/http_server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace streamad::net {
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+/// Reads until the end of the request headers ("\r\n\r\n") or the size
+/// cap. The live plane only serves bodyless GETs, so the headers are the
+/// whole request.
+bool ReadRequest(int fd, std::string* out) {
+  constexpr std::size_t kMaxRequestBytes = 8192;
+  char buffer[1024];
+  while (out->size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) return false;  // peer closed or timed out mid-request
+    out->append(buffer, static_cast<std::size_t>(n));
+    if (out->find("\r\n\r\n") != std::string::npos) return true;
+    // Tolerate bare-LF clients (e.g. hand-typed requests via netcat).
+    if (out->find("\n\n") != std::string::npos) return true;
+  }
+  return false;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& path, Handler handler) {
+  STREAMAD_CHECK_MSG(!started_, "register handlers before Start");
+  STREAMAD_CHECK_MSG(!path.empty() && path[0] == '/',
+                     "handler paths start with '/'");
+  handlers_[path] = std::move(handler);
+}
+
+core::Status HttpServer::Start(std::uint16_t port) {
+  if (started_) {
+    return core::Status::FailedPrecondition("server already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return core::Status::IoError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // operator plane only
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string message = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return core::Status::IoError(message);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string message =
+        std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return core::Status::IoError(message);
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    const std::string message =
+        std::string("getsockname: ") + std::strerror(errno);
+    ::close(fd);
+    return core::Status::IoError(message);
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  started_ = true;
+  listener_ = std::thread([this] { ListenLoop(); });
+  return core::Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!started_) return;
+  // Unblocks the accept; the listener then sees the failure and exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (listener_.joinable()) listener_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  started_ = false;
+}
+
+void HttpServer::ListenLoop() {
+  while (true) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return;  // shut down (or the listener broke — either way, stop)
+    }
+    // Bound how long a stuck client can hold the (single) serving thread.
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ServeConnection(client);
+    ::close(client);
+  }
+}
+
+void HttpServer::ServeConnection(int client_fd) {
+  std::string raw;
+  HttpResponse response;
+  HttpRequest request;
+  if (!ReadRequest(client_fd, &raw)) return;
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  const std::size_t line_end = raw.find_first_of("\r\n");
+  const std::string line = raw.substr(0, line_end);
+  const std::size_t method_end = line.find(' ');
+  const std::size_t target_end =
+      method_end == std::string::npos ? std::string::npos
+                                      : line.find(' ', method_end + 1);
+  if (method_end == std::string::npos || target_end == std::string::npos) {
+    response.status = 400;
+    response.body = "malformed request line\n";
+  } else {
+    request.method = line.substr(0, method_end);
+    std::string target =
+        line.substr(method_end + 1, target_end - method_end - 1);
+    const std::size_t query_at = target.find('?');
+    if (query_at != std::string::npos) {
+      request.query = target.substr(query_at + 1);
+      target.resize(query_at);
+    }
+    request.path = std::move(target);
+    if (request.method != "GET" && request.method != "HEAD") {
+      response.status = 405;
+      response.body = "only GET is served here\n";
+    } else {
+      const auto it = handlers_.find(request.path);
+      if (it == handlers_.end()) {
+        response.status = 404;
+        response.body = "no handler for " + request.path + "\n";
+      } else {
+        response = it->second(request);
+      }
+    }
+  }
+
+  std::string reply;
+  reply.reserve(response.body.size() + 128);
+  reply += "HTTP/1.0 ";
+  reply += std::to_string(response.status);
+  reply += ' ';
+  reply += StatusText(response.status);
+  reply += "\r\nContent-Type: ";
+  reply += response.content_type;
+  reply += "\r\nContent-Length: ";
+  reply += std::to_string(response.body.size());
+  reply += "\r\nConnection: close\r\n\r\n";
+  if (request.method != "HEAD") reply += response.body;
+  WriteAll(client_fd, reply);
+}
+
+}  // namespace streamad::net

@@ -1,0 +1,83 @@
+#ifndef STREAMAD_NET_HTTP_SERVER_H_
+#define STREAMAD_NET_HTTP_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "src/core/status.h"
+
+namespace streamad::net {
+
+/// One parsed scrape request. Only what the live plane needs: the method,
+/// the path with any `?query` split off, and the raw query string.
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string query;
+};
+
+/// The handler's reply. `status` is the HTTP status code; the server adds
+/// the status line, `Content-Type`, `Content-Length` and
+/// `Connection: close` headers around `body`.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Minimal blocking-accept HTTP/1.0 server for the fleet's live
+/// observability plane (`/metrics`, `/healthz`, `/sessions`).
+///
+/// Design constraints, in order: zero third-party dependencies, zero
+/// interference with the serving hot path, and simple enough to reason
+/// about under `Stop`. One listener thread accepts loopback connections
+/// and serves them serially — a Prometheus scraper polls every few
+/// seconds, so concurrency buys nothing here. Handlers run on the
+/// listener thread and must be thread-safe against the fleet they read.
+///
+/// This is an operator endpoint, not an internet-facing service: it binds
+/// 127.0.0.1 only, caps requests at 8 KiB, and speaks just enough
+/// HTTP/1.0 (GET + exact-path routing) for curl and Prometheus.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact-match `path` (e.g. "/metrics").
+  /// Must be called before `Start`; the routing table is immutable while
+  /// the listener runs.
+  void Handle(const std::string& path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, readable via
+  /// `port()` afterwards) and starts the listener thread.
+  core::Status Start(std::uint16_t port);
+
+  /// Shuts the listening socket down and joins the listener. Idempotent;
+  /// also called by the destructor.
+  void Stop();
+
+  /// The bound port; 0 before a successful `Start`.
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void ListenLoop();
+  void ServeConnection(int client_fd);
+
+  std::unordered_map<std::string, Handler> handlers_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread listener_;
+  bool started_ = false;
+};
+
+}  // namespace streamad::net
+
+#endif  // STREAMAD_NET_HTTP_SERVER_H_

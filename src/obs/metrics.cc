@@ -139,10 +139,11 @@ Histogram* MetricsRegistry::GetHistogram(
   return slot.get();
 }
 
-QuantileSketch* MetricsRegistry::GetSketch(const std::string& name) {
+QuantileSketch* MetricsRegistry::GetSketch(const std::string& name,
+                                           std::uint32_t sample_every) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::unique_ptr<QuantileSketch>& slot = sketches_[name];
-  if (slot == nullptr) slot = std::make_unique<QuantileSketch>();
+  if (slot == nullptr) slot = std::make_unique<QuantileSketch>(sample_every);
   return slot.get();
 }
 

@@ -132,7 +132,11 @@ class MetricsRegistry {
   /// Returns the quantile sketch registered under `name`, creating it on
   /// first use. Sketches complement histograms: bucket-free p50/p90/p99/
   /// p999 estimates in O(1) memory (see src/obs/quantile_sketch.h).
-  QuantileSketch* GetSketch(const std::string& name);
+  /// `sample_every` applies only at creation (P² marker subsampling for
+  /// hot paths; count/sum/min/max stay exact) — later lookups return the
+  /// existing instrument unchanged.
+  QuantileSketch* GetSketch(const std::string& name,
+                            std::uint32_t sample_every = 1);
 
   /// Prometheus text exposition (`# TYPE` comments, cumulative `_bucket`
   /// lines with `le` labels, `_sum` / `_count`; sketches as `summary`

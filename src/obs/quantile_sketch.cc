@@ -80,6 +80,14 @@ void P2Quantile::Observe(double value) {
   }
 }
 
+void P2Quantile::Reset() {
+  count_ = 0;
+  heights_.fill(0.0);
+  positions_.fill(0.0);
+  desired_.fill(0.0);
+  // `increments_` is a pure function of the quantile rank; keep it.
+}
+
 double P2Quantile::Value() const {
   if (count_ == 0) return 0.0;
   if (count_ >= 5) return heights_[2];
@@ -102,13 +110,18 @@ QuantileSketch::Quantiles() {
   return quantiles;
 }
 
-QuantileSketch::QuantileSketch()
+QuantileSketch::QuantileSketch(std::uint32_t sample_every)
     : estimators_{P2Quantile(Quantiles()[0]), P2Quantile(Quantiles()[1]),
-                  P2Quantile(Quantiles()[2]), P2Quantile(Quantiles()[3])} {}
+                  P2Quantile(Quantiles()[2]), P2Quantile(Quantiles()[3])},
+      sample_every_(sample_every) {
+  STREAMAD_CHECK_MSG(sample_every >= 1, "sample_every must be >= 1");
+}
 
 void QuantileSketch::Observe(double value) {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (P2Quantile& estimator : estimators_) estimator.Observe(value);
+  if (count_ % sample_every_ == 0) {
+    for (P2Quantile& estimator : estimators_) estimator.Observe(value);
+  }
   if (count_ == 0) {
     min_ = value;
     max_ = value;
@@ -118,6 +131,15 @@ void QuantileSketch::Observe(double value) {
   }
   ++count_;
   sum_ += value;
+}
+
+void QuantileSketch::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (P2Quantile& estimator : estimators_) estimator.Reset();
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
 }
 
 QuantileSketch::Snapshot QuantileSketch::Snap() const {

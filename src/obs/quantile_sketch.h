@@ -22,6 +22,10 @@ class P2Quantile {
   /// Current estimate; 0 before any observation, exact below 5 samples.
   double Value() const;
 
+  /// Discards all marker state, as if freshly constructed for the same
+  /// quantile rank.
+  void Reset();
+
   std::uint64_t count() const { return count_; }
 
  private:
@@ -41,11 +45,27 @@ class P2Quantile {
 /// on it (a handful of ns next to the observed stage latencies).
 class QuantileSketch {
  public:
-  QuantileSketch();
+  /// `sample_every` > 1 subsamples the P² marker updates: count, sum, min
+  /// and max stay exact for every observation, but only every Nth value
+  /// (deterministically, by observation index) feeds the quantile
+  /// estimators. The markers then estimate the quantiles of an unbiased
+  /// 1-in-N slice of the stream — statistically interchangeable for the
+  /// i.i.d.-ish latency streams this is used on — at ~1/N of the marker
+  /// arithmetic. The serving hot path uses this for its per-shard
+  /// summaries; the default (1) keeps every observation.
+  explicit QuantileSketch(std::uint32_t sample_every = 1);
   QuantileSketch(const QuantileSketch&) = delete;
   QuantileSketch& operator=(const QuantileSketch&) = delete;
 
   void Observe(double value);
+
+  /// Drops every estimator back to its empty state (count 0, zero sum /
+  /// min / max). Scrape-and-reset windows (a fleet operator zeroing the
+  /// per-shard summaries between load phases) rely on `Snap` and `Reset`
+  /// being individually atomic against concurrent `Observe`s: an
+  /// observation lands entirely in the window before the reset or
+  /// entirely in the one after, never half-applied.
+  void Reset();
 
   static constexpr std::size_t kNumQuantiles = 4;
   /// The tracked quantile ranks, ascending: 0.5, 0.9, 0.99, 0.999.
@@ -69,6 +89,7 @@ class QuantileSketch {
  private:
   mutable std::mutex mutex_;
   std::array<P2Quantile, kNumQuantiles> estimators_;
+  std::uint32_t sample_every_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;

@@ -10,8 +10,8 @@ namespace streamad::obs {
 namespace {
 
 constexpr const char* kStageNames[kNumStages] = {
-    "representation", "nonconformity", "scoring", "train_offer",
-    "drift_check",    "finetune",      "fit",
+    "queue_wait",  "representation", "nonconformity", "scoring",
+    "train_offer", "drift_check",    "finetune",      "fit",
 };
 
 std::string StageHistogramName(Stage stage) {
@@ -97,6 +97,11 @@ Recorder::Recorder(MetricsRegistry* registry, RecorderOptions options)
 
 void Recorder::BeginStep(std::int64_t /*t*/) {
   step_ns_.fill(0);
+  // Queue wait recorded since the last step belongs to THIS step: the
+  // fleet stamps it right before calling `Step` on the dequeued event.
+  step_ns_[static_cast<std::size_t>(Stage::kQueueWait)] =
+      pending_queue_wait_ns_;
+  pending_queue_wait_ns_ = 0;
   steps_total_->Increment();
   ++totals_.steps;
 }
@@ -108,6 +113,15 @@ void Recorder::RecordStage(Stage stage, std::uint64_t elapsed_ns) {
   step_ns_[index] += elapsed_ns;
   totals_.ns[index] += elapsed_ns;
   ++totals_.spans[index];
+}
+
+void Recorder::RecordQueueWait(std::uint64_t elapsed_ns) {
+  const std::size_t index = static_cast<std::size_t>(Stage::kQueueWait);
+  stage_ns_[index]->Observe(static_cast<double>(elapsed_ns));
+  stage_ns_sketch_[index]->Observe(static_cast<double>(elapsed_ns));
+  totals_.ns[index] += elapsed_ns;
+  ++totals_.spans[index];
+  pending_queue_wait_ns_ += elapsed_ns;
 }
 
 void Recorder::OnFit() {

@@ -109,6 +109,12 @@ class Recorder {
   /// --- called by the detector pipeline -------------------------------
   void BeginStep(std::int64_t t);
   void RecordStage(Stage stage, std::uint64_t elapsed_ns);
+  /// Called by the serving layer (fleet shard worker) just before the
+  /// `Step` that consumes a queued event: feeds the `queue_wait` stage
+  /// instruments immediately and holds the value pending so `BeginStep`
+  /// attributes it to that step's trace / flight record — ingress wait and
+  /// compute stages then decompose one event end to end.
+  void RecordQueueWait(std::uint64_t elapsed_ns);
   void OnFit();
   void EndStep(std::int64_t t, bool scored, double nonconformity,
                double anomaly_score, bool finetuned,
@@ -151,6 +157,7 @@ class Recorder {
 
   StageTotals totals_;
   std::array<std::uint64_t, kNumStages> step_ns_{};  // scratch, one step
+  std::uint64_t pending_queue_wait_ns_ = 0;  // claimed by the next BeginStep
   std::uint64_t sample_cursor_ = 0;
 
   std::unique_ptr<FlightRecorder> flight_;

@@ -5,12 +5,13 @@
 
 namespace streamad::obs {
 
-/// The span taxonomy of `core::StreamingDetector::Step`: the six pipeline
-/// stages of the paper's per-step loop plus the initial model fit. Each
-/// stage owns one wall-clock histogram `streamad_stage_<name>_ns` and one
-/// quantile sketch `streamad_stage_<name>_ns_summary`.
+/// The span taxonomy of one served event: the ingress queue wait, the six
+/// pipeline stages of the paper's per-step loop, and the initial model
+/// fit. Each stage owns one wall-clock histogram `streamad_stage_<name>_ns`
+/// and one quantile sketch `streamad_stage_<name>_ns_summary`.
 enum class Stage : std::uint8_t {
-  kRepresentation = 0,  // window Observe + feature materialisation
+  kQueueWait = 0,       // enqueue -> dequeue on a fleet shard (serving only)
+  kRepresentation,      // window Observe + feature materialisation
   kNonconformity,       // a_t = A(x_t, θ) — includes the model Predict
   kScoring,             // f_t = F(a_{t-k+1..t})
   kTrainOffer,          // Task-1 strategy Offer (R_train update)
@@ -19,7 +20,7 @@ enum class Stage : std::uint8_t {
   kFit,                 // the one-off initial model fit
 };
 
-inline constexpr std::size_t kNumStages = 7;
+inline constexpr std::size_t kNumStages = 8;
 
 /// Short stable identifier, e.g. "drift_check" (metric and trace key).
 const char* StageName(Stage stage);

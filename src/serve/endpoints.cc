@@ -1,0 +1,139 @@
+#include "src/serve/endpoints.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace streamad::serve {
+namespace {
+
+/// JSON string escaping for session ids and status messages (control
+/// characters, quotes, backslashes — ids are caller-chosen strings).
+void AppendJsonString(std::string* out, const std::string& value) {
+  out->push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendU64(std::string* out, std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  *out += buffer;
+}
+
+std::string HealthzBody(DetectorFleet* fleet) {
+  const std::vector<ShardSnapshot> shards = fleet->SnapshotShards();
+  const bool healthy = fleet->healthy();
+  std::string body;
+  body.reserve(128 + shards.size() * 96);
+  body += "{\"status\":";
+  body += healthy ? "\"ok\"" : "\"degraded\"";
+  body += ",\"stopped\":";
+  body += fleet->stopped() ? "true" : "false";
+  body += ",\"shards\":[";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardSnapshot& shard = shards[i];
+    if (i > 0) body += ',';
+    body += "{\"index\":";
+    AppendU64(&body, shard.index);
+    body += ",\"queue_depth\":";
+    AppendU64(&body, shard.queue_depth);
+    body += ",\"resident\":";
+    AppendU64(&body, shard.resident);
+    body += ",\"processed\":";
+    AppendU64(&body, shard.processed);
+    body += ",\"stalled\":";
+    body += shard.stalled ? "true" : "false";
+    body += ",\"last_progress_ns\":";
+    AppendU64(&body, shard.last_progress_ns);
+    body += '}';
+  }
+  body += "]}\n";
+  return body;
+}
+
+std::string SessionsBody(DetectorFleet* fleet) {
+  const std::vector<SessionSnapshot> sessions = fleet->SnapshotSessions();
+  std::string body;
+  body.reserve(64 + sessions.size() * 160);
+  body += '[';
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const SessionSnapshot& session = sessions[i];
+    if (i > 0) body += ',';
+    body += "{\"id\":";
+    AppendJsonString(&body, session.id);
+    body += ",\"shard\":";
+    AppendU64(&body, session.shard);
+    body += ",\"resident\":";
+    body += session.resident ? "true" : "false";
+    body += ",\"healthy\":";
+    body += session.healthy ? "true" : "false";
+    if (!session.healthy) {
+      body += ",\"health_message\":";
+      AppendJsonString(&body, session.health_message);
+    }
+    body += ",\"processed\":";
+    AppendU64(&body, session.processed);
+    body += ",\"dropped\":";
+    AppendU64(&body, session.dropped);
+    body += ",\"last_step_t\":";
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%" PRId64, session.last_step_t);
+    body += buffer;
+    body += ",\"last_event_ns\":";
+    AppendU64(&body, session.last_event_ns);
+    body += '}';
+  }
+  body += "]\n";
+  return body;
+}
+
+}  // namespace
+
+void RegisterFleetEndpoints(net::HttpServer* server, DetectorFleet* fleet,
+                            obs::MetricsRegistry* metrics) {
+  server->Handle("/metrics", [metrics](const net::HttpRequest&) {
+    net::HttpResponse response;
+    if (metrics == nullptr) {
+      response.status = 404;
+      response.body = "fleet runs without a metrics registry\n";
+      return response;
+    }
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = metrics->DumpText();
+    return response;
+  });
+  server->Handle("/healthz", [fleet](const net::HttpRequest&) {
+    net::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = HealthzBody(fleet);
+    if (!fleet->healthy()) response.status = 503;
+    return response;
+  });
+  server->Handle("/sessions", [fleet](const net::HttpRequest&) {
+    net::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = SessionsBody(fleet);
+    return response;
+  });
+}
+
+}  // namespace streamad::serve

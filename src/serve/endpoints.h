@@ -1,0 +1,27 @@
+#ifndef STREAMAD_SERVE_ENDPOINTS_H_
+#define STREAMAD_SERVE_ENDPOINTS_H_
+
+#include "src/net/http_server.h"
+#include "src/obs/metrics.h"
+#include "src/serve/fleet.h"
+
+namespace streamad::serve {
+
+/// Wires the fleet's live observability plane onto `server`:
+///
+///   GET /metrics  — Prometheus text exposition of `metrics`
+///                   (404 when the fleet runs without a registry)
+///   GET /healthz  — fleet + per-shard liveness JSON; HTTP 503 and
+///                   `"status":"degraded"` while any shard is stalled
+///   GET /sessions — per-session JSON: health, residency, event/drop
+///                   counts and the last-step timestamps
+///
+/// Call before `server->Start`. `fleet` (and `metrics`, when non-null)
+/// must outlive the server. The handlers only read snapshot APIs and the
+/// registry's exposition — they never touch the event hot path.
+void RegisterFleetEndpoints(net::HttpServer* server, DetectorFleet* fleet,
+                            obs::MetricsRegistry* metrics);
+
+}  // namespace streamad::serve
+
+#endif  // STREAMAD_SERVE_ENDPOINTS_H_

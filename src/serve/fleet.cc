@@ -1,6 +1,8 @@
 #include "src/serve/fleet.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <sstream>
 #include <utility>
 
@@ -10,6 +12,16 @@
 #include "src/obs/timer.h"
 
 namespace streamad::serve {
+namespace {
+
+/// The recorder a session's telemetry flows through, whoever owns it.
+obs::Recorder* SessionRecorder(
+    const std::unique_ptr<obs::Recorder>& owned,
+    obs::Recorder* attached) {
+  return owned != nullptr ? owned.get() : attached;
+}
+
+}  // namespace
 
 const char* ToString(Admission admission) {
   switch (admission) {
@@ -24,11 +36,19 @@ DetectorFleet::DetectorFleet(const FleetOptions& options) : options_(options) {
   STREAMAD_CHECK_MSG(options_.shards > 0, "fleet needs at least one shard");
   STREAMAD_CHECK_MSG(options_.queue_capacity > 0,
                      "shard queues need positive capacity");
+  STREAMAD_CHECK_MSG(options_.timing_sample_every >= 1,
+                     "timing_sample_every must be >= 1");
+  timing_sample_mask_ = std::bit_ceil<std::uint64_t>(
+                            options_.timing_sample_every) - 1;
   const bool evicting = options_.max_resident_per_shard > 0 ||
                         options_.force_evict_every > 0;
   STREAMAD_CHECK_MSG(!evicting || options_.store != nullptr,
                      "session eviction requires a checkpoint store");
   if (options_.metrics != nullptr) {
+    // The first NowNs() of the process calibrates the TSC clock (a ~2 ms
+    // spin, see obs::internal::TscClock); trigger it here so it can never
+    // land inside a measured serving window.
+    (void)obs::NowNs();
     events_counter_ =
         options_.metrics->GetCounter("streamad_serve_events_total");
     throttled_counter_ =
@@ -39,6 +59,10 @@ DetectorFleet::DetectorFleet(const FleetOptions& options) : options_(options) {
         options_.metrics->GetCounter("streamad_serve_evictions_total");
     rehydrations_counter_ =
         options_.metrics->GetCounter("streamad_serve_rehydrations_total");
+    stalled_shards_gauge_ =
+        options_.metrics->GetGauge("streamad_serve_stalled_shards");
+    shard_stalls_counter_ =
+        options_.metrics->GetCounter("streamad_serve_shard_stalls_total");
   }
   shards_.reserve(options_.shards);
   for (std::size_t i = 0; i < options_.shards; ++i) {
@@ -51,12 +75,22 @@ DetectorFleet::DetectorFleet(const FleetOptions& options) : options_(options) {
           options_.metrics->GetGauge(prefix + "queue_depth");
       shard->step_ns = options_.metrics->GetHistogram(
           prefix + "step_ns", obs::Recorder::LatencyBucketsNs());
+      shard->step_sketch =
+          options_.metrics->GetSketch(prefix + "step_ns_summary");
+      shard->queue_wait_ns = options_.metrics->GetHistogram(
+          prefix + "queue_wait_ns", obs::Recorder::LatencyBucketsNs());
+      shard->queue_wait_sketch =
+          options_.metrics->GetSketch(prefix + "queue_wait_ns_summary");
+      shard->stalled_gauge = options_.metrics->GetGauge(prefix + "stalled");
     }
     shards_.push_back(std::move(shard));
   }
   for (const std::unique_ptr<Shard>& shard : shards_) {
     Shard* raw = shard.get();
     raw->worker = std::thread([this, raw] { WorkerLoop(raw); });
+  }
+  if (options_.watchdog_poll_ms > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
 }
 
@@ -86,6 +120,11 @@ core::Status DetectorFleet::CreateSession(const std::string& stream_id,
         run.metrics, harness::ToRecorderOptions(run));
     session->detector->set_recorder(session->recorder.get());
   }
+  session->wants_timing =
+      config.run.recorder != nullptr || config.run.metrics != nullptr;
+  // Same TSC warm-up as the constructor, for timed sessions on an
+  // otherwise metrics-free fleet.
+  if (session->wants_timing) (void)obs::NowNs();
   std::lock_guard<std::mutex> lock(sessions_mutex_);
   if (stopped_) {
     return core::Status::FailedPrecondition("fleet is stopped");
@@ -117,16 +156,33 @@ Admission DetectorFleet::Submit(const std::string& stream_id,
   QueuedEvent event;
   event.session = session;
   event.values = s;
+  // Stamp the enqueue instant only when someone downstream attributes it
+  // (fleet metrics or a session recorder), and then only for one event in
+  // `timing_sample_every`: the metrics-free path stays clock-free, and
+  // the metered path pays for clock reads and latency observations at the
+  // sampling rate rather than per event. Stamp 0 means "unstamped" to the
+  // worker, which skips the whole timing path for that event.
+  std::uint64_t stamp = 0;
+  if (shard->queue_wait_ns != nullptr || session->wants_timing) {
+    const std::uint64_t seq =
+        shard->submit_seq.fetch_add(1, std::memory_order_relaxed);
+    if ((seq & timing_sample_mask_) == 0) stamp = obs::NowNs();
+  }
   // Count the event in-flight BEFORE the push so a concurrent WaitIdle
   // cannot observe an empty queue between push and worker pickup.
   inflight_.fetch_add(1, std::memory_order_relaxed);
-  const auto push = shard->queue.TryPush(std::move(event));
-  if (shard->queue_depth != nullptr) {
+  const auto push = shard->queue.TryPush(std::move(event), stamp);
+  // The depth gauge is a point-in-time sample, so it rides the timing
+  // sample too: refreshing it per event would put a submitter-and-worker
+  // shared cache line on the full-rate path for a value scrapes only see
+  // occasionally anyway.
+  if (stamp != 0 && shard->queue_depth != nullptr) {
     shard->queue_depth->Set(static_cast<double>(shard->queue.size()));
   }
   if (push == harness::BoundedQueue<QueuedEvent>::Push::kRejected) {
     FinishEvent();
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    session->dropped.fetch_add(1, std::memory_order_relaxed);
     if (dropped_counter_ != nullptr) dropped_counter_->Increment();
     return Admission::kDropped;
   }
@@ -142,11 +198,34 @@ Admission DetectorFleet::Submit(const std::string& stream_id,
 
 void DetectorFleet::WorkerLoop(Shard* shard) {
   QueuedEvent event;
-  while (shard->queue.Pop(&event)) {
-    ProcessEvent(shard, event.session, event.values);
-    if (shard->queue_depth != nullptr) {
-      shard->queue_depth->Set(static_cast<double>(shard->queue.size()));
+  std::uint64_t stamp = 0;
+  while (true) {
+    if (shard->held_for_test.load(std::memory_order_acquire)) {
+      std::unique_lock<std::mutex> lock(shard->hold_mutex);
+      shard->hold_cv.wait(lock, [shard] {
+        return !shard->held_for_test.load(std::memory_order_acquire);
+      });
     }
+    if (!shard->queue.Pop(&event, &stamp)) break;
+    const bool timed_wait = stamp != 0;
+    std::uint64_t wait_ns = 0;
+    std::uint64_t dequeue_ns = 0;
+    if (timed_wait) {
+      dequeue_ns = obs::NowNs();
+      wait_ns = dequeue_ns > stamp ? dequeue_ns - stamp : 0;
+      if (shard->queue_wait_ns != nullptr) {
+        shard->queue_wait_ns->Observe(static_cast<double>(wait_ns));
+        shard->queue_wait_sketch->Observe(static_cast<double>(wait_ns));
+      }
+      shard->last_progress_ns.store(dequeue_ns, std::memory_order_relaxed);
+      event.session->last_event_ns.store(dequeue_ns,
+                                         std::memory_order_relaxed);
+      if (shard->queue_depth != nullptr) {
+        shard->queue_depth->Set(static_cast<double>(shard->queue.size()));
+      }
+    }
+    ProcessEvent(shard, event.session, event.values, wait_ns, dequeue_ns);
+    shard->processed.fetch_add(1, std::memory_order_relaxed);
     FinishEvent();
   }
 }
@@ -156,32 +235,55 @@ void DetectorFleet::WorkerLoop(Shard* shard) {
 // helpers so their (unavoidable) serialisation work stays out of this
 // block.
 void DetectorFleet::ProcessEvent(Shard* shard, Session* session,
-                                 const core::StreamVector& values) {
+                                 const core::StreamVector& values,
+                                 std::uint64_t wait_ns,
+                                 std::uint64_t dequeue_ns) {
+  const bool timed_wait = dequeue_ns != 0;
   ++shard->tick;
   session->last_used = shard->tick;
   if (!session->health.ok()) {
     // Poisoned session (failed rehydration): drop, don't crash the fleet.
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    session->dropped.fetch_add(1, std::memory_order_relaxed);
     if (dropped_counter_ != nullptr) dropped_counter_->Increment();
     return;
   }
   if (session->detector == nullptr && !RestoreSession(session)) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    session->dropped.fetch_add(1, std::memory_order_relaxed);
     if (dropped_counter_ != nullptr) dropped_counter_->Increment();
     return;
   }
   if (options_.max_resident_per_shard > 0) {
     EnforceResidencyCap(shard, session);
   }
-  const bool timed = shard->step_ns != nullptr;
-  const std::uint64_t start = timed ? obs::NowNs() : 0;
+  if (timed_wait) {
+    obs::Recorder* recorder =
+        SessionRecorder(session->recorder, session->config.run.recorder);
+    // Feed the wait to the session's recorder right before the step so
+    // `BeginStep` claims it as this step's `queue_wait` stage.
+    if (recorder != nullptr) recorder->RecordQueueWait(wait_ns);
+  }
+  // Step latency rides the same sampling as the enqueue stamp, and a
+  // stamped event's dequeue instant doubles as the step-timing start: the
+  // timing path reads the clock once per side of the detector step, and
+  // unstamped events never read it at all. step_ns therefore runs
+  // dequeue -> step end, which folds in the session bookkeeping above
+  // (ns-scale) and, on the cold path, a rehydration — an honest "time to
+  // serve this event once dequeued".
+  const bool timed = shard->step_ns != nullptr && timed_wait;
   const core::StreamingDetector::StepResult step =
       session->detector->Step(values);
   if (timed) {
-    shard->step_ns->Observe(static_cast<double>(obs::NowNs() - start));
+    const double elapsed = static_cast<double>(obs::NowNs() - dequeue_ns);
+    shard->step_ns->Observe(elapsed);
+    shard->step_sketch->Observe(elapsed);
   }
   ++session->since_restore;
   processed_.fetch_add(1, std::memory_order_relaxed);
+  session->processed.fetch_add(1, std::memory_order_relaxed);
+  session->last_step_t.store(session->detector->t(),
+                             std::memory_order_relaxed);
   if (step.scored) {
     SessionStepResult result;
     result.t = session->detector->t();
@@ -236,6 +338,7 @@ bool DetectorFleet::RestoreSession(Session* session) {
     session->detector->set_recorder(session->config.run.recorder);
   }
   session->since_restore = 0;
+  session->resident.store(true, std::memory_order_relaxed);
   rehydrations_.fetch_add(1, std::memory_order_relaxed);
   if (rehydrations_counter_ != nullptr) rehydrations_counter_->Increment();
   {
@@ -255,6 +358,7 @@ bool DetectorFleet::EvictSession(Shard* shard, Session* session) {
     return false;
   }
   session->detector.reset();
+  session->resident.store(false, std::memory_order_relaxed);
   evictions_.fetch_add(1, std::memory_order_relaxed);
   if (evictions_counter_ != nullptr) evictions_counter_->Increment();
   std::lock_guard<std::mutex> lock(sessions_mutex_);
@@ -348,10 +452,156 @@ void DetectorFleet::Stop() {
     if (stopped_) return;
     stopped_ = true;
   }
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  // Release any test holds so parked workers can reach the closed queue.
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->hold_mutex);
+      shard->held_for_test.store(false, std::memory_order_release);
+    }
+    shard->hold_cv.notify_all();
+  }
   for (const std::unique_ptr<Shard>& shard : shards_) shard->queue.Close();
   for (const std::unique_ptr<Shard>& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
+}
+
+void DetectorFleet::HoldShardForTest(std::size_t shard_index, bool hold) {
+  STREAMAD_CHECK(shard_index < shards_.size());
+  Shard* shard = shards_[shard_index].get();
+  {
+    std::lock_guard<std::mutex> lock(shard->hold_mutex);
+    shard->held_for_test.store(hold, std::memory_order_release);
+  }
+  shard->hold_cv.notify_all();
+}
+
+bool DetectorFleet::healthy() const {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->stalled.load(std::memory_order_relaxed)) return false;
+  }
+  return true;
+}
+
+void DetectorFleet::WatchdogLoop() {
+  // Stall detection works off the per-shard dequeue counter, not
+  // timestamps: `processed` advances for every event on every
+  // configuration, including metrics-free fleets.
+  std::vector<std::uint64_t> last_processed(shards_.size(), 0);
+  std::vector<std::uint64_t> stagnant_since(shards_.size(), 0);
+  const std::uint64_t window_ns =
+      static_cast<std::uint64_t>(options_.stall_window_ms) * 1000000ull;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(watchdog_mutex_);
+      watchdog_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.watchdog_poll_ms),
+          [this] { return watchdog_stop_; });
+      if (watchdog_stop_) return;
+    }
+    const std::uint64_t now = obs::NowNs();
+    std::size_t stalled_count = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard* shard = shards_[i].get();
+      const std::uint64_t processed =
+          shard->processed.load(std::memory_order_relaxed);
+      const bool progressed = processed != last_processed[i];
+      last_processed[i] = processed;
+      // A shard is only suspect while events are actually queued; an idle
+      // worker blocked in Pop is healthy.
+      if (progressed || shard->queue.size() == 0) {
+        stagnant_since[i] = now;
+        if (shard->stalled.exchange(false, std::memory_order_relaxed) &&
+            shard->stalled_gauge != nullptr) {
+          shard->stalled_gauge->Set(0.0);
+        }
+        continue;
+      }
+      if (stagnant_since[i] == 0) stagnant_since[i] = now;
+      if (now - stagnant_since[i] >= window_ns &&
+          !shard->stalled.exchange(true, std::memory_order_relaxed)) {
+        // Stall transition: count it, mark the shard, and capture the
+        // post-mortem while the evidence is still in the rings.
+        if (shard_stalls_counter_ != nullptr) {
+          shard_stalls_counter_->Increment();
+        }
+        if (shard->stalled_gauge != nullptr) shard->stalled_gauge->Set(1.0);
+        DumpStalledShardFlights(i);
+      }
+      if (shard->stalled.load(std::memory_order_relaxed)) ++stalled_count;
+    }
+    if (stalled_shards_gauge_ != nullptr) {
+      stalled_shards_gauge_->Set(static_cast<double>(stalled_count));
+    }
+  }
+}
+
+void DetectorFleet::DumpStalledShardFlights(std::size_t shard_index) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  for (const auto& [id, session] : sessions_) {
+    if (session->shard != shard_index) continue;
+    obs::Recorder* recorder =
+        SessionRecorder(session->recorder, session->config.run.recorder);
+    if (recorder == nullptr) continue;
+    obs::FlightRecorder* flight = recorder->flight_recorder();
+    if (flight != nullptr) flight->DumpToPath("shard_stall");
+  }
+}
+
+std::vector<SessionSnapshot> DetectorFleet::SnapshotSessions() const {
+  std::vector<SessionSnapshot> snapshots;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    snapshots.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) {
+      SessionSnapshot snap;
+      snap.id = id;
+      snap.shard = session->shard;
+      snap.resident = session->resident.load(std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> health_lock(
+            shards_[session->shard]->results_mutex);
+        snap.healthy = session->health.ok();
+        if (!snap.healthy) snap.health_message = session->health.message();
+      }
+      snap.processed = session->processed.load(std::memory_order_relaxed);
+      snap.dropped = session->dropped.load(std::memory_order_relaxed);
+      snap.last_step_t = session->last_step_t.load(std::memory_order_relaxed);
+      snap.last_event_ns =
+          session->last_event_ns.load(std::memory_order_relaxed);
+      snapshots.push_back(std::move(snap));
+    }
+  }
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const SessionSnapshot& a, const SessionSnapshot& b) {
+              return a.id < b.id;
+            });
+  return snapshots;
+}
+
+std::vector<ShardSnapshot> DetectorFleet::SnapshotShards() const {
+  std::vector<ShardSnapshot> snapshots;
+  snapshots.reserve(shards_.size());
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard* shard = shards_[i].get();
+    ShardSnapshot snap;
+    snap.index = i;
+    snap.queue_depth = shard->queue.size();
+    snap.resident = shard->resident;
+    snap.processed = shard->processed.load(std::memory_order_relaxed);
+    snap.stalled = shard->stalled.load(std::memory_order_relaxed);
+    snap.last_progress_ns =
+        shard->last_progress_ns.load(std::memory_order_relaxed);
+    snapshots.push_back(snap);
+  }
+  return snapshots;
 }
 
 FleetStats DetectorFleet::Stats() const {

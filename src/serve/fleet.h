@@ -25,6 +25,7 @@ class Counter;
 class Gauge;
 class Histogram;
 class MetricsRegistry;
+class QuantileSketch;
 class Recorder;
 }  // namespace streamad::obs
 
@@ -108,10 +109,61 @@ struct FleetOptions {
   /// fleet-wide `result_overflow` counter advances.
   std::size_t result_ring_capacity = 4096;
 
-  /// Optional registry for fleet metrics: per-shard queue-depth gauges
-  /// and step-latency histograms, plus event / throttle / drop / eviction
-  /// / rehydration counters. Not owned.
+  /// Optional registry for fleet metrics: per-shard queue-depth gauges,
+  /// queue-wait and step-latency histograms + summaries, plus event /
+  /// throttle / drop / eviction / rehydration counters and the
+  /// `streamad_serve_stalled_shards` health gauge. Not owned.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Take the event-timing path (enqueue stamp -> queue-wait and step
+  /// latency observations) for one event in N per shard, where N is this
+  /// value rounded up to a power of two (the selection must be a mask, not
+  /// a division, to stay off the ingest budget). Counters, gauges and
+  /// queue accounting stay exact for every event; only the latency
+  /// histograms and summaries see the (unbiased) 1-in-N subsample. At
+  /// full-rate ingest the timing path costs three clock reads plus four
+  /// latency observations per event, which is a measurable tax on the
+  /// fastest shards — the default keeps attribution on without paying it
+  /// everywhere. 1 times every event (what the attribution tests use).
+  std::uint32_t timing_sample_every = 16;
+
+  /// Watchdog poll cadence in milliseconds; 0 disables the watchdog
+  /// thread entirely.
+  std::size_t watchdog_poll_ms = 0;
+  /// Stall window: a shard with queued events and no dequeue progress for
+  /// at least this long is declared stalled — `/healthz` flips to
+  /// degraded, `streamad_serve_stalled_shards` rises, and the flight
+  /// recorders of the shard's sessions are dumped once per transition.
+  std::size_t stall_window_ms = 1000;
+};
+
+/// Point-in-time view of one session, as served by `/sessions`.
+struct SessionSnapshot {
+  std::string id;
+  std::size_t shard = 0;
+  /// Detector currently in memory (false = evicted to the store).
+  bool resident = false;
+  bool healthy = true;
+  /// The sticky poison message when `healthy` is false.
+  std::string health_message;
+  std::uint64_t processed = 0;
+  std::uint64_t dropped = 0;
+  /// Detector stream step after the most recent event (0 = none yet).
+  std::int64_t last_step_t = 0;
+  /// `obs::NowNs()` at the most recent processed event; 0 when the fleet
+  /// runs without metrics (no clock on the event path) or nothing ran yet.
+  std::uint64_t last_event_ns = 0;
+};
+
+/// Point-in-time view of one shard, as served by `/healthz`.
+struct ShardSnapshot {
+  std::size_t index = 0;
+  std::size_t queue_depth = 0;
+  std::size_t resident = 0;
+  std::uint64_t processed = 0;
+  bool stalled = false;
+  /// `obs::NowNs()` at the last timed dequeue (0 without metrics).
+  std::uint64_t last_progress_ns = 0;
 };
 
 /// Counters snapshot (see `DetectorFleet::Stats`).
@@ -184,6 +236,21 @@ class DetectorFleet {
 
   FleetStats Stats() const;
 
+  /// Live-plane read side: per-session and per-shard snapshots, taken
+  /// under the fleet locks so ids and residency are consistent (the
+  /// counters themselves are relaxed atomics — monotonic but not mutually
+  /// synchronised). Sessions come back sorted by id.
+  std::vector<SessionSnapshot> SnapshotSessions() const;
+  std::vector<ShardSnapshot> SnapshotShards() const;
+
+  /// False while any shard is marked stalled by the watchdog (degraded).
+  bool healthy() const;
+
+  /// Test hook: park (or release) a shard's worker before its next
+  /// dequeue, simulating a wedged shard so watchdog behaviour is testable
+  /// without a genuinely hung detector. `Stop` releases all holds.
+  void HoldShardForTest(std::size_t shard_index, bool hold);
+
   /// Shard a given id maps to (stable for the fleet's lifetime).
   std::size_t ShardOf(const std::string& stream_id) const;
 
@@ -192,8 +259,15 @@ class DetectorFleet {
  private:
   struct Session {
     std::string id;
-    SessionConfig config;
+    /// Shard index and the timing flag are read by submitter threads on
+    /// every `Submit`; they sit with the other immutable-after-creation
+    /// fields, cache-line-separated from the worker-written group below
+    /// (sharing a line would ping-pong it once per event).
     std::size_t shard = 0;
+    /// Precomputed at creation: this session wants per-event enqueue
+    /// stamps (it has a recorder or the fleet exports metrics).
+    bool wants_timing = false;
+    SessionConfig config;
     /// Null while evicted; only the owning shard worker mutates it after
     /// creation.
     std::unique_ptr<core::StreamingDetector> detector;
@@ -202,8 +276,16 @@ class DetectorFleet {
     std::unique_ptr<obs::Recorder> recorder;
     /// Sticky failure (rehydration / eviction error); poisons the session.
     core::Status health;
-    std::uint64_t last_used = 0;        // shard tick of the last event
+    /// Start of the worker-written per-event fields (see `shard` above).
+    alignas(64) std::uint64_t last_used = 0;  // shard tick of the last event
     std::uint64_t since_restore = 0;    // events since creation/rehydration
+    /// Residency mirror of `detector != nullptr`, readable off-thread by
+    /// `SnapshotSessions` without touching the worker-owned pointer.
+    std::atomic<bool> resident{true};
+    std::atomic<std::uint64_t> processed{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::int64_t> last_step_t{0};
+    std::atomic<std::uint64_t> last_event_ns{0};
     std::deque<SessionStepResult> results;  // ring; guarded by shard mutex
   };
 
@@ -222,11 +304,40 @@ class DetectorFleet {
     std::mutex results_mutex;     // guards Session::results of this shard
     obs::Gauge* queue_depth = nullptr;
     obs::Histogram* step_ns = nullptr;
+    obs::QuantileSketch* step_sketch = nullptr;
+    obs::Histogram* queue_wait_ns = nullptr;
+    obs::QuantileSketch* queue_wait_sketch = nullptr;
+    obs::Gauge* stalled_gauge = nullptr;
+    /// Submission sequence driving timing-sample selection (every Nth
+    /// submitted event gets an enqueue stamp); relaxed — sampling needs
+    /// no ordering. Cache-line-aligned: it is written by submitter
+    /// threads every event, and sharing a line with the worker-written
+    /// counters below would ping-pong that line once per event.
+    alignas(64) std::atomic<std::uint64_t> submit_seq{0};
+    /// Dequeues completed by this shard's worker (the watchdog's progress
+    /// signal — it advances even when metrics are off).
+    alignas(64) std::atomic<std::uint64_t> processed{0};
+    std::atomic<std::uint64_t> last_progress_ns{0};
+    std::atomic<bool> stalled{false};
+    /// Test hook (`HoldShardForTest`): the worker parks on `hold_cv`
+    /// before its next dequeue while this is set.
+    std::atomic<bool> held_for_test{false};
+    std::mutex hold_mutex;
+    std::condition_variable hold_cv;
   };
 
   void WorkerLoop(Shard* shard);
+  void WatchdogLoop();
+  /// Best-effort flight-recorder dump for every session of a stalled
+  /// shard (the shard's worker is not progressing, so its rings are
+  /// quiescent in the scenarios the watchdog fires for).
+  void DumpStalledShardFlights(std::size_t shard_index);
+  /// `dequeue_ns` is the instant the worker popped the event (0 when the
+  /// event was unstamped); it doubles as the step-timing start so the hot
+  /// path reads the clock once per side of the detector step.
   void ProcessEvent(Shard* shard, Session* session,
-                    const core::StreamVector& values);
+                    const core::StreamVector& values, std::uint64_t wait_ns,
+                    std::uint64_t dequeue_ns);
   void DeliverResult(Shard* shard, Session* session,
                      const SessionStepResult& result);
   /// Rebuilds + LoadStates an evicted session. Returns false (and poisons
@@ -245,6 +356,9 @@ class DetectorFleet {
   void FinishEvent();
 
   FleetOptions options_;
+  /// `timing_sample_every` rounded up to a power of two, minus one; a
+  /// submit is stamped when `(seq & mask) == 0`.
+  std::uint64_t timing_sample_mask_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   mutable std::mutex sessions_mutex_;
@@ -269,6 +383,13 @@ class DetectorFleet {
   obs::Counter* dropped_counter_ = nullptr;
   obs::Counter* evictions_counter_ = nullptr;
   obs::Counter* rehydrations_counter_ = nullptr;
+  obs::Gauge* stalled_shards_gauge_ = nullptr;
+  obs::Counter* shard_stalls_counter_ = nullptr;
+
+  std::thread watchdog_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  // guarded by watchdog_mutex_
 };
 
 }  // namespace streamad::serve

@@ -92,6 +92,37 @@ TEST(LintDeterminismTest, FlightRecorderDumpTimestampStaysClean) {
   EXPECT_EQ(CountRule(findings, kRuleDeterminism), 1u);  // ::now(
 }
 
+TEST(LintDeterminismTest, NetSubtreeMayUseSocketsAndClocks) {
+  // The live-plane HTTP server's idiom — clock read plus the full BSD
+  // socket call set — is sanctioned under src/net/ only.
+  EXPECT_TRUE(
+      LintFixture("net_socket_clock.cc", "src/net/http_server.cc").empty());
+}
+
+TEST(LintDeterminismTest, SocketCallsOutsideNetAreFlagged) {
+  const auto findings =
+      LintFixture("net_socket_clock.cc", "src/core/listener.cc");
+  // ::now, plus socket/setsockopt/bind/listen/accept/recv/send.
+  EXPECT_EQ(CountRule(findings, kRuleDeterminism), 8u);
+  EXPECT_EQ(findings.size(), 8u);
+  std::size_t socket_findings = 0;
+  for (const Finding& f : findings) {
+    // The FineLookalikes block (std::bind, member send, asio::connect)
+    // starts at line 30 and must stay silent.
+    EXPECT_LT(f.line, 30) << f.message;
+    if (f.message.find("src/net/") != std::string::npos) ++socket_findings;
+  }
+  EXPECT_EQ(socket_findings, 7u);
+}
+
+TEST(LintDeterminismTest, ObsSubtreeStillMayNotUseSockets) {
+  // src/obs/ is allowlisted for clocks only: the same fixture there keeps
+  // its socket findings and loses only the ::now one.
+  const auto findings =
+      LintFixture("net_socket_clock.cc", "src/obs/exporter.cc");
+  EXPECT_EQ(CountRule(findings, kRuleDeterminism), 7u);
+}
+
 // --- R2: hot-path allocation ---------------------------------------------
 
 TEST(LintHotAllocTest, FlagsAllocationsInsideHotRegionOnly) {

@@ -1,0 +1,305 @@
+// Tests for the live observability plane: the src/net HTTP server itself
+// (routing, ephemeral ports, error statuses) and the fleet endpoints
+// registered on it. The /metrics test scrapes a genuinely running fleet
+// and validates the exposition line-by-line against the Prometheus text
+// format — TYPE before samples, every sample parseable, the queue-wait
+// summary and stall gauge present.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/net/http_server.h"
+#include "src/obs/metrics.h"
+#include "src/serve/endpoints.h"
+#include "src/serve/fleet.h"
+
+namespace streamad {
+namespace {
+
+/// Minimal blocking HTTP client: one GET, returns status code and body.
+struct FetchResult {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+FetchResult Fetch(std::uint16_t port, const std::string& path) {
+  FetchResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect to 127.0.0.1:" << port << " failed";
+    return result;
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string raw;
+  char buffer[2048];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    raw.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 200 OK\r\n...headers...\r\n\r\nbody"
+  const std::size_t status_at = raw.find(' ');
+  EXPECT_NE(status_at, std::string::npos) << raw;
+  result.status = std::atoi(raw.c_str() + status_at + 1);
+  const std::size_t type_at = raw.find("Content-Type: ");
+  if (type_at != std::string::npos) {
+    const std::size_t end = raw.find("\r\n", type_at);
+    result.content_type = raw.substr(type_at + 14, end - type_at - 14);
+  }
+  const std::size_t body_at = raw.find("\r\n\r\n");
+  EXPECT_NE(body_at, std::string::npos) << raw;
+  result.body = raw.substr(body_at + 4);
+  return result;
+}
+
+TEST(HttpServerTest, RoutesRegisteredPathsAndRejectsUnknownOnes) {
+  net::HttpServer server;
+  server.Handle("/ping", [](const net::HttpRequest& request) {
+    net::HttpResponse response;
+    response.body = "pong " + request.query;
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());  // ephemeral port
+  ASSERT_NE(server.port(), 0);
+
+  const FetchResult pong = Fetch(server.port(), "/ping?q=1");
+  EXPECT_EQ(pong.status, 200);
+  EXPECT_EQ(pong.body, "pong q=1");
+
+  const FetchResult missing = Fetch(server.port(), "/nope");
+  EXPECT_EQ(missing.status, 404);
+
+  server.Stop();
+}
+
+TEST(HttpServerTest, ServesManySequentialRequests) {
+  net::HttpServer server;
+  server.Handle("/n", [](const net::HttpRequest&) {
+    net::HttpResponse response;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(Fetch(server.port(), "/n").status, 200);
+  }
+  server.Stop();
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndRestartableAcrossInstances) {
+  std::uint16_t first_port = 0;
+  {
+    net::HttpServer server;
+    server.Handle("/x", [](const net::HttpRequest&) {
+      return net::HttpResponse{};
+    });
+    ASSERT_TRUE(server.Start(0).ok());
+    first_port = server.port();
+    server.Stop();
+    server.Stop();  // idempotent
+  }
+  // The port is released: a new server can claim it right away
+  // (SO_REUSEADDR covers the TIME_WAIT case).
+  net::HttpServer reuse;
+  reuse.Handle("/x", [](const net::HttpRequest&) {
+    return net::HttpResponse{};
+  });
+  ASSERT_TRUE(reuse.Start(first_port).ok());
+  EXPECT_EQ(Fetch(first_port, "/x").status, 200);
+  reuse.Stop();
+}
+
+// --- Fleet endpoints over a live fleet -----------------------------------
+
+core::DetectorConfig FastConfig() {
+  core::DetectorConfig config;
+  config.window = 8;
+  config.train_capacity = 30;
+  config.initial_train_steps = 40;
+  config.scorer_k = 10;
+  config.scorer_k_short = 3;
+  return config;
+}
+
+serve::SessionConfig SessionFor(std::size_t stream,
+                                obs::MetricsRegistry* registry) {
+  serve::SessionConfig config;
+  config.spec = {core::ModelType::kOnlineArima, core::Task1::kSlidingWindow,
+                 core::Task2::kMuSigma};
+  config.score = core::ScoreType::kAverage;
+  config.detector = FastConfig();
+  config.seed = 100 + stream;
+  config.run.metrics = registry;
+  return config;
+}
+
+/// Validates one Prometheus text exposition line-by-line:
+///   - `# TYPE <name> <kind>` precedes every sample of <name>,
+///   - every non-comment line is `name[{labels}] value` with a finite
+///     value,
+///   - no blank interior lines, no tabs, newline-terminated.
+/// Returns the set of sample names (label part stripped).
+std::set<std::string> ValidatePrometheusText(const std::string& text) {
+  std::set<std::string> sample_names;
+  std::set<std::string> typed_names;
+  EXPECT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n') << "exposition must end with a newline";
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) {
+      ADD_FAILURE() << "blank line inside exposition";
+      continue;
+    }
+    EXPECT_EQ(line.find('\t'), std::string::npos) << line;
+    if (line[0] == '#') {
+      // "# TYPE <name> <kind>" (this exporter only writes TYPE comments).
+      std::istringstream fields(line);
+      std::string hash, keyword, name, kind;
+      fields >> hash >> keyword >> name >> kind;
+      EXPECT_EQ(hash, "#") << line;
+      EXPECT_EQ(keyword, "TYPE") << line;
+      EXPECT_FALSE(name.empty()) << line;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" ||
+                  kind == "histogram" || kind == "summary")
+          << line;
+      typed_names.insert(name);
+      continue;
+    }
+    // "<name>[{labels}] <value>"
+    const std::size_t space_at = line.rfind(' ');
+    if (space_at == std::string::npos) {
+      ADD_FAILURE() << "sample line without a value: " << line;
+      continue;
+    }
+    std::string name = line.substr(0, space_at);
+    const std::string value = line.substr(space_at + 1);
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "unparseable value in: " << line;
+    EXPECT_TRUE(std::isfinite(parsed)) << line;
+    const std::size_t brace_at = name.find('{');
+    if (brace_at != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+      name.resize(brace_at);
+    }
+    // Histogram/summary series (`x_bucket`, `x_sum`, `x_count`) belong to
+    // the TYPE of their base name; accept either exact or prefixed match.
+    bool typed = typed_names.count(name) != 0;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s = suffix;
+      if (!typed && name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        typed = typed_names.count(name.substr(0, name.size() - s.size())) != 0;
+      }
+    }
+    EXPECT_TRUE(typed) << "sample before its # TYPE line: " << line;
+    sample_names.insert(name);
+  }
+  return sample_names;
+}
+
+TEST(FleetEndpointsTest, MetricsHealthzAndSessionsOverLiveFleet) {
+  obs::MetricsRegistry registry;
+  serve::FleetOptions options;
+  options.shards = 2;
+  options.metrics = &registry;
+  serve::DetectorFleet fleet(options);
+  ASSERT_TRUE(fleet.CreateSession("alpha", SessionFor(0, &registry)).ok());
+  ASSERT_TRUE(fleet.CreateSession("beta", SessionFor(1, &registry)).ok());
+
+  net::HttpServer server;
+  serve::RegisterFleetEndpoints(&server, &fleet, &registry);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  core::StreamVector v(3);
+  for (std::size_t t = 0; t < 120; ++t) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      v[c] = std::sin(0.1 * static_cast<double>(t) + static_cast<double>(c));
+    }
+    fleet.Submit("alpha", v);
+    fleet.Submit("beta", v);
+  }
+  fleet.WaitIdle();
+
+  // /metrics: parseable exposition with the live-plane instruments in it.
+  const FetchResult metrics = Fetch(server.port(), "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.content_type.find("text/plain"), std::string::npos);
+  const std::set<std::string> names = ValidatePrometheusText(metrics.body);
+  for (const char* required : {
+           "streamad_serve_events_total",
+           "streamad_serve_stalled_shards",
+           "streamad_serve_shard0_queue_wait_ns_summary",
+           "streamad_serve_shard1_queue_wait_ns_summary",
+           "streamad_serve_shard0_step_ns_summary",
+           "streamad_stage_queue_wait_ns_summary",
+       }) {
+    EXPECT_EQ(names.count(required), 1u) << required;
+  }
+  // The summary actually carries quantile samples.
+  EXPECT_NE(metrics.body.find("streamad_serve_shard0_queue_wait_ns_summary{"
+                              "quantile=\"0.5\"}"),
+            std::string::npos);
+
+  // /healthz: ok, not degraded, one entry per shard.
+  const FetchResult healthz = Fetch(server.port(), "/healthz");
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_NE(healthz.content_type.find("application/json"),
+            std::string::npos);
+  EXPECT_NE(healthz.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(healthz.body.find("\"index\":0"), std::string::npos);
+  EXPECT_NE(healthz.body.find("\"index\":1"), std::string::npos);
+  EXPECT_EQ(healthz.body.find("\"stalled\":true"), std::string::npos);
+
+  // /sessions: both ids, processed counts, health flags.
+  const FetchResult sessions = Fetch(server.port(), "/sessions");
+  EXPECT_EQ(sessions.status, 200);
+  EXPECT_NE(sessions.body.find("\"id\":\"alpha\""), std::string::npos);
+  EXPECT_NE(sessions.body.find("\"id\":\"beta\""), std::string::npos);
+  EXPECT_NE(sessions.body.find("\"processed\":120"), std::string::npos);
+  EXPECT_NE(sessions.body.find("\"healthy\":true"), std::string::npos);
+
+  server.Stop();
+  fleet.Stop();
+}
+
+TEST(FleetEndpointsTest, MetricsIs404WithoutRegistry) {
+  serve::FleetOptions options;
+  options.shards = 1;
+  serve::DetectorFleet fleet(options);
+  net::HttpServer server;
+  serve::RegisterFleetEndpoints(&server, &fleet, nullptr);
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_EQ(Fetch(server.port(), "/metrics").status, 404);
+  EXPECT_EQ(Fetch(server.port(), "/healthz").status, 200);
+  server.Stop();
+  fleet.Stop();
+}
+
+}  // namespace
+}  // namespace streamad

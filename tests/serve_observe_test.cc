@@ -1,0 +1,312 @@
+// Live-plane contract tests for the fleet: end-to-end queue-wait
+// attribution (every processed event lands in the shard and stage
+// `queue_wait` summaries), the stall watchdog (detects a wedged shard,
+// degrades fleet health, recovers, and dumps flight recorders), and the
+// golden bit-identity invariant with the full observability plane on.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/algorithm_spec.h"
+#include "src/core/detector.h"
+#include "src/obs/metrics.h"
+#include "src/obs/quantile_sketch.h"
+#include "src/serve/checkpoint_store.h"
+#include "src/serve/fleet.h"
+
+namespace streamad::serve {
+namespace {
+
+core::DetectorConfig FastConfig() {
+  core::DetectorConfig config;
+  config.window = 8;
+  config.train_capacity = 30;
+  config.initial_train_steps = 40;
+  config.scorer_k = 10;
+  config.scorer_k_short = 3;
+  return config;
+}
+
+SessionConfig TimedSession(std::size_t stream, obs::MetricsRegistry* metrics) {
+  SessionConfig config;
+  config.spec = {core::ModelType::kOnlineArima, core::Task1::kSlidingWindow,
+                 core::Task2::kMuSigma};
+  config.score = core::ScoreType::kAverage;
+  config.detector = FastConfig();
+  config.seed = 100 + stream;
+  config.run.metrics = metrics;
+  return config;
+}
+
+core::StreamVector EventAt(std::size_t t) {
+  core::StreamVector v(3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    v[c] = std::sin(0.1 * static_cast<double>(t) + static_cast<double>(c));
+  }
+  return v;
+}
+
+/// Polls `condition` every few ms until it holds or ~5 s pass.
+bool EventuallyTrue(const std::function<bool()>& condition) {
+  for (int i = 0; i < 1000; ++i) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return condition();
+}
+
+TEST(QueueWaitAttributionTest, EveryProcessedEventLandsInTheWaitSummaries) {
+  obs::MetricsRegistry registry;
+  FleetOptions options;
+  options.shards = 2;
+  options.metrics = &registry;
+  // Full-rate attribution: every event stamped, so the summary counts
+  // below must match the processed totals exactly.
+  options.timing_sample_every = 1;
+  DetectorFleet fleet(options);
+  ASSERT_TRUE(fleet.CreateSession("alpha", TimedSession(0, &registry)).ok());
+  ASSERT_TRUE(fleet.CreateSession("beta", TimedSession(1, &registry)).ok());
+
+  constexpr std::size_t kEvents = 150;
+  for (std::size_t t = 0; t < kEvents; ++t) {
+    ASSERT_NE(fleet.Submit("alpha", EventAt(t)), Admission::kDropped);
+    ASSERT_NE(fleet.Submit("beta", EventAt(t)), Admission::kDropped);
+  }
+  fleet.WaitIdle();
+  const FleetStats stats = fleet.Stats();
+  ASSERT_EQ(stats.processed, 2 * kEvents);
+
+  // Shard-level attribution: one queue-wait observation per dequeue,
+  // split across the two shard summaries.
+  std::uint64_t shard_wait_count = 0;
+  for (std::size_t i = 0; i < options.shards; ++i) {
+    const std::string name = "streamad_serve_shard" + std::to_string(i) +
+                             "_queue_wait_ns_summary";
+    shard_wait_count += registry.GetSketch(name)->Snap().count;
+  }
+  EXPECT_EQ(shard_wait_count, stats.processed);
+
+  // Stage-level attribution: both session recorders feed the shared
+  // `queue_wait` stage instruments, one observation per healthy step.
+  EXPECT_EQ(
+      registry.GetSketch("streamad_stage_queue_wait_ns_summary")->Snap().count,
+      stats.processed);
+
+  // The stage appears in the exposition next to the six pipeline stages.
+  const std::string text = registry.DumpText();
+  EXPECT_NE(text.find("streamad_stage_queue_wait_ns_count"),
+            std::string::npos);
+  EXPECT_NE(text.find("streamad_stage_queue_wait_ns_summary{quantile"),
+            std::string::npos);
+
+  fleet.Stop();
+}
+
+TEST(QueueWaitAttributionTest, DefaultSamplingTimesOneEventInNExactly) {
+  obs::MetricsRegistry registry;
+  FleetOptions options;
+  options.shards = 1;
+  options.metrics = &registry;
+  DetectorFleet fleet(options);
+  ASSERT_EQ(options.timing_sample_every, 16u);
+  ASSERT_TRUE(fleet.CreateSession("solo", TimedSession(0, &registry)).ok());
+
+  // One shard, one session, no drops: the shard's submit sequence runs
+  // 0..159, so exactly ceil(160 / 16) = 10 events are stamped.
+  constexpr std::size_t kEvents = 160;
+  for (std::size_t t = 0; t < kEvents; ++t) {
+    ASSERT_NE(fleet.Submit("solo", EventAt(t)), Admission::kDropped);
+  }
+  fleet.WaitIdle();
+
+  // Event accounting stays exact; only the latency summaries sample.
+  EXPECT_EQ(fleet.Stats().processed, kEvents);
+  EXPECT_EQ(
+      registry.GetSketch("streamad_serve_shard0_queue_wait_ns_summary")
+          ->Snap()
+          .count,
+      kEvents / 16);
+  EXPECT_EQ(
+      registry.GetSketch("streamad_serve_shard0_step_ns_summary")
+          ->Snap()
+          .count,
+      kEvents / 16);
+
+  fleet.Stop();
+}
+
+TEST(WatchdogTest, FlagsAWedgedShardAndRecoversAfterRelease) {
+  obs::MetricsRegistry registry;
+  FleetOptions options;
+  options.shards = 1;
+  options.metrics = &registry;
+  options.watchdog_poll_ms = 10;
+  options.stall_window_ms = 50;
+  DetectorFleet fleet(options);
+  ASSERT_TRUE(fleet.CreateSession("wedged", TimedSession(0, &registry)).ok());
+
+  // Healthy while processing normally.
+  for (std::size_t t = 0; t < 20; ++t) fleet.Submit("wedged", EventAt(t));
+  fleet.WaitIdle();
+  EXPECT_TRUE(fleet.healthy());
+
+  // Park the worker, then pile up events it cannot drain.
+  fleet.HoldShardForTest(0, true);
+  for (std::size_t t = 0; t < 16; ++t) fleet.Submit("wedged", EventAt(t));
+
+  ASSERT_TRUE(EventuallyTrue([&fleet] {
+    return fleet.SnapshotShards()[0].stalled;
+  })) << "watchdog never flagged the wedged shard";
+  EXPECT_FALSE(fleet.healthy());
+  EXPECT_TRUE(EventuallyTrue([&registry] {
+    return registry.GetGauge("streamad_serve_stalled_shards")->Value() == 1.0;
+  }));
+  EXPECT_EQ(registry.GetGauge("streamad_serve_shard0_stalled")->Value(), 1.0);
+  EXPECT_GE(registry.GetCounter("streamad_serve_shard_stalls_total")->Value(),
+            1u);
+
+  // Release: the backlog drains and the watchdog clears the stall.
+  fleet.HoldShardForTest(0, false);
+  fleet.WaitIdle();
+  ASSERT_TRUE(EventuallyTrue([&fleet] {
+    return !fleet.SnapshotShards()[0].stalled;
+  })) << "stall never cleared after release";
+  EXPECT_TRUE(fleet.healthy());
+  EXPECT_TRUE(EventuallyTrue([&registry] {
+    return registry.GetGauge("streamad_serve_stalled_shards")->Value() == 0.0;
+  }));
+
+  fleet.Stop();
+}
+
+TEST(WatchdogTest, StallTransitionDumpsSessionFlightRecorders) {
+  const std::string dir = "/tmp/streamad_stall_dump_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  obs::MetricsRegistry registry;
+  FleetOptions options;
+  options.shards = 1;
+  options.metrics = &registry;
+  options.watchdog_poll_ms = 10;
+  options.stall_window_ms = 50;
+  DetectorFleet fleet(options);
+
+  SessionConfig config = TimedSession(0, &registry);
+  config.run.flight_capacity = 16;
+  config.run.flight_dump_dir = dir;
+  ASSERT_TRUE(fleet.CreateSession("blackbox", config).ok());
+
+  // Populate the flight ring, then wedge the shard with a backlog.
+  for (std::size_t t = 0; t < 30; ++t) fleet.Submit("blackbox", EventAt(t));
+  fleet.WaitIdle();
+  fleet.HoldShardForTest(0, true);
+  for (std::size_t t = 0; t < 8; ++t) fleet.Submit("blackbox", EventAt(t));
+  ASSERT_TRUE(EventuallyTrue([&fleet] {
+    return fleet.SnapshotShards()[0].stalled;
+  }));
+
+  // The transition dumped this session's ring with the stall reason
+  // (label defaults to the stream id, so the path is deterministic).
+  const std::string path = dir + "/flight_blackbox.jsonl";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing stall dump " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"reason\":\"shard_stall\""),
+            std::string::npos)
+      << buffer.str().substr(0, 200);
+  EXPECT_NE(buffer.str().find("\"flight\":\"step\""), std::string::npos);
+
+  fleet.HoldShardForTest(0, false);
+  fleet.WaitIdle();
+  fleet.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ObservedFleetGoldenTest, BitIdentityHoldsWithWatchdogAndAttributionOn) {
+  // The PR's acceptance invariant: metrics, queue-wait attribution, the
+  // watchdog, AND forced eviction churn together must not move a single
+  // score bit relative to bare sequential detectors.
+  constexpr std::size_t kStreams = 4;
+  constexpr std::size_t kLength = 300;
+
+  obs::MetricsRegistry registry;
+  MemoryCheckpointStore store;
+  FleetOptions options;
+  options.shards = 2;
+  options.metrics = &registry;
+  options.watchdog_poll_ms = 20;
+  options.stall_window_ms = 500;
+  options.store = &store;
+  options.force_evict_every = 35;
+  DetectorFleet fleet(options);
+
+  std::mutex mutex;
+  std::map<std::string, std::vector<double>> scores;
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < kStreams; ++i) {
+    ids.push_back("gold-" + std::to_string(i));
+    SessionConfig config = TimedSession(i, &registry);
+    config.on_result = [&mutex, &scores](const std::string& id,
+                                         const SessionStepResult& result) {
+      std::lock_guard<std::mutex> lock(mutex);
+      scores[id].push_back(result.step.anomaly_score);
+    };
+    ASSERT_TRUE(fleet.CreateSession(ids.back(), config).ok());
+  }
+
+  for (std::size_t t = 0; t < kLength; ++t) {
+    for (std::size_t i = 0; i < kStreams; ++i) {
+      core::StreamVector v(3);
+      for (std::size_t c = 0; c < 3; ++c) {
+        v[c] = std::sin(0.2 * static_cast<double>(t) +
+                        0.7 * static_cast<double>(i) +
+                        static_cast<double>(c));
+      }
+      while (fleet.Submit(ids[i], v) == Admission::kDropped) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  fleet.WaitIdle();
+  EXPECT_GT(fleet.Stats().evictions, 0u);
+
+  for (std::size_t i = 0; i < kStreams; ++i) {
+    const SessionConfig config = TimedSession(i, nullptr);
+    auto reference = core::BuildDetector(config.spec, config.score,
+                                         config.detector, config.seed);
+    std::vector<double> sequential;
+    for (std::size_t t = 0; t < kLength; ++t) {
+      core::StreamVector v(3);
+      for (std::size_t c = 0; c < 3; ++c) {
+        v[c] = std::sin(0.2 * static_cast<double>(t) +
+                        0.7 * static_cast<double>(i) +
+                        static_cast<double>(c));
+      }
+      const auto step = reference->Step(v);
+      if (step.scored) sequential.push_back(step.anomaly_score);
+    }
+    const std::vector<double>& observed = scores[ids[i]];
+    ASSERT_EQ(observed.size(), sequential.size()) << ids[i];
+    for (std::size_t s = 0; s < observed.size(); ++s) {
+      ASSERT_EQ(observed[s], sequential[s]) << ids[i] << " score " << s;
+    }
+  }
+  fleet.Stop();
+}
+
+}  // namespace
+}  // namespace streamad::serve

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format exposition (as scraped from /metrics).
+
+Checks, line by line:
+  * the exposition is non-empty and newline-terminated, with no blank
+    interior lines and no tabs;
+  * every comment is `# TYPE <name> <counter|gauge|histogram|summary>`
+    (the exporter writes no HELP lines);
+  * every sample is `name[{labels}] value` with a finite parseable value;
+  * every sample's TYPE comment precedes it (histogram/summary series
+    `x_bucket` / `x_sum` / `x_count` resolve to their base name).
+
+Usage:
+    check_prom_text.py FILE [--require NAME ...]
+
+`--require NAME` asserts that a sample with that metric name is present;
+repeatable. Exits non-zero on the first structural error, or if any
+required name is missing.
+"""
+
+import argparse
+import math
+import sys
+
+
+def base_name(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a sample with this name exists")
+    args = parser.parse_args()
+
+    with open(args.path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if not text:
+        print("error: empty exposition", file=sys.stderr)
+        return 1
+    if not text.endswith("\n"):
+        print("error: exposition does not end with a newline",
+              file=sys.stderr)
+        return 1
+
+    typed: set[str] = set()
+    samples: set[str] = set()
+    for lineno, line in enumerate(text.split("\n")[:-1], start=1):
+        where = f"{args.path}:{lineno}"
+        if not line:
+            print(f"{where}: blank line inside exposition", file=sys.stderr)
+            return 1
+        if "\t" in line:
+            print(f"{where}: tab character", file=sys.stderr)
+            return 1
+        if line.startswith("#"):
+            fields = line.split()
+            if (len(fields) != 4 or fields[1] != "TYPE"
+                    or fields[3] not in ("counter", "gauge", "histogram",
+                                         "summary")):
+                print(f"{where}: malformed TYPE comment: {line}",
+                      file=sys.stderr)
+                return 1
+            typed.add(fields[2])
+            continue
+        space_at = line.rfind(" ")
+        if space_at < 0:
+            print(f"{where}: sample line without a value: {line}",
+                  file=sys.stderr)
+            return 1
+        name, value = line[:space_at], line[space_at + 1:]
+        try:
+            parsed = float(value)
+        except ValueError:
+            print(f"{where}: unparseable value {value!r}", file=sys.stderr)
+            return 1
+        if not math.isfinite(parsed):
+            print(f"{where}: non-finite value {value!r}", file=sys.stderr)
+            return 1
+        brace_at = name.find("{")
+        if brace_at >= 0:
+            if not name.endswith("}"):
+                print(f"{where}: unterminated label set: {line}",
+                      file=sys.stderr)
+                return 1
+            name = name[:brace_at]
+        if name not in typed and base_name(name) not in typed:
+            print(f"{where}: sample before its # TYPE line: {line}",
+                  file=sys.stderr)
+            return 1
+        samples.add(name)
+
+    missing = [name for name in args.require
+               if name not in samples and name not in typed]
+    if missing:
+        print(f"error: required metrics missing: {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {len(samples)} sample names, {len(typed)} typed metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

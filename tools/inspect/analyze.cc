@@ -8,11 +8,13 @@
 namespace streamad::inspect {
 namespace {
 
-/// Pipeline order of the detector's stage taxonomy; stage keys not listed
-/// here (from future schema versions) sort after these, alphabetically.
+/// Pipeline order of the detector's stage taxonomy — `queue_wait` (the
+/// serving layer's ingress wait, present only in fleet traces) first, then
+/// the per-step pipeline. Stage keys not listed here (from future schema
+/// versions) sort after these, alphabetically.
 constexpr const char* kCanonicalStages[] = {
-    "representation", "nonconformity", "scoring", "train_offer",
-    "drift_check",    "finetune",      "fit",
+    "queue_wait", "representation", "nonconformity", "scoring",
+    "train_offer", "drift_check",   "finetune",      "fit",
 };
 
 std::size_t CanonicalRank(const std::string& stage) {

@@ -35,40 +35,72 @@ bool IsIdent(const Token& t, std::string_view text) {
 // ---------------------------------------------------------------------------
 // R1: determinism. The detector pipeline must be bit-reproducible from the
 // seed alone (golden-stream digests depend on it), so wall-clock and
-// OS-entropy sources are banned in src/ outside the two sanctioned homes:
-// the seeded RNG wrapper and the observability layer (which measures real
-// time by design and never feeds results back into detection).
+// OS-entropy sources are banned in src/ outside the sanctioned homes below.
+// The same rule also fences socket I/O out of the detector tree: network
+// code is nondeterministic by nature and belongs in src/net/.
 // ---------------------------------------------------------------------------
 
-// Sanctioned wall-clock / OS-entropy locations. Entries ending in '/'
-// allowlist the whole subtree; others must match exactly. Keep this list
-// tight: every entry is a place where real time is the *product* — the
-// seeded RNG wrapper, and src/obs/ (stage timing spans, the flight
-// recorder's dump timestamps) whose readings never feed back into
-// detection arithmetic.
-constexpr std::string_view kDeterminismAllowlist[] = {
-    "src/common/rng.h",
-    "src/common/rng.cc",
-    "src/obs/",
+// Sanctioned exceptions, each scoped to the capability it actually needs
+// and carrying its justification. Paths ending in '/' allowlist the whole
+// subtree; others must match exactly. Keep this list tight: every entry is
+// a place where the banned effect is the *product*, not an implementation
+// convenience.
+struct DeterminismAllowlistEntry {
+  std::string_view path;
+  bool wall_clock;  // may read clocks / OS entropy
+  bool sockets;     // may perform socket I/O
+  std::string_view reason;
 };
 
-bool DeterminismRuleApplies(const std::string& path) {
-  if (!StartsWith(path, "src/")) return false;
-  for (const std::string_view entry : kDeterminismAllowlist) {
-    const bool subtree = entry.back() == '/';
-    if (subtree ? StartsWith(path, entry) : path == entry) return false;
+constexpr DeterminismAllowlistEntry kDeterminismAllowlist[] = {
+    {"src/common/rng.h", true, false,
+     "the seeded RNG wrapper is the one sanctioned entropy boundary"},
+    {"src/common/rng.cc", true, false,
+     "implementation of the sanctioned entropy boundary"},
+    {"src/obs/", true, false,
+     "stage timing spans and flight-recorder dump timestamps measure real "
+     "time by design and never feed back into detection arithmetic"},
+    {"src/net/", true, true,
+     "the live observability plane (HTTP scrape endpoints) serves real "
+     "clients over real sockets; it only reads fleet snapshots"},
+};
+
+struct DeterminismScope {
+  bool ban_clocks = false;
+  bool ban_sockets = false;
+};
+
+DeterminismScope DeterminismScopeFor(const std::string& path) {
+  DeterminismScope scope;
+  if (!StartsWith(path, "src/")) return scope;
+  scope.ban_clocks = true;
+  scope.ban_sockets = true;
+  for (const DeterminismAllowlistEntry& entry : kDeterminismAllowlist) {
+    const bool subtree = entry.path.back() == '/';
+    const bool match =
+        subtree ? StartsWith(path, entry.path) : path == entry.path;
+    if (!match) continue;
+    if (entry.wall_clock) scope.ban_clocks = false;
+    if (entry.sockets) scope.ban_sockets = false;
   }
-  return true;
+  return scope;
+}
+
+bool IsSocketCallName(const std::string& name) {
+  return name == "socket" || name == "accept" || name == "bind" ||
+         name == "listen" || name == "connect" || name == "recv" ||
+         name == "send" || name == "setsockopt";
 }
 
 void CheckDeterminism(const SourceFile& f, std::vector<Finding>* out) {
-  if (!DeterminismRuleApplies(f.path)) return;
+  const DeterminismScope scope = DeterminismScopeFor(f.path);
+  if (!scope.ban_clocks && !scope.ban_sockets) return;
   const std::vector<Token>& code = f.code;
   for (std::size_t i = 0; i < code.size(); ++i) {
     const Token& t = code[i];
     if (t.kind != TokKind::kIdent) continue;
 
-    if (t.text == "random_device") {
+    if (scope.ban_clocks && t.text == "random_device") {
       out->push_back({f.path, t.line, kRuleDeterminism,
                       "std::random_device draws OS entropy; seed "
                       "streamad::Rng (src/common/rng.h) instead"});
@@ -81,15 +113,33 @@ void CheckDeterminism(const SourceFile& f, std::vector<Finding>* out) {
     const bool member = prev != nullptr &&
                         (IsPunct(*prev, ".") || IsPunct(*prev, "->"));
 
-    if (t.text == "now" && prev != nullptr && IsPunct(*prev, "::")) {
+    if (scope.ban_clocks && t.text == "now" && prev != nullptr &&
+        IsPunct(*prev, "::")) {
       out->push_back({f.path, t.line, kRuleDeterminism,
                       "clock ::now() in the detector pipeline breaks "
                       "reproducibility; timing belongs in src/obs/"});
       continue;
     }
+
+    if (scope.ban_sockets && !member && IsSocketCallName(t.text)) {
+      // `std::bind(...)` / `asio::send(...)` are namespace-qualified and
+      // not the BSD calls; unqualified `bind(...)` and global-scope
+      // `::bind(...)` are.
+      const bool namespace_qualified =
+          prev != nullptr && IsPunct(*prev, "::") && i >= 2 &&
+          code[i - 2].kind == TokKind::kIdent;
+      if (!namespace_qualified) {
+        out->push_back({f.path, t.line, kRuleDeterminism,
+                        "`" + t.text +
+                            "()` is socket I/O in the detector tree; "
+                            "network code belongs in src/net/"});
+        continue;
+      }
+    }
     if (member) continue;  // foo.time(), obj->rand(): not the libc calls
 
-    if (t.text == "rand" || t.text == "srand" || t.text == "time") {
+    if (scope.ban_clocks &&
+        (t.text == "rand" || t.text == "srand" || t.text == "time")) {
       // `other_ns::time(...)` is not the libc call; `std::time` is.
       if (prev != nullptr && IsPunct(*prev, "::")) {
         if (!(i >= 2 && IsIdent(code[i - 2], "std"))) continue;

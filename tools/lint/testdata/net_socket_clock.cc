@@ -1,0 +1,36 @@
+// R1 fixture: the socket-and-clock idiom of an HTTP scrape endpoint.
+// Linted as src/net/... it must be completely clean (the allowlist grants
+// src/net/ both wall-clock and socket I/O); the identical code anywhere
+// else in the detector tree fires once per banned call below.
+
+#include <cstdint>
+
+namespace streamad::net {
+
+int OpenListener(std::uint16_t port) {
+  const std::uint64_t started = Clock::now().time_since_epoch().count();
+  const int fd = socket(2, 1, 0);
+  const int enable = 1;
+  setsockopt(fd, 1, 2, &enable, sizeof(enable));
+  ::bind(fd, nullptr, 0);
+  listen(fd, 16);
+  (void)started;
+  return fd;
+}
+
+void ServeOne(int listener) {
+  char buffer[64];
+  const int client = accept(listener, nullptr, nullptr);
+  recv(client, buffer, sizeof(buffer), 0);
+  send(client, buffer, sizeof(buffer), 0);
+}
+
+// Namespace-qualified and member lookalikes: never the BSD calls, never
+// flagged anywhere.
+void FineLookalikes(Queue& q, Callback cb) {
+  auto bound = std::bind(cb, 1);
+  q.send(bound);
+  asio::connect(q);
+}
+
+}  // namespace streamad::net
