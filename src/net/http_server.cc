@@ -25,21 +25,33 @@ const char* StatusText(int status) {
   }
 }
 
+enum class ReadOutcome {
+  kComplete,      // saw the blank-line terminator
+  kPeerGone,      // nothing received at all (probe / port scan): stay silent
+  kNoTerminator,  // partial request, then close/timeout: diagnosable
+  kTooLarge,      // blew through the size cap without terminating
+};
+
 /// Reads until the end of the request headers ("\r\n\r\n") or the size
 /// cap. The live plane only serves bodyless GETs, so the headers are the
 /// whole request.
-bool ReadRequest(int fd, std::string* out) {
+ReadOutcome ReadRequest(int fd, std::string* out) {
   constexpr std::size_t kMaxRequestBytes = 8192;
   char buffer[1024];
   while (out->size() < kMaxRequestBytes) {
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) return false;  // peer closed or timed out mid-request
+    if (n <= 0) {
+      return out->empty() ? ReadOutcome::kPeerGone
+                          : ReadOutcome::kNoTerminator;
+    }
     out->append(buffer, static_cast<std::size_t>(n));
-    if (out->find("\r\n\r\n") != std::string::npos) return true;
+    if (out->find("\r\n\r\n") != std::string::npos) {
+      return ReadOutcome::kComplete;
+    }
     // Tolerate bare-LF clients (e.g. hand-typed requests via netcat).
-    if (out->find("\n\n") != std::string::npos) return true;
+    if (out->find("\n\n") != std::string::npos) return ReadOutcome::kComplete;
   }
-  return false;
+  return ReadOutcome::kTooLarge;
 }
 
 void WriteAll(int fd, const std::string& data) {
@@ -138,38 +150,52 @@ void HttpServer::ServeConnection(int client_fd) {
   std::string raw;
   HttpResponse response;
   HttpRequest request;
-  if (!ReadRequest(client_fd, &raw)) return;
+  const ReadOutcome outcome = ReadRequest(client_fd, &raw);
+  if (outcome == ReadOutcome::kPeerGone) return;
 
-  // Request line: METHOD SP TARGET SP VERSION.
-  const std::size_t line_end = raw.find_first_of("\r\n");
-  const std::string line = raw.substr(0, line_end);
-  const std::size_t method_end = line.find(' ');
-  const std::size_t target_end =
-      method_end == std::string::npos ? std::string::npos
-                                      : line.find(' ', method_end + 1);
-  if (method_end == std::string::npos || target_end == std::string::npos) {
+  if (outcome == ReadOutcome::kTooLarge) {
     response.status = 400;
-    response.body = "malformed request line\n";
+    response.body = "request exceeds the 8 KiB cap\n";
+  } else if (outcome == ReadOutcome::kNoTerminator) {
+    response.status = 400;
+    response.body = "truncated request: missing blank-line terminator\n";
   } else {
-    request.method = line.substr(0, method_end);
-    std::string target =
-        line.substr(method_end + 1, target_end - method_end - 1);
-    const std::size_t query_at = target.find('?');
-    if (query_at != std::string::npos) {
-      request.query = target.substr(query_at + 1);
-      target.resize(query_at);
-    }
-    request.path = std::move(target);
-    if (request.method != "GET" && request.method != "HEAD") {
-      response.status = 405;
-      response.body = "only GET is served here\n";
+    // Request line: METHOD SP TARGET SP VERSION.
+    const std::size_t line_end = raw.find_first_of("\r\n");
+    const std::string line = raw.substr(0, line_end);
+    const std::size_t method_end = line.find(' ');
+    const std::size_t target_end =
+        method_end == std::string::npos ? std::string::npos
+                                        : line.find(' ', method_end + 1);
+    if (method_end == std::string::npos ||
+        target_end == std::string::npos || method_end == 0) {
+      response.status = 400;
+      response.body = "malformed request line\n";
     } else {
-      const auto it = handlers_.find(request.path);
-      if (it == handlers_.end()) {
-        response.status = 404;
-        response.body = "no handler for " + request.path + "\n";
+      request.method = line.substr(0, method_end);
+      std::string target =
+          line.substr(method_end + 1, target_end - method_end - 1);
+      const std::size_t query_at = target.find('?');
+      if (query_at != std::string::npos) {
+        request.query = target.substr(query_at + 1);
+        target.resize(query_at);
+      }
+      request.path = std::move(target);
+      if (request.path.empty() || request.path[0] != '/' ||
+          line.compare(target_end + 1, 5, "HTTP/") != 0) {
+        response.status = 400;
+        response.body = "malformed request line\n";
+      } else if (request.method != "GET" && request.method != "HEAD") {
+        response.status = 405;
+        response.body = "only GET is served here\n";
       } else {
-        response = it->second(request);
+        const auto it = handlers_.find(request.path);
+        if (it == handlers_.end()) {
+          response.status = 404;
+          response.body = "no handler for " + request.path + "\n";
+        } else {
+          response = it->second(request);
+        }
       }
     }
   }
@@ -184,9 +210,26 @@ void HttpServer::ServeConnection(int client_fd) {
   reply += response.content_type;
   reply += "\r\nContent-Length: ";
   reply += std::to_string(response.body.size());
+  if (response.status == 405) reply += "\r\nAllow: GET, HEAD";
   reply += "\r\nConnection: close\r\n\r\n";
   if (request.method != "HEAD") reply += response.body;
   WriteAll(client_fd, reply);
+
+  if (outcome == ReadOutcome::kTooLarge) {
+    // The client is likely still mid-send; closing with unread bytes in
+    // the receive buffer makes the kernel RST the connection, which can
+    // destroy the queued 400 before it is delivered. Shut our write side
+    // and drain a bounded amount (each recv also bounded by the 2 s
+    // SO_RCVTIMEO) so the diagnostic actually arrives.
+    ::shutdown(client_fd, SHUT_WR);
+    char scratch[1024];
+    std::size_t drained = 0;
+    ssize_t n;
+    while (drained < 64 * 1024 &&
+           (n = ::recv(client_fd, scratch, sizeof(scratch), 0)) > 0) {
+      drained += static_cast<std::size_t>(n);
+    }
+  }
 }
 
 }  // namespace streamad::net

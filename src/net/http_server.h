@@ -41,6 +41,11 @@ struct HttpResponse {
 /// This is an operator endpoint, not an internet-facing service: it binds
 /// 127.0.0.1 only, caps requests at 8 KiB, and speaks just enough
 /// HTTP/1.0 (GET + exact-path routing) for curl and Prometheus.
+///
+/// Malformed traffic is answered, not dropped: oversized or truncated
+/// requests and garbage request lines get a diagnostic 400, non-GET
+/// methods a 405 with an `Allow` header. Only a connection that sends
+/// nothing at all (a port scan or liveness probe) is closed silently.
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;

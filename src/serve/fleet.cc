@@ -133,7 +133,7 @@ core::Status DetectorFleet::CreateSession(const std::string& stream_id,
     return core::Status::InvalidArgument("session already exists: " +
                                          stream_id);
   }
-  ++shards_[session->shard]->resident;
+  ++shards_[session->shard]->resident_count;
   sessions_.emplace(stream_id, std::move(session));
   return core::Status::Ok();
 }
@@ -343,7 +343,7 @@ bool DetectorFleet::RestoreSession(Session* session) {
   if (rehydrations_counter_ != nullptr) rehydrations_counter_->Increment();
   {
     std::lock_guard<std::mutex> lock(sessions_mutex_);
-    ++shard->resident;
+    ++shard->resident_count;
   }
   return true;
 }
@@ -362,7 +362,7 @@ bool DetectorFleet::EvictSession(Shard* shard, Session* session) {
   evictions_.fetch_add(1, std::memory_order_relaxed);
   if (evictions_counter_ != nullptr) evictions_counter_->Increment();
   std::lock_guard<std::mutex> lock(sessions_mutex_);
-  --shard->resident;
+  --shard->resident_count;
   return true;
 }
 
@@ -377,7 +377,7 @@ void DetectorFleet::EnforceResidencyCap(Shard* shard, Session* current) {
     Session* victim = nullptr;
     {
       std::lock_guard<std::mutex> lock(sessions_mutex_);
-      if (shard->resident <= options_.max_resident_per_shard) return;
+      if (shard->resident_count <= options_.max_resident_per_shard) return;
       std::uint64_t oldest = 0;
       for (const auto& [id, session] : sessions_) {
         if (session->shard != current->shard) continue;
@@ -594,7 +594,7 @@ std::vector<ShardSnapshot> DetectorFleet::SnapshotShards() const {
     ShardSnapshot snap;
     snap.index = i;
     snap.queue_depth = shard->queue.size();
-    snap.resident = shard->resident;
+    snap.resident = shard->resident_count;
     snap.processed = shard->processed.load(std::memory_order_relaxed);
     snap.stalled = shard->stalled.load(std::memory_order_relaxed);
     snap.last_progress_ns =
@@ -618,7 +618,7 @@ FleetStats DetectorFleet::Stats() const {
   std::lock_guard<std::mutex> lock(sessions_mutex_);
   stats.sessions = sessions_.size();
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    stats.resident_sessions += shard->resident;
+    stats.resident_sessions += shard->resident_count;
   }
   return stats;
 }

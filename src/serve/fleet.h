@@ -300,7 +300,7 @@ class DetectorFleet {
     harness::BoundedQueue<QueuedEvent> queue;
     std::thread worker;
     std::uint64_t tick = 0;       // worker-only LRU clock
-    std::size_t resident = 0;     // guarded by sessions_mutex_
+    std::size_t resident_count = 0;  // guarded by sessions_mutex_
     std::mutex results_mutex;     // guards Session::results of this shard
     obs::Gauge* queue_depth = nullptr;
     obs::Histogram* step_ns = nullptr;

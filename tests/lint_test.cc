@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +21,14 @@ namespace {
 
 std::string TestdataPath(const std::string& fixture) {
   return std::string(LINT_TESTDATA_DIR) + "/" + fixture;
+}
+
+std::string ReadFixture(const std::string& fixture) {
+  std::ifstream in(TestdataPath(fixture));
+  EXPECT_TRUE(in.good()) << "missing fixture " << fixture;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
 }
 
 // Lints one fixture file as if it lived at `rel_path` inside the repo.
@@ -47,7 +56,7 @@ std::size_t CountRule(const std::vector<Finding>& findings,
 
 TEST(LintDeterminismTest, FlagsEveryEntropyAndClockSource) {
   const auto findings =
-      LintFixture("determinism_bad.cc", "src/core/determinism_bad.cc");
+      LintFixture("determinism_bad.cc", "src/models/determinism_bad.cc");
   // srand, rand, time, random_device, ::now — and nothing else.
   EXPECT_EQ(CountRule(findings, kRuleDeterminism), 5u);
   EXPECT_EQ(findings.size(), 5u);
@@ -55,7 +64,7 @@ TEST(LintDeterminismTest, FlagsEveryEntropyAndClockSource) {
 
 TEST(LintDeterminismTest, MemberAndForeignNamespaceCallsAreFine) {
   const auto findings =
-      LintFixture("determinism_bad.cc", "src/core/determinism_bad.cc");
+      LintFixture("determinism_bad.cc", "src/models/determinism_bad.cc");
   // The FineMemberCalls lines sit at the bottom of the fixture; no finding
   // may point past the BadNow function (line 27).
   for (const Finding& f : findings) EXPECT_LE(f.line, 27) << f.message;
@@ -70,7 +79,7 @@ TEST(LintDeterminismTest, AllowlistedPathsAreExempt) {
 
 TEST(LintDeterminismTest, SameContentOutsideAllowlistIsFlagged) {
   const auto findings =
-      LintFixture("allowlisted_rng.cc", "src/core/seed.cc");
+      LintFixture("allowlisted_rng.cc", "src/models/seed.cc");
   EXPECT_EQ(CountRule(findings, kRuleDeterminism), 2u);  // random_device, now
 }
 
@@ -88,7 +97,7 @@ TEST(LintDeterminismTest, FlightRecorderDumpTimestampStaysClean) {
           .empty());
   // ...and the identical code anywhere in the detector pipeline fires.
   const auto findings =
-      LintFixture("flight_recorder_clock.cc", "src/core/flight_recorder.cc");
+      LintFixture("flight_recorder_clock.cc", "src/models/flight_recorder.cc");
   EXPECT_EQ(CountRule(findings, kRuleDeterminism), 1u);  // ::now(
 }
 
@@ -101,7 +110,7 @@ TEST(LintDeterminismTest, NetSubtreeMayUseSocketsAndClocks) {
 
 TEST(LintDeterminismTest, SocketCallsOutsideNetAreFlagged) {
   const auto findings =
-      LintFixture("net_socket_clock.cc", "src/core/listener.cc");
+      LintFixture("net_socket_clock.cc", "src/models/listener.cc");
   // ::now, plus socket/setsockopt/bind/listen/accept/recv/send.
   EXPECT_EQ(CountRule(findings, kRuleDeterminism), 8u);
   EXPECT_EQ(findings.size(), 8u);
@@ -169,7 +178,7 @@ TEST(LintFloatCompareTest, TestsDirectoryIsExempt) {
 
 TEST(LintHeaderTest, FlagsGuardUsingNamespaceAndIostream) {
   const auto findings =
-      LintFixture("header_guard_bad.h", "src/util/header_guard_bad.h");
+      LintFixture("header_guard_bad.h", "src/linalg/header_guard_bad.h");
   EXPECT_EQ(CountRule(findings, kRuleHeaderGuard), 1u);
   EXPECT_EQ(CountRule(findings, kRuleUsingNamespace), 1u);
   EXPECT_EQ(CountRule(findings, kRuleIostreamInclude), 1u);
@@ -187,7 +196,7 @@ TEST(LintHeaderTest, IostreamBanIsSrcOnly) {
 
 TEST(LintHeaderTest, ConformingHeaderIsClean) {
   EXPECT_TRUE(
-      LintFixture("header_guard_good.h", "src/util/header_guard_good.h")
+      LintFixture("header_guard_good.h", "src/linalg/header_guard_good.h")
           .empty());
 }
 
@@ -200,27 +209,247 @@ TEST(LintHeaderTest, ExpectedGuardDropsLeadingSrcOnly) {
             "STREAMAD_TOOLS_LINT_RULES_H_");
 }
 
+// --- Lexer hardening ------------------------------------------------------
+
+TEST(LintLexerTest, RawStringsAreOpaque) {
+  // Every banned construct in the fixture lives inside a raw string
+  // (plain, delimited-with-decoy-closer, u8R, LR); only the real srand
+  // call after them may fire, proving the lexer also resumed in sync.
+  const auto findings =
+      LintFixture("raw_string.cc", "src/models/raw_string.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleDeterminism);
+  EXPECT_NE(findings[0].message.find("srand"), std::string::npos);
+}
+
+TEST(LintLexerTest, DigitSeparatorsStayInsideNumberTokens) {
+  const auto findings =
+      LintFixture("digit_separator.cc", "src/scoring/digit_separator.cc");
+  // Exactly the `== 0.5` after the separator-heavy literals.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleFloatCompare);
+  EXPECT_EQ(findings[0].line, 10);
+}
+
+TEST(LintLexerTest, BackslashContinuationExtendsLineComments) {
+  const auto findings =
+      LintFixture("line_continuation.cc", "src/models/line_continuation.cc");
+  // The spliced srand/time/random_device line is comment text; only the
+  // rand() call below it is real — and its line number must account for
+  // the swallowed physical line.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleDeterminism);
+  EXPECT_NE(findings[0].message.find("rand"), std::string::npos);
+  EXPECT_EQ(findings[0].line, 9);
+}
+
+// --- R5: atomic memory orders ---------------------------------------------
+
+TEST(LintAtomicOrderTest, FlagsEveryImplicitSeqCstForm) {
+  const auto findings =
+      LintFixture("atomic_order_bad.cc", "src/serve/atomic_order_bad.cc");
+  // fetch_add, store, load, indexed store, ++, +=, operator= — and the
+  // explicitly-ordered Good() block (line 27 on) stays silent, as does
+  // the plain snapshot field that mirrors the atomic's name.
+  EXPECT_EQ(CountRule(findings, kRuleAtomicOrder), 7u);
+  EXPECT_EQ(findings.size(), 7u);
+  for (const Finding& f : findings) EXPECT_LE(f.line, 25) << f.message;
+}
+
+TEST(LintNakedLockTest, FlagsDirectMutexLockCallsOnly) {
+  const auto findings =
+      LintFixture("naked_lock_bad.cc", "src/serve/naked_lock_bad.cc");
+  // lock, unlock, try_lock, unlock — the unique_lock object's own
+  // lock()/unlock() in Good() are RAII-managed and silent.
+  EXPECT_EQ(CountRule(findings, kRuleNakedLock), 4u);
+  EXPECT_EQ(findings.size(), 4u);
+  for (const Finding& f : findings) EXPECT_LE(f.line, 17) << f.message;
+}
+
+TEST(LintLockOrderTest, ExtractsNestedAcquisitionEdges) {
+  ProjectIndex index;
+  const SourceFile a = LexFile("src/serve/cycle_a.cc",
+                               ReadFixture("lock_order_cycle_a.cc"));
+  IndexFile(a, &index);
+  const auto edges = CollectLockEdges(a, index);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].held, "order_a");
+  EXPECT_EQ(edges[0].acquired, "order_b");
+}
+
+TEST(LintLockOrderTest, CycleAcrossTusIsOneTreeFinding) {
+  ProjectIndex index;
+  const SourceFile a = LexFile("src/serve/cycle_a.cc",
+                               ReadFixture("lock_order_cycle_a.cc"));
+  const SourceFile b = LexFile("src/harness/cycle_b.cc",
+                               ReadFixture("lock_order_cycle_b.cc"));
+  IndexFile(a, &index);
+  IndexFile(b, &index);
+
+  // Each TU alone is internally consistent.
+  EXPECT_TRUE(AnalyzeTree({a}, index).empty());
+  EXPECT_TRUE(AnalyzeTree({b}, index).empty());
+
+  const auto tree = AnalyzeTree({a, b}, index);
+  ASSERT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree[0].rule, kRuleLockOrder);
+  EXPECT_NE(tree[0].message.find("order_a"), std::string::npos);
+  EXPECT_NE(tree[0].message.find("order_b"), std::string::npos);
+}
+
+// --- R6: layering ---------------------------------------------------------
+
+TEST(LintLayeringTest, LayerMapSplitsCoreByFile) {
+  EXPECT_EQ(LayerOf("src/core/status.h"), "core_api");
+  EXPECT_EQ(LayerOf("src/core/component_interfaces.h"), "core_ifc");
+  EXPECT_EQ(LayerOf("src/core/detector_config.h"), "core_registry");
+  EXPECT_EQ(LayerOf("src/serve/fleet.cc"), "serve");
+  EXPECT_EQ(LayerOf("tests/serve_fleet_test.cc"), "");
+}
+
+TEST(LintLayeringTest, UndeclaredUpwardEdgesAreFlagged) {
+  // serve and net headers from a models file: two forbidden edges.
+  const auto bad =
+      LintFixture("layering_bad.cc", "src/models/layering_bad.cc");
+  EXPECT_EQ(CountRule(bad, kRuleLayering), 2u);
+  EXPECT_EQ(bad.size(), 2u);
+  // The same includes from inside serve are declared edges.
+  EXPECT_TRUE(
+      LintFixture("layering_bad.cc", "src/serve/layering_bad.cc").empty());
+}
+
+TEST(LintLayeringTest, IncludeCyclesAreATreeFinding) {
+  const SourceFile x =
+      LexFile("src/linalg/x.h", "#include \"src/linalg/y.h\"\n");
+  const SourceFile y =
+      LexFile("src/linalg/y.h", "#include \"src/linalg/x.h\"\n");
+  const auto tree = AnalyzeTree({x, y}, ProjectIndex{});
+  ASSERT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree[0].rule, kRuleLayering);
+  EXPECT_NE(tree[0].message.find("include cycle"), std::string::npos);
+}
+
+// --- R7: unchecked Status -------------------------------------------------
+
+TEST(LintUncheckedStatusTest, FlagsDiscardedResultsOnly) {
+  const auto findings = LintFixture("unchecked_status_bad.cc",
+                                    "src/serve/unchecked_status_bad.cc");
+  // Bare call, member call, if-body call. Good() consumes results by
+  // assignment, branching, (void) cast, and return — all silent.
+  EXPECT_EQ(CountRule(findings, kRuleUncheckedStatus), 3u);
+  EXPECT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) EXPECT_LE(f.line, 19) << f.message;
+}
+
+TEST(LintUncheckedStatusTest, IndexesStatusReturningFunctions) {
+  ProjectIndex index;
+  const SourceFile f = LexFile("src/serve/unchecked_status_bad.cc",
+                               ReadFixture("unchecked_status_bad.cc"));
+  IndexFile(f, &index);
+  EXPECT_EQ(index.status_fns.count("Put"), 1u);
+  EXPECT_EQ(index.status_fns.count("Flush"), 1u);
+  EXPECT_EQ(index.status_fns.count("Validate"), 1u);
+}
+
 // --- Suppressions ---------------------------------------------------------
 
 TEST(LintSuppressionTest, SameLineNextLineAndBareFormsSuppress) {
   const auto findings =
-      LintFixture("suppressed.cc", "src/core/suppressed.cc");
+      LintFixture("suppressed.cc", "src/models/suppressed.cc");
   // Only the deliberately mismatched rule list survives.
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, kRuleDeterminism);
   EXPECT_NE(findings[0].message.find("rand"), std::string::npos);
 }
 
+TEST(LintSuppressionTest, CountsLiveMarkersPerRule) {
+  const SourceFile file =
+      LexFile("src/models/suppressed.cc", ReadFixture("suppressed.cc"));
+  std::map<std::string, int> counts;
+  CountSuppressions(file, &counts);
+  EXPECT_EQ(counts["determinism"], 2);
+  EXPECT_EQ(counts["hot-alloc"], 1);
+  EXPECT_EQ(counts["(any)"], 1);
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(LintSuppressionTest, ProseMentionIsNeitherLiveNorSuppressing) {
+  // A comment that merely talks about the marker (not as its first word)
+  // must not silence the finding on its line, and must not count as debt.
+  const SourceFile file = LexFile(
+      "src/core/prose.cc",
+      "void Seed() {\n"
+      "  srand(42);  // see the `NOLINT-STREAMAD` docs before adding one\n"
+      "}\n");
+  ProjectIndex index;
+  IndexFile(file, &index);
+  const auto findings = ApplySuppressions(file, AnalyzeFile(file, index));
+  EXPECT_EQ(CountRule(findings, kRuleDeterminism), 1u);
+  std::map<std::string, int> counts;
+  CountSuppressions(file, &counts);
+  EXPECT_TRUE(counts.empty());
+}
+
+// --- Suppression-debt budget ----------------------------------------------
+
+TEST(LintBudgetTest, FailsOnGrowthOnly) {
+  const std::map<std::string, int> baseline{{"determinism", 2},
+                                            {"hot-alloc", 1}};
+  // At or under budget: clean.
+  EXPECT_TRUE(CheckSuppressionBudget(baseline, baseline, "b.txt").empty());
+  EXPECT_TRUE(CheckSuppressionBudget({{"determinism", 1}}, baseline, "b.txt")
+                  .empty());
+  // Growth on one rule: exactly one finding, attributed to the baseline.
+  const auto grown = CheckSuppressionBudget(
+      {{"determinism", 3}, {"hot-alloc", 1}}, baseline, "b.txt");
+  ASSERT_EQ(grown.size(), 1u);
+  EXPECT_EQ(grown[0].rule, kRuleSuppressionBudget);
+  EXPECT_EQ(grown[0].file, "b.txt");
+  EXPECT_NE(grown[0].message.find("determinism"), std::string::npos);
+}
+
+TEST(LintBudgetTest, RuleAbsentFromBaselineHasZeroBudget) {
+  const auto findings = CheckSuppressionBudget(
+      {{"float-compare", 1}}, {{"determinism", 2}}, "b.txt");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleSuppressionBudget);
+  EXPECT_NE(findings[0].message.find("float-compare"), std::string::npos);
+}
+
+TEST(LintBudgetTest, BaselineRoundTripsThroughDisk) {
+  const std::map<std::string, int> counts{{"determinism", 2},
+                                          {"float-compare", 5}};
+  const std::string path =
+      testing::TempDir() + "/lint_baseline_roundtrip.txt";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    WriteSuppressionBaseline(counts, out);
+  }
+  bool ok = false;
+  const auto loaded = LoadSuppressionBaseline(path, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(loaded, counts);
+}
+
+TEST(LintBudgetTest, MissingBaselineFileReportsNotOk) {
+  bool ok = true;
+  const auto loaded =
+      LoadSuppressionBaseline(testing::TempDir() + "/no_such_baseline", &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(loaded.empty());
+}
+
 // --- Clean file + driver smoke test ---------------------------------------
 
 TEST(LintDriverTest, CleanFileProducesNoFindings) {
-  EXPECT_TRUE(LintFixture("clean.cc", "src/core/clean.cc").empty());
+  EXPECT_TRUE(LintFixture("clean.cc", "src/models/clean.cc").empty());
 }
 
 TEST(LintDriverTest, LintOneFileMatchesInProcessPipeline) {
   ProjectIndex index;
   const auto direct = LintOneFile(TestdataPath("determinism_bad.cc"),
-                                  "src/core/determinism_bad.cc", index);
+                                  "src/models/determinism_bad.cc", index);
   EXPECT_EQ(direct.size(), 5u);
 }
 
@@ -229,12 +458,15 @@ TEST(LintDriverTest, JsonReportIsWellFormedEnough) {
   result.files_scanned = 2;
   result.findings.push_back(
       {"src/a.cc", 3, kRuleDeterminism, "a \"quoted\" message"});
+  result.suppressions["hot-alloc"] = 4;
   std::ostringstream os;
   WriteReport(result, OutputFormat::kJson, os);
   const std::string json = os.str();
   EXPECT_NE(json.find("\"finding_count\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"files_scanned\": 2"), std::string::npos);
   EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"suppressions\""), std::string::npos);
+  EXPECT_NE(json.find("\"hot-alloc\": 4"), std::string::npos);
 }
 
 }  // namespace

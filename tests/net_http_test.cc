@@ -76,6 +76,44 @@ FetchResult Fetch(std::uint16_t port, const std::string& path) {
   return result;
 }
 
+/// Sends `request` verbatim (no HTTP framing added) and returns the raw
+/// reply up to EOF. `half_close` shuts the write side down after sending,
+/// signalling "that was the whole request" for truncation tests.
+std::string RawExchange(std::uint16_t port, const std::string& request,
+                        bool half_close = false) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect to 127.0.0.1:" << port << " failed";
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    // MSG_NOSIGNAL: the server may answer-and-close before the whole
+    // request is out (oversized-request case); that must not SIGPIPE the
+    // test. A failed send just means the reply is already waiting.
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  if (half_close) ::shutdown(fd, SHUT_WR);
+  std::string raw;
+  char buffer[2048];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    raw.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return raw;
+}
+
 TEST(HttpServerTest, RoutesRegisteredPathsAndRejectsUnknownOnes) {
   net::HttpServer server;
   server.Handle("/ping", [](const net::HttpRequest& request) {
@@ -131,6 +169,85 @@ TEST(HttpServerTest, StopIsIdempotentAndRestartableAcrossInstances) {
   ASSERT_TRUE(reuse.Start(first_port).ok());
   EXPECT_EQ(Fetch(first_port, "/x").status, 200);
   reuse.Stop();
+}
+
+// --- Malformed traffic ----------------------------------------------------
+
+class MalformedRequestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_.Handle("/ok", [](const net::HttpRequest&) {
+      net::HttpResponse response;
+      response.body = "fine";
+      return response;
+    });
+    ASSERT_TRUE(server_.Start(0).ok());
+  }
+  void TearDown() override { server_.Stop(); }
+
+  net::HttpServer server_;
+};
+
+TEST_F(MalformedRequestTest, UnknownMethodGets405WithAllowHeader) {
+  const std::string reply =
+      RawExchange(server_.port(), "POST /ok HTTP/1.0\r\n\r\n");
+  EXPECT_NE(reply.find("HTTP/1.0 405 "), std::string::npos) << reply;
+  EXPECT_NE(reply.find("Allow: GET, HEAD"), std::string::npos) << reply;
+}
+
+TEST_F(MalformedRequestTest, GarbageRequestLinesGet400) {
+  for (const char* request : {
+           "NONSENSE\r\n\r\n",                // no spaces at all
+           "GET /ok\r\n\r\n",                 // missing version
+           "GET relative-path HTTP/1.0\r\n\r\n",  // target not absolute
+           "GET /ok FTP/1.0\r\n\r\n",         // not an HTTP version
+           " /ok HTTP/1.0\r\n\r\n",           // empty method
+       }) {
+    const std::string reply = RawExchange(server_.port(), request);
+    EXPECT_NE(reply.find("HTTP/1.0 400 "), std::string::npos)
+        << "request: " << request << "reply: " << reply;
+  }
+}
+
+TEST_F(MalformedRequestTest, TruncatedRequestGets400NotSilentClose) {
+  // Half-close after an unterminated request line: the server must still
+  // answer with a diagnostic instead of dropping the connection.
+  const std::string reply = RawExchange(
+      server_.port(), "GET /ok HTTP/1.0\r\n", /*half_close=*/true);
+  EXPECT_NE(reply.find("HTTP/1.0 400 "), std::string::npos) << reply;
+  EXPECT_NE(reply.find("truncated request"), std::string::npos) << reply;
+}
+
+TEST_F(MalformedRequestTest, OversizedRequestGets400) {
+  // 12 KiB of header spray with no terminator blows the 8 KiB cap.
+  std::string request = "GET /ok HTTP/1.0\r\n";
+  while (request.size() < 12 * 1024) {
+    request += "X-Padding: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n";
+  }
+  const std::string reply = RawExchange(server_.port(), request);
+  EXPECT_NE(reply.find("HTTP/1.0 400 "), std::string::npos) << reply;
+  EXPECT_NE(reply.find("8 KiB cap"), std::string::npos) << reply;
+}
+
+TEST_F(MalformedRequestTest, SilentProbeConnectionGetsNoReply) {
+  // Connect-and-leave (port scan, TCP health check): no bytes in either
+  // direction. The server must just close.
+  const std::string reply =
+      RawExchange(server_.port(), "", /*half_close=*/true);
+  EXPECT_TRUE(reply.empty()) << reply;
+  // And the listener must still be serving afterwards.
+  EXPECT_EQ(Fetch(server_.port(), "/ok").status, 200);
+}
+
+TEST_F(MalformedRequestTest, HeadRequestOmitsTheBody) {
+  const std::string reply =
+      RawExchange(server_.port(), "HEAD /ok HTTP/1.0\r\n\r\n");
+  EXPECT_NE(reply.find("HTTP/1.0 200 "), std::string::npos) << reply;
+  // Content-Length still describes the GET body, but none is sent.
+  EXPECT_NE(reply.find("Content-Length: 4"), std::string::npos) << reply;
+  const std::size_t headers_end = reply.find("\r\n\r\n");
+  ASSERT_NE(headers_end, std::string::npos);
+  EXPECT_EQ(reply.substr(headers_end + 4), "");
 }
 
 // --- Fleet endpoints over a live fleet -----------------------------------

@@ -190,7 +190,8 @@ TEST(QuantileSketchTest, ResetRacingObserversLosesNoObservationHalves) {
       }
     }
   });
-  EXPECT_EQ(written.load(), 7u * 2000u);
+  // Relaxed: the thread join above already ordered the writes.
+  EXPECT_EQ(written.load(std::memory_order_relaxed), 7u * 2000u);
   sketch->Reset();
   const obs::QuantileSketch::Snapshot quiet = sketch->Snap();
   EXPECT_EQ(quiet.count, 0u);

@@ -330,7 +330,8 @@ TEST(ServeFleetTest, BackpressureStateMachine) {
   config.detector.window = 2;
   config.detector.initial_train_steps = 1;
   config.on_result = [&](const std::string&, const SessionStepResult&) {
-    callbacks.fetch_add(1);
+    // Relaxed: a pure event counter; the latch below does the ordering.
+    callbacks.fetch_add(1, std::memory_order_relaxed);
     std::unique_lock<std::mutex> lock(latch_mutex);
     latch_cv.wait(lock, [&] { return release; });
   };
@@ -344,7 +345,7 @@ TEST(ServeFleetTest, BackpressureStateMachine) {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(30);
   std::uint64_t submitted = 0;
-  while (callbacks.load() == 0) {
+  while (callbacks.load(std::memory_order_relaxed) == 0) {
     ASSERT_LT(std::chrono::steady_clock::now(), deadline)
         << "detector never produced a scored step";
     ASSERT_EQ(fleet.Submit("wedged", v), Admission::kQueued);
@@ -377,14 +378,15 @@ TEST(ServeFleetTest, BackpressureStateMachine) {
 class FailingPutStore : public CheckpointStore {
  public:
   core::Status Put(const std::string&, const std::string&) override {
-    puts_.fetch_add(1);
+    // Relaxed: counts attempts only; Stop() joins before puts() is read.
+    puts_.fetch_add(1, std::memory_order_relaxed);
     return core::Status::IoError("disk full");
   }
   core::Status Get(const std::string& key, std::string* blob) override {
     (void)blob;
     return core::Status::NotFound("no checkpoint for key: " + key);
   }
-  int puts() const { return puts_.load(); }
+  int puts() const { return puts_.load(std::memory_order_relaxed); }
 
  private:
   std::atomic<int> puts_{0};

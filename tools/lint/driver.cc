@@ -114,7 +114,33 @@ RunResult RunLint(const RunOptions& options) {
     result.findings.insert(result.findings.end(),
                            std::make_move_iterator(findings.begin()),
                            std::make_move_iterator(findings.end()));
+    CountSuppressions(f, &result.suppressions);
   }
+
+  // Tree-level pass (lock-order cycles, include cycles). Its findings are
+  // attributed to real files, so the same NOLINT machinery applies — route
+  // each finding through its file's suppression comments.
+  {
+    std::vector<Finding> tree = AnalyzeTree(lexed, index);
+    std::map<std::string, std::vector<Finding>> by_file;
+    for (Finding& f : tree) by_file[f.file].push_back(std::move(f));
+    for (const SourceFile& f : lexed) {
+      const auto it = by_file.find(f.path);
+      if (it == by_file.end()) continue;
+      std::vector<Finding> kept =
+          ApplySuppressions(f, std::move(it->second));
+      result.findings.insert(result.findings.end(),
+                             std::make_move_iterator(kept.begin()),
+                             std::make_move_iterator(kept.end()));
+      by_file.erase(it);
+    }
+    for (auto& [path, rest] : by_file) {
+      result.findings.insert(result.findings.end(),
+                             std::make_move_iterator(rest.begin()),
+                             std::make_move_iterator(rest.end()));
+    }
+  }
+
   std::sort(result.findings.begin(), result.findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule) <
@@ -123,12 +149,74 @@ RunResult RunLint(const RunOptions& options) {
   return result;
 }
 
+std::map<std::string, int> LoadSuppressionBaseline(const std::string& path,
+                                                   bool* ok) {
+  *ok = false;
+  std::map<std::string, int> counts;
+  std::ifstream in(path);
+  if (!in) return counts;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string rule;
+    int count = 0;
+    if (!(ls >> rule)) continue;  // blank / comment-only line
+    if (!(ls >> count) || count < 0) return counts;
+    counts[rule] += count;
+  }
+  *ok = true;
+  return counts;
+}
+
+void WriteSuppressionBaseline(const std::map<std::string, int>& counts,
+                              std::ostream& os) {
+  os << "# streamad_lint suppression-debt baseline.\n"
+     << "# One `rule count` pair per line: the number of NOLINT-STREAMAD\n"
+     << "# markers naming that rule anywhere in the scanned tree. CI fails\n"
+     << "# when live debt exceeds a line here; regenerate with\n"
+     << "#   streamad_lint --write-suppression-baseline=" "tools/lint/"
+        "suppression_baseline.txt\n"
+     << "# and justify any increase in the same review.\n";
+  for (const auto& [rule, count] : counts) {
+    os << rule << " " << count << "\n";
+  }
+}
+
+std::vector<Finding> CheckSuppressionBudget(
+    const std::map<std::string, int>& current,
+    const std::map<std::string, int>& baseline,
+    const std::string& baseline_path) {
+  std::vector<Finding> out;
+  for (const auto& [rule, count] : current) {
+    const auto it = baseline.find(rule);
+    const int allowed = it == baseline.end() ? 0 : it->second;
+    if (count <= allowed) continue;
+    out.push_back(
+        {baseline_path, 1, kRuleSuppressionBudget,
+         "NOLINT-STREAMAD debt for `" + rule + "` grew to " +
+             std::to_string(count) + " (baseline " +
+             std::to_string(allowed) +
+             "); fix the finding instead, or raise the baseline in the "
+             "same review with justification"});
+  }
+  return out;
+}
+
 void WriteReport(const RunResult& result, OutputFormat format,
                  std::ostream& os) {
   if (format == OutputFormat::kText) {
     for (const Finding& f : result.findings) {
       os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
          << "\n";
+    }
+    if (!result.suppressions.empty()) {
+      os << "suppression debt:";
+      for (const auto& [rule, count] : result.suppressions) {
+        os << " " << rule << "=" << count;
+      }
+      os << "\n";
     }
     os << (result.findings.empty() ? "streamad_lint: clean ("
                                    : "streamad_lint: FAILED (")
@@ -139,7 +227,16 @@ void WriteReport(const RunResult& result, OutputFormat format,
   }
   os << "{\n  \"files_scanned\": " << result.files_scanned
      << ",\n  \"finding_count\": " << result.findings.size()
-     << ",\n  \"findings\": [";
+     << ",\n  \"suppressions\": {";
+  {
+    bool first = true;
+    for (const auto& [rule, count] : result.suppressions) {
+      os << (first ? "" : ", ") << "\"" << JsonEscape(rule)
+         << "\": " << count;
+      first = false;
+    }
+  }
+  os << "},\n  \"findings\": [";
   for (std::size_t i = 0; i < result.findings.size(); ++i) {
     const Finding& f = result.findings[i];
     os << (i == 0 ? "\n" : ",\n")

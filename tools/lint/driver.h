@@ -1,6 +1,7 @@
 #ifndef STREAMAD_TOOLS_LINT_DRIVER_H_
 #define STREAMAD_TOOLS_LINT_DRIVER_H_
 
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -21,6 +22,9 @@ struct RunOptions {
 struct RunResult {
   std::vector<Finding> findings;
   std::size_t files_scanned = 0;
+  // Live `NOLINT-STREAMAD` markers per rule across the scan ("(any)" for
+  // bare markers). Fed to the suppression-debt budget.
+  std::map<std::string, int> suppressions;
 };
 
 /// The directories a default (no explicit file list) run scans, relative to
@@ -42,6 +46,22 @@ void WriteReport(const RunResult& result, OutputFormat format,
 std::vector<Finding> LintOneFile(const std::string& disk_path,
                                  const std::string& rel_path,
                                  const ProjectIndex& index);
+
+/// Suppression-debt budget. The baseline file is one `rule count` pair per
+/// line, sorted, `#` comments allowed; it is checked in and only ever
+/// ratcheted down (or grown in the same review that justifies the new
+/// suppression). `LoadSuppressionBaseline` sets `*ok` false on a missing/
+/// malformed file. `CheckSuppressionBudget` returns one finding (rule
+/// `suppression-budget`, attributed to `baseline_path`) per rule whose
+/// live marker count exceeds the baseline.
+std::map<std::string, int> LoadSuppressionBaseline(const std::string& path,
+                                                   bool* ok);
+void WriteSuppressionBaseline(const std::map<std::string, int>& counts,
+                              std::ostream& os);
+std::vector<Finding> CheckSuppressionBudget(
+    const std::map<std::string, int>& current,
+    const std::map<std::string, int>& baseline,
+    const std::string& baseline_path);
 
 }  // namespace streamad::lint
 

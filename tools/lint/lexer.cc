@@ -66,12 +66,8 @@ class Lexer {
         LexChar();
         continue;
       }
-      if (c == 'R' && Peek(1) == '"') {
-        LexRawString();
-        continue;
-      }
       if (IsIdentStart(c)) {
-        LexIdent();
+        LexIdentOrRawString();
         continue;
       }
       if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
@@ -96,8 +92,21 @@ class Lexer {
 
   void LexLineComment() {
     const std::size_t begin = pos_;
-    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
-    Emit(&out_.comments, TokKind::kComment, begin, line_);
+    const int begin_line = line_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      // Phase-2 line splicing happens before comment removal: a `//`
+      // comment whose last character is a backslash swallows the next
+      // physical line too. Without this, the spliced line's text leaks
+      // into the code stream and rules fire on commented-out prose.
+      if (src_[pos_] == '\\' &&
+          (Peek(1) == '\n' || (Peek(1) == '\r' && Peek(2) == '\n'))) {
+        pos_ += Peek(1) == '\r' ? 3 : 2;
+        ++line_;
+        continue;
+      }
+      ++pos_;
+    }
+    Emit(&out_.comments, TokKind::kComment, begin, begin_line);
   }
 
   void LexBlockComment() {
@@ -146,12 +155,25 @@ class Lexer {
     Emit(&out_.code, TokKind::kString, begin, begin_line);
   }
 
-  void LexRawString() {
-    const std::size_t begin = pos_;
-    const int begin_line = line_;
-    pos_ += 2;  // R"
+  /// Lexes `R"delim(...)delim"` starting at the opening quote, with the
+  /// token beginning at `begin` (so encoding prefixes like `u8R` stay part
+  /// of the string token). Raw-string bodies are the one place where `"`
+  /// and `\` carry no meaning, so nothing here may leak into the code
+  /// stream — a body containing `srand(` or `.lock()` must stay opaque.
+  void LexRawString(std::size_t begin, int begin_line) {
+    ++pos_;  // opening quote
+    // d-char sequence: at most 16 chars, none of space/()/backslash.
     std::string delim;
-    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    while (pos_ < src_.size() && src_[pos_] != '(' &&
+           delim.size() <= 16) {
+      const char c = src_[pos_];
+      if (c == ')' || c == '\\' || c == '"' || c == '\n' ||
+          std::isspace(static_cast<unsigned char>(c))) {
+        break;  // not a valid raw string after all; bail at the paren scan
+      }
+      delim += c;
+      ++pos_;
+    }
     const std::string closer = ")" + delim + "\"";
     while (pos_ < src_.size() &&
            src_.substr(pos_, closer.size()) != closer) {
@@ -173,9 +195,21 @@ class Lexer {
     Emit(&out_.code, TokKind::kChar, begin, line_);
   }
 
-  void LexIdent() {
+  void LexIdentOrRawString() {
     const std::size_t begin = pos_;
     while (pos_ < src_.size() && IsIdentChar(src_[pos_])) ++pos_;
+    // The standard raw-string prefixes (`R`, `u8R`, `uR`, `LR`, `UR`)
+    // followed by a quote start a raw string; any other identifier before
+    // a quote is an ordinary token (e.g. a macro name) and the string is
+    // lexed separately.
+    if (pos_ < src_.size() && src_[pos_] == '"') {
+      const std::string_view ident = src_.substr(begin, pos_ - begin);
+      if (ident == "R" || ident == "u8R" || ident == "uR" ||
+          ident == "LR" || ident == "UR") {
+        LexRawString(begin, line_);
+        return;
+      }
+    }
     Emit(&out_.code, TokKind::kIdent, begin, line_);
   }
 
@@ -187,7 +221,14 @@ class Lexer {
     ++pos_;
     while (pos_ < src_.size()) {
       const char c = src_[pos_];
-      if (IsIdentChar(c) || c == '.' || c == '\'') {
+      // A digit separator is only part of the number when flanked by
+      // digit/identifier characters (`1'000'000`, `0xFF'00`); a bare
+      // trailing apostrophe belongs to whatever comes next.
+      if (c == '\'' && IsIdentChar(Peek(1))) {
+        pos_ += 2;
+        continue;
+      }
+      if (IsIdentChar(c) || c == '.') {
         ++pos_;
         continue;
       }

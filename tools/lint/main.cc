@@ -1,7 +1,9 @@
 // streamad_lint: project-specific static analysis for the streamad tree.
 //
 // Usage:
-//   streamad_lint [--root=DIR] [--format=text|json] [file...]
+//   streamad_lint [--root=DIR] [--format=text|json]
+//                 [--suppression-baseline=FILE]
+//                 [--write-suppression-baseline=FILE] [file...]
 //
 // With no file arguments the default directories (src tools tests bench
 // examples) are scanned recursively for .h/.cc, excluding lint fixtures.
@@ -10,15 +12,27 @@
 // Rules (suppress with `// NOLINT-STREAMAD(rule)` on the finding line or
 // `// NOLINT-STREAMAD-NEXTLINE(rule)` on the line above; always give a
 // reason after a colon):
-//   determinism       R1  entropy/wall-clock sources outside rng/obs
+//   determinism       R1  entropy/wall-clock sources outside rng/obs/net
 //   hot-alloc         R2  allocation in a // STREAMAD_HOT region
 //   float-compare     R3  exact float ==/!=, abs-free tolerance checks
 //   header-guard      R4  guard must be STREAMAD_<PATH>_H_
 //   using-namespace   R4  `using namespace` in a header
 //   iostream-include  R4  <iostream> in a src/ header
+//   atomic-order      R5  atomic access without an explicit memory_order
+//   naked-lock        R5  .lock()/.unlock() on a mutex outside RAII
+//   lock-order        R5  cycle in the tree-wide mutex-acquisition graph
+//   layering          R6  include edge not in the declared layer DAG, or
+//                         an include cycle under src/
+//   unchecked-status  R7  discarded core::Status result
+//   suppression-budget    NOLINT debt above the checked-in baseline
+//
+// `--suppression-baseline=FILE` gates debt: NOLINT-STREAMAD counts per
+// rule must not exceed FILE (tools/lint/suppression_baseline.txt in CI).
+// `--write-suppression-baseline=FILE` regenerates it from the live tree.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -26,6 +40,8 @@
 
 int main(int argc, char** argv) {
   streamad::lint::RunOptions options;
+  std::string baseline_path;
+  std::string write_baseline_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--root=", 0) == 0) {
@@ -34,10 +50,15 @@ int main(int argc, char** argv) {
       options.format = streamad::lint::OutputFormat::kJson;
     } else if (arg == "--format=text") {
       options.format = streamad::lint::OutputFormat::kText;
+    } else if (arg.rfind("--suppression-baseline=", 0) == 0) {
+      baseline_path = arg.substr(23);
+    } else if (arg.rfind("--write-suppression-baseline=", 0) == 0) {
+      write_baseline_path = arg.substr(29);
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: streamad_lint [--root=DIR] [--format=text|json] "
-                   "[file...]\n");
+                   "[--suppression-baseline=FILE] "
+                   "[--write-suppression-baseline=FILE] [file...]\n");
       return 2;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "streamad_lint: unknown flag %s\n", arg.c_str());
@@ -47,7 +68,33 @@ int main(int argc, char** argv) {
     }
   }
 
-  const streamad::lint::RunResult result = streamad::lint::RunLint(options);
+  streamad::lint::RunResult result = streamad::lint::RunLint(options);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "streamad_lint: cannot write %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    streamad::lint::WriteSuppressionBaseline(result.suppressions, out);
+  }
+
+  if (!baseline_path.empty()) {
+    bool ok = false;
+    const std::map<std::string, int> baseline =
+        streamad::lint::LoadSuppressionBaseline(baseline_path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "streamad_lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::vector<streamad::lint::Finding> over =
+        streamad::lint::CheckSuppressionBudget(result.suppressions, baseline,
+                                               baseline_path);
+    result.findings.insert(result.findings.end(), over.begin(), over.end());
+  }
+
   streamad::lint::WriteReport(result, options.format, std::cout);
   return result.findings.empty() ? 0 : 1;
 }

@@ -5,9 +5,37 @@
 #include <cstdlib>
 #include <map>
 #include <string_view>
+#include <tuple>
 #include <utility>
 
 #include "tools/lint/lexer.h"
+
+// Four non-obvious choices shape the R5/R6/R7 implementations below:
+//
+//  - All cross-file knowledge is NAME-based, not type-based. Pass 1
+//    indexes the declared names of atomics, mutexes and Status-returning
+//    functions tree-wide; pass 2 matches uses by identifier. That makes
+//    the analysis O(tokens) with no C++ type system, at the cost of
+//    merging same-named variables across classes — which is why the repo
+//    keeps concurrency-relevant member names unique (enforced socially;
+//    a collision shows up as a surprising finding and gets renamed).
+//
+//  - The mutex-acquisition graph is LEXICAL: an edge A->B means a guard
+//    on B was constructed inside the brace scope of a live guard on A in
+//    one translation unit. Cross-function acquisition chains (f locks A
+//    then calls g which locks B) are invisible; the golden rule the
+//    graph does enforce is that the visible nesting order is globally
+//    consistent, which is what TSan cannot check for interleavings the
+//    tests never run.
+//
+//  - The layer DAG is checked in here (kLayerMap / kLayerEdges) rather
+//    than in a config file, so the analyzer stays dependency-free and
+//    the DAG is reviewed like code. docs/ARCHITECTURE.md §9 mirrors it.
+//
+//  - R7 only flags a call whose result is syntactically discarded — an
+//    expression-statement call of an indexed Status function. Anything
+//    assigned, returned, compared, passed on, or explicitly cast to
+//    (void) counts as checked.
 
 namespace streamad::lint {
 namespace {
@@ -459,6 +487,572 @@ void ParseSuppression(const std::string& comment, std::size_t marker_pos,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Shared token-walk helpers for R5/R7.
+// ---------------------------------------------------------------------------
+
+/// Index of the `)` matching the `(` at `open`, or code.size() if the file
+/// ends first (unbalanced input never fires a finding).
+std::size_t MatchingClose(const std::vector<Token>& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < code.size(); ++j) {
+    if (IsPunct(code[j], "(")) {
+      ++depth;
+    } else if (IsPunct(code[j], ")") && --depth == 0) {
+      return j;
+    }
+  }
+  return code.size();
+}
+
+/// Index just past the `>` matching the `<` at `open`. Maximal munch makes
+/// `atomic<vector<int>>`'s double closer a single `>>` token, so `>>`
+/// counts as two closers. Returns `open` unchanged when the scan runs into
+/// `;`/`{`/EOF first — the `<` was a comparison, not a template list.
+std::size_t SkipTemplateArgs(const std::vector<Token>& code,
+                             std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < code.size(); ++j) {
+    const Token& t = code[j];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "<") {
+      ++depth;
+    } else if (t.text == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (t.text == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    } else if (t.text == ";" || t.text == "{") {
+      break;
+    }
+  }
+  return open;
+}
+
+/// Resolves `recv.op(...)` / `recv[i].op(...)` to the index of `recv`,
+/// where `dot` is the `.`/`->` token. Returns code.size() when the
+/// receiver is not a plain (possibly indexed) identifier — e.g. a call
+/// result — which the callers treat as "not ours".
+std::size_t ReceiverIndex(const std::vector<Token>& code, std::size_t dot) {
+  if (dot == 0) return code.size();
+  std::size_t j = dot - 1;
+  if (IsPunct(code[j], "]")) {
+    int depth = 0;
+    while (true) {
+      if (IsPunct(code[j], "]")) ++depth;
+      if (IsPunct(code[j], "[") && --depth == 0) break;
+      if (j == 0) return code.size();
+      --j;
+    }
+    if (j == 0) return code.size();
+    --j;
+  }
+  return code[j].kind == TokKind::kIdent ? j : code.size();
+}
+
+/// Scans variable declarations whose type name satisfies `is_type` —
+/// `std::atomic<...> name{...}`, `std::mutex m;`, `std::atomic<T>* p`,
+/// comma declarator lists — and records each declared name (and its token
+/// index, when `sites` is non-null). Name-based, so a type mentioned as a
+/// template *argument* (`lock_guard<std::mutex>`) is naturally skipped:
+/// the would-be name slot holds `>` there, not an identifier.
+void CollectDecls(const std::vector<Token>& code,
+                  bool (*is_type)(const std::string&),
+                  std::set<std::string>* names,
+                  std::set<std::size_t>* sites) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != TokKind::kIdent || !is_type(code[i].text)) continue;
+    std::size_t j = i + 1;
+    if (j < code.size() && IsPunct(code[j], "<")) {
+      const std::size_t past = SkipTemplateArgs(code, j);
+      if (past == j) continue;  // comparison, not a template list
+      j = past;
+    }
+    while (j < code.size() &&
+           (IsPunct(code[j], "*") || IsPunct(code[j], "&") ||
+            IsIdent(code[j], "const"))) {
+      ++j;
+    }
+    while (j + 1 < code.size() && code[j].kind == TokKind::kIdent) {
+      const Token& after = code[j + 1];
+      const bool declarator = IsPunct(after, ";") || IsPunct(after, "{") ||
+                              IsPunct(after, "=") || IsPunct(after, ",") ||
+                              IsPunct(after, ")") || IsPunct(after, "[");
+      if (!declarator) break;
+      if (names != nullptr) names->insert(code[j].text);
+      if (sites != nullptr) sites->insert(j);
+      // `std::atomic<int> a, b;` — chase comma declarators; a comma that
+      // instead separates parameters is followed by a *type*, whose own
+      // following token is another identifier, failing the check above.
+      if (!IsPunct(after, ",")) break;
+      j += 2;
+    }
+  }
+}
+
+bool IsAtomicTypeName(const std::string& s) {
+  return s == "atomic" || StartsWith(s, "atomic_");
+}
+
+bool IsMutexTypeName(const std::string& s) {
+  return s == "mutex" || s == "shared_mutex" || s == "timed_mutex" ||
+         s == "recursive_mutex" || s == "recursive_timed_mutex";
+}
+
+// ---------------------------------------------------------------------------
+// R5a/R5b: atomic accesses must name their memory order. Two forms:
+// member calls (`x.load()`, `s->depth_.fetch_add(1)`) missing a
+// memory_order argument, and operator forms (`x++`, `x += n`, `x = v`)
+// which are always implicit seq_cst. Implicit-conversion *reads*
+// (`while (!stop_)`) are a known gap: flagging every bare mention of an
+// atomic name cannot distinguish a read from binding a reference.
+// ---------------------------------------------------------------------------
+
+bool IsAtomicOpName(const std::string& s) {
+  return s == "load" || s == "store" || s == "exchange" ||
+         s == "fetch_add" || s == "fetch_sub" || s == "fetch_or" ||
+         s == "fetch_and" || s == "fetch_xor" ||
+         s == "compare_exchange_weak" || s == "compare_exchange_strong" ||
+         s == "test_and_set" || s == "clear";
+}
+
+bool HasMemoryOrderArg(const std::vector<Token>& code, std::size_t open,
+                       std::size_t close) {
+  for (std::size_t j = open + 1; j < close; ++j) {
+    // Matches `std::memory_order_relaxed` and `std::memory_order::relaxed`.
+    if (code[j].kind == TokKind::kIdent &&
+        StartsWith(code[j].text, "memory_order")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckAtomicOrder(const SourceFile& f, const ProjectIndex& index,
+                      std::vector<Finding>* out) {
+  const std::vector<Token>& code = f.code;
+  // A declaration's initializer is construction, not an access:
+  // `std::atomic<int> x = 0;` must not read as an unordered store.
+  //
+  // The *operator*-form check matches against names declared atomic in
+  // THIS file, not the tree-wide index: `total`/`sum`/`count` are atomic
+  // in one TU and plain locals in fifty others, and flagging `total = 0`
+  // everywhere because one test has an atomic `total` would drown the
+  // signal. The member-call form keeps the global index — `.fetch_add()`
+  // only exists on atomics, so the method name itself disambiguates.
+  std::set<std::string> local_atomics;
+  std::set<std::size_t> decl_sites;
+  CollectDecls(code, IsAtomicTypeName, &local_atomics, &decl_sites);
+  if (EndsWith(f.path, ".cc")) {
+    const std::string header = f.path.substr(0, f.path.size() - 3) + ".h";
+    const auto it = index.file_atomics.find(header);
+    if (it != index.file_atomics.end()) {
+      local_atomics.insert(it->second.begin(), it->second.end());
+    }
+  }
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& t = code[i];
+    if (t.kind != TokKind::kIdent) continue;
+
+    if (IsAtomicOpName(t.text) && i >= 2 && i + 1 < code.size() &&
+        IsPunct(code[i + 1], "(") &&
+        (IsPunct(code[i - 1], ".") || IsPunct(code[i - 1], "->"))) {
+      const std::size_t recv = ReceiverIndex(code, i - 1);
+      if (recv != code.size() &&
+          index.atomic_names.count(code[recv].text) != 0) {
+        const std::size_t close = MatchingClose(code, i + 1);
+        if (!HasMemoryOrderArg(code, i + 1, close)) {
+          out->push_back({f.path, t.line, kRuleAtomicOrder,
+                          "`" + code[recv].text + "." + t.text +
+                              "()` without an explicit std::memory_order "
+                              "(implicit seq_cst); name the order, with a "
+                              "one-line rationale where relaxed"});
+        }
+      }
+      continue;
+    }
+
+    if (local_atomics.count(t.text) == 0) continue;
+    if (decl_sites.count(i) != 0) continue;
+    // A dot-receiver means "field of a value" — snapshot structs mirror
+    // live counters' names (`snap.processed`), and those plain fields are
+    // not the atomics. `->` stays in scope: it reaches the live object.
+    if (i > 0 && IsPunct(code[i - 1], ".")) continue;
+    // An identifier right after a type-ish token is a *declaration* of a
+    // same-named plain variable (`std::uint64_t count = 0;` in a snapshot
+    // struct), whose initializer is not a store to the atomic.
+    if (i > 0 && (code[i - 1].kind == TokKind::kIdent ||
+                  IsPunct(code[i - 1], ">") || IsPunct(code[i - 1], ">>") ||
+                  IsPunct(code[i - 1], "*") || IsPunct(code[i - 1], "&"))) {
+      continue;
+    }
+
+    const Token* next = i + 1 < code.size() ? &code[i + 1] : nullptr;
+    bool pre_rmw = false;
+    {
+      std::size_t head = i;
+      while (head >= 2 && IsPunct(code[head - 1], "->") &&
+             code[head - 2].kind == TokKind::kIdent) {
+        head -= 2;
+      }
+      pre_rmw = head > 0 && (IsPunct(code[head - 1], "++") ||
+                             IsPunct(code[head - 1], "--"));
+    }
+    const bool post_rmw =
+        next != nullptr && (IsPunct(*next, "++") || IsPunct(*next, "--"));
+    const bool compound =
+        next != nullptr &&
+        (IsPunct(*next, "+=") || IsPunct(*next, "-=") ||
+         IsPunct(*next, "|=") || IsPunct(*next, "&=") || IsPunct(*next, "^="));
+    if (pre_rmw || post_rmw || compound) {
+      out->push_back({f.path, t.line, kRuleAtomicOrder,
+                      "bare RMW operator on std::atomic `" + t.text +
+                          "` is an implicit seq_cst read-modify-write; use "
+                          "fetch_add/fetch_sub with an explicit order"});
+      continue;
+    }
+    if (next != nullptr && IsPunct(*next, "=")) {
+      out->push_back({f.path, t.line, kRuleAtomicOrder,
+                      "bare `=` on std::atomic `" + t.text +
+                          "` is an implicit seq_cst store; use .store() "
+                          "with an explicit order"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R5c: naked .lock()/.unlock() on a known mutex. A guard object's own
+// .lock()/.unlock() (e.g. on a std::unique_lock variable) is fine — the
+// receiver must be an indexed mutex name to fire.
+// ---------------------------------------------------------------------------
+
+void CheckNakedLock(const SourceFile& f, const ProjectIndex& index,
+                    std::vector<Finding>* out) {
+  const std::vector<Token>& code = f.code;
+  for (std::size_t i = 2; i + 1 < code.size(); ++i) {
+    const Token& t = code[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text != "lock" && t.text != "unlock" && t.text != "try_lock") {
+      continue;
+    }
+    if (!IsPunct(code[i + 1], "(")) continue;
+    if (!IsPunct(code[i - 1], ".") && !IsPunct(code[i - 1], "->")) continue;
+    const std::size_t recv = ReceiverIndex(code, i - 1);
+    if (recv == code.size() ||
+        index.mutex_names.count(code[recv].text) == 0) {
+      continue;
+    }
+    out->push_back({f.path, t.line, kRuleNakedLock,
+                    "naked `" + code[recv].text + "." + t.text +
+                        "()`; acquire mutexes through std::lock_guard/"
+                        "std::unique_lock so every exit path releases"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R6: the layer map and its declared edges. File-granular entries first:
+// src/core is one directory but three layers, because its registry half
+// (algorithm_spec/detector_config) must see every model and strategy while
+// its interface half (component_interfaces/detector.h) must be visible *to*
+// them — a single "core" layer would make the DAG cyclic.
+// ---------------------------------------------------------------------------
+
+struct LayerMapEntry {
+  std::string_view path;  // trailing '/' = whole subtree, else exact file
+  std::string_view layer;
+};
+
+constexpr LayerMapEntry kLayerMap[] = {
+    {"src/core/status.h", "core_api"},
+    {"src/core/status.cc", "core_api"},
+    {"src/core/types.h", "core_api"},
+    {"src/core/training_set.h", "core_ifc"},
+    {"src/core/training_set.cc", "core_ifc"},
+    {"src/core/component_interfaces.h", "core_ifc"},
+    {"src/core/detector.h", "core_ifc"},
+    {"src/core/detector.cc", "core_registry"},
+    {"src/core/algorithm_spec.h", "core_registry"},
+    {"src/core/algorithm_spec.cc", "core_registry"},
+    {"src/core/detector_config.h", "core_registry"},
+    {"src/common/", "common"},
+    {"src/linalg/", "linalg"},
+    {"src/stats/", "stats"},
+    {"src/metrics/", "metrics"},
+    {"src/obs/", "obs"},
+    {"src/nn/", "nn"},
+    {"src/io/", "io"},
+    {"src/data/", "data"},
+    {"src/models/", "models"},
+    {"src/scoring/", "scoring"},
+    {"src/strategies/", "strategies"},
+    {"src/harness/", "harness"},
+    {"src/net/", "net"},
+    {"src/serve/", "serve"},
+};
+
+/// Declared edges: `layer` may directly include headers of the
+/// space-separated `deps` layers (plus its own). Adding an edge here is a
+/// reviewed architecture change; docs/ARCHITECTURE.md §9 carries the
+/// matching diagram. Keep each list tight — an edge nobody uses is a
+/// liberty nobody audited.
+struct LayerRule {
+  std::string_view layer;
+  std::string_view deps;
+};
+
+constexpr LayerRule kLayerEdges[] = {
+    {"common", ""},
+    {"linalg", "common"},
+    {"stats", "common"},
+    {"metrics", "common"},
+    {"obs", "common"},
+    {"core_api", "common linalg"},
+    {"nn", "common linalg"},
+    {"io", "common linalg core_api"},
+    {"core_ifc", "common linalg io core_api"},
+    {"data", "common linalg core_api"},
+    {"models", "common linalg nn io core_api core_ifc"},
+    {"scoring", "common linalg stats core_api core_ifc"},
+    {"strategies", "common stats core_api core_ifc"},
+    {"core_registry",
+     "common obs core_api core_ifc models scoring strategies"},
+    {"harness", "common metrics obs data core_api core_ifc core_registry"},
+    {"net", "common core_api"},
+    {"serve",
+     "common data io obs net harness core_api core_ifc core_registry"},
+};
+
+bool LayerAllows(std::string_view layer, std::string_view dep) {
+  for (const LayerRule& rule : kLayerEdges) {
+    if (rule.layer != layer) continue;
+    std::string_view deps = rule.deps;
+    while (!deps.empty()) {
+      const std::size_t space = deps.find(' ');
+      const std::string_view head = deps.substr(0, space);
+      if (head == dep) return true;
+      if (space == std::string_view::npos) break;
+      deps.remove_prefix(space + 1);
+    }
+    return false;
+  }
+  return false;
+}
+
+/// `#include "src/foo/bar.h"` → `src/foo/bar.h`; empty for `<...>` and
+/// non-include directives.
+std::string QuotedInclude(const std::string& directive) {
+  if (directive.find("include") == std::string::npos) return "";
+  const std::size_t a = directive.find('"');
+  if (a == std::string::npos) return "";
+  const std::size_t b = directive.find('"', a + 1);
+  if (b == std::string::npos) return "";
+  return directive.substr(a + 1, b - a - 1);
+}
+
+void CheckLayering(const SourceFile& f, std::vector<Finding>* out) {
+  if (!StartsWith(f.path, "src/")) return;
+  const std::string layer = LayerOf(f.path);
+  if (layer.empty()) {
+    out->push_back({f.path, 1, kRuleLayering,
+                    "src/ path not covered by the layer map; new "
+                    "directories must declare a layer in tools/lint/"
+                    "rules.cc (kLayerMap) and docs/ARCHITECTURE.md §9"});
+    return;
+  }
+  for (const Token& d : f.pp) {
+    const std::string target = QuotedInclude(d.text);
+    if (!StartsWith(target, "src/")) continue;
+    const std::string target_layer = LayerOf(target);
+    if (target_layer.empty()) {
+      out->push_back({f.path, d.line, kRuleLayering,
+                      "`" + target + "` is not covered by the layer map"});
+      continue;
+    }
+    if (target_layer == layer || LayerAllows(layer, target_layer)) continue;
+    out->push_back({f.path, d.line, kRuleLayering,
+                    "layer `" + layer + "` may not include `" + target +
+                        "` (layer `" + target_layer +
+                        "`); declared edges live in tools/lint/rules.cc "
+                        "(kLayerEdges)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strongly connected components (Kosaraju), shared by the lock-order and
+// include-graph cycle checks. Graphs here are tiny (dozens of nodes), so
+// recursive DFS over std::map adjacency is plenty.
+// ---------------------------------------------------------------------------
+
+using Graph = std::map<std::string, std::set<std::string>>;
+
+void FinishOrder(const std::string& n, const Graph& adj,
+                 std::set<std::string>* visited,
+                 std::vector<std::string>* order) {
+  if (!visited->insert(n).second) return;
+  const auto it = adj.find(n);
+  if (it != adj.end()) {
+    for (const std::string& m : it->second) {
+      FinishOrder(m, adj, visited, order);
+    }
+  }
+  order->push_back(n);
+}
+
+void AssignComponent(const std::string& n, const Graph& radj,
+                     std::set<std::string>* visited,
+                     std::vector<std::string>* component) {
+  if (!visited->insert(n).second) return;
+  component->push_back(n);
+  const auto it = radj.find(n);
+  if (it != radj.end()) {
+    for (const std::string& m : it->second) {
+      AssignComponent(m, radj, visited, component);
+    }
+  }
+}
+
+/// Every cycle-bearing SCC of `adj`: components of size > 1, plus
+/// self-loops. Each component's nodes come back sorted for deterministic
+/// messages.
+std::vector<std::vector<std::string>> CyclicComponents(const Graph& adj) {
+  std::set<std::string> nodes;
+  Graph radj;
+  for (const auto& [from, tos] : adj) {
+    nodes.insert(from);
+    for (const std::string& to : tos) {
+      nodes.insert(to);
+      radj[to].insert(from);
+    }
+  }
+  std::vector<std::string> order;
+  std::set<std::string> visited;
+  for (const std::string& n : nodes) FinishOrder(n, adj, &visited, &order);
+  visited.clear();
+  std::vector<std::vector<std::string>> cycles;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (visited.count(*it) != 0) continue;
+    std::vector<std::string> component;
+    AssignComponent(*it, radj, &visited, &component);
+    std::sort(component.begin(), component.end());
+    const bool self_loop =
+        component.size() == 1 &&
+        adj.count(component[0]) != 0 &&
+        adj.at(component[0]).count(component[0]) != 0;
+    if (component.size() > 1 || self_loop) cycles.push_back(component);
+  }
+  std::sort(cycles.begin(), cycles.end());
+  return cycles;
+}
+
+// ---------------------------------------------------------------------------
+// R7: discarded core::Status results.
+// ---------------------------------------------------------------------------
+
+void CheckUncheckedStatus(const SourceFile& f, const ProjectIndex& index,
+                          std::vector<Finding>* out) {
+  const std::vector<Token>& code = f.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& t = code[i];
+    if (t.kind != TokKind::kIdent || i + 1 >= code.size() ||
+        !IsPunct(code[i + 1], "(")) {
+      continue;
+    }
+    if (index.status_fns.count(t.text) == 0) continue;
+
+    // Walk to the head of the qualifier chain: `fleet.SaveState` → `fleet`,
+    // `Get(i)->Save` hops the call group to `Get`. An unresolvable head
+    // (receiver is itself an expression we can't classify) counts as used.
+    std::size_t head = i;
+    bool resolvable = true;
+    while (head >= 2) {
+      const Token& q = code[head - 1];
+      if (!IsPunct(q, ".") && !IsPunct(q, "->") && !IsPunct(q, "::")) break;
+      const Token& before = code[head - 2];
+      if (before.kind == TokKind::kIdent) {
+        head -= 2;
+        continue;
+      }
+      if (IsPunct(before, ")") || IsPunct(before, "]")) {
+        int depth = 0;
+        std::size_t k = head - 2;
+        while (true) {
+          const Token& b = code[k];
+          if (IsPunct(b, ")") || IsPunct(b, "]")) {
+            ++depth;
+          } else if (IsPunct(b, "(") || IsPunct(b, "[")) {
+            if (--depth == 0) break;
+          }
+          if (k == 0) break;
+          --k;
+        }
+        if (depth != 0 || k == 0 || code[k - 1].kind != TokKind::kIdent) {
+          resolvable = false;
+          break;
+        }
+        head = k - 1;
+        continue;
+      }
+      break;
+    }
+    if (!resolvable) continue;
+
+    // The call is a discard only when it is the whole statement: chain
+    // head at a statement boundary AND `;` right after the closing paren.
+    bool stmt_start = head == 0;
+    if (!stmt_start) {
+      const Token& p = code[head - 1];
+      if (IsPunct(p, ";") || IsPunct(p, "{") || IsPunct(p, "}") ||
+          IsIdent(p, "else") || IsIdent(p, "do")) {
+        stmt_start = true;
+      } else if (IsPunct(p, ")")) {
+        // Two shapes end in `)`: a `(void)` discard-cast (intentional,
+        // skip) and an `if (...)`/loop head (the call is the unguarded
+        // body — a discard).
+        int depth = 0;
+        std::size_t k = head - 1;
+        while (true) {
+          if (IsPunct(code[k], ")")) ++depth;
+          if (IsPunct(code[k], "(") && --depth == 0) break;
+          if (k == 0) break;
+          --k;
+        }
+        const bool void_cast = depth == 0 && k + 2 == head - 1 &&
+                               IsIdent(code[k + 1], "void");
+        if (!void_cast && depth == 0 && k > 0 &&
+            (IsIdent(code[k - 1], "if") || IsIdent(code[k - 1], "while") ||
+             IsIdent(code[k - 1], "for") || IsIdent(code[k - 1], "switch"))) {
+          stmt_start = true;
+        }
+      }
+    }
+    if (!stmt_start) continue;
+
+    const std::size_t close = MatchingClose(code, i + 1);
+    if (close + 1 >= code.size() || !IsPunct(code[close + 1], ";")) continue;
+    out->push_back({f.path, t.line, kRuleUncheckedStatus,
+                    "result of `" + t.text +
+                        "()` (returns core::Status) is discarded; handle "
+                        "it, or `(void)` it with a reason comment"});
+  }
+}
+
+/// Position of a *live* suppression marker: NOLINT-STREAMAD as the
+/// comment's first word (`// NOLINT-STREAMAD(...)`). Prose that merely
+/// mentions the marker — backticked docs, the lint tool's own sources —
+/// neither suppresses nor counts as debt. Returns npos when absent.
+std::size_t SuppressionMarkerPos(const std::string& comment) {
+  std::size_t i = 0;
+  while (i < comment.size() &&
+         (comment[i] == '/' || comment[i] == '*' ||
+          std::isspace(static_cast<unsigned char>(comment[i])))) {
+    ++i;
+  }
+  constexpr std::string_view kMarker = "NOLINT-STREAMAD";
+  if (comment.compare(i, kMarker.size(), kMarker) == 0) return i;
+  return std::string::npos;
+}
+
 }  // namespace
 
 void IndexFile(const SourceFile& file, ProjectIndex* index) {
@@ -467,6 +1061,30 @@ void IndexFile(const SourceFile& file, ProjectIndex* index) {
     if (code[i].kind == TokKind::kIdent && EndsWith(code[i].text, "Into") &&
         code[i].text != "Into" && IsPunct(code[i + 1], "(")) {
       index->into_names.insert(code[i].text);
+    }
+  }
+
+  CollectDecls(code, IsAtomicTypeName, &index->atomic_names, nullptr);
+  CollectDecls(code, IsMutexTypeName, &index->mutex_names, nullptr);
+  {
+    std::set<std::string>& here = index->file_atomics[file.path];
+    CollectDecls(code, IsAtomicTypeName, &here, nullptr);
+    if (here.empty()) index->file_atomics.erase(file.path);
+  }
+
+  // `core::Status Name(`, `Status Class::Name(`, nested qualifiers — the
+  // last identifier before the `(` is the function. `Status::Ok()`-style
+  // static-member calls don't match: the token after `Status` is `::`.
+  for (std::size_t i = 0; i + 2 < code.size(); ++i) {
+    if (!IsIdent(code[i], "Status")) continue;
+    std::size_t j = i + 1;
+    if (code[j].kind != TokKind::kIdent) continue;
+    while (j + 2 < code.size() && IsPunct(code[j + 1], "::") &&
+           code[j + 2].kind == TokKind::kIdent) {
+      j += 2;
+    }
+    if (j + 1 < code.size() && IsPunct(code[j + 1], "(")) {
+      index->status_fns.insert(code[j].text);
     }
   }
 }
@@ -478,6 +1096,10 @@ std::vector<Finding> AnalyzeFile(const SourceFile& file,
   CheckHotAlloc(file, index, &findings);
   CheckFloatCompare(file, &findings);
   CheckHeaderHygiene(file, &findings);
+  CheckAtomicOrder(file, index, &findings);
+  CheckNakedLock(file, index, &findings);
+  CheckLayering(file, &findings);
+  CheckUncheckedStatus(file, index, &findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::pair(a.line, std::string_view(a.rule)) <
@@ -486,13 +1108,193 @@ std::vector<Finding> AnalyzeFile(const SourceFile& file,
   return findings;
 }
 
+std::vector<LockEdge> CollectLockEdges(const SourceFile& file,
+                                       const ProjectIndex& index) {
+  const std::vector<Token>& code = file.code;
+  struct Held {
+    std::string name;
+    int depth;
+  };
+  std::vector<LockEdge> edges;
+  std::set<std::pair<std::string, std::string>> seen;
+  std::vector<Held> stack;
+  int depth = 0;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& t = code[i];
+    if (IsPunct(t, "{")) {
+      ++depth;
+      continue;
+    }
+    if (IsPunct(t, "}")) {
+      while (!stack.empty() && stack.back().depth == depth) stack.pop_back();
+      --depth;
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text != "lock_guard" && t.text != "unique_lock" &&
+        t.text != "scoped_lock") {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j < code.size() && IsPunct(code[j], "<")) {
+      const std::size_t past = SkipTemplateArgs(code, j);
+      if (past == j) continue;
+      j = past;
+    }
+    // `lock_guard<...> name(arg, ...)` — CTAD brace-init also accepted.
+    if (j + 1 >= code.size() || code[j].kind != TokKind::kIdent) continue;
+    const std::size_t open = j + 1;
+    const bool paren = IsPunct(code[open], "(");
+    if (!paren && !IsPunct(code[open], "{")) continue;
+    const std::string_view close_tok = paren ? ")" : "}";
+    const std::string_view open_tok = paren ? "(" : "{";
+
+    // Split the argument list at top-level commas; each argument's mutex
+    // is its last identifier (`shard->results_mutex` → `results_mutex`,
+    // `*mu` → `mu`). Lock-tag arguments (std::defer_lock etc.) and
+    // receivers we don't recognise as mutexes are skipped.
+    std::vector<std::string> acquired;
+    int nest = 1;
+    std::string last_ident;
+    std::size_t k = open + 1;
+    for (; k < code.size() && nest > 0; ++k) {
+      const Token& a = code[k];
+      if (a.kind == TokKind::kPunct) {
+        if (a.text == open_tok || a.text == "(" || a.text == "[") ++nest;
+        if (a.text == close_tok || a.text == ")" || a.text == "]") --nest;
+        if (nest == 0 || (nest == 1 && a.text == ",")) {
+          if (!last_ident.empty() && last_ident != "defer_lock" &&
+              last_ident != "adopt_lock" && last_ident != "try_to_lock" &&
+              index.mutex_names.count(last_ident) != 0) {
+            acquired.push_back(last_ident);
+          }
+          last_ident.clear();
+          continue;
+        }
+      }
+      if (a.kind == TokKind::kIdent) last_ident = a.text;
+    }
+    for (const std::string& m : acquired) {
+      for (const Held& h : stack) {
+        if (h.name == m) continue;
+        if (!seen.insert({h.name, m}).second) continue;
+        edges.push_back({h.name, m, file.path, t.line});
+      }
+      stack.push_back({m, depth});
+    }
+  }
+  return edges;
+}
+
+std::vector<Finding> AnalyzeTree(const std::vector<SourceFile>& files,
+                                 const ProjectIndex& index) {
+  std::vector<Finding> out;
+
+  // R5: merge every TU's acquisition edges; cycles are lock-order
+  // inversions waiting for the right interleaving.
+  Graph lock_graph;
+  std::map<std::pair<std::string, std::string>, std::pair<std::string, int>>
+      lock_site;
+  for (const SourceFile& f : files) {
+    for (const LockEdge& e : CollectLockEdges(f, index)) {
+      lock_graph[e.held].insert(e.acquired);
+      const auto key = std::pair(e.held, e.acquired);
+      const auto site = std::pair(e.file, e.line);
+      const auto it = lock_site.find(key);
+      if (it == lock_site.end() || site < it->second) lock_site[key] = site;
+    }
+  }
+  for (const std::vector<std::string>& cycle : CyclicComponents(lock_graph)) {
+    std::string members;
+    std::string witness;
+    std::pair<std::string, int> first_site{"", 0};
+    for (const std::string& a : cycle) {
+      members += (members.empty() ? "" : ", ") + a;
+      for (const std::string& b : cycle) {
+        const auto it = lock_site.find({a, b});
+        if (it == lock_site.end()) continue;
+        witness += "; " + a + " -> " + b + " at " + it->second.first + ":" +
+                   std::to_string(it->second.second);
+        if (first_site.first.empty() || it->second < first_site) {
+          first_site = it->second;
+        }
+      }
+    }
+    out.push_back({first_site.first, first_site.second, kRuleLockOrder,
+                   "lock-order cycle among mutexes {" + members + "}" +
+                       witness + "; acquire in one global order"});
+  }
+
+  // R6 (tree half): file-level include cycles under src/. The per-file
+  // layer check can't see these when the cycle stays inside one layer.
+  std::set<std::string> src_paths;
+  for (const SourceFile& f : files) {
+    if (StartsWith(f.path, "src/")) src_paths.insert(f.path);
+  }
+  Graph include_graph;
+  std::map<std::pair<std::string, std::string>, int> include_line;
+  for (const SourceFile& f : files) {
+    if (src_paths.count(f.path) == 0) continue;
+    for (const Token& d : f.pp) {
+      const std::string target = QuotedInclude(d.text);
+      if (target.empty() || src_paths.count(target) == 0) continue;
+      include_graph[f.path].insert(target);
+      include_line.emplace(std::pair(f.path, target), d.line);
+    }
+  }
+  for (const std::vector<std::string>& cycle :
+       CyclicComponents(include_graph)) {
+    std::string members;
+    for (const std::string& p : cycle) {
+      members += (members.empty() ? "" : " -> ") + p;
+    }
+    int line = 1;
+    const auto it = include_line.lower_bound({cycle[0], ""});
+    if (it != include_line.end() && it->first.first == cycle[0]) {
+      line = it->second;
+    }
+    out.push_back({cycle[0], line, kRuleLayering,
+                   "include cycle under src/: {" + members +
+                       "}; break it or split the shared piece downward"});
+  }
+
+  // Self-check: the declared layer DAG itself must be acyclic, or the
+  // per-file edge checks prove nothing.
+  Graph layer_graph;
+  for (const LayerRule& rule : kLayerEdges) {
+    std::string_view deps = rule.deps;
+    while (!deps.empty()) {
+      const std::size_t space = deps.find(' ');
+      layer_graph[std::string(rule.layer)].insert(
+          std::string(deps.substr(0, space)));
+      if (space == std::string_view::npos) break;
+      deps.remove_prefix(space + 1);
+    }
+  }
+  for (const std::vector<std::string>& cycle : CyclicComponents(layer_graph)) {
+    std::string members;
+    for (const std::string& l : cycle) {
+      members += (members.empty() ? "" : ", ") + l;
+    }
+    out.push_back({"tools/lint/rules.cc", 1, kRuleLayering,
+                   "declared layer DAG is cyclic ({" + members +
+                       "}); fix kLayerEdges"});
+  }
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+  return out;
+}
+
 std::vector<Finding> ApplySuppressions(const SourceFile& file,
                                        std::vector<Finding> findings) {
   static constexpr std::string_view kMarker = "NOLINT-STREAMAD";
   static constexpr std::string_view kNextLine = "NOLINT-STREAMAD-NEXTLINE";
   std::map<int, SuppressionSet> by_line;
   for (const Token& c : file.comments) {
-    const std::size_t pos = c.text.find(kMarker);
+    const std::size_t pos = SuppressionMarkerPos(c.text);
     if (pos == std::string::npos) continue;
     const bool next_line =
         c.text.compare(pos, kNextLine.size(), kNextLine) == 0;
@@ -511,6 +1313,37 @@ std::vector<Finding> ApplySuppressions(const SourceFile& file,
     kept.push_back(std::move(f));
   }
   return kept;
+}
+
+void CountSuppressions(const SourceFile& file,
+                       std::map<std::string, int>* counts) {
+  static constexpr std::string_view kMarker = "NOLINT-STREAMAD";
+  static constexpr std::string_view kNextLine = "NOLINT-STREAMAD-NEXTLINE";
+  for (const Token& c : file.comments) {
+    const std::size_t pos = SuppressionMarkerPos(c.text);
+    if (pos == std::string::npos) continue;
+    const bool next_line =
+        c.text.compare(pos, kNextLine.size(), kNextLine) == 0;
+    SuppressionSet set;
+    ParseSuppression(c.text, pos + (next_line ? kNextLine.size()
+                                              : kMarker.size()),
+                     &set);
+    if (set.all) {
+      ++(*counts)["(any)"];
+    } else {
+      for (const std::string& rule : set.rules) ++(*counts)[rule];
+    }
+  }
+}
+
+std::string LayerOf(const std::string& rel_path) {
+  for (const LayerMapEntry& entry : kLayerMap) {
+    const bool subtree = entry.path.back() == '/';
+    const bool match =
+        subtree ? StartsWith(rel_path, entry.path) : rel_path == entry.path;
+    if (match) return std::string(entry.layer);
+  }
+  return "";
 }
 
 std::string ExpectedHeaderGuard(const std::string& rel_path) {

@@ -1,6 +1,7 @@
 #ifndef STREAMAD_TOOLS_LINT_RULES_H_
 #define STREAMAD_TOOLS_LINT_RULES_H_
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -18,32 +19,86 @@ struct Finding {
   std::string message;
 };
 
-/// Rule identifiers (R1–R4 of the lint spec, see docs/ARCHITECTURE.md §9).
+/// Rule identifiers (R1–R7 of the lint spec, see docs/ARCHITECTURE.md §9).
 inline constexpr char kRuleDeterminism[] = "determinism";
 inline constexpr char kRuleHotAlloc[] = "hot-alloc";
 inline constexpr char kRuleFloatCompare[] = "float-compare";
 inline constexpr char kRuleHeaderGuard[] = "header-guard";
 inline constexpr char kRuleUsingNamespace[] = "using-namespace";
 inline constexpr char kRuleIostreamInclude[] = "iostream-include";
+// R5: concurrency discipline.
+inline constexpr char kRuleAtomicOrder[] = "atomic-order";
+inline constexpr char kRuleNakedLock[] = "naked-lock";
+inline constexpr char kRuleLockOrder[] = "lock-order";
+// R6: layering.
+inline constexpr char kRuleLayering[] = "layering";
+// R7: dropped core::Status results.
+inline constexpr char kRuleUncheckedStatus[] = "unchecked-status";
+// Meta-rule: NOLINT-STREAMAD debt grew past the checked-in baseline.
+inline constexpr char kRuleSuppressionBudget[] = "suppression-budget";
 
-/// Cross-file knowledge the rules need: today, the set of project functions
-/// that have an allocation-free `<Name>Into(..., out)` form. Built in a
-/// first pass over every scanned file, consumed by the hot-alloc rule
-/// (`Matrix m = MatMul(a, b)` in a hot region → "use MatMulInto").
-struct ProjectIndex {
-  std::set<std::string> into_names;  // e.g. "MatMulInto", "TransformInto"
+/// One directed edge of a translation unit's mutex-acquisition graph:
+/// while a guard on `held` was lexically active, a guard on `acquired`
+/// was constructed at `file:line`. Edges from every TU merge into one
+/// tree-wide graph whose cycles are lock-order-inversion candidates.
+struct LockEdge {
+  std::string held;
+  std::string acquired;
+  std::string file;
+  int line = 0;
 };
 
-/// Adds every `<Name>Into(`-shaped call/declaration in `file` to the index.
+/// Cross-file knowledge the rules need, built in pass 1 over every scanned
+/// file and consumed by pass 2:
+///  - `into_names`: project functions with an allocation-free
+///    `<Name>Into(..., out)` form (R2 suggests them in hot regions).
+///  - `atomic_names`: variables declared `std::atomic<...>` (incl.
+///    pointees and vectors of atomics) — R5 demands explicit orders on
+///    their loads/stores/RMWs and bans bare `++`/`--`/`+=` on them.
+///  - `mutex_names`: variables declared `std::mutex` (and shared/timed/
+///    recursive variants) — R5 bans naked `.lock()`/`.unlock()` on them.
+///  - `status_fns`: functions declared to return `core::Status` — R7
+///    flags call statements that discard the result.
+struct ProjectIndex {
+  std::set<std::string> into_names;   // e.g. "MatMulInto", "TransformInto"
+  std::set<std::string> atomic_names; // e.g. "processed_", "submit_seq"
+  std::set<std::string> mutex_names;  // e.g. "sessions_mutex_", "mutex_"
+  std::set<std::string> status_fns;   // e.g. "SaveState", "CreateSession"
+  // Atomic declarations per file. The operator-form R5 check scopes its
+  // name matching to the file under analysis plus its paired header
+  // (`x.cc` sees `x.h`): `total`/`count` are atomic in one TU and plain
+  // locals in fifty others, so tree-wide name matching would drown the
+  // signal in false stores.
+  std::map<std::string, std::set<std::string>> file_atomics;
+};
+
+/// Adds `file`'s contribution to the cross-TU index (pass 1).
 void IndexFile(const SourceFile& file, ProjectIndex* index);
 
-/// Runs every applicable rule on one file and returns raw findings,
-/// *before* NOLINT suppression. Applicability is path-based:
-///  - determinism: `src/**` except `src/common/rng.{h,cc}` and `src/obs/**`
+/// Runs every applicable per-file rule on one file and returns raw
+/// findings, *before* NOLINT suppression. Applicability is path-based:
+///  - determinism: `src/**` except the data-driven allowlist in rules.cc
 ///  - hot-alloc:   regions below a `// STREAMAD_HOT` marker, any file
 ///  - float-compare: everywhere except `tests/**`
 ///  - header hygiene: `*.h` everywhere; the <iostream> ban only in `src/`
+///  - atomic-order / naked-lock: every scanned directory
+///  - layering (per-file: undeclared layer edges): `src/**` only
+///  - unchecked-status: every scanned directory
 std::vector<Finding> AnalyzeFile(const SourceFile& file,
+                                 const ProjectIndex& index);
+
+/// Extracts `file`'s mutex-acquisition edges (R5). Exposed separately so
+/// the tree-level cycle check and the unit tests share the extractor.
+std::vector<LockEdge> CollectLockEdges(const SourceFile& file,
+                                       const ProjectIndex& index);
+
+/// Tree-level pass over every scanned file at once:
+///  - R5: merges all per-TU lock edges and reports every lock-order cycle
+///    (one finding per cycle, attributed to its lexically first edge).
+///  - R6: reports include cycles among the scanned `src/` files.
+/// Per-file rules stay in `AnalyzeFile`; this only covers properties no
+/// single file can witness.
+std::vector<Finding> AnalyzeTree(const std::vector<SourceFile>& files,
                                  const ProjectIndex& index);
 
 /// Drops findings suppressed by a `NOLINT-STREAMAD` comment on the same
@@ -54,11 +109,23 @@ std::vector<Finding> AnalyzeFile(const SourceFile& file,
 std::vector<Finding> ApplySuppressions(const SourceFile& file,
                                        std::vector<Finding> findings);
 
+/// Counts `file`'s NOLINT-STREAMAD markers into `*counts`, keyed by rule
+/// name; a marker without a rule list counts under "(any)". One comment
+/// naming N rules contributes N entries — debt is per suppressed rule,
+/// not per comment. Feeds the `--suppression-baseline` budget gate.
+void CountSuppressions(const SourceFile& file,
+                       std::map<std::string, int>* counts);
+
 /// Expected include guard for a repo-relative header path. The repo
 /// convention drops a leading `src/` ("src/linalg/matrix.h" →
 /// `STREAMAD_LINALG_MATRIX_H_`) and keeps every other top directory
 /// ("bench/bench_common.h" → `STREAMAD_BENCH_BENCH_COMMON_H_`).
 std::string ExpectedHeaderGuard(const std::string& rel_path);
+
+/// The layer a repo-relative `src/` path belongs to, per the checked-in
+/// layer DAG (empty for non-src paths, which are outside the layering
+/// rule). Exposed for the tests.
+std::string LayerOf(const std::string& rel_path);
 
 }  // namespace streamad::lint
 

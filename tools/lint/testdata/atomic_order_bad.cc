@@ -1,0 +1,37 @@
+// Fixture: R5 atomic-order. The Bad() block holds every implicit-seq_cst
+// access form; Good() repeats each access with an explicit order and must
+// stay silent, as must the plain snapshot struct that mirrors an atomic's
+// name.
+#include <atomic>
+#include <cstdint>
+
+namespace streamad {
+
+std::atomic<std::uint64_t> hits{0};
+std::atomic<bool> stop_flag{false};
+std::atomic<int> lanes[3];
+
+struct Mirror {
+  std::uint64_t hits = 0;  // plain field, same name: not the atomic
+};
+
+void Bad() {
+  hits.fetch_add(1);
+  hits.store(0);
+  (void)hits.load();
+  lanes[1].store(5);
+  ++hits;
+  hits += 2;
+  stop_flag = true;
+}
+
+std::uint64_t Good() {
+  hits.fetch_add(1, std::memory_order_relaxed);
+  stop_flag.store(true, std::memory_order_release);
+  lanes[0].store(1, std::memory_order_relaxed);
+  Mirror local;
+  local.hits = hits.load(std::memory_order_acquire);
+  return local.hits;
+}
+
+}  // namespace streamad

@@ -1,0 +1,18 @@
+// Fixture: digit separators stay inside the number token. A naive lexer
+// reads `1'000'000` as number + char-literal + number, desynchronizing
+// everything after it; the `== 0.5` below must then fire exactly once.
+namespace streamad {
+
+bool ExactCompareAfterSeparators(double x) {
+  const long big = 1'000'000;
+  const double f = 12'345.678'9;
+  const unsigned mask = 0xFF'FF;
+  return x == 0.5 && big > 0 && f > 0.0 && mask > 0u;
+}
+
+bool ToleranceIsStillFine(double x) {
+  // Plain relational compares against non-tiny literals stay silent.
+  return x < 10'000.0;
+}
+
+}  // namespace streamad

@@ -1,7 +1,7 @@
 // Fixture: a fully conforming header. Linted under the fake path
-// src/util/header_guard_good.h.
-#ifndef STREAMAD_UTIL_HEADER_GUARD_GOOD_H_
-#define STREAMAD_UTIL_HEADER_GUARD_GOOD_H_
+// src/linalg/header_guard_good.h.
+#ifndef STREAMAD_LINALG_HEADER_GUARD_GOOD_H_
+#define STREAMAD_LINALG_HEADER_GUARD_GOOD_H_
 
 #include <ostream>
 
@@ -9,4 +9,4 @@ namespace streamad {
 inline void Whisper(std::ostream& os) { os << "hi\n"; }
 }  // namespace streamad
 
-#endif  // STREAMAD_UTIL_HEADER_GUARD_GOOD_H_
+#endif  // STREAMAD_LINALG_HEADER_GUARD_GOOD_H_

@@ -1,0 +1,7 @@
+// Fixture: R6 layering. Linted as src/models/... both includes are
+// upward edges the DAG forbids; linted as src/serve/... both are
+// declared edges and the file is clean.
+#include "src/net/http_server.h"
+#include "src/serve/fleet.h"
+
+namespace streamad {}

@@ -1,0 +1,11 @@
+// Fixture: phase-2 line splicing. The comment below ends in a backslash,
+// so the next physical line is part of the comment — its srand/time text
+// must never reach the code stream.
+namespace streamad {
+
+// this comment swallows the next line via a trailing backslash \
+srand(1); time(nullptr); std::random_device dev;
+
+int ExactlyOneRealFinding() { return rand(); }
+
+}  // namespace streamad

@@ -1,0 +1,17 @@
+// Fixture: one half of an R5 lock-order cycle. This TU nests order_a
+// before order_b; lock_order_cycle_b.cc nests them the other way round.
+// Either file alone is consistent — only the tree-wide merge sees the
+// inversion.
+#include <mutex>
+
+namespace streamad {
+
+std::mutex order_a;
+std::mutex order_b;
+
+void ForwardOrder() {
+  std::lock_guard<std::mutex> la(order_a);
+  std::lock_guard<std::mutex> lb(order_b);
+}
+
+}  // namespace streamad

@@ -1,0 +1,15 @@
+// Fixture: the other half of the R5 lock-order cycle (see
+// lock_order_cycle_a.cc) — order_b acquired first, then order_a.
+#include <mutex>
+
+namespace streamad {
+
+std::mutex order_a;
+std::mutex order_b;
+
+void ReverseOrder() {
+  std::lock_guard<std::mutex> lb(order_b);
+  std::lock_guard<std::mutex> la(order_a);
+}
+
+}  // namespace streamad

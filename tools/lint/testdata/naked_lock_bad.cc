@@ -1,0 +1,26 @@
+// Fixture: R5 naked-lock. Direct .lock()/.unlock()/.try_lock() on a
+// declared mutex fires; the same calls on a guard object (unique_lock)
+// are RAII-managed and stay silent.
+#include <mutex>
+
+namespace streamad {
+
+std::mutex state_mutex;
+std::timed_mutex io_mutex;
+
+void Bad() {
+  state_mutex.lock();
+  state_mutex.unlock();
+  if (io_mutex.try_lock()) {
+    io_mutex.unlock();
+  }
+}
+
+void Good() {
+  std::lock_guard<std::mutex> guard(state_mutex);
+  std::unique_lock<std::timed_mutex> lk(io_mutex, std::defer_lock);
+  lk.lock();
+  lk.unlock();
+}
+
+}  // namespace streamad

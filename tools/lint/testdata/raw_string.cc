@@ -1,0 +1,17 @@
+// Fixture: raw string literals must be opaque to every rule. Each body
+// below contains text that would fire R1/R3/R5 if it leaked into the
+// code stream, including a `)"` decoy inside a delimited raw string.
+#include <string>
+
+namespace streamad {
+
+const char* kPlain = R"(srand(42); time(nullptr); x == 0.5)";
+const char* kDelimited = R"delim(mu_.lock(); rand(); a != 1.0; )" still inside)delim";
+const char* kUtf8 = u8R"(std::random_device entropy;)";
+const wchar_t* kWide = LR"(clock::now() and socket(AF_INET, 0, 0))";
+
+// The lexer must resume cleanly after the raw strings: exactly this one
+// real violation may fire, and nothing from the literals above.
+int StillLexedCorrectly() { return srand(7), 0; }
+
+}  // namespace streamad

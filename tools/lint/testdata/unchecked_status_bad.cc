@@ -1,0 +1,31 @@
+// Fixture: R7 unchecked-status. Bad() drops three Status results (bare
+// call, member call, if-body call); Good() consumes one each way —
+// assigned, branched on, explicitly void-cast, returned — and is silent.
+#include <string>
+
+namespace streamad {
+
+class Store {
+ public:
+  core::Status Put(const std::string& key, const std::string& value);
+  core::Status Flush();
+};
+
+core::Status Validate(int v);
+
+void Bad(Store& store, bool ready) {
+  Validate(1);
+  store.Put("k", "v");
+  if (ready) store.Flush();
+}
+
+core::Status Good(Store& store, bool ready) {
+  core::Status s = Validate(2);
+  if (!store.Put("k", "v").ok()) return s;
+  // Intentional discard: flush failure is retried by the caller.
+  (void)store.Flush();
+  const bool ok = Validate(3).ok() && ready;
+  return ok ? Validate(4) : s;
+}
+
+}  // namespace streamad
