@@ -96,6 +96,10 @@ double RunCellPass(std::size_t sessions, std::size_t shards,
   options.shards = shards;
   options.queue_capacity = 2048;
   if (metrics_on) options.metrics = registry;
+  // The instrumented arm carries the full quality plane too, so the
+  // attribution ratio prices metrics AND per-session score analytics
+  // against the same metrics-free baseline.
+  options.session_analytics = metrics_on;
   serve::DetectorFleet fleet(options);
 
   net::HttpServer server;
@@ -294,6 +298,7 @@ int main(int argc, char** argv) {
         << cell.baseline_events_per_sec << ", \"attribution_ratio\": "
         << cell.attribution_ratio
         << ", \"throttled\": " << cell.stats.throttled
+        << ", \"anomalies\": " << cell.stats.anomalies
         << ", \"dropped\": " << cell.stats.dropped
         << ", \"evictions\": " << cell.stats.evictions
         << ", \"rehydrations\": " << cell.stats.rehydrations

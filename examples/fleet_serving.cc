@@ -105,6 +105,9 @@ int main(int argc, char** argv) {
   options.store = &store;
   options.max_resident_per_shard = 2;  // 6 sessions -> constant churn
   options.metrics = &registry;
+  // Quality plane: per-session score analytics behind /sessions/<id> and
+  // /anomalies (the CI endpoint smoke scrapes both).
+  options.session_analytics = true;
   options.watchdog_poll_ms = 200;   // live plane: stall detection on
   options.stall_window_ms = 2000;
   serve::DetectorFleet fleet(options);

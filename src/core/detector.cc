@@ -206,7 +206,7 @@ void StreamingDetector::FinishStep(const StreamVector& s,
                                    const StepResult& result) {
   if (recorder_ == nullptr) return;
   obs::StepContext context;
-  if (recorder_->flight_enabled() && !s.empty()) {
+  if (recorder_->wants_step_context() && !s.empty()) {
     double min = s[0];
     double max = s[0];
     double sum = 0.0;

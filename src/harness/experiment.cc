@@ -25,6 +25,8 @@ obs::RecorderOptions ToRecorderOptions(const RunOptions& options) {
   recorder_options.trace_sample_every = options.trace_sample_every;
   recorder_options.label = options.label;
   recorder_options.flight_capacity = options.flight_capacity;
+  recorder_options.score_analytics = options.score_analytics;
+  recorder_options.analytics = options.analytics;
   if (options.flight_capacity > 0 && !options.flight_dump_dir.empty()) {
     recorder_options.flight_dump_path = options.flight_dump_dir + "/flight_" +
                                         SanitizeRunLabel(options.label) +

@@ -56,6 +56,12 @@ struct RunOptions {
   /// Label stamped on trace records and flight dump file names; sweep
   /// drivers derive it per run ("<spec>/<score>/s<series>").
   std::string label;
+  /// Attach per-run detection-quality analytics (score quantiles, EWMA
+  /// baseline, anomaly rate/log); read back via
+  /// `Recorder::score_analytics()`. Requires `metrics`.
+  bool score_analytics = false;
+  /// Tuning for the analytics when attached.
+  obs::ScoreAnalyticsOptions analytics;
   /// Escape hatch: attach THIS pre-built recorder instead of constructing
   /// one from the fields above (which are then ignored). Not owned.
   obs::Recorder* recorder = nullptr;

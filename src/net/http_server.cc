@@ -75,6 +75,30 @@ void HttpServer::Handle(const std::string& path, Handler handler) {
   handlers_[path] = std::move(handler);
 }
 
+void HttpServer::HandlePrefix(const std::string& prefix, Handler handler) {
+  STREAMAD_CHECK_MSG(!started_, "register handlers before Start");
+  STREAMAD_CHECK_MSG(prefix.size() >= 2 && prefix.front() == '/' &&
+                         prefix.back() == '/',
+                     "prefix routes start and end with '/'");
+  prefix_handlers_.emplace_back(prefix, std::move(handler));
+}
+
+const HttpServer::Handler* HttpServer::Route(const std::string& path) const {
+  const auto it = handlers_.find(path);
+  if (it != handlers_.end()) return &it->second;
+  const Handler* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& [prefix, handler] : prefix_handlers_) {
+    if (path.size() >= prefix.size() &&
+        path.compare(0, prefix.size(), prefix) == 0 &&
+        prefix.size() > best_len) {
+      best = &handler;
+      best_len = prefix.size();
+    }
+  }
+  return best;
+}
+
 core::Status HttpServer::Start(std::uint16_t port) {
   if (started_) {
     return core::Status::FailedPrecondition("server already started");
@@ -189,12 +213,12 @@ void HttpServer::ServeConnection(int client_fd) {
         response.status = 405;
         response.body = "only GET is served here\n";
       } else {
-        const auto it = handlers_.find(request.path);
-        if (it == handlers_.end()) {
+        const Handler* handler = Route(request.path);
+        if (handler == nullptr) {
           response.status = 404;
           response.body = "no handler for " + request.path + "\n";
         } else {
-          response = it->second(request);
+          response = (*handler)(request);
         }
       }
     }

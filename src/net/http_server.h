@@ -6,6 +6,8 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/core/status.h"
 
@@ -40,7 +42,8 @@ struct HttpResponse {
 ///
 /// This is an operator endpoint, not an internet-facing service: it binds
 /// 127.0.0.1 only, caps requests at 8 KiB, and speaks just enough
-/// HTTP/1.0 (GET + exact-path routing) for curl and Prometheus.
+/// HTTP/1.0 (GET + exact- and prefix-path routing, `?query` split off)
+/// for curl and Prometheus.
 ///
 /// Malformed traffic is answered, not dropped: oversized or truncated
 /// requests and garbage request lines get a diagnostic 400, non-GET
@@ -61,6 +64,14 @@ class HttpServer {
   /// the listener runs.
   void Handle(const std::string& path, Handler handler);
 
+  /// Registers `handler` for every path starting with `prefix` (which
+  /// must start and end with '/', e.g. "/sessions/"). Exact-match routes
+  /// win over prefixes; among matching prefixes the longest wins, so
+  /// "/sessions/live/" can shadow "/sessions/". The request's `path`
+  /// keeps the full target — the handler strips the prefix itself. Must
+  /// be called before `Start`.
+  void HandlePrefix(const std::string& prefix, Handler handler);
+
   /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, readable via
   /// `port()` afterwards) and starts the listener thread.
   core::Status Start(std::uint16_t port);
@@ -76,7 +87,10 @@ class HttpServer {
   void ListenLoop();
   void ServeConnection(int client_fd);
 
+  const Handler* Route(const std::string& path) const;
+
   std::unordered_map<std::string, Handler> handlers_;
+  std::vector<std::pair<std::string, Handler>> prefix_handlers_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::thread listener_;

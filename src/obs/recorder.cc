@@ -82,11 +82,16 @@ Recorder::Recorder(MetricsRegistry* registry, RecorderOptions options)
       flight_->set_dump_path(options_.flight_dump_path);
     }
   }
+  if (options_.score_analytics) {
+    analytics_ = std::make_unique<ScoreAnalytics>(options_.analytics);
+  }
   steps_total_ = registry->GetCounter("streamad_detector_steps_total");
   scored_steps_total_ =
       registry->GetCounter("streamad_detector_scored_steps_total");
   finetunes_total_ = registry->GetCounter("streamad_detector_finetunes_total");
   fits_total_ = registry->GetCounter("streamad_detector_fits_total");
+  anomalies_total_ =
+      registry->GetCounter("streamad_detector_anomalies_total");
   op_additions_total_ =
       registry->GetCounter("streamad_drift_op_additions_total");
   op_multiplications_total_ =
@@ -149,6 +154,20 @@ void Recorder::EndStep(std::int64_t t, bool scored, double nonconformity,
   op_comparisons_total_->Add(op_counters_.comparisons -
                              mirrored_ops_.comparisons);
   mirrored_ops_ = op_counters_;
+
+  if (analytics_ != nullptr) {
+    ScoreStep sample;
+    sample.t = t;
+    sample.scored = scored;
+    sample.finetuned = finetuned;
+    sample.anomaly_score = scored ? anomaly_score : 0.0;
+    sample.drift_statistic = context.drift_statistic;
+    sample.input_min = context.input_min;
+    sample.input_max = context.input_max;
+    sample.input_mean = context.input_mean;
+    sample.train_size = context.train_size;
+    if (analytics_->OnStep(sample)) anomalies_total_->Increment();
+  }
 
   if (flight_ != nullptr) {
     flight_scratch_.t = t;

@@ -11,6 +11,7 @@
 #include "src/common/op_counters.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/score_analytics.h"
 #include "src/obs/stage.h"
 #include "src/obs/timer.h"
 
@@ -73,6 +74,12 @@ struct RecorderOptions {
   /// Rewrite `flight_dump_path` whenever a step fine-tunes, so the file
   /// always holds the pipeline state around the most recent drift event.
   bool flight_dump_on_finetune = true;
+  /// Attach detection-quality analytics (score quantiles, EWMA baseline,
+  /// anomaly rate/log, drift gauge) updated on every step. Read back via
+  /// `Recorder::score_analytics()`.
+  bool score_analytics = false;
+  /// Tuning for the analytics when attached.
+  ScoreAnalyticsOptions analytics;
 };
 
 /// Extra per-step pipeline state for the flight recorder, passed to
@@ -128,11 +135,22 @@ class Recorder {
   const StageTotals& totals() const { return totals_; }
   MetricsRegistry* registry() const { return registry_; }
 
-  /// True when a flight recorder ring is attached; the detector uses this
-  /// to skip computing the per-step input digest when nobody retains it.
+  /// True when a flight recorder ring is attached.
   bool flight_enabled() const { return flight_ != nullptr; }
   FlightRecorder* flight_recorder() { return flight_.get(); }
   const FlightRecorder* flight_recorder() const { return flight_.get(); }
+
+  /// True when score analytics are attached.
+  bool analytics_enabled() const { return analytics_ != nullptr; }
+  ScoreAnalytics* score_analytics() { return analytics_.get(); }
+  const ScoreAnalytics* score_analytics() const { return analytics_.get(); }
+
+  /// True when some consumer (flight ring or score analytics) retains the
+  /// per-step `StepContext`; the detector uses this to skip computing the
+  /// input digest and drift statistic when nobody keeps them.
+  bool wants_step_context() const {
+    return flight_ != nullptr || analytics_ != nullptr;
+  }
 
   /// Latency histogram bucket upper bounds (nanoseconds) shared by every
   /// stage histogram.
@@ -148,6 +166,7 @@ class Recorder {
   Counter* scored_steps_total_;
   Counter* finetunes_total_;
   Counter* fits_total_;
+  Counter* anomalies_total_;
   Counter* op_additions_total_;
   Counter* op_multiplications_total_;
   Counter* op_comparisons_total_;
@@ -162,6 +181,7 @@ class Recorder {
 
   std::unique_ptr<FlightRecorder> flight_;
   FlightRecord flight_scratch_;  // reused per step, no allocation
+  std::unique_ptr<ScoreAnalytics> analytics_;
 };
 
 /// RAII stage span: measures one pipeline stage of one step and reports it

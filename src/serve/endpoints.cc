@@ -1,7 +1,10 @@
 #include "src/serve/endpoints.h"
 
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -37,6 +40,116 @@ void AppendU64(std::string* out, std::uint64_t value) {
   char buffer[24];
   std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
   *out += buffer;
+}
+
+void AppendI64(std::string* out, std::int64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+  *out += buffer;
+}
+
+/// JSON has no inf/nan literals; a non-finite quality value (which the
+/// analytics never produce for sane scores, but a detector could) becomes
+/// null rather than corrupting the document.
+void AppendDouble(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    *out += "null";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  *out += buffer;
+}
+
+void AppendAnalyticsJson(std::string* out,
+                         const obs::ScoreAnalyticsSnapshot& analytics) {
+  *out += "{\"steps\":";
+  AppendU64(out, analytics.steps);
+  *out += ",\"scored_steps\":";
+  AppendU64(out, analytics.scored_steps);
+  *out += ",\"finetunes\":";
+  AppendU64(out, analytics.finetunes);
+  *out += ",\"anomalies\":";
+  AppendU64(out, analytics.anomalies);
+  *out += ",\"anomaly_rate\":";
+  AppendDouble(out, analytics.anomaly_rate);
+  *out += ",\"ewma_mean\":";
+  AppendDouble(out, analytics.ewma_mean);
+  *out += ",\"ewma_std\":";
+  AppendDouble(out, analytics.ewma_std);
+  *out += ",\"last_score\":";
+  AppendDouble(out, analytics.last_score);
+  *out += ",\"last_threshold\":";
+  AppendDouble(out, analytics.last_threshold);
+  *out += ",\"drift_statistic\":";
+  AppendDouble(out, analytics.drift_statistic);
+  *out += ",\"train_size\":";
+  AppendU64(out, analytics.train_size);
+  *out += ",\"last_step_t\":";
+  AppendI64(out, analytics.last_step_t);
+  *out += ",\"score_quantiles\":{\"count\":";
+  AppendU64(out, analytics.score_quantiles.count);
+  *out += ",\"sum\":";
+  AppendDouble(out, analytics.score_quantiles.sum);
+  *out += ",\"min\":";
+  AppendDouble(out, analytics.score_quantiles.min);
+  *out += ",\"max\":";
+  AppendDouble(out, analytics.score_quantiles.max);
+  *out += ",\"p50\":";
+  AppendDouble(out, analytics.score_quantiles.p50());
+  *out += ",\"p90\":";
+  AppendDouble(out, analytics.score_quantiles.p90());
+  *out += ",\"p99\":";
+  AppendDouble(out, analytics.score_quantiles.p99());
+  *out += ",\"p999\":";
+  AppendDouble(out, analytics.score_quantiles.p999());
+  *out += "},\"recent_anomalies\":[";
+  for (std::size_t i = 0; i < analytics.recent_anomalies.size(); ++i) {
+    const obs::AnomalyLogEntry& entry = analytics.recent_anomalies[i];
+    if (i > 0) *out += ',';
+    *out += "{\"t\":";
+    AppendI64(out, entry.t);
+    *out += ",\"score\":";
+    AppendDouble(out, entry.score);
+    *out += ",\"threshold\":";
+    AppendDouble(out, entry.threshold);
+    *out += ",\"x_min\":";
+    AppendDouble(out, entry.input_min);
+    *out += ",\"x_max\":";
+    AppendDouble(out, entry.input_max);
+    *out += ",\"x_mean\":";
+    AppendDouble(out, entry.input_mean);
+    *out += '}';
+  }
+  *out += "]}";
+}
+
+/// Extracts `key=value` from a raw query string ("k=3&by=rate"). Tokens
+/// without '=' or with other keys are ignored; the LAST occurrence wins
+/// (curl users retry by appending). Returns false when the key is absent.
+bool QueryParam(const std::string& query, const std::string& key,
+                std::string* value) {
+  bool found = false;
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < end &&
+        query.compare(pos, eq - pos, key) == 0) {
+      *value = query.substr(eq + 1, end - eq - 1);
+      found = true;
+    }
+    pos = end + 1;
+  }
+  return found;
+}
+
+net::HttpResponse BadRequest(const std::string& message) {
+  net::HttpResponse response;
+  response.status = 400;
+  response.body = message + "\n";
+  return response;
 }
 
 std::string HealthzBody(DetectorFleet* fleet) {
@@ -106,16 +219,112 @@ std::string SessionsBody(DetectorFleet* fleet) {
   return body;
 }
 
+std::string SessionDetailBody(const SessionDetail& detail) {
+  const SessionSnapshot& session = detail.session;
+  std::string body;
+  body.reserve(512);
+  body += "{\"id\":";
+  AppendJsonString(&body, session.id);
+  body += ",\"shard\":";
+  AppendU64(&body, session.shard);
+  body += ",\"resident\":";
+  body += session.resident ? "true" : "false";
+  body += ",\"healthy\":";
+  body += session.healthy ? "true" : "false";
+  if (!session.healthy) {
+    body += ",\"health_message\":";
+    AppendJsonString(&body, session.health_message);
+  }
+  body += ",\"processed\":";
+  AppendU64(&body, session.processed);
+  body += ",\"dropped\":";
+  AppendU64(&body, session.dropped);
+  body += ",\"last_step_t\":";
+  AppendI64(&body, session.last_step_t);
+  body += ",\"last_event_ns\":";
+  AppendU64(&body, session.last_event_ns);
+  body += ",\"analytics\":";
+  if (detail.has_analytics) {
+    AppendAnalyticsJson(&body, detail.analytics);
+  } else {
+    body += "null";
+  }
+  body += "}\n";
+  return body;
+}
+
+std::string AnomaliesBody(const std::vector<SessionQuality>& rows,
+                          std::size_t k, const std::string& by) {
+  std::string body;
+  body.reserve(128 + std::min(k, rows.size()) * 256);
+  body += "{\"by\":";
+  AppendJsonString(&body, by);
+  body += ",\"k\":";
+  AppendU64(&body, k);
+  body += ",\"total_sessions\":";
+  AppendU64(&body, rows.size());
+  body += ",\"sessions\":[";
+  const std::size_t shown = std::min(k, rows.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const SessionQuality& row = rows[i];
+    if (i > 0) body += ',';
+    body += "{\"id\":";
+    AppendJsonString(&body, row.id);
+    body += ",\"shard\":";
+    AppendU64(&body, row.shard);
+    body += ",\"processed\":";
+    AppendU64(&body, row.processed);
+    body += ",\"anomaly_rate\":";
+    AppendDouble(&body, row.analytics.anomaly_rate);
+    body += ",\"anomalies\":";
+    AppendU64(&body, row.analytics.anomalies);
+    body += ",\"drift_statistic\":";
+    AppendDouble(&body, row.analytics.drift_statistic);
+    body += ",\"scored_steps\":";
+    AppendU64(&body, row.analytics.scored_steps);
+    body += ",\"ewma_mean\":";
+    AppendDouble(&body, row.analytics.ewma_mean);
+    body += ",\"ewma_std\":";
+    AppendDouble(&body, row.analytics.ewma_std);
+    body += ",\"last_score\":";
+    AppendDouble(&body, row.analytics.last_score);
+    body += ",\"score_p99\":";
+    AppendDouble(&body, row.analytics.score_quantiles.p99());
+    body += '}';
+  }
+  body += "]}\n";
+  return body;
+}
+
 }  // namespace
 
 void RegisterFleetEndpoints(net::HttpServer* server, DetectorFleet* fleet,
                             obs::MetricsRegistry* metrics) {
-  server->Handle("/metrics", [metrics](const net::HttpRequest&) {
+  server->Handle("/metrics", [fleet, metrics](const net::HttpRequest&) {
     net::HttpResponse response;
     if (metrics == nullptr) {
       response.status = 404;
       response.body = "fleet runs without a metrics registry\n";
       return response;
+    }
+    // Fold the per-session quality state into fleet-level aggregate
+    // gauges at scrape time. Deliberately NOT per-session series: scrape
+    // cardinality must stay O(1) in the session count (per-session
+    // detail is the JSON endpoints' job).
+    const std::vector<SessionQuality> quality = fleet->SnapshotQuality();
+    if (!quality.empty()) {
+      double max_rate = 0.0;
+      double max_drift = 0.0;
+      for (const SessionQuality& row : quality) {
+        max_rate = std::max(max_rate, row.analytics.anomaly_rate);
+        max_drift = std::max(max_drift, row.analytics.drift_statistic);
+      }
+      metrics->GetGauge("streamad_serve_max_session_anomaly_rate")
+          ->Set(max_rate);
+      metrics->GetGauge("streamad_serve_max_session_drift_statistic")
+          ->Set(max_drift);
+      metrics->GetGauge("streamad_serve_analytics_sessions")
+          ->Set(static_cast<double>(quality.size()));
     }
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body = metrics->DumpText();
@@ -132,6 +341,58 @@ void RegisterFleetEndpoints(net::HttpServer* server, DetectorFleet* fleet,
     net::HttpResponse response;
     response.content_type = "application/json";
     response.body = SessionsBody(fleet);
+    return response;
+  });
+  server->HandlePrefix("/sessions/", [fleet](const net::HttpRequest& request) {
+    const std::string id = request.path.substr(std::string("/sessions/").size());
+    if (id.empty()) {
+      return BadRequest("missing session id: GET /sessions/<id>");
+    }
+    SessionDetail detail;
+    if (!fleet->SnapshotSession(id, &detail)) {
+      net::HttpResponse response;
+      response.status = 404;
+      response.body = "no session named '" + id + "'\n";
+      return response;
+    }
+    net::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = SessionDetailBody(detail);
+    return response;
+  });
+  server->Handle("/anomalies", [fleet](const net::HttpRequest& request) {
+    std::size_t k = 10;
+    std::string raw;
+    if (QueryParam(request.query, "k", &raw)) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(raw.c_str(), &end, 10);
+      if (raw.empty() || end == nullptr || *end != '\0' || parsed == 0) {
+        return BadRequest("k must be a positive integer, got '" + raw + "'");
+      }
+      k = static_cast<std::size_t>(parsed);
+    }
+    std::string by = "rate";
+    if (QueryParam(request.query, "by", &by) && by != "rate" &&
+        by != "drift") {
+      return BadRequest("by must be 'rate' or 'drift', got '" + by + "'");
+    }
+    std::vector<SessionQuality> rows = fleet->SnapshotQuality();
+    // Rank: chosen quality signal descending, id ascending on ties so the
+    // top-K cut is deterministic.
+    const bool by_drift = by == "drift";
+    std::sort(rows.begin(), rows.end(),
+              [by_drift](const SessionQuality& a, const SessionQuality& b) {
+                const double qa = by_drift ? a.analytics.drift_statistic
+                                           : a.analytics.anomaly_rate;
+                const double qb = by_drift ? b.analytics.drift_statistic
+                                           : b.analytics.anomaly_rate;
+                if (qa > qb) return true;
+                if (qb > qa) return false;
+                return a.id < b.id;
+              });
+    net::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = AnomaliesBody(rows, k, by);
     return response;
   });
 }

@@ -9,12 +9,26 @@ namespace streamad::serve {
 
 /// Wires the fleet's live observability plane onto `server`:
 ///
-///   GET /metrics  — Prometheus text exposition of `metrics`
-///                   (404 when the fleet runs without a registry)
-///   GET /healthz  — fleet + per-shard liveness JSON; HTTP 503 and
-///                   `"status":"degraded"` while any shard is stalled
-///   GET /sessions — per-session JSON: health, residency, event/drop
-///                   counts and the last-step timestamps
+///   GET /metrics        — Prometheus text exposition of `metrics`
+///                         (404 when the fleet runs without a registry).
+///                         Quality signals appear here as FLEET-LEVEL
+///                         aggregates only (anomaly totals, max session
+///                         anomaly rate / drift statistic): per-session
+///                         series would make scrape cardinality scale
+///                         with the session count, so per-session detail
+///                         lives on the JSON endpoints below instead.
+///   GET /healthz        — fleet + per-shard liveness JSON; HTTP 503 and
+///                         `"status":"degraded"` while any shard stalls
+///   GET /sessions       — per-session JSON: health, residency,
+///                         event/drop counts, last-step timestamps
+///   GET /sessions/<id>  — one session's detail: the row above plus its
+///                         quality analytics (score quantiles, EWMA
+///                         baseline, anomaly rate, drift gauge, recent
+///                         anomaly log); 404 for unknown ids
+///   GET /anomalies?k=N&by=rate|drift
+///                       — fleet-wide top-K sessions ranked by windowed
+///                         anomaly rate (default) or drift statistic;
+///                         400 on malformed k / by values
 ///
 /// Call before `server->Start`. `fleet` (and `metrics`, when non-null)
 /// must outlive the server. The handlers only read snapshot APIs and the

@@ -51,6 +51,8 @@ DetectorFleet::DetectorFleet(const FleetOptions& options) : options_(options) {
     (void)obs::NowNs();
     events_counter_ =
         options_.metrics->GetCounter("streamad_serve_events_total");
+    anomalies_counter_ =
+        options_.metrics->GetCounter("streamad_serve_anomalies_total");
     throttled_counter_ =
         options_.metrics->GetCounter("streamad_serve_throttled_total");
     dropped_counter_ =
@@ -119,6 +121,22 @@ core::Status DetectorFleet::CreateSession(const std::string& stream_id,
     session->recorder = std::make_unique<obs::Recorder>(
         run.metrics, harness::ToRecorderOptions(run));
     session->detector->set_recorder(session->recorder.get());
+  }
+  // Quality analytics: a recorder that carries its own instance feeds it
+  // from EndStep; otherwise a fleet-level opt-in attaches a fleet-fed
+  // instance updated by the shard worker. Either way the state lives
+  // outside the detector and survives eviction cycles.
+  if (session->recorder != nullptr &&
+      session->recorder->score_analytics() != nullptr) {
+    session->analytics = session->recorder->score_analytics();
+  } else if (config.run.recorder != nullptr &&
+             config.run.recorder->score_analytics() != nullptr) {
+    session->analytics = config.run.recorder->score_analytics();
+  } else if (options_.session_analytics) {
+    session->analytics_storage =
+        std::make_unique<obs::ScoreAnalytics>(options_.analytics);
+    session->analytics = session->analytics_storage.get();
+    session->analytics_fleet_fed = true;
   }
   session->wants_timing =
       config.run.recorder != nullptr || config.run.metrics != nullptr;
@@ -284,6 +302,36 @@ void DetectorFleet::ProcessEvent(Shard* shard, Session* session,
   session->processed.fetch_add(1, std::memory_order_relaxed);
   session->last_step_t.store(session->detector->t(),
                              std::memory_order_relaxed);
+  if (session->analytics_fleet_fed) {
+    // Fleet-fed quality analytics: the recorder path feeds its own
+    // instance from EndStep; here the worker flattens the step itself.
+    // OnStep is allocation-free, so this stays on the hot path's budget.
+    obs::ScoreStep sample;
+    sample.t = session->detector->t();
+    sample.scored = step.scored;
+    sample.finetuned = step.finetuned;
+    sample.anomaly_score = step.scored ? step.anomaly_score : 0.0;
+    sample.drift_statistic =
+        session->detector->drift_detector().DriftStatistic();
+    sample.train_size = session->detector->strategy().set().size();
+    if (step.scored && !values.empty()) {
+      double lo = values[0];
+      double hi = values[0];
+      double sum = 0.0;
+      for (const double v : values) {
+        if (v < lo) lo = v;
+        if (v > hi) hi = v;
+        sum += v;
+      }
+      sample.input_min = lo;
+      sample.input_max = hi;
+      sample.input_mean = sum / static_cast<double>(values.size());
+    }
+    if (session->analytics->OnStep(sample)) {
+      anomalies_.fetch_add(1, std::memory_order_relaxed);
+      if (anomalies_counter_ != nullptr) anomalies_counter_->Increment();
+    }
+  }
   if (step.scored) {
     SessionStepResult result;
     result.t = session->detector->t();
@@ -554,28 +602,32 @@ void DetectorFleet::DumpStalledShardFlights(std::size_t shard_index) {
   }
 }
 
+SessionSnapshot DetectorFleet::MakeSessionSnapshot(
+    const Session& session) const {
+  SessionSnapshot snap;
+  snap.id = session.id;
+  snap.shard = session.shard;
+  snap.resident = session.resident.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> health_lock(
+        shards_[session.shard]->results_mutex);
+    snap.healthy = session.health.ok();
+    if (!snap.healthy) snap.health_message = session.health.message();
+  }
+  snap.processed = session.processed.load(std::memory_order_relaxed);
+  snap.dropped = session.dropped.load(std::memory_order_relaxed);
+  snap.last_step_t = session.last_step_t.load(std::memory_order_relaxed);
+  snap.last_event_ns = session.last_event_ns.load(std::memory_order_relaxed);
+  return snap;
+}
+
 std::vector<SessionSnapshot> DetectorFleet::SnapshotSessions() const {
   std::vector<SessionSnapshot> snapshots;
   {
     std::lock_guard<std::mutex> lock(sessions_mutex_);
     snapshots.reserve(sessions_.size());
     for (const auto& [id, session] : sessions_) {
-      SessionSnapshot snap;
-      snap.id = id;
-      snap.shard = session->shard;
-      snap.resident = session->resident.load(std::memory_order_relaxed);
-      {
-        std::lock_guard<std::mutex> health_lock(
-            shards_[session->shard]->results_mutex);
-        snap.healthy = session->health.ok();
-        if (!snap.healthy) snap.health_message = session->health.message();
-      }
-      snap.processed = session->processed.load(std::memory_order_relaxed);
-      snap.dropped = session->dropped.load(std::memory_order_relaxed);
-      snap.last_step_t = session->last_step_t.load(std::memory_order_relaxed);
-      snap.last_event_ns =
-          session->last_event_ns.load(std::memory_order_relaxed);
-      snapshots.push_back(std::move(snap));
+      snapshots.push_back(MakeSessionSnapshot(*session));
     }
   }
   std::sort(snapshots.begin(), snapshots.end(),
@@ -583,6 +635,41 @@ std::vector<SessionSnapshot> DetectorFleet::SnapshotSessions() const {
               return a.id < b.id;
             });
   return snapshots;
+}
+
+bool DetectorFleet::SnapshotSession(const std::string& stream_id,
+                                    SessionDetail* out) const {
+  STREAMAD_CHECK(out != nullptr);
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const auto it = sessions_.find(stream_id);
+  if (it == sessions_.end()) return false;
+  const Session& session = *it->second;
+  out->session = MakeSessionSnapshot(session);
+  out->has_analytics = session.analytics != nullptr;
+  if (out->has_analytics) out->analytics = session.analytics->Snap();
+  return true;
+}
+
+std::vector<SessionQuality> DetectorFleet::SnapshotQuality() const {
+  std::vector<SessionQuality> rows;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    rows.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) {
+      if (session->analytics == nullptr) continue;
+      SessionQuality row;
+      row.id = id;
+      row.shard = session->shard;
+      row.processed = session->processed.load(std::memory_order_relaxed);
+      row.analytics = session->analytics->Snap();
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SessionQuality& a, const SessionQuality& b) {
+              return a.id < b.id;
+            });
+  return rows;
 }
 
 std::vector<ShardSnapshot> DetectorFleet::SnapshotShards() const {
@@ -615,6 +702,7 @@ FleetStats DetectorFleet::Stats() const {
   stats.rehydrate_failures =
       rehydrate_failures_.load(std::memory_order_relaxed);
   stats.result_overflow = result_overflow_.load(std::memory_order_relaxed);
+  stats.anomalies = anomalies_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(sessions_mutex_);
   stats.sessions = sessions_.size();
   for (const std::unique_ptr<Shard>& shard : shards_) {

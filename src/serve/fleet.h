@@ -18,6 +18,7 @@
 #include "src/core/status.h"
 #include "src/harness/experiment.h"
 #include "src/harness/parallel.h"
+#include "src/obs/score_analytics.h"
 #include "src/serve/checkpoint_store.h"
 
 namespace streamad::obs {
@@ -82,6 +83,14 @@ struct SessionConfig {
   harness::RunOptions run;
 };
 
+/// Serve-path defaults for fleet-created score analytics (see
+/// `FleetOptions::analytics`).
+inline obs::ScoreAnalyticsOptions DefaultServeAnalytics() {
+  obs::ScoreAnalyticsOptions options;
+  options.score_sample_every = 8;
+  return options;
+}
+
 struct FleetOptions {
   /// Worker shards; sessions are hash-partitioned over them.
   std::size_t shards = 4;
@@ -127,6 +136,25 @@ struct FleetOptions {
   /// everywhere. 1 times every event (what the attribution tests use).
   std::uint32_t timing_sample_every = 16;
 
+  /// Attach detection-quality analytics (src/obs/score_analytics.h) to
+  /// every session that does not already carry them through its own
+  /// recorder: score quantiles, EWMA baseline, windowed anomaly rate,
+  /// drift gauge and a recent-anomaly log, updated by the shard worker on
+  /// every step and read back via `SnapshotSession` / `SnapshotQuality`
+  /// and the `/sessions/<id>` + `/anomalies` endpoints. The analytics
+  /// state is keyed by session, not by detector — it survives eviction
+  /// and rehydration cycles. Works with or without `metrics`.
+  bool session_analytics = false;
+  /// Tuning for the per-session analytics when enabled. The serve
+  /// default feeds the score quantile sketch 1-in-8 — same reasoning as
+  /// `timing_sample_every`: a sketch update (its internal mutex plus
+  /// four P² marker batteries) per scored step is a measurable tax at
+  /// full ingest rate, and every non-sketch signal (threshold rule,
+  /// anomaly rate, anomaly log, EWMA, all counters) stays exact per
+  /// step regardless. Set `analytics.score_sample_every = 1` to feed
+  /// the sketch every score.
+  obs::ScoreAnalyticsOptions analytics = DefaultServeAnalytics();
+
   /// Watchdog poll cadence in milliseconds; 0 disables the watchdog
   /// thread entirely.
   std::size_t watchdog_poll_ms = 0;
@@ -155,6 +183,22 @@ struct SessionSnapshot {
   std::uint64_t last_event_ns = 0;
 };
 
+/// `/sessions/<id>` detail: the session snapshot plus its quality
+/// analytics (when attached).
+struct SessionDetail {
+  SessionSnapshot session;
+  bool has_analytics = false;
+  obs::ScoreAnalyticsSnapshot analytics;
+};
+
+/// One row of the fleet-wide quality view behind `/anomalies`.
+struct SessionQuality {
+  std::string id;
+  std::size_t shard = 0;
+  std::uint64_t processed = 0;
+  obs::ScoreAnalyticsSnapshot analytics;
+};
+
 /// Point-in-time view of one shard, as served by `/healthz`.
 struct ShardSnapshot {
   std::size_t index = 0;
@@ -176,6 +220,9 @@ struct FleetStats {
   std::uint64_t rehydrations = 0;
   std::uint64_t rehydrate_failures = 0;
   std::uint64_t result_overflow = 0;
+  /// Threshold crossings flagged by fleet-fed session analytics (0 when
+  /// `FleetOptions::session_analytics` is off).
+  std::uint64_t anomalies = 0;
   std::size_t sessions = 0;
   std::size_t resident_sessions = 0;
 };
@@ -243,6 +290,14 @@ class DetectorFleet {
   std::vector<SessionSnapshot> SnapshotSessions() const;
   std::vector<ShardSnapshot> SnapshotShards() const;
 
+  /// Detail view of one session (snapshot + quality analytics). Returns
+  /// false when no session has that id.
+  bool SnapshotSession(const std::string& stream_id, SessionDetail* out) const;
+
+  /// Quality rows for every session carrying analytics (fleet-fed or via
+  /// its own recorder), sorted by id. Empty when analytics are off.
+  std::vector<SessionQuality> SnapshotQuality() const;
+
   /// False while any shard is marked stalled by the watchdog (degraded).
   bool healthy() const;
 
@@ -274,6 +329,17 @@ class DetectorFleet {
     /// Session-owned recorder (built when `config.run` asks for one);
     /// re-attached after every rehydration.
     std::unique_ptr<obs::Recorder> recorder;
+    /// Quality analytics, fleet-owned when `FleetOptions::
+    /// session_analytics` asked for them and the session's recorder does
+    /// not already carry its own. Like the recorder, this outlives the
+    /// detector across eviction cycles.
+    std::unique_ptr<obs::ScoreAnalytics> analytics_storage;
+    /// The analytics instance to read (owned above, or the recorder's);
+    /// null when the session has none.
+    obs::ScoreAnalytics* analytics = nullptr;
+    /// True when the shard worker must feed `analytics` itself (the
+    /// recorder path feeds its own instance from `EndStep`).
+    bool analytics_fleet_fed = false;
     /// Sticky failure (rehydration / eviction error); poisons the session.
     core::Status health;
     /// Start of the worker-written per-event fields (see `shard` above).
@@ -354,6 +420,8 @@ class DetectorFleet {
   void EnforceResidencyCap(Shard* shard, Session* current);
   Session* FindSession(const std::string& stream_id) const;
   void FinishEvent();
+  /// Builds one `/sessions` row. Caller holds `sessions_mutex_`.
+  SessionSnapshot MakeSessionSnapshot(const Session& session) const;
 
   FleetOptions options_;
   /// `timing_sample_every` rounded up to a power of two, minus one; a
@@ -377,8 +445,10 @@ class DetectorFleet {
   std::atomic<std::uint64_t> rehydrations_{0};
   std::atomic<std::uint64_t> rehydrate_failures_{0};
   std::atomic<std::uint64_t> result_overflow_{0};
+  std::atomic<std::uint64_t> anomalies_{0};
 
   obs::Counter* events_counter_ = nullptr;
+  obs::Counter* anomalies_counter_ = nullptr;
   obs::Counter* throttled_counter_ = nullptr;
   obs::Counter* dropped_counter_ = nullptr;
   obs::Counter* evictions_counter_ = nullptr;

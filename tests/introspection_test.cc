@@ -16,9 +16,12 @@
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
+#include "src/core/algorithm_spec.h"
+#include "src/data/daphnet_like.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/quantile_sketch.h"
+#include "src/obs/recorder.h"
 #include "tools/inspect/trace_reader.h"
 
 namespace streamad {
@@ -257,6 +260,118 @@ TEST(FlightRecorderDeathTest, CheckFailureDumpsRegisteredRecorders) {
   EXPECT_EQ(file.records[0].run, "crash");
   EXPECT_EQ(file.records.size(), 1u + file.records[0].retained);
   std::remove(path.c_str());
+}
+
+// --- JSON array parsing (the /anomalies and /sessions/<id> bodies) --------
+
+TEST(JsonParserTest, ParsesTopLevelArrays) {
+  inspect::JsonValue value;
+  std::string error;
+  ASSERT_TRUE(inspect::ParseJsonLine("[1, 2.5, \"x\", null]", &value, &error))
+      << error;
+  ASSERT_EQ(value.type, inspect::JsonValue::Type::kArray);
+  ASSERT_EQ(value.elements.size(), 4u);
+  EXPECT_DOUBLE_EQ(value.elements[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(value.elements[1].number, 2.5);
+  EXPECT_EQ(value.elements[2].text, "x");
+  EXPECT_EQ(value.elements[3].type, inspect::JsonValue::Type::kNull);
+}
+
+TEST(JsonParserTest, ParsesNestedArraysOfObjects) {
+  // The shape streamad_inspect live actually consumes from /anomalies.
+  inspect::JsonValue value;
+  std::string error;
+  ASSERT_TRUE(inspect::ParseJsonLine(
+      R"({"k":2,"sessions":[{"id":"a","anomaly_rate":0.25},)"
+      R"({"id":"b","anomaly_rate":0.0}],"empty":[]})",
+      &value, &error))
+      << error;
+  const inspect::JsonValue* sessions = value.Find("sessions");
+  ASSERT_NE(sessions, nullptr);
+  ASSERT_EQ(sessions->type, inspect::JsonValue::Type::kArray);
+  ASSERT_EQ(sessions->elements.size(), 2u);
+  const inspect::JsonValue* id = sessions->elements[1].Find("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->text, "b");
+  const inspect::JsonValue* rate = sessions->elements[0].Find("anomaly_rate");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_DOUBLE_EQ(rate->number, 0.25);
+  const inspect::JsonValue* empty = value.Find("empty");
+  ASSERT_NE(empty, nullptr);
+  EXPECT_EQ(empty->type, inspect::JsonValue::Type::kArray);
+  EXPECT_TRUE(empty->elements.empty());
+}
+
+TEST(JsonParserTest, RejectsMalformedArrays) {
+  inspect::JsonValue value;
+  std::string error;
+  EXPECT_FALSE(inspect::ParseJsonLine("[1, 2", &value, &error));
+  EXPECT_NE(error.find("array"), std::string::npos);
+  error.clear();
+  EXPECT_FALSE(inspect::ParseJsonLine("[1 2]", &value, &error));
+  EXPECT_NE(error.find("array"), std::string::npos);
+  error.clear();
+  EXPECT_FALSE(inspect::ParseJsonLine("[1,]", &value, &error));
+}
+
+// --- flight drift digest vs the live detector ------------------------------
+
+// The flight ring's `drift_statistic` must be the same number
+// `DriftDetector::DriftStatistic()` reports on the live detector at that
+// step — for every Task-2 strategy, so an incident dump can be trusted as
+// a faithful replica of the drift state the finetune decision saw.
+TEST(FlightRecorderTest, DriftStatisticMatchesDetectorForAllTask2) {
+  data::GeneratorConfig gen;
+  gen.length = 400;
+  gen.num_series = 1;
+  gen.normal_prefix = 200;
+  gen.num_anomalies = 2;
+  const data::Corpus corpus = data::MakeDaphnetLike(gen);
+  const data::LabeledSeries& series = corpus.series[0];
+
+  core::DetectorConfig params;
+  params.window = 10;
+  params.train_capacity = 30;
+  params.initial_train_steps = 40;
+  params.scorer_k = 20;
+  params.scorer_k_short = 5;
+
+  const core::Task2 strategies[] = {core::Task2::kRegular,
+                                    core::Task2::kMuSigma, core::Task2::kKswin,
+                                    core::Task2::kAdwin};
+  for (const core::Task2 task2 : strategies) {
+    const core::AlgorithmSpec spec{core::ModelType::kNearestNeighbor,
+                                   core::Task1::kSlidingWindow, task2};
+    SCOPED_TRACE(core::SpecLabel(spec));
+    auto detector =
+        core::BuildDetector(spec, core::ScoreType::kAverage, params, 77);
+
+    obs::MetricsRegistry registry;
+    obs::RecorderOptions options;
+    options.flight_capacity = 32;
+    obs::Recorder recorder(&registry, std::move(options));
+    detector->set_recorder(&recorder);
+
+    // Capture the live statistic right after each step, keyed by t, then
+    // check the ring recorded exactly those values.
+    std::vector<double> live_by_t(series.length() + 1, 0.0);
+    for (std::size_t t = 0; t < series.length(); ++t) {
+      detector->Step(series.At(t));
+      live_by_t[static_cast<std::size_t>(detector->t())] =
+          detector->drift_detector().DriftStatistic();
+    }
+
+    const obs::FlightRecorder* flight = recorder.flight_recorder();
+    ASSERT_NE(flight, nullptr);
+    ASSERT_EQ(flight->size(), 32u);
+    for (std::size_t i = 0; i < flight->size(); ++i) {
+      const obs::FlightRecord& record = flight->At(i);
+      // Exact comparison on purpose: the ring is a replica, not an estimate.
+      EXPECT_EQ(record.drift_statistic,
+                live_by_t[static_cast<std::size_t>(record.t)])
+          << "t=" << record.t;
+    }
+  }
 }
 
 }  // namespace

@@ -145,6 +145,20 @@ TEST(LintHotAllocTest, FlagsAllocationsInsideHotRegionOnly) {
   for (const Finding& f : findings) EXPECT_LE(f.line, 36) << f.message;
 }
 
+TEST(LintHotAllocTest, ScoreAnalyticsShapedRingUpdateIsCleanOnlyInPlace) {
+  // The quality-plane hot path (obs::ScoreAnalytics::OnStep) is guarded
+  // by the same R2 region check as the kernels: the fixture's Bad
+  // variant allocates per step, the Good variant is the real shape —
+  // in-place writes into rings preallocated outside the region.
+  const auto findings =
+      LintFixture("score_analytics_hot.cc", "src/obs/score_analytics_hot.cc");
+  // push_back + resize on a local, make_unique, new — and nothing else:
+  // the GoodAnalytics hot region and its cold Prepare() stay silent.
+  EXPECT_EQ(CountRule(findings, kRuleHotAlloc), 4u);
+  EXPECT_EQ(findings.size(), 4u);
+  for (const Finding& f : findings) EXPECT_LE(f.line, 37) << f.message;
+}
+
 TEST(LintHotAllocTest, SuggestsTheIntoForm) {
   const auto findings =
       LintFixture("hot_alloc_bad.cc", "src/models/hot_alloc_bad.cc");

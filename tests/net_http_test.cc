@@ -134,6 +134,67 @@ TEST(HttpServerTest, RoutesRegisteredPathsAndRejectsUnknownOnes) {
   server.Stop();
 }
 
+TEST(HttpServerTest, PrefixRoutesDispatchByLongestMatchAndExactWins) {
+  net::HttpServer server;
+  server.Handle("/sessions", [](const net::HttpRequest&) {
+    net::HttpResponse response;
+    response.body = "list";
+    return response;
+  });
+  server.HandlePrefix("/sessions/", [](const net::HttpRequest& request) {
+    net::HttpResponse response;
+    response.body = "detail:" + request.path.substr(10);
+    return response;
+  });
+  server.HandlePrefix("/sessions/special/", [](const net::HttpRequest&) {
+    net::HttpResponse response;
+    response.body = "special";
+    return response;
+  });
+  server.Handle("/sessions/exact", [](const net::HttpRequest&) {
+    net::HttpResponse response;
+    response.body = "exact";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Exact routes are consulted first, even when a prefix also matches.
+  EXPECT_EQ(Fetch(server.port(), "/sessions").body, "list");
+  EXPECT_EQ(Fetch(server.port(), "/sessions/exact").body, "exact");
+  // The longest registered prefix wins, not the first registered.
+  EXPECT_EQ(Fetch(server.port(), "/sessions/special/x").body, "special");
+  EXPECT_EQ(Fetch(server.port(), "/sessions/abc").body, "detail:abc");
+  // Suffixes with further slashes still land on the best prefix.
+  EXPECT_EQ(Fetch(server.port(), "/sessions/a/b").body, "detail:a/b");
+  // A prefix route does NOT match its own stem without the final segment.
+  EXPECT_EQ(Fetch(server.port(), "/session").status, 404);
+
+  server.Stop();
+}
+
+TEST(HttpServerTest, GarbageQueriesAreSplitVerbatimAndStillRoute) {
+  net::HttpServer server;
+  server.Handle("/q", [](const net::HttpRequest& request) {
+    net::HttpResponse response;
+    response.body = "[" + request.query + "]";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // The server's contract is routing + raw split at the FIRST '?': it
+  // never rejects a query string, however mangled — parameter validation
+  // (and its 400s) belongs to the handler.
+  EXPECT_EQ(Fetch(server.port(), "/q?").body, "[]");
+  EXPECT_EQ(Fetch(server.port(), "/q?&&==&").body, "[&&==&]");
+  EXPECT_EQ(Fetch(server.port(), "/q?k=1&k=2").body, "[k=1&k=2]");
+  EXPECT_EQ(Fetch(server.port(), "/q?a=b?c=d").body, "[a=b?c=d]");
+  EXPECT_EQ(Fetch(server.port(), "/q?%zz%%").body, "[%zz%%]");
+  // The query never participates in routing.
+  EXPECT_EQ(Fetch(server.port(), "/nope?k=1").status, 404);
+
+  server.Stop();
+}
+
 TEST(HttpServerTest, ServesManySequentialRequests) {
   net::HttpServer server;
   server.Handle("/n", [](const net::HttpRequest&) {
@@ -345,6 +406,7 @@ TEST(FleetEndpointsTest, MetricsHealthzAndSessionsOverLiveFleet) {
   serve::FleetOptions options;
   options.shards = 2;
   options.metrics = &registry;
+  options.session_analytics = true;  // quality plane behind /sessions/<id>
   serve::DetectorFleet fleet(options);
   ASSERT_TRUE(fleet.CreateSession("alpha", SessionFor(0, &registry)).ok());
   ASSERT_TRUE(fleet.CreateSession("beta", SessionFor(1, &registry)).ok());
@@ -400,6 +462,39 @@ TEST(FleetEndpointsTest, MetricsHealthzAndSessionsOverLiveFleet) {
   EXPECT_NE(sessions.body.find("\"id\":\"beta\""), std::string::npos);
   EXPECT_NE(sessions.body.find("\"processed\":120"), std::string::npos);
   EXPECT_NE(sessions.body.find("\"healthy\":true"), std::string::npos);
+
+  // /sessions/<id>: per-session detail with the analytics block inline.
+  const FetchResult detail = Fetch(server.port(), "/sessions/alpha");
+  EXPECT_EQ(detail.status, 200);
+  EXPECT_NE(detail.content_type.find("application/json"), std::string::npos);
+  EXPECT_NE(detail.body.find("\"id\":\"alpha\""), std::string::npos);
+  EXPECT_NE(detail.body.find("\"analytics\":{"), std::string::npos);
+  EXPECT_NE(detail.body.find("\"scored_steps\""), std::string::npos);
+  EXPECT_NE(detail.body.find("\"score_quantiles\""), std::string::npos);
+  EXPECT_NE(detail.body.find("\"recent_anomalies\""), std::string::npos);
+
+  // Negative paths keep the diagnostics contract: 400 for a missing id,
+  // 404 (with the id echoed) for an unknown one.
+  EXPECT_EQ(Fetch(server.port(), "/sessions/").status, 400);
+  const FetchResult unknown = Fetch(server.port(), "/sessions/zeta");
+  EXPECT_EQ(unknown.status, 404);
+  EXPECT_NE(unknown.body.find("zeta"), std::string::npos);
+
+  // /anomalies: top-K table over every analytics-carrying session.
+  const FetchResult anomalies = Fetch(server.port(), "/anomalies?k=5");
+  EXPECT_EQ(anomalies.status, 200);
+  EXPECT_NE(anomalies.body.find("\"by\":\"rate\""), std::string::npos);
+  EXPECT_NE(anomalies.body.find("\"total_sessions\":2"), std::string::npos);
+  EXPECT_NE(anomalies.body.find("\"id\":\"alpha\""), std::string::npos);
+  EXPECT_NE(anomalies.body.find("\"id\":\"beta\""), std::string::npos);
+  EXPECT_EQ(Fetch(server.port(), "/anomalies?k=1&by=drift").status, 200);
+
+  // Garbage parameters are rejected with 400s, not clamped or ignored.
+  for (const char* bad : {"/anomalies?k=0", "/anomalies?k=abc",
+                          "/anomalies?k=", "/anomalies?k=3junk",
+                          "/anomalies?by=magic"}) {
+    EXPECT_EQ(Fetch(server.port(), bad).status, 400) << bad;
+  }
 
   server.Stop();
   fleet.Stop();

@@ -1,12 +1,20 @@
 // Live-plane contract tests for the fleet: end-to-end queue-wait
 // attribution (every processed event lands in the shard and stage
 // `queue_wait` summaries), the stall watchdog (detects a wedged shard,
-// degrades fleet health, recovers, and dumps flight recorders), and the
-// golden bit-identity invariant with the full observability plane on.
+// degrades fleet health, recovers, and dumps flight recorders), the
+// quality plane (per-session analytics surviving eviction, /anomalies
+// top-K ranking true to the injected anomaly density), and the golden
+// bit-identity invariant with the full observability plane on.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -21,9 +29,11 @@
 
 #include "src/core/algorithm_spec.h"
 #include "src/core/detector.h"
+#include "src/net/http_server.h"
 #include "src/obs/metrics.h"
 #include "src/obs/quantile_sketch.h"
 #include "src/serve/checkpoint_store.h"
+#include "src/serve/endpoints.h"
 #include "src/serve/fleet.h"
 
 namespace streamad::serve {
@@ -65,6 +75,39 @@ bool EventuallyTrue(const std::function<bool()>& condition) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   return condition();
+}
+
+/// Minimal loopback GET; returns the HTTP status and fills `body`.
+int HttpGet(std::uint16_t port, const std::string& target,
+            std::string* body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  (void)!::send(fd, request.data(), request.size(), 0);
+  std::string raw;
+  char buffer[2048];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    raw.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t status_at = raw.find(' ');
+  const std::size_t body_at = raw.find("\r\n\r\n");
+  if (status_at == std::string::npos || body_at == std::string::npos) {
+    return -1;
+  }
+  *body = raw.substr(body_at + 4);
+  return std::atoi(raw.c_str() + status_at + 1);
 }
 
 TEST(QueueWaitAttributionTest, EveryProcessedEventLandsInTheWaitSummaries) {
@@ -236,10 +279,121 @@ TEST(WatchdogTest, StallTransitionDumpsSessionFlightRecorders) {
   std::filesystem::remove_all(dir);
 }
 
+// --- quality plane --------------------------------------------------------
+
+TEST(AnomalyTopKTest, RankingMatchesInjectedAnomalyDensityEndToEnd) {
+  // Three streams share a smooth base signal; two get +8 spikes injected
+  // at different densities after the training prefix. With a fixed
+  // absolute score threshold the per-session anomaly rates must rank
+  // dense > sparse > clean, and /anomalies?k=2 must return exactly the
+  // two spiky streams, densest first — while LRU eviction churns the
+  // detectors underneath the analytics.
+  constexpr std::size_t kLength = 400;
+  const struct {
+    const char* id;
+    std::size_t period;  // inject a spike every N steps (0 = never)
+  } kStreams[] = {{"dense", 8}, {"sparse", 30}, {"clean", 0}};
+
+  obs::MetricsRegistry registry;
+  MemoryCheckpointStore store;
+  FleetOptions options;
+  options.shards = 2;
+  options.metrics = &registry;
+  options.store = &store;
+  options.force_evict_every = 35;  // analytics must outlive the detector
+  options.session_analytics = true;
+  options.analytics.use_absolute_threshold = true;
+  // Calibrated against this detector config: the clean stream's average
+  // score peaks near 0.003, spike-contaminated stretches run far above.
+  options.analytics.absolute_threshold = 0.05;
+  DetectorFleet fleet(options);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        fleet.CreateSession(kStreams[i].id, TimedSession(i, &registry)).ok());
+  }
+
+  net::HttpServer server;
+  RegisterFleetEndpoints(&server, &fleet, &registry);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  for (std::size_t t = 0; t < kLength; ++t) {
+    for (const auto& stream : kStreams) {
+      const bool spike =
+          stream.period > 0 && t >= 60 && t % stream.period == 0;
+      core::StreamVector v(3);
+      for (std::size_t c = 0; c < 3; ++c) {
+        v[c] = std::sin(0.1 * static_cast<double>(t) +
+                        static_cast<double>(c)) +
+               (spike ? 8.0 : 0.0);
+      }
+      while (fleet.Submit(stream.id, v) == Admission::kDropped) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  fleet.WaitIdle();
+  EXPECT_GT(fleet.Stats().evictions, 0u);
+
+  // In-process ranking first: rates ordered by injected density.
+  std::map<std::string, obs::ScoreAnalyticsSnapshot> by_id;
+  for (const SessionQuality& row : fleet.SnapshotQuality()) {
+    by_id[row.id] = row.analytics;
+  }
+  ASSERT_EQ(by_id.size(), 3u);
+  EXPECT_GT(by_id["dense"].anomaly_rate, by_id["sparse"].anomaly_rate);
+  EXPECT_GT(by_id["sparse"].anomaly_rate, by_id["clean"].anomaly_rate);
+  EXPECT_DOUBLE_EQ(by_id["clean"].anomaly_rate, 0.0);
+  EXPECT_EQ(by_id["clean"].anomalies, 0u);
+  EXPECT_GT(by_id["dense"].anomalies, by_id["sparse"].anomalies);
+  // Eviction did not reset the quality state: every session's analytics
+  // span the entire replay, not just its latest residency.
+  for (const auto& [id, snap] : by_id) {
+    EXPECT_EQ(snap.steps, kLength) << id;
+    EXPECT_EQ(snap.scored_steps, by_id["clean"].scored_steps) << id;
+    EXPECT_GT(snap.scored_steps, 300u) << id;
+  }
+
+  // Per-session detail carries the anomaly log; every retained crossing
+  // exceeded the configured threshold.
+  SessionDetail detail;
+  ASSERT_TRUE(fleet.SnapshotSession("dense", &detail));
+  ASSERT_TRUE(detail.has_analytics);
+  ASSERT_FALSE(detail.analytics.recent_anomalies.empty());
+  for (const obs::AnomalyLogEntry& entry :
+       detail.analytics.recent_anomalies) {
+    EXPECT_GT(entry.score, 0.05);
+    EXPECT_DOUBLE_EQ(entry.threshold, 0.05);
+  }
+  EXPECT_FALSE(fleet.SnapshotSession("missing", &detail));
+
+  // The same ranking over HTTP: k=2 keeps dense then sparse, drops clean.
+  std::string body;
+  ASSERT_EQ(HttpGet(server.port(), "/anomalies?k=2", &body), 200);
+  const std::size_t dense_at = body.find("\"id\":\"dense\"");
+  const std::size_t sparse_at = body.find("\"id\":\"sparse\"");
+  ASSERT_NE(dense_at, std::string::npos) << body;
+  ASSERT_NE(sparse_at, std::string::npos) << body;
+  EXPECT_LT(dense_at, sparse_at);
+  EXPECT_EQ(body.find("\"id\":\"clean\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"total_sessions\":3"), std::string::npos) << body;
+
+  // The fleet-level /metrics aggregates reflect the worst session without
+  // naming it (cardinality policy: per-session detail stays on JSON).
+  ASSERT_EQ(HttpGet(server.port(), "/metrics", &body), 200);
+  EXPECT_NE(body.find("streamad_serve_analytics_sessions 3"),
+            std::string::npos);
+  EXPECT_NE(body.find("streamad_serve_max_session_anomaly_rate"),
+            std::string::npos);
+
+  server.Stop();
+  fleet.Stop();
+}
+
 TEST(ObservedFleetGoldenTest, BitIdentityHoldsWithWatchdogAndAttributionOn) {
   // The PR's acceptance invariant: metrics, queue-wait attribution, the
-  // watchdog, AND forced eviction churn together must not move a single
-  // score bit relative to bare sequential detectors.
+  // watchdog, per-session score analytics, AND forced eviction churn
+  // together must not move a single score bit relative to bare
+  // sequential detectors.
   constexpr std::size_t kStreams = 4;
   constexpr std::size_t kLength = 300;
 
@@ -252,6 +406,7 @@ TEST(ObservedFleetGoldenTest, BitIdentityHoldsWithWatchdogAndAttributionOn) {
   options.stall_window_ms = 500;
   options.store = &store;
   options.force_evict_every = 35;
+  options.session_analytics = true;
   DetectorFleet fleet(options);
 
   std::mutex mutex;

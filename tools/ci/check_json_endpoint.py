@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validate a JSON endpoint body (as scraped from the fleet's live plane).
+
+The file must parse as a single JSON document. Assertions address values
+by dotted path, where each segment is an object key or a 0-based array
+index: `sessions.0.anomaly_rate` is element 0 of the `sessions` array's
+`anomaly_rate` member.
+
+Usage:
+    check_json_endpoint.py FILE [--require PATH ...] [--equals PATH=VALUE ...]
+                                [--nonempty PATH ...]
+
+  --require PATH     fail unless the path exists (null is allowed)
+  --equals P=VALUE   fail unless the path's value equals VALUE (VALUE is
+                     parsed as JSON when possible, else compared as string)
+  --nonempty PATH    fail unless the path holds a non-empty array/object
+
+Exits non-zero on parse failure or the first unmet assertion.
+"""
+
+import argparse
+import json
+import sys
+
+
+_MISSING = object()
+
+
+def resolve(doc, path: str):
+    node = doc
+    for segment in path.split("."):
+        if isinstance(node, list):
+            try:
+                index = int(segment)
+            except ValueError:
+                return _MISSING
+            if not 0 <= index < len(node):
+                return _MISSING
+            node = node[index]
+        elif isinstance(node, dict):
+            if segment not in node:
+                return _MISSING
+            node = node[segment]
+        else:
+            return _MISSING
+    return node
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="PATH")
+    parser.add_argument("--equals", action="append", default=[],
+                        metavar="PATH=VALUE")
+    parser.add_argument("--nonempty", action="append", default=[],
+                        metavar="PATH")
+    args = parser.parse_args()
+
+    with open(args.path, "r", encoding="utf-8") as handle:
+        body = handle.read()
+    try:
+        doc = json.loads(body)
+    except json.JSONDecodeError as error:
+        print(f"{args.path}: not valid JSON: {error}", file=sys.stderr)
+        return 1
+
+    checks = 0
+    for path in args.require:
+        if resolve(doc, path) is _MISSING:
+            print(f"{args.path}: missing required path {path!r}",
+                  file=sys.stderr)
+            return 1
+        checks += 1
+    for spec in args.equals:
+        path, _, raw = spec.partition("=")
+        if not _:
+            print(f"bad --equals spec {spec!r} (want PATH=VALUE)",
+                  file=sys.stderr)
+            return 1
+        try:
+            expected = json.loads(raw)
+        except json.JSONDecodeError:
+            expected = raw
+        actual = resolve(doc, path)
+        if actual is _MISSING or actual != expected:
+            shown = "<missing>" if actual is _MISSING else repr(actual)
+            print(f"{args.path}: {path} is {shown}, expected "
+                  f"{expected!r}", file=sys.stderr)
+            return 1
+        checks += 1
+    for path in args.nonempty:
+        value = resolve(doc, path)
+        if not isinstance(value, (list, dict)) or len(value) == 0:
+            print(f"{args.path}: {path} is not a non-empty array/object",
+                  file=sys.stderr)
+            return 1
+        checks += 1
+
+    print(f"ok: valid JSON, {checks} assertion(s) held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

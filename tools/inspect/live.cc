@@ -1,0 +1,300 @@
+#include "tools/inspect/live.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tools/inspect/trace_reader.h"
+
+namespace streamad::inspect {
+namespace {
+
+/// One blocking HTTP/1.0 GET against the loopback plane. Reads to EOF
+/// (the server always closes), splits the status line and body. Returns
+/// false with `error` on connect/IO trouble or an unparseable response.
+bool HttpGet(const std::string& host, std::uint16_t port,
+             const std::string& target, int* status, std::string* body,
+             std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    *error = "bad host address '" + host + "' (expected an IPv4 literal)";
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    *error = "connect " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      *error = std::string("send: ") + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    raw.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    *error = "malformed HTTP response for " + target;
+    return false;
+  }
+  // Status line: HTTP/1.0 SP code SP reason.
+  const std::size_t code_at = raw.find(' ');
+  if (code_at == std::string::npos || code_at + 4 > header_end) {
+    *error = "malformed status line for " + target;
+    return false;
+  }
+  *status = std::atoi(raw.c_str() + code_at + 1);
+  *body = raw.substr(header_end + 4);
+  return true;
+}
+
+/// Fetches `target` and parses the JSON body. 200 only.
+bool FetchJson(const LiveOptions& options, const std::string& target,
+               JsonValue* out, std::string* error) {
+  int status = 0;
+  std::string body;
+  if (!HttpGet(options.host, options.port, target, &status, &body, error)) {
+    return false;
+  }
+  if (status != 200) {
+    *error = target + " returned HTTP " + std::to_string(status);
+    return false;
+  }
+  if (!ParseJsonLine(body, out, error)) {
+    *error = target + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+double NumberOr(const JsonValue& object, const char* key, double fallback) {
+  const JsonValue* value = object.Find(key);
+  return value != nullptr && value->type == JsonValue::Type::kNumber
+             ? value->number
+             : fallback;
+}
+
+std::string StringOr(const JsonValue& object, const char* key) {
+  const JsonValue* value = object.Find(key);
+  return value != nullptr && value->type == JsonValue::Type::kString
+             ? value->text
+             : std::string();
+}
+
+/// Pulls one sample value out of a Prometheus text exposition: the line
+/// starting with `series` (name + optional label set, e.g.
+/// `foo_summary{quantile="0.99"}`) followed by a space. NaN when absent.
+double PromValue(const std::string& text, const std::string& series) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    if (text.compare(pos, series.size(), series) == 0 &&
+        pos + series.size() < end && text[pos + series.size()] == ' ') {
+      return std::atof(text.c_str() + pos + series.size() + 1);
+    }
+    pos = end + 1;
+  }
+  return std::nan("");
+}
+
+void AppendF(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+void AppendF(std::string* out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  out->append(buffer);
+}
+
+struct SessionPrev {
+  double anomaly_rate = 0.0;
+  double drift = 0.0;
+  double processed = 0.0;
+  bool seen = false;
+};
+
+}  // namespace
+
+int RunLive(const LiveOptions& options, std::ostream* out) {
+  if (options.port == 0) {
+    *out << "live: --port is required (the fleet's HTTP plane)\n";
+    return 2;
+  }
+  const std::size_t polls =
+      options.once ? 1 : (options.max_polls == 0 ? static_cast<std::size_t>(-1)
+                                                 : options.max_polls);
+  std::map<std::string, SessionPrev> previous;
+  std::map<std::size_t, double> prev_shard_p99;
+
+  for (std::size_t poll = 0; poll < polls; ++poll) {
+    if (poll > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.interval_ms));
+    }
+    std::string error;
+    JsonValue health;
+    // /healthz answers 503 while degraded — still a valid, renderable
+    // snapshot, so accept it alongside 200.
+    {
+      int status = 0;
+      std::string body;
+      if (!HttpGet(options.host, options.port, "/healthz", &status, &body,
+                   &error) ||
+          (status != 200 && status != 503) ||
+          !ParseJsonLine(body, &health, &error)) {
+        *out << "live: /healthz unreachable or malformed: " << error << "\n";
+        return 2;
+      }
+    }
+    JsonValue anomalies;
+    if (!FetchJson(options,
+                   "/anomalies?k=" + std::to_string(options.k) + "&by=rate",
+                   &anomalies, &error)) {
+      *out << "live: " << error << "\n";
+      return 2;
+    }
+
+    // /metrics is optional (404 on registry-less fleets): latency columns
+    // just go blank.
+    std::string metrics_text;
+    {
+      int status = 0;
+      std::string body;
+      std::string metrics_error;
+      if (HttpGet(options.host, options.port, "/metrics", &status, &body,
+                  &metrics_error) &&
+          status == 200) {
+        metrics_text = body;
+      }
+    }
+
+    std::string view;
+    view.reserve(2048);
+    const std::string fleet_status = StringOr(health, "status");
+    AppendF(&view, "fleet %s", fleet_status.empty() ? "?" : fleet_status.c_str());
+    const JsonValue* shards = health.Find("shards");
+    std::size_t stalled = 0;
+    std::size_t shard_count = 0;
+    if (shards != nullptr && shards->type == JsonValue::Type::kArray) {
+      shard_count = shards->elements.size();
+      for (const JsonValue& shard : shards->elements) {
+        const JsonValue* flag = shard.Find("stalled");
+        if (flag != nullptr && flag->type == JsonValue::Type::kBool &&
+            flag->bool_value) {
+          ++stalled;
+        }
+      }
+    }
+    AppendF(&view, " | shards %zu (%zu stalled)", shard_count, stalled);
+    AppendF(&view, " | sessions with analytics %.0f\n",
+            NumberOr(anomalies, "total_sessions", 0.0));
+
+    if (shard_count > 0) {
+      view += "  shard  depth  processed";
+      if (!metrics_text.empty()) view += "  step_p99_us  Δstep_p99_us";
+      view += '\n';
+      for (const JsonValue& shard : shards->elements) {
+        const std::size_t index =
+            static_cast<std::size_t>(NumberOr(shard, "index", 0.0));
+        AppendF(&view, "  %5zu  %5.0f  %9.0f",
+                index, NumberOr(shard, "queue_depth", 0.0),
+                NumberOr(shard, "processed", 0.0));
+        if (!metrics_text.empty()) {
+          const double p99_ns = PromValue(
+              metrics_text, "streamad_serve_shard" + std::to_string(index) +
+                                "_step_ns_summary{quantile=\"0.99\"}");
+          if (!std::isnan(p99_ns)) {
+            const double p99_us = p99_ns / 1000.0;
+            const auto prev = prev_shard_p99.find(index);
+            AppendF(&view, "  %11.1f", p99_us);
+            if (prev != prev_shard_p99.end()) {
+              AppendF(&view, "  %+12.1f", p99_us - prev->second);
+            }
+            prev_shard_p99[index] = p99_us;
+          }
+        }
+        view += '\n';
+      }
+    }
+
+    const JsonValue* sessions = anomalies.Find("sessions");
+    if (sessions != nullptr && sessions->type == JsonValue::Type::kArray &&
+        !sessions->elements.empty()) {
+      view +=
+          "  session            rate     Δrate    drift    Δdrift"
+          "  anomalies  score_p99     ev/s\n";
+      const double interval_s =
+          static_cast<double>(options.interval_ms) / 1000.0;
+      for (const JsonValue& session : sessions->elements) {
+        const std::string id = StringOr(session, "id");
+        const double rate = NumberOr(session, "anomaly_rate", 0.0);
+        const double drift = NumberOr(session, "drift_statistic", 0.0);
+        const double processed = NumberOr(session, "processed", 0.0);
+        SessionPrev& prev = previous[id];
+        const double d_rate = prev.seen ? rate - prev.anomaly_rate : 0.0;
+        const double d_drift = prev.seen ? drift - prev.drift : 0.0;
+        const double rate_events =
+            prev.seen && interval_s > 0.0
+                ? (processed - prev.processed) / interval_s
+                : 0.0;
+        AppendF(&view,
+                "  %-16s  %6.4f  %+7.4f  %7.3f  %+7.3f  %9.0f  %9.4g  %7.0f\n",
+                id.c_str(), rate, d_rate, drift, d_drift,
+                NumberOr(session, "anomalies", 0.0),
+                NumberOr(session, "score_p99", 0.0), rate_events);
+        prev.anomaly_rate = rate;
+        prev.drift = drift;
+        prev.processed = processed;
+        prev.seen = true;
+      }
+    } else {
+      view +=
+          "  (no sessions carry analytics — enable "
+          "FleetOptions::session_analytics)\n";
+    }
+    *out << view;
+    out->flush();
+  }
+  return 0;
+}
+
+}  // namespace streamad::inspect

@@ -1,0 +1,40 @@
+#ifndef STREAMAD_TOOLS_INSPECT_LIVE_H_
+#define STREAMAD_TOOLS_INSPECT_LIVE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+/// \file
+/// `streamad_inspect live`: poll a running fleet's HTTP observability
+/// plane (`/healthz`, `/anomalies`, `/metrics`) and render per-session
+/// detection quality and per-shard latency, with deltas between polls.
+/// Like the rest of the inspect tool this is standalone — it speaks the
+/// wire formats (JSON + Prometheus text), not the library's structs, so
+/// it can watch any build of the server.
+
+namespace streamad::inspect {
+
+struct LiveOptions {
+  std::string host = "127.0.0.1";
+  /// Port of the fleet's HTTP plane; required (0 is an error).
+  std::uint16_t port = 0;
+  /// Rows in the top-K quality table (the `k` passed to `/anomalies`).
+  std::size_t k = 10;
+  /// Poll cadence; also the denominator for the ev/s column.
+  std::size_t interval_ms = 2000;
+  /// Render exactly one snapshot and exit (CI smoke mode).
+  bool once = false;
+  /// Stop after this many polls; 0 = run until interrupted. `once`
+  /// overrides this to 1.
+  std::size_t max_polls = 0;
+};
+
+/// Runs the live view. Returns 0 on success, 2 when the plane cannot be
+/// reached or returns something unparseable (matching the CLI's
+/// usage/IO/parse exit code).
+int RunLive(const LiveOptions& options, std::ostream* out);
+
+}  // namespace streamad::inspect
+
+#endif  // STREAMAD_TOOLS_INSPECT_LIVE_H_

@@ -3,11 +3,13 @@
 // (obs::FlightRecorder). See README.md for a quickstart.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "tools/inspect/analyze.h"
+#include "tools/inspect/live.h"
 #include "tools/inspect/trace_reader.h"
 
 namespace {
@@ -21,10 +23,20 @@ commands:
   scores    <file>          anomaly-score / nonconformity distribution
   flight    <file>          flight-recorder dump view (input digest, drift)
   diff      <before> <after> per-stage p50/p99 latency deltas
+  live                      poll a running fleet's HTTP plane and render
+                            per-session quality / latency deltas
 
 flags:
   --run=SUBSTR   keep only records whose run label contains SUBSTR
   --strict       fail (exit 2) on the first malformed JSONL line
+
+live flags:
+  --port=N         fleet HTTP plane port (required)
+  --host=ADDR      IPv4 literal, default 127.0.0.1
+  --k=N            rows in the top-K quality table, default 10
+  --interval-ms=N  poll cadence, default 2000
+  --polls=N        stop after N polls (0 = until interrupted)
+  --once           one snapshot and exit (CI smoke mode)
 
 exit codes: 0 ok, 1 command produced an empty table, 2 usage/IO/parse error
 )";
@@ -37,10 +49,67 @@ int UsageError(const std::string& message) {
 
 }  // namespace
 
+int ParsePositive(const std::string& value, std::size_t* out) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || end == nullptr || *end != '\0') return 1;
+  *out = static_cast<std::size_t>(parsed);
+  return 0;
+}
+
+int RunLiveCommand(int argc, char** argv) {
+  streamad::inspect::LiveOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "live") continue;
+    std::size_t value = 0;
+    if (arg.rfind("--port=", 0) == 0) {
+      if (ParsePositive(arg.substr(7), &value) != 0 || value == 0 ||
+          value > 65535) {
+        return UsageError("bad --port value in " + arg);
+      }
+      options.port = static_cast<std::uint16_t>(value);
+    } else if (arg.rfind("--host=", 0) == 0) {
+      options.host = arg.substr(7);
+    } else if (arg.rfind("--k=", 0) == 0) {
+      if (ParsePositive(arg.substr(4), &value) != 0 || value == 0) {
+        return UsageError("bad --k value in " + arg);
+      }
+      options.k = value;
+    } else if (arg.rfind("--interval-ms=", 0) == 0) {
+      if (ParsePositive(arg.substr(14), &value) != 0) {
+        return UsageError("bad --interval-ms value in " + arg);
+      }
+      options.interval_ms = value;
+    } else if (arg.rfind("--polls=", 0) == 0) {
+      if (ParsePositive(arg.substr(8), &value) != 0) {
+        return UsageError("bad --polls value in " + arg);
+      }
+      options.max_polls = value;
+    } else if (arg == "--once") {
+      options.once = true;
+    } else {
+      return UsageError("unknown live argument " + arg);
+    }
+  }
+  if (options.port == 0) return UsageError("live requires --port=N");
+  return streamad::inspect::RunLive(options, &std::cout);
+}
+
 int main(int argc, char** argv) {
   std::string command;
   std::vector<std::string> paths;
   streamad::inspect::ReadOptions options;
+
+  // `live` speaks its own flag set (host/port/cadence), so dispatch it
+  // before the file-oriented flag loop below.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") break;
+    if (!arg.empty() && arg[0] == '-') continue;
+    if (arg == "live") return RunLiveCommand(argc, argv);
+    break;  // first positional argument is the command
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

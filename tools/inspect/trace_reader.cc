@@ -26,7 +26,8 @@ class LineParser {
  private:
   void SkipSpace() {
     while (pos_ < line_.size() &&
-           (line_[pos_] == ' ' || line_[pos_] == '\t' || line_[pos_] == '\r')) {
+           (line_[pos_] == ' ' || line_[pos_] == '\t' ||
+            line_[pos_] == '\r' || line_[pos_] == '\n')) {
       ++pos_;
     }
   }
@@ -46,6 +47,7 @@ class LineParser {
     if (pos_ >= line_.size()) return Fail(error, "unexpected end of line");
     const char c = line_[pos_];
     if (c == '{') return ParseObject(out, error);
+    if (c == '[') return ParseArray(out, error);
     if (c == '"') {
       out->type = JsonValue::Type::kString;
       return ParseString(&out->text, error);
@@ -100,6 +102,33 @@ class LineParser {
         return true;
       }
       return Fail(error, "expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(JsonValue* out, std::string* error) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // consume '['
+    SkipSpace();
+    if (pos_ < line_.size() && line_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      JsonValue element;
+      if (!ParseValue(&element, error)) return false;
+      out->elements.push_back(std::move(element));
+      SkipSpace();
+      if (pos_ >= line_.size()) return Fail(error, "unterminated array");
+      if (line_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (line_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail(error, "expected ',' or ']' in array");
     }
   }
 

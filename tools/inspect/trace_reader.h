@@ -17,21 +17,24 @@
 namespace streamad::inspect {
 
 /// Minimal JSON value for the subset the observability layer emits:
-/// objects of string/number/bool/null/object members (no arrays).
+/// objects, arrays, strings, numbers, bools and null.
 struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kObject };
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
   Type type = Type::kNull;
   bool bool_value = false;
   double number = 0.0;
   std::string text;
   std::vector<std::pair<std::string, JsonValue>> members;
+  /// Array elements, in order (arrays only).
+  std::vector<JsonValue> elements;
 
   /// First member named `key`, or nullptr (objects only).
   const JsonValue* Find(std::string_view key) const;
 };
 
-/// Parses one JSONL line (a single object). Returns false and fills
-/// `error` on malformed input or trailing garbage.
+/// Parses one JSONL line (a single object or array; surrounding
+/// whitespace tolerated). Returns false and fills `error` on malformed
+/// input or trailing garbage.
 bool ParseJsonLine(std::string_view line, JsonValue* out, std::string* error);
 
 /// One decoded record of a trace or flight file.

@@ -1,0 +1,71 @@
+// Fixture: the score-analytics hot-path shape — a per-step quality
+// update inside a STREAMAD_HOT region. The Bad variant commits the
+// allocation mistakes the real obs::ScoreAnalytics::OnStep is linted
+// against; the Good variant mirrors the real implementation (everything
+// preallocated at construction, the step writes into rings in place).
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace streamad {
+
+struct LogEntry {
+  std::int64_t t = 0;
+  double score = 0.0;
+};
+
+struct StepSample {
+  std::int64_t t = 0;
+  bool flagged = false;
+  double score = 0.0;
+};
+
+class BadAnalytics {
+ public:
+  // STREAMAD_HOT: fixture per-step analytics update
+  bool OnStep(const StepSample& step) {
+    std::vector<LogEntry> batch;
+    batch.push_back({step.t, step.score});      // finding: growth on local
+    batch.resize(8);                            // finding: growth on local
+    auto boxed = std::make_unique<LogEntry>();  // finding: make_unique
+    double* scratch = new double[4];            // finding: new
+    scratch[0] = step.score;
+    const bool flagged = step.flagged;
+    delete[] scratch;
+    (void)boxed;
+    return flagged;
+  }
+};
+
+class GoodAnalytics {
+ public:
+  // STREAMAD_HOT: fixture per-step analytics update, allocation-free
+  bool OnStep(const StepSample& step) {
+    // In-place ring writes on preallocated members: nothing below may be
+    // flagged — this is the exact shape the real OnStep uses.
+    rate_ring_[rate_cursor_] = step.flagged ? 1 : 0;
+    rate_cursor_ = (rate_cursor_ + 1) % rate_ring_.size();
+    if (step.flagged) {
+      log_[log_cursor_].t = step.t;
+      log_[log_cursor_].score = step.score;
+      log_cursor_ = (log_cursor_ + 1) % log_.size();
+    }
+    total_ += 1;
+    return step.flagged;
+  }
+
+  // Cold setup: growth is fine outside the hot region.
+  void Prepare(std::size_t window, std::size_t capacity) {
+    rate_ring_.assign(window, 0);
+    log_.resize(capacity);
+  }
+
+ private:
+  std::vector<std::uint8_t> rate_ring_;
+  std::size_t rate_cursor_ = 0;
+  std::vector<LogEntry> log_;
+  std::size_t log_cursor_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace streamad
