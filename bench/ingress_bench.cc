@@ -1,0 +1,260 @@
+// Binary ingress throughput: events/sec over a real loopback TCP socket,
+// versus the EVENT_BATCH size. One client thread streams interleaved
+// synthetic sessions through `net::IngressClient` into an
+// `serve::IngressService`-fronted fleet and drains the returning
+// SCORE_BATCH stream; the wall clock runs from the first send until every
+// score produced by the fleet has been read back off the socket. The
+// in-process `SubmitBatch` path is measured on the same corpus as the
+// no-network baseline, so the wire + event-loop tax is a ratio computed
+// inside one binary. Results land in BENCH_ingress.json for the CI
+// artifact.
+//
+// Flags:
+//   --events N   total events per batch-size cell (default 20000)
+//   --out PATH   output JSON path (default BENCH_ingress.json)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/net/ingress_client.h"
+#include "src/net/wire.h"
+#include "src/obs/metrics.h"
+#include "src/serve/fleet.h"
+#include "src/serve/ingress_service.h"
+
+namespace {
+
+using namespace streamad;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kSessions = 8;
+
+core::DetectorConfig BenchDetectorConfig() {
+  core::DetectorConfig config;
+  config.window = 16;
+  config.train_capacity = 40;
+  config.initial_train_steps = 100;
+  config.scorer_k = 20;
+  config.scorer_k_short = 4;
+  config.kswin.check_every = 8;
+  return config;
+}
+
+serve::SessionConfig BenchSessionConfig(std::size_t session) {
+  serve::SessionConfig config;
+  config.spec = {core::ModelType::kNearestNeighbor,
+                 core::Task1::kUniformReservoir, core::Task2::kMuSigma};
+  config.score = core::ScoreType::kAverage;
+  config.detector = BenchDetectorConfig();
+  config.seed = 1000 + session;
+  return config;
+}
+
+/// Deterministic event content: cheap to generate, distinct per step.
+core::StreamVector EventValues(std::size_t step) {
+  const double x = static_cast<double>(step % 97) * 0.01;
+  return {x, 1.0 - x, 0.5 * x};
+}
+
+serve::FleetOptions BenchFleetOptions() {
+  serve::FleetOptions options;
+  options.shards = 4;
+  options.queue_capacity = 1 << 15;  // throughput cell: no drops wanted
+  return options;
+}
+
+struct Cell {
+  std::size_t batch_size = 0;
+  std::size_t events = 0;
+  double events_per_sec = 0.0;
+  std::uint64_t scores = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t nacks = 0;
+};
+
+/// No-network baseline: the same corpus through `SubmitBatch` directly.
+double RunInProcessBaseline(std::size_t events, std::size_t batch_size) {
+  serve::DetectorFleet fleet(BenchFleetOptions());
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    ids.push_back("bench-" + std::to_string(i));
+    if (!fleet.CreateSession(ids.back(), BenchSessionConfig(i)).ok()) {
+      std::fprintf(stderr, "CreateSession failed\n");
+      std::exit(1);
+    }
+  }
+  const auto start = Clock::now();
+  std::vector<serve::Event> batch;
+  std::vector<serve::Admission> admissions;
+  std::size_t sent = 0;
+  while (sent < events) {
+    batch.clear();
+    while (batch.size() < batch_size && sent < events) {
+      batch.push_back(
+          serve::Event{ids[sent % kSessions], EventValues(sent / kSessions)});
+      ++sent;
+    }
+    admissions.assign(batch.size(), serve::Admission::kQueued);
+    fleet.SubmitBatch(batch, admissions.data());
+  }
+  fleet.WaitIdle();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  fleet.Stop();
+  return static_cast<double>(events) / seconds;
+}
+
+Cell RunLoopbackCell(std::size_t events, std::size_t batch_size) {
+  obs::MetricsRegistry registry;
+  serve::FleetOptions options = BenchFleetOptions();
+  serve::DetectorFleet fleet(options);
+
+  serve::IngressService::Options service_options;
+  service_options.metrics = &registry;
+  serve::IngressService service(&fleet, service_options);
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    ids.push_back("bench-" + std::to_string(i));
+    if (!service.CreateSession(ids.back(), BenchSessionConfig(i)).ok()) {
+      std::fprintf(stderr, "CreateSession failed\n");
+      std::exit(1);
+    }
+  }
+  if (const core::Status status = service.Start(0); !status.ok()) {
+    std::fprintf(stderr, "ingress: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+
+  net::IngressClient client;
+  if (!client.Connect(service.port()).ok()) {
+    std::fprintf(stderr, "connect failed\n");
+    std::exit(1);
+  }
+
+  Cell cell;
+  cell.batch_size = batch_size;
+  cell.events = events;
+
+  const auto start = Clock::now();
+  std::size_t sent = 0;
+  std::uint64_t batch_id = 0;
+  net::wire::EventBatchFrame batch;
+  net::wire::Frame frame;
+  while (sent < events) {
+    batch.batch_id = ++batch_id;
+    batch.events.clear();
+    while (batch.events.size() < batch_size && sent < events) {
+      batch.events.push_back(net::wire::WireEvent{
+          ids[sent % kSessions], EventValues(sent / kSessions)});
+      ++sent;
+    }
+    if (!client.SendEventBatch(batch).ok()) {
+      std::fprintf(stderr, "send failed\n");
+      std::exit(1);
+    }
+    // Keep the return path drained so neither side buffers unboundedly.
+    while (client.ReadFrame(&frame, /*timeout_ms=*/0).ok()) {
+      if (frame.type == net::wire::FrameType::kScoreBatch) {
+        cell.scores += std::get<net::wire::ScoreBatchFrame>(frame.payload)
+                           .entries.size();
+      } else if (frame.type == net::wire::FrameType::kNack) {
+        cell.nacks +=
+            std::get<net::wire::NackFrame>(frame.payload).entries.size();
+      }
+    }
+  }
+  fleet.WaitIdle();
+  // Read the score tail: the fleet is idle, so only in-flight flushes
+  // remain; two consecutive empty waits mean the stream is drained. The
+  // clock stops at the LAST real frame — the empty confirmation waits are
+  // measurement overhead, not serving time.
+  auto last_activity = Clock::now();
+  int empty_reads = 0;
+  while (empty_reads < 2) {
+    if (client.ReadFrame(&frame, /*timeout_ms=*/200).ok()) {
+      empty_reads = 0;
+      last_activity = Clock::now();
+      if (frame.type == net::wire::FrameType::kScoreBatch) {
+        cell.scores += std::get<net::wire::ScoreBatchFrame>(frame.payload)
+                           .entries.size();
+      }
+    } else {
+      ++empty_reads;
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(last_activity - start).count();
+  cell.events_per_sec = static_cast<double>(events) / seconds;
+  cell.frames_in =
+      registry.GetCounter("streamad_ingress_frames_in_total")->Value();
+  cell.bytes_in =
+      registry.GetCounter("streamad_ingress_bytes_in_total")->Value();
+
+  client.Close();
+  service.Stop();
+  fleet.Stop();
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t events = 20000;
+  std::string out_path = "BENCH_ingress.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--events" && i + 1 < argc) {
+      events = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--events N] [--out PATH]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  const std::vector<std::size_t> batch_sizes = {1, 16, 64, 256};
+  std::vector<Cell> cells;
+  std::vector<double> baselines;
+  for (const std::size_t batch_size : batch_sizes) {
+    const Cell cell = RunLoopbackCell(events, batch_size);
+    const double baseline = RunInProcessBaseline(events, batch_size);
+    cells.push_back(cell);
+    baselines.push_back(baseline);
+    std::printf(
+        "batch=%4zu  loopback %9.0f ev/s  in-process %9.0f ev/s  "
+        "(wire tax x%.2f)  %llu scores, %llu frames, %llu KiB in\n",
+        batch_size, cell.events_per_sec, baseline,
+        baseline / cell.events_per_sec,
+        static_cast<unsigned long long>(cell.scores),
+        static_cast<unsigned long long>(cell.frames_in),
+        static_cast<unsigned long long>(cell.bytes_in / 1024));
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"bench\": \"ingress\",\n  \"sessions\": " << kSessions
+      << ",\n  \"events_per_cell\": " << events << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    out << "    {\"batch_size\": " << cell.batch_size
+        << ", \"events_per_sec\": " << cell.events_per_sec
+        << ", \"in_process_events_per_sec\": " << baselines[i]
+        << ", \"scores\": " << cell.scores
+        << ", \"frames_in\": " << cell.frames_in
+        << ", \"bytes_in\": " << cell.bytes_in
+        << ", \"nacks\": " << cell.nacks << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,379 @@
+// Remote serving: the fleet behind a binary TCP ingress, driven by a
+// separate replayer process — the deployment shape where detectors run in
+// one long-lived scoring service and producers ship events over the wire.
+//
+// Two modes, one binary:
+//
+//   --serve [--port=N] [--port-file=PATH] [--http-port=N] [--max-seconds=N]
+//       Builds the standard 6-stream corpus's session fleet (disk
+//       checkpoint store, tight LRU cache so sessions churn through
+//       eviction), opens the binary ingress on 127.0.0.1:N (0 = ephemeral;
+//       the bound port is printed and, with --port-file, written to PATH
+//       for race-free scripting), optionally serves /metrics + /healthz,
+//       and runs until killed (or --max-seconds).
+//
+//   --replay --port=N
+//       Regenerates the SAME corpus deterministically, round-trips it
+//       through CSV files, streams it to the server as EVENT_BATCH frames
+//       (honouring NACK backpressure: throttle signals pause the replay,
+//       dropped events are re-sent), collects the SCORE_BATCH stream, and
+//       checks it BIT-IDENTICAL against sequential in-process detectors.
+//       Prints a grep-able verdict line; exit 0 only on bit-identity.
+//
+// Try it in two terminals:
+//   ./remote_serving --serve --port=7411
+//   ./remote_serving --replay --port=7411
+
+#include <bit>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/algorithm_spec.h"
+#include "src/data/csv.h"
+#include "src/data/daphnet_like.h"
+#include "src/net/http_server.h"
+#include "src/net/ingress_client.h"
+#include "src/net/wire.h"
+#include "src/obs/metrics.h"
+#include "src/serve/checkpoint_store.h"
+#include "src/serve/endpoints.h"
+#include "src/serve/fleet.h"
+#include "src/serve/ingress_service.h"
+#include "src/serve/replay.h"
+
+namespace {
+
+using namespace streamad;
+
+constexpr std::size_t kNumStreams = 6;
+
+/// Both processes derive the corpus and session parameters from these
+/// constants — the replayer can only check bit-identity because it can
+/// reconstruct exactly what the server is running.
+data::Corpus MakeCorpus() {
+  data::GeneratorConfig gen;
+  gen.length = 2400;
+  gen.num_series = kNumStreams;
+  gen.normal_prefix = 800;
+  gen.num_anomalies = 3;
+  return data::MakeDaphnetLike(gen);
+}
+
+core::DetectorConfig MakeDetectorConfig() {
+  core::DetectorConfig config;
+  config.window = 25;
+  config.train_capacity = 120;
+  config.initial_train_steps = 600;
+  config.scorer_k = 50;
+  config.scorer_k_short = 5;
+  return config;
+}
+
+serve::SessionConfig MakeSessionConfig(std::size_t stream) {
+  serve::SessionConfig session;
+  session.spec = {core::ModelType::kNearestNeighbor,
+                  core::Task1::kSlidingWindow, core::Task2::kMuSigma};
+  session.score = core::ScoreType::kAnomalyLikelihood;
+  session.detector = MakeDetectorConfig();
+  session.seed = 40 + stream;
+  return session;
+}
+
+std::string StreamId(std::size_t stream) {
+  return "sensor-" + std::to_string(stream);
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+int RunServer(std::uint16_t port, const std::string& port_file,
+              std::uint16_t http_port, std::size_t max_seconds) {
+  const std::string dir = "/tmp/streamad_remote_serving";
+  std::filesystem::create_directories(dir);
+  serve::DiskCheckpointStore store(dir + "/checkpoints");
+  obs::MetricsRegistry registry;
+
+  serve::FleetOptions options;
+  options.shards = 3;
+  options.queue_capacity = 1 << 14;
+  options.store = &store;
+  options.max_resident_per_shard = 2;  // 6 sessions -> constant churn
+  options.metrics = &registry;
+  options.session_analytics = true;
+  serve::DetectorFleet fleet(options);
+
+  serve::IngressService::Options service_options;
+  service_options.metrics = &registry;
+  serve::IngressService service(&fleet, service_options);
+  for (std::size_t i = 0; i < kNumStreams; ++i) {
+    const core::Status status =
+        service.CreateSession(StreamId(i), MakeSessionConfig(i));
+    if (!status.ok()) {
+      std::fprintf(stderr, "CreateSession: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (const core::Status status = service.Start(port); !status.ok()) {
+    std::fprintf(stderr, "ingress: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("ingress listening on 127.0.0.1:%u (%zu sessions)\n",
+              static_cast<unsigned>(service.port()), kNumStreams);
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    // Written atomically-enough for scripts: the single printf beats a
+    // reader that polls for the file's existence.
+    if (std::FILE* f = std::fopen(port_file.c_str(), "w")) {
+      std::fprintf(f, "%u\n", static_cast<unsigned>(service.port()));
+      std::fclose(f);
+    }
+  }
+
+  net::HttpServer http;
+  if (http_port != 0) {
+    serve::RegisterFleetEndpoints(&http, &fleet, &registry,
+                                  &service.server());
+    if (const core::Status status = http.Start(http_port); !status.ok()) {
+      std::fprintf(stderr, "http server: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("live plane up: curl -s http://127.0.0.1:%u/healthz\n",
+                static_cast<unsigned>(http.port()));
+    std::fflush(stdout);
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::size_t elapsed_ms = 0;
+  while (g_stop == 0 &&
+         (max_seconds == 0 || elapsed_ms < max_seconds * 1000)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    elapsed_ms += 100;
+  }
+
+  const serve::FleetStats stats = fleet.Stats();
+  std::printf(
+      "shutting down: %llu events processed, %llu evictions, %llu "
+      "rehydrations, %llu connections served\n",
+      static_cast<unsigned long long>(stats.processed),
+      static_cast<unsigned long long>(stats.evictions),
+      static_cast<unsigned long long>(stats.rehydrations),
+      static_cast<unsigned long long>(service.server().connections_total()));
+  http.Stop();
+  service.Stop();
+  fleet.Stop();
+  return 0;
+}
+
+int RunReplay(std::uint16_t port) {
+  // --- The same corpus the server runs, round-tripped through CSV. ---
+  const data::Corpus corpus = MakeCorpus();
+  const std::string dir = "/tmp/streamad_remote_replay";
+  std::filesystem::create_directories(dir);
+  std::vector<data::LabeledSeries> streams;
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < corpus.series.size(); ++i) {
+    const std::string path = dir + "/stream" + std::to_string(i) + ".csv";
+    if (!data::SaveCsv(corpus.series[i], path)) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    const auto loaded = data::LoadCsv(path);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "cannot read back %s\n", path.c_str());
+      return 1;
+    }
+    streams.push_back(*loaded);
+    ids.push_back(StreamId(i));
+  }
+
+  net::IngressClient::Options client_options;
+  client_options.client_name = "remote_serving-replay";
+  net::IngressClient client(client_options);
+  if (const core::Status status = client.Connect(port); !status.ok()) {
+    std::fprintf(stderr, "connect: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s (wire v%u)\n",
+              client.server_ack().server.c_str(),
+              static_cast<unsigned>(client.server_ack().proto_version));
+
+  // --- Stream the interleaved merge as EVENT_BATCH frames. ---
+  const std::vector<serve::StreamEvent> merged =
+      serve::RoundRobinMerge(streams);
+  constexpr std::size_t kEventsPerBatch = 60;
+
+  std::map<std::string, std::vector<net::wire::ScoreEntry>> scores;
+  std::size_t received = 0;
+  std::uint64_t throttle_signals = 0;
+  std::uint64_t resent = 0;
+
+  auto drain = [&](int timeout_ms,
+                   std::vector<net::wire::WireEvent>* retry,
+                   const net::wire::EventBatchFrame* last_batch) -> bool {
+    net::wire::Frame frame;
+    core::Status status;
+    while ((status = client.ReadFrame(&frame, timeout_ms)).ok()) {
+      if (frame.type == net::wire::FrameType::kScoreBatch) {
+        for (auto& entry :
+             std::get<net::wire::ScoreBatchFrame>(frame.payload).entries) {
+          scores[entry.stream_id].push_back(entry);
+          ++received;
+        }
+      } else if (frame.type == net::wire::FrameType::kNack) {
+        const auto& nack = std::get<net::wire::NackFrame>(frame.payload);
+        for (const auto& entry : nack.entries) {
+          if (entry.code == net::wire::NackCode::kThrottled) {
+            // Advisory: the event WAS queued; just ease off.
+            ++throttle_signals;
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          } else if (entry.code == net::wire::NackCode::kDropped &&
+                     retry != nullptr && last_batch != nullptr &&
+                     entry.index < last_batch->events.size()) {
+            retry->push_back(last_batch->events[entry.index]);
+          } else {
+            std::fprintf(stderr, "NACK [%s] %s\n",
+                         net::wire::ToString(entry.code),
+                         entry.detail.c_str());
+          }
+        }
+      }
+      timeout_ms = 0;  // after the first blocking wait, just drain
+    }
+    return status.code() == core::StatusCode::kNotFound;  // timeout = fine
+  };
+
+  std::size_t sent = 0;
+  std::uint64_t batch_id = 0;
+  std::vector<net::wire::WireEvent> retry;
+  net::wire::EventBatchFrame batch;
+  while (sent < merged.size() || !retry.empty()) {
+    batch.batch_id = ++batch_id;
+    batch.events.clear();
+    // Dropped events from the previous batch go first, in their original
+    // order, so per-stream ordering survives the retry.
+    for (auto& event : retry) batch.events.push_back(std::move(event));
+    resent += retry.size();
+    retry.clear();
+    while (batch.events.size() < kEventsPerBatch && sent < merged.size()) {
+      batch.events.push_back(net::wire::WireEvent{
+          ids[merged[sent].stream], merged[sent].values});
+      ++sent;
+    }
+    if (const core::Status status = client.SendEventBatch(batch);
+        !status.ok()) {
+      std::fprintf(stderr, "send: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (!drain(/*timeout_ms=*/0, &retry, &batch)) return 1;
+  }
+
+  // --- Collect the tail of the score stream. ---
+  std::size_t expected = 0;
+  std::vector<std::vector<serve::SessionStepResult>> references;
+  for (std::size_t i = 0; i < kNumStreams; ++i) {
+    serve::SessionConfig config = MakeSessionConfig(i);
+    auto detector = core::BuildDetector(config.spec, config.score,
+                                        config.detector, config.seed);
+    std::vector<serve::SessionStepResult> reference;
+    for (std::size_t t = 0; t < streams[i].length(); ++t) {
+      const auto step = detector->Step(streams[i].At(t));
+      if (step.scored) reference.push_back({detector->t(), step});
+    }
+    expected += reference.size();
+    references.push_back(std::move(reference));
+  }
+  while (received < expected) {
+    const std::size_t before = received;
+    if (!drain(/*timeout_ms=*/5000, nullptr, nullptr)) return 1;
+    if (received == before) {
+      std::fprintf(stderr, "stalled at %zu/%zu scores\n", received, expected);
+      return 1;
+    }
+  }
+
+  // --- The golden check, now across a process boundary and a socket. ---
+  bool identical = true;
+  for (std::size_t i = 0; i < kNumStreams; ++i) {
+    const auto& reference = references[i];
+    const auto& got = scores[ids[i]];
+    bool match = got.size() == reference.size();
+    for (std::size_t k = 0; match && k < got.size(); ++k) {
+      const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+      match = got[k].t == reference[k].t &&
+              bits(got[k].anomaly_score) ==
+                  bits(reference[k].step.anomaly_score) &&
+              bits(got[k].nonconformity) ==
+                  bits(reference[k].step.nonconformity);
+    }
+    std::printf("  %-9s %5zu scores over TCP, %s\n", ids[i].c_str(),
+                got.size(),
+                match ? "bit-identical to in-process run" : "MISMATCH");
+    identical = identical && match;
+  }
+  std::printf("replayed %zu events (%llu throttle signals, %llu re-sent "
+              "after drops), received %zu scores\n",
+              merged.size(),
+              static_cast<unsigned long long>(throttle_signals),
+              static_cast<unsigned long long>(resent), received);
+  std::printf(identical
+                  ? "remote scores bit-identical to in-process run\n"
+                  : "BIT-IDENTITY VIOLATION over the wire\n");
+  client.Close();
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool serve = false;
+  bool replay = false;
+  std::uint16_t port = 0;
+  std::uint16_t http_port = 0;
+  std::string port_file;
+  std::size_t max_seconds = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--replay") {
+      replay = true;
+    } else if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<std::uint16_t>(
+          std::strtoul(arg.c_str() + 7, nullptr, 10));
+    } else if (arg.rfind("--port-file=", 0) == 0) {
+      port_file = arg.substr(12);
+    } else if (arg.rfind("--http-port=", 0) == 0) {
+      http_port = static_cast<std::uint16_t>(
+          std::strtoul(arg.c_str() + 12, nullptr, 10));
+    } else if (arg.rfind("--max-seconds=", 0) == 0) {
+      max_seconds = std::strtoul(arg.c_str() + 14, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --serve [--port=N] [--port-file=PATH] "
+                   "[--http-port=N] [--max-seconds=N]\n"
+                   "       %s --replay --port=N\n",
+                   argv[0], argv[0]);
+      return 1;
+    }
+  }
+  if (serve == replay) {
+    std::fprintf(stderr, "pick exactly one of --serve / --replay\n");
+    return 1;
+  }
+  if (replay && port == 0) {
+    std::fprintf(stderr, "--replay needs --port=N\n");
+    return 1;
+  }
+  return serve ? RunServer(port, port_file, http_port, max_seconds)
+               : RunReplay(port);
+}

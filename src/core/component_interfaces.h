@@ -7,6 +7,7 @@
 
 #include "src/common/op_counters.h"
 #include "src/io/binary_io.h"
+#include "src/core/status.h"
 #include "src/core/training_set.h"
 #include "src/core/types.h"
 #include "src/linalg/matrix.h"
@@ -118,22 +119,35 @@ class Model {
   /// CHECK-fails for prediction models.
   virtual double AnomalyScore(const FeatureVector& x);
 
-  /// Checkpoints θ_model to a binary stream (format: io/binary_io.h).
-  /// Returns false on I/O failure or if the model does not support
-  /// checkpointing (the default). Every model shipped with the library
-  /// implements it; optimizer state is included so fine-tuning resumes
-  /// seamlessly, and stochastic models (PCB-iForest) include their RNG
-  /// cursor so future tree rebuilds match an uninterrupted run. Only the
-  /// weight-initialisation randomness of a not-yet-fitted neural model is
-  /// outside the checkpoint (construct with the same seed to cover that
-  /// case; see StreamingDetector::LoadState).
-  virtual bool SaveState(std::ostream* out) const;
+  /// Checkpoints θ_model into an archive (format: io/binary_io.h), the
+  /// same `io::BinaryWriter` + `core::Status` convention every other
+  /// component interface speaks. The default reports `kUnimplemented`;
+  /// every model shipped with the library implements it. Optimizer state
+  /// is included so fine-tuning resumes seamlessly, and stochastic models
+  /// (PCB-iForest) include their RNG cursor so future tree rebuilds match
+  /// an uninterrupted run. Only the weight-initialisation randomness of a
+  /// not-yet-fitted neural model is outside the checkpoint (construct
+  /// with the same seed to cover that case; see
+  /// StreamingDetector::LoadState). Errors carry a diagnosable message
+  /// ("arima checkpoint write failed", not a bare false).
+  virtual Status SaveState(io::BinaryWriter* writer) const;
 
   /// Restores a checkpoint written by `SaveState` of the same model type
-  /// with compatible hyperparameters. Returns false on malformed input or
-  /// a type/shape mismatch; the model is left unusable on failure and
-  /// must be re-`Fit` or re-loaded.
-  virtual bool LoadState(std::istream* in);
+  /// with compatible hyperparameters. `kDataLoss` for malformed or
+  /// foreign archives, `kFailedPrecondition` for a hyperparameter/shape
+  /// mismatch (the message names the mismatching knob); the model is left
+  /// unusable on failure and must be re-`Fit` or re-loaded.
+  virtual Status LoadState(io::BinaryReader* reader);
+
+  /// Transitional shims, one PR long: the pre-migration `std::ostream`
+  /// checkpoint entry points, forwarding to the archive-based virtuals
+  /// above. The byte format is unchanged — an archive written through the
+  /// shim is bit-identical to one written through a `BinaryWriter` on the
+  /// same stream.
+  [[deprecated("use SaveState(io::BinaryWriter*)")]]
+  bool SaveState(std::ostream* out) const;
+  [[deprecated("use LoadState(io::BinaryReader*)")]]
+  bool LoadState(std::istream* in);
 };
 
 /// Nonconformity measure (paper Def. III.3): maps a feature vector and the

@@ -14,9 +14,27 @@ double Model::AnomalyScore(const FeatureVector& /*x*/) {
   return 0.0;
 }
 
-bool Model::SaveState(std::ostream* /*out*/) const { return false; }
+Status Model::SaveState(io::BinaryWriter* /*writer*/) const {
+  return Status::Unimplemented(std::string(name()) +
+                               " does not support checkpointing");
+}
 
-bool Model::LoadState(std::istream* /*in*/) { return false; }
+Status Model::LoadState(io::BinaryReader* /*reader*/) {
+  return Status::Unimplemented(std::string(name()) +
+                               " does not support checkpointing");
+}
+
+bool Model::SaveState(std::ostream* out) const {
+  STREAMAD_CHECK(out != nullptr);
+  io::BinaryWriter writer(out);
+  return SaveState(&writer).ok();
+}
+
+bool Model::LoadState(std::istream* in) {
+  STREAMAD_CHECK(in != nullptr);
+  io::BinaryReader reader(in);
+  return LoadState(&reader).ok();
+}
 
 WindowRepresentation::WindowRepresentation(std::size_t window)
     : window_(window) {
@@ -134,8 +152,10 @@ Status StreamingDetector::SaveState(std::ostream* out) const {
   if (!writer.ok()) return Status::IoError("checkpoint stream write failed");
   // The model exists meaningfully only after the initial fit; LoadState
   // mirrors this condition.
-  if (trained_ && !model_->SaveState(out)) {
-    return Status::Unimplemented("model does not support checkpointing");
+  if (trained_) {
+    if (Status status = model_->SaveState(&writer); !status.ok()) {
+      return status;
+    }
   }
   return Status::Ok();
 }
@@ -183,8 +203,10 @@ Status StreamingDetector::LoadState(std::istream* in) {
   if (!scorer_->LoadState(&reader)) {
     return Status::DataLoss("anomaly-scorer state corrupt or foreign");
   }
-  if (trained != 0 && !model_->LoadState(in)) {
-    return Status::DataLoss("model state corrupt, foreign, or mismatched");
+  if (trained != 0) {
+    if (Status status = model_->LoadState(&reader); !status.ok()) {
+      return status;
+    }
   }
   finetuning_enabled_ = finetuning != 0;
   t_ = t;

@@ -80,6 +80,38 @@ class BoundedQueue {
     return depth >= watermark_ ? Push::kAboveWatermark : Push::kAccepted;
   }
 
+  /// Batch variant of `TryPush`: admits up to `count` items under ONE
+  /// lock acquisition (this is the fleet's batch-ingress reservation —
+  /// per-item `TryPush` would take the queue lock once per event).
+  /// Items are moved from `values[0..count)`, with the matching tag from
+  /// `stamps` (null = all unstamped). Returns the number admitted — less
+  /// than `count` only when capacity ran out or the queue is closed; the
+  /// tail `values[admitted..count)` is untouched. `*base_depth` receives
+  /// the queue depth just before the first item landed, so callers can
+  /// reconstruct each item's post-push depth (`base_depth + i + 1`) and
+  /// report the same accepted/above-watermark outcome a lone `TryPush`
+  /// would have.
+  std::size_t TryPushMany(T* values, const std::uint64_t* stamps,
+                          std::size_t count, std::size_t* base_depth) {
+    std::size_t admitted = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (base_depth != nullptr) *base_depth = items_.size();
+      if (!closed_) {
+        while (admitted < count && items_.size() < capacity_) {
+          items_.push_back(Entry{std::move(values[admitted]),
+                                 stamps == nullptr ? 0 : stamps[admitted]});
+          ++admitted;
+        }
+        depth_.store(items_.size(), std::memory_order_relaxed);
+      }
+    }
+    // One consumer owns each shard queue, so a single wake suffices no
+    // matter how many items landed.
+    if (admitted > 0) ready_.notify_one();
+    return admitted;
+  }
+
   /// Blocks until an item is available (returns true) or the queue has
   /// been closed and fully drained (returns false). When `stamp` is
   /// non-null it receives the tag the producer pushed with the item.

@@ -17,6 +17,14 @@ void BinaryWriter::WriteBytes(const void* data, std::size_t size) {
   ok_ = static_cast<bool>(*out_);
 }
 
+void BinaryWriter::WriteU8(std::uint8_t value) {
+  WriteBytes(&value, sizeof(value));
+}
+
+void BinaryWriter::WriteU32(std::uint32_t value) {
+  WriteBytes(&value, sizeof(value));
+}
+
 void BinaryWriter::WriteU64(std::uint64_t value) {
   WriteBytes(&value, sizeof(value));
 }
@@ -59,6 +67,16 @@ bool BinaryReader::ReadBytes(void* data, std::size_t size) {
   in_->read(static_cast<char*>(data), static_cast<std::streamsize>(size));
   ok_ = static_cast<bool>(*in_);
   return ok_;
+}
+
+bool BinaryReader::ReadU8(std::uint8_t* value) {
+  STREAMAD_CHECK(value != nullptr);
+  return ReadBytes(value, sizeof(*value));
+}
+
+bool BinaryReader::ReadU32(std::uint32_t* value) {
+  STREAMAD_CHECK(value != nullptr);
+  return ReadBytes(value, sizeof(*value));
 }
 
 bool BinaryReader::ReadU64(std::uint64_t* value) {

@@ -23,6 +23,8 @@ class BinaryWriter {
  public:
   explicit BinaryWriter(std::ostream* out);
 
+  void WriteU8(std::uint8_t value);
+  void WriteU32(std::uint32_t value);
   void WriteU64(std::uint64_t value);
   void WriteI64(std::int64_t value);
   void WriteDouble(double value);
@@ -48,6 +50,8 @@ class BinaryReader {
  public:
   explicit BinaryReader(std::istream* in);
 
+  bool ReadU8(std::uint8_t* value);
+  bool ReadU32(std::uint32_t* value);
   bool ReadU64(std::uint64_t* value);
   bool ReadI64(std::int64_t* value);
   bool ReadDouble(double* value);

@@ -105,33 +105,47 @@ double Autoencoder::MeanReconstructionError(const core::TrainingSet& train) {
 }
 
 
-bool Autoencoder::SaveState(std::ostream* out) const {
-  STREAMAD_CHECK(out != nullptr);
-  io::BinaryWriter w(out);
-  w.WriteString("streamad.ae.v1");
-  w.WriteU64(flat_dim_);
-  w.WriteU64(params_.hidden);
-  internal::SaveScaler(scaler_, &w);
+core::Status Autoencoder::SaveState(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
+  writer->WriteString("streamad.ae.v1");
+  writer->WriteU64(flat_dim_);
+  writer->WriteU64(params_.hidden);
+  internal::SaveScaler(scaler_, writer);
   // Params() is non-const by interface design (optimizers mutate through
   // it); serialisation only reads.
-  internal::SaveNnParams(const_cast<Autoencoder*>(this)->net_.Params(), &w);
-  return w.ok();
+  internal::SaveNnParams(const_cast<Autoencoder*>(this)->net_.Params(), writer);
+  if (!writer->ok()) return core::Status::IoError("ae checkpoint write failed");
+  return core::Status::Ok();
 }
 
-bool Autoencoder::LoadState(std::istream* in) {
-  STREAMAD_CHECK(in != nullptr);
-  io::BinaryReader r(in);
+core::Status Autoencoder::LoadState(io::BinaryReader* reader) {
+  STREAMAD_CHECK(reader != nullptr);
   std::uint64_t flat_dim = 0;
   std::uint64_t hidden = 0;
-  if (!r.ExpectString("streamad.ae.v1") || !r.ReadU64(&flat_dim) ||
-      !r.ReadU64(&hidden)) {
-    return false;
+  if (!reader->ExpectString("streamad.ae.v1")) {
+    return core::Status::DataLoss("not a streamad.ae.v1 archive");
   }
-  if (hidden != params_.hidden || flat_dim == 0) return false;
-  if (!internal::LoadScaler(&scaler_, &r)) return false;
+  if (!reader->ReadU64(&flat_dim) || !reader->ReadU64(&hidden)) {
+    return core::Status::DataLoss("ae checkpoint header truncated");
+  }
+  if (hidden != params_.hidden) {
+    return core::Status::FailedPrecondition(
+        "hidden mismatch: archived " + std::to_string(hidden) +
+        ", configured " + std::to_string(params_.hidden));
+  }
+  if (flat_dim == 0) {
+    return core::Status::DataLoss("ae checkpoint has zero flat dimension");
+  }
+  if (!internal::LoadScaler(&scaler_, reader)) {
+    return core::Status::DataLoss("ae scaler state truncated");
+  }
   flat_dim_ = 0;  // force a rebuild with the checkpointed dimensionality
   EnsureBuilt(flat_dim);
-  return internal::LoadNnParams(net_.Params(), &r);
+  if (!internal::LoadNnParams(net_.Params(), reader)) {
+    return core::Status::DataLoss("ae network parameters truncated or "
+                                  "shape-mismatched");
+  }
+  return core::Status::Ok();
 }
 
 }  // namespace streamad::models

@@ -42,8 +42,8 @@ class Autoencoder : public core::Model {
   void Finetune(const core::TrainingSet& train) override;
   linalg::Matrix Predict(const core::FeatureVector& x) override;
 
-  bool SaveState(std::ostream* out) const override;
-  bool LoadState(std::istream* in) override;
+  core::Status SaveState(io::BinaryWriter* writer) const override;
+  core::Status LoadState(io::BinaryReader* reader) override;
 
   /// Mean squared reconstruction error over a training set (diagnostics
   /// and convergence tests).

@@ -235,39 +235,53 @@ double KnnModel::AnomalyScore(const core::FeatureVector& x) {
 }
 
 
-bool KnnModel::SaveState(std::ostream* out) const {
-  STREAMAD_CHECK(out != nullptr);
-  io::BinaryWriter w(out);
-  w.WriteString("streamad.knn.v1");
-  w.WriteU64(params_.k);
-  w.WriteU64(reference_.rows());
+core::Status KnnModel::SaveState(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
+  writer->WriteString("streamad.knn.v1");
+  writer->WriteU64(params_.k);
+  writer->WriteU64(reference_.rows());
   for (std::size_t i = 0; i < reference_.rows(); ++i) {
     const std::span<const double> row = reference_.RowSpan(i);
-    w.WriteDoubleVec(std::vector<double>(row.begin(), row.end()));
+    writer->WriteDoubleVec(std::vector<double>(row.begin(), row.end()));
   }
-  w.WriteDoubleVec(calibration_);
-  return w.ok();
+  writer->WriteDoubleVec(calibration_);
+  if (!writer->ok()) return core::Status::IoError("knn checkpoint write failed");
+  return core::Status::Ok();
 }
 
-bool KnnModel::LoadState(std::istream* in) {
-  STREAMAD_CHECK(in != nullptr);
-  io::BinaryReader r(in);
+core::Status KnnModel::LoadState(io::BinaryReader* reader) {
+  STREAMAD_CHECK(reader != nullptr);
   std::uint64_t k = 0;
   std::uint64_t count = 0;
-  if (!r.ExpectString("streamad.knn.v1") || !r.ReadU64(&k) ||
-      !r.ReadU64(&count)) {
-    return false;
+  if (!reader->ExpectString("streamad.knn.v1")) {
+    return core::Status::DataLoss("not a streamad.knn.v1 archive");
   }
-  if (k != params_.k) return false;
+  if (!reader->ReadU64(&k) || !reader->ReadU64(&count)) {
+    return core::Status::DataLoss("knn checkpoint header truncated");
+  }
+  if (k != params_.k) {
+    return core::Status::FailedPrecondition(
+        "k mismatch: archived " + std::to_string(k) + ", configured " +
+        std::to_string(params_.k));
+  }
   std::vector<std::vector<double>> rows(count);
   for (std::vector<double>& row : rows) {
-    if (!r.ReadDoubleVec(&row)) return false;
+    if (!reader->ReadDoubleVec(&row)) {
+      return core::Status::DataLoss("knn reference rows truncated");
+    }
   }
   std::vector<double> calibration;
-  if (!r.ReadDoubleVec(&calibration)) return false;
-  if (calibration.empty() != rows.empty()) return false;
+  if (!reader->ReadDoubleVec(&calibration)) {
+    return core::Status::DataLoss("knn calibration block truncated");
+  }
+  if (calibration.empty() != rows.empty()) {
+    return core::Status::DataLoss(
+        "knn calibration/reference emptiness inconsistent");
+  }
   for (std::size_t i = 1; i < rows.size(); ++i) {
-    if (rows[i].size() != rows[0].size()) return false;
+    if (rows[i].size() != rows[0].size()) {
+      return core::Status::DataLoss("knn reference row widths inconsistent");
+    }
   }
   if (rows.empty()) {
     reference_ = linalg::Matrix();
@@ -284,7 +298,7 @@ bool KnnModel::LoadState(std::istream* in) {
     RecomputeCalibration();
   }
   calibration_ = std::move(calibration);
-  return true;
+  return core::Status::Ok();
 }
 
 }  // namespace streamad::models

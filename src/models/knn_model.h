@@ -57,8 +57,8 @@ class KnnModel : public core::Model {
   linalg::Matrix Predict(const core::FeatureVector& x) override;
   double AnomalyScore(const core::FeatureVector& x) override;
 
-  bool SaveState(std::ostream* out) const override;
-  bool LoadState(std::istream* in) override;
+  core::Status SaveState(io::BinaryWriter* writer) const override;
+  core::Status LoadState(io::BinaryReader* reader) override;
 
   bool fitted() const { return reference_.rows() > 0; }
   std::size_t reference_size() const { return reference_.rows(); }

@@ -174,35 +174,50 @@ linalg::Matrix NBeats::Predict(const core::FeatureVector& x) {
 }
 
 
-bool NBeats::SaveState(std::ostream* out) const {
-  STREAMAD_CHECK(out != nullptr);
-  io::BinaryWriter w(out);
-  w.WriteString("streamad.nbeats.v1");
-  w.WriteU64(input_dim_);
-  w.WriteU64(output_dim_);
-  w.WriteU64(params_.num_blocks);
-  internal::SaveScaler(scaler_, &w);
+core::Status NBeats::SaveState(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
+  writer->WriteString("streamad.nbeats.v1");
+  writer->WriteU64(input_dim_);
+  writer->WriteU64(output_dim_);
+  writer->WriteU64(params_.num_blocks);
+  internal::SaveScaler(scaler_, writer);
   NBeats* self = const_cast<NBeats*>(this);  // Params() is non-const
-  internal::SaveNnParams(self->AllParams(), &w);
-  return w.ok();
+  internal::SaveNnParams(self->AllParams(), writer);
+  if (!writer->ok()) {
+    return core::Status::IoError("nbeats checkpoint write failed");
+  }
+  return core::Status::Ok();
 }
 
-bool NBeats::LoadState(std::istream* in) {
-  STREAMAD_CHECK(in != nullptr);
-  io::BinaryReader r(in);
+core::Status NBeats::LoadState(io::BinaryReader* reader) {
+  STREAMAD_CHECK(reader != nullptr);
   std::uint64_t input_dim = 0;
   std::uint64_t output_dim = 0;
   std::uint64_t blocks = 0;
-  if (!r.ExpectString("streamad.nbeats.v1") || !r.ReadU64(&input_dim) ||
-      !r.ReadU64(&output_dim) || !r.ReadU64(&blocks)) {
-    return false;
+  if (!reader->ExpectString("streamad.nbeats.v1")) {
+    return core::Status::DataLoss("not a streamad.nbeats.v1 archive");
   }
-  if (blocks != params_.num_blocks || input_dim == 0 || output_dim == 0) {
-    return false;
+  if (!reader->ReadU64(&input_dim) || !reader->ReadU64(&output_dim) ||
+      !reader->ReadU64(&blocks)) {
+    return core::Status::DataLoss("nbeats checkpoint header truncated");
   }
-  if (!internal::LoadScaler(&scaler_, &r)) return false;
+  if (blocks != params_.num_blocks) {
+    return core::Status::FailedPrecondition(
+        "num_blocks mismatch: archived " + std::to_string(blocks) +
+        ", configured " + std::to_string(params_.num_blocks));
+  }
+  if (input_dim == 0 || output_dim == 0) {
+    return core::Status::DataLoss("nbeats checkpoint has empty dimensions");
+  }
+  if (!internal::LoadScaler(&scaler_, reader)) {
+    return core::Status::DataLoss("nbeats scaler state truncated");
+  }
   Build(input_dim, output_dim);
-  return internal::LoadNnParams(AllParams(), &r);
+  if (!internal::LoadNnParams(AllParams(), reader)) {
+    return core::Status::DataLoss("nbeats network parameters truncated or "
+                                  "shape-mismatched");
+  }
+  return core::Status::Ok();
 }
 
 }  // namespace streamad::models

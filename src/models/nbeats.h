@@ -48,8 +48,8 @@ class NBeats : public core::Model {
   void Finetune(const core::TrainingSet& train) override;
   linalg::Matrix Predict(const core::FeatureVector& x) override;
 
-  bool SaveState(std::ostream* out) const override;
-  bool LoadState(std::istream* in) override;
+  core::Status SaveState(io::BinaryWriter* writer) const override;
+  core::Status LoadState(io::BinaryReader* reader) override;
 
  private:
   struct Block {

@@ -151,39 +151,57 @@ linalg::Matrix OnlineArima::Predict(const core::FeatureVector& x) {
 }
 
 
-bool OnlineArima::SaveState(std::ostream* out) const {
-  STREAMAD_CHECK(out != nullptr);
-  io::BinaryWriter w(out);
-  w.WriteString("streamad.arima.v1");
-  w.WriteU64(params_.lag_order);
-  w.WriteU64(params_.diff_order);
-  w.WriteI64(params_.optimizer == Optimizer::kOns ? 1 : 0);
-  w.WriteDoubleVec(gamma_);
-  w.WriteMatrix(a_inv_);
-  return w.ok();
+core::Status OnlineArima::SaveState(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
+  writer->WriteString("streamad.arima.v1");
+  writer->WriteU64(params_.lag_order);
+  writer->WriteU64(params_.diff_order);
+  writer->WriteI64(params_.optimizer == Optimizer::kOns ? 1 : 0);
+  writer->WriteDoubleVec(gamma_);
+  writer->WriteMatrix(a_inv_);
+  if (!writer->ok()) return core::Status::IoError("arima checkpoint write failed");
+  return core::Status::Ok();
 }
 
-bool OnlineArima::LoadState(std::istream* in) {
-  STREAMAD_CHECK(in != nullptr);
-  io::BinaryReader r(in);
+core::Status OnlineArima::LoadState(io::BinaryReader* reader) {
+  STREAMAD_CHECK(reader != nullptr);
   std::uint64_t lag = 0;
   std::uint64_t diff = 0;
   std::int64_t optimizer = 0;
-  if (!r.ExpectString("streamad.arima.v1") || !r.ReadU64(&lag) ||
-      !r.ReadU64(&diff) || !r.ReadI64(&optimizer)) {
-    return false;
+  if (!reader->ExpectString("streamad.arima.v1")) {
+    return core::Status::DataLoss("not a streamad.arima.v1 archive");
   }
-  if (lag != params_.lag_order || diff != params_.diff_order ||
-      optimizer != (params_.optimizer == Optimizer::kOns ? 1 : 0)) {
-    return false;  // hyperparameter mismatch
+  if (!reader->ReadU64(&lag) || !reader->ReadU64(&diff) ||
+      !reader->ReadI64(&optimizer)) {
+    return core::Status::DataLoss("arima checkpoint header truncated");
+  }
+  if (lag != params_.lag_order) {
+    return core::Status::FailedPrecondition(
+        "lag_order mismatch: archived " + std::to_string(lag) +
+        ", configured " + std::to_string(params_.lag_order));
+  }
+  if (diff != params_.diff_order) {
+    return core::Status::FailedPrecondition(
+        "diff_order mismatch: archived " + std::to_string(diff) +
+        ", configured " + std::to_string(params_.diff_order));
+  }
+  if (optimizer != (params_.optimizer == Optimizer::kOns ? 1 : 0)) {
+    return core::Status::FailedPrecondition(
+        "optimizer mismatch: archived " + std::to_string(optimizer) +
+        ", configured " +
+        std::to_string(params_.optimizer == Optimizer::kOns ? 1 : 0));
   }
   std::vector<double> gamma;
   linalg::Matrix a_inv;
-  if (!r.ReadDoubleVec(&gamma) || !r.ReadMatrix(&a_inv)) return false;
-  if (gamma.size() != params_.lag_order) return false;
+  if (!reader->ReadDoubleVec(&gamma) || !reader->ReadMatrix(&a_inv)) {
+    return core::Status::DataLoss("arima parameter block truncated");
+  }
+  if (gamma.size() != params_.lag_order) {
+    return core::Status::DataLoss("arima gamma length inconsistent with lag");
+  }
   gamma_ = std::move(gamma);
   a_inv_ = std::move(a_inv);
-  return true;
+  return core::Status::Ok();
 }
 
 }  // namespace streamad::models

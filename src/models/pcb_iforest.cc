@@ -1,7 +1,9 @@
 #include "src/models/pcb_iforest.h"
 #include "src/io/binary_io.h"
 
+#include <bit>
 #include <cmath>
+#include <string>
 
 #include "src/common/check.h"
 
@@ -52,39 +54,51 @@ double PcbIForest::AnomalyScore(const core::FeatureVector& x) {
 }
 
 
-bool PcbIForest::SaveState(std::ostream* out) const {
-  STREAMAD_CHECK(out != nullptr);
-  io::BinaryWriter w(out);
-  w.WriteString("streamad.pcb.v1");
-  w.WriteDouble(params_.threshold);
-  forest_.Save(&w);
-  w.WriteIntVec(counters_);
-  w.WriteU64(total_culled_);
-  w.WriteU64(culling_enabled_ ? 1 : 0);
-  return w.ok();
+core::Status PcbIForest::SaveState(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
+  writer->WriteString("streamad.pcb.v1");
+  writer->WriteDouble(params_.threshold);
+  forest_.Save(writer);
+  writer->WriteIntVec(counters_);
+  writer->WriteU64(total_culled_);
+  writer->WriteU64(culling_enabled_ ? 1 : 0);
+  if (!writer->ok()) return core::Status::IoError("pcb checkpoint write failed");
+  return core::Status::Ok();
 }
 
-bool PcbIForest::LoadState(std::istream* in) {
-  STREAMAD_CHECK(in != nullptr);
-  io::BinaryReader r(in);
+core::Status PcbIForest::LoadState(io::BinaryReader* reader) {
+  STREAMAD_CHECK(reader != nullptr);
   double threshold = 0.0;
-  if (!r.ExpectString("streamad.pcb.v1") || !r.ReadDouble(&threshold)) {
-    return false;
+  if (!reader->ExpectString("streamad.pcb.v1")) {
+    return core::Status::DataLoss("not a streamad.pcb.v1 archive");
   }
-  if (threshold != params_.threshold) return false;
-  if (!forest_.Load(&r)) return false;
+  if (!reader->ReadDouble(&threshold)) {
+    return core::Status::DataLoss("pcb checkpoint header truncated");
+  }
+  if (std::bit_cast<std::uint64_t>(threshold) !=
+      std::bit_cast<std::uint64_t>(params_.threshold)) {
+    return core::Status::FailedPrecondition(
+        "threshold mismatch: archived " + std::to_string(threshold) +
+        ", configured " + std::to_string(params_.threshold));
+  }
+  if (!forest_.Load(reader)) {
+    return core::Status::DataLoss("pcb forest state corrupt or truncated");
+  }
   std::vector<int> counters;
   std::uint64_t culled = 0;
   std::uint64_t culling = 0;
-  if (!r.ReadIntVec(&counters) || !r.ReadU64(&culled) ||
-      !r.ReadU64(&culling)) {
-    return false;
+  if (!reader->ReadIntVec(&counters) || !reader->ReadU64(&culled) ||
+      !reader->ReadU64(&culling)) {
+    return core::Status::DataLoss("pcb counter block truncated");
   }
-  if (counters.size() != forest_.num_trees()) return false;
+  if (counters.size() != forest_.num_trees()) {
+    return core::Status::DataLoss(
+        "pcb counter count inconsistent with forest size");
+  }
   counters_ = std::move(counters);
   total_culled_ = culled;
   culling_enabled_ = culling != 0;
-  return true;
+  return core::Status::Ok();
 }
 
 }  // namespace streamad::models

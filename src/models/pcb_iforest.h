@@ -40,8 +40,8 @@ class PcbIForest : public core::Model {
   linalg::Matrix Predict(const core::FeatureVector& x) override;
   double AnomalyScore(const core::FeatureVector& x) override;
 
-  bool SaveState(std::ostream* out) const override;
-  bool LoadState(std::istream* in) override;
+  core::Status SaveState(io::BinaryWriter* writer) const override;
+  core::Status LoadState(io::BinaryReader* reader) override;
 
   const std::vector<int>& performance_counters() const { return counters_; }
   std::size_t num_trees() const { return forest_.num_trees(); }

@@ -193,38 +193,53 @@ double Usad::UsadScore(const core::FeatureVector& x, double alpha,
 }
 
 
-bool Usad::SaveState(std::ostream* out) const {
-  STREAMAD_CHECK(out != nullptr);
-  io::BinaryWriter w(out);
-  w.WriteString("streamad.usad.v1");
-  w.WriteU64(flat_dim_);
-  w.WriteU64(params_.latent);
-  w.WriteI64(epoch_);
-  internal::SaveScaler(scaler_, &w);
+core::Status Usad::SaveState(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
+  writer->WriteString("streamad.usad.v1");
+  writer->WriteU64(flat_dim_);
+  writer->WriteU64(params_.latent);
+  writer->WriteI64(epoch_);
+  internal::SaveScaler(scaler_, writer);
   Usad* self = const_cast<Usad*>(this);  // Params() is non-const; read-only
-  internal::SaveNnParams(self->encoder_.Params(), &w);
-  internal::SaveNnParams(self->decoder1_.Params(), &w);
-  internal::SaveNnParams(self->decoder2_.Params(), &w);
-  return w.ok();
+  internal::SaveNnParams(self->encoder_.Params(), writer);
+  internal::SaveNnParams(self->decoder1_.Params(), writer);
+  internal::SaveNnParams(self->decoder2_.Params(), writer);
+  if (!writer->ok()) return core::Status::IoError("usad checkpoint write failed");
+  return core::Status::Ok();
 }
 
-bool Usad::LoadState(std::istream* in) {
-  STREAMAD_CHECK(in != nullptr);
-  io::BinaryReader r(in);
+core::Status Usad::LoadState(io::BinaryReader* reader) {
+  STREAMAD_CHECK(reader != nullptr);
   std::uint64_t flat_dim = 0;
   std::uint64_t latent = 0;
   std::int64_t epoch = 0;
-  if (!r.ExpectString("streamad.usad.v1") || !r.ReadU64(&flat_dim) ||
-      !r.ReadU64(&latent) || !r.ReadI64(&epoch)) {
-    return false;
+  if (!reader->ExpectString("streamad.usad.v1")) {
+    return core::Status::DataLoss("not a streamad.usad.v1 archive");
   }
-  if (latent != params_.latent || flat_dim == 0) return false;
-  if (!internal::LoadScaler(&scaler_, &r)) return false;
+  if (!reader->ReadU64(&flat_dim) || !reader->ReadU64(&latent) ||
+      !reader->ReadI64(&epoch)) {
+    return core::Status::DataLoss("usad checkpoint header truncated");
+  }
+  if (latent != params_.latent) {
+    return core::Status::FailedPrecondition(
+        "latent mismatch: archived " + std::to_string(latent) +
+        ", configured " + std::to_string(params_.latent));
+  }
+  if (flat_dim == 0) {
+    return core::Status::DataLoss("usad checkpoint has zero flat dimension");
+  }
+  if (!internal::LoadScaler(&scaler_, reader)) {
+    return core::Status::DataLoss("usad scaler state truncated");
+  }
   Build(flat_dim);
   epoch_ = epoch;  // the (1/n) schedule resumes where it stopped
-  return internal::LoadNnParams(encoder_.Params(), &r) &&
-         internal::LoadNnParams(decoder1_.Params(), &r) &&
-         internal::LoadNnParams(decoder2_.Params(), &r);
+  if (!internal::LoadNnParams(encoder_.Params(), reader) ||
+      !internal::LoadNnParams(decoder1_.Params(), reader) ||
+      !internal::LoadNnParams(decoder2_.Params(), reader)) {
+    return core::Status::DataLoss("usad network parameters truncated or "
+                                  "shape-mismatched");
+  }
+  return core::Status::Ok();
 }
 
 }  // namespace streamad::models

@@ -59,8 +59,8 @@ class Usad : public core::Model {
   void Finetune(const core::TrainingSet& train) override;
   linalg::Matrix Predict(const core::FeatureVector& x) override;
 
-  bool SaveState(std::ostream* out) const override;
-  bool LoadState(std::istream* in) override;
+  core::Status SaveState(io::BinaryWriter* writer) const override;
+  core::Status LoadState(io::BinaryReader* reader) override;
 
   /// The USAD anomaly criterion `α ||x-AE₁(x)||² + β ||x-AE₂(AE₁(x))||²`
   /// on standardised inputs (exposed for tests; the framework's cosine

@@ -142,31 +142,30 @@ linalg::Matrix VarModel::Predict(const core::FeatureVector& x) {
 }
 
 
-bool VarModel::SaveState(std::ostream* out) const {
-  STREAMAD_CHECK(out != nullptr);
-  io::BinaryWriter w(out);
+core::Status VarModel::SaveState(io::BinaryWriter* writer) const {
+  STREAMAD_CHECK(writer != nullptr);
   // v2 carries the incremental normal-equation state: a restored detector
   // must continue fine-tuning bit-identically to the instance that saved,
   // which requires the exact accumulator bits, not a re-derivation.
-  w.WriteString("streamad.var.v2");
-  w.WriteU64(params_.order);
-  w.WriteU64(fitted_ ? 1 : 0);
-  w.WriteMatrix(beta_);
-  w.WriteU64(w_);
-  w.WriteU64(n_);
-  w.WriteMatrix(gram_);
-  w.WriteMatrix(rhs_);
-  w.WriteU64(finetunes_since_rebuild_);
-  w.WriteU64(snapshot_.size());
+  writer->WriteString("streamad.var.v2");
+  writer->WriteU64(params_.order);
+  writer->WriteU64(fitted_ ? 1 : 0);
+  writer->WriteMatrix(beta_);
+  writer->WriteU64(w_);
+  writer->WriteU64(n_);
+  writer->WriteMatrix(gram_);
+  writer->WriteMatrix(rhs_);
+  writer->WriteU64(finetunes_since_rebuild_);
+  writer->WriteU64(snapshot_.size());
   for (const std::vector<double>& window : snapshot_) {
-    w.WriteDoubleVec(window);
+    writer->WriteDoubleVec(window);
   }
-  return w.ok();
+  if (!writer->ok()) return core::Status::IoError("var checkpoint write failed");
+  return core::Status::Ok();
 }
 
-bool VarModel::LoadState(std::istream* in) {
-  STREAMAD_CHECK(in != nullptr);
-  io::BinaryReader r(in);
+core::Status VarModel::LoadState(io::BinaryReader* reader) {
+  STREAMAD_CHECK(reader != nullptr);
   std::uint64_t order = 0;
   std::uint64_t fitted = 0;
   std::uint64_t w = 0;
@@ -176,18 +175,30 @@ bool VarModel::LoadState(std::istream* in) {
   linalg::Matrix beta;
   linalg::Matrix gram;
   linalg::Matrix rhs;
-  if (!r.ExpectString("streamad.var.v2") || !r.ReadU64(&order) ||
-      !r.ReadU64(&fitted) || !r.ReadMatrix(&beta) || !r.ReadU64(&w) ||
-      !r.ReadU64(&n) || !r.ReadMatrix(&gram) || !r.ReadMatrix(&rhs) ||
-      !r.ReadU64(&finetunes) || !r.ReadU64(&count)) {
-    return false;
+  if (!reader->ExpectString("streamad.var.v2")) {
+    return core::Status::DataLoss("not a streamad.var.v2 archive");
   }
-  if (order != params_.order) return false;
+  if (!reader->ReadU64(&order) || !reader->ReadU64(&fitted) ||
+      !reader->ReadMatrix(&beta) || !reader->ReadU64(&w) ||
+      !reader->ReadU64(&n) || !reader->ReadMatrix(&gram) ||
+      !reader->ReadMatrix(&rhs) || !reader->ReadU64(&finetunes) ||
+      !reader->ReadU64(&count)) {
+    return core::Status::DataLoss("var checkpoint header truncated");
+  }
+  if (order != params_.order) {
+    return core::Status::FailedPrecondition(
+        "order mismatch: archived " + std::to_string(order) + ", configured " +
+        std::to_string(params_.order));
+  }
   std::vector<std::vector<double>> snapshot(count);
   for (std::vector<double>& window : snapshot) {
-    if (!r.ReadDoubleVec(&window)) return false;
+    if (!reader->ReadDoubleVec(&window)) {
+      return core::Status::DataLoss("var training snapshot truncated");
+    }
   }
-  if (fitted != 0 && (w <= params_.order || n == 0)) return false;
+  if (fitted != 0 && (w <= params_.order || n == 0)) {
+    return core::Status::DataLoss("var fitted flag inconsistent with shape");
+  }
   beta_ = std::move(beta);
   gram_ = std::move(gram);
   rhs_ = std::move(rhs);
@@ -197,7 +208,7 @@ bool VarModel::LoadState(std::istream* in) {
   finetunes_since_rebuild_ = finetunes;
   fitted_ = fitted != 0;
   reg_.resize(n_ * params_.order + 1);
-  return true;
+  return core::Status::Ok();
 }
 
 }  // namespace streamad::models

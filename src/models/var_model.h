@@ -57,8 +57,8 @@ class VarModel : public core::Model {
   void Finetune(const core::TrainingSet& train) override;
   linalg::Matrix Predict(const core::FeatureVector& x) override;
 
-  bool SaveState(std::ostream* out) const override;
-  bool LoadState(std::istream* in) override;
+  core::Status SaveState(io::BinaryWriter* writer) const override;
+  core::Status LoadState(io::BinaryReader* reader) override;
 
   bool fitted() const { return fitted_; }
   /// Stacked coefficients `[νᵀ; A_1ᵀ; ...; A_pᵀ]` of shape (N*p+1) x N.

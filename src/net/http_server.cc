@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/net/socket_util.h"
 
 namespace streamad::net {
 namespace {
@@ -103,42 +104,15 @@ core::Status HttpServer::Start(std::uint16_t port) {
   if (started_) {
     return core::Status::FailedPrecondition("server already started");
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return core::Status::IoError(std::string("socket: ") +
-                                 std::strerror(errno));
+  // Operator plane only: the shared helper binds loopback exclusively.
+  ListenerSocket listener;
+  if (core::Status status = BindLoopbackListener(port, /*backlog=*/16,
+                                                 &listener);
+      !status.ok()) {
+    return status;
   }
-  const int enable = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // operator plane only
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const std::string message = std::string("bind: ") + std::strerror(errno);
-    ::close(fd);
-    return core::Status::IoError(message);
-  }
-  if (::listen(fd, 16) < 0) {
-    const std::string message =
-        std::string("listen: ") + std::strerror(errno);
-    ::close(fd);
-    return core::Status::IoError(message);
-  }
-
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
-      0) {
-    const std::string message =
-        std::string("getsockname: ") + std::strerror(errno);
-    ::close(fd);
-    return core::Status::IoError(message);
-  }
-  port_ = ntohs(bound.sin_port);
-  listen_fd_ = fd;
+  port_ = listener.port;
+  listen_fd_ = listener.fd;
   started_ = true;
   listener_ = std::thread([this] { ListenLoop(); });
   return core::Status::Ok();

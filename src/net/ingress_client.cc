@@ -1,0 +1,151 @@
+#include "src/net/ingress_client.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace streamad::net {
+
+IngressClient::IngressClient() : IngressClient(Options()) {}
+
+IngressClient::IngressClient(Options options) : options_(std::move(options)) {}
+
+IngressClient::~IngressClient() { Close(); }
+
+core::Status IngressClient::Connect(std::uint16_t port) {
+  if (fd_ >= 0) return core::Status::FailedPrecondition("already connected");
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return core::Status::IoError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    int saved = errno;
+    ::close(fd);
+    return core::Status::IoError(std::string("connect: ") +
+                                 std::strerror(saved));
+  }
+  fd_ = fd;
+  assembler_ = wire::FrameAssembler();
+
+  wire::HelloFrame hello;
+  hello.proto_version = wire::kWireVersion;
+  hello.features = options_.features;
+  hello.client = options_.client_name;
+  std::string bytes;
+  wire::AppendHello(&bytes, hello);
+  if (core::Status status = SendAll(bytes); !status.ok()) {
+    Close();
+    return status;
+  }
+
+  wire::Frame frame;
+  if (core::Status status = ReadFrame(&frame); !status.ok()) {
+    Close();
+    return status;
+  }
+  if (frame.type == wire::FrameType::kNack) {
+    const auto& nack = std::get<wire::NackFrame>(frame.payload);
+    std::string detail = nack.entries.empty() ? std::string("no detail")
+                                              : nack.entries.front().detail;
+    Close();
+    return core::Status::FailedPrecondition("server rejected HELLO: " +
+                                            detail);
+  }
+  if (frame.type != wire::FrameType::kHelloAck) {
+    Close();
+    return core::Status::DataLoss(std::string("expected HELLO_ACK, got ") +
+                                  wire::ToString(frame.type));
+  }
+  ack_ = std::get<wire::HelloAckFrame>(frame.payload);
+  return core::Status::Ok();
+}
+
+core::Status IngressClient::SendEventBatch(const wire::EventBatchFrame& batch) {
+  if (fd_ < 0) return core::Status::FailedPrecondition("not connected");
+  std::string bytes;
+  wire::AppendEventBatch(&bytes, batch);
+  return SendAll(bytes);
+}
+
+core::Status IngressClient::SendHealthProbe() {
+  if (fd_ < 0) return core::Status::FailedPrecondition("not connected");
+  std::string bytes;
+  wire::AppendHealthProbe(&bytes);
+  return SendAll(bytes);
+}
+
+core::Status IngressClient::ReadFrame(wire::Frame* frame, int timeout_ms) {
+  if (fd_ < 0) return core::Status::FailedPrecondition("not connected");
+  if (timeout_ms == -2) timeout_ms = options_.read_timeout_ms;
+
+  while (true) {
+    wire::FrameAssembler::Result result = assembler_.Next(frame);
+    if (result == wire::FrameAssembler::Result::kFrame) {
+      return core::Status::Ok();
+    }
+    if (result == wire::FrameAssembler::Result::kError) {
+      return core::Status::DataLoss(std::string("wire decode error: ") +
+                                    wire::ToString(assembler_.error()));
+    }
+
+    // Need more bytes. `poll` owns the timing so this file stays free of
+    // clock calls; each wait gets the full budget, which bounds the total
+    // only loosely but is plenty for loopback tests and tools.
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return core::Status::IoError(std::string("poll: ") +
+                                   std::strerror(errno));
+    }
+    if (ready == 0) {
+      return core::Status::NotFound("no frame within the wait budget");
+    }
+
+    char buffer[65536];
+    ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      assembler_.Append(std::string_view(buffer, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) return core::Status::IoError("connection closed by server");
+    return core::Status::IoError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+void IngressClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+core::Status IngressClient::SendAll(const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return core::Status::IoError(std::string("send: ") + std::strerror(errno));
+  }
+  return core::Status::Ok();
+}
+
+}  // namespace streamad::net

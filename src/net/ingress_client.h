@@ -1,0 +1,72 @@
+#ifndef STREAMAD_NET_INGRESS_CLIENT_H_
+#define STREAMAD_NET_INGRESS_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/status.h"
+#include "src/net/wire.h"
+
+namespace streamad::net {
+
+/// Blocking counterpart to `IngressServer`: one loopback TCP connection
+/// speaking the `wire` protocol. `Connect` performs the HELLO/HELLO_ACK
+/// exchange; afterwards the caller sends EVENT_BATCH / HEALTH_PROBE frames
+/// and reads whatever the server pushes back (SCORE_BATCH frames arrive
+/// asynchronously as shard workers finish, so readers should keep draining
+/// with `ReadFrame(..., 0)` between sends).
+///
+/// Used by `examples/remote_serving.cc`, `bench/ingress_bench.cc`, and the
+/// ingress tests; deliberately simple — one outstanding connection, no
+/// internal threads.
+class IngressClient {
+ public:
+  struct Options {
+    std::string client_name = "streamad-client";
+    std::uint64_t features = 0;
+    /// Default wait budget for `ReadFrame` (milliseconds); -1 = forever.
+    int read_timeout_ms = 5000;
+  };
+
+  IngressClient();
+  explicit IngressClient(Options options);
+  ~IngressClient();
+
+  IngressClient(const IngressClient&) = delete;
+  IngressClient& operator=(const IngressClient&) = delete;
+
+  /// Connects to 127.0.0.1:`port` and completes the HELLO handshake. A
+  /// version-rejecting server answers with a NACK, surfaced here as
+  /// `kFailedPrecondition` carrying the server's detail text.
+  core::Status Connect(std::uint16_t port);
+
+  /// True between a successful `Connect` and `Close` (or a fatal error).
+  bool connected() const { return fd_ >= 0; }
+
+  /// The ack received during `Connect` (server name, negotiated features).
+  const wire::HelloAckFrame& server_ack() const { return ack_; }
+
+  core::Status SendEventBatch(const wire::EventBatchFrame& batch);
+  core::Status SendHealthProbe();
+
+  /// Blocks until one complete frame arrives (`kOk`), the wait budget
+  /// lapses (`kNotFound`, connection still usable), the peer closes or a
+  /// socket error occurs (`kIoError`), or the byte stream is malformed
+  /// (`kDataLoss`, terminal). `timeout_ms` of -2 uses the option default;
+  /// 0 polls without waiting; -1 waits forever.
+  core::Status ReadFrame(wire::Frame* frame, int timeout_ms = -2);
+
+  void Close();
+
+ private:
+  core::Status SendAll(const std::string& bytes);
+
+  Options options_;
+  int fd_ = -1;
+  wire::FrameAssembler assembler_;
+  wire::HelloAckFrame ack_;
+};
+
+}  // namespace streamad::net
+
+#endif  // STREAMAD_NET_INGRESS_CLIENT_H_

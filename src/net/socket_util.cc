@@ -1,0 +1,57 @@
+#include "src/net/socket_util.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "src/common/check.h"
+
+namespace streamad::net {
+
+core::Status BindLoopbackListener(std::uint16_t port, int backlog,
+                                  ListenerSocket* out) {
+  STREAMAD_CHECK(out != nullptr);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return core::Status::IoError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string message = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return core::Status::IoError(message);
+  }
+  if (::listen(fd, backlog) < 0) {
+    const std::string message =
+        std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return core::Status::IoError(message);
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    const std::string message =
+        std::string("getsockname: ") + std::strerror(errno);
+    ::close(fd);
+    return core::Status::IoError(message);
+  }
+  out->fd = fd;
+  out->port = ntohs(bound.sin_port);
+  return core::Status::Ok();
+}
+
+}  // namespace streamad::net

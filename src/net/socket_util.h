@@ -1,0 +1,32 @@
+#ifndef STREAMAD_NET_SOCKET_UTIL_H_
+#define STREAMAD_NET_SOCKET_UTIL_H_
+
+#include <cstdint>
+
+#include "src/core/status.h"
+
+namespace streamad::net {
+
+/// A freshly bound loopback listener: the file descriptor plus the port it
+/// actually landed on (equal to the requested port, or kernel-picked when
+/// the request was 0).
+struct ListenerSocket {
+  int fd = -1;
+  std::uint16_t port = 0;
+};
+
+/// Creates a TCP listener bound to 127.0.0.1:`port` (`port == 0` asks the
+/// kernel for a free ephemeral port — the race-free pick-a-free-port idiom
+/// the tests rely on; never retry-loop over hardcoded ports). The socket
+/// has SO_REUSEADDR set and is already listening with `backlog`. On
+/// success the caller owns `out->fd` and must `::close` it; on error the
+/// descriptor is closed here and `out` is untouched.
+///
+/// Shared by `HttpServer` (operator plane) and `IngressServer` (data
+/// plane) so both speak the same bind/readback sequence.
+core::Status BindLoopbackListener(std::uint16_t port, int backlog,
+                                  ListenerSocket* out);
+
+}  // namespace streamad::net
+
+#endif  // STREAMAD_NET_SOCKET_UTIL_H_

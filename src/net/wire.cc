@@ -1,0 +1,342 @@
+#include "src/net/wire.h"
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/io/binary_io.h"
+
+namespace streamad::net::wire {
+namespace {
+
+/// Encodes `frame`'s payload through a BinaryWriter into a string.
+template <typename EncodeFn>
+std::string EncodePayload(EncodeFn&& encode) {
+  std::ostringstream out;
+  io::BinaryWriter writer(&out);
+  encode(&writer);
+  STREAMAD_CHECK_MSG(writer.ok(), "in-memory payload encode cannot fail");
+  return std::move(out).str();
+}
+
+void AppendFrame(std::string* out, FrameType type, std::string_view payload) {
+  AppendFrameRaw(out, kWireMagic, kWireVersion,
+                 static_cast<std::uint8_t>(type), payload);
+}
+
+bool DecodeHello(io::BinaryReader* r, HelloFrame* frame) {
+  return r->ReadU32(&frame->proto_version) && r->ReadU64(&frame->features) &&
+         r->ReadString(&frame->client);
+}
+
+bool DecodeHelloAck(io::BinaryReader* r, HelloAckFrame* frame) {
+  return r->ReadU32(&frame->proto_version) && r->ReadU64(&frame->features) &&
+         r->ReadString(&frame->server);
+}
+
+bool DecodeEventBatch(io::BinaryReader* r, EventBatchFrame* frame) {
+  std::uint32_t count = 0;
+  if (!r->ReadU64(&frame->batch_id) || !r->ReadU32(&count)) return false;
+  frame->events.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    WireEvent event;
+    if (!r->ReadString(&event.stream_id) ||
+        !r->ReadDoubleVec(&event.values)) {
+      return false;
+    }
+    frame->events.push_back(std::move(event));
+  }
+  return true;
+}
+
+bool DecodeScoreBatch(io::BinaryReader* r, ScoreBatchFrame* frame) {
+  std::uint32_t count = 0;
+  if (!r->ReadU32(&count)) return false;
+  frame->entries.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ScoreEntry entry;
+    if (!r->ReadString(&entry.stream_id) || !r->ReadI64(&entry.t) ||
+        !r->ReadU8(&entry.flags) || !r->ReadDouble(&entry.nonconformity) ||
+        !r->ReadDouble(&entry.anomaly_score)) {
+      return false;
+    }
+    frame->entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+bool DecodeNack(io::BinaryReader* r, NackFrame* frame) {
+  std::uint32_t count = 0;
+  if (!r->ReadU64(&frame->batch_id) || !r->ReadU32(&count)) return false;
+  frame->entries.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NackEntry entry;
+    std::uint8_t code = 0;
+    if (!r->ReadU32(&entry.index) || !r->ReadU8(&code) ||
+        !r->ReadString(&entry.detail)) {
+      return false;
+    }
+    if (code < static_cast<std::uint8_t>(NackCode::kThrottled) ||
+        code > static_cast<std::uint8_t>(NackCode::kProtocolViolation)) {
+      return false;
+    }
+    entry.code = static_cast<NackCode>(code);
+    frame->entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+bool DecodeHealth(io::BinaryReader* r, HealthFrame* frame) {
+  return r->ReadU8(&frame->healthy) && r->ReadU64(&frame->sessions) &&
+         r->ReadU64(&frame->resident) && r->ReadU64(&frame->processed) &&
+         r->ReadU64(&frame->throttled) && r->ReadU64(&frame->dropped);
+}
+
+/// Decodes a complete payload into `frame->payload`. False when the
+/// payload is shorter than its fields claim, carries trailing bytes, or
+/// fails any field-level validation — all reported as kTruncatedPayload
+/// (the framing is fine; the contents are not).
+bool DecodePayload(FrameType type, std::string_view payload, Frame* frame) {
+  std::istringstream in{std::string(payload)};
+  io::BinaryReader reader(&in);
+  bool ok = false;
+  switch (type) {
+    case FrameType::kHello: {
+      HelloFrame f;
+      ok = DecodeHello(&reader, &f);
+      frame->payload = std::move(f);
+      break;
+    }
+    case FrameType::kHelloAck: {
+      HelloAckFrame f;
+      ok = DecodeHelloAck(&reader, &f);
+      frame->payload = std::move(f);
+      break;
+    }
+    case FrameType::kEventBatch: {
+      EventBatchFrame f;
+      ok = DecodeEventBatch(&reader, &f);
+      frame->payload = std::move(f);
+      break;
+    }
+    case FrameType::kScoreBatch: {
+      ScoreBatchFrame f;
+      ok = DecodeScoreBatch(&reader, &f);
+      frame->payload = std::move(f);
+      break;
+    }
+    case FrameType::kNack: {
+      NackFrame f;
+      ok = DecodeNack(&reader, &f);
+      frame->payload = std::move(f);
+      break;
+    }
+    case FrameType::kHealthProbe: {
+      frame->payload = HealthProbeFrame{};
+      ok = true;
+      break;
+    }
+    case FrameType::kHealth: {
+      HealthFrame f;
+      ok = DecodeHealth(&reader, &f);
+      frame->payload = std::move(f);
+      break;
+    }
+  }
+  if (!ok || !reader.ok()) return false;
+  // Every payload byte must be accounted for: trailing garbage means the
+  // peer and we disagree about the grammar.
+  const std::streampos pos = in.tellg();
+  return pos >= 0 && static_cast<std::size_t>(pos) == payload.size();
+}
+
+}  // namespace
+
+const char* ToString(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kHelloAck: return "HELLO_ACK";
+    case FrameType::kEventBatch: return "EVENT_BATCH";
+    case FrameType::kScoreBatch: return "SCORE_BATCH";
+    case FrameType::kNack: return "NACK";
+    case FrameType::kHealthProbe: return "HEALTH_PROBE";
+    case FrameType::kHealth: return "HEALTH";
+  }
+  return "?";
+}
+
+const char* ToString(NackCode code) {
+  switch (code) {
+    case NackCode::kThrottled: return "THROTTLED";
+    case NackCode::kDropped: return "DROPPED";
+    case NackCode::kUnknownStream: return "UNKNOWN_STREAM";
+    case NackCode::kShuttingDown: return "SHUTTING_DOWN";
+    case NackCode::kMalformed: return "MALFORMED";
+    case NackCode::kUnsupportedVersion: return "UNSUPPORTED_VERSION";
+    case NackCode::kProtocolViolation: return "PROTOCOL_VIOLATION";
+  }
+  return "?";
+}
+
+const char* ToString(WireError error) {
+  switch (error) {
+    case WireError::kNone: return "none";
+    case WireError::kBadMagic: return "bad magic";
+    case WireError::kBadVersion: return "unsupported wire version";
+    case WireError::kOversized: return "payload exceeds cap";
+    case WireError::kUnknownType: return "unknown frame type";
+    case WireError::kTruncatedPayload: return "malformed payload";
+  }
+  return "?";
+}
+
+void AppendFrameRaw(std::string* out, std::uint32_t magic,
+                    std::uint8_t version, std::uint8_t type,
+                    std::string_view payload) {
+  STREAMAD_CHECK(out != nullptr);
+  STREAMAD_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
+                     "frame payload exceeds kMaxPayloadBytes");
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(payload.size());
+  char header[kFrameHeaderBytes];
+  std::memcpy(header, &magic, 4);
+  header[4] = static_cast<char>(version);
+  header[5] = static_cast<char>(type);
+  std::memcpy(header + 6, &payload_len, 4);
+  out->append(header, sizeof(header));
+  out->append(payload.data(), payload.size());
+}
+
+void AppendHello(std::string* out, const HelloFrame& frame) {
+  AppendFrame(out, FrameType::kHello, EncodePayload([&](io::BinaryWriter* w) {
+                w->WriteU32(frame.proto_version);
+                w->WriteU64(frame.features);
+                w->WriteString(frame.client);
+              }));
+}
+
+void AppendHelloAck(std::string* out, const HelloAckFrame& frame) {
+  AppendFrame(out, FrameType::kHelloAck,
+              EncodePayload([&](io::BinaryWriter* w) {
+                w->WriteU32(frame.proto_version);
+                w->WriteU64(frame.features);
+                w->WriteString(frame.server);
+              }));
+}
+
+void AppendEventBatch(std::string* out, const EventBatchFrame& frame) {
+  AppendFrame(out, FrameType::kEventBatch,
+              EncodePayload([&](io::BinaryWriter* w) {
+                w->WriteU64(frame.batch_id);
+                w->WriteU32(static_cast<std::uint32_t>(frame.events.size()));
+                for (const WireEvent& event : frame.events) {
+                  w->WriteString(event.stream_id);
+                  w->WriteDoubleVec(event.values);
+                }
+              }));
+}
+
+void AppendScoreBatch(std::string* out, const ScoreBatchFrame& frame) {
+  AppendFrame(out, FrameType::kScoreBatch,
+              EncodePayload([&](io::BinaryWriter* w) {
+                w->WriteU32(static_cast<std::uint32_t>(frame.entries.size()));
+                for (const ScoreEntry& entry : frame.entries) {
+                  w->WriteString(entry.stream_id);
+                  w->WriteI64(entry.t);
+                  w->WriteU8(entry.flags);
+                  w->WriteDouble(entry.nonconformity);
+                  w->WriteDouble(entry.anomaly_score);
+                }
+              }));
+}
+
+void AppendNack(std::string* out, const NackFrame& frame) {
+  AppendFrame(out, FrameType::kNack, EncodePayload([&](io::BinaryWriter* w) {
+                w->WriteU64(frame.batch_id);
+                w->WriteU32(static_cast<std::uint32_t>(frame.entries.size()));
+                for (const NackEntry& entry : frame.entries) {
+                  w->WriteU32(entry.index);
+                  w->WriteU8(static_cast<std::uint8_t>(entry.code));
+                  w->WriteString(entry.detail);
+                }
+              }));
+}
+
+void AppendHealthProbe(std::string* out) {
+  AppendFrame(out, FrameType::kHealthProbe, std::string_view());
+}
+
+void AppendHealth(std::string* out, const HealthFrame& frame) {
+  AppendFrame(out, FrameType::kHealth, EncodePayload([&](io::BinaryWriter* w) {
+                w->WriteU8(frame.healthy);
+                w->WriteU64(frame.sessions);
+                w->WriteU64(frame.resident);
+                w->WriteU64(frame.processed);
+                w->WriteU64(frame.throttled);
+                w->WriteU64(frame.dropped);
+              }));
+}
+
+void FrameAssembler::Append(std::string_view bytes) {
+  if (error_ != WireError::kNone) return;  // stream already condemned
+  // Shift out the consumed prefix before growing, so long-lived
+  // connections do not accumulate every byte they ever received.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 4096) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+FrameAssembler::Result FrameAssembler::Next(Frame* frame) {
+  STREAMAD_CHECK(frame != nullptr);
+  if (error_ != WireError::kNone) return Result::kError;
+  if (buffer_.size() - consumed_ < kFrameHeaderBytes) {
+    return Result::kNeedMore;
+  }
+  const char* header = buffer_.data() + consumed_;
+  std::uint32_t magic = 0;
+  std::uint32_t payload_len = 0;
+  std::memcpy(&magic, header, 4);
+  const std::uint8_t version = static_cast<std::uint8_t>(header[4]);
+  const std::uint8_t type = static_cast<std::uint8_t>(header[5]);
+  std::memcpy(&payload_len, header + 6, 4);
+
+  if (magic != kWireMagic) {
+    error_ = WireError::kBadMagic;
+    return Result::kError;
+  }
+  if (version != kWireVersion) {
+    error_ = WireError::kBadVersion;
+    return Result::kError;
+  }
+  if (payload_len > kMaxPayloadBytes) {
+    error_ = WireError::kOversized;
+    return Result::kError;
+  }
+  if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kHealth)) {
+    error_ = WireError::kUnknownType;
+    return Result::kError;
+  }
+  if (buffer_.size() - consumed_ < kFrameHeaderBytes + payload_len) {
+    return Result::kNeedMore;
+  }
+
+  const std::string_view payload(buffer_.data() + consumed_ +
+                                     kFrameHeaderBytes,
+                                 payload_len);
+  frame->type = static_cast<FrameType>(type);
+  if (!DecodePayload(frame->type, payload, frame)) {
+    error_ = WireError::kTruncatedPayload;
+    return Result::kError;
+  }
+  consumed_ += kFrameHeaderBytes + payload_len;
+  return Result::kFrame;
+}
+
+}  // namespace streamad::net::wire

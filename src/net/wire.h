@@ -1,0 +1,192 @@
+#ifndef STREAMAD_NET_WIRE_H_
+#define STREAMAD_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace streamad::net::wire {
+
+/// The ingress wire protocol: little-endian, length-prefixed binary frames
+/// over a byte stream (TCP). Every frame is
+///
+///   u32 magic ("SAD1") | u8 version | u8 type | u32 payload_len | payload
+///
+/// with the payload encoded by `io::BinaryWriter` primitives (the same
+/// flat encoding the checkpoint archives use). This header is socket-free
+/// on purpose: encode/decode are pure functions over byte buffers, so the
+/// codec is unit-testable at arbitrary chunk boundaries and shared by the
+/// event-loop server and the blocking client. The grammar is documented in
+/// docs/ARCHITECTURE.md §11.
+inline constexpr std::uint32_t kWireMagic = 0x31444153;  // "SAD1" LE
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Hard cap on a single frame's payload. Large enough for ~64k events of
+/// a wide stream, small enough that a garbage length prefix cannot make a
+/// connection buffer gigabytes.
+inline constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;
+
+/// Fixed number of bytes before the payload.
+inline constexpr std::size_t kFrameHeaderBytes = 10;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,       // client -> server, first frame on a connection
+  kHelloAck = 2,    // server -> client, accepts the session
+  kEventBatch = 3,  // client -> server, (stream_id, values) tuples
+  kScoreBatch = 4,  // server -> client, one entry per scored event
+  kNack = 5,        // server -> client, per-event rejections
+  kHealthProbe = 6, // client -> server, empty payload
+  kHealth = 7,      // server -> client, fleet health summary
+};
+
+/// Why an event (or a whole frame) was rejected. The first three mirror
+/// `serve::DetectorFleet::Admission` so a client can tell backpressure
+/// (`kThrottled`: queued anyway, slow down) from loss (`kDropped`: resend
+/// later) from misaddressing (`kUnknownStream`). The rest are protocol
+/// errors that also close the connection.
+enum class NackCode : std::uint8_t {
+  kThrottled = 1,
+  kDropped = 2,
+  kUnknownStream = 3,
+  kShuttingDown = 4,
+  kMalformed = 5,
+  kUnsupportedVersion = 6,
+  kProtocolViolation = 7,  // e.g. events before HELLO completed
+};
+
+const char* ToString(FrameType type);
+const char* ToString(NackCode code);
+
+// ------------------------------------------------------------ payloads --
+
+struct HelloFrame {
+  std::uint32_t proto_version = kWireVersion;
+  std::uint64_t features = 0;  // bitset, reserved; echoed ANDed in the ack
+  std::string client;          // free-form client identifier
+};
+
+struct HelloAckFrame {
+  std::uint32_t proto_version = kWireVersion;
+  std::uint64_t features = 0;  // negotiated = client AND server
+  std::string server;
+};
+
+struct WireEvent {
+  std::string stream_id;
+  std::vector<double> values;
+};
+
+struct EventBatchFrame {
+  std::uint64_t batch_id = 0;  // echoed in NACKs so clients can correlate
+  std::vector<WireEvent> events;
+};
+
+struct ScoreEntry {
+  std::string stream_id;
+  std::int64_t t = 0;
+  std::uint8_t flags = 0;  // bit 0: scored, bit 1: finetuned
+  double nonconformity = 0.0;
+  double anomaly_score = 0.0;
+};
+
+inline constexpr std::uint8_t kScoreFlagScored = 1;
+inline constexpr std::uint8_t kScoreFlagFinetuned = 2;
+
+struct ScoreBatchFrame {
+  std::vector<ScoreEntry> entries;
+};
+
+struct NackEntry {
+  std::uint32_t index = 0;  // position within the offending EVENT_BATCH
+  NackCode code = NackCode::kMalformed;
+  std::string detail;
+};
+
+struct NackFrame {
+  std::uint64_t batch_id = 0;
+  std::vector<NackEntry> entries;
+};
+
+struct HealthProbeFrame {};
+
+struct HealthFrame {
+  std::uint8_t healthy = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t resident = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t throttled = 0;
+  std::uint64_t dropped = 0;
+};
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::variant<HelloFrame, HelloAckFrame, EventBatchFrame, ScoreBatchFrame,
+               NackFrame, HealthProbeFrame, HealthFrame>
+      payload;
+};
+
+// -------------------------------------------------------------- encode --
+
+/// Append one complete frame (header + payload) to `*out`. Appending to a
+/// string instead of returning one lets callers coalesce several frames
+/// into a single socket write.
+void AppendHello(std::string* out, const HelloFrame& frame);
+void AppendHelloAck(std::string* out, const HelloAckFrame& frame);
+void AppendEventBatch(std::string* out, const EventBatchFrame& frame);
+void AppendScoreBatch(std::string* out, const ScoreBatchFrame& frame);
+void AppendNack(std::string* out, const NackFrame& frame);
+void AppendHealthProbe(std::string* out);
+void AppendHealth(std::string* out, const HealthFrame& frame);
+
+/// Raw escape hatch for tests: header with arbitrary type/version/magic
+/// around an arbitrary payload.
+void AppendFrameRaw(std::string* out, std::uint32_t magic,
+                    std::uint8_t version, std::uint8_t type,
+                    std::string_view payload);
+
+// -------------------------------------------------------------- decode --
+
+/// Typed decode failures. Any error is terminal for the byte stream (a
+/// framing error means resynchronisation is impossible), so the assembler
+/// goes sticky and the connection must be dropped.
+enum class WireError : std::uint8_t {
+  kNone = 0,
+  kBadMagic,
+  kBadVersion,
+  kOversized,       // payload_len exceeds kMaxPayloadBytes
+  kUnknownType,
+  kTruncatedPayload,  // payload shorter/longer than its fields claim
+};
+
+const char* ToString(WireError error);
+
+/// Incremental frame reassembly over an arbitrarily chunked byte stream.
+/// Feed bytes as they arrive (`Append`), then drain complete frames with
+/// `Next` until it reports `kNeedMore`.
+class FrameAssembler {
+ public:
+  enum class Result { kFrame, kNeedMore, kError };
+
+  /// Appends raw bytes from the transport.
+  void Append(std::string_view bytes);
+
+  /// Extracts the next complete frame into `*frame`. `kError` is sticky:
+  /// once the stream is broken every later call reports the same error.
+  Result Next(Frame* frame);
+
+  WireError error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed by `Next`.
+  std::size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  WireError error_ = WireError::kNone;
+};
+
+}  // namespace streamad::net::wire
+
+#endif  // STREAMAD_NET_WIRE_H_

@@ -152,15 +152,25 @@ net::HttpResponse BadRequest(const std::string& message) {
   return response;
 }
 
-std::string HealthzBody(DetectorFleet* fleet) {
+std::string HealthzBody(DetectorFleet* fleet,
+                        const net::IngressServer* ingress) {
   const std::vector<ShardSnapshot> shards = fleet->SnapshotShards();
   const bool healthy = fleet->healthy();
   std::string body;
-  body.reserve(128 + shards.size() * 96);
+  body.reserve(192 + shards.size() * 96);
   body += "{\"status\":";
   body += healthy ? "\"ok\"" : "\"degraded\"";
   body += ",\"stopped\":";
   body += fleet->stopped() ? "true" : "false";
+  if (ingress != nullptr) {
+    body += ",\"ingress\":{\"port\":";
+    AppendU64(&body, ingress->port());
+    body += ",\"active_connections\":";
+    AppendU64(&body, ingress->active_connections());
+    body += ",\"connections_total\":";
+    AppendU64(&body, ingress->connections_total());
+    body += '}';
+  }
   body += ",\"shards\":[";
   for (std::size_t i = 0; i < shards.size(); ++i) {
     const ShardSnapshot& shard = shards[i];
@@ -299,7 +309,8 @@ std::string AnomaliesBody(const std::vector<SessionQuality>& rows,
 }  // namespace
 
 void RegisterFleetEndpoints(net::HttpServer* server, DetectorFleet* fleet,
-                            obs::MetricsRegistry* metrics) {
+                            obs::MetricsRegistry* metrics,
+                            const net::IngressServer* ingress) {
   server->Handle("/metrics", [fleet, metrics](const net::HttpRequest&) {
     net::HttpResponse response;
     if (metrics == nullptr) {
@@ -330,10 +341,10 @@ void RegisterFleetEndpoints(net::HttpServer* server, DetectorFleet* fleet,
     response.body = metrics->DumpText();
     return response;
   });
-  server->Handle("/healthz", [fleet](const net::HttpRequest&) {
+  server->Handle("/healthz", [fleet, ingress](const net::HttpRequest&) {
     net::HttpResponse response;
     response.content_type = "application/json";
-    response.body = HealthzBody(fleet);
+    response.body = HealthzBody(fleet, ingress);
     if (!fleet->healthy()) response.status = 503;
     return response;
   });

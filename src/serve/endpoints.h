@@ -2,6 +2,7 @@
 #define STREAMAD_SERVE_ENDPOINTS_H_
 
 #include "src/net/http_server.h"
+#include "src/net/ingress_server.h"
 #include "src/obs/metrics.h"
 #include "src/serve/fleet.h"
 
@@ -30,11 +31,17 @@ namespace streamad::serve {
 ///                         anomaly rate (default) or drift statistic;
 ///                         400 on malformed k / by values
 ///
-/// Call before `server->Start`. `fleet` (and `metrics`, when non-null)
-/// must outlive the server. The handlers only read snapshot APIs and the
-/// registry's exposition — they never touch the event hot path.
+/// Call before `server->Start`. `fleet` (and `metrics` / `ingress`, when
+/// non-null) must outlive the server. The handlers only read snapshot APIs
+/// and the registry's exposition — they never touch the event hot path.
+///
+/// When `ingress` names the fleet's binary TCP front door, `/healthz`
+/// additionally reports its connection counts under an `"ingress"` key
+/// (the transport counters themselves live on `/metrics` as the
+/// `streamad_ingress_*` family).
 void RegisterFleetEndpoints(net::HttpServer* server, DetectorFleet* fleet,
-                            obs::MetricsRegistry* metrics);
+                            obs::MetricsRegistry* metrics,
+                            const net::IngressServer* ingress = nullptr);
 
 }  // namespace streamad::serve
 

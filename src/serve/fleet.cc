@@ -163,55 +163,124 @@ DetectorFleet::Session* DetectorFleet::FindSession(
   return it == sessions_.end() ? nullptr : it->second.get();
 }
 
-// STREAMAD_HOT: fleet ingress — one session lookup, one bounded-queue push
-// and the admission decision per event; the unavoidable allocation is the
-// queue's copy of the stream vector (it must own the event).
-Admission DetectorFleet::Submit(const std::string& stream_id,
-                                const core::StreamVector& s) {
-  Session* session = FindSession(stream_id);
-  STREAMAD_CHECK_MSG(session != nullptr, "Submit for unknown stream id");
+// STREAMAD_HOT: the shared admission core of Submit and SubmitBatch — one
+// timing-sequence reservation, one bounded-queue reservation and the
+// per-event admission decisions for a run of `count` staged events, all of
+// one session. Allocation-free: events and stamp scratch are caller-owned.
+void DetectorFleet::SubmitRun(Session* session, QueuedEvent* events,
+                              std::uint64_t* stamps, std::size_t count,
+                              Admission* admissions) {
   Shard* shard = shards_[session->shard].get();
-  QueuedEvent event;
-  event.session = session;
-  event.values = s;
   // Stamp the enqueue instant only when someone downstream attributes it
   // (fleet metrics or a session recorder), and then only for one event in
   // `timing_sample_every`: the metrics-free path stays clock-free, and
   // the metered path pays for clock reads and latency observations at the
   // sampling rate rather than per event. Stamp 0 means "unstamped" to the
-  // worker, which skips the whole timing path for that event.
-  std::uint64_t stamp = 0;
+  // worker, which skips the whole timing path for that event. The whole
+  // run shares one clock read — its events enqueue at the same instant.
+  std::uint64_t now = 0;
   if (shard->queue_wait_ns != nullptr || session->wants_timing) {
-    const std::uint64_t seq =
-        shard->submit_seq.fetch_add(1, std::memory_order_relaxed);
-    if ((seq & timing_sample_mask_) == 0) stamp = obs::NowNs();
+    const std::uint64_t base_seq =
+        shard->submit_seq.fetch_add(count, std::memory_order_relaxed);
+    for (std::size_t k = 0; k < count; ++k) {
+      if (((base_seq + k) & timing_sample_mask_) == 0) {
+        if (now == 0) now = obs::NowNs();
+        stamps[k] = now;
+      } else {
+        stamps[k] = 0;
+      }
+    }
+  } else {
+    for (std::size_t k = 0; k < count; ++k) stamps[k] = 0;
   }
-  // Count the event in-flight BEFORE the push so a concurrent WaitIdle
+  // Count the events in-flight BEFORE the push so a concurrent WaitIdle
   // cannot observe an empty queue between push and worker pickup.
-  inflight_.fetch_add(1, std::memory_order_relaxed);
-  const auto push = shard->queue.TryPush(std::move(event), stamp);
+  inflight_.fetch_add(count, std::memory_order_relaxed);
+  std::size_t base_depth = 0;
+  const std::size_t admitted =
+      shard->queue.TryPushMany(events, stamps, count, &base_depth);
   // The depth gauge is a point-in-time sample, so it rides the timing
   // sample too: refreshing it per event would put a submitter-and-worker
   // shared cache line on the full-rate path for a value scrapes only see
   // occasionally anyway.
-  if (stamp != 0 && shard->queue_depth != nullptr) {
+  if (now != 0 && shard->queue_depth != nullptr) {
     shard->queue_depth->Set(static_cast<double>(shard->queue.size()));
   }
-  if (push == harness::BoundedQueue<QueuedEvent>::Push::kRejected) {
-    FinishEvent();
-    dropped_.fetch_add(1, std::memory_order_relaxed);
-    session->dropped.fetch_add(1, std::memory_order_relaxed);
-    if (dropped_counter_ != nullptr) dropped_counter_->Increment();
-    return Admission::kDropped;
+  const std::size_t watermark = shard->queue.watermark();
+  std::size_t throttled = 0;
+  for (std::size_t k = 0; k < admitted; ++k) {
+    // Same outcome a lone TryPush would have reported at this depth.
+    if (base_depth + k + 1 >= watermark) {
+      admissions[k] = Admission::kThrottled;
+      ++throttled;
+    } else {
+      admissions[k] = Admission::kQueued;
+    }
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  if (events_counter_ != nullptr) events_counter_->Increment();
-  if (push == harness::BoundedQueue<QueuedEvent>::Push::kAboveWatermark) {
-    throttled_.fetch_add(1, std::memory_order_relaxed);
-    if (throttled_counter_ != nullptr) throttled_counter_->Increment();
-    return Admission::kThrottled;
+  if (admitted > 0) {
+    submitted_.fetch_add(admitted, std::memory_order_relaxed);
+    if (events_counter_ != nullptr) {
+      events_counter_->Add(admitted);
+    }
+    if (throttled > 0) {
+      throttled_.fetch_add(throttled, std::memory_order_relaxed);
+      if (throttled_counter_ != nullptr) throttled_counter_->Add(throttled);
+    }
   }
-  return Admission::kQueued;
+  if (admitted < count) {
+    const std::size_t rejected = count - admitted;
+    for (std::size_t k = admitted; k < count; ++k) {
+      admissions[k] = Admission::kDropped;
+      FinishEvent();
+    }
+    dropped_.fetch_add(rejected, std::memory_order_relaxed);
+    session->dropped.fetch_add(rejected, std::memory_order_relaxed);
+    if (dropped_counter_ != nullptr) dropped_counter_->Add(rejected);
+  }
+}
+
+// STREAMAD_HOT: fleet ingress — one session lookup, then the shared run
+// core with stack scratch; the unavoidable allocation is the queue's copy
+// of the stream vector (it must own the event).
+Admission DetectorFleet::Submit(const std::string& stream_id,
+                                const core::StreamVector& s) {
+  Session* session = FindSession(stream_id);
+  STREAMAD_CHECK_MSG(session != nullptr, "Submit for unknown stream id");
+  QueuedEvent event;
+  event.session = session;
+  event.values = s;
+  std::uint64_t stamp = 0;
+  Admission admission = Admission::kDropped;
+  SubmitRun(session, &event, &stamp, 1, &admission);
+  return admission;
+}
+
+void DetectorFleet::SubmitBatch(std::span<const Event> events,
+                                Admission* admissions) {
+  STREAMAD_CHECK(admissions != nullptr || events.empty());
+  std::vector<QueuedEvent> staged;
+  std::vector<std::uint64_t> stamps;
+  std::size_t i = 0;
+  while (i < events.size()) {
+    // A run of consecutive same-id events shares one lookup + reservation.
+    std::size_t j = i + 1;
+    while (j < events.size() &&
+           events[j].stream_id == events[i].stream_id) {
+      ++j;
+    }
+    Session* session = FindSession(events[i].stream_id);
+    STREAMAD_CHECK_MSG(session != nullptr, "SubmitBatch for unknown stream id");
+    const std::size_t n = j - i;
+    staged.clear();
+    staged.resize(n);
+    stamps.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      staged[k].session = session;
+      staged[k].values = events[i + k].values;
+    }
+    SubmitRun(session, staged.data(), stamps.data(), n, admissions + i);
+    i = j;
+  }
 }
 
 void DetectorFleet::WorkerLoop(Shard* shard) {

@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -45,6 +46,14 @@ enum class Admission {
 };
 
 const char* ToString(Admission admission);
+
+/// One id-addressed event, the unit of `DetectorFleet::SubmitBatch` (and
+/// of the network ingress path, which decodes EVENT_BATCH frames into
+/// spans of these).
+struct Event {
+  std::string stream_id;
+  core::StreamVector values;
+};
 
 /// One scored step of a session, as delivered to its callback or result
 /// ring. `t` is the session-local stream step (the detector's `t()` at the
@@ -256,8 +265,20 @@ class DetectorFleet {
                              const SessionConfig& config);
 
   /// Enqueues one stream vector for `stream_id`. Never blocks. The id
-  /// must name a created session (programming error otherwise).
+  /// must name a created session (programming error otherwise). Thin
+  /// wrapper over the shared run-admission core of `SubmitBatch`.
   Admission Submit(const std::string& stream_id, const core::StreamVector& s);
+
+  /// Batch ingress: submits `events` in order and writes one `Admission`
+  /// per event into `admissions[0..events.size())`. Never blocks.
+  /// Consecutive events of the same stream form a *run* that costs one
+  /// session lookup, one timing-sequence reservation and one queue lock
+  /// — the reason the network ingress path decodes an EVENT_BATCH into a
+  /// single call here instead of looping over `Submit`. Per-session FIFO
+  /// order is preserved (a run lands contiguously in its shard queue).
+  /// Every id must name a created session (programming error otherwise;
+  /// the ingress server pre-filters unknown ids into NACKs).
+  void SubmitBatch(std::span<const Event> events, Admission* admissions);
 
   /// Blocks until every accepted event has been fully processed.
   void WaitIdle();
@@ -392,6 +413,12 @@ class DetectorFleet {
     std::condition_variable hold_cv;
   };
 
+  /// Shared admission core of `Submit` and `SubmitBatch`: stamps, reserves
+  /// queue slots and decides admissions for a run of `count` staged events
+  /// that all belong to `session`. `stamps` is caller-provided scratch of
+  /// the same length (so the hot single-event path can use stack storage).
+  void SubmitRun(Session* session, QueuedEvent* events, std::uint64_t* stamps,
+                 std::size_t count, Admission* admissions);
   void WorkerLoop(Shard* shard);
   void WatchdogLoop();
   /// Best-effort flight-recorder dump for every session of a stalled

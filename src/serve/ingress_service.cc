@@ -1,0 +1,213 @@
+#include "src/serve/ingress_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace streamad::serve {
+
+namespace {
+
+/// SCORE_BATCH frames are chunked so one drain can never breach the wire
+/// payload cap no matter how many scores piled up.
+constexpr std::size_t kScoresPerFrame = 4096;
+
+}  // namespace
+
+IngressService::IngressService(DetectorFleet* fleet)
+    : IngressService(fleet, Options()) {}
+
+IngressService::IngressService(DetectorFleet* fleet, Options options)
+    : fleet_(fleet),
+      options_(std::move(options)),
+      server_(net::IngressServer::Options{options_.server_name,
+                                          options_.features}) {
+  net::IngressServer::Hooks hooks;
+  hooks.on_event_batch = [this](ConnectionId conn,
+                                const wire::EventBatchFrame& batch) {
+    return OnEventBatch(conn, batch);
+  };
+  hooks.on_health = [this] { return OnHealth(); };
+  hooks.on_drain = [this](ConnectionId conn) { return OnDrain(conn); };
+  hooks.on_disconnect = [this](ConnectionId conn) { OnDisconnect(conn); };
+  server_.set_hooks(std::move(hooks));
+  if (options_.metrics != nullptr) {
+    server_.AttachMetrics(options_.metrics);
+    nack_throttled_ =
+        options_.metrics->GetCounter("streamad_ingress_nack_throttled_total");
+    nack_dropped_ =
+        options_.metrics->GetCounter("streamad_ingress_nack_dropped_total");
+    nack_unknown_stream_ = options_.metrics->GetCounter(
+        "streamad_ingress_nack_unknown_stream_total");
+  }
+}
+
+IngressService::~IngressService() { Stop(); }
+
+core::Status IngressService::CreateSession(const std::string& stream_id,
+                                           SessionConfig config) {
+  // Chain rather than replace: a session may want its own callback too.
+  auto downstream = std::move(config.on_result);
+  config.on_result = [this, downstream = std::move(downstream)](
+                         const std::string& id,
+                         const SessionStepResult& result) {
+    OnResult(id, result);
+    if (downstream) downstream(id, result);
+  };
+  if (core::Status status = fleet_->CreateSession(stream_id, config);
+      !status.ok()) {
+    return status;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  known_streams_.insert(stream_id);
+  return core::Status::Ok();
+}
+
+core::Status IngressService::Start(std::uint16_t port) {
+  return server_.Start(port);
+}
+
+void IngressService::Stop() { server_.Stop(); }
+
+std::string IngressService::OnEventBatch(ConnectionId conn,
+                                         const wire::EventBatchFrame& batch) {
+  std::vector<wire::NackEntry> nacks;
+  std::vector<Event> staged;
+  std::vector<std::size_t> original_index;
+  staged.reserve(batch.events.size());
+  original_index.reserve(batch.events.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < batch.events.size(); ++i) {
+      const wire::WireEvent& event = batch.events[i];
+      if (known_streams_.count(event.stream_id) == 0) {
+        nacks.push_back(
+            wire::NackEntry{static_cast<std::uint32_t>(i),
+                            wire::NackCode::kUnknownStream,
+                            "no session named " + event.stream_id});
+        CountNack(wire::NackCode::kUnknownStream);
+        continue;
+      }
+      // Latest submitter wins the route: scores flow back to whichever
+      // connection most recently fed the stream.
+      routes_[event.stream_id] = conn;
+      staged.push_back(Event{event.stream_id, event.values});
+      original_index.push_back(i);
+    }
+  }
+
+  if (!staged.empty()) {
+    std::vector<Admission> admissions(staged.size());
+    fleet_->SubmitBatch(std::span<const Event>(staged), admissions.data());
+    for (std::size_t k = 0; k < admissions.size(); ++k) {
+      if (admissions[k] == Admission::kQueued) continue;
+      bool dropped = admissions[k] == Admission::kDropped;
+      nacks.push_back(wire::NackEntry{
+          static_cast<std::uint32_t>(original_index[k]),
+          dropped ? wire::NackCode::kDropped : wire::NackCode::kThrottled,
+          dropped ? "shard queue full; event lost"
+                  : "shard queue at watermark; queued anyway"});
+      CountNack(dropped ? wire::NackCode::kDropped
+                        : wire::NackCode::kThrottled);
+    }
+  }
+
+  if (nacks.empty()) return std::string();
+  std::sort(nacks.begin(), nacks.end(),
+            [](const wire::NackEntry& a, const wire::NackEntry& b) {
+              return a.index < b.index;
+            });
+  wire::NackFrame frame;
+  frame.batch_id = batch.batch_id;
+  frame.entries = std::move(nacks);
+  std::string bytes;
+  wire::AppendNack(&bytes, frame);
+  return bytes;
+}
+
+std::string IngressService::OnDrain(ConnectionId conn) {
+  std::vector<wire::ScoreEntry> scores;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(conn);
+    if (it == pending_.end() || it->second.empty()) return std::string();
+    scores.swap(it->second);
+  }
+  std::string bytes;
+  for (std::size_t offset = 0; offset < scores.size();
+       offset += kScoresPerFrame) {
+    std::size_t count = std::min(kScoresPerFrame, scores.size() - offset);
+    wire::ScoreBatchFrame frame;
+    frame.entries.assign(scores.begin() + static_cast<std::ptrdiff_t>(offset),
+                         scores.begin() +
+                             static_cast<std::ptrdiff_t>(offset + count));
+    wire::AppendScoreBatch(&bytes, frame);
+  }
+  return bytes;
+}
+
+void IngressService::OnDisconnect(ConnectionId conn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.erase(conn);
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    if (it->second == conn) {
+      it = routes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+wire::HealthFrame IngressService::OnHealth() const {
+  FleetStats stats = fleet_->Stats();
+  wire::HealthFrame health;
+  health.healthy = fleet_->healthy() ? 1 : 0;
+  health.sessions = stats.sessions;
+  health.resident = stats.resident_sessions;
+  health.processed = stats.processed;
+  health.throttled = stats.throttled;
+  health.dropped = stats.dropped;
+  return health;
+}
+
+void IngressService::OnResult(const std::string& stream_id,
+                              const SessionStepResult& result) {
+  wire::ScoreEntry entry;
+  entry.stream_id = stream_id;
+  entry.t = result.t;
+  entry.flags = (result.step.scored ? wire::kScoreFlagScored : 0) |
+                (result.step.finetuned ? wire::kScoreFlagFinetuned : 0);
+  entry.nonconformity = result.step.nonconformity;
+  entry.anomaly_score = result.step.anomaly_score;
+
+  ConnectionId conn = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = routes_.find(stream_id);
+    if (it == routes_.end()) return;  // locally submitted; nothing to route
+    conn = it->second;
+    pending_[conn].push_back(std::move(entry));
+  }
+  // Always flag: the wake pipe coalesces (a full pipe already guarantees
+  // a pending wake-up), so this is one cheap write per score at worst.
+  server_.FlagPending(conn);
+}
+
+void IngressService::CountNack(wire::NackCode code) {
+  switch (code) {
+    case wire::NackCode::kThrottled:
+      if (nack_throttled_ != nullptr) nack_throttled_->Increment();
+      return;
+    case wire::NackCode::kDropped:
+      if (nack_dropped_ != nullptr) nack_dropped_->Increment();
+      return;
+    case wire::NackCode::kUnknownStream:
+      if (nack_unknown_stream_ != nullptr) nack_unknown_stream_->Increment();
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace streamad::serve

@@ -1,0 +1,98 @@
+#ifndef STREAMAD_SERVE_INGRESS_SERVICE_H_
+#define STREAMAD_SERVE_INGRESS_SERVICE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/net/ingress_server.h"
+#include "src/net/wire.h"
+#include "src/serve/fleet.h"
+
+namespace streamad::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace streamad::obs
+
+namespace streamad::serve {
+
+namespace wire = net::wire;
+
+/// Binds a `DetectorFleet` to a `net::IngressServer`: the application side
+/// of the wire protocol. The service owns the server, implements its hooks,
+/// and maps the fleet's admission contract onto protocol frames:
+///
+///   Admission::kQueued    -> a SCORE_BATCH entry once the shard scores it
+///   Admission::kThrottled -> queued AND a NACK entry (advisory: slow down)
+///   Admission::kDropped   -> a NACK entry; the event was lost
+///   unknown stream id     -> a NACK entry (kUnknownStream); never submitted
+///
+/// Scores flow back asynchronously: each session created through
+/// `CreateSession` gets an `on_result` callback that buffers a
+/// `wire::ScoreEntry` for the connection that most recently submitted to
+/// that stream, then flags the server loop to drain it.
+class IngressService {
+ public:
+  struct Options {
+    std::string server_name = "streamad-ingress";
+    std::uint64_t features = 0;
+    /// Registry for the server's transport metrics and the service's
+    /// per-code NACK counters; null disables both.
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// `fleet` must outlive the service.
+  explicit IngressService(DetectorFleet* fleet);
+  IngressService(DetectorFleet* fleet, Options options);
+  ~IngressService();
+
+  IngressService(const IngressService&) = delete;
+  IngressService& operator=(const IngressService&) = delete;
+
+  /// Creates a fleet session whose scores are routed back over ingress.
+  /// Call for every stream the server should accept; events for other ids
+  /// are NACKed with `kUnknownStream`.
+  core::Status CreateSession(const std::string& stream_id,
+                             SessionConfig config);
+
+  core::Status Start(std::uint16_t port);
+  void Stop();
+
+  std::uint16_t port() const { return server_.port(); }
+  const net::IngressServer& server() const { return server_; }
+
+ private:
+  using ConnectionId = net::IngressServer::ConnectionId;
+
+  std::string OnEventBatch(ConnectionId conn,
+                           const wire::EventBatchFrame& batch);
+  std::string OnDrain(ConnectionId conn);
+  void OnDisconnect(ConnectionId conn);
+  wire::HealthFrame OnHealth() const;
+  void OnResult(const std::string& stream_id, const SessionStepResult& result);
+  void CountNack(wire::NackCode code);
+
+  DetectorFleet* fleet_;
+  Options options_;
+  net::IngressServer server_;
+
+  /// Routing state, shared between the server loop thread (batch/drain/
+  /// disconnect hooks) and the fleet's shard workers (`OnResult`).
+  mutable std::mutex mutex_;
+  std::unordered_set<std::string> known_streams_;           // guarded by mutex_
+  std::unordered_map<std::string, ConnectionId> routes_;    // guarded by mutex_
+  std::unordered_map<ConnectionId, std::vector<wire::ScoreEntry>>
+      pending_;                                             // guarded by mutex_
+
+  obs::Counter* nack_throttled_ = nullptr;
+  obs::Counter* nack_dropped_ = nullptr;
+  obs::Counter* nack_unknown_stream_ = nullptr;
+};
+
+}  // namespace streamad::serve
+
+#endif  // STREAMAD_SERVE_INGRESS_SERVICE_H_

@@ -12,6 +12,7 @@
 
 #include "src/common/rng.h"
 #include "src/core/training_set.h"
+#include "src/io/binary_io.h"
 #include "src/models/knn_model.h"
 #include "src/models/snapshot_diff.h"
 #include "src/models/var_model.h"
@@ -175,9 +176,11 @@ TEST(IncrementalKnnTest, CheckpointRestoreContinuesIdentically) {
   original.Finetune(set);
 
   std::stringstream archive;
-  ASSERT_TRUE(original.SaveState(&archive));
+  io::BinaryWriter writer(&archive);
+  ASSERT_TRUE(original.SaveState(&writer).ok());
   KnnModel restored(params);
-  ASSERT_TRUE(restored.LoadState(&archive));
+  io::BinaryReader reader(&archive);
+  ASSERT_TRUE(restored.LoadState(&reader).ok());
 
   // Both instances must stay bit-identical through further fine-tunes: the
   // restored one rebuilds its distance cache from the reference rows.
@@ -266,9 +269,11 @@ TEST(IncrementalVarTest, CheckpointRestoreContinuesBitIdentically) {
   }
 
   std::stringstream archive;
-  ASSERT_TRUE(original.SaveState(&archive));
+  io::BinaryWriter writer(&archive);
+  ASSERT_TRUE(original.SaveState(&writer).ok());
   VarModel restored(params);
-  ASSERT_TRUE(restored.LoadState(&archive));
+  io::BinaryReader reader(&archive);
+  ASSERT_TRUE(restored.LoadState(&reader).ok());
 
   // The v2 archive carries the Gram accumulators, so both instances must
   // produce bit-identical coefficients through further incremental steps.

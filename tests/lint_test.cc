@@ -101,11 +101,32 @@ TEST(LintDeterminismTest, FlightRecorderDumpTimestampStaysClean) {
   EXPECT_EQ(CountRule(findings, kRuleDeterminism), 1u);  // ::now(
 }
 
-TEST(LintDeterminismTest, NetSubtreeMayUseSocketsAndClocks) {
+TEST(LintDeterminismTest, HttpServerMayUseSocketsAndClocks) {
   // The live-plane HTTP server's idiom — clock read plus the full BSD
-  // socket call set — is sanctioned under src/net/ only.
+  // socket call set — is sanctioned for src/net/http_server.cc only.
   EXPECT_TRUE(
       LintFixture("net_socket_clock.cc", "src/net/http_server.cc").empty());
+}
+
+TEST(LintDeterminismTest, IngressFilesGetSocketsButNotClocks) {
+  // The binary ingress loop and client are socket homes, but their timing
+  // is poll-driven: the clock grant does NOT travel with the socket grant,
+  // so the fixture's Clock::now() read still fires there.
+  for (const char* path : {"src/net/ingress_server.cc",
+                           "src/net/ingress_client.cc",
+                           "src/net/socket_util.cc"}) {
+    const auto findings = LintFixture("net_socket_clock.cc", path);
+    EXPECT_EQ(CountRule(findings, kRuleDeterminism), 1u) << path;  // ::now(
+  }
+}
+
+TEST(LintDeterminismTest, WireCodecGetsNoNetGrantAtAll) {
+  // src/net/wire.cc is deliberately absent from the allowlist: the frame
+  // codec must stay pure bytes. Linted under that name, every banned call
+  // in the fixture fires exactly as it would in the detector tree.
+  const auto findings = LintFixture("net_socket_clock.cc", "src/net/wire.cc");
+  // ::now, plus socket/setsockopt/bind/listen/accept/recv/send.
+  EXPECT_EQ(CountRule(findings, kRuleDeterminism), 8u);
 }
 
 TEST(LintDeterminismTest, SocketCallsOutsideNetAreFlagged) {

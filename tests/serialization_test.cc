@@ -139,10 +139,12 @@ TEST_P(ModelSerializationTest, RoundTripPreservesBehaviour) {
   original->Fit(train);
 
   std::stringstream checkpoint;
-  ASSERT_TRUE(original->SaveState(&checkpoint)) << core::ToString(type);
+  io::BinaryWriter writer(&checkpoint);
+  ASSERT_TRUE(original->SaveState(&writer).ok()) << core::ToString(type);
 
   auto restored = core::BuildModel(type, params, 12345);  // different seed
-  ASSERT_TRUE(restored->LoadState(&checkpoint)) << core::ToString(type);
+  io::BinaryReader reader(&checkpoint);
+  ASSERT_TRUE(restored->LoadState(&reader).ok()) << core::ToString(type);
 
   Rng rng(9);
   for (int probe = 0; probe < 10; ++probe) {
@@ -174,7 +176,11 @@ TEST_P(ModelSerializationTest, LoadRejectsForeignCheckpoint) {
   const core::DetectorConfig params = SmallParams();
   std::stringstream garbage("not a checkpoint at all");
   auto model = core::BuildModel(type, params, 1);
-  EXPECT_FALSE(model->LoadState(&garbage)) << core::ToString(type);
+  io::BinaryReader reader(&garbage);
+  const core::Status status = model->LoadState(&reader);
+  EXPECT_FALSE(status.ok()) << core::ToString(type);
+  EXPECT_EQ(status.code(), core::StatusCode::kDataLoss)
+      << core::ToString(type) << ": " << status.ToString();
 }
 
 TEST_P(ModelSerializationTest, LoadRejectsTruncatedCheckpoint) {
@@ -184,12 +190,14 @@ TEST_P(ModelSerializationTest, LoadRejectsTruncatedCheckpoint) {
   auto model = core::BuildModel(type, params, 2);
   model->Fit(train);
   std::stringstream checkpoint;
-  ASSERT_TRUE(model->SaveState(&checkpoint));
+  io::BinaryWriter writer(&checkpoint);
+  ASSERT_TRUE(model->SaveState(&writer).ok());
   std::string bytes = checkpoint.str();
   bytes.resize(bytes.size() * 2 / 3);
   std::stringstream cut(bytes);
   auto fresh = core::BuildModel(type, params, 3);
-  EXPECT_FALSE(fresh->LoadState(&cut)) << core::ToString(type);
+  io::BinaryReader reader(&cut);
+  EXPECT_FALSE(fresh->LoadState(&reader).ok()) << core::ToString(type);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -216,9 +224,11 @@ TEST(ModelSerializationTest, FinetuneResumesAfterRestore) {
   original->Fit(train);
 
   std::stringstream checkpoint;
-  ASSERT_TRUE(original->SaveState(&checkpoint));
+  io::BinaryWriter writer(&checkpoint);
+  ASSERT_TRUE(original->SaveState(&writer).ok());
   auto restored = core::BuildModel(core::ModelType::kTwoLayerAe, params, 5);
-  ASSERT_TRUE(restored->LoadState(&checkpoint));
+  io::BinaryReader reader(&checkpoint);
+  ASSERT_TRUE(restored->LoadState(&reader).ok());
 
   original->Finetune(train);
   restored->Finetune(train);
@@ -237,12 +247,17 @@ TEST(ModelSerializationTest, ArimaRejectsHyperparameterMismatch) {
   auto model = core::BuildModel(core::ModelType::kOnlineArima, params, 6);
   model->Fit(train);
   std::stringstream checkpoint;
-  ASSERT_TRUE(model->SaveState(&checkpoint));
+  io::BinaryWriter writer(&checkpoint);
+  ASSERT_TRUE(model->SaveState(&writer).ok());
 
   core::DetectorConfig other = params;
   other.arima.lag_order = 6;  // different K
   auto mismatched = core::BuildModel(core::ModelType::kOnlineArima, other, 7);
-  EXPECT_FALSE(mismatched->LoadState(&checkpoint));
+  io::BinaryReader reader(&checkpoint);
+  const core::Status status = mismatched->LoadState(&reader);
+  EXPECT_EQ(status.code(), core::StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("lag_order"), std::string::npos)
+      << status.ToString();
 }
 
 TEST(ModelSerializationTest, UsadEpochScheduleSurvives) {
@@ -253,14 +268,17 @@ TEST(ModelSerializationTest, UsadEpochScheduleSurvives) {
   const long epochs = original.epochs_seen();
 
   std::stringstream checkpoint;
-  ASSERT_TRUE(original.SaveState(&checkpoint));
+  io::BinaryWriter writer(&checkpoint);
+  ASSERT_TRUE(original.SaveState(&writer).ok());
   models::Usad restored(params.usad, 12);
-  ASSERT_TRUE(restored.LoadState(&checkpoint));
+  io::BinaryReader reader(&checkpoint);
+  ASSERT_TRUE(restored.LoadState(&reader).ok());
   EXPECT_EQ(restored.epochs_seen(), epochs);
 }
 
-TEST(ModelSerializationTest, DefaultBaseReturnsFalse) {
-  // A model without checkpoint support reports it instead of crashing.
+TEST(ModelSerializationTest, DefaultBaseReportsUnimplemented) {
+  // A model without checkpoint support reports it instead of crashing, and
+  // the status message names the model.
   class Minimal : public core::Model {
    public:
     Kind kind() const override { return Kind::kForecast; }
@@ -273,8 +291,52 @@ TEST(ModelSerializationTest, DefaultBaseReturnsFalse) {
   };
   Minimal model;
   std::stringstream stream;
-  EXPECT_FALSE(model.SaveState(&stream));
-  EXPECT_FALSE(model.LoadState(&stream));
+  io::BinaryWriter writer(&stream);
+  const core::Status save = model.SaveState(&writer);
+  EXPECT_EQ(save.code(), core::StatusCode::kUnimplemented);
+  EXPECT_NE(save.message().find("minimal"), std::string::npos);
+  io::BinaryReader reader(&stream);
+  EXPECT_EQ(model.LoadState(&reader).code(),
+            core::StatusCode::kUnimplemented);
+}
+
+TEST(ModelSerializationTest, StatusArchivesMatchOstreamShimByteForByte) {
+  // The migration from `SaveState(std::ostream*) -> bool` to
+  // `SaveState(io::BinaryWriter*) -> Status` must not change the archive
+  // format: the deprecated shim and the new entry point emit identical
+  // bytes, so pre-migration checkpoints restore unchanged.
+  const core::DetectorConfig params = SmallParams();
+  const core::TrainingSet train = MakeTrainingSet(40, 10, 3, 5);
+  for (const core::ModelType type :
+       {core::ModelType::kOnlineArima, core::ModelType::kTwoLayerAe,
+        core::ModelType::kUsad, core::ModelType::kNBeats,
+        core::ModelType::kPcbIForest, core::ModelType::kVar,
+        core::ModelType::kNearestNeighbor}) {
+    auto model = core::BuildModel(type, params, 77);
+    model->Fit(train);
+
+    std::stringstream via_writer;
+    io::BinaryWriter writer(&via_writer);
+    ASSERT_TRUE(model->SaveState(&writer).ok()) << core::ToString(type);
+
+    std::stringstream via_shim;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    // The pre-migration std::ostream entry point, kept for one PR.
+    ASSERT_TRUE(model->SaveState(static_cast<std::ostream*>(&via_shim)))
+        << core::ToString(type);
+#pragma GCC diagnostic pop
+
+    EXPECT_EQ(via_writer.str(), via_shim.str()) << core::ToString(type);
+
+    // And the shim's loader accepts what the new writer produced.
+    auto restored = core::BuildModel(type, params, 99);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    EXPECT_TRUE(restored->LoadState(static_cast<std::istream*>(&via_writer)))
+        << core::ToString(type);
+#pragma GCC diagnostic pop
+  }
 }
 
 }  // namespace

@@ -572,5 +572,106 @@ TEST(ServeFleetTest, MetricsRegistryObservesFleetTraffic) {
   EXPECT_LE(stats.evictions - stats.rehydrations, stats.sessions);
 }
 
+TEST(ServeFleetTest, SubmitBatchAdmissionsMatchLoneSubmits) {
+  // Same deterministic shape as BackpressureStateMachine, driven through
+  // one SubmitBatch call instead of five Submits: hold the only shard, so
+  // with capacity 4 / watermark 3 a ten-event batch must admit as
+  // [queued, queued, throttled, throttled, dropped x6] — exactly what a
+  // sequence of lone Submit calls would report.
+  FleetOptions options;
+  options.shards = 1;
+  options.queue_capacity = 4;
+  options.throttle_watermark = 3;
+  DetectorFleet fleet(options);
+  ASSERT_TRUE(fleet.CreateSession("batched", ConfigFor(0)).ok());
+  fleet.HoldShardForTest(0, true);
+
+  std::vector<Event> events;
+  for (int k = 0; k < 10; ++k) {
+    events.push_back(Event{"batched", {1.0, 2.0, 3.0}});
+  }
+  std::vector<Admission> admissions(events.size());
+  fleet.SubmitBatch(events, admissions.data());
+
+  EXPECT_EQ(admissions[0], Admission::kQueued);
+  EXPECT_EQ(admissions[1], Admission::kQueued);
+  EXPECT_EQ(admissions[2], Admission::kThrottled);
+  EXPECT_EQ(admissions[3], Admission::kThrottled);
+  for (std::size_t k = 4; k < admissions.size(); ++k) {
+    EXPECT_EQ(admissions[k], Admission::kDropped) << "event " << k;
+  }
+
+  const FleetStats stats = fleet.Stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.throttled, 2u);
+  EXPECT_EQ(stats.dropped, 6u);
+
+  // Dropped events must not leak inflight accounting: WaitIdle has to
+  // return once the four accepted events are processed.
+  fleet.HoldShardForTest(0, false);
+  fleet.WaitIdle();
+  EXPECT_EQ(fleet.Stats().processed, 4u);
+  fleet.Stop();
+}
+
+TEST(ServeFleetTest, SubmitBatchPreservesBitIdentityAcrossMixedRuns) {
+  // The batch path must be behaviourally invisible: shipping the golden
+  // interleaving as mixed-stream batches (runs of consecutive same-id
+  // events of varying length) produces the same bit-identical scores as
+  // per-event Submit.
+  constexpr std::size_t kStreams = 4;
+  std::vector<data::LabeledSeries> streams;
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < kStreams; ++i) {
+    streams.push_back(MakeSeries(i, 300));
+    ids.push_back("batch-" + std::to_string(i));
+  }
+
+  CollectedResults collected;
+  FleetOptions options;
+  options.shards = 2;
+  options.queue_capacity = 1 << 15;  // large: the golden run may not drop
+  DetectorFleet fleet(options);
+  for (std::size_t i = 0; i < kStreams; ++i) {
+    SessionConfig config = ConfigFor(i);
+    const std::string id = ids[i];
+    config.on_result = [&collected, id](const std::string& stream_id,
+                                        const SessionStepResult& result) {
+      ASSERT_EQ(stream_id, id);
+      std::lock_guard<std::mutex> lock(collected.mutex);
+      collected.by_stream[id].push_back(result);
+    };
+    ASSERT_TRUE(fleet.CreateSession(id, config).ok());
+  }
+
+  // Chunk the merged stream into batches of 37 (prime, so run boundaries
+  // wander) and duplicate consecutive same-stream pairs into longer runs.
+  const std::vector<StreamEvent> merged = RoundRobinMerge(streams);
+  std::size_t offset = 0;
+  while (offset < merged.size()) {
+    const std::size_t count = std::min<std::size_t>(37, merged.size() - offset);
+    std::vector<Event> batch;
+    batch.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      const StreamEvent& event = merged[offset + k];
+      batch.push_back(Event{ids[event.stream], event.values});
+    }
+    std::vector<Admission> admissions(batch.size());
+    fleet.SubmitBatch(batch, admissions.data());
+    for (std::size_t k = 0; k < admissions.size(); ++k) {
+      ASSERT_NE(admissions[k], Admission::kDropped) << "event " << offset + k;
+    }
+    offset += count;
+  }
+  fleet.WaitIdle();
+  fleet.Stop();
+
+  EXPECT_EQ(fleet.Stats().processed, merged.size());
+  for (std::size_t i = 0; i < kStreams; ++i) {
+    ExpectBitIdentical(collected.by_stream[ids[i]],
+                       SequentialReference(i, streams[i]), ids[i]);
+  }
+}
+
 }  // namespace
 }  // namespace streamad::serve

@@ -88,9 +88,20 @@ constexpr DeterminismAllowlistEntry kDeterminismAllowlist[] = {
     {"src/obs/", true, false,
      "stage timing spans and flight-recorder dump timestamps measure real "
      "time by design and never feed back into detection arithmetic"},
-    {"src/net/", true, true,
-     "the live observability plane (HTTP scrape endpoints) serves real "
+    {"src/net/http_server.cc", true, true,
+     "the live observability plane (HTTP scrape endpoint) serves real "
      "clients over real sockets; it only reads fleet snapshots"},
+    {"src/net/socket_util.cc", false, true,
+     "the shared listener helper is where bind/listen/setsockopt live"},
+    {"src/net/ingress_server.cc", false, true,
+     "the binary ingress event loop owns accept/recv/send; timing is "
+     "poll-driven so it needs no clock grant"},
+    {"src/net/ingress_client.cc", false, true,
+     "the blocking ingress client owns connect/recv/send; its read "
+     "timeout is poll-driven so it needs no clock grant"},
+    // Deliberately absent: src/net/wire.{h,cc}. The codec is pure bytes
+    // over BinaryWriter/BinaryReader and must stay socket- and clock-free
+    // so tests and replay tools can reuse it deterministically.
 };
 
 struct DeterminismScope {
@@ -818,7 +829,7 @@ constexpr LayerRule kLayerEdges[] = {
     {"core_registry",
      "common obs core_api core_ifc models scoring strategies"},
     {"harness", "common metrics obs data core_api core_ifc core_registry"},
-    {"net", "common core_api"},
+    {"net", "common io obs core_api"},
     {"serve",
      "common data io obs net harness core_api core_ifc core_registry"},
 };

@@ -1,7 +1,8 @@
 // R1 fixture: the socket-and-clock idiom of an HTTP scrape endpoint.
-// Linted as src/net/... it must be completely clean (the allowlist grants
-// src/net/ both wall-clock and socket I/O); the identical code anywhere
-// else in the detector tree fires once per banned call below.
+// Linted as src/net/http_server.cc it must be completely clean (that file
+// holds both the wall-clock and socket grants); as an ingress file only
+// the clock read fires; as src/net/wire.cc — or anywhere in the detector
+// tree — every banned call below fires.
 
 #include <cstdint>
 
