@@ -59,6 +59,8 @@ void IngressServer::AttachMetrics(obs::MetricsRegistry* registry) {
       registry->GetCounter("streamad_ingress_decode_errors_total");
   nacks_counter_ =
       registry->GetCounter("streamad_ingress_protocol_nacks_total");
+  overflow_disconnects_counter_ =
+      registry->GetCounter("streamad_ingress_overflow_disconnects_total");
   frame_in_bytes_ =
       registry->GetHistogram("streamad_ingress_frame_in_bytes",
                              FrameSizeBounds());
@@ -237,7 +239,7 @@ void IngressServer::HandleReadable(Connection* conn) {
   }
 
   wire::Frame frame;
-  while (!conn->close_after_flush) {
+  while (!conn->close_after_flush && !conn->overflowed) {
     std::size_t before = conn->assembler.pending_bytes();
     wire::FrameAssembler::Result result = conn->assembler.Next(&frame);
     if (result == wire::FrameAssembler::Result::kNeedMore) break;
@@ -259,6 +261,8 @@ void IngressServer::HandleReadable(Connection* conn) {
     }
     HandleFrame(conn, frame);
   }
+
+  if (CloseIfOverflowed(conn)) return;
 
   // Optimistic flush: most replies fit the socket buffer, so answering in
   // the same poll round spares the extra wake-up.
@@ -350,6 +354,18 @@ void IngressServer::QueueBytes(Connection* conn, const std::string& bytes) {
     offset += frame_size;
   }
   conn->outbuf.append(bytes);
+  if (conn->outbuf.size() - conn->out_sent > options_.max_outbuf_bytes) {
+    conn->overflowed = true;
+  }
+}
+
+bool IngressServer::CloseIfOverflowed(Connection* conn) {
+  if (!conn->overflowed) return false;
+  if (overflow_disconnects_counter_ != nullptr) {
+    overflow_disconnects_counter_->Increment();
+  }
+  CloseConnection(conn);
+  return true;
 }
 
 void IngressServer::HandleWritable(Connection* conn) {
@@ -405,6 +421,7 @@ void IngressServer::DrainPendingFlags() {
     auto conn_it = connections_.find(fd_it->second);
     if (conn_it == connections_.end()) continue;
     QueueBytes(&conn_it->second, hooks_.on_drain(id));
+    CloseIfOverflowed(&conn_it->second);
   }
 }
 

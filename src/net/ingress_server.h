@@ -27,7 +27,10 @@ namespace streamad::net {
 /// speaking the `wire` frame protocol. One thread multiplexes every
 /// connection (non-blocking accept + per-connection read/write buffers),
 /// so a slow or hostile client can stall only its own connection, never
-/// the loop.
+/// the loop — and a peer that submits events without ever reading its
+/// replies is disconnected once its write buffer crosses
+/// `Options::max_outbuf_bytes`, so it cannot exhaust server memory
+/// either.
 ///
 /// Like `HttpServer`, this class knows nothing about the fleet: the
 /// application (src/serve/ingress_service.h) plugs in through `Hooks`.
@@ -66,6 +69,12 @@ class IngressServer {
     std::string server_name = "streamad-ingress";
     /// Server feature bits; the ack carries client AND server.
     std::uint64_t features = 0;
+    /// Per-connection cap on unflushed output bytes. Crossing it means
+    /// the peer is not reading its replies; the connection is closed
+    /// (counted as `streamad_ingress_overflow_disconnects_total`) rather
+    /// than letting its buffer grow without bound. Must comfortably
+    /// exceed one maximum frame so any single legal reply fits.
+    std::size_t max_outbuf_bytes = 64u << 20;
   };
 
   IngressServer();
@@ -119,6 +128,10 @@ class IngressServer {
     /// Flush the outbuf, then close (protocol errors end the stream but
     /// the diagnostic NACK should still arrive).
     bool close_after_flush = false;
+    /// Unflushed outbuf crossed Options::max_outbuf_bytes; the loop
+    /// closes the connection at the next safe point (there is no use
+    /// flushing first — the peer is not reading).
+    bool overflowed = false;
   };
 
   void Loop();
@@ -132,6 +145,9 @@ class IngressServer {
   void FailConnection(Connection* conn, wire::NackCode code,
                       const std::string& detail);
   void QueueBytes(Connection* conn, const std::string& bytes);
+  /// Closes (and counts) a connection whose outbuf overflowed. Returns
+  /// true when `conn` was closed and must not be touched again.
+  bool CloseIfOverflowed(Connection* conn);
   void CloseConnection(Connection* conn);
   void DrainPendingFlags();
   void WakeLoop();
@@ -168,6 +184,7 @@ class IngressServer {
   obs::Counter* bytes_out_counter_ = nullptr;
   obs::Counter* decode_errors_counter_ = nullptr;
   obs::Counter* nacks_counter_ = nullptr;
+  obs::Counter* overflow_disconnects_counter_ = nullptr;
   obs::Histogram* frame_in_bytes_ = nullptr;
   obs::Histogram* frame_out_bytes_ = nullptr;
 };

@@ -1,5 +1,6 @@
 #include "src/net/wire.h"
 
+#include <bit>
 #include <cstring>
 #include <sstream>
 #include <utility>
@@ -8,6 +9,15 @@
 #include "src/io/binary_io.h"
 
 namespace streamad::net::wire {
+
+// The protocol is specified little-endian but encoded via memcpy of
+// host-order integers (as are the BinaryWriter payload primitives), so a
+// big-endian build would silently produce an incompatible byte stream.
+// Refuse to compile instead; port the codec with explicit byte swaps if a
+// big-endian target ever matters.
+static_assert(std::endian::native == std::endian::little,
+              "wire codec assumes a little-endian host");
+
 namespace {
 
 /// Encodes `frame`'s payload through a BinaryWriter into a string.

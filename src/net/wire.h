@@ -20,6 +20,12 @@ namespace streamad::net::wire {
 /// codec is unit-testable at arbitrary chunk boundaries and shared by the
 /// event-loop server and the blocking client. The grammar is documented in
 /// docs/ARCHITECTURE.md §11.
+///
+/// Integers are copied with memcpy in host byte order; a static_assert in
+/// wire.cc refuses to build on big-endian targets, so wherever this code
+/// compiles the on-wire bytes really are little-endian and cross-machine
+/// interop holds. Porting to a big-endian host requires byte-swapping the
+/// codec (header fields here plus the BinaryWriter/Reader primitives).
 inline constexpr std::uint32_t kWireMagic = 0x31444153;  // "SAD1" LE
 inline constexpr std::uint8_t kWireVersion = 1;
 

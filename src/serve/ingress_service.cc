@@ -1,6 +1,7 @@
 #include "src/serve/ingress_service.h"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "src/obs/metrics.h"
@@ -13,6 +14,23 @@ namespace {
 /// payload cap no matter how many scores piled up.
 constexpr std::size_t kScoresPerFrame = 4096;
 
+/// NACK frames are chunked for the same reason: a legal 16 MiB EVENT_BATCH
+/// holds close to a million minimal events, and a held/full shard can NACK
+/// every one of them — unchunked, that reply would breach kMaxPayloadBytes
+/// and trip the encoder's CHECK. 4096 entries of at most ~9 + 128 bytes
+/// each stay far below the cap.
+constexpr std::size_t kNacksPerFrame = 4096;
+
+/// NACK details echo client-supplied stream ids; cap the echo so a hostile
+/// multi-megabyte id cannot inflate a single NACK entry past the frame
+/// payload cap.
+constexpr std::size_t kNackDetailIdBytes = 96;
+
+std::string TruncatedId(const std::string& id) {
+  if (id.size() <= kNackDetailIdBytes) return id;
+  return id.substr(0, kNackDetailIdBytes) + "...";
+}
+
 }  // namespace
 
 IngressService::IngressService(DetectorFleet* fleet)
@@ -22,7 +40,10 @@ IngressService::IngressService(DetectorFleet* fleet, Options options)
     : fleet_(fleet),
       options_(std::move(options)),
       server_(net::IngressServer::Options{options_.server_name,
-                                          options_.features}) {
+                                          options_.features}),
+      router_(std::make_shared<Router>()) {
+  router_->server = &server_;
+  router_->max_pending_scores = options_.max_pending_scores;
   net::IngressServer::Hooks hooks;
   hooks.on_event_batch = [this](ConnectionId conn,
                                 const wire::EventBatchFrame& batch) {
@@ -40,6 +61,8 @@ IngressService::IngressService(DetectorFleet* fleet, Options options)
         options_.metrics->GetCounter("streamad_ingress_nack_dropped_total");
     nack_unknown_stream_ = options_.metrics->GetCounter(
         "streamad_ingress_nack_unknown_stream_total");
+    router_->results_shed =
+        options_.metrics->GetCounter("streamad_ingress_results_shed_total");
   }
 }
 
@@ -48,27 +71,41 @@ IngressService::~IngressService() { Stop(); }
 core::Status IngressService::CreateSession(const std::string& stream_id,
                                            SessionConfig config) {
   // Chain rather than replace: a session may want its own callback too.
+  // Capture the shared Router, never `this`: the session (and the shard
+  // workers invoking its callback) can outlive the service.
   auto downstream = std::move(config.on_result);
-  config.on_result = [this, downstream = std::move(downstream)](
+  config.on_result = [router = router_, downstream = std::move(downstream)](
                          const std::string& id,
                          const SessionStepResult& result) {
-    OnResult(id, result);
+    RouteResult(router, id, result);
     if (downstream) downstream(id, result);
   };
   if (core::Status status = fleet_->CreateSession(stream_id, config);
       !status.ok()) {
     return status;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  known_streams_.insert(stream_id);
+  std::lock_guard<std::mutex> lock(router_->mutex);
+  router_->known_streams.insert(stream_id);
   return core::Status::Ok();
 }
 
 core::Status IngressService::Start(std::uint16_t port) {
+  {
+    std::lock_guard<std::mutex> lock(router_->mutex);
+    router_->server = &server_;
+  }
   return server_.Start(port);
 }
 
-void IngressService::Stop() { server_.Stop(); }
+void IngressService::Stop() {
+  // Detach the router first: once `server` is null no result callback can
+  // touch the server object we are about to stop (and later destroy).
+  {
+    std::lock_guard<std::mutex> lock(router_->mutex);
+    router_->server = nullptr;
+  }
+  server_.Stop();
+}
 
 std::string IngressService::OnEventBatch(ConnectionId conn,
                                          const wire::EventBatchFrame& batch) {
@@ -78,20 +115,19 @@ std::string IngressService::OnEventBatch(ConnectionId conn,
   staged.reserve(batch.events.size());
   original_index.reserve(batch.events.size());
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(router_->mutex);
     for (std::size_t i = 0; i < batch.events.size(); ++i) {
       const wire::WireEvent& event = batch.events[i];
-      if (known_streams_.count(event.stream_id) == 0) {
-        nacks.push_back(
-            wire::NackEntry{static_cast<std::uint32_t>(i),
-                            wire::NackCode::kUnknownStream,
-                            "no session named " + event.stream_id});
+      if (router_->known_streams.count(event.stream_id) == 0) {
+        nacks.push_back(wire::NackEntry{
+            static_cast<std::uint32_t>(i), wire::NackCode::kUnknownStream,
+            "no session named " + TruncatedId(event.stream_id)});
         CountNack(wire::NackCode::kUnknownStream);
         continue;
       }
       // Latest submitter wins the route: scores flow back to whichever
       // connection most recently fed the stream.
-      routes_[event.stream_id] = conn;
+      router_->routes[event.stream_id] = conn;
       staged.push_back(Event{event.stream_id, event.values});
       original_index.push_back(i);
     }
@@ -118,20 +154,29 @@ std::string IngressService::OnEventBatch(ConnectionId conn,
             [](const wire::NackEntry& a, const wire::NackEntry& b) {
               return a.index < b.index;
             });
-  wire::NackFrame frame;
-  frame.batch_id = batch.batch_id;
-  frame.entries = std::move(nacks);
   std::string bytes;
-  wire::AppendNack(&bytes, frame);
+  for (std::size_t offset = 0; offset < nacks.size();
+       offset += kNacksPerFrame) {
+    std::size_t count = std::min(kNacksPerFrame, nacks.size() - offset);
+    wire::NackFrame frame;
+    frame.batch_id = batch.batch_id;
+    auto first = nacks.begin() + static_cast<std::ptrdiff_t>(offset);
+    frame.entries.assign(std::make_move_iterator(first),
+                         std::make_move_iterator(
+                             first + static_cast<std::ptrdiff_t>(count)));
+    wire::AppendNack(&bytes, frame);
+  }
   return bytes;
 }
 
 std::string IngressService::OnDrain(ConnectionId conn) {
   std::vector<wire::ScoreEntry> scores;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = pending_.find(conn);
-    if (it == pending_.end() || it->second.empty()) return std::string();
+    std::lock_guard<std::mutex> lock(router_->mutex);
+    auto it = router_->pending.find(conn);
+    if (it == router_->pending.end() || it->second.empty()) {
+      return std::string();
+    }
     scores.swap(it->second);
   }
   std::string bytes;
@@ -148,11 +193,11 @@ std::string IngressService::OnDrain(ConnectionId conn) {
 }
 
 void IngressService::OnDisconnect(ConnectionId conn) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  pending_.erase(conn);
-  for (auto it = routes_.begin(); it != routes_.end();) {
+  std::lock_guard<std::mutex> lock(router_->mutex);
+  router_->pending.erase(conn);
+  for (auto it = router_->routes.begin(); it != router_->routes.end();) {
     if (it->second == conn) {
-      it = routes_.erase(it);
+      it = router_->routes.erase(it);
     } else {
       ++it;
     }
@@ -171,8 +216,9 @@ wire::HealthFrame IngressService::OnHealth() const {
   return health;
 }
 
-void IngressService::OnResult(const std::string& stream_id,
-                              const SessionStepResult& result) {
+void IngressService::RouteResult(const std::shared_ptr<Router>& router,
+                                 const std::string& stream_id,
+                                 const SessionStepResult& result) {
   wire::ScoreEntry entry;
   entry.stream_id = stream_id;
   entry.t = result.t;
@@ -181,17 +227,24 @@ void IngressService::OnResult(const std::string& stream_id,
   entry.nonconformity = result.step.nonconformity;
   entry.anomaly_score = result.step.anomaly_score;
 
-  ConnectionId conn = 0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = routes_.find(stream_id);
-    if (it == routes_.end()) return;  // locally submitted; nothing to route
-    conn = it->second;
-    pending_[conn].push_back(std::move(entry));
+  std::lock_guard<std::mutex> lock(router->mutex);
+  if (router->server == nullptr) return;  // service stopped or destroyed
+  auto it = router->routes.find(stream_id);
+  if (it == router->routes.end()) return;  // locally submitted; no route
+  std::vector<wire::ScoreEntry>& queue = router->pending[it->second];
+  if (queue.size() >= router->max_pending_scores) {
+    // The connection is not draining (peer stopped reading); shed rather
+    // than grow without bound — the server's outbuf cap will disconnect
+    // the peer shortly.
+    if (router->results_shed != nullptr) router->results_shed->Increment();
+    return;
   }
-  // Always flag: the wake pipe coalesces (a full pipe already guarantees
-  // a pending wake-up), so this is one cheap write per score at worst.
-  server_.FlagPending(conn);
+  queue.push_back(std::move(entry));
+  // FlagPending under the lock on purpose: Stop() clears `server` under
+  // the same lock, so server teardown cannot race this call. The wake
+  // pipe coalesces (a full pipe already guarantees a pending wake-up),
+  // so this is one cheap write per score at worst.
+  router->server->FlagPending(it->second);
 }
 
 void IngressService::CountNack(wire::NackCode code) {

@@ -2,6 +2,7 @@
 #define STREAMAD_SERVE_INGRESS_SERVICE_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -43,9 +44,19 @@ class IngressService {
     /// Registry for the server's transport metrics and the service's
     /// per-code NACK counters; null disables both.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Per-connection cap on scores buffered while waiting for the server
+    /// loop to drain them. A connection whose peer stops reading backs up
+    /// all the way to here; past the cap further scores for it are shed
+    /// (counted as `streamad_ingress_results_shed_total`) instead of
+    /// growing memory without bound. The server's own
+    /// `max_outbuf_bytes` cap disconnects such peers shortly after.
+    std::size_t max_pending_scores = 1u << 18;
   };
 
-  /// `fleet` must outlive the service.
+  /// `fleet` must outlive the service. The reverse is not required: the
+  /// per-session result callbacks installed by `CreateSession` share
+  /// ownership of the routing state, so scores a shard worker delivers
+  /// after the service stopped (or was destroyed) are discarded safely.
   explicit IngressService(DetectorFleet* fleet);
   IngressService(DetectorFleet* fleet, Options options);
   ~IngressService();
@@ -68,25 +79,43 @@ class IngressService {
  private:
   using ConnectionId = net::IngressServer::ConnectionId;
 
+  /// Routing state shared between the server loop thread (batch / drain /
+  /// disconnect hooks) and the fleet's shard workers (session `on_result`
+  /// callbacks). It is shared_ptr-owned — NOT a plain member — because the
+  /// callbacks live inside fleet sessions and cannot be unregistered:
+  /// capturing `this` would dangle once the service is destroyed while
+  /// shard workers still drain queued events. Each callback instead keeps
+  /// the Router alive and checks `server`, which `Stop()` clears under
+  /// `mutex`, so late results are dropped rather than dereferencing a dead
+  /// service. `server_.FlagPending` is only ever called while holding
+  /// `mutex`, which makes the clear-then-teardown sequence race-free.
+  struct Router {
+    std::mutex mutex;
+    net::IngressServer* server = nullptr;                 // guarded by mutex
+    std::size_t max_pending_scores = 0;
+    std::unordered_set<std::string> known_streams;        // guarded by mutex
+    std::unordered_map<std::string, ConnectionId> routes; // guarded by mutex
+    std::unordered_map<ConnectionId, std::vector<wire::ScoreEntry>>
+        pending;                                          // guarded by mutex
+    obs::Counter* results_shed = nullptr;
+  };
+
   std::string OnEventBatch(ConnectionId conn,
                            const wire::EventBatchFrame& batch);
   std::string OnDrain(ConnectionId conn);
   void OnDisconnect(ConnectionId conn);
   wire::HealthFrame OnHealth() const;
-  void OnResult(const std::string& stream_id, const SessionStepResult& result);
+  /// The session `on_result` body; static so it cannot touch service
+  /// members the Router does not own.
+  static void RouteResult(const std::shared_ptr<Router>& router,
+                          const std::string& stream_id,
+                          const SessionStepResult& result);
   void CountNack(wire::NackCode code);
 
   DetectorFleet* fleet_;
   Options options_;
   net::IngressServer server_;
-
-  /// Routing state, shared between the server loop thread (batch/drain/
-  /// disconnect hooks) and the fleet's shard workers (`OnResult`).
-  mutable std::mutex mutex_;
-  std::unordered_set<std::string> known_streams_;           // guarded by mutex_
-  std::unordered_map<std::string, ConnectionId> routes_;    // guarded by mutex_
-  std::unordered_map<ConnectionId, std::vector<wire::ScoreEntry>>
-      pending_;                                             // guarded by mutex_
+  std::shared_ptr<Router> router_;
 
   obs::Counter* nack_throttled_ = nullptr;
   obs::Counter* nack_dropped_ = nullptr;

@@ -482,5 +482,139 @@ TEST(NetIngressTest, HealthzReportsIngressConnections) {
   fleet.Stop();
 }
 
+TEST(NetIngressTest, MassNacksAreChunkedAcrossFrames) {
+  // A batch whose every event is rejected must come back as SEVERAL NACK
+  // frames (4096 entries each), not one — an unchunked reply for a large
+  // batch would breach the 16 MiB frame payload cap and kill the server.
+  FleetOptions options;
+  options.shards = 1;
+  DetectorFleet fleet(options);
+  IngressService service(&fleet);  // no sessions: everything is unknown
+  ASSERT_TRUE(service.Start(0).ok());
+
+  net::IngressClient client;
+  ASSERT_TRUE(client.Connect(service.port()).ok());
+
+  constexpr std::size_t kEvents = 10000;
+  wire::EventBatchFrame batch;
+  batch.batch_id = 31337;
+  batch.events.reserve(kEvents);
+  for (std::size_t k = 0; k < kEvents; ++k) {
+    batch.events.push_back(wire::WireEvent{"ghost", {1.0}});
+  }
+  ASSERT_TRUE(client.SendEventBatch(batch).ok());
+
+  std::size_t frames = 0;
+  std::size_t entries = 0;
+  std::uint32_t expected_index = 0;
+  while (entries < kEvents) {
+    wire::Frame frame;
+    ASSERT_TRUE(client.ReadFrame(&frame).ok());
+    ASSERT_EQ(frame.type, wire::FrameType::kNack);
+    const auto& nack = std::get<wire::NackFrame>(frame.payload);
+    EXPECT_EQ(nack.batch_id, 31337u);
+    ASSERT_LE(nack.entries.size(), 4096u);
+    for (const auto& entry : nack.entries) {
+      EXPECT_EQ(entry.code, wire::NackCode::kUnknownStream);
+      EXPECT_EQ(entry.index, expected_index++);
+    }
+    entries += nack.entries.size();
+    ++frames;
+  }
+  EXPECT_EQ(entries, kEvents);
+  EXPECT_EQ(frames, 3u);  // ceil(10000 / 4096)
+
+  // A mass NACK is not a protocol error: the connection is still usable.
+  ASSERT_TRUE(client.SendHealthProbe().ok());
+  wire::Frame frame;
+  ASSERT_TRUE(client.ReadFrame(&frame).ok());
+  EXPECT_EQ(frame.type, wire::FrameType::kHealth);
+
+  client.Close();
+  service.Stop();
+  fleet.Stop();
+}
+
+TEST(NetIngressTest, ResultsDeliveredAfterServiceDestructionAreDiscarded) {
+  // The session result callbacks live inside the fleet and cannot be
+  // unregistered, so they must not dangle: destroy the service while a
+  // held shard still has queued events, then let the shard drain. Under
+  // ASan/TSan this is the regression test for the old capture of `this`.
+  FleetOptions options;
+  options.shards = 1;
+  DetectorFleet fleet(options);
+
+  constexpr std::size_t kEvents = 100;
+  {
+    IngressService service(&fleet);
+    ASSERT_TRUE(service.CreateSession("sensor-0", ConfigFor(0)).ok());
+    ASSERT_TRUE(service.Start(0).ok());
+
+    fleet.HoldShardForTest(0, true);
+
+    net::IngressClient client;
+    ASSERT_TRUE(client.Connect(service.port()).ok());
+    wire::EventBatchFrame batch;
+    for (std::size_t k = 0; k < kEvents; ++k) {
+      batch.events.push_back(wire::WireEvent{"sensor-0", {1.0, 2.0, 3.0}});
+    }
+    ASSERT_TRUE(client.SendEventBatch(batch).ok());
+    client.Close();
+  }  // ~IngressService with every event still parked on the held shard
+
+  fleet.HoldShardForTest(0, false);
+  fleet.WaitIdle();
+  const FleetStats stats = fleet.Stats();
+  EXPECT_EQ(stats.processed, kEvents);
+  EXPECT_EQ(stats.dropped, 0u);
+  fleet.Stop();
+}
+
+TEST(NetIngressTest, SlowReaderIsDisconnectedWhenOutbufOverflows) {
+  // A peer that submits but never reads must not grow the server's write
+  // buffer without bound: past Options::max_outbuf_bytes the connection
+  // is condemned. Exercised at the IngressServer layer with a tiny cap
+  // and a hook whose reply is guaranteed to overflow it.
+  obs::MetricsRegistry metrics;
+  net::IngressServer::Options options;
+  options.max_outbuf_bytes = 1024;
+  net::IngressServer server(options);
+  net::IngressServer::Hooks hooks;
+  hooks.on_event_batch = [](net::IngressServer::ConnectionId,
+                            const wire::EventBatchFrame& batch) {
+    wire::NackFrame nack;
+    nack.batch_id = batch.batch_id;
+    nack.entries.push_back(wire::NackEntry{0, wire::NackCode::kDropped,
+                                           std::string(4096, 'x')});
+    std::string bytes;
+    wire::AppendNack(&bytes, nack);
+    return bytes;
+  };
+  server.set_hooks(std::move(hooks));
+  server.AttachMetrics(&metrics);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  net::IngressClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  wire::EventBatchFrame batch;
+  batch.events.push_back(wire::WireEvent{"sensor-0", {1.0}});
+  ASSERT_TRUE(client.SendEventBatch(batch).ok());
+
+  // The 4 KiB reply crosses the 1 KiB cap, so the server closes instead
+  // of buffering; the client observes the close (kIoError), never the
+  // oversized reply.
+  wire::Frame frame;
+  core::Status status = client.ReadFrame(&frame);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), core::StatusCode::kIoError) << status.ToString();
+  EXPECT_EQ(
+      metrics.GetCounter("streamad_ingress_overflow_disconnects_total")
+          ->Value(),
+      1u);
+
+  client.Close();
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace streamad::serve
